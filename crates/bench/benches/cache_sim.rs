@@ -1,0 +1,52 @@
+//! Micro-benchmark: cache-simulator throughput (accesses per second) for
+//! single-level caches and the two-level virtual-real hierarchy.
+
+use cac_core::{CacheGeometry, IndexSpec};
+use cac_sim::cache::Cache;
+use cac_sim::hierarchy::TwoLevelHierarchy;
+use cac_sim::vm::PageMapper;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_cache(c: &mut Criterion) {
+    let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+    let addrs: Vec<u64> = (0..4096u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 7) & 0xF_FFFF)
+        .collect();
+
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for spec in [IndexSpec::modulo(), IndexSpec::ipoly_skewed()] {
+        group.bench_function(spec.name(), |b| {
+            let mut cache = Cache::build(geom, spec.clone()).unwrap();
+            b.iter(|| {
+                for &a in &addrs {
+                    black_box(cache.read(black_box(a)));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hierarchy_access");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.bench_function("l1_ipoly_l2_conv", |b| {
+        let l2 = CacheGeometry::new(256 * 1024, 32, 2).unwrap();
+        let mut h = TwoLevelHierarchy::new(
+            geom,
+            IndexSpec::ipoly_skewed(),
+            l2,
+            IndexSpec::modulo(),
+            PageMapper::randomized(4096, 1 << 28, 1),
+        )
+        .unwrap();
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(h.read(black_box(a)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Micro-benchmark: out-of-order-processor simulation throughput
+//! (simulated instructions per second) on a representative workload.
+
+use cac_core::IndexSpec;
+use cac_cpu::{CpuConfig, Processor};
+use cac_trace::spec::SpecBenchmark;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_run");
+    const OPS: u64 = 20_000;
+    group.throughput(Throughput::Elements(OPS));
+    group.sample_size(20);
+    for (name, spec) in [
+        ("conventional", IndexSpec::modulo()),
+        ("ipoly_skewed", IndexSpec::ipoly_skewed()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = CpuConfig::paper_baseline(spec.clone()).unwrap();
+                let mut cpu = Processor::new(config).unwrap();
+                black_box(cpu.run(SpecBenchmark::Tomcatv.generator(1), OPS))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

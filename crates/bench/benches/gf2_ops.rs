@@ -1,0 +1,37 @@
+//! Micro-benchmark: GF(2) polynomial arithmetic primitives.
+
+use cac_gf2::irreducible::is_irreducible;
+use cac_gf2::xor_tree::XorTree;
+use cac_gf2::{default_poly, Poly};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_gf2(c: &mut Criterion) {
+    let p7 = default_poly(7);
+    let a = Poly::from_bits(0x3a5b);
+    c.bench_function("poly_rem_deg14_by_deg7", |b| {
+        b.iter(|| black_box(black_box(a).rem(p7)))
+    });
+    c.bench_function("poly_mulmod_deg7", |b| {
+        let x = Poly::from_bits(0x5e);
+        let y = Poly::from_bits(0x71);
+        b.iter(|| black_box(black_box(x).mulmod(black_box(y), p7)))
+    });
+    c.bench_function("is_irreducible_deg14", |b| {
+        let f = default_poly(14);
+        b.iter(|| black_box(is_irreducible(black_box(f))))
+    });
+    c.bench_function("xor_tree_synthesis_deg7_v14", |b| {
+        b.iter(|| black_box(XorTree::new(black_box(p7), 14)))
+    });
+    c.bench_function("xor_tree_apply", |b| {
+        let t = XorTree::new(p7, 14);
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(t.apply(black_box(x)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_gf2);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Micro-benchmark: per-access cost of each placement function.
+//!
+//! The paper argues (§3) that the I-Poly hash is "remarkably simple" —
+//! a handful of XOR gates. In software the analogue is a few mask+popcnt
+//! operations; this bench quantifies it against modulo and XOR-fold
+//! indexing.
+
+use cac_core::{CacheGeometry, IndexSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_index_functions(c: &mut Criterion) {
+    let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+    let mut group = c.benchmark_group("set_index");
+    for spec in [
+        IndexSpec::modulo(),
+        IndexSpec::xor_skewed(),
+        IndexSpec::ipoly(),
+        IndexSpec::ipoly_skewed(),
+        IndexSpec::prime_skewed(),
+        IndexSpec::add_skew_skewed(),
+        IndexSpec::rand_table_skewed(),
+        IndexSpec::xor_matrix_skewed(),
+    ] {
+        let f = spec.build(geom).unwrap();
+        group.bench_function(spec.name(), |b| {
+            let mut addr = 0x1234_5678u64;
+            b.iter(|| {
+                addr = addr.wrapping_mul(0x9E37_79B9).wrapping_add(12345);
+                let ba = geom.block_addr(addr);
+                black_box(f.set_index(black_box(ba), 0) ^ f.set_index(black_box(ba), 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_functions);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Micro-benchmark: throughput of the banked-memory simulator.
+//!
+//! Measures simulated accesses per wall-clock second for the selection
+//! functions the E12 experiment compares, so regressions in the
+//! interleave substrate are caught the same way as in the cache and CPU
+//! simulators.
+
+use cac_core::IndexSpec;
+use cac_interleave::{BankConfig, InterleavedMemory};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_interleave(c: &mut Criterion) {
+    let cfg = BankConfig::new(16, 8, 6).unwrap();
+    let mut group = c.benchmark_group("interleave_access");
+    group.throughput(Throughput::Elements(4096));
+    for spec in [
+        IndexSpec::modulo(),
+        IndexSpec::prime(),
+        IndexSpec::ipoly(),
+        IndexSpec::rand_table(),
+    ] {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| {
+                let mut m = InterleavedMemory::build(cfg, spec.clone()).unwrap();
+                for i in 0..4096u64 {
+                    m.access(black_box(i * 24));
+                }
+                black_box(m.stats().bandwidth())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interleave);
+criterion_main!(benches);

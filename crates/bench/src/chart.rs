@@ -1,0 +1,249 @@
+//! Terminal charts for the experiment harnesses.
+//!
+//! The paper's Figure 1 is a *log-frequency* histogram; a table of counts
+//! loses the visual shape the authors argue from. This module renders
+//! horizontal bar charts with optional log₁₀ scaling so the harness
+//! binaries can print the figure, not just its numbers.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart.
+///
+/// # Example
+///
+/// ```
+/// use cac_bench::chart::BarChart;
+///
+/// let chart = BarChart::new("frequency")
+///     .log_scale()
+///     .bar("0.0-0.1", 3500.0)
+///     .bar("0.9-1.0", 12.0)
+///     .render(40);
+/// assert!(chart.contains("0.0-0.1"));
+/// assert!(chart.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    log: bool,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates an empty chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            log: false,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Scales bar lengths by `log10(1 + value)` — the paper's Figure 1
+    /// axis, which keeps a 10000:1 dynamic range readable.
+    pub fn log_scale(mut self) -> Self {
+        self.log = true;
+        self
+    }
+
+    /// Appends one labelled bar.
+    pub fn bar(mut self, label: impl Into<String>, value: f64) -> Self {
+        self.bars.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// Appends many labelled bars.
+    pub fn bars<I, L>(mut self, items: I) -> Self
+    where
+        I: IntoIterator<Item = (L, f64)>,
+        L: Into<String>,
+    {
+        for (label, value) in items {
+            self.bars.push((label.into(), value.max(0.0)));
+        }
+        self
+    }
+
+    fn scaled(&self, v: f64) -> f64 {
+        if self.log {
+            (1.0 + v).log10()
+        } else {
+            v
+        }
+    }
+
+    /// Renders the chart with bars up to `width` characters long.
+    pub fn render(&self, width: usize) -> String {
+        let label_w = self
+            .bars
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let max = self
+            .bars
+            .iter()
+            .map(|&(_, v)| self.scaled(v))
+            .fold(0.0f64, f64::max);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}{}",
+            self.title,
+            if self.log { "  (log scale)" } else { "" }
+        );
+        for (label, value) in &self.bars {
+            let len = if max > 0.0 {
+                (self.scaled(*value) / max * width as f64).round() as usize
+            } else {
+                0
+            };
+            let _ = writeln!(
+                out,
+                "{label:<label_w$} |{:<width$}| {value}",
+                "#".repeat(len.min(width)),
+            );
+        }
+        out
+    }
+}
+
+/// Renders several labelled series as grouped bars per category — one
+/// category row followed by one bar line per series, for side-by-side
+/// comparisons like Figure 1's four index functions.
+///
+/// # Example
+///
+/// ```
+/// use cac_bench::chart::grouped;
+///
+/// let text = grouped(
+///     "miss-ratio bins",
+///     &["0.0-0.1", "0.9-1.0"],
+///     &[("a2", vec![3500.0, 240.0]), ("a2-Hp-Sk", vec![4000.0, 0.0])],
+///     true,
+///     30,
+/// );
+/// assert!(text.contains("a2-Hp-Sk"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any series' length differs from the category count.
+pub fn grouped(
+    title: &str,
+    categories: &[&str],
+    series: &[(&str, Vec<f64>)],
+    log: bool,
+    width: usize,
+) -> String {
+    for (name, values) in series {
+        assert_eq!(
+            values.len(),
+            categories.len(),
+            "series {name:?} length mismatch"
+        );
+    }
+    let name_w = series
+        .iter()
+        .map(|(n, _)| n.chars().count())
+        .max()
+        .unwrap_or(0);
+    let scale = |v: f64| if log { (1.0 + v).log10() } else { v };
+    let max = series
+        .iter()
+        .flat_map(|(_, vs)| vs.iter())
+        .fold(0.0f64, |m, &v| m.max(scale(v)));
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}{}", if log { "  (log scale)" } else { "" });
+    for (ci, cat) in categories.iter().enumerate() {
+        let _ = writeln!(out, "{cat}");
+        for (name, values) in series {
+            let v = values[ci];
+            let len = if max > 0.0 {
+                (scale(v) / max * width as f64).round() as usize
+            } else {
+                0
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<name_w$} |{:<width$}| {v}",
+                "#".repeat(len.min(width)),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bars_scale_proportionally() {
+        let text = BarChart::new("t")
+            .bar("a", 10.0)
+            .bar("b", 5.0)
+            .render(20);
+        let lines: Vec<&str> = text.lines().collect();
+        let count = |s: &str| s.matches('#').count();
+        assert_eq!(count(lines[1]), 20);
+        assert_eq!(count(lines[2]), 10);
+    }
+
+    #[test]
+    fn log_scale_compresses_range() {
+        let text = BarChart::new("t")
+            .log_scale()
+            .bar("big", 9999.0)
+            .bar("small", 9.0)
+            .render(40);
+        let lines: Vec<&str> = text.lines().collect();
+        let count = |s: &str| s.matches('#').count();
+        assert_eq!(count(lines[1]), 40);
+        // log10(10)/log10(10000) = 1/4 of the width, not 9/9999 ≈ 0.
+        assert_eq!(count(lines[2]), 10);
+        assert!(text.contains("(log scale)"));
+    }
+
+    #[test]
+    fn zero_and_empty_are_safe() {
+        let empty = BarChart::new("nothing").render(10);
+        assert!(empty.starts_with("nothing"));
+        let zeros = BarChart::new("z").bar("a", 0.0).render(10);
+        assert!(zeros.contains("|          |"));
+        // Negative values clamp to zero rather than panicking.
+        let neg = BarChart::new("n").bar("a", -5.0).render(10);
+        assert!(neg.contains("| 0") || neg.contains("|          | 0"));
+    }
+
+    #[test]
+    fn bars_builder_matches_bar() {
+        let a = BarChart::new("t").bar("x", 1.0).bar("y", 2.0).render(10);
+        let b = BarChart::new("t")
+            .bars([("x", 1.0), ("y", 2.0)])
+            .render(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grouped_layout() {
+        let text = grouped(
+            "g",
+            &["c1", "c2"],
+            &[("s1", vec![1.0, 2.0]), ("s2", vec![2.0, 4.0])],
+            false,
+            8,
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 * 3); // title + 2 categories × (header + 2 series)
+        assert_eq!(lines[1], "c1");
+        assert!(lines[2].trim_start().starts_with("s1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn grouped_validates_lengths() {
+        let _ = grouped("g", &["c1"], &[("s1", vec![1.0, 2.0])], false, 8);
+    }
+}

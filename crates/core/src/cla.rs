@@ -1,0 +1,241 @@
+//! Carry-lookahead timing: when are the low address bits ready?
+//!
+//! §3.4 of the paper argues the XOR tree need not lengthen the critical
+//! path because effective addresses are computed "from right to left": in
+//! a carry-lookahead adder (CLA) with lookahead blocks of size `b`, the
+//! `b` least-significant sum bits are ready after about one block delay,
+//! the `b²` low bits after three, and in general the `bⁱ` low bits after
+//! `2i − 1` block delays. For 64-bit addresses and a binary CLA, the 19
+//! bits the paper's I-Poly functions consume are ready after ~9 block
+//! delays while the full sum takes ~11 — two block delays of slack in
+//! which to absorb one or two XOR gate levels.
+//!
+//! [`ClaModel`] reproduces that arithmetic so configurations can decide
+//! *analytically* whether their hash belongs on the critical path
+//! ([`CriticalPath::XorHidden`]) or not — the knob the IPC experiments
+//! then price.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_core::cla::ClaModel;
+//!
+//! // The paper's worked example: 64-bit binary CLA.
+//! let cla = ClaModel::binary64();
+//! assert_eq!(cla.delay_for_bits(19), 9);  // "a delay of about 9 blocks"
+//! assert_eq!(cla.full_delay(), 11);       // "requires 11 block-delays"
+//! assert_eq!(cla.slack_for_bits(19), 2);  // room for the XOR tree
+//! ```
+
+use crate::error::Error;
+use crate::latency::CriticalPath;
+
+/// Timing model of a carry-lookahead adder, in units of one lookahead
+/// block delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClaModel {
+    block: u32,
+    width: u32,
+}
+
+impl ClaModel {
+    /// Creates a model for a `width`-bit adder built from lookahead
+    /// blocks of `block` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] if `block < 2` (a one-bit "block" is
+    /// a ripple adder, to which the lookahead recurrence does not apply)
+    /// or if `width < block`.
+    pub fn new(block: u32, width: u32) -> Result<Self, Error> {
+        if block < 2 {
+            return Err(Error::OutOfRange {
+                what: "lookahead block size",
+                value: u64::from(block),
+                constraint: ">= 2",
+            });
+        }
+        if width < block {
+            return Err(Error::OutOfRange {
+                what: "adder width",
+                value: u64::from(width),
+                constraint: ">= block size",
+            });
+        }
+        Ok(ClaModel { block, width })
+    }
+
+    /// The paper's configuration: a binary (`b = 2`) CLA over 64-bit
+    /// addresses.
+    pub fn binary64() -> Self {
+        ClaModel {
+            block: 2,
+            width: 64,
+        }
+    }
+
+    /// Lookahead block size `b`.
+    pub fn block(&self) -> u32 {
+        self.block
+    }
+
+    /// Adder width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Block delays until the `n` least-significant sum bits are valid:
+    /// `2·ceil(log_b(n)) − 1`, clamped to at least one block
+    /// (`n` is clamped to the adder width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` — asking when zero bits are ready is a caller
+    /// bug.
+    pub fn delay_for_bits(&self, n: u32) -> u32 {
+        assert!(n > 0, "asked for the delay of zero bits");
+        let n = n.min(self.width);
+        // i = ceil(log_b(n)): smallest i with b^i >= n.
+        let mut i = 0u32;
+        let mut reach = 1u64;
+        while reach < u64::from(n) {
+            reach *= u64::from(self.block);
+            i += 1;
+        }
+        // Even the first sum bit takes one block delay to produce.
+        if i == 0 {
+            1
+        } else {
+            2 * i - 1
+        }
+    }
+
+    /// Block delays for the full `width`-bit sum.
+    pub fn full_delay(&self) -> u32 {
+        self.delay_for_bits(self.width)
+    }
+
+    /// Slack between the arrival of the `n` low bits and completion of the
+    /// full sum — the window in which index-hash logic is architecturally
+    /// free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (see [`ClaModel::delay_for_bits`]).
+    pub fn slack_for_bits(&self, n: u32) -> u32 {
+        self.full_delay() - self.delay_for_bits(n)
+    }
+
+    /// Whether an XOR tree of `xor_depth_blocks` block-delays, fed by the
+    /// `hash_bits` low address bits, fits entirely in the adder's slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_bits == 0`.
+    pub fn hides_xor(&self, hash_bits: u32, xor_depth_blocks: u32) -> bool {
+        xor_depth_blocks <= self.slack_for_bits(hash_bits)
+    }
+
+    /// The [`CriticalPath`] value this adder implies for a hash over the
+    /// `hash_bits` low address bits with the given XOR depth — the
+    /// analytical counterpart of the experimental toggle in
+    /// [`crate::latency::HitLatencyModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_bits == 0`.
+    pub fn critical_path_for(&self, hash_bits: u32, xor_depth_blocks: u32) -> CriticalPath {
+        if self.hides_xor(hash_bits, xor_depth_blocks) {
+            CriticalPath::XorHidden
+        } else {
+            CriticalPath::XorExposed
+        }
+    }
+}
+
+impl Default for ClaModel {
+    fn default() -> Self {
+        Self::binary64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        let cla = ClaModel::binary64();
+        // "the b least-significant bits ... available after a delay of
+        // approximately one look-ahead block"
+        assert_eq!(cla.delay_for_bits(2), 1);
+        // "After a three-block delay the b^2 least-significant bits"
+        assert_eq!(cla.delay_for_bits(4), 3);
+        // "the 19 bits required by the I-poly functions ... have a delay
+        // of about 9 blocks"
+        assert_eq!(cla.delay_for_bits(19), 9);
+        // "whereas the whole address computation requires 11 block-delays"
+        assert_eq!(cla.full_delay(), 11);
+        assert_eq!(cla.slack_for_bits(19), 2);
+    }
+
+    #[test]
+    fn general_recurrence() {
+        let cla = ClaModel::binary64();
+        // b^i bits at exactly 2i-1 blocks.
+        for i in 1..=6u32 {
+            assert_eq!(cla.delay_for_bits(1 << i), 2 * i - 1, "i = {i}");
+        }
+        // One bit is ready after a single block (the first block's sum).
+        assert_eq!(cla.delay_for_bits(1), 1);
+        // Requests beyond the width clamp to the full delay.
+        assert_eq!(cla.delay_for_bits(200), cla.full_delay());
+    }
+
+    #[test]
+    fn wider_blocks_flatten_the_curve() {
+        let quad = ClaModel::new(4, 64).unwrap();
+        assert_eq!(quad.delay_for_bits(4), 1);
+        assert_eq!(quad.delay_for_bits(16), 3);
+        assert_eq!(quad.delay_for_bits(64), 5);
+        assert!(quad.full_delay() < ClaModel::binary64().full_delay());
+    }
+
+    #[test]
+    fn delay_is_monotone_in_bits() {
+        let cla = ClaModel::binary64();
+        let mut last = 0;
+        for n in 1..=64 {
+            let d = cla.delay_for_bits(n);
+            assert!(d >= last, "delay must not decrease at {n} bits");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn xor_hiding_decision() {
+        let cla = ClaModel::binary64();
+        // Two XOR2 levels (the paper's degree-7 tree) fit in the slack;
+        // a deep five-level tree would not.
+        assert!(cla.hides_xor(19, 2));
+        assert!(!cla.hides_xor(19, 3));
+        assert_eq!(cla.critical_path_for(19, 2), CriticalPath::XorHidden);
+        assert_eq!(cla.critical_path_for(19, 5), CriticalPath::XorExposed);
+        // A hash that needs *all* address bits has no slack at all.
+        assert_eq!(cla.slack_for_bits(64), 0);
+        assert!(!cla.hides_xor(64, 1));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ClaModel::new(1, 64).is_err());
+        assert!(ClaModel::new(4, 2).is_err());
+        assert!(ClaModel::new(2, 2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bits")]
+    fn zero_bits_is_a_bug() {
+        let _ = ClaModel::binary64().delay_for_bits(0);
+    }
+}

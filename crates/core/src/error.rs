@@ -1,0 +1,83 @@
+//! Error type for configuration validation.
+
+use std::fmt;
+
+/// Errors produced when validating cache geometry or placement
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A size parameter that must be a power of two was not.
+    NotPowerOfTwo {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A parameter was zero or otherwise out of its valid range.
+    OutOfRange {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// Human-readable constraint, e.g. `">= block size"`.
+        constraint: &'static str,
+    },
+    /// The requested polynomial set does not match the geometry
+    /// (wrong degree, wrong count, reducible when irreducibility was
+    /// required, ...).
+    BadPolynomial {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            Error::OutOfRange {
+                what,
+                value,
+                constraint,
+            } => write!(f, "{what} out of range: {value} (must be {constraint})"),
+            Error::BadPolynomial { reason } => {
+                write!(f, "invalid polynomial configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::NotPowerOfTwo {
+            what: "capacity",
+            value: 3000,
+        };
+        assert_eq!(e.to_string(), "capacity must be a power of two, got 3000");
+        let e = Error::OutOfRange {
+            what: "ways",
+            value: 0,
+            constraint: ">= 1",
+        };
+        assert!(e.to_string().contains("ways out of range"));
+        let e = Error::BadPolynomial {
+            reason: "degree 5 != index bits 7".into(),
+        };
+        assert!(e.to_string().contains("degree 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<Error>();
+    }
+}

@@ -1,0 +1,305 @@
+//! Cache geometry: capacity, block size, associativity and the derived
+//! index arithmetic shared by every placement function and simulator in the
+//! workspace.
+
+use crate::error::Error;
+use std::fmt;
+
+/// Validated cache geometry.
+///
+/// All three parameters must be powers of two (the paper's notation:
+/// `C = 2^?` sets, block size `B`, and `w` ways; we validate `w` only for
+/// being non-zero and dividing the block count). The number of sets is
+/// `capacity / (block * ways)`.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::CacheGeometry;
+///
+/// let g = CacheGeometry::new(8 * 1024, 32, 2)?;
+/// assert_eq!(g.num_sets(), 128);
+/// assert_eq!(g.index_bits(), 7);
+/// assert_eq!(g.offset_bits(), 5);
+/// assert_eq!(g.block_addr(0x1f40), 0xfa);
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    capacity: u64,
+    block: u64,
+    ways: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry after validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPowerOfTwo`] if `capacity` or `block` is not a
+    /// power of two, and [`Error::OutOfRange`] if any parameter is zero, if
+    /// `block > capacity`, or if `ways` exceeds the number of blocks.
+    pub fn new(capacity: u64, block: u64, ways: u32) -> Result<Self, Error> {
+        if capacity == 0 || !capacity.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "capacity",
+                value: capacity,
+            });
+        }
+        if block == 0 || !block.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "block size",
+                value: block,
+            });
+        }
+        if block > capacity {
+            return Err(Error::OutOfRange {
+                what: "block size",
+                value: block,
+                constraint: "<= capacity",
+            });
+        }
+        if ways == 0 {
+            return Err(Error::OutOfRange {
+                what: "ways",
+                value: 0,
+                constraint: ">= 1",
+            });
+        }
+        let blocks = capacity / block;
+        if u64::from(ways) > blocks {
+            return Err(Error::OutOfRange {
+                what: "ways",
+                value: u64::from(ways),
+                constraint: "<= number of blocks",
+            });
+        }
+        if !u64::from(ways).is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "ways",
+                value: u64::from(ways),
+            });
+        }
+        Ok(CacheGeometry {
+            capacity,
+            block,
+            ways,
+        })
+    }
+
+    /// A fully-associative geometry of the same capacity and block size
+    /// (one set, all blocks are ways).
+    pub fn fully_associative(capacity: u64, block: u64) -> Result<Self, Error> {
+        let blocks = capacity
+            .checked_div(block)
+            .filter(|&b| b > 0 && b <= u64::from(u32::MAX))
+            .ok_or(Error::OutOfRange {
+                what: "block size",
+                value: block,
+                constraint: "<= capacity",
+            })?;
+        CacheGeometry::new(capacity, block, blocks as u32)
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Block (cache line) size in bytes.
+    #[inline]
+    pub fn block(&self) -> u64 {
+        self.block
+    }
+
+    /// Associativity (number of ways).
+    #[inline]
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Number of sets: `capacity / (block * ways)`.
+    #[inline]
+    pub fn num_sets(&self) -> u32 {
+        (self.capacity / (self.block * u64::from(self.ways))) as u32
+    }
+
+    /// Total number of blocks (lines) in the cache.
+    #[inline]
+    pub fn num_blocks(&self) -> u32 {
+        (self.capacity / self.block) as u32
+    }
+
+    /// Number of block-offset bits: `log2(block)`.
+    #[inline]
+    pub fn offset_bits(&self) -> u32 {
+        self.block.trailing_zeros()
+    }
+
+    /// Number of set-index bits: `log2(num_sets)` — the paper's `m`.
+    #[inline]
+    pub fn index_bits(&self) -> u32 {
+        self.num_sets().trailing_zeros()
+    }
+
+    /// Strips the block offset from a byte address, yielding the block
+    /// address the placement functions operate on.
+    #[inline]
+    pub fn block_addr(&self, addr: u64) -> u64 {
+        addr >> self.offset_bits()
+    }
+
+    /// First byte address of the block containing `addr`.
+    #[inline]
+    pub fn block_base(&self, addr: u64) -> u64 {
+        addr & !(self.block - 1)
+    }
+
+    /// `true` if two byte addresses fall in the same cache block.
+    #[inline]
+    pub fn same_block(&self, a: u64, b: u64) -> bool {
+        self.block_addr(a) == self.block_addr(b)
+    }
+
+    /// The conventional (modulo) set index of a byte address: block address
+    /// modulo number of sets. This is the `a2` baseline of the paper.
+    #[inline]
+    pub fn modulo_index(&self, addr: u64) -> u32 {
+        (self.block_addr(addr) & u64::from(self.num_sets() - 1)) as u32
+    }
+
+    /// Returns a geometry identical except for the capacity.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CacheGeometry::new`].
+    pub fn with_capacity(&self, capacity: u64) -> Result<Self, Error> {
+        CacheGeometry::new(capacity, self.block, self.ways)
+    }
+
+    /// Returns a geometry identical except for the associativity.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CacheGeometry::new`].
+    pub fn with_ways(&self, ways: u32) -> Result<Self, Error> {
+        CacheGeometry::new(self.capacity, self.block, ways)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cap = if self.capacity.is_multiple_of(1024) {
+            format!("{}KB", self.capacity / 1024)
+        } else {
+            format!("{}B", self.capacity)
+        };
+        write!(
+            f,
+            "{cap} {}-way {}B-block ({} sets)",
+            self.ways,
+            self.block,
+            self.num_sets()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_l1() -> CacheGeometry {
+        CacheGeometry::new(8 * 1024, 32, 2).unwrap()
+    }
+
+    #[test]
+    fn paper_configuration_derivations() {
+        let g = paper_l1();
+        assert_eq!(g.num_sets(), 128);
+        assert_eq!(g.num_blocks(), 256);
+        assert_eq!(g.index_bits(), 7);
+        assert_eq!(g.offset_bits(), 5);
+        assert_eq!(g.to_string(), "8KB 2-way 32B-block (128 sets)");
+    }
+
+    #[test]
+    fn sixteen_kb_configuration() {
+        let g = CacheGeometry::new(16 * 1024, 32, 2).unwrap();
+        assert_eq!(g.num_sets(), 256);
+        assert_eq!(g.index_bits(), 8);
+    }
+
+    #[test]
+    fn direct_mapped_and_fully_associative() {
+        let dm = CacheGeometry::new(8 * 1024, 32, 1).unwrap();
+        assert_eq!(dm.num_sets(), 256);
+        let fa = CacheGeometry::fully_associative(8 * 1024, 32).unwrap();
+        assert_eq!(fa.num_sets(), 1);
+        assert_eq!(fa.ways(), 256);
+    }
+
+    #[test]
+    fn block_address_arithmetic() {
+        let g = paper_l1();
+        assert_eq!(g.block_addr(0), 0);
+        assert_eq!(g.block_addr(31), 0);
+        assert_eq!(g.block_addr(32), 1);
+        assert_eq!(g.block_base(0x1234), 0x1220);
+        assert!(g.same_block(0x1220, 0x123f));
+        assert!(!g.same_block(0x123f, 0x1240));
+    }
+
+    #[test]
+    fn modulo_index_wraps_at_sets() {
+        let g = paper_l1();
+        // Two addresses one cache-worth/ways apart collide (the paper's
+        // "A1/B mod C == A2/B mod C" condition).
+        let a1 = 0x0000u64;
+        let a2 = a1 + 128 * 32; // sets * block
+        assert_eq!(g.modulo_index(a1), g.modulo_index(a2));
+        assert_ne!(g.modulo_index(a1), g.modulo_index(a1 + 32));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(matches!(
+            CacheGeometry::new(3000, 32, 2),
+            Err(Error::NotPowerOfTwo { what: "capacity", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(8192, 33, 2),
+            Err(Error::NotPowerOfTwo { what: "block size", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(8192, 32, 0),
+            Err(Error::OutOfRange { what: "ways", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(8192, 32, 3),
+            Err(Error::NotPowerOfTwo { what: "ways", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(32, 64, 1),
+            Err(Error::OutOfRange { what: "block size", .. })
+        ));
+        // ways > blocks
+        assert!(CacheGeometry::new(64, 32, 4).is_err());
+    }
+
+    #[test]
+    fn with_capacity_and_ways() {
+        let g = paper_l1();
+        let g16 = g.with_capacity(16 * 1024).unwrap();
+        assert_eq!(g16.num_sets(), 256);
+        let g4 = g.with_ways(4).unwrap();
+        assert_eq!(g4.num_sets(), 64);
+        assert!(g.with_capacity(999).is_err());
+    }
+
+    #[test]
+    fn display_for_odd_capacity() {
+        let g = CacheGeometry::new(512, 32, 1).unwrap();
+        assert_eq!(g.to_string(), "512B 1-way 32B-block (16 sets)");
+    }
+}

@@ -1,0 +1,195 @@
+//! Analytical model of *holes* (§3.3, equations (vii)–(ix)).
+//!
+//! In a two-level virtual-real hierarchy the L1 index is a pseudo-random
+//! function of the virtual address while the L2 index is a (different)
+//! pseudo-random function of the physical address, so the two indices are
+//! uncorrelated. When L2 replaces a line, Inclusion demands invalidating
+//! any L1 copy — creating a *hole* at L1 that a conventionally-indexed
+//! hierarchy would not have. This module computes the paper's probability
+//! model for that effect; `cac-sim`'s two-level hierarchy measures it.
+
+use crate::error::Error;
+use crate::geometry::CacheGeometry;
+
+/// Hole-probability model for a direct-mapped L1/L2 pair with
+/// uncorrelated pseudo-random index functions.
+///
+/// `m1` and `m2` are the number of index bits at L1 and L2 (equivalently
+/// `log2` of the line counts under the paper's direct-mapped assumption).
+///
+/// # Example — the paper's worked example
+///
+/// ```
+/// use cac_core::holes::HoleModel;
+///
+/// // 8KB L1, 256KB L2, 32-byte lines.
+/// let model = HoleModel::from_line_counts(256, 8192)?;
+/// assert!((model.p_hole_per_l2_miss() - 0.031).abs() < 0.001);
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HoleModel {
+    m1: u32,
+    m2: u32,
+}
+
+impl HoleModel {
+    /// Builds the model from index-bit counts `m1` (L1) and `m2` (L2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] if `m1 > m2` (L1 larger than L2
+    /// violates the premise of the model) or if either exceeds 60 (the
+    /// arithmetic would lose all precision in `f64`).
+    pub fn from_index_bits(m1: u32, m2: u32) -> Result<Self, Error> {
+        if m1 > m2 {
+            return Err(Error::OutOfRange {
+                what: "L1 index bits",
+                value: u64::from(m1),
+                constraint: "<= L2 index bits",
+            });
+        }
+        if m2 > 60 {
+            return Err(Error::OutOfRange {
+                what: "L2 index bits",
+                value: u64::from(m2),
+                constraint: "<= 60",
+            });
+        }
+        Ok(HoleModel { m1, m2 })
+    }
+
+    /// Builds the model from the total line counts of the two caches
+    /// (must be powers of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPowerOfTwo`] for non-power-of-two counts, plus
+    /// the range checks of [`HoleModel::from_index_bits`].
+    pub fn from_line_counts(l1_lines: u64, l2_lines: u64) -> Result<Self, Error> {
+        for (what, v) in [("L1 lines", l1_lines), ("L2 lines", l2_lines)] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(Error::NotPowerOfTwo { what, value: v });
+            }
+        }
+        Self::from_index_bits(l1_lines.trailing_zeros(), l2_lines.trailing_zeros())
+    }
+
+    /// Builds the model from cache geometries, using total line counts
+    /// (the direct-mapped-equivalent index the paper's derivation assumes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the checks of [`HoleModel::from_line_counts`].
+    pub fn from_geometries(l1: CacheGeometry, l2: CacheGeometry) -> Result<Self, Error> {
+        Self::from_line_counts(u64::from(l1.num_blocks()), u64::from(l2.num_blocks()))
+    }
+
+    /// Equation (vii): probability that a line replaced at L2 is also
+    /// present in L1, `P_r = 2^(m1 − m2)`.
+    pub fn p_replaced_line_in_l1(&self) -> f64 {
+        (self.m1 as f64 - self.m2 as f64).exp2()
+    }
+
+    /// Equation (viii): probability that invalidating the L1 copy creates
+    /// a hole (the victim's L1 slot is not coincidentally the slot being
+    /// refilled), `P_d = (2^m1 − 1)/2^m1`.
+    pub fn p_distinct_slot(&self) -> f64 {
+        let n = (self.m1 as f64).exp2();
+        (n - 1.0) / n
+    }
+
+    /// Equation (ix): net probability that an L2 miss creates a hole at
+    /// L1, `P_H = P_d · P_r = (2^m1 − 1)/2^m2`.
+    pub fn p_hole_per_l2_miss(&self) -> f64 {
+        self.p_distinct_slot() * self.p_replaced_line_in_l1()
+    }
+
+    /// The paper's estimate of the *extra* L1 miss ratio caused by holes:
+    /// `P_H × (L2 miss ratio)`. The paper notes this approximation is
+    /// accurate for L2:L1 size ratios of 16 or more.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `l2_miss_ratio` is outside `[0, 1]`.
+    pub fn expected_extra_l1_miss_ratio(&self, l2_miss_ratio: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&l2_miss_ratio));
+        self.p_hole_per_l2_miss() * l2_miss_ratio
+    }
+
+    /// L1 index bits `m1`.
+    pub fn m1(&self) -> u32 {
+        self.m1
+    }
+
+    /// L2 index bits `m2`.
+    pub fn m2(&self) -> u32 {
+        self.m2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // 8KB/256KB with 32-byte lines: m1 = 8, m2 = 13, P_H ≈ 0.0311.
+        let m = HoleModel::from_line_counts(256, 8192).unwrap();
+        assert_eq!(m.m1(), 8);
+        assert_eq!(m.m2(), 13);
+        assert!((m.p_hole_per_l2_miss() - 255.0 / 8192.0).abs() < 1e-12);
+        assert!((m.p_hole_per_l2_miss() - 0.031).abs() < 1e-3);
+    }
+
+    #[test]
+    fn component_probabilities() {
+        let m = HoleModel::from_index_bits(8, 13).unwrap();
+        assert!((m.p_replaced_line_in_l1() - 1.0 / 32.0).abs() < 1e-12);
+        assert!((m.p_distinct_slot() - 255.0 / 256.0).abs() < 1e-12);
+        let product = m.p_replaced_line_in_l1() * m.p_distinct_slot();
+        assert!((m.p_hole_per_l2_miss() - product).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_geometries_matches_line_counts() {
+        let l1 = CacheGeometry::new(8 * 1024, 32, 1).unwrap();
+        let l2 = CacheGeometry::new(256 * 1024, 32, 1).unwrap();
+        let a = HoleModel::from_geometries(l1, l2).unwrap();
+        let b = HoleModel::from_line_counts(256, 8192).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bigger_l2_means_fewer_holes() {
+        // The paper's 1MB-L2 simulation saw <0.1% of misses create holes
+        // on average; the model gives an upper-bound flavour of that trend.
+        let small = HoleModel::from_line_counts(256, 8192).unwrap();
+        let big = HoleModel::from_line_counts(256, 32768).unwrap();
+        assert!(big.p_hole_per_l2_miss() < small.p_hole_per_l2_miss());
+        assert!(big.p_hole_per_l2_miss() < 0.01);
+    }
+
+    #[test]
+    fn equal_sizes_upper_bound() {
+        let m = HoleModel::from_index_bits(8, 8).unwrap();
+        assert!(m.p_hole_per_l2_miss() < 1.0);
+        assert!((m.p_hole_per_l2_miss() - 255.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_miss_ratio_scales_with_l2_misses() {
+        let m = HoleModel::from_index_bits(8, 13).unwrap();
+        assert_eq!(m.expected_extra_l1_miss_ratio(0.0), 0.0);
+        let x = m.expected_extra_l1_miss_ratio(0.10);
+        assert!((x - 0.1 * m.p_hole_per_l2_miss()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HoleModel::from_index_bits(14, 8).is_err());
+        assert!(HoleModel::from_index_bits(8, 61).is_err());
+        assert!(HoleModel::from_line_counts(100, 8192).is_err());
+        assert!(HoleModel::from_line_counts(0, 8192).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Additive skewing — the Harper–Jump / Sohi family [11][24].
+//!
+//! The second class of interleaved-memory dispersion functions the paper's
+//! related-work survey cites: *skewing* schemes that add a multiple of the
+//! row (high) address bits to the column (low) bits before taking the
+//! power-of-two modulus. Harper & Jump used it to spread vector accesses
+//! across banks; Sohi's *logical data skewing* generalised the multiplier.
+//!
+//! Placement here is
+//! `set = (F0 + d_w * F1) mod 2^m`
+//! where `F0` is the conventional index field, `F1` the next `m` bits of
+//! the block address, and `d_w` an odd per-way skew factor. Because `d_w`
+//! is odd, `x -> d_w * x mod 2^m` is a bijection, so the scheme is
+//! balanced; because the arithmetic is mod `2^m`, strides whose `F1`
+//! progression is trivial (multiples of `2^(2m)` blocks) remain
+//! pathological — the same structural weakness as the two-field XOR
+//! baseline, which Figure 1 of the paper exposes.
+
+use crate::geometry::CacheGeometry;
+use crate::index::IndexFunction;
+
+/// Additive-skew placement: `(F0 + d_w * F1) mod 2^m` with odd skew
+/// factor `d_w` per way.
+///
+/// With `skewed = false` every way uses `d = 1` (plain field addition);
+/// with `skewed = true` way `w` uses `d_w = 2w + 1`.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::{CacheGeometry, index::{AddSkewIndex, IndexFunction}};
+///
+/// let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+/// let f = AddSkewIndex::new(geom, true);
+/// // F0 = 3, F1 = 1: way 0 -> 3 + 1, way 1 -> 3 + 3.
+/// let ba = (1u64 << 7) | 3;
+/// assert_eq!(f.set_index(ba, 0), 4);
+/// assert_eq!(f.set_index(ba, 1), 6);
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddSkewIndex {
+    index_bits: u32,
+    mask: u64,
+    sets: u32,
+    ways: u32,
+    skewed: bool,
+}
+
+impl AddSkewIndex {
+    /// Builds the additive-skew placement for a geometry.
+    pub fn new(geom: CacheGeometry, skewed: bool) -> Self {
+        AddSkewIndex {
+            index_bits: geom.index_bits(),
+            mask: u64::from(geom.num_sets() - 1),
+            sets: geom.num_sets(),
+            ways: geom.ways(),
+            skewed,
+        }
+    }
+
+    /// The odd skew factor used by `way`.
+    pub fn skew_factor(&self, way: u32) -> u64 {
+        if self.skewed {
+            u64::from(2 * way + 1)
+        } else {
+            1
+        }
+    }
+}
+
+impl IndexFunction for AddSkewIndex {
+    #[inline]
+    fn set_index(&self, block_addr: u64, way: u32) -> u32 {
+        assert!(way < self.ways, "way {way} out of range");
+        let f0 = block_addr & self.mask;
+        let f1 = (block_addr >> self.index_bits) & self.mask;
+        let d = self.skew_factor(way);
+        ((f0.wrapping_add(d.wrapping_mul(f1))) & self.mask) as u32
+    }
+
+    fn num_sets(&self) -> u32 {
+        self.sets
+    }
+
+    fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    fn is_skewed(&self) -> bool {
+        self.skewed
+    }
+
+    fn label(&self) -> String {
+        if self.skewed {
+            format!("a{}-Ha-Sk", self.ways)
+        } else {
+            format!("a{}-Ha", self.ways)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8 * 1024, 32, 2).unwrap()
+    }
+
+    #[test]
+    fn field_addition() {
+        let f = AddSkewIndex::new(geom(), false);
+        let ba = (0b0000101u64 << 7) | 0b0000011; // F1 = 5, F0 = 3
+        assert_eq!(f.set_index(ba, 0), 8);
+        assert_eq!(f.set_index(ba, 1), 8); // non-skewed: same for all ways
+    }
+
+    #[test]
+    fn addition_wraps_mod_sets() {
+        let f = AddSkewIndex::new(geom(), false);
+        let ba = (0b1111111u64 << 7) | 0b0000001; // 127 + 1 = 128 ≡ 0
+        assert_eq!(f.set_index(ba, 0), 0);
+    }
+
+    #[test]
+    fn skew_factors_are_odd_and_distinct() {
+        let f = AddSkewIndex::new(geom(), true);
+        assert_eq!(f.skew_factor(0), 1);
+        assert_eq!(f.skew_factor(1), 3);
+        let g4 = CacheGeometry::new(8 * 1024, 32, 4).unwrap();
+        let f4 = AddSkewIndex::new(g4, true);
+        let factors: Vec<_> = (0..4).map(|w| f4.skew_factor(w)).collect();
+        assert_eq!(factors, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn each_way_is_balanced() {
+        // For fixed F1, varying F0 over all residues must hit every set —
+        // and for fixed F0, varying F1 must too (d_w odd => bijection).
+        let f = AddSkewIndex::new(geom(), true);
+        for way in 0..2 {
+            let by_f0: std::collections::HashSet<_> =
+                (0..128u64).map(|f0| f.set_index(f0, way)).collect();
+            assert_eq!(by_f0.len(), 128);
+            let by_f1: std::collections::HashSet<_> =
+                (0..128u64).map(|f1| f.set_index(f1 << 7, way)).collect();
+            assert_eq!(by_f1.len(), 128);
+        }
+    }
+
+    #[test]
+    fn pathological_beyond_both_fields() {
+        // Stride 2^(2m) blocks changes neither field: all accesses collide,
+        // the structural weakness shared with the XOR baseline.
+        let f = AddSkewIndex::new(geom(), true);
+        let stride = 1u64 << 14;
+        for w in 0..2 {
+            let s0 = f.set_index(5, w);
+            for i in 1..32 {
+                assert_eq!(f.set_index(5 + i * stride, w), s0);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_addresses_stay_in_range() {
+        let f = AddSkewIndex::new(geom(), true);
+        for ba in [0u64, u64::MAX, 0xdead_beef_cafe, 1 << 60] {
+            for w in 0..2 {
+                assert!(f.set_index(ba, w) < 128);
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AddSkewIndex::new(geom(), false).label(), "a2-Ha");
+        assert_eq!(AddSkewIndex::new(geom(), true).label(), "a2-Ha-Sk");
+    }
+}

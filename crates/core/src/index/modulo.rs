@@ -1,0 +1,97 @@
+//! Conventional modulo power-of-two placement — the paper's `a2` baseline.
+
+use crate::geometry::CacheGeometry;
+use crate::index::IndexFunction;
+
+/// Conventional cache indexing: the set index is the low `m` bits of the
+/// block address.
+///
+/// This is the placement whose weakness motivates the paper (§2): addresses
+/// `A1`, `A2` collide whenever `⌊A1/B⌋ ≡ ⌊A2/B⌋ (mod C)`, so regular
+/// strides and power-of-two-spaced arrays produce *repetitive* conflicts.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::{CacheGeometry, index::{IndexFunction, ModuloIndex}};
+///
+/// let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+/// let f = ModuloIndex::new(geom);
+/// assert_eq!(f.set_index(0x80, 0), 0);   // block 0x80 = set 0 mod 128
+/// assert_eq!(f.set_index(0x81, 0), 1);
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModuloIndex {
+    mask: u64,
+    sets: u32,
+    ways: u32,
+}
+
+impl ModuloIndex {
+    /// Builds the modulo placement for a geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        ModuloIndex {
+            mask: u64::from(geom.num_sets() - 1),
+            sets: geom.num_sets(),
+            ways: geom.ways(),
+        }
+    }
+}
+
+impl IndexFunction for ModuloIndex {
+    #[inline]
+    fn set_index(&self, block_addr: u64, _way: u32) -> u32 {
+        (block_addr & self.mask) as u32
+    }
+
+    fn num_sets(&self) -> u32 {
+        self.sets
+    }
+
+    fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    fn is_skewed(&self) -> bool {
+        false
+    }
+
+    fn label(&self) -> String {
+        format!("a{}", self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_are_the_index() {
+        let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        let f = ModuloIndex::new(geom);
+        for ba in [0u64, 1, 127, 128, 129, 0xffff] {
+            assert_eq!(f.set_index(ba, 0), (ba % 128) as u32);
+        }
+    }
+
+    #[test]
+    fn power_of_two_strides_collide() {
+        // The pathological case the paper opens with: a 2^k stride visits
+        // only sets that share the low (m - k) pattern, so a stride equal
+        // to the number of sets maps everything to one set.
+        let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        let f = ModuloIndex::new(geom);
+        let stride_blocks = 128u64; // one full wrap
+        let first = f.set_index(0, 0);
+        for i in 0..64 {
+            assert_eq!(f.set_index(i * stride_blocks, 0), first);
+        }
+    }
+
+    #[test]
+    fn direct_mapped_label() {
+        let geom = CacheGeometry::new(8 * 1024, 32, 1).unwrap();
+        assert_eq!(ModuloIndex::new(geom).label(), "a1");
+    }
+}

@@ -1,0 +1,226 @@
+//! Prime-modulus placement — the Lawrie–Vora scheme [16].
+//!
+//! The paper's related-work survey (§2.1) lists the *prime memory system*
+//! of Lawrie and Vora as one of the bank-selection functions known to
+//! reduce conflicts in interleaved memories: select a bank (here: a cache
+//! set) as the address modulo a prime. A prime modulus has no small
+//! factors in common with any array stride, so only strides that are
+//! multiples of the prime itself are pathological.
+//!
+//! The cost, faithfully modelled here, is that a cache with `2^m` physical
+//! sets can only use the largest prime `p <= 2^m` of them: `2^m - p` sets
+//! are never indexed (for 128 sets, one set is wasted since `p = 127`).
+//! Real designs also need a hardware modulo-by-prime unit, which is far
+//! more expensive than the XOR tree the paper advocates — this module
+//! exists as a *baseline*, not a recommendation.
+
+use crate::geometry::CacheGeometry;
+use crate::index::IndexFunction;
+
+/// Largest prime less than or equal to `n` (`n >= 2`).
+fn largest_prime_at_most(n: u32) -> u32 {
+    fn is_prime(v: u32) -> bool {
+        if v < 2 {
+            return false;
+        }
+        if v.is_multiple_of(2) {
+            return v == 2;
+        }
+        let mut d = 3u32;
+        while (d as u64) * (d as u64) <= v as u64 {
+            if v.is_multiple_of(d) {
+                return false;
+            }
+            d += 2;
+        }
+        true
+    }
+    debug_assert!(n >= 2);
+    (2..=n).rev().find(|&v| is_prime(v)).expect("n >= 2")
+}
+
+/// Prime-modulus placement: the set index is `block_addr mod p` for the
+/// largest prime `p` not exceeding the set count.
+///
+/// With `skewed = true`, way `w` uses `(block_addr * (w + 1)) mod p`;
+/// multiplication by a non-zero constant is a bijection modulo a prime, so
+/// each way sees a distinct but equally uniform placement.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::{CacheGeometry, index::{IndexFunction, PrimeModIndex}};
+///
+/// let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+/// let f = PrimeModIndex::new(geom, false);
+/// assert_eq!(f.prime(), 127); // largest prime <= 128 sets
+/// // A power-of-two stride no longer repeats with a power-of-two period:
+/// assert_ne!(f.set_index(0, 0), f.set_index(128, 0));
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrimeModIndex {
+    prime: u32,
+    sets: u32,
+    ways: u32,
+    skewed: bool,
+}
+
+impl PrimeModIndex {
+    /// Builds the prime-modulus placement for a geometry.
+    ///
+    /// A geometry with a single set (fully associative) degenerates to the
+    /// constant index 0.
+    pub fn new(geom: CacheGeometry, skewed: bool) -> Self {
+        let sets = geom.num_sets();
+        let prime = if sets >= 2 {
+            largest_prime_at_most(sets)
+        } else {
+            1
+        };
+        PrimeModIndex {
+            prime,
+            sets,
+            ways: geom.ways(),
+            skewed,
+        }
+    }
+
+    /// The prime modulus actually in use (`<= num_sets`).
+    pub fn prime(&self) -> u32 {
+        self.prime
+    }
+
+    /// Number of physical sets this placement can never select
+    /// (`num_sets - p`); the capacity cost of the scheme.
+    pub fn wasted_sets(&self) -> u32 {
+        self.sets - self.prime
+    }
+}
+
+impl IndexFunction for PrimeModIndex {
+    #[inline]
+    fn set_index(&self, block_addr: u64, way: u32) -> u32 {
+        assert!(way < self.ways, "way {way} out of range");
+        if self.prime <= 1 {
+            return 0;
+        }
+        let base = block_addr % u64::from(self.prime);
+        if self.skewed {
+            // (base * (way+1)) mod p — exact in u64 since both factors
+            // are < 2^32.
+            ((base * u64::from(way + 1)) % u64::from(self.prime)) as u32
+        } else {
+            base as u32
+        }
+    }
+
+    fn num_sets(&self) -> u32 {
+        self.sets
+    }
+
+    fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    fn is_skewed(&self) -> bool {
+        self.skewed
+    }
+
+    fn label(&self) -> String {
+        if self.skewed {
+            format!("a{}-Hpr-Sk", self.ways)
+        } else {
+            format!("a{}-Hpr", self.ways)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8 * 1024, 32, 2).unwrap()
+    }
+
+    #[test]
+    fn largest_primes() {
+        assert_eq!(largest_prime_at_most(2), 2);
+        assert_eq!(largest_prime_at_most(3), 3);
+        assert_eq!(largest_prime_at_most(4), 3);
+        assert_eq!(largest_prime_at_most(128), 127);
+        assert_eq!(largest_prime_at_most(256), 251);
+        assert_eq!(largest_prime_at_most(1024), 1021);
+    }
+
+    #[test]
+    fn paper_geometry_uses_127() {
+        let f = PrimeModIndex::new(geom(), false);
+        assert_eq!(f.prime(), 127);
+        assert_eq!(f.wasted_sets(), 1);
+    }
+
+    #[test]
+    fn indices_below_prime() {
+        let f = PrimeModIndex::new(geom(), true);
+        for ba in [0u64, 1, 127, 128, 0xdead_beef, u64::MAX] {
+            for w in 0..2 {
+                assert!(f.set_index(ba, w) < 127);
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_strides_do_not_repeat_with_short_period() {
+        // Under modulo-2^m, stride 128 (blocks) visits one set forever.
+        // Under modulo-127 it cycles through all 127 residues.
+        let f = PrimeModIndex::new(geom(), false);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..127u64 {
+            seen.insert(f.set_index(i * 128, 0));
+        }
+        assert_eq!(seen.len(), 127, "stride 128 should visit every residue");
+    }
+
+    #[test]
+    fn multiples_of_prime_are_pathological() {
+        // The one stride family the scheme cannot fix: multiples of p.
+        let f = PrimeModIndex::new(geom(), false);
+        let s0 = f.set_index(0, 0);
+        for i in 1..50u64 {
+            assert_eq!(f.set_index(i * 127, 0), s0);
+        }
+    }
+
+    #[test]
+    fn skewed_ways_are_distinct_bijections() {
+        let f = PrimeModIndex::new(geom(), true);
+        let mut differs = false;
+        let mut seen0 = std::collections::HashSet::new();
+        let mut seen1 = std::collections::HashSet::new();
+        for ba in 0..127u64 {
+            let (a, b) = (f.set_index(ba, 0), f.set_index(ba, 1));
+            differs |= a != b;
+            seen0.insert(a);
+            seen1.insert(b);
+        }
+        assert!(differs);
+        assert_eq!(seen0.len(), 127, "way 0 must be a bijection on 0..p");
+        assert_eq!(seen1.len(), 127, "way 1 must be a bijection on 0..p");
+    }
+
+    #[test]
+    fn degenerate_single_set() {
+        let g = CacheGeometry::fully_associative(1024, 32).unwrap();
+        let f = PrimeModIndex::new(g, false);
+        assert_eq!(f.set_index(12345, 0), 0);
+        assert_eq!(f.wasted_sets(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PrimeModIndex::new(geom(), false).label(), "a2-Hpr");
+        assert_eq!(PrimeModIndex::new(geom(), true).label(), "a2-Hpr-Sk");
+    }
+}

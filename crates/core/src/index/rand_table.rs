@@ -1,0 +1,247 @@
+//! Table-driven pseudo-random placement — the Raghavan–Hayes scheme [17].
+//!
+//! The related-work survey (§2.1) cites *randomly interleaved memories*:
+//! bank selection through a genuinely (pseudo-)random hash of the address,
+//! realised in hardware as a small lookup table of random values. This
+//! module implements the cache-index analogue: the conventional index
+//! field is XOR-ed with a random value selected by the *tag-side* bits,
+//!
+//! `set = T_w[F1] ^ F0`
+//!
+//! where `F0` is the low `m` bits of the block address, `F1` the next `t`
+//! bits, and `T_w` a table of `2^t` random `m`-bit values (per way when
+//! skewed). XOR-ing with `F0` keeps the map balanced — for any fixed `F1`
+//! it is a bijection on the sets — while the table decorrelates the
+//! tag-side bits. Unlike I-Poly the scheme has no algebraic stride
+//! guarantee; two tag fields can collide with probability `2^-m` per pair,
+//! which is exactly the behaviour Rau's polynomial construction was
+//! designed to improve on.
+
+use crate::geometry::CacheGeometry;
+use crate::index::prng::SplitMix64;
+use crate::index::{IndexFunction, PAPER_ADDRESS_BITS};
+
+/// Table-driven pseudo-random placement (`T_w[F1] ^ F0`).
+///
+/// The table input width is derived from the address-bit budget the same
+/// way as the I-Poly scheme: of the low `v` address bits, the block offset
+/// and the `m` index bits are consumed, and the remaining
+/// `t = v - offset - m` bits select a table entry (capped at 14 bits /
+/// 16K entries to bound the "hardware" cost).
+///
+/// # Example
+///
+/// ```
+/// use cac_core::{CacheGeometry, index::{IndexFunction, RandTableIndex}};
+///
+/// let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+/// let f = RandTableIndex::new(geom, true, 42);
+/// assert_eq!(f.table_bits(), 7); // 19 - 5 offset - 7 index
+/// assert!(f.set_index(0xdead_beef, 0) < 128);
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandTableIndex {
+    /// One table per way (all ways share table 0 when not skewed).
+    tables: Vec<Vec<u32>>,
+    table_bits: u32,
+    index_bits: u32,
+    mask: u64,
+    sets: u32,
+    ways: u32,
+    skewed: bool,
+    seed: u64,
+}
+
+impl RandTableIndex {
+    /// Maximum table input width: 16K entries.
+    const MAX_TABLE_BITS: u32 = 14;
+
+    /// Builds the placement with the paper-default address budget
+    /// ([`PAPER_ADDRESS_BITS`]).
+    pub fn new(geom: CacheGeometry, skewed: bool, seed: u64) -> Self {
+        Self::with_address_bits(geom, skewed, seed, PAPER_ADDRESS_BITS)
+    }
+
+    /// Builds the placement with an explicit low-address-bit budget.
+    ///
+    /// A budget that leaves no tag-side bits (`address_bits <= offset +
+    /// index`) degenerates to conventional modulo placement (the table has
+    /// a single entry).
+    pub fn with_address_bits(
+        geom: CacheGeometry,
+        skewed: bool,
+        seed: u64,
+        address_bits: u32,
+    ) -> Self {
+        let m = geom.index_bits();
+        let spent = geom.offset_bits() + m;
+        let table_bits = address_bits
+            .saturating_sub(spent)
+            .min(Self::MAX_TABLE_BITS);
+        let num_ways = geom.ways();
+        let num_tables = if skewed { num_ways as usize } else { 1 };
+        let entries = 1usize << table_bits;
+        let sets = geom.num_sets();
+
+        let mut rng = SplitMix64::new(seed);
+        let tables = (0..num_tables)
+            .map(|_| {
+                (0..entries)
+                    .map(|_| rng.next_below(u64::from(sets)) as u32)
+                    .collect()
+            })
+            .collect();
+
+        RandTableIndex {
+            tables,
+            table_bits,
+            index_bits: m,
+            mask: u64::from(sets - 1),
+            sets,
+            ways: num_ways,
+            skewed,
+            seed,
+        }
+    }
+
+    /// Width of the table input field in bits.
+    pub fn table_bits(&self) -> u32 {
+        self.table_bits
+    }
+
+    /// Number of random-table entries per way.
+    pub fn table_entries(&self) -> usize {
+        1 << self.table_bits
+    }
+
+    /// The seed the tables were generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl IndexFunction for RandTableIndex {
+    #[inline]
+    fn set_index(&self, block_addr: u64, way: u32) -> u32 {
+        assert!(way < self.ways, "way {way} out of range");
+        let f0 = block_addr & self.mask;
+        let f1 = (block_addr >> self.index_bits) & ((1u64 << self.table_bits) - 1);
+        let table = if self.skewed {
+            &self.tables[way as usize]
+        } else {
+            &self.tables[0]
+        };
+        (u64::from(table[f1 as usize]) ^ f0) as u32
+    }
+
+    fn num_sets(&self) -> u32 {
+        self.sets
+    }
+
+    fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    fn is_skewed(&self) -> bool {
+        self.skewed
+    }
+
+    fn label(&self) -> String {
+        if self.skewed {
+            format!("a{}-Hr-Sk", self.ways)
+        } else {
+            format!("a{}-Hr", self.ways)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8 * 1024, 32, 2).unwrap()
+    }
+
+    #[test]
+    fn paper_budget_gives_seven_table_bits() {
+        let f = RandTableIndex::new(geom(), false, 1);
+        assert_eq!(f.table_bits(), 7);
+        assert_eq!(f.table_entries(), 128);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RandTableIndex::new(geom(), true, 99);
+        let b = RandTableIndex::new(geom(), true, 99);
+        let c = RandTableIndex::new(geom(), true, 100);
+        let mut diff_c = false;
+        for ba in 0..4096u64 {
+            for w in 0..2 {
+                assert_eq!(a.set_index(ba, w), b.set_index(ba, w));
+                diff_c |= a.set_index(ba, w) != c.set_index(ba, w);
+            }
+        }
+        assert!(diff_c, "different seeds should give different tables");
+    }
+
+    #[test]
+    fn balanced_for_fixed_tag_field() {
+        // With F1 fixed, the map F0 -> T[F1] ^ F0 is a bijection.
+        let f = RandTableIndex::new(geom(), false, 3);
+        for f1 in [0u64, 1, 77] {
+            let seen: std::collections::HashSet<_> =
+                (0..128u64).map(|f0| f.set_index((f1 << 7) | f0, 0)).collect();
+            assert_eq!(seen.len(), 128);
+        }
+    }
+
+    #[test]
+    fn breaks_power_of_two_column_stride() {
+        // Stride of exactly one cache-of-sets (128 blocks): conventional
+        // placement pins every access to one set; the random table spreads
+        // them.
+        let f = RandTableIndex::new(geom(), false, 5);
+        let seen: std::collections::HashSet<_> =
+            (0..64u64).map(|i| f.set_index(i * 128, 0)).collect();
+        assert!(seen.len() > 32, "random table should spread the stride");
+    }
+
+    #[test]
+    fn beyond_table_reach_is_pathological() {
+        // Strides that change only bits above offset+index+table_bits are
+        // invisible to the hash — the structural limit of a finite table.
+        let f = RandTableIndex::new(geom(), false, 5);
+        let stride = 1u64 << 14; // block-addr bits above 7 + 7
+        let s0 = f.set_index(9, 0);
+        for i in 1..32 {
+            assert_eq!(f.set_index(9 + i * stride, 0), s0);
+        }
+    }
+
+    #[test]
+    fn degenerate_budget_is_conventional() {
+        let f = RandTableIndex::with_address_bits(geom(), false, 7, 12);
+        assert_eq!(f.table_bits(), 0);
+        // One table entry XORed into F0: a fixed permutation of the sets,
+        // i.e. conventional placement up to renaming.
+        let t0 = f.set_index(0, 0);
+        for f0 in 0..128u64 {
+            assert_eq!(f.set_index(f0, 0), t0 ^ f0 as u32);
+        }
+    }
+
+    #[test]
+    fn skewed_tables_differ() {
+        let f = RandTableIndex::new(geom(), true, 17);
+        let differs = (0..4096u64).any(|ba| f.set_index(ba, 0) != f.set_index(ba, 1));
+        assert!(differs);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RandTableIndex::new(geom(), false, 0).label(), "a2-Hr");
+        assert_eq!(RandTableIndex::new(geom(), true, 0).label(), "a2-Hr-Sk");
+    }
+}

@@ -1,0 +1,168 @@
+//! Load-hit latency model (§3.4 and §4).
+//!
+//! The paper's experiments distinguish three timing situations for a load
+//! in an I-Poly cache:
+//!
+//! 1. **XOR gates not on the critical path** — the index XOR overlaps the
+//!    computation of the high address bits, so the hit time is the base
+//!    (2 cycles in the paper).
+//! 2. **XOR gates on the critical path** — designs that begin the cache
+//!    access as soon as the low address bits leave the adder pay one extra
+//!    cycle (Figure 2 of the paper).
+//! 3. **Address prediction correct** — the predicted line number was
+//!    computed back in decode, the speculative access runs in parallel
+//!    with the real address computation, and the *effective* hit time
+//!    shrinks by one cycle (this also helps conventional caches, which is
+//!    how the paper isolates the two effects in Table 2 column 5).
+
+use crate::predictor::Outcome;
+
+/// Where the index XOR tree sits relative to the address-generation
+/// critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CriticalPath {
+    /// The XOR delay is hidden behind the computation of the most
+    /// significant address bits (§3.4's CLA argument); no penalty.
+    #[default]
+    XorHidden,
+    /// The cache access is overlapped with address computation (Figure 2),
+    /// so the XOR tree adds one cycle to the load's cache access.
+    XorExposed,
+}
+
+/// Effective load-hit latency model.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::latency::{CriticalPath, HitLatencyModel};
+/// use cac_core::predictor::Outcome;
+///
+/// // The paper's cache: 2-cycle hits, XOR on the critical path.
+/// let m = HitLatencyModel::new(2, CriticalPath::XorExposed);
+/// assert_eq!(m.hit_latency(Outcome::NotConfident), 3);      // +1 XOR
+/// assert_eq!(m.hit_latency(Outcome::ConfidentCorrect), 1);  // overlapped
+/// assert_eq!(m.hit_latency(Outcome::ConfidentWrong), 3);    // retry
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HitLatencyModel {
+    base_hit: u32,
+    critical_path: CriticalPath,
+}
+
+impl HitLatencyModel {
+    /// Creates a model with the given base hit latency (the paper uses 2)
+    /// and critical-path placement.
+    pub fn new(base_hit: u32, critical_path: CriticalPath) -> Self {
+        HitLatencyModel {
+            base_hit,
+            critical_path,
+        }
+    }
+
+    /// The paper's configuration: 2-cycle base hit.
+    pub fn paper_default(critical_path: CriticalPath) -> Self {
+        Self::new(2, critical_path)
+    }
+
+    /// Base hit latency without any penalty or prediction.
+    pub fn base_hit(&self) -> u32 {
+        self.base_hit
+    }
+
+    /// The critical-path placement.
+    pub fn critical_path(&self) -> CriticalPath {
+        self.critical_path
+    }
+
+    /// Extra cycles the XOR tree adds when the prediction did not cover
+    /// the access.
+    pub fn xor_penalty(&self) -> u32 {
+        match self.critical_path {
+            CriticalPath::XorHidden => 0,
+            CriticalPath::XorExposed => 1,
+        }
+    }
+
+    /// Effective cache-hit latency for a load whose address prediction
+    /// outcome is `outcome`.
+    ///
+    /// * `ConfidentCorrect` — the speculative access already ran; the
+    ///   effective latency is one cycle less than the base (never below 1).
+    /// * `ConfidentWrong` — the speculative access is discarded and the
+    ///   access repeats with the real address: same timing as an
+    ///   unpredicted access (the retry starts when the real index is
+    ///   ready, exactly when an unpredicted access would have started).
+    /// * `NotConfident` — ordinary access: base plus the XOR penalty.
+    pub fn hit_latency(&self, outcome: Outcome) -> u32 {
+        match outcome {
+            Outcome::ConfidentCorrect => self.base_hit.saturating_sub(1).max(1),
+            Outcome::ConfidentWrong | Outcome::NotConfident => {
+                self.base_hit + self.xor_penalty()
+            }
+        }
+    }
+
+    /// Hit latency when no predictor is present at all.
+    pub fn hit_latency_unpredicted(&self) -> u32 {
+        self.base_hit + self.xor_penalty()
+    }
+}
+
+impl Default for HitLatencyModel {
+    fn default() -> Self {
+        Self::paper_default(CriticalPath::XorHidden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hidden_xor_has_no_penalty() {
+        let m = HitLatencyModel::paper_default(CriticalPath::XorHidden);
+        assert_eq!(m.xor_penalty(), 0);
+        assert_eq!(m.hit_latency_unpredicted(), 2);
+        assert_eq!(m.hit_latency(Outcome::NotConfident), 2);
+    }
+
+    #[test]
+    fn exposed_xor_costs_one_cycle() {
+        let m = HitLatencyModel::paper_default(CriticalPath::XorExposed);
+        assert_eq!(m.xor_penalty(), 1);
+        assert_eq!(m.hit_latency_unpredicted(), 3);
+    }
+
+    #[test]
+    fn correct_prediction_saves_a_cycle_in_both_designs() {
+        for cp in [CriticalPath::XorHidden, CriticalPath::XorExposed] {
+            let m = HitLatencyModel::paper_default(cp);
+            assert_eq!(m.hit_latency(Outcome::ConfidentCorrect), 1);
+        }
+    }
+
+    #[test]
+    fn wrong_prediction_is_no_worse_than_unpredicted() {
+        for cp in [CriticalPath::XorHidden, CriticalPath::XorExposed] {
+            let m = HitLatencyModel::paper_default(cp);
+            assert_eq!(
+                m.hit_latency(Outcome::ConfidentWrong),
+                m.hit_latency_unpredicted()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_never_below_one() {
+        let m = HitLatencyModel::new(1, CriticalPath::XorHidden);
+        assert_eq!(m.hit_latency(Outcome::ConfidentCorrect), 1);
+    }
+
+    #[test]
+    fn accessors_and_default() {
+        let m = HitLatencyModel::default();
+        assert_eq!(m.base_hit(), 2);
+        assert_eq!(m.critical_path(), CriticalPath::XorHidden);
+    }
+}

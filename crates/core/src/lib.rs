@@ -1,0 +1,60 @@
+//! Conflict-avoiding cache placement functions.
+//!
+//! This crate implements the primary contribution of Topham, González &
+//! González, *"The Design and Performance of a Conflict-Avoiding Cache"*
+//! (MICRO-30, 1997): cache index functions based on **irreducible
+//! polynomial modulus (I-Poly) hashing over GF(2)**, together with the
+//! supporting machinery the paper's implementation study develops:
+//!
+//! * [`geometry`] — cache geometry (capacity / block size / associativity)
+//!   and derived index arithmetic.
+//! * [`index`] — the [`IndexFunction`] trait and the four placement schemes
+//!   of the paper's Figure 1: conventional modulo (`a2`), skewed bit-field
+//!   XOR (`a2-Hx-Sk`, the Seznec skewed-associative baseline), I-Poly
+//!   (`a2-Hp`) and skewed I-Poly (`a2-Hp-Sk`).
+//! * [`holes`] — the analytical model of §3.3 for *holes* created at L1 by
+//!   inclusion enforcement in a two-level virtual-real hierarchy
+//!   (equations (vii)–(ix)).
+//! * [`predictor`] — the memory address prediction scheme of §3.4: an
+//!   untagged, direct-mapped table of last-address + stride entries with
+//!   2-bit confidence counters, used to hide the XOR-tree delay.
+//! * [`latency`] — the load-hit latency model of §3.4/§4: where the XOR
+//!   gates sit relative to the critical path and how address prediction
+//!   offsets the penalty.
+//! * [`cla`] — the carry-lookahead timing argument of §3.4: block delays
+//!   until the low address bits are valid, and whether the XOR tree fits
+//!   in the resulting slack.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cac_core::geometry::CacheGeometry;
+//! use cac_core::index::IndexSpec;
+//!
+//! // The paper's primary configuration: 8KB, 2-way, 32-byte blocks.
+//! let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+//! assert_eq!(geom.num_sets(), 128);
+//!
+//! // Build the skewed I-Poly placement (curve "a2-Hp-Sk" in Figure 1).
+//! let ipoly = IndexSpec::ipoly_skewed().build(geom)?;
+//! let set = ipoly.set_index(0x1234 >> geom.offset_bits(), 0);
+//! assert!(set < geom.num_sets());
+//! # Ok::<(), cac_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cla;
+pub mod error;
+pub mod geometry;
+pub mod holes;
+pub mod index;
+pub mod latency;
+pub mod predictor;
+
+pub use error::Error;
+pub use geometry::CacheGeometry;
+pub use index::{IndexFunction, IndexSpec};
+pub use latency::HitLatencyModel;
+pub use predictor::AddressPredictor;

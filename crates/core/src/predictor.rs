@@ -1,0 +1,379 @@
+//! Memory address prediction (§3.4 and §4 of the paper).
+//!
+//! The paper proposes hiding the XOR-tree delay by predicting a load's
+//! effective address early in the pipeline: a direct-mapped, **untagged**
+//! table indexed by the instruction address holds the last address and last
+//! observed stride of the load that most recently used the entry, plus a
+//! 2-bit saturating confidence counter. The predicted cache line is
+//! computed in decode (the XOR functions run on the predicted address) and
+//! used to access the cache in parallel with the real address computation.
+
+use std::fmt;
+
+/// Default table size used in the paper's experiments (§4: "a
+/// direct-mapped table with 1K entries and without tags").
+pub const PAPER_TABLE_ENTRIES: usize = 1024;
+
+/// One predictor entry: last effective address, last observed stride, and
+/// a 2-bit saturating confidence counter.
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    last_addr: u64,
+    stride: i64,
+    counter: u8, // 0..=3; confident iff >= 2 (MSB set)
+}
+
+/// A prediction returned by [`AddressPredictor::predict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// The predicted effective address (`last + stride`).
+    pub addr: u64,
+    /// `true` if the 2-bit counter's most-significant bit is set; the
+    /// paper only *uses* the prediction in this case.
+    pub confident: bool,
+}
+
+/// Outcome of confronting a prediction with the actual address, as
+/// reported by [`AddressPredictor::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The predictor was confident and the address matched.
+    ConfidentCorrect,
+    /// The predictor was confident but the address did not match
+    /// (the speculative cache access must be repeated).
+    ConfidentWrong,
+    /// The predictor was not confident; no speculative access was made.
+    NotConfident,
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::ConfidentCorrect`].
+    pub fn is_correct_use(self) -> bool {
+        matches!(self, Outcome::ConfidentCorrect)
+    }
+}
+
+/// Running totals kept by the predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Total `observe` calls (dynamic loads seen).
+    pub observations: u64,
+    /// Observations where the counter was confident.
+    pub confident: u64,
+    /// Confident observations whose predicted address was correct.
+    pub confident_correct: u64,
+    /// Observations (confident or not) where `last + stride` equalled the
+    /// actual address — the raw predictability of the stream.
+    pub raw_correct: u64,
+}
+
+impl PredictorStats {
+    /// Fraction of dynamic loads predicted correctly *and* confidently —
+    /// the paper's usable prediction rate (≈75% on Spec95 per \[9\]).
+    pub fn usable_rate(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.confident_correct as f64 / self.observations as f64
+        }
+    }
+
+    /// Fraction of confident predictions that were correct.
+    pub fn confidence_precision(&self) -> f64 {
+        if self.confident == 0 {
+            0.0
+        } else {
+            self.confident_correct as f64 / self.confident as f64
+        }
+    }
+
+    /// Fraction of loads whose address equalled `last + stride`,
+    /// regardless of confidence.
+    pub fn raw_rate(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.raw_correct as f64 / self.observations as f64
+        }
+    }
+}
+
+/// The paper's last-address + stride predictor.
+///
+/// The table is untagged: distinct loads that alias to the same entry
+/// interfere, exactly as the paper intends ("without tags in order to
+/// reduce cost at the expense of more interference").
+///
+/// # Example
+///
+/// ```
+/// use cac_core::AddressPredictor;
+///
+/// let mut p = AddressPredictor::new(1024)?;
+/// let pc = 0x4000_1000;
+/// // A constant-stride load becomes confidently predictable after a
+/// // couple of observations.
+/// for i in 0..4u64 {
+///     p.observe(pc, 0x1000 + i * 8);
+/// }
+/// let pred = p.predict(pc);
+/// assert!(pred.confident);
+/// assert_eq!(pred.addr, 0x1000 + 4 * 8);
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+#[derive(Clone)]
+pub struct AddressPredictor {
+    entries: Vec<Entry>,
+    mask: u64,
+    stats: PredictorStats,
+}
+
+impl AddressPredictor {
+    /// Creates a predictor with `entries` slots (must be a power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::NotPowerOfTwo`] if `entries` is zero or not
+    /// a power of two.
+    pub fn new(entries: usize) -> Result<Self, crate::Error> {
+        if entries == 0 || !entries.is_power_of_two() {
+            return Err(crate::Error::NotPowerOfTwo {
+                what: "predictor entries",
+                value: entries as u64,
+            });
+        }
+        Ok(AddressPredictor {
+            entries: vec![Entry::default(); entries],
+            mask: (entries - 1) as u64,
+            stats: PredictorStats::default(),
+        })
+    }
+
+    /// Creates the paper's 1K-entry configuration.
+    pub fn paper_default() -> Self {
+        Self::new(PAPER_TABLE_ENTRIES).expect("1024 is a power of two")
+    }
+
+    #[inline]
+    fn slot(&self, pc: u64) -> usize {
+        // Instructions are word-aligned; drop the low 2 bits before
+        // indexing so consecutive instructions use consecutive entries.
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Returns the current prediction for the load at `pc` without
+    /// updating any state (this is the decode-stage lookup).
+    pub fn predict(&self, pc: u64) -> Prediction {
+        let e = &self.entries[self.slot(pc)];
+        Prediction {
+            addr: e.last_addr.wrapping_add_signed(e.stride),
+            confident: e.counter >= 2,
+        }
+    }
+
+    /// Confronts the entry with the actual effective address, updating the
+    /// counter, the address field (always) and the stride field (only when
+    /// the counter has dropped below `10₂`, per §4).
+    pub fn observe(&mut self, pc: u64, actual: u64) -> Outcome {
+        let slot = self.slot(pc);
+        let e = &mut self.entries[slot];
+        let predicted = e.last_addr.wrapping_add_signed(e.stride);
+        let confident = e.counter >= 2;
+        let match_ = predicted == actual;
+
+        if match_ {
+            e.counter = (e.counter + 1).min(3);
+        } else {
+            e.counter = e.counter.saturating_sub(1);
+        }
+        // "the stride field is only updated when the counter goes below 10₂"
+        if e.counter < 2 {
+            e.stride = (actual as i64).wrapping_sub(e.last_addr as i64);
+        }
+        // "The address field is updated for each new reference regardless
+        // of the prediction."
+        e.last_addr = actual;
+
+        self.stats.observations += 1;
+        if match_ {
+            self.stats.raw_correct += 1;
+        }
+        if confident {
+            self.stats.confident += 1;
+            if match_ {
+                self.stats.confident_correct += 1;
+                return Outcome::ConfidentCorrect;
+            }
+            return Outcome::ConfidentWrong;
+        }
+        Outcome::NotConfident
+    }
+
+    /// Running totals.
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `false`; the table always has at least one entry.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears all entries and statistics.
+    pub fn reset(&mut self) {
+        self.entries.fill(Entry::default());
+        self.stats = PredictorStats::default();
+    }
+}
+
+impl fmt::Debug for AddressPredictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AddressPredictor")
+            .field("entries", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stride_becomes_confident() {
+        let mut p = AddressPredictor::new(64).unwrap();
+        let pc = 0x400;
+        let mut outcomes = Vec::new();
+        for i in 0..6u64 {
+            outcomes.push(p.observe(pc, 0x1000 + i * 16));
+        }
+        // First observation: entry is cold (addr 0, stride 0) -> miss.
+        assert_eq!(outcomes[0], Outcome::NotConfident);
+        // After the stride locks in, the counter climbs to confident.
+        assert!(matches!(
+            outcomes.last().unwrap(),
+            Outcome::ConfidentCorrect
+        ));
+        let pred = p.predict(pc);
+        assert!(pred.confident);
+        assert_eq!(pred.addr, 0x1000 + 6 * 16);
+    }
+
+    #[test]
+    fn constant_address_is_predictable() {
+        // stride 0: same address every time (e.g. a spilled scalar).
+        let mut p = AddressPredictor::new(64).unwrap();
+        for _ in 0..4 {
+            p.observe(0x88, 0xBEEF);
+        }
+        let pred = p.predict(0x88);
+        assert!(pred.confident);
+        assert_eq!(pred.addr, 0xBEEF);
+    }
+
+    #[test]
+    fn random_addresses_stay_unconfident() {
+        let mut p = AddressPredictor::new(64).unwrap();
+        let addrs = [0x10u64, 0x9000, 0x44, 0x123456, 0x7, 0x88, 0xfffff];
+        let mut confident_uses = 0;
+        for &a in &addrs {
+            if p.observe(0x20, a) != Outcome::NotConfident {
+                confident_uses += 1;
+            }
+        }
+        assert_eq!(confident_uses, 0);
+        assert_eq!(p.stats().confident, 0);
+    }
+
+    #[test]
+    fn stride_change_retrains() {
+        let mut p = AddressPredictor::new(64).unwrap();
+        let pc = 0xA0;
+        for i in 0..8u64 {
+            p.observe(pc, 0x100 + i * 8); // stride 8, fully confident
+        }
+        assert_eq!(p.predict(pc).addr, 0x100 + 8 * 8);
+        // Switch to stride 32: two wrong confident predictions drain the
+        // counter (3 -> 2 -> 1), then the stride retrains.
+        let base = 0x5000u64;
+        let mut seq = Vec::new();
+        for i in 0..6u64 {
+            seq.push(p.observe(pc, base + i * 32));
+        }
+        assert_eq!(seq[0], Outcome::ConfidentWrong);
+        assert!(matches!(seq[5], Outcome::ConfidentCorrect));
+        assert_eq!(p.predict(pc).addr, base + 6 * 32);
+    }
+
+    #[test]
+    fn negative_strides_supported() {
+        let mut p = AddressPredictor::new(64).unwrap();
+        let pc = 0xC4;
+        for i in 0..5u64 {
+            p.observe(pc, 0x10000 - i * 64);
+        }
+        let pred = p.predict(pc);
+        assert!(pred.confident);
+        assert_eq!(pred.addr, 0x10000 - 5 * 64);
+    }
+
+    #[test]
+    fn untagged_aliasing_interferes() {
+        // Two loads 4 * table-size apart in PC alias to the same entry and
+        // destroy each other's stride — the cost the paper accepts.
+        let mut p = AddressPredictor::new(16).unwrap();
+        let pc_a = 0x0;
+        let pc_b = 4 * 16; // same slot after >>2, &15
+        for i in 0..16u64 {
+            p.observe(pc_a, 0x1000 + i * 8);
+            p.observe(pc_b, 0x20_0000 + i * 8);
+        }
+        // Neither achieves a high usable rate.
+        assert!(p.stats().usable_rate() < 0.5);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = AddressPredictor::new(64).unwrap();
+        for i in 0..10u64 {
+            p.observe(0x40, i * 4);
+        }
+        let s = p.stats();
+        assert_eq!(s.observations, 10);
+        assert!(s.raw_correct >= s.confident_correct);
+        assert!(s.usable_rate() > 0.0);
+        assert!(s.confidence_precision() > 0.9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = AddressPredictor::new(64).unwrap();
+        for i in 0..10u64 {
+            p.observe(0x40, i * 4);
+        }
+        p.reset();
+        assert_eq!(p.stats(), PredictorStats::default());
+        assert!(!p.predict(0x40).confident);
+    }
+
+    #[test]
+    fn table_size_validation() {
+        assert!(AddressPredictor::new(0).is_err());
+        assert!(AddressPredictor::new(1000).is_err());
+        assert_eq!(AddressPredictor::paper_default().len(), 1024);
+        assert!(!AddressPredictor::paper_default().is_empty());
+    }
+
+    #[test]
+    fn empty_stats_rates_are_zero() {
+        let s = PredictorStats::default();
+        assert_eq!(s.usable_rate(), 0.0);
+        assert_eq!(s.confidence_precision(), 0.0);
+        assert_eq!(s.raw_rate(), 0.0);
+    }
+}

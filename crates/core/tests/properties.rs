@@ -1,0 +1,149 @@
+//! Property-based tests for placement functions, the hole model and the
+//! address predictor.
+
+use cac_core::holes::HoleModel;
+use cac_core::predictor::Outcome;
+use cac_core::{AddressPredictor, CacheGeometry, IndexSpec};
+use proptest::prelude::*;
+
+fn geometries() -> impl Strategy<Value = CacheGeometry> {
+    // capacity 1KB..64KB, block 16/32/64, ways 1/2/4 — all valid combos.
+    (10u32..17, 4u32..7, 0u32..3).prop_map(|(cap_log, blk_log, way_log)| {
+        CacheGeometry::new(1u64 << cap_log, 1u64 << blk_log, 1 << way_log)
+            .expect("combination is valid by construction")
+    })
+}
+
+fn specs() -> impl Strategy<Value = IndexSpec> {
+    prop_oneof![
+        Just(IndexSpec::modulo()),
+        Just(IndexSpec::xor()),
+        Just(IndexSpec::xor_skewed()),
+        Just(IndexSpec::ipoly()),
+        Just(IndexSpec::ipoly_skewed()),
+        Just(IndexSpec::prime()),
+        Just(IndexSpec::prime_skewed()),
+        Just(IndexSpec::add_skew()),
+        Just(IndexSpec::add_skew_skewed()),
+        any::<u64>().prop_map(|seed| IndexSpec::RandTable { skewed: true, seed }),
+        any::<u64>().prop_map(|seed| IndexSpec::XorMatrix { skewed: true, seed }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_index_is_in_range(geom in geometries(), spec in specs(), addr in any::<u64>()) {
+        let f = spec.build(geom).unwrap();
+        for way in 0..geom.ways() {
+            prop_assert!(f.set_index(geom.block_addr(addr), way) < geom.num_sets());
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic(geom in geometries(), spec in specs(), addr in any::<u64>()) {
+        let f = spec.build(geom).unwrap();
+        let g = spec.build(geom).unwrap();
+        for way in 0..geom.ways() {
+            let ba = geom.block_addr(addr);
+            prop_assert_eq!(f.set_index(ba, way), g.set_index(ba, way));
+            prop_assert_eq!(f.set_index(ba, way), f.set_index(ba, way));
+        }
+    }
+
+    #[test]
+    fn offset_bits_never_affect_placement(
+        geom in geometries(), spec in specs(), addr in any::<u64>(), off in any::<u8>()
+    ) {
+        let f = spec.build(geom).unwrap();
+        let a = geom.block_base(addr);
+        let b = a + u64::from(off) % geom.block();
+        for way in 0..geom.ways() {
+            prop_assert_eq!(
+                f.set_index(geom.block_addr(a), way),
+                f.set_index(geom.block_addr(b), way)
+            );
+        }
+    }
+
+    #[test]
+    fn ipoly_covers_all_sets(geom in geometries()) {
+        // Linear-surjective: scanning 4 * sets consecutive blocks touches
+        // every set at least once for the I-Poly functions.
+        let f = IndexSpec::ipoly_skewed().build(geom).unwrap();
+        let sets = geom.num_sets() as usize;
+        let mut seen = vec![false; sets];
+        for ba in 0..(4 * sets as u64) {
+            seen[f.set_index(ba, 0) as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&x| x), "{}", geom);
+    }
+
+    #[test]
+    fn linear_schemes_cover_all_sets(geom in geometries(), seed in any::<u64>()) {
+        // Balanced-by-construction schemes must reach every set within one
+        // full scan of the index field (the low `m` block-address bits act
+        // bijectively for any fixed tag).
+        for spec in [
+            IndexSpec::add_skew_skewed(),
+            IndexSpec::RandTable { skewed: false, seed },
+            IndexSpec::XorMatrix { skewed: false, seed },
+        ] {
+            let f = spec.build(geom).unwrap();
+            let sets = geom.num_sets() as usize;
+            let mut seen = vec![false; sets];
+            for ba in 0..sets as u64 {
+                seen[f.set_index(ba, 0) as usize] = true;
+            }
+            prop_assert!(seen.iter().all(|&x| x), "{} under {}", geom, spec);
+        }
+    }
+
+    #[test]
+    fn prime_scheme_wastes_at_most_the_gap_to_the_prime(geom in geometries()) {
+        use cac_core::index::{IndexFunction, PrimeModIndex};
+        let f = PrimeModIndex::new(geom, false);
+        // Bertrand's postulate: a prime lies in (n/2, n], so at most half
+        // the sets are wasted, and indices never reach the wasted region.
+        prop_assert!(f.wasted_sets() < geom.num_sets().div_ceil(2).max(1));
+        for ba in 0..1024u64 {
+            prop_assert!(f.set_index(ba, 0) < f.prime().max(1));
+        }
+    }
+
+    #[test]
+    fn hole_probability_in_unit_interval(m1 in 1u32..20, extra in 0u32..20) {
+        let m = HoleModel::from_index_bits(m1, m1 + extra).unwrap();
+        let p = m.p_hole_per_l2_miss();
+        prop_assert!((0.0..1.0).contains(&p));
+        // P_H is monotonically decreasing in m2.
+        let bigger = HoleModel::from_index_bits(m1, m1 + extra + 1).unwrap();
+        prop_assert!(bigger.p_hole_per_l2_miss() < p || p == 0.0);
+    }
+
+    #[test]
+    fn predictor_locks_onto_any_affine_stream(
+        base in any::<u32>(), stride in -4096i64..4096, pc in any::<u32>()
+    ) {
+        let mut p = AddressPredictor::new(256).unwrap();
+        let base = u64::from(base);
+        let mut last = Outcome::NotConfident;
+        for i in 0..8 {
+            let addr = base.wrapping_add_signed(stride * i);
+            last = p.observe(u64::from(pc), addr);
+        }
+        prop_assert_eq!(last, Outcome::ConfidentCorrect);
+    }
+
+    #[test]
+    fn predictor_stats_are_consistent(addrs in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let mut p = AddressPredictor::new(64).unwrap();
+        for (i, &a) in addrs.iter().enumerate() {
+            p.observe((i as u64 % 32) * 4, u64::from(a));
+        }
+        let s = p.stats();
+        prop_assert_eq!(s.observations, addrs.len() as u64);
+        prop_assert!(s.confident_correct <= s.confident);
+        prop_assert!(s.confident_correct <= s.raw_correct);
+        prop_assert!(s.usable_rate() <= 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Branch prediction: a table of 2-bit saturating counters (§4: "a branch
+//! history table with 2K entries and 2-bit saturating counters").
+
+/// Bimodal branch predictor.
+///
+/// # Example
+///
+/// ```
+/// use cac_cpu::BranchPredictor;
+///
+/// let mut b = BranchPredictor::new(2048);
+/// // Counters initialise weakly not-taken; training flips them.
+/// b.update(0x400, true);
+/// b.update(0x400, true);
+/// assert!(b.predict(0x400));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    counters: Vec<u8>,
+    mask: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `entries` 2-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "BHT entries must be a power of two"
+        );
+        BranchPredictor {
+            counters: vec![1; entries], // weakly not-taken
+            mask: (entries - 1) as u64,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.slot(pc)] >= 2
+    }
+
+    /// Predicts and records the outcome in the accuracy statistics; call
+    /// once per dynamic branch.
+    pub fn predict_and_track(&mut self, pc: u64, actual: bool) -> bool {
+        let p = self.predict(pc);
+        self.predictions += 1;
+        if p != actual {
+            self.mispredictions += 1;
+        }
+        p
+    }
+
+    /// Trains the counter with the resolved outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let slot = self.slot(pc);
+        let c = &mut self.counters[slot];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Dynamic branches predicted so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Prediction accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_taken_branch_learns() {
+        let mut b = BranchPredictor::new(64);
+        for _ in 0..4 {
+            b.predict_and_track(0x100, true);
+            b.update(0x100, true);
+        }
+        assert!(b.predict(0x100));
+        // Early mispredictions only.
+        assert!(b.accuracy() > 0.4);
+        for _ in 0..100 {
+            b.predict_and_track(0x100, true);
+            b.update(0x100, true);
+        }
+        assert!(b.accuracy() > 0.9);
+    }
+
+    #[test]
+    fn alternating_branch_mispredicts_heavily() {
+        let mut b = BranchPredictor::new(64);
+        let mut taken = false;
+        for _ in 0..200 {
+            b.predict_and_track(0x200, taken);
+            b.update(0x200, taken);
+            taken = !taken;
+        }
+        assert!(b.accuracy() < 0.6);
+    }
+
+    #[test]
+    fn two_bit_hysteresis() {
+        let mut b = BranchPredictor::new(64);
+        for _ in 0..4 {
+            b.update(0x10, true); // saturate to 3
+        }
+        b.update(0x10, false); // 2: still predicts taken
+        assert!(b.predict(0x10));
+        b.update(0x10, false); // 1: flips
+        assert!(!b.predict(0x10));
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut b = BranchPredictor::new(64);
+        for _ in 0..4 {
+            b.update(0x0, true);
+            b.update(0x4, false);
+        }
+        assert!(b.predict(0x0));
+        assert!(!b.predict(0x4));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        let _ = BranchPredictor::new(100);
+    }
+}

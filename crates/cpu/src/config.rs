@@ -1,0 +1,224 @@
+//! Processor configuration (§4 and Table 1 of the paper).
+
+use cac_core::latency::CriticalPath;
+use cac_core::{CacheGeometry, Error, IndexSpec};
+
+/// How the L1 index is formed relative to address translation — the
+/// design space of §3.1.
+///
+/// The paper's evaluation assumes the virtual-real hierarchy (option 3):
+/// the L1 is indexed with virtual-address bits and translation is off the
+/// load's critical path. Option 1 instead translates first and indexes
+/// physically, paying a pipeline stage on every load plus page-walk
+/// stalls on TLB misses — the trade this enum lets experiments quantify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TranslationModel {
+    /// §3.1 option 3 (the paper's choice): virtually-indexed L1; no
+    /// translation latency on loads.
+    VirtuallyIndexed,
+    /// §3.1 option 1: translation precedes indexing. Every load pays one
+    /// extra pipeline stage; TLB misses add the page-walk penalty. The
+    /// XOR tree operates on the physical address during the translation
+    /// stage, so it is *never* on the critical path in this organization.
+    PhysicallyIndexed {
+        /// Total TLB entries (power of two).
+        tlb_entries: u32,
+        /// TLB associativity (power of two, ≤ entries).
+        tlb_ways: u32,
+        /// Page size in bytes (power of two).
+        page_size: u64,
+        /// Page-walk penalty in cycles per TLB miss.
+        tlb_miss_penalty: u32,
+        /// Seed for the randomized virtual→physical mapping.
+        mapper_seed: u64,
+    },
+}
+
+impl TranslationModel {
+    /// The paper's option-1 configuration used by the comparison harness:
+    /// a 64-entry 4-way 4KB-page TLB with a 30-cycle walk.
+    pub fn physically_indexed() -> Self {
+        TranslationModel::PhysicallyIndexed {
+            tlb_entries: 64,
+            tlb_ways: 4,
+            page_size: 4096,
+            tlb_miss_penalty: 30,
+            mapper_seed: 0xcac,
+        }
+    }
+}
+
+/// Full configuration of the out-of-order processor model.
+///
+/// [`CpuConfig::paper_baseline`] reproduces the paper's setup; individual
+/// fields can be adjusted for ablations.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Instructions fetched/dispatched per cycle (paper: 4).
+    pub fetch_width: u32,
+    /// Instructions issued per cycle (paper: 4-way superscalar).
+    pub issue_width: u32,
+    /// Instructions committed per cycle (paper: 4).
+    pub commit_width: u32,
+    /// Reorder-buffer entries (paper: 32).
+    pub rob_entries: usize,
+    /// Physical integer registers (paper: 64).
+    pub int_phys_regs: u32,
+    /// Physical floating-point registers (paper: 64).
+    pub fp_phys_regs: u32,
+    /// Branch-history-table entries, 2-bit counters (paper: 2K).
+    pub bht_entries: usize,
+    /// Memory ports (paper: 2).
+    pub mem_ports: u32,
+    /// MSHRs — outstanding misses to distinct lines (paper: 8).
+    pub mshrs: usize,
+    /// L1 data-cache geometry (paper: 8KB or 16KB, 2-way, 32B lines).
+    pub cache_geometry: CacheGeometry,
+    /// L1 placement function.
+    pub index_spec: IndexSpec,
+    /// Cache hit time in cycles (paper: 2).
+    pub hit_latency: u32,
+    /// Miss penalty in cycles (paper: 20; the L2 is infinite).
+    pub miss_penalty: u32,
+    /// Bus occupancy per line transfer (paper: 32B line over a 64-bit bus
+    /// = 4 cycles).
+    pub bus_cycles_per_line: u64,
+    /// Where the index XOR tree sits relative to the critical path.
+    pub critical_path: CriticalPath,
+    /// Enable the §3.4 memory address predictor.
+    pub address_prediction: bool,
+    /// Predictor table entries (paper: 1K, untagged, direct-mapped).
+    pub predictor_entries: usize,
+    /// Where address translation sits relative to L1 indexing (§3.1).
+    pub translation: TranslationModel,
+}
+
+impl CpuConfig {
+    /// The paper's baseline processor with an 8KB 2-way L1 and the given
+    /// placement function. XOR assumed off the critical path and no
+    /// address prediction; toggle those fields for the other table
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors.
+    pub fn paper_baseline(index_spec: IndexSpec) -> Result<Self, Error> {
+        Ok(CpuConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_entries: 32,
+            int_phys_regs: 64,
+            fp_phys_regs: 64,
+            bht_entries: 2048,
+            mem_ports: 2,
+            mshrs: 8,
+            cache_geometry: CacheGeometry::new(8 * 1024, 32, 2)?,
+            index_spec,
+            hit_latency: 2,
+            miss_penalty: 20,
+            bus_cycles_per_line: 4,
+            critical_path: CriticalPath::XorHidden,
+            address_prediction: false,
+            predictor_entries: 1024,
+            translation: TranslationModel::VirtuallyIndexed,
+        })
+    }
+
+    /// Same configuration with a 16KB cache (the paper's Table 2 column 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors.
+    pub fn paper_16kb(index_spec: IndexSpec) -> Result<Self, Error> {
+        let mut c = Self::paper_baseline(index_spec)?;
+        c.cache_geometry = CacheGeometry::new(16 * 1024, 32, 2)?;
+        Ok(c)
+    }
+
+    /// Returns the configuration with the XOR tree placed on the critical
+    /// path (one extra cycle on unpredicted cache accesses).
+    pub fn with_xor_in_critical_path(mut self) -> Self {
+        self.critical_path = CriticalPath::XorExposed;
+        self
+    }
+
+    /// Returns the configuration with address prediction enabled.
+    pub fn with_address_prediction(mut self) -> Self {
+        self.address_prediction = true;
+        self
+    }
+
+    /// Returns the configuration with §3.1 option-1 translation: the L1
+    /// is physically indexed behind a TLB, and the XOR tree is hidden in
+    /// the translation stage ([`CriticalPath::XorHidden`] is forced,
+    /// because translation gives the hash a full stage of slack).
+    pub fn with_physical_indexing(mut self, translation: TranslationModel) -> Self {
+        self.translation = translation;
+        self.critical_path = CriticalPath::XorHidden;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_table1_text() {
+        let c = CpuConfig::paper_baseline(IndexSpec::modulo()).unwrap();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_entries, 32);
+        assert_eq!(c.int_phys_regs, 64);
+        assert_eq!(c.fp_phys_regs, 64);
+        assert_eq!(c.bht_entries, 2048);
+        assert_eq!(c.mem_ports, 2);
+        assert_eq!(c.mshrs, 8);
+        assert_eq!(c.cache_geometry.capacity(), 8 * 1024);
+        assert_eq!(c.cache_geometry.ways(), 2);
+        assert_eq!(c.cache_geometry.block(), 32);
+        assert_eq!(c.hit_latency, 2);
+        assert_eq!(c.miss_penalty, 20);
+        assert_eq!(c.bus_cycles_per_line, 4);
+        assert!(!c.address_prediction);
+        assert_eq!(c.critical_path, CriticalPath::XorHidden);
+        assert_eq!(c.translation, TranslationModel::VirtuallyIndexed);
+    }
+
+    #[test]
+    fn physical_indexing_forces_xor_off_critical_path() {
+        let c = CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())
+            .unwrap()
+            .with_xor_in_critical_path()
+            .with_physical_indexing(TranslationModel::physically_indexed());
+        assert_eq!(c.critical_path, CriticalPath::XorHidden);
+        let TranslationModel::PhysicallyIndexed {
+            tlb_entries,
+            tlb_ways,
+            page_size,
+            tlb_miss_penalty,
+            ..
+        } = c.translation
+        else {
+            panic!("expected physical indexing");
+        };
+        assert_eq!(tlb_entries, 64);
+        assert_eq!(tlb_ways, 4);
+        assert_eq!(page_size, 4096);
+        assert_eq!(tlb_miss_penalty, 30);
+    }
+
+    #[test]
+    fn builders_toggle_fields() {
+        let c = CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())
+            .unwrap()
+            .with_xor_in_critical_path()
+            .with_address_prediction();
+        assert_eq!(c.critical_path, CriticalPath::XorExposed);
+        assert!(c.address_prediction);
+        let c16 = CpuConfig::paper_16kb(IndexSpec::modulo()).unwrap();
+        assert_eq!(c16.cache_geometry.capacity(), 16 * 1024);
+        assert_eq!(c16.cache_geometry.num_sets(), 256);
+    }
+}

@@ -1,0 +1,350 @@
+//! The lockup-free L1 data cache of the processor model.
+//!
+//! Wraps the functional cache simulator with the timing machinery of §4:
+//! MSHRs for outstanding misses, bus occupancy for line fills (64-bit bus,
+//! 4 cycles per 32-byte line), the [`HitLatencyModel`] of §3.4 (XOR
+//! placement on/off the critical path) and, optionally, the memory address
+//! predictor.
+
+use cac_core::latency::HitLatencyModel;
+use cac_core::predictor::Outcome;
+use cac_core::{AddressPredictor, Error};
+use cac_sim::cache::Cache;
+use cac_sim::mshr::{MshrFile, MshrOutcome};
+use cac_sim::stats::CacheStats;
+use cac_sim::tlb::{Tlb, TlbStats};
+use cac_sim::vm::PageMapper;
+
+use crate::config::{CpuConfig, TranslationModel};
+
+/// TLB + page table for a physically-indexed L1 (§3.1 option 1).
+#[derive(Debug)]
+struct Translation {
+    tlb: Tlb,
+    mapper: PageMapper,
+}
+
+/// Result of presenting a load to the data cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadResponse {
+    /// The data is available at the given cycle.
+    Ready {
+        /// Absolute cycle at which the destination register is written.
+        at: u64,
+        /// `true` if the access hit in the cache.
+        hit: bool,
+    },
+    /// All MSHRs are busy; retry on a later cycle.
+    Blocked,
+}
+
+/// Timing + functional model of the paper's L1 data cache.
+#[derive(Debug)]
+pub struct DataCache {
+    cache: Cache,
+    mshrs: MshrFile,
+    latency: HitLatencyModel,
+    predictor: Option<AddressPredictor>,
+    miss_penalty: u64,
+    bus_cycles_per_line: u64,
+    bus_free_at: u64,
+    translation: Option<Translation>,
+}
+
+impl DataCache {
+    /// Builds the data cache from a processor configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement-validation errors.
+    pub fn new(config: &CpuConfig) -> Result<Self, Error> {
+        let translation = match &config.translation {
+            TranslationModel::VirtuallyIndexed => None,
+            TranslationModel::PhysicallyIndexed {
+                tlb_entries,
+                tlb_ways,
+                page_size,
+                tlb_miss_penalty,
+                mapper_seed,
+            } => Some(Translation {
+                tlb: Tlb::new(*tlb_entries, *tlb_ways, *page_size, *tlb_miss_penalty)?,
+                mapper: PageMapper::randomized(*page_size, 1 << 30, *mapper_seed),
+            }),
+        };
+        Ok(DataCache {
+            cache: Cache::build(config.cache_geometry, config.index_spec.clone())?,
+            mshrs: MshrFile::new(config.mshrs),
+            latency: HitLatencyModel::new(config.hit_latency, config.critical_path),
+            predictor: if config.address_prediction {
+                Some(AddressPredictor::new(config.predictor_entries)?)
+            } else {
+                None
+            },
+            miss_penalty: u64::from(config.miss_penalty),
+            bus_cycles_per_line: config.bus_cycles_per_line,
+            bus_free_at: 0,
+            translation,
+        })
+    }
+
+    /// Presents a load whose effective address becomes available at cycle
+    /// `addr_ready`. Returns when the data is ready, or [`LoadResponse::Blocked`]
+    /// if no MSHR can take the miss.
+    pub fn load(&mut self, pc: u64, addr: u64, addr_ready: u64) -> LoadResponse {
+        let outcome = match self.predictor.as_mut() {
+            Some(p) => p.observe(pc, addr),
+            None => Outcome::NotConfident,
+        };
+        // §3.1 option 1: translate before indexing. The cache sees the
+        // physical address; every load pays one pipeline stage for the
+        // translation, plus the page walk on a TLB miss.
+        let (addr, translation_delay) = match self.translation.as_mut() {
+            None => (addr, 0),
+            Some(t) => {
+                let (pa, tlb_hit) = t.tlb.translate(addr, &mut t.mapper);
+                (pa, 1 + u64::from(t.tlb.latency(tlb_hit)))
+            }
+        };
+        let addr_ready = addr_ready + translation_delay;
+        let access = self.cache.read(addr);
+        let hit_latency = if self.predictor.is_some() {
+            self.latency.hit_latency(outcome)
+        } else {
+            self.latency.hit_latency_unpredicted()
+        };
+        let block = self.cache.geometry().block_addr(addr);
+        if access.hit {
+            // A functional hit may still be waiting on an in-flight fill
+            // (hit-under-miss to the same line): it completes with the
+            // fill, not before.
+            self.mshrs.retire(addr_ready);
+            let at = match self.mshrs.pending(block) {
+                Some(fill_done) => fill_done.max(addr_ready + u64::from(hit_latency)),
+                None => addr_ready + u64::from(hit_latency),
+            };
+            return LoadResponse::Ready { at, hit: true };
+        }
+        // Miss: needs an MSHR and the bus.
+        match self.mshrs.request(block, addr_ready, self.miss_penalty) {
+            MshrOutcome::Merged { ready_at } => LoadResponse::Ready {
+                at: ready_at.max(addr_ready + u64::from(hit_latency)),
+                hit: false,
+            },
+            MshrOutcome::Allocated { ready_at } => {
+                // The fill occupies the 64-bit bus for 4 cycles; fills
+                // serialize on the bus.
+                let fill_done = ready_at.max(self.bus_free_at + self.bus_cycles_per_line);
+                self.bus_free_at = fill_done;
+                LoadResponse::Ready {
+                    at: fill_done,
+                    hit: false,
+                }
+            }
+            MshrOutcome::Full => {
+                // Undo nothing: the functional fill already happened, which
+                // slightly favours the blocked retry; acceptable at this
+                // fidelity.
+                LoadResponse::Blocked
+            }
+        }
+    }
+
+    /// Commits a store (write-through / no-write-allocate): updates the
+    /// functional state and statistics. Store timing is absorbed by the
+    /// store buffer (§3.4: stores are issued to memory at commit and the
+    /// XOR is off their critical path).
+    pub fn store(&mut self, addr: u64) {
+        // Stores translate too (the TLB access is off their critical path,
+        // absorbed in the store buffer — §3.4), so the physically-indexed
+        // cache stays coherent with loads.
+        let addr = match self.translation.as_mut() {
+            None => addr,
+            Some(t) => t.tlb.translate(addr, &mut t.mapper).0,
+        };
+        let _ = self.cache.write(addr);
+    }
+
+    /// Functional cache statistics (the paper's "load miss ratio" is
+    /// [`CacheStats::read_miss_ratio`]).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Address-predictor statistics, if prediction is enabled.
+    pub fn predictor_stats(&self) -> Option<cac_core::predictor::PredictorStats> {
+        self.predictor.as_ref().map(|p| p.stats())
+    }
+
+    /// TLB statistics, if the cache is physically indexed (§3.1 option 1).
+    pub fn tlb_stats(&self) -> Option<TlbStats> {
+        self.translation.as_ref().map(|t| t.tlb.stats())
+    }
+
+    /// The underlying functional cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cac_core::IndexSpec;
+
+    fn dc(pred: bool, cp_exposed: bool) -> DataCache {
+        let mut config = CpuConfig::paper_baseline(IndexSpec::modulo()).unwrap();
+        config.address_prediction = pred;
+        if cp_exposed {
+            config = config.with_xor_in_critical_path();
+        }
+        DataCache::new(&config).unwrap()
+    }
+
+    #[test]
+    fn hit_latency_is_two_cycles() {
+        let mut d = dc(false, false);
+        d.load(0x400, 0x1000, 10); // miss, fills
+        match d.load(0x400, 0x1000, 100) {
+            LoadResponse::Ready { at, hit } => {
+                assert!(hit);
+                assert_eq!(at, 102);
+            }
+            LoadResponse::Blocked => panic!("unexpected block"),
+        }
+    }
+
+    #[test]
+    fn miss_pays_penalty_and_bus() {
+        let mut d = dc(false, false);
+        match d.load(0x400, 0x1000, 10) {
+            LoadResponse::Ready { at, hit } => {
+                assert!(!hit);
+                assert!(at >= 30, "miss returned at {at}");
+            }
+            LoadResponse::Blocked => panic!("unexpected block"),
+        }
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut d = dc(false, false);
+        let first = d.load(0x400, 0x1000, 10);
+        let second = d.load(0x404, 0x1008, 12); // same line
+        let (LoadResponse::Ready { at: a, .. }, LoadResponse::Ready { at: b, .. }) =
+            (first, second)
+        else {
+            panic!("blocked");
+        };
+        assert_eq!(a, b, "secondary miss completes with the primary fill");
+    }
+
+    #[test]
+    fn mshr_exhaustion_blocks() {
+        let mut d = dc(false, false);
+        for i in 0..8u64 {
+            assert!(matches!(
+                d.load(0x400, 0x10000 + i * 32, 5),
+                LoadResponse::Ready { .. }
+            ));
+        }
+        assert_eq!(d.load(0x400, 0x90000, 6), LoadResponse::Blocked);
+    }
+
+    #[test]
+    fn xor_in_critical_path_adds_cycle() {
+        let mut d = dc(false, true);
+        d.load(0x400, 0x1000, 10);
+        match d.load(0x400, 0x1000, 100) {
+            LoadResponse::Ready { at, .. } => assert_eq!(at, 103),
+            LoadResponse::Blocked => panic!(),
+        }
+    }
+
+    #[test]
+    fn correct_prediction_shaves_a_cycle() {
+        let mut d = dc(true, true);
+        // Train the predictor on a constant address.
+        for t in 0..6u64 {
+            d.load(0x400, 0x1000, 10 * t + 10);
+        }
+        match d.load(0x400, 0x1000, 100) {
+            LoadResponse::Ready { at, .. } => assert_eq!(at, 101), // 2 - 1
+            LoadResponse::Blocked => panic!(),
+        }
+        assert!(d.predictor_stats().unwrap().confident_correct > 0);
+    }
+
+    #[test]
+    fn store_updates_functional_state_only() {
+        let mut d = dc(false, false);
+        d.store(0x2000);
+        // no-write-allocate: still a miss on the next load
+        match d.load(0x400, 0x2000, 50) {
+            LoadResponse::Ready { hit, .. } => assert!(!hit),
+            LoadResponse::Blocked => panic!(),
+        }
+        assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn physical_indexing_charges_translation_stage() {
+        use crate::config::TranslationModel;
+        let config = CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())
+            .unwrap()
+            .with_physical_indexing(TranslationModel::physically_indexed());
+        let mut d = DataCache::new(&config).unwrap();
+        // First touch: TLB miss (30) + translation stage (1) + cache miss.
+        match d.load(0x400, 0x1000, 10) {
+            LoadResponse::Ready { at, hit } => {
+                assert!(!hit);
+                assert!(at >= 10 + 31 + 20, "first touch at {at}");
+            }
+            LoadResponse::Blocked => panic!(),
+        }
+        // Warm TLB + warm cache: 1 (stage) + 2 (hit).
+        match d.load(0x400, 0x1000, 100) {
+            LoadResponse::Ready { at, hit } => {
+                assert!(hit);
+                assert_eq!(at, 103);
+            }
+            LoadResponse::Blocked => panic!(),
+        }
+        let tlb = d.tlb_stats().expect("physically indexed");
+        assert_eq!(tlb.accesses, 2);
+        assert_eq!(tlb.misses, 1);
+    }
+
+    #[test]
+    fn physical_indexing_keeps_loads_and_stores_coherent() {
+        use crate::config::TranslationModel;
+        let config = CpuConfig::paper_baseline(IndexSpec::modulo())
+            .unwrap()
+            .with_physical_indexing(TranslationModel::physically_indexed());
+        let mut d = DataCache::new(&config).unwrap();
+        d.load(0x400, 0x3000, 0); // fill the line via its physical address
+        d.store(0x3008); // write-through hit on the same physical line
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().write_misses, 0, "store must see the load's fill");
+    }
+
+    #[test]
+    fn virtually_indexed_cache_has_no_tlb() {
+        let d = dc(false, false);
+        assert!(d.tlb_stats().is_none());
+    }
+
+    #[test]
+    fn bus_serializes_back_to_back_fills() {
+        let mut d = dc(false, false);
+        let mut readies = Vec::new();
+        for i in 0..4u64 {
+            if let LoadResponse::Ready { at, .. } = d.load(0x400, 0x50000 + i * 64, 0) {
+                readies.push(at);
+            }
+        }
+        // Fills cannot complete closer together than the bus occupancy.
+        for w in readies.windows(2) {
+            assert!(w[1] >= w[0] + 4, "{readies:?}");
+        }
+    }
+}

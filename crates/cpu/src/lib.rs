@@ -1,0 +1,52 @@
+//! Trace-driven out-of-order superscalar processor model — the evaluation
+//! platform of §4 of the conflict-avoiding-cache paper.
+//!
+//! The model implements the paper's configuration:
+//!
+//! * 4-way fetch/dispatch/issue/commit, 32-entry reorder buffer,
+//!   64 + 64 physical registers;
+//! * the functional units and latencies of Table 1 (one simple integer,
+//!   one complex integer, two effective-address units, one simple FP, one
+//!   FP multiplier, one unpipelined FP divide/sqrt unit);
+//! * a 2K-entry branch history table of 2-bit saturating counters;
+//! * a lockup-free L1 data cache (8 MSHRs), write-through /
+//!   no-write-allocate, 2-cycle hits, 20-cycle miss penalty, 64-bit bus to
+//!   an infinite L2 (4 cycles of bus occupancy per 32-byte line), two
+//!   memory ports;
+//! * ARB-style memory dependence speculation with store-buffer
+//!   forwarding;
+//! * optionally, the §3.4 memory address predictor (1K-entry untagged),
+//!   and the XOR-in-critical-path latency penalty of Figure 2.
+//!
+//! Being trace-driven, the model cannot execute wrong-path instructions;
+//! a mispredicted branch therefore stalls fetch until the branch resolves,
+//! the standard trace-driven approximation (see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use cac_core::IndexSpec;
+//! use cac_cpu::{CpuConfig, Processor};
+//! use cac_trace::spec::SpecBenchmark;
+//!
+//! let config = CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())?;
+//! let mut cpu = Processor::new(config)?;
+//! let stats = cpu.run(SpecBenchmark::Mgrid.generator(1), 20_000);
+//! assert!(stats.ipc() > 0.1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpred;
+pub mod config;
+pub mod dcache;
+pub mod pipeline;
+pub mod stats;
+
+pub use bpred::BranchPredictor;
+pub use config::{CpuConfig, TranslationModel};
+pub use dcache::DataCache;
+pub use pipeline::Processor;
+pub use stats::CpuStats;

@@ -1,0 +1,529 @@
+//! Irreducibility testing and irreducible-polynomial enumeration.
+//!
+//! The paper requires the modulus `P(x)` to be irreducible "for best
+//! performance" (§2.1.1). Rau's analysis of pseudo-randomly interleaved
+//! memories shows that irreducible moduli make all `2^k`-strided sequences
+//! conflict-free, which is the property Figure 1 of the paper demonstrates.
+//!
+//! Irreducibility is decided with **Rabin's test**: a polynomial `f` of
+//! degree `n` over GF(2) is irreducible iff
+//!
+//! 1. `f` divides `x^(2^n) − x`  (equivalently `x^(2^n) ≡ x (mod f)`), and
+//! 2. `gcd(x^(2^(n/q)) − x mod f, f) = 1` for every prime divisor `q` of `n`.
+
+use crate::poly::Poly;
+
+/// Maximum polynomial degree accepted by the functions in this module.
+///
+/// Cache indices never need more than this many bits (a degree-40 modulus
+/// would index a terabyte-scale direct-mapped cache).
+pub const MAX_DEGREE: u32 = 40;
+
+/// Returns the prime divisors of `n` in increasing order (empty for `n <= 1`).
+fn prime_divisors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Tests whether `f` is irreducible over GF(2) using Rabin's test.
+///
+/// Constant polynomials (degree 0) and the zero polynomial are not
+/// irreducible. Degree-1 polynomials (`x`, `x + 1`) are irreducible.
+///
+/// # Panics
+///
+/// Panics if `deg(f) >` [`MAX_DEGREE`].
+///
+/// # Example
+///
+/// ```
+/// use cac_gf2::{Poly, irreducible::is_irreducible};
+///
+/// assert!(is_irreducible(Poly::from_bits(0b1011)));   // x^3 + x + 1
+/// assert!(!is_irreducible(Poly::from_bits(0b1001)));  // x^3 + 1 = (x+1)(x^2+x+1)
+/// ```
+pub fn is_irreducible(f: Poly) -> bool {
+    let n = match f.degree() {
+        None | Some(0) => return false,
+        Some(n) => n,
+    };
+    assert!(n <= MAX_DEGREE, "degree {n} exceeds MAX_DEGREE {MAX_DEGREE}");
+    if n == 1 {
+        return true;
+    }
+    // An irreducible polynomial of degree >= 2 must have a non-zero constant
+    // term (else x divides it) and odd weight (else x+1 divides it: f(1)=0).
+    if f.coeff(0) == 0 || f.weight().is_multiple_of(2) {
+        return false;
+    }
+    // Rabin condition 1: x^(2^n) == x (mod f).
+    if Poly::x_pow_pow2_mod(n, f) != Poly::X {
+        return false;
+    }
+    // Rabin condition 2: for each prime divisor q of n,
+    // gcd(x^(2^(n/q)) - x, f) == 1.
+    for q in prime_divisors(n) {
+        let h = Poly::x_pow_pow2_mod(n / q, f) + Poly::X;
+        if f.gcd(h) != Poly::ONE {
+            return false;
+        }
+    }
+    true
+}
+
+/// Iterator over all irreducible polynomials of a fixed degree, in
+/// increasing order of their bit representation.
+///
+/// Created by [`irreducibles`].
+#[derive(Debug, Clone)]
+pub struct Irreducibles {
+    degree: u32,
+    // Candidate low bits (below the leading monomial); polynomials with an
+    // even constant term are skipped cheaply inside `next`.
+    next_low: u128,
+    end_low: u128,
+}
+
+/// Returns an iterator over every irreducible polynomial of exactly
+/// `degree`, smallest bit-pattern first.
+///
+/// # Panics
+///
+/// Panics if `degree == 0` or `degree >` [`MAX_DEGREE`].
+///
+/// # Example
+///
+/// ```
+/// use cac_gf2::irreducible::irreducibles;
+///
+/// // The three irreducible cubics and quartics over GF(2):
+/// let cubics: Vec<u128> = irreducibles(3).map(|p| p.bits()).collect();
+/// assert_eq!(cubics, vec![0b1011, 0b1101]);
+/// assert_eq!(irreducibles(4).count(), 3);
+/// ```
+pub fn irreducibles(degree: u32) -> Irreducibles {
+    assert!(degree >= 1, "degree must be at least 1");
+    assert!(
+        degree <= MAX_DEGREE,
+        "degree {degree} exceeds MAX_DEGREE {MAX_DEGREE}"
+    );
+    Irreducibles {
+        degree,
+        next_low: 0,
+        end_low: 1u128 << degree,
+    }
+}
+
+impl Iterator for Irreducibles {
+    type Item = Poly;
+
+    fn next(&mut self) -> Option<Poly> {
+        while self.next_low < self.end_low {
+            let candidate = Poly::from_bits((1u128 << self.degree) | self.next_low);
+            self.next_low += 1;
+            if is_irreducible(candidate) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+/// The default modulus polynomial for a given number of index bits: the
+/// lexicographically-first irreducible polynomial of that degree.
+///
+/// This mirrors the paper's setup, where the modulus degree `m` equals the
+/// number of cache-index bits (e.g. degree 7 for the 128-set, 8KB 2-way
+/// cache of the evaluation).
+///
+/// # Panics
+///
+/// Panics if `degree == 0` or `degree >` [`MAX_DEGREE`].
+///
+/// # Example
+///
+/// ```
+/// use cac_gf2::default_poly;
+/// assert_eq!(default_poly(7).to_terms(), "x^7 + x + 1");
+/// ```
+pub fn default_poly(degree: u32) -> Poly {
+    irreducibles(degree)
+        .next()
+        .expect("an irreducible polynomial exists for every degree >= 1")
+}
+
+/// A family of `ways` *distinct* irreducible polynomials of the same degree,
+/// used to skew the index functions of a multi-way cache (paper §2.1.1:
+/// "If we choose to use distinct values for each `P_i` the cache will be
+/// skewed").
+///
+/// # Panics
+///
+/// Panics if `degree` is out of range, or if fewer than `ways` irreducible
+/// polynomials of that degree exist (for degree ≥ 3 there are always at
+/// least 2; the count grows roughly as `2^n / n`).
+///
+/// # Example
+///
+/// ```
+/// use cac_gf2::default_skew_set;
+/// let ps = default_skew_set(7, 2);
+/// assert_eq!(ps.len(), 2);
+/// assert_ne!(ps[0], ps[1]);
+/// ```
+pub fn default_skew_set(degree: u32, ways: usize) -> Vec<Poly> {
+    let set: Vec<Poly> = irreducibles(degree).take(ways).collect();
+    assert!(
+        set.len() == ways,
+        "only {} irreducible polynomials of degree {degree} exist, {ways} requested",
+        set.len()
+    );
+    set
+}
+
+/// The distinct prime factors of `n` (`n >= 2`), by trial division —
+/// ample for the `MAX_DEGREE`-bounded group orders used here.
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Iterates over the primitive polynomials of a degree, in ascending bit
+/// order.
+///
+/// # Panics
+///
+/// Panics if `degree == 0` or `degree >` [`MAX_DEGREE`].
+///
+/// # Example
+///
+/// ```
+/// use cac_gf2::irreducible::primitives;
+///
+/// // φ(2^4 − 1)/4 = φ(15)/4 = 2 primitive quartics.
+/// assert_eq!(primitives(4).count(), 2);
+/// ```
+pub fn primitives(degree: u32) -> impl Iterator<Item = Poly> {
+    irreducibles(degree).filter(|&p| is_primitive(p))
+}
+
+/// Counts the irreducible polynomials of a given degree.
+///
+/// By the necklace-counting formula this is
+/// `(1/n) * Σ_{d | n} μ(n/d) 2^d`; the function simply enumerates, and the
+/// unit tests check it against the formula for small degrees.
+pub fn count_irreducibles(degree: u32) -> usize {
+    irreducibles(degree).count()
+}
+
+/// Returns the multiplicative order of `x` modulo `f`, i.e. the smallest
+/// `e >= 1` with `x^e ≡ 1 (mod f)`, or `None` if no such `e` exists
+/// (which happens iff `x` divides `f`).
+///
+/// For an irreducible `f` of degree `n`, the order always divides
+/// `2^n − 1`; `f` is *primitive* iff the order equals `2^n − 1`.
+///
+/// # Panics
+///
+/// Panics if `deg(f) < 1` or `deg(f) > 24` (the scan is linear in the order,
+/// so larger degrees would be unreasonably slow).
+pub fn order_of_x(f: Poly) -> Option<u64> {
+    let n = f.degree().expect("zero modulus");
+    assert!((1..=24).contains(&n), "order_of_x supports degrees 1..=24");
+    if f.coeff(0) == 0 {
+        return None; // x | f, so x is nilpotent mod f, never 1.
+    }
+    let limit = (1u64 << n) - 1;
+    let mut acc = Poly::X.rem(f);
+    for e in 1..=limit {
+        if acc == Poly::ONE {
+            return Some(e);
+        }
+        acc = acc.mulmod(Poly::X, f);
+    }
+    if acc == Poly::ONE {
+        Some(limit)
+    } else {
+        None
+    }
+}
+
+/// Tests whether `f` is **primitive**: irreducible with `x` generating
+/// the whole multiplicative group of GF(2^n), i.e. `x` has order
+/// `2^n − 1` modulo `f`.
+///
+/// Rau's pseudo-random interleaving paper \[19\] works with primitive
+/// polynomials; the cache paper only requires irreducibility ("for best
+/// performance P will be an irreducible polynomial"). The distinction
+/// matters for sequence-period arguments: modulo a primitive polynomial
+/// the powers `x^0, x^1, …` cycle through *every* non-zero residue.
+///
+/// The test checks `x^((2^n−1)/q) ≠ 1` for every prime factor `q` of
+/// `2^n − 1`, so it runs in `O(n · #factors)` field multiplications and,
+/// unlike [`order_of_x`], covers every degree up to [`MAX_DEGREE`].
+///
+/// Returns `false` for reducible polynomials.
+///
+/// # Panics
+///
+/// Panics if `deg(f) >` [`MAX_DEGREE`].
+///
+/// # Example
+///
+/// ```
+/// use cac_gf2::{irreducible::is_primitive, Poly};
+///
+/// // x^4 + x + 1 is primitive; x^4 + x^3 + x^2 + x + 1 is irreducible
+/// // but x has order 5 there, so it is not primitive.
+/// assert!(is_primitive(Poly::from_bits(0b10011)));
+/// assert!(!is_primitive(Poly::from_bits(0b11111)));
+/// ```
+pub fn is_primitive(f: Poly) -> bool {
+    let n = match f.degree() {
+        None | Some(0) => return false,
+        Some(n) => n,
+    };
+    if !is_irreducible(f) {
+        return false;
+    }
+    if n == 1 {
+        // GF(2): the multiplicative group is trivial; both degree-1
+        // polynomials are conventionally primitive.
+        return true;
+    }
+    let group_order = (1u64 << n) - 1;
+    let x = Poly::X;
+    prime_factors(group_order)
+        .into_iter()
+        .all(|q| x.powmod(group_order / q, f) != Poly::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitivity_of_small_polynomials() {
+        // Degree 3: 2^3 - 1 = 7 is prime, so both irreducible cubics are
+        // primitive.
+        assert_eq!(primitives(3).count(), 2);
+        // Degree 4: x^4+x+1 and x^4+x^3+1 are primitive; x^4+x^3+x^2+x+1
+        // divides x^5 - 1, so x has order 5 and it is not.
+        let quartics: Vec<u128> = primitives(4).map(Poly::bits).collect();
+        assert_eq!(quartics, vec![0b10011, 0b11001]);
+        assert!(!is_primitive(Poly::from_bits(0b11111)));
+        // Reducible polynomials are never primitive.
+        assert!(!is_primitive(Poly::from_bits(0b1001))); // x^3 + 1 = (x+1)(x^2+x+1)
+    }
+
+    #[test]
+    fn primitive_counts_match_euler_phi_over_degree() {
+        // #primitive(m) = φ(2^m − 1) / m.
+        fn phi(mut n: u64) -> u64 {
+            let mut result = n;
+            let mut d = 2;
+            while d * d <= n {
+                if n.is_multiple_of(d) {
+                    result -= result / d;
+                    while n.is_multiple_of(d) {
+                        n /= d;
+                    }
+                }
+                d += 1;
+            }
+            if n > 1 {
+                result -= result / n;
+            }
+            result
+        }
+        for m in 2u32..=10 {
+            let expected = phi((1 << m) - 1) / u64::from(m);
+            assert_eq!(
+                primitives(m).count() as u64,
+                expected,
+                "degree {m} primitive count"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_polynomials_are_primitive() {
+        // The degree-7 minimum-fan-in selection x^7 + x + 1 happens to be
+        // primitive, matching Rau's original construction.
+        assert!(is_primitive(Poly::from_bits(0b1000_0011)));
+    }
+
+    #[test]
+    fn prime_factor_helper() {
+        assert_eq!(prime_factors(127), vec![127]);
+        assert_eq!(prime_factors(255), vec![3, 5, 17]);
+        assert_eq!(prime_factors(2), vec![2]);
+        assert_eq!(prime_factors(12), vec![2, 3]);
+    }
+
+    #[test]
+    fn degree_one_and_trivial_cases() {
+        assert!(is_irreducible(Poly::X)); // x
+        assert!(is_irreducible(Poly::from_bits(0b11))); // x + 1
+        assert!(!is_irreducible(Poly::ZERO));
+        assert!(!is_irreducible(Poly::ONE));
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        for bits in [
+            0b111u128,     // x^2+x+1
+            0b1011,        // x^3+x+1
+            0b1101,        // x^3+x^2+1
+            0b10011,       // x^4+x+1
+            0b100101,      // x^5+x^2+1
+            0b1000011,     // x^6+x+1
+            0b10000011,    // x^7+x+1
+            0b100011011,   // x^8+x^4+x^3+x+1 (AES polynomial)
+            0b10000001001, // x^10+x^3+1
+        ] {
+            assert!(is_irreducible(Poly::from_bits(bits)), "{bits:#b}");
+        }
+    }
+
+    #[test]
+    fn known_reducibles() {
+        for bits in [
+            0b100u128,    // x^2
+            0b101,        // x^2+1 = (x+1)^2
+            0b110,        // x^2+x = x(x+1)
+            0b1001,       // x^3+1 = (x+1)(x^2+x+1)
+            0b1111,       // x^3+x^2+x+1 = (x+1)(x^2+1)
+            0b10101,      // x^4+x^2+1 = (x^2+x+1)^2
+            0b100000001,  // x^8+1 = (x+1)^8
+            0b1000000001, // x^9+1
+        ] {
+            assert!(!is_irreducible(Poly::from_bits(bits)), "{bits:#b}");
+        }
+    }
+
+    /// Brute-force irreducibility check by trial division.
+    fn is_irreducible_naive(f: Poly) -> bool {
+        let n = match f.degree() {
+            None | Some(0) => return false,
+            Some(1) => return true,
+            Some(n) => n,
+        };
+        for dbits in 2u128..(1u128 << (n / 2 + 1)) {
+            let d = Poly::from_bits(dbits);
+            if d.degree().unwrap_or(0) >= 1 && f.rem(d).is_zero() {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn rabin_matches_trial_division_exhaustively_up_to_degree_10() {
+        for bits in 2u128..(1u128 << 11) {
+            let f = Poly::from_bits(bits);
+            assert_eq!(
+                is_irreducible(f),
+                is_irreducible_naive(f),
+                "mismatch for {bits:#b} = {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_match_necklace_formula() {
+        // Number of irreducible polynomials of degree n over GF(2):
+        // n: 1  2  3  4  5  6   7   8   9   10
+        //    2  1  2  3  6  9  18  30  56   99
+        let expected = [2, 1, 2, 3, 6, 9, 18, 30, 56, 99];
+        for (i, &want) in expected.iter().enumerate() {
+            let n = (i + 1) as u32;
+            assert_eq!(count_irreducibles(n), want, "degree {n}");
+        }
+    }
+
+    #[test]
+    fn default_polys_for_cache_sized_degrees() {
+        // All degrees a realistic cache would use must yield a valid modulus.
+        for degree in 1..=16 {
+            let p = default_poly(degree);
+            assert_eq!(p.degree(), Some(degree));
+            assert!(is_irreducible(p));
+        }
+        // Degree 7 (128 sets) is the paper's primary configuration.
+        assert_eq!(default_poly(7).bits(), 0b10000011);
+    }
+
+    #[test]
+    fn skew_sets_are_distinct_and_irreducible() {
+        // Degree 5 is the smallest with >= 4 irreducible polynomials (6).
+        for degree in 5..=12 {
+            let set = default_skew_set(degree, 4);
+            assert_eq!(set.len(), 4);
+            for (i, &p) in set.iter().enumerate() {
+                assert!(is_irreducible(p));
+                assert_eq!(p.degree(), Some(degree));
+                for &q in &set[i + 1..] {
+                    assert_ne!(p, q);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be at least 1")]
+    fn irreducibles_rejects_degree_zero() {
+        let _ = irreducibles(0);
+    }
+
+    #[test]
+    fn order_and_primitivity() {
+        // x^3 + x + 1 is primitive: order of x is 7.
+        assert_eq!(order_of_x(Poly::from_bits(0b1011)), Some(7));
+        assert!(is_primitive(Poly::from_bits(0b1011)));
+        // x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive:
+        // x has order 5, not 15.
+        let f = Poly::from_bits(0b11111);
+        assert!(is_irreducible(f));
+        assert_eq!(order_of_x(f), Some(5));
+        assert!(!is_primitive(f));
+        // x^2 (x divides f): no order.
+        assert_eq!(order_of_x(Poly::from_bits(0b100)), None);
+    }
+
+    #[test]
+    fn prime_divisor_helper() {
+        assert_eq!(prime_divisors(1), Vec::<u32>::new());
+        assert_eq!(prime_divisors(2), vec![2]);
+        assert_eq!(prime_divisors(12), vec![2, 3]);
+        assert_eq!(prime_divisors(30), vec![2, 3, 5]);
+        assert_eq!(prime_divisors(49), vec![7]);
+        assert_eq!(prime_divisors(97), vec![97]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Polynomial arithmetic over GF(2) and XOR-tree synthesis.
+//!
+//! This crate is the mathematical substrate of the *conflict-avoiding cache*
+//! of Topham, González & González (MICRO-30, 1997). The paper's I-Poly
+//! placement function interprets an address as a polynomial `A(x)` over the
+//! two-element field GF(2) and computes a cache index as
+//! `R(x) = A(x) mod P(x)` for an (ideally irreducible) polynomial `P(x)`
+//! whose degree equals the number of index bits.
+//!
+//! The crate provides:
+//!
+//! * [`Poly`] — dense polynomials over GF(2) up to degree 127, with
+//!   carry-less multiplication, Euclidean division, and GCD.
+//! * [`irreducible`] — Rabin's irreducibility test, enumeration of
+//!   irreducible polynomials, and the default polynomial families used by
+//!   the rest of the workspace.
+//! * [`xor_tree`] — synthesis of the *linear map* form of
+//!   `A(x) mod P(x)`: one bit-mask per index bit, so that evaluating the
+//!   hash is `parity(addr & mask_i)` per bit. This is exactly the XOR tree
+//!   a hardware implementation would use (paper §3.4), and the module
+//!   reports fan-in statistics to support that analysis.
+//! * [`matrix`] — small dense bit-matrices over GF(2) used to reason about
+//!   linear placement functions (rank, surjectivity, composition).
+//!
+//! # Example
+//!
+//! ```
+//! use cac_gf2::{Poly, irreducible, xor_tree::XorTree};
+//!
+//! // The lexicographically-first irreducible polynomial of degree 7
+//! // (7 index bits => 128 cache sets).
+//! let p = irreducible::default_poly(7);
+//! assert!(irreducible::is_irreducible(p));
+//!
+//! // Synthesise the XOR tree that maps 14 block-address bits to 7 index bits.
+//! let tree = XorTree::new(p, 14);
+//! let index = tree.apply(0b10_1101_0111_0011);
+//! assert!(index < 128);
+//! // Same answer as long division over GF(2):
+//! let a = Poly::from_bits(0b10_1101_0111_0011);
+//! assert_eq!(index, a.rem(p).bits() as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod irreducible;
+pub mod matrix;
+pub mod poly;
+pub mod xor_tree;
+
+pub use irreducible::{default_poly, default_skew_set, is_irreducible};
+pub use matrix::BitMatrix;
+pub use poly::Poly;
+pub use xor_tree::XorTree;

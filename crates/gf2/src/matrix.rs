@@ -1,0 +1,321 @@
+//! Dense bit-matrices over GF(2).
+//!
+//! Polynomial-modulus placement, XOR/skew placement and conventional modulo
+//! placement are all *linear* maps over GF(2) from address bits to index
+//! bits. Representing them as explicit matrices lets the rest of the
+//! workspace verify structural properties the paper relies on:
+//!
+//! * a placement function is conflict-free on `2^k`-strided sequences iff
+//!   certain sub-matrices have full rank (Rau's condition), and
+//! * surjectivity of the index map means every cache set is reachable.
+
+use std::fmt;
+
+/// A dense matrix over GF(2) with at most 64 columns.
+///
+/// Rows are stored as `u64` bit-masks; entry `(r, c)` is bit `c` of row `r`.
+/// The matrix maps a column-vector of bits `v` (packed into a `u64`) to
+/// `M·v`, where row `r` of the product is `parity(row_r & v)`.
+///
+/// # Example
+///
+/// ```
+/// use cac_gf2::BitMatrix;
+///
+/// let id = BitMatrix::identity(4);
+/// assert_eq!(id.apply(0b1010), 0b1010);
+/// assert_eq!(id.rank(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: Vec<u64>,
+    cols: u32,
+}
+
+impl BitMatrix {
+    /// Creates a matrix from explicit row masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols > 64` or any row has a bit set at or beyond `cols`.
+    pub fn from_rows(rows: Vec<u64>, cols: u32) -> Self {
+        assert!(cols <= 64, "at most 64 columns supported");
+        let valid = if cols == 64 { u64::MAX } else { (1u64 << cols) - 1 };
+        for (i, &row) in rows.iter().enumerate() {
+            assert!(
+                row & !valid == 0,
+                "row {i} has bits outside the {cols}-column range"
+            );
+        }
+        BitMatrix { rows, cols }
+    }
+
+    /// The `n × n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn identity(n: u32) -> Self {
+        assert!(n <= 64);
+        BitMatrix {
+            rows: (0..n).map(|i| 1u64 << i).collect(),
+            cols: n,
+        }
+    }
+
+    /// The all-zero matrix with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols > 64`.
+    pub fn zero(rows: u32, cols: u32) -> Self {
+        assert!(cols <= 64);
+        BitMatrix {
+            rows: vec![0; rows as usize],
+            cols,
+        }
+    }
+
+    /// Number of rows (output bits).
+    #[inline]
+    pub fn num_rows(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    /// Number of columns (input bits).
+    #[inline]
+    pub fn num_cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Returns entry `(r, c)` as 0 or 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    #[inline]
+    pub fn get(&self, r: u32, c: u32) -> u8 {
+        assert!(c < self.cols, "column {c} out of bounds");
+        ((self.rows[r as usize] >> c) & 1) as u8
+    }
+
+    /// Sets entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn set(&mut self, r: u32, c: u32, value: bool) {
+        assert!(c < self.cols, "column {c} out of bounds");
+        let row = &mut self.rows[r as usize];
+        if value {
+            *row |= 1u64 << c;
+        } else {
+            *row &= !(1u64 << c);
+        }
+    }
+
+    /// Returns row `r` as a bit-mask over the columns.
+    #[inline]
+    pub fn row(&self, r: u32) -> u64 {
+        self.rows[r as usize]
+    }
+
+    /// Applies the matrix to a packed bit-vector: output bit `r` is
+    /// `parity(row_r & input)`.
+    ///
+    /// Bits of `input` at or beyond the column count are ignored.
+    #[inline]
+    pub fn apply(&self, input: u64) -> u64 {
+        let masked = if self.cols == 64 {
+            input
+        } else {
+            input & ((1u64 << self.cols) - 1)
+        };
+        let mut out = 0u64;
+        for (r, &row) in self.rows.iter().enumerate() {
+            out |= (((row & masked).count_ones() & 1) as u64) << r;
+        }
+        out
+    }
+
+    /// Rank of the matrix over GF(2), computed by Gaussian elimination on a
+    /// copy of the rows.
+    pub fn rank(&self) -> u32 {
+        let mut rows = self.rows.clone();
+        let mut rank = 0u32;
+        for col in 0..self.cols {
+            let Some(pivot) = (rank as usize..rows.len())
+                .find(|&r| rows[r] >> col & 1 == 1)
+            else {
+                continue;
+            };
+            rows.swap(rank as usize, pivot);
+            let pivot_row = rows[rank as usize];
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank as usize && *row >> col & 1 == 1 {
+                    *row ^= pivot_row;
+                }
+            }
+            rank += 1;
+            if rank as usize == rows.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// `true` if the map is surjective onto its row space, i.e. the rank
+    /// equals the number of rows — every output pattern (cache set) is hit
+    /// by some input.
+    pub fn is_surjective(&self) -> bool {
+        self.rank() == self.num_rows()
+    }
+
+    /// Restricts the matrix to a contiguous range of columns
+    /// `lo..lo + width`, producing a matrix with `width` columns.
+    ///
+    /// Used to check Rau's stride condition: a `2^k`-strided sequence of
+    /// `2^m` addresses is conflict-free iff the restriction of the index map
+    /// to columns `k..k+m` has full rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn restrict_columns(&self, lo: u32, width: u32) -> BitMatrix {
+        assert!(lo + width <= self.cols, "column range out of bounds");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        BitMatrix {
+            rows: self.rows.iter().map(|&r| (r >> lo) & mask).collect(),
+            cols: width,
+        }
+    }
+
+    /// Matrix product `self · rhs` (composition of linear maps; `rhs` is
+    /// applied first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.num_cols() != rhs.num_rows()`.
+    pub fn compose(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.cols,
+            rhs.num_rows(),
+            "dimension mismatch in matrix composition"
+        );
+        let mut out = BitMatrix::zero(self.num_rows(), rhs.num_cols());
+        for r in 0..self.num_rows() {
+            let mut acc = 0u64;
+            for c in 0..self.cols {
+                if self.get(r, c) == 1 {
+                    acc ^= rhs.row(c);
+                }
+            }
+            out.rows[r as usize] = acc;
+        }
+        out
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &row in &self.rows {
+            for c in 0..self.cols {
+                write!(f, "{}", (row >> c) & 1)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_application_and_rank() {
+        let id = BitMatrix::identity(8);
+        for v in [0u64, 1, 0xAB, 0xFF] {
+            assert_eq!(id.apply(v), v);
+        }
+        assert_eq!(id.rank(), 8);
+        assert!(id.is_surjective());
+    }
+
+    #[test]
+    fn zero_matrix_properties() {
+        let z = BitMatrix::zero(3, 5);
+        assert_eq!(z.apply(0b11111), 0);
+        assert_eq!(z.rank(), 0);
+        assert!(!z.is_surjective());
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        // Row 2 = row 0 XOR row 1 => rank 2.
+        let m = BitMatrix::from_rows(vec![0b0011, 0b0101, 0b0110], 4);
+        assert_eq!(m.rank(), 2);
+        assert!(!m.is_surjective());
+    }
+
+    #[test]
+    fn apply_is_linear() {
+        let m = BitMatrix::from_rows(vec![0b1011, 0b0110, 0b1101], 4);
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                assert_eq!(m.apply(a) ^ m.apply(b), m.apply(a ^ b));
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_shifts_columns() {
+        let m = BitMatrix::from_rows(vec![0b1100, 0b0110], 4);
+        let r = m.restrict_columns(1, 2);
+        assert_eq!(r.num_cols(), 2);
+        assert_eq!(r.row(0), 0b10);
+        assert_eq!(r.row(1), 0b11);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = BitMatrix::from_rows(vec![0b101, 0b011], 3); // 2x3
+        let b = BitMatrix::from_rows(vec![0b11, 0b10, 0b01], 2); // 3x2
+        let ab = a.compose(&b); // 2x2
+        for v in 0u64..4 {
+            assert_eq!(ab.apply(v), a.apply(b.apply(v)));
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = BitMatrix::zero(2, 3);
+        m.set(0, 2, true);
+        m.set(1, 0, true);
+        assert_eq!(m.get(0, 2), 1);
+        assert_eq!(m.get(1, 0), 1);
+        assert_eq!(m.get(0, 0), 0);
+        m.set(0, 2, false);
+        assert_eq!(m.get(0, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column range out of bounds")]
+    fn restriction_bounds_checked() {
+        let m = BitMatrix::identity(4);
+        let _ = m.restrict_columns(2, 3);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = BitMatrix::from_rows(vec![0b01, 0b10], 2);
+        assert_eq!(m.to_string(), "10\n01\n");
+    }
+
+    #[test]
+    fn full_64_column_matrix() {
+        let id = BitMatrix::identity(64);
+        assert_eq!(id.apply(u64::MAX), u64::MAX);
+        assert_eq!(id.rank(), 64);
+    }
+}

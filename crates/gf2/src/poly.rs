@@ -1,0 +1,508 @@
+//! Dense polynomials over GF(2).
+//!
+//! A [`Poly`] stores the coefficients of a polynomial over the two-element
+//! field in the bits of a `u128`: bit `k` is the coefficient of `x^k`.
+//! Addition is XOR, multiplication is carry-less, and division is ordinary
+//! long division with XOR in place of subtraction. Degrees up to 127 are
+//! supported, which comfortably covers 64-bit addresses plus any practical
+//! modulus polynomial.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, BitXor, Mul, Rem};
+
+/// A polynomial over GF(2) with degree at most 127.
+///
+/// Bit `k` of the underlying `u128` is the coefficient of `x^k`. The zero
+/// polynomial is represented by `0`.
+///
+/// # Example
+///
+/// ```
+/// use cac_gf2::Poly;
+///
+/// let a = Poly::from_bits(0b1011); // x^3 + x + 1
+/// let b = Poly::from_bits(0b11);   // x + 1
+/// assert_eq!((a + b).bits(), 0b1000); // x^3
+/// assert_eq!((a * b).bits(), 0b11101); // x^4 + x^3 + x^2 + 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Poly(u128);
+
+impl Poly {
+    /// The zero polynomial.
+    pub const ZERO: Poly = Poly(0);
+    /// The constant polynomial `1`.
+    pub const ONE: Poly = Poly(1);
+    /// The monomial `x`.
+    pub const X: Poly = Poly(2);
+
+    /// Creates a polynomial from its coefficient bits (bit `k` ↦ `x^k`).
+    #[inline]
+    pub const fn from_bits(bits: u128) -> Self {
+        Poly(bits)
+    }
+
+    /// The constant polynomial `1` — the multiplicative identity.
+    #[inline]
+    pub const fn one() -> Self {
+        Poly(1)
+    }
+
+    /// Returns the coefficient bits (bit `k` ↦ `x^k`).
+    pub const fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Returns the monomial `x^k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 127`.
+    #[inline]
+    pub fn monomial(k: u32) -> Self {
+        assert!(k <= 127, "monomial degree {k} exceeds 127");
+        Poly(1u128 << k)
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Degree of the polynomial, or `None` for the zero polynomial.
+    ///
+    /// ```
+    /// use cac_gf2::Poly;
+    /// assert_eq!(Poly::from_bits(0b1011).degree(), Some(3));
+    /// assert_eq!(Poly::ZERO.degree(), None);
+    /// ```
+    #[inline]
+    pub fn degree(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(127 - self.0.leading_zeros())
+        }
+    }
+
+    /// Degree of the polynomial, treating the zero polynomial as degree 0.
+    ///
+    /// Convenient in contexts where the zero polynomial cannot occur (e.g. a
+    /// modulus, which is validated to be non-constant).
+    #[inline]
+    pub fn degree_or_zero(self) -> u32 {
+        self.degree().unwrap_or(0)
+    }
+
+    /// Returns the coefficient of `x^k` (0 or 1).
+    #[inline]
+    pub fn coeff(self, k: u32) -> u8 {
+        if k > 127 {
+            0
+        } else {
+            ((self.0 >> k) & 1) as u8
+        }
+    }
+
+    /// Number of non-zero coefficients.
+    #[inline]
+    pub fn weight(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Carry-less (GF(2)) product of two polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product would overflow degree 127, i.e. if
+    /// `deg(a) + deg(b) > 127`.
+    // Not `impl Mul`: carry-less multiplication warrants an explicit call
+    // site, and the panic contract differs from arithmetic expectations.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::ZERO;
+        }
+        let (da, db) = (self.degree().unwrap(), rhs.degree().unwrap());
+        assert!(
+            da + db <= 127,
+            "polynomial product degree {} exceeds 127",
+            da + db
+        );
+        let mut acc = 0u128;
+        let mut a = self.0;
+        let mut b = rhs.0;
+        while b != 0 {
+            if b & 1 == 1 {
+                acc ^= a;
+            }
+            a <<= 1;
+            b >>= 1;
+        }
+        Poly(acc)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q * rhs + r` and `deg(r) < deg(rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is the zero polynomial.
+    pub fn divmod(self, rhs: Poly) -> (Poly, Poly) {
+        let db = rhs
+            .degree()
+            .expect("division by the zero polynomial over GF(2)");
+        let mut rem = self.0;
+        let mut quot = 0u128;
+        while let Some(dr) = Poly(rem).degree() {
+            if dr < db {
+                break;
+            }
+            let shift = dr - db;
+            rem ^= rhs.0 << shift;
+            quot |= 1u128 << shift;
+        }
+        (Poly(quot), Poly(rem))
+    }
+
+    /// Remainder of Euclidean division: `self mod rhs`.
+    ///
+    /// This is the paper's placement primitive: the cache index of address
+    /// `A` is `A(x) mod P(x)` (equation (vi) of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is the zero polynomial.
+    // Not `impl Rem` for the same reason as `mul` (panic contract).
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn rem(self, rhs: Poly) -> Poly {
+        self.divmod(rhs).1
+    }
+
+    /// Product reduced modulo `modulus`: `(self * rhs) mod modulus`.
+    ///
+    /// Unlike [`Poly::mul`] this never overflows as long as both operands
+    /// are already reduced (degree < deg(modulus) ≤ 64); reduction is
+    /// interleaved with the shift-and-add loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is constant (degree 0 or zero polynomial).
+    pub fn mulmod(self, rhs: Poly, modulus: Poly) -> Poly {
+        let dm = modulus.degree().expect("zero modulus");
+        assert!(dm >= 1, "modulus must have degree >= 1");
+        let mut a = self.rem(modulus).0;
+        let mut b = rhs.rem(modulus).0;
+        let top = 1u128 << dm;
+        let m = modulus.0;
+        let mut acc = 0u128;
+        while b != 0 {
+            if b & 1 == 1 {
+                acc ^= a;
+            }
+            b >>= 1;
+            a <<= 1;
+            if a & top != 0 {
+                a ^= m;
+            }
+        }
+        Poly(acc)
+    }
+
+    /// Squares the polynomial modulo `modulus`.
+    #[inline]
+    pub fn sqrmod(self, modulus: Poly) -> Poly {
+        self.mulmod(self, modulus)
+    }
+
+    /// Raises the polynomial to the power `exp` modulo `modulus`
+    /// (square-and-multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` has degree < 1.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cac_gf2::Poly;
+    ///
+    /// // x^7 = 1 mod (x^3 + x + 1): the multiplicative group of GF(8)
+    /// // has order 7.
+    /// let p = Poly::from_bits(0b1011);
+    /// assert_eq!(Poly::monomial(1).powmod(7, p), Poly::one());
+    /// assert_ne!(Poly::monomial(1).powmod(3, p), Poly::one());
+    /// ```
+    pub fn powmod(self, mut exp: u64, modulus: Poly) -> Poly {
+        let mut base = self.rem(modulus);
+        let mut acc = Poly::one();
+        while exp != 0 {
+            if exp & 1 == 1 {
+                acc = acc.mulmod(base, modulus);
+            }
+            base = base.sqrmod(modulus);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Greatest common divisor (monic by construction over GF(2)).
+    ///
+    /// `gcd(0, b) = b` and `gcd(a, 0) = a`.
+    pub fn gcd(self, rhs: Poly) -> Poly {
+        let (mut a, mut b) = (self, rhs);
+        while !b.is_zero() {
+            let r = a.rem(b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Evaluates the polynomial at a point of GF(2) (0 or 1).
+    ///
+    /// Over GF(2) the value at 0 is the constant coefficient and the value
+    /// at 1 is the parity of the coefficient weight.
+    #[inline]
+    pub fn eval(self, point: u8) -> u8 {
+        match point & 1 {
+            0 => (self.0 & 1) as u8,
+            _ => (self.0.count_ones() & 1) as u8,
+        }
+    }
+
+    /// Computes `x^(2^k) mod modulus` by repeated squaring.
+    ///
+    /// This is the core step of Rabin's irreducibility test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` has degree < 1.
+    pub fn x_pow_pow2_mod(k: u32, modulus: Poly) -> Poly {
+        let mut acc = Poly::X.rem(modulus);
+        for _ in 0..k {
+            acc = acc.sqrmod(modulus);
+        }
+        acc
+    }
+
+    /// Formats the polynomial as a human-readable sum of monomials,
+    /// e.g. `x^3 + x + 1`. The zero polynomial formats as `0`.
+    pub fn to_terms(self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut parts = Vec::new();
+        for k in (0..=self.degree().unwrap()).rev() {
+            if self.coeff(k) == 1 {
+                parts.push(match k {
+                    0 => "1".to_owned(),
+                    1 => "x".to_owned(),
+                    _ => format!("x^{k}"),
+                });
+            }
+        }
+        parts.join(" + ")
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    // Addition over GF(2) *is* XOR: each coefficient is added mod 2.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn add(self, rhs: Poly) -> Poly {
+        Poly(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Poly {
+    // See `Add`: GF(2) addition is XOR.
+    #[allow(clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn add_assign(&mut self, rhs: Poly) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl BitXor for Poly {
+    type Output = Poly;
+    #[inline]
+    fn bitxor(self, rhs: Poly) -> Poly {
+        Poly(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    #[inline]
+    fn mul(self, rhs: Poly) -> Poly {
+        Poly::mul(self, rhs)
+    }
+}
+
+impl Rem for Poly {
+    type Output = Poly;
+    #[inline]
+    fn rem(self, rhs: Poly) -> Poly {
+        Poly::rem(self, rhs)
+    }
+}
+
+impl From<u64> for Poly {
+    #[inline]
+    fn from(bits: u64) -> Poly {
+        Poly(bits as u128)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_terms())
+    }
+}
+
+impl fmt::Binary for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_of_basics() {
+        assert_eq!(Poly::ZERO.degree(), None);
+        assert_eq!(Poly::ONE.degree(), Some(0));
+        assert_eq!(Poly::X.degree(), Some(1));
+        assert_eq!(Poly::monomial(63).degree(), Some(63));
+        assert_eq!(Poly::monomial(127).degree(), Some(127));
+    }
+
+    #[test]
+    fn addition_is_xor() {
+        let a = Poly::from_bits(0b1100);
+        let b = Poly::from_bits(0b1010);
+        assert_eq!((a + b).bits(), 0b0110);
+        assert_eq!((a ^ b).bits(), 0b0110);
+    }
+
+    #[test]
+    fn multiplication_small_cases() {
+        // (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        let x1 = Poly::from_bits(0b11);
+        assert_eq!((x1 * x1).bits(), 0b101);
+        // (x^2 + x + 1)(x + 1) = x^3 + 1
+        let a = Poly::from_bits(0b111);
+        assert_eq!((a * x1).bits(), 0b1001);
+        // multiply by zero and one
+        assert_eq!((a * Poly::ZERO).bits(), 0);
+        assert_eq!((a * Poly::ONE).bits(), a.bits());
+    }
+
+    #[test]
+    fn divmod_reconstructs() {
+        let a = Poly::from_bits(0b1101_0110_1011);
+        let b = Poly::from_bits(0b1011);
+        let (q, r) = a.divmod(b);
+        assert!(r.degree().is_none_or(|d| d < b.degree().unwrap()));
+        assert_eq!((q * b + r).bits(), a.bits());
+    }
+
+    #[test]
+    fn rem_matches_mod_for_power_of_two_modulus() {
+        // x^m as modulus is ordinary "take the low m bits".
+        let m = Poly::monomial(5);
+        for bits in [0u128, 1, 31, 32, 33, 0xfeed, 0xffff_ffff] {
+            assert_eq!(Poly::from_bits(bits).rem(m).bits(), bits & 0b11111);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn division_by_zero_panics() {
+        let _ = Poly::ONE.divmod(Poly::ZERO);
+    }
+
+    #[test]
+    fn mulmod_agrees_with_mul_then_rem() {
+        let m = Poly::from_bits(0b10001001); // x^7 + x^3 + 1
+        for a in 0u128..64 {
+            for b in 0u128..64 {
+                let pa = Poly::from_bits(a);
+                let pb = Poly::from_bits(b);
+                assert_eq!(pa.mulmod(pb, m), (pa * pb).rem(m), "a={a:b} b={b:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_basics() {
+        let a = Poly::from_bits(0b1011); // irreducible x^3+x+1
+        let b = Poly::from_bits(0b111); // irreducible x^2+x+1
+        assert_eq!(a.gcd(b), Poly::ONE);
+        let prod = a * b;
+        assert_eq!(prod.gcd(a), a);
+        assert_eq!(prod.gcd(b), b);
+        assert_eq!(Poly::ZERO.gcd(a), a);
+        assert_eq!(a.gcd(Poly::ZERO), a);
+    }
+
+    #[test]
+    fn x_pow_pow2_mod_small() {
+        // mod x^3 + x + 1: x^2 stays x^2; x^4 = x^2 + x; x^8 = x (since the
+        // field has 8 elements, x^8 = x for all elements).
+        let m = Poly::from_bits(0b1011);
+        assert_eq!(Poly::x_pow_pow2_mod(0, m), Poly::X);
+        assert_eq!(Poly::x_pow_pow2_mod(1, m).bits(), 0b100);
+        assert_eq!(Poly::x_pow_pow2_mod(2, m).bits(), 0b110);
+        assert_eq!(Poly::x_pow_pow2_mod(3, m), Poly::X);
+    }
+
+    #[test]
+    fn eval_points() {
+        let a = Poly::from_bits(0b1011); // x^3 + x + 1
+        assert_eq!(a.eval(0), 1);
+        assert_eq!(a.eval(1), 1); // three terms -> parity 1
+        let b = Poly::from_bits(0b110); // x^2 + x
+        assert_eq!(b.eval(0), 0);
+        assert_eq!(b.eval(1), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Poly::from_bits(0b1011).to_string(), "x^3 + x + 1");
+        assert_eq!(Poly::ZERO.to_string(), "0");
+        assert_eq!(Poly::ONE.to_string(), "1");
+        assert_eq!(Poly::X.to_string(), "x");
+        assert_eq!(format!("{:b}", Poly::from_bits(0b1011)), "1011");
+        assert_eq!(format!("{:x}", Poly::from_bits(0xff)), "ff");
+    }
+
+    #[test]
+    fn weight_and_coeff() {
+        let p = Poly::from_bits(0b1010_0101);
+        assert_eq!(p.weight(), 4);
+        assert_eq!(p.coeff(0), 1);
+        assert_eq!(p.coeff(1), 0);
+        assert_eq!(p.coeff(7), 1);
+        assert_eq!(p.coeff(127), 0);
+        assert_eq!(p.coeff(200), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for GF(2) polynomial arithmetic and XOR-tree
+//! synthesis.
+
+use cac_gf2::irreducible::{self, is_irreducible};
+use cac_gf2::{BitMatrix, Poly, XorTree};
+use proptest::prelude::*;
+
+/// Arbitrary polynomial with degree < 64.
+fn poly64() -> impl Strategy<Value = Poly> {
+    any::<u64>().prop_map(|b| Poly::from_bits(b as u128))
+}
+
+/// Arbitrary non-zero polynomial with degree < 32 (safe divisor).
+fn divisor32() -> impl Strategy<Value = Poly> {
+    (1u64..u32::MAX as u64).prop_map(|b| Poly::from_bits(b as u128))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutative_associative(a in poly64(), b in poly64(), c in poly64()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + a, Poly::ZERO);
+    }
+
+    #[test]
+    fn multiplication_commutative(a in poly64(), b in poly64()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in poly64(), b in poly64(), c in poly64()) {
+        // (a + b) * c == a*c + b*c; degrees stay < 128 because all inputs
+        // have degree < 64.
+        prop_assert_eq!((a + b) * c, a * c + b * c);
+    }
+
+    #[test]
+    fn degree_of_product_adds(a in poly64(), b in poly64()) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let d = a.degree().unwrap() + b.degree().unwrap();
+        prop_assert_eq!((a * b).degree(), Some(d));
+    }
+
+    #[test]
+    fn divmod_invariant(a in poly64(), d in divisor32()) {
+        let (q, r) = a.divmod(d);
+        prop_assert_eq!(q * d + r, a);
+        if let Some(dr) = r.degree() {
+            prop_assert!(dr < d.degree().unwrap());
+        }
+    }
+
+    #[test]
+    fn rem_is_idempotent(a in poly64(), d in divisor32()) {
+        prop_assume!(d.degree().unwrap() >= 1);
+        let r = a.rem(d);
+        prop_assert_eq!(r.rem(d), r);
+    }
+
+    #[test]
+    fn rem_is_linear(a in poly64(), b in poly64(), d in divisor32()) {
+        prop_assume!(d.degree().unwrap() >= 1);
+        prop_assert_eq!((a + b).rem(d), a.rem(d) + b.rem(d));
+    }
+
+    #[test]
+    fn mulmod_matches_mul_then_rem(a in any::<u32>(), b in any::<u32>(), d in divisor32()) {
+        prop_assume!(d.degree().unwrap() >= 1);
+        let (pa, pb) = (Poly::from_bits(a as u128), Poly::from_bits(b as u128));
+        prop_assert_eq!(pa.mulmod(pb, d), (pa * pb).rem(d));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in divisor32(), b in divisor32()) {
+        let g = a.gcd(b);
+        prop_assert!(a.rem(g).is_zero());
+        prop_assert!(b.rem(g).is_zero());
+    }
+
+    #[test]
+    fn gcd_commutative(a in poly64(), b in poly64()) {
+        prop_assert_eq!(a.gcd(b), b.gcd(a));
+    }
+
+    #[test]
+    fn xor_tree_agrees_with_division(addr in any::<u64>(), degree in 2u32..12, width in 12u32..40) {
+        let p = irreducible::default_poly(degree);
+        let tree = XorTree::new(p, width);
+        let masked = addr & ((1u64 << width) - 1);
+        let expected = Poly::from_bits(masked as u128).rem(p).bits() as u64;
+        prop_assert_eq!(tree.apply(addr), expected);
+    }
+
+    #[test]
+    fn xor_tree_is_linear(a in any::<u64>(), b in any::<u64>(), degree in 2u32..10) {
+        let p = irreducible::default_poly(degree);
+        let tree = XorTree::new(p, 32);
+        prop_assert_eq!(tree.apply(a) ^ tree.apply(b), tree.apply(a ^ b));
+    }
+
+    #[test]
+    fn irreducibles_have_no_small_factors(degree in 3u32..12, seed in any::<u64>()) {
+        // Pick a pseudo-random irreducible of the degree and verify no
+        // divisor of degree 1..=2 divides it.
+        let all: Vec<Poly> = irreducible::irreducibles(degree).collect();
+        let f = all[(seed % all.len() as u64) as usize];
+        for dbits in 2u128..8 {
+            let d = Poly::from_bits(dbits);
+            prop_assert!(!f.rem(d).is_zero(), "{} divides {}", d, f);
+        }
+    }
+
+    #[test]
+    fn product_of_irreducibles_is_reducible(i in 0usize..18, j in 0usize..18) {
+        let sevens: Vec<Poly> = irreducible::irreducibles(7).collect();
+        let f = sevens[i % sevens.len()] * sevens[j % sevens.len()];
+        prop_assert!(!is_irreducible(f));
+    }
+
+    #[test]
+    fn matrix_rank_bounded(rows in proptest::collection::vec(any::<u16>(), 1..8)) {
+        let n = rows.len() as u32;
+        let m = BitMatrix::from_rows(rows.iter().map(|&r| r as u64).collect(), 16);
+        let rank = m.rank();
+        prop_assert!(rank <= n.min(16));
+    }
+
+    #[test]
+    fn matrix_apply_linear(rows in proptest::collection::vec(any::<u16>(), 1..8),
+                           a in any::<u16>(), b in any::<u16>()) {
+        let m = BitMatrix::from_rows(rows.iter().map(|&r| r as u64).collect(), 16);
+        prop_assert_eq!(
+            m.apply(a as u64) ^ m.apply(b as u64),
+            m.apply((a ^ b) as u64)
+        );
+    }
+}

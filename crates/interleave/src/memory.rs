@@ -1,0 +1,386 @@
+//! The banked-memory model.
+//!
+//! A deliberately minimal — but cycle-faithful — model of the memory
+//! systems studied by Rau \[18\]\[19\]: an in-order request stream (as issued
+//! by a vector unit or a stream of loads), `2^b` banks each busy for
+//! `busy_time` cycles per access, and an optional FIFO buffer of pending
+//! requests per bank. One request can be issued per cycle; a request to a
+//! bank whose buffer is full stalls issue until a slot frees.
+//!
+//! Two facts make this simple model sufficient for the reproduction:
+//! peak bandwidth is one access per cycle as long as requests spread over
+//! at least `busy_time` banks, and any selection function that maps a
+//! stride onto few banks serialises the stream at `1/busy_time` — which is
+//! precisely the contrast the stride experiments measure.
+
+use crate::sweep::Word;
+use cac_core::{CacheGeometry, Error, IndexFunction, IndexSpec};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Static configuration of a banked memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankConfig {
+    banks: u32,
+    word: u64,
+    busy_time: u32,
+    buffer_depth: u32,
+}
+
+impl BankConfig {
+    /// Default per-bank buffer depth (Rau's buffered configuration).
+    pub const DEFAULT_BUFFER_DEPTH: u32 = 8;
+
+    /// Creates a configuration: `banks` memory banks of `word`-byte words,
+    /// each busy for `busy_time` cycles per access, with the default
+    /// buffer depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPowerOfTwo`] unless `banks` and `word` are
+    /// powers of two, and [`Error::OutOfRange`] if `busy_time` is zero.
+    pub fn new(banks: u32, word: u64, busy_time: u32) -> Result<Self, Error> {
+        if banks == 0 || !banks.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "banks",
+                value: u64::from(banks),
+            });
+        }
+        if word == 0 || !word.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "word size",
+                value: word,
+            });
+        }
+        if busy_time == 0 {
+            return Err(Error::OutOfRange {
+                what: "bank busy time",
+                value: 0,
+                constraint: ">= 1",
+            });
+        }
+        Ok(BankConfig {
+            banks,
+            word,
+            busy_time,
+            buffer_depth: Self::DEFAULT_BUFFER_DEPTH,
+        })
+    }
+
+    /// Same configuration with a different per-bank buffer depth
+    /// (`0` = unbuffered: issue stalls whenever the target bank is busy).
+    pub fn with_buffer_depth(mut self, depth: u32) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Word size in bytes (bank interleaving granularity).
+    pub fn word(&self) -> u64 {
+        self.word
+    }
+
+    /// Cycles a bank is busy per access.
+    pub fn busy_time(&self) -> u32 {
+        self.busy_time
+    }
+
+    /// Per-bank buffer depth.
+    pub fn buffer_depth(&self) -> u32 {
+        self.buffer_depth
+    }
+
+    /// The equivalent cache geometry used to instantiate a bank-selection
+    /// function: one "set" per bank, one way, `word`-byte blocks.
+    ///
+    /// This is what lets every placement scheme in [`cac_core::index`]
+    /// double as a bank-selection function — the unification the paper
+    /// exploits in the other direction (memory schemes reused as cache
+    /// indices).
+    pub fn selector_geometry(&self) -> CacheGeometry {
+        CacheGeometry::new(u64::from(self.banks) * self.word, self.word, 1)
+            .expect("banks and word validated as powers of two")
+    }
+}
+
+/// Measurements accumulated by an [`InterleavedMemory`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterleaveStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Cycle at which the last request completed (total busy span).
+    pub finish_cycle: u64,
+    /// Sum over requests of (service completion − arrival at issue).
+    pub total_latency: u64,
+    /// Cycles the issue stage spent stalled on a full bank buffer.
+    pub issue_stalls: u64,
+    /// Requests per bank (balance diagnostic).
+    pub per_bank: Vec<u64>,
+}
+
+impl InterleaveStats {
+    /// Effective bandwidth in accesses per cycle, relative to the peak of
+    /// 1.0 (one issue per cycle): `requests / finish_cycle`.
+    pub fn bandwidth(&self) -> f64 {
+        if self.finish_cycle == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.finish_cycle as f64
+    }
+
+    /// Mean request latency in cycles (service completion − arrival).
+    pub fn avg_latency(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.total_latency as f64 / self.requests as f64
+    }
+
+    /// Ratio of the busiest bank's request count to the ideal uniform
+    /// share — 1.0 is perfectly balanced, `banks` is fully serialised.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.per_bank.iter().copied().max().unwrap_or(0);
+        if self.requests == 0 || self.per_bank.is_empty() {
+            return 1.0;
+        }
+        let ideal = self.requests as f64 / self.per_bank.len() as f64;
+        max as f64 / ideal
+    }
+}
+
+/// A banked memory with a pluggable bank-selection function.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct InterleavedMemory {
+    config: BankConfig,
+    selector: Arc<dyn IndexFunction>,
+    /// Completion times of requests currently held by each bank
+    /// (front = oldest). Length ≤ buffer_depth + 1 (one in service).
+    in_flight: Vec<VecDeque<u64>>,
+    /// Cycle at which each bank finishes its current service.
+    bank_free: Vec<u64>,
+    /// Next cycle at which the issue stage may issue.
+    issue_cycle: u64,
+    stats: InterleaveStats,
+}
+
+impl InterleavedMemory {
+    /// Builds a memory whose bank-selection function is `spec`
+    /// instantiated over [`BankConfig::selector_geometry`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement-construction failures from
+    /// [`IndexSpec::build`].
+    pub fn build(config: BankConfig, spec: IndexSpec) -> Result<Self, Error> {
+        let selector = spec.build(config.selector_geometry())?;
+        Ok(Self::with_selector(config, selector))
+    }
+
+    /// Builds a memory from an already-constructed selection function.
+    pub fn with_selector(config: BankConfig, selector: Arc<dyn IndexFunction>) -> Self {
+        let banks = config.banks() as usize;
+        InterleavedMemory {
+            config,
+            selector,
+            in_flight: vec![VecDeque::new(); banks],
+            bank_free: vec![0; banks],
+            issue_cycle: 0,
+            stats: InterleaveStats {
+                per_bank: vec![0; banks],
+                ..InterleaveStats::default()
+            },
+        }
+    }
+
+    /// The configuration this memory was built with.
+    pub fn config(&self) -> BankConfig {
+        self.config
+    }
+
+    /// The bank a byte address maps to.
+    pub fn bank_of(&self, addr: u64) -> u32 {
+        let word_addr = addr / self.config.word;
+        self.selector.set_index(word_addr, 0)
+    }
+
+    /// Issues one access to `addr` and returns the bank it was routed to.
+    ///
+    /// Models in-order issue of one request per cycle: if the target
+    /// bank's buffer is full the issue stage stalls (advancing the clock)
+    /// until the oldest pending request completes.
+    pub fn access(&mut self, addr: u64) -> u32 {
+        let bank = self.bank_of(addr) as usize;
+        let arrival = self.issue_cycle;
+
+        // Retire completed requests from this bank's buffer.
+        let fifo = &mut self.in_flight[bank];
+        while fifo.front().is_some_and(|&done| done <= arrival) {
+            fifo.pop_front();
+        }
+
+        // Stall issue while the buffer (plus the slot in service) is full.
+        let capacity = self.config.buffer_depth as usize + 1;
+        let mut now = arrival;
+        if fifo.len() >= capacity {
+            let unblock = fifo[fifo.len() - capacity];
+            self.stats.issue_stalls += unblock - now;
+            now = unblock;
+            while fifo.front().is_some_and(|&done| done <= now) {
+                fifo.pop_front();
+            }
+        }
+
+        // Serve FIFO after the bank frees up.
+        let start = now.max(self.bank_free[bank]);
+        let done = start + u64::from(self.config.busy_time);
+        self.bank_free[bank] = done;
+        self.in_flight[bank].push_back(done);
+
+        self.stats.requests += 1;
+        self.stats.per_bank[bank] += 1;
+        self.stats.total_latency += done - arrival;
+        self.stats.finish_cycle = self.stats.finish_cycle.max(done);
+        self.issue_cycle = now + 1;
+        self.selector.set_index(addr / self.config.word, 0)
+    }
+
+    /// Issues a whole word-address stream; convenience for experiments.
+    pub fn access_words<I: IntoIterator<Item = Word>>(&mut self, words: I) {
+        for w in words {
+            self.access(w.byte_addr(self.config.word));
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &InterleaveStats {
+        &self.stats
+    }
+
+    /// Label of the bank-selection function (paper-style, e.g. `a1-Hp`).
+    pub fn selector_label(&self) -> String {
+        self.selector.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BankConfig {
+        BankConfig::new(16, 8, 6).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BankConfig::new(0, 8, 6).is_err());
+        assert!(BankConfig::new(12, 8, 6).is_err());
+        assert!(BankConfig::new(16, 0, 6).is_err());
+        assert!(BankConfig::new(16, 9, 6).is_err());
+        assert!(BankConfig::new(16, 8, 0).is_err());
+        assert!(BankConfig::new(16, 8, 6).is_ok());
+    }
+
+    #[test]
+    fn selector_geometry_has_one_set_per_bank() {
+        let g = config().selector_geometry();
+        assert_eq!(g.num_sets(), 16);
+        assert_eq!(g.offset_bits(), 3);
+        assert_eq!(g.ways(), 1);
+    }
+
+    #[test]
+    fn stride_one_reaches_peak_bandwidth() {
+        // 16 banks, busy 6: consecutive words rotate over all banks, so
+        // each bank is revisited every 16 cycles > 6 — no stalls at all.
+        let mut m = InterleavedMemory::build(config(), IndexSpec::modulo()).unwrap();
+        for i in 0..1024u64 {
+            m.access(i * 8);
+        }
+        let bw = m.stats().bandwidth();
+        assert!(bw > 0.98, "stride-1 bandwidth {bw}");
+        assert_eq!(m.stats().issue_stalls, 0);
+    }
+
+    #[test]
+    fn bank_stride_serialises_modulo_selection() {
+        // Stride = #banks: every access targets bank 0; steady-state
+        // bandwidth is 1/busy_time.
+        let mut m = InterleavedMemory::build(config(), IndexSpec::modulo()).unwrap();
+        for i in 0..1024u64 {
+            m.access(i * 16 * 8);
+        }
+        let bw = m.stats().bandwidth();
+        assert!((bw - 1.0 / 6.0).abs() < 0.01, "serialised bandwidth {bw}");
+        assert_eq!(m.stats().per_bank[0], 1024);
+        assert!((m.stats().imbalance() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipoly_selection_spreads_bank_stride() {
+        let mut m = InterleavedMemory::build(config(), IndexSpec::ipoly()).unwrap();
+        for i in 0..1024u64 {
+            m.access(i * 16 * 8);
+        }
+        assert!(m.stats().bandwidth() > 0.9);
+        assert!(m.stats().imbalance() < 1.5);
+    }
+
+    #[test]
+    fn unbuffered_memory_still_conserves_requests() {
+        let cfg = config().with_buffer_depth(0);
+        let mut m = InterleavedMemory::build(cfg, IndexSpec::modulo()).unwrap();
+        for i in 0..100u64 {
+            m.access(i * 16 * 8);
+        }
+        assert_eq!(m.stats().requests, 100);
+        assert_eq!(m.stats().per_bank.iter().sum::<u64>(), 100);
+        // Unbuffered single-bank traffic: one access per busy period.
+        assert!((m.stats().bandwidth() - 1.0 / 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn buffering_hides_short_bursts() {
+        // A burst of 4 to one bank then 12 elsewhere: buffers absorb the
+        // burst without collapsing overall bandwidth.
+        let mut m = InterleavedMemory::build(config(), IndexSpec::modulo()).unwrap();
+        for round in 0..64u64 {
+            for i in 0..4u64 {
+                m.access((round * 1024 + i * 16) * 8 * 16);
+            }
+            for i in 0..12u64 {
+                m.access((i + 1) * 8 + round * 16 * 8);
+            }
+        }
+        assert!(m.stats().bandwidth() > 0.5);
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        let mut m = InterleavedMemory::build(config(), IndexSpec::modulo()).unwrap();
+        // Two back-to-back requests to the same bank: second waits.
+        m.access(0);
+        m.access(16 * 8 * 8); // same bank 0 under modulo (128 words)
+        assert_eq!(m.stats().total_latency, 6 + (6 + 6 - 1));
+    }
+
+    #[test]
+    fn stats_start_empty() {
+        let m = InterleavedMemory::build(config(), IndexSpec::modulo()).unwrap();
+        assert_eq!(m.stats().requests, 0);
+        assert_eq!(m.stats().bandwidth(), 0.0);
+        assert_eq!(m.stats().avg_latency(), 0.0);
+        assert_eq!(m.stats().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn selector_label_is_exposed() {
+        let m = InterleavedMemory::build(config(), IndexSpec::ipoly()).unwrap();
+        assert_eq!(m.selector_label(), "a1-Hp");
+    }
+}

@@ -1,0 +1,572 @@
+//! The parametric cache model.
+//!
+//! One [`Cache`] type covers every single-level organization the paper's
+//! evaluation uses: direct-mapped, set-associative and skewed caches are
+//! all "a set of ways, each with its own index function" — conventional
+//! caches just use the same function in every way. Fully-associative
+//! caches are the degenerate single-set geometry.
+
+use crate::replacement::{ReplacementPolicy, Selector};
+use crate::stats::CacheStats;
+use cac_core::{CacheGeometry, Error, IndexFunction, IndexSpec};
+use std::sync::Arc;
+
+/// Write handling. The paper's L1 is write-through / no-write-allocate
+/// (§4); write-back / write-allocate is provided for the L2 and for
+/// ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Writes propagate to the next level; write misses do not allocate.
+    #[default]
+    WriteThroughNoAllocate,
+    /// Writes dirty the line; write misses allocate.
+    WriteBackAllocate,
+}
+
+/// One resident cache line.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// Block address (full — skewed indices cannot reconstruct the
+    /// address from a partial tag, so the simulator stores it whole).
+    block: u64,
+    dirty: bool,
+    last_touch: u64,
+    fill_time: u64,
+}
+
+/// Result of a single access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The way that hit or was filled (`None` for a non-allocating miss).
+    pub way: Option<u32>,
+    /// Block address of a valid line evicted by this access.
+    pub evicted: Option<u64>,
+    /// Whether a new line was brought in.
+    pub filled: bool,
+}
+
+/// A set-associative (possibly skewed) cache.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::{CacheGeometry, IndexSpec};
+/// use cac_sim::cache::Cache;
+///
+/// let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+/// let mut c = Cache::build(geom, IndexSpec::ipoly_skewed())?;
+/// assert!(!c.read(0x1000).hit); // cold miss
+/// assert!(c.read(0x1000).hit);  // now resident
+/// assert!(c.read(0x1010).hit);  // same 32-byte block
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    index: Arc<dyn IndexFunction>,
+    /// `ways[w][set]`.
+    ways: Vec<Vec<Option<Line>>>,
+    selector: Selector,
+    write_policy: WritePolicy,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// Builder for non-default cache configurations.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::{CacheGeometry, IndexSpec};
+/// use cac_sim::cache::{Cache, WritePolicy};
+/// use cac_sim::replacement::ReplacementPolicy;
+///
+/// let geom = CacheGeometry::new(256 * 1024, 32, 2)?;
+/// let l2 = Cache::builder(geom)
+///     .index_spec(IndexSpec::modulo())
+///     .replacement(ReplacementPolicy::Lru)
+///     .write_policy(WritePolicy::WriteBackAllocate)
+///     .build()?;
+/// assert_eq!(l2.geometry().num_sets(), 4096);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheBuilder {
+    geom: CacheGeometry,
+    spec: IndexSpec,
+    replacement: ReplacementPolicy,
+    write_policy: WritePolicy,
+    seed: u64,
+}
+
+impl CacheBuilder {
+    /// Starts a builder with the paper's defaults: modulo indexing, LRU,
+    /// write-through/no-write-allocate.
+    pub fn new(geom: CacheGeometry) -> Self {
+        CacheBuilder {
+            geom,
+            spec: IndexSpec::modulo(),
+            replacement: ReplacementPolicy::Lru,
+            write_policy: WritePolicy::WriteThroughNoAllocate,
+            seed: 0x5eed_cace,
+        }
+    }
+
+    /// Sets the placement scheme.
+    pub fn index_spec(mut self, spec: IndexSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn replacement(mut self, policy: ReplacementPolicy) -> Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// Sets the write policy.
+    pub fn write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+
+    /// Seeds the random-replacement stream (ignored by LRU/FIFO).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IndexSpec::build`] validation errors.
+    pub fn build(self) -> Result<Cache, Error> {
+        let index = self.spec.build(self.geom)?;
+        Ok(Cache::from_parts(
+            self.geom,
+            index,
+            self.replacement,
+            self.write_policy,
+            self.seed,
+        ))
+    }
+}
+
+impl Cache {
+    /// Builds a cache with an index scheme and otherwise default policies
+    /// (LRU, write-through/no-write-allocate — the paper's L1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IndexSpec::build`] validation errors.
+    pub fn build(geom: CacheGeometry, spec: IndexSpec) -> Result<Self, Error> {
+        CacheBuilder::new(geom).index_spec(spec).build()
+    }
+
+    /// Starts a [`CacheBuilder`].
+    pub fn builder(geom: CacheGeometry) -> CacheBuilder {
+        CacheBuilder::new(geom)
+    }
+
+    /// Builds a cache around an existing index function (for custom
+    /// placements not expressible as an [`IndexSpec`]).
+    pub fn from_parts(
+        geom: CacheGeometry,
+        index: Arc<dyn IndexFunction>,
+        replacement: ReplacementPolicy,
+        write_policy: WritePolicy,
+        seed: u64,
+    ) -> Self {
+        let sets = geom.num_sets() as usize;
+        Cache {
+            geom,
+            index,
+            ways: vec![vec![None; sets]; geom.ways() as usize],
+            selector: Selector::new(replacement, seed),
+            write_policy,
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The placement function.
+    pub fn index_fn(&self) -> &Arc<dyn IndexFunction> {
+        &self.index
+    }
+
+    /// The write policy.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears statistics but keeps cache contents (for warm-up phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    /// Invalidates everything and clears statistics.
+    pub fn flush(&mut self) {
+        for way in &mut self.ways {
+            way.fill(None);
+        }
+        self.stats = CacheStats::new();
+        self.clock = 0;
+    }
+
+    /// Non-mutating lookup: the way holding `addr`'s block, if resident.
+    pub fn probe(&self, addr: u64) -> Option<u32> {
+        let block = self.geom.block_addr(addr);
+        self.probe_block(block)
+    }
+
+    /// Non-mutating lookup by block address.
+    pub fn probe_block(&self, block: u64) -> Option<u32> {
+        (0..self.geom.ways()).find(|&w| {
+            let set = self.index.set_index(block, w) as usize;
+            matches!(&self.ways[w as usize][set], Some(line) if line.block == block)
+        })
+    }
+
+    /// `true` if the block containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.probe(addr).is_some()
+    }
+
+    /// Performs a read access.
+    pub fn read(&mut self, addr: u64) -> Access {
+        self.access(addr, false)
+    }
+
+    /// Performs a write access.
+    pub fn write(&mut self, addr: u64) -> Access {
+        self.access(addr, true)
+    }
+
+    /// Performs an access; `is_write` selects the write path of the
+    /// configured [`WritePolicy`].
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Access {
+        let block = self.geom.block_addr(addr);
+        self.clock += 1;
+        if let Some(w) = self.probe_block(block) {
+            let set = self.index.set_index(block, w) as usize;
+            let line = self.ways[w as usize][set]
+                .as_mut()
+                .expect("probe_block returned an occupied way");
+            line.last_touch = self.clock;
+            if is_write && self.write_policy == WritePolicy::WriteBackAllocate {
+                line.dirty = true;
+            }
+            if is_write {
+                self.stats.record_write(true);
+            } else {
+                self.stats.record_read(true);
+            }
+            return Access {
+                hit: true,
+                way: Some(w),
+                evicted: None,
+                filled: false,
+            };
+        }
+        // Miss.
+        if is_write {
+            self.stats.record_write(false);
+        } else {
+            self.stats.record_read(false);
+        }
+        let allocate =
+            !is_write || self.write_policy == WritePolicy::WriteBackAllocate;
+        if !allocate {
+            return Access {
+                hit: false,
+                way: None,
+                evicted: None,
+                filled: false,
+            };
+        }
+        let dirty = is_write && self.write_policy == WritePolicy::WriteBackAllocate;
+        let (way, evicted) = self.fill_line(block, dirty);
+        Access {
+            hit: false,
+            way: Some(way),
+            evicted,
+            filled: true,
+        }
+    }
+
+    /// Brings `block` into the cache (as by a miss fill), returning the
+    /// way used and any evicted block address. Does not touch access
+    /// statistics (eviction/writeback counters are updated).
+    pub fn fill_block(&mut self, block: u64) -> (u32, Option<u64>) {
+        self.clock += 1;
+        if let Some(w) = self.probe_block(block) {
+            return (w, None);
+        }
+        self.fill_line(block, false)
+    }
+
+    fn fill_line(&mut self, block: u64, dirty: bool) -> (u32, Option<u64>) {
+        // Prefer an invalid candidate slot.
+        let mut empty_way = None;
+        for w in 0..self.geom.ways() {
+            let set = self.index.set_index(block, w) as usize;
+            if self.ways[w as usize][set].is_none() {
+                empty_way = Some(w);
+                break;
+            }
+        }
+        let (way, evicted) = match empty_way {
+            Some(w) => (w, None),
+            None => {
+                let candidates: Vec<(u64, u64)> = (0..self.geom.ways())
+                    .map(|w| {
+                        let set = self.index.set_index(block, w) as usize;
+                        let line = self.ways[w as usize][set]
+                            .as_ref()
+                            .expect("all candidates valid");
+                        (line.last_touch, line.fill_time)
+                    })
+                    .collect();
+                let w = self.selector.choose(&candidates) as u32;
+                let set = self.index.set_index(block, w) as usize;
+                let victim = self.ways[w as usize][set]
+                    .take()
+                    .expect("victim slot valid");
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (w, Some(victim.block))
+            }
+        };
+        let set = self.index.set_index(block, way) as usize;
+        self.ways[way as usize][set] = Some(Line {
+            block,
+            dirty,
+            last_touch: self.clock,
+            fill_time: self.clock,
+        });
+        (way, evicted)
+    }
+
+    /// Invalidates the line holding `block`, if resident. Returns `true`
+    /// if a line was removed. Dirty lines are counted as writebacks.
+    pub fn invalidate_block(&mut self, block: u64) -> bool {
+        if let Some(w) = self.probe_block(block) {
+            let set = self.index.set_index(block, w) as usize;
+            let line = self.ways[w as usize][set].take().expect("probed line");
+            self.stats.invalidations += 1;
+            if line.dirty {
+                self.stats.writebacks += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.ways
+            .iter()
+            .map(|w| w.iter().filter(|l| l.is_some()).count())
+            .sum()
+    }
+
+    /// Iterates over the block addresses of all resident lines.
+    pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ways
+            .iter()
+            .flat_map(|w| w.iter().filter_map(|l| l.as_ref().map(|l| l.block)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_geom() -> CacheGeometry {
+        CacheGeometry::new(8 * 1024, 32, 2).unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        let a = c.read(0x1000);
+        assert!(!a.hit);
+        assert!(a.filled);
+        assert!(c.read(0x1000).hit);
+        assert!(c.read(0x101f).hit); // same block
+        assert!(!c.read(0x1020).hit); // next block
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn two_way_holds_two_conflicting_blocks() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        // Same set: block addresses 128 apart (128 sets).
+        let a = 0u64;
+        let b = 128 * 32;
+        let d = 2 * 128 * 32;
+        c.read(a);
+        c.read(b);
+        assert!(c.read(a).hit);
+        assert!(c.read(b).hit);
+        // Third conflicting block evicts the LRU (a was touched before b).
+        c.read(d);
+        assert!(c.contains(b));
+        assert!(c.contains(d));
+        assert!(!c.contains(a));
+    }
+
+    #[test]
+    fn lru_order_respected() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        let a = 0u64;
+        let b = 128 * 32;
+        let d = 2 * 128 * 32;
+        c.read(a);
+        c.read(b);
+        c.read(a); // a is now MRU
+        c.read(d); // evicts b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+    }
+
+    #[test]
+    fn write_through_no_allocate_semantics() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        let a = c.write(0x4000);
+        assert!(!a.hit);
+        assert!(!a.filled, "write miss must not allocate");
+        assert!(!c.contains(0x4000));
+        // A read brings it in; a subsequent write hits and does not dirty.
+        c.read(0x4000);
+        assert!(c.write(0x4000).hit);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_back_allocate_semantics() {
+        let geom = CacheGeometry::new(64, 32, 1).unwrap(); // 2 sets, tiny
+        let mut c = Cache::builder(geom)
+            .write_policy(WritePolicy::WriteBackAllocate)
+            .build()
+            .unwrap();
+        assert!(c.write(0).filled, "write miss allocates");
+        // Evicting the dirty line produces a writeback: block 0 and block
+        // 2 map to set 0 of the 2-set direct-mapped cache.
+        let evict = c.read(2 * 32);
+        assert_eq!(evict.evicted, Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn skewed_cache_stores_and_finds_blocks() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::ipoly_skewed()).unwrap();
+        let blocks: Vec<u64> = (0..100).map(|i| i * 997 * 32).collect();
+        for &a in &blocks {
+            c.read(a);
+        }
+        let resident = blocks.iter().filter(|&&a| c.contains(a)).count();
+        assert!(resident >= 90, "only {resident} of 100 resident");
+    }
+
+    #[test]
+    fn invalidate_creates_room() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        c.read(0x2000);
+        assert!(c.invalidate_block(paper_geom().block_addr(0x2000)));
+        assert!(!c.contains(0x2000));
+        assert!(!c.invalidate_block(paper_geom().block_addr(0x2000)));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn fill_block_is_idempotent_for_resident_blocks() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        let (w1, e1) = c.fill_block(42);
+        assert!(e1.is_none());
+        let (w2, e2) = c.fill_block(42);
+        assert_eq!(w1, w2);
+        assert!(e2.is_none());
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::ipoly_skewed()).unwrap();
+        for i in 0..10_000u64 {
+            c.read(i * 32);
+        }
+        assert!(c.resident_lines() <= 256);
+        assert_eq!(c.resident_lines(), 256); // fully warm
+    }
+
+    #[test]
+    fn fully_associative_geometry_works() {
+        let geom = CacheGeometry::fully_associative(1024, 32).unwrap();
+        let mut c = Cache::build(geom, IndexSpec::modulo()).unwrap();
+        // 32 lines; fill 32 distinct blocks, all resident.
+        for i in 0..32u64 {
+            c.read(i * 32);
+        }
+        assert_eq!(c.resident_lines(), 32);
+        assert!((0..32u64).all(|i| c.contains(i * 32)));
+        // One more evicts exactly the LRU (block 0).
+        c.read(32 * 32);
+        assert!(!c.contains(0));
+        assert!(c.contains(32 * 32));
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        c.read(0x100);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.contains(0x100), "reset_stats keeps contents");
+        c.flush();
+        assert!(!c.contains(0x100));
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn pathological_stride_conventional_vs_ipoly() {
+        // The lib.rs doctest scenario, verified tightly here.
+        let mut conv = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        let mut poly = Cache::build(paper_geom(), IndexSpec::ipoly_skewed()).unwrap();
+        for _ in 0..10 {
+            for i in 0..64u64 {
+                conv.read(i * 4096);
+                poly.read(i * 4096);
+            }
+        }
+        assert!(conv.stats().miss_ratio() > 0.9);
+        assert_eq!(poly.stats().misses, 64);
+    }
+
+    #[test]
+    fn resident_blocks_enumerates_contents() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::modulo()).unwrap();
+        c.read(0);
+        c.read(32);
+        let mut blocks: Vec<u64> = c.resident_blocks().collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 1]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Three-C miss classification.
+//!
+//! The paper's argument rests on separating **conflict** misses from
+//! compulsory and capacity misses (§2, §5: "If conflict misses are
+//! eliminated, the miss ratio depends solely on compulsory and capacity
+//! misses"). The standard classification (Hill) is implemented here:
+//!
+//! * **compulsory** — the block was never referenced before (an infinite
+//!   cache would miss too);
+//! * **capacity** — a fully-associative LRU cache of the same capacity
+//!   would also miss;
+//! * **conflict** — only the real (set-indexed) cache misses.
+
+use crate::cache::Cache;
+use crate::stats::CacheStats;
+use cac_core::{CacheGeometry, Error, IndexSpec};
+use std::collections::HashSet;
+
+/// The classification of a single access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// The access hit in the cache under test.
+    Hit,
+    /// First-ever reference to the block.
+    Compulsory,
+    /// A fully-associative cache of equal capacity would also have missed.
+    Capacity,
+    /// Attributable purely to the placement function.
+    Conflict,
+}
+
+/// Per-kind counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifiedStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Compulsory (cold) misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+}
+
+impl ClassifiedStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses()
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Conflict misses as a fraction of all accesses — the quantity the
+    /// I-Poly function is designed to eliminate.
+    pub fn conflict_miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.conflict as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Overall miss ratio.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Classifies the misses of a cache under test by running an infinite
+/// cache and an equal-capacity fully-associative LRU cache alongside it.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::{CacheGeometry, IndexSpec};
+/// use cac_sim::classify::{MissKind, ThreeCClassifier};
+///
+/// let geom = CacheGeometry::new(1024, 32, 1)?; // 32 lines direct-mapped
+/// let mut c = ThreeCClassifier::new(geom, IndexSpec::modulo())?;
+/// assert_eq!(c.read(0), MissKind::Compulsory);
+/// assert_eq!(c.read(0), MissKind::Hit);
+/// // A block one cache-size away conflicts in a direct-mapped cache:
+/// c.read(1024);
+/// assert_eq!(c.read(0), MissKind::Conflict);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreeCClassifier {
+    cache: Cache,
+    fully: Cache,
+    seen: HashSet<u64>,
+    stats: ClassifiedStats,
+}
+
+impl ThreeCClassifier {
+    /// Creates a classifier for a cache of geometry `geom` using placement
+    /// `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/spec validation errors.
+    pub fn new(geom: CacheGeometry, spec: IndexSpec) -> Result<Self, Error> {
+        let fully_geom = CacheGeometry::fully_associative(geom.capacity(), geom.block())?;
+        Ok(ThreeCClassifier {
+            cache: Cache::build(geom, spec)?,
+            fully: Cache::build(fully_geom, IndexSpec::modulo())?,
+            seen: HashSet::new(),
+            stats: ClassifiedStats::default(),
+        })
+    }
+
+    /// Performs a read and classifies it.
+    pub fn read(&mut self, addr: u64) -> MissKind {
+        self.access(addr, false)
+    }
+
+    /// Performs a write and classifies it.
+    pub fn write(&mut self, addr: u64) -> MissKind {
+        self.access(addr, true)
+    }
+
+    /// Performs an access and classifies it.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> MissKind {
+        let block = self.cache.geometry().block_addr(addr);
+        let hit = self.cache.access(addr, is_write).hit;
+        // Reference caches always observe the stream as reads so their
+        // contents do not depend on the write policy of the cache under
+        // test.
+        let fully_hit = self.fully.read(addr).hit;
+        let first_touch = self.seen.insert(block);
+        let kind = if hit {
+            MissKind::Hit
+        } else if first_touch {
+            MissKind::Compulsory
+        } else if !fully_hit {
+            MissKind::Capacity
+        } else {
+            MissKind::Conflict
+        };
+        match kind {
+            MissKind::Hit => self.stats.hits += 1,
+            MissKind::Compulsory => self.stats.compulsory += 1,
+            MissKind::Capacity => self.stats.capacity += 1,
+            MissKind::Conflict => self.stats.conflict += 1,
+        }
+        kind
+    }
+
+    /// Per-kind counters.
+    pub fn stats(&self) -> ClassifiedStats {
+        self.stats
+    }
+
+    /// Raw counters of the cache under test.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cache under test.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheGeometry {
+        CacheGeometry::new(1024, 32, 1).unwrap() // 32 sets direct-mapped
+    }
+
+    #[test]
+    fn first_touch_is_compulsory() {
+        let mut c = ThreeCClassifier::new(tiny(), IndexSpec::modulo()).unwrap();
+        assert_eq!(c.read(0x40), MissKind::Compulsory);
+        assert_eq!(c.read(0x40), MissKind::Hit);
+    }
+
+    #[test]
+    fn conflict_detected_in_direct_mapped() {
+        let mut c = ThreeCClassifier::new(tiny(), IndexSpec::modulo()).unwrap();
+        // Two blocks 1024 bytes apart share a set but the cache is far
+        // from capacity: ping-ponging them is pure conflict.
+        c.read(0);
+        c.read(1024);
+        for _ in 0..4 {
+            assert_eq!(c.read(0), MissKind::Conflict);
+            assert_eq!(c.read(1024), MissKind::Conflict);
+        }
+    }
+
+    #[test]
+    fn capacity_miss_when_working_set_exceeds_cache() {
+        let mut c = ThreeCClassifier::new(tiny(), IndexSpec::modulo()).unwrap();
+        // 64 blocks > 32 lines: sweeping twice yields capacity misses on
+        // the second pass (LRU evicts everything before reuse).
+        for i in 0..64u64 {
+            c.read(i * 32);
+        }
+        let kind = c.read(0);
+        assert_eq!(kind, MissKind::Capacity);
+    }
+
+    #[test]
+    fn ipoly_turns_conflicts_into_hits() {
+        let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        let mut conv = ThreeCClassifier::new(geom, IndexSpec::modulo()).unwrap();
+        let mut poly = ThreeCClassifier::new(geom, IndexSpec::ipoly_skewed()).unwrap();
+        for _ in 0..8 {
+            for i in 0..32u64 {
+                conv.read(i * 4096);
+                poly.read(i * 4096);
+            }
+        }
+        assert!(conv.stats().conflict > 0);
+        assert_eq!(poly.stats().conflict, 0);
+        assert_eq!(poly.stats().capacity, 0);
+        assert_eq!(poly.stats().compulsory, 32);
+    }
+
+    #[test]
+    fn counters_sum_to_accesses() {
+        let mut c = ThreeCClassifier::new(tiny(), IndexSpec::modulo()).unwrap();
+        for i in 0..500u64 {
+            c.access(i * 97, i % 3 == 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses(), 500);
+        assert_eq!(s.accesses(), c.cache_stats().accesses);
+        assert_eq!(s.misses() + s.hits, 500);
+    }
+
+    #[test]
+    fn ratios_well_defined() {
+        let c = ThreeCClassifier::new(tiny(), IndexSpec::modulo()).unwrap();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        assert_eq!(c.stats().conflict_miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The complete Jouppi organization \[13\]: victim cache **and** stream
+//! buffers on one direct-mapped cache.
+//!
+//! Reference \[13\] of the paper ("Improving Direct-Mapped Cache
+//! Performance by the Addition of a Small Fully-Associative Cache and
+//! Prefetch Buffers") proposes both mechanisms together:
+//!
+//! * the **victim buffer** catches the mapping (conflict) misses of the
+//!   direct-mapped cache — the same miss class I-Poly placement removes
+//!   by construction;
+//! * the **stream buffers** catch sequential compulsory/capacity misses
+//!   — a class placement cannot touch.
+//!
+//! [`crate::victim`] and [`crate::stream`] model the halves in
+//! isolation; this module composes them with Jouppi's lookup order
+//! (cache → victim buffer → stream-buffer heads → memory), so the E10
+//! organization comparison can include the full design and ask the
+//! paper's implicit question: does conflict-avoiding *placement* beat
+//! conflict-catching *buffers*?
+//!
+//! # Example
+//!
+//! ```
+//! use cac_core::CacheGeometry;
+//! use cac_sim::jouppi::JouppiCache;
+//!
+//! let geom = CacheGeometry::new(8 * 1024, 32, 1)?;
+//! let mut c = JouppiCache::new(geom, 4, 4, 4)?;
+//! // A conflicting pair alternating: the victim buffer catches it...
+//! for _ in 0..64 {
+//!     c.read(0x0000);
+//!     c.read(0x8000); // same direct-mapped set
+//! }
+//! // ...so after the two compulsory misses everything hits.
+//! assert_eq!(c.stats().full_misses, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cache::Cache;
+use cac_core::{CacheGeometry, Error, IndexSpec};
+use std::collections::VecDeque;
+
+/// Counters for a [`JouppiCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JouppiStats {
+    /// Total read accesses.
+    pub accesses: u64,
+    /// Hits in the direct-mapped cache.
+    pub main_hits: u64,
+    /// Misses caught by the victim buffer.
+    pub victim_hits: u64,
+    /// Misses caught by a stream-buffer head.
+    pub stream_hits: u64,
+    /// Misses that went all the way to memory.
+    pub full_misses: u64,
+}
+
+impl JouppiStats {
+    /// Effective miss ratio: only [`JouppiStats::full_misses`] reach the
+    /// next level.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.full_misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Direct-mapped cache + victim buffer + stream buffers (Jouppi \[13\]).
+#[derive(Debug)]
+pub struct JouppiCache {
+    main: Cache,
+    victim: VecDeque<u64>,
+    victim_capacity: usize,
+    streams: Vec<(VecDeque<u64>, u64, u64)>, // (fifo, next, last_used)
+    stream_capacity: usize,
+    stream_depth: usize,
+    clock: u64,
+    stats: JouppiStats,
+}
+
+impl JouppiCache {
+    /// Creates the organization: a conventional direct-mapped (or
+    /// set-associative) cache of `geom`, `victim_lines` victim entries,
+    /// and `stream_buffers` × `stream_depth` prefetch FIFOs. Jouppi's
+    /// configuration is `(4, 4, 4)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] if any capacity parameter is zero,
+    /// plus geometry validation errors.
+    pub fn new(
+        geom: CacheGeometry,
+        victim_lines: usize,
+        stream_buffers: usize,
+        stream_depth: usize,
+    ) -> Result<Self, Error> {
+        for (what, v) in [
+            ("victim buffer lines", victim_lines),
+            ("stream buffers", stream_buffers),
+            ("stream buffer depth", stream_depth),
+        ] {
+            if v == 0 {
+                return Err(Error::OutOfRange {
+                    what,
+                    value: 0,
+                    constraint: ">= 1",
+                });
+            }
+        }
+        Ok(JouppiCache {
+            main: Cache::build(geom, IndexSpec::modulo())?,
+            victim: VecDeque::with_capacity(victim_lines),
+            victim_capacity: victim_lines,
+            streams: Vec::with_capacity(stream_buffers),
+            stream_capacity: stream_buffers,
+            stream_depth,
+            clock: 0,
+            stats: JouppiStats::default(),
+        })
+    }
+
+    /// Performs a read access through the full lookup chain.
+    pub fn read(&mut self, addr: u64) {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let block = self.main.geometry().block_addr(addr);
+
+        if self.main.probe_block(block).is_some() {
+            let _ = self.main.read(addr);
+            self.stats.main_hits += 1;
+            return;
+        }
+
+        // Victim buffer: swap the line back into the cache.
+        if let Some(pos) = self.victim.iter().position(|&b| b == block) {
+            self.victim.remove(pos);
+            self.fill(block);
+            self.stats.victim_hits += 1;
+            return;
+        }
+
+        // Stream-buffer heads.
+        if let Some(si) = self
+            .streams
+            .iter()
+            .position(|(fifo, _, _)| fifo.front() == Some(&block))
+        {
+            let (fifo, next, last_used) = &mut self.streams[si];
+            fifo.pop_front();
+            *last_used = self.clock;
+            while fifo.len() < self.stream_depth {
+                fifo.push_back(*next);
+                *next += 1;
+            }
+            self.fill(block);
+            self.stats.stream_hits += 1;
+            return;
+        }
+
+        // Full miss: fetch and start a new stream after this block.
+        self.fill(block);
+        self.stats.full_misses += 1;
+        let mut fifo = VecDeque::with_capacity(self.stream_depth);
+        for i in 1..=self.stream_depth as u64 {
+            fifo.push_back(block + i);
+        }
+        let fresh = (fifo, block + self.stream_depth as u64 + 1, self.clock);
+        if self.streams.len() < self.stream_capacity {
+            self.streams.push(fresh);
+        } else {
+            let lru = self
+                .streams
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.streams[lru] = fresh;
+        }
+    }
+
+    /// Fills `block` into the main cache, spilling any displaced line
+    /// into the victim buffer.
+    fn fill(&mut self, block: u64) {
+        let (_, evicted) = self.main.fill_block(block);
+        if let Some(victim) = evicted {
+            if self.victim.len() == self.victim_capacity {
+                self.victim.pop_front();
+            }
+            self.victim.push_back(victim);
+        }
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> JouppiStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8 * 1024, 32, 1).unwrap()
+    }
+
+    fn cache() -> JouppiCache {
+        JouppiCache::new(geom(), 4, 4, 4).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(JouppiCache::new(geom(), 0, 4, 4).is_err());
+        assert!(JouppiCache::new(geom(), 4, 0, 4).is_err());
+        assert!(JouppiCache::new(geom(), 4, 4, 0).is_err());
+    }
+
+    #[test]
+    fn victim_catches_small_conflicts() {
+        let mut c = cache();
+        for _ in 0..32 {
+            c.read(0x0000);
+            c.read(0x2000); // same DM set (8KB apart)
+        }
+        let s = c.stats();
+        assert_eq!(s.full_misses, 2);
+        assert!(s.victim_hits + s.main_hits >= 62);
+    }
+
+    #[test]
+    fn streams_catch_sequential_misses() {
+        let mut c = cache();
+        for i in 0..1024u64 {
+            c.read(i * 32);
+        }
+        let s = c.stats();
+        assert_eq!(s.full_misses, 1);
+        assert_eq!(s.stream_hits, 1023);
+    }
+
+    #[test]
+    fn wide_column_conflicts_overwhelm_both_buffers() {
+        // 64 blocks colliding on one set: 4 victim lines and non-
+        // sequential strides leave the organization helpless — the gap
+        // I-Poly placement closes.
+        let mut c = cache();
+        for _pass in 0..8 {
+            for i in 0..64u64 {
+                c.read(i * 8192);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.stream_hits, 0, "{s:?}");
+        assert!(s.miss_ratio() > 0.8, "{s:?}");
+    }
+
+    #[test]
+    fn mixed_workload_uses_all_three_levels() {
+        let mut c = cache();
+        for round in 0..32u64 {
+            c.read(0x0000);
+            c.read(0x0008); // same block: main hit
+            c.read(0x2000); // same set: victim material
+            c.read(0x4_0000 + round * 32); // sequential: stream material
+        }
+        let s = c.stats();
+        assert!(s.main_hits > 0);
+        assert!(s.victim_hits > 0);
+        assert!(s.stream_hits > 0);
+        assert_eq!(
+            s.main_hits + s.victim_hits + s.stream_hits + s.full_misses,
+            s.accesses
+        );
+    }
+
+    #[test]
+    fn stats_balance() {
+        let mut c = cache();
+        let mut x = 7u64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            c.read(x % (1 << 20));
+        }
+        let s = c.stats();
+        assert_eq!(
+            s.main_hits + s.victim_hits + s.stream_hits + s.full_misses,
+            s.accesses
+        );
+        assert!(s.miss_ratio() <= 1.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Miss status holding registers for a lockup-free cache (Kroft \[14\]).
+//!
+//! The paper's processor "has a lockup-free data cache that allows 8
+//! outstanding misses to different cache lines" (§4). The CPU model uses
+//! this file to decide whether a missing load can issue, merge with an
+//! in-flight miss, or must stall.
+
+/// One in-flight miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Mshr {
+    block: u64,
+    ready_at: u64,
+}
+
+/// Outcome of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the fill completes at the given cycle.
+    Allocated {
+        /// Cycle at which the line becomes available.
+        ready_at: u64,
+    },
+    /// The block already has an in-flight miss; this access merges with it
+    /// (a *secondary* miss) and completes when the primary fill does.
+    Merged {
+        /// Cycle at which the line becomes available.
+        ready_at: u64,
+    },
+    /// All MSHRs are busy with other blocks; the access must retry later.
+    Full,
+}
+
+impl MshrOutcome {
+    /// The completion cycle, if the access was accepted.
+    pub fn ready_at(self) -> Option<u64> {
+        match self {
+            MshrOutcome::Allocated { ready_at } | MshrOutcome::Merged { ready_at } => {
+                Some(ready_at)
+            }
+            MshrOutcome::Full => None,
+        }
+    }
+}
+
+/// A file of miss status holding registers.
+///
+/// # Example
+///
+/// ```
+/// use cac_sim::mshr::{MshrFile, MshrOutcome};
+///
+/// let mut mshrs = MshrFile::new(8);
+/// // A miss to block 42 at cycle 100 with a 20-cycle penalty:
+/// let out = mshrs.request(42, 100, 20);
+/// assert_eq!(out.ready_at(), Some(120));
+/// // Another access to the same block merges:
+/// assert!(matches!(mshrs.request(42, 105, 20), MshrOutcome::Merged { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Mshr>,
+    capacity: usize,
+    stats: MshrStats,
+}
+
+/// Counters for MSHR behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Primary misses (new allocations).
+    pub primary: u64,
+    /// Secondary misses (merged with an in-flight fill).
+    pub secondary: u64,
+    /// Requests rejected because the file was full.
+    pub rejections: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers (the paper uses 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one register");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stats: MshrStats::default(),
+        }
+    }
+
+    /// Presents a missing `block` at cycle `now`; a fresh fill completes
+    /// after `penalty` cycles. Retires completed entries first.
+    pub fn request(&mut self, block: u64, now: u64, penalty: u64) -> MshrOutcome {
+        self.retire(now);
+        if let Some(e) = self.entries.iter().find(|e| e.block == block) {
+            self.stats.secondary += 1;
+            return MshrOutcome::Merged {
+                ready_at: e.ready_at,
+            };
+        }
+        if self.entries.len() == self.capacity {
+            self.stats.rejections += 1;
+            return MshrOutcome::Full;
+        }
+        let ready_at = now + penalty;
+        self.entries.push(Mshr { block, ready_at });
+        self.stats.primary += 1;
+        MshrOutcome::Allocated { ready_at }
+    }
+
+    /// Checks whether `block` has an in-flight miss (without retiring).
+    pub fn pending(&self, block: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.block == block)
+            .map(|e| e.ready_at)
+    }
+
+    /// Drops entries whose fills completed at or before `now`.
+    pub fn retire(&mut self, now: u64) {
+        self.entries.retain(|e| e.ready_at > now);
+    }
+
+    /// Number of in-flight misses.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no more primary misses can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MshrStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_merge() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(
+            m.request(1, 0, 20),
+            MshrOutcome::Allocated { ready_at: 20 }
+        );
+        assert_eq!(m.request(1, 5, 20), MshrOutcome::Merged { ready_at: 20 });
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.stats().primary, 1);
+        assert_eq!(m.stats().secondary, 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = MshrFile::new(2);
+        m.request(1, 0, 20);
+        m.request(2, 0, 20);
+        assert!(m.is_full());
+        assert_eq!(m.request(3, 1, 20), MshrOutcome::Full);
+        assert_eq!(m.stats().rejections, 1);
+    }
+
+    #[test]
+    fn retirement_frees_slots() {
+        let mut m = MshrFile::new(1);
+        m.request(1, 0, 10);
+        assert_eq!(m.request(2, 5, 10), MshrOutcome::Full);
+        // At cycle 10 the first fill is done.
+        assert_eq!(
+            m.request(2, 10, 10),
+            MshrOutcome::Allocated { ready_at: 20 }
+        );
+        assert_eq!(m.in_flight(), 1);
+    }
+
+    #[test]
+    fn pending_lookup() {
+        let mut m = MshrFile::new(4);
+        m.request(7, 0, 20);
+        assert_eq!(m.pending(7), Some(20));
+        assert_eq!(m.pending(8), None);
+    }
+
+    #[test]
+    fn paper_configuration_eight_outstanding() {
+        let mut m = MshrFile::new(8);
+        for b in 0..8u64 {
+            assert!(matches!(
+                m.request(b, 0, 20),
+                MshrOutcome::Allocated { .. }
+            ));
+        }
+        assert_eq!(m.request(9, 0, 20), MshrOutcome::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,450 @@
+//! §3.1 option 2: enable I-Poly indexing only when pages are large enough.
+//!
+//! A virtually-indexed L1 cannot feed tag-side virtual bits to the hash if
+//! translation can change them — unless the bits are *unmapped*, i.e. the
+//! page is big enough that they are page-offset bits. The paper's option 2
+//! therefore has the OS track the page sizes of the segments a process has
+//! mapped and "enable polynomial cache indexing at the first-level cache
+//! if all segments' page sizes were above a certain threshold", reverting
+//! to conventional indexing otherwise. The one correctness requirement is
+//! that "the level-1 cache is flushed when the indexing function is
+//! changed".
+//!
+//! [`DynamicIndexCache`] implements exactly that controller: a segment
+//! map with per-segment page sizes, automatic mode recomputation on every
+//! map/unmap, and a full flush (counted) on every mode change.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_core::{CacheGeometry, IndexSpec};
+//! use cac_sim::pagesize::{DynamicIndexCache, IndexMode, Segment};
+//!
+//! let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+//! let mut cache = DynamicIndexCache::new(geom, IndexSpec::ipoly_skewed(), 256 * 1024)?;
+//!
+//! // Nothing mapped yet: conventional by default.
+//! assert_eq!(cache.mode(), IndexMode::Conventional);
+//!
+//! // A process with only large-page segments gets I-Poly indexing...
+//! cache.map_segment(Segment::new(0x0000_0000, 1 << 24, 256 * 1024)?)?;
+//! assert_eq!(cache.mode(), IndexMode::IPoly);
+//!
+//! // ...until it maps a small-page segment, which forces a revert+flush.
+//! cache.map_segment(Segment::new(0x8000_0000, 1 << 20, 4096)?)?;
+//! assert_eq!(cache.mode(), IndexMode::Conventional);
+//! assert_eq!(cache.flushes(), 2); // conv -> ipoly -> conv
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cache::{Access, Cache};
+use crate::stats::CacheStats;
+use cac_core::{CacheGeometry, Error, IndexSpec};
+
+/// A mapped address-space segment with a fixed page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    base: u64,
+    len: u64,
+    page_size: u64,
+}
+
+impl Segment {
+    /// Creates a segment after validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPowerOfTwo`] unless `page_size` is a power of
+    /// two, and [`Error::OutOfRange`] if `len` is zero, the segment is not
+    /// page-aligned, or `base + len` overflows.
+    pub fn new(base: u64, len: u64, page_size: u64) -> Result<Self, Error> {
+        if page_size == 0 || !page_size.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "page size",
+                value: page_size,
+            });
+        }
+        if len == 0 || !len.is_multiple_of(page_size) || !base.is_multiple_of(page_size) {
+            return Err(Error::OutOfRange {
+                what: "segment extent",
+                value: len,
+                constraint: "non-empty and page-aligned",
+            });
+        }
+        if base.checked_add(len).is_none() {
+            return Err(Error::OutOfRange {
+                what: "segment end",
+                value: base,
+                constraint: "base + len must not overflow",
+            });
+        }
+        Ok(Segment {
+            base,
+            len,
+            page_size,
+        })
+    }
+
+    /// First byte address of the segment.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if the segment has zero length (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// `true` if `addr` falls inside the segment.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.len
+    }
+
+    /// `true` if the two segments share any byte.
+    pub fn overlaps(&self, other: &Segment) -> bool {
+        self.base < other.base + other.len && other.base < self.base + self.len
+    }
+}
+
+/// Which index function is currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Conventional modulo placement (small pages present, or nothing
+    /// mapped).
+    Conventional,
+    /// Polynomial placement (every mapped segment has pages at or above
+    /// the threshold).
+    IPoly,
+}
+
+/// An L1 cache whose index function switches between conventional and
+/// I-Poly under OS control of page sizes, flushing on each switch.
+///
+/// See the [module docs](self) for the design rationale and an example.
+#[derive(Debug)]
+pub struct DynamicIndexCache {
+    geom: CacheGeometry,
+    ipoly_spec: IndexSpec,
+    threshold: u64,
+    cache: Cache,
+    mode: IndexMode,
+    segments: Vec<Segment>,
+    flushes: u64,
+    flushed_lines: u64,
+    /// Stats accumulated from cache instances before the last switch.
+    accumulated: CacheStats,
+    /// Accesses performed in each mode: `[conventional, ipoly]`.
+    mode_accesses: [u64; 2],
+}
+
+impl DynamicIndexCache {
+    /// Creates the controller. `threshold` is the minimum page size (in
+    /// bytes) at which I-Poly indexing is considered safe — the paper's
+    /// worked example uses 256KB.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPowerOfTwo`] unless `threshold` is a power of
+    /// two, plus any placement-construction error for `ipoly_spec`.
+    pub fn new(geom: CacheGeometry, ipoly_spec: IndexSpec, threshold: u64) -> Result<Self, Error> {
+        if threshold == 0 || !threshold.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "page-size threshold",
+                value: threshold,
+            });
+        }
+        // Validate the I-Poly spec eagerly so switches cannot fail later.
+        ipoly_spec.build(geom)?;
+        Ok(DynamicIndexCache {
+            geom,
+            ipoly_spec,
+            threshold,
+            cache: Cache::build(geom, IndexSpec::modulo())?,
+            mode: IndexMode::Conventional,
+            segments: Vec::new(),
+            flushes: 0,
+            flushed_lines: 0,
+            accumulated: CacheStats::default(),
+            mode_accesses: [0, 0],
+        })
+    }
+
+    /// Maps a segment and re-evaluates the indexing mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] if the segment overlaps one already
+    /// mapped.
+    pub fn map_segment(&mut self, seg: Segment) -> Result<(), Error> {
+        if self.segments.iter().any(|s| s.overlaps(&seg)) {
+            return Err(Error::OutOfRange {
+                what: "segment base",
+                value: seg.base(),
+                constraint: "non-overlapping with mapped segments",
+            });
+        }
+        self.segments.push(seg);
+        self.recompute_mode();
+        Ok(())
+    }
+
+    /// Unmaps the segment with the given base address; returns `true` if
+    /// one was mapped, and re-evaluates the indexing mode.
+    pub fn unmap_segment(&mut self, base: u64) -> bool {
+        let before = self.segments.len();
+        self.segments.retain(|s| s.base() != base);
+        let removed = self.segments.len() != before;
+        if removed {
+            self.recompute_mode();
+        }
+        removed
+    }
+
+    /// The segment containing `addr`, if any.
+    pub fn segment_of(&self, addr: u64) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.contains(addr))
+    }
+
+    /// Current indexing mode.
+    pub fn mode(&self) -> IndexMode {
+        self.mode
+    }
+
+    /// The page-size threshold for enabling I-Poly indexing.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Number of flushes performed by mode switches.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Total valid lines discarded by those flushes (the refill cost the
+    /// OS pays for the switch).
+    pub fn flushed_lines(&self) -> u64 {
+        self.flushed_lines
+    }
+
+    /// Accesses performed while each mode was live:
+    /// `(conventional, ipoly)`.
+    pub fn accesses_by_mode(&self) -> (u64, u64) {
+        (self.mode_accesses[0], self.mode_accesses[1])
+    }
+
+    /// Performs a read access under the current index function.
+    pub fn read(&mut self, addr: u64) -> Access {
+        self.access(addr, false)
+    }
+
+    /// Performs an access under the current index function.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Access {
+        self.mode_accesses[match self.mode {
+            IndexMode::Conventional => 0,
+            IndexMode::IPoly => 1,
+        }] += 1;
+        self.cache.access(addr, is_write)
+    }
+
+    /// Cumulative statistics across all mode switches.
+    pub fn stats(&self) -> CacheStats {
+        self.accumulated + self.cache.stats()
+    }
+
+    fn recompute_mode(&mut self) {
+        let want = if !self.segments.is_empty()
+            && self.segments.iter().all(|s| s.page_size() >= self.threshold)
+        {
+            IndexMode::IPoly
+        } else {
+            IndexMode::Conventional
+        };
+        if want != self.mode {
+            self.switch_to(want);
+        }
+    }
+
+    fn switch_to(&mut self, mode: IndexMode) {
+        let spec = match mode {
+            IndexMode::Conventional => IndexSpec::modulo(),
+            IndexMode::IPoly => self.ipoly_spec.clone(),
+        };
+        self.flushes += 1;
+        self.flushed_lines += self.cache.resident_lines() as u64;
+        self.accumulated += self.cache.stats();
+        self.cache = Cache::build(self.geom, spec)
+            .expect("both specs validated at construction time");
+        self.mode = mode;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8 * 1024, 32, 2).unwrap()
+    }
+
+    fn dyn_cache() -> DynamicIndexCache {
+        DynamicIndexCache::new(geom(), IndexSpec::ipoly_skewed(), 256 * 1024).unwrap()
+    }
+
+    fn big(base: u64) -> Segment {
+        Segment::new(base, 1 << 22, 256 * 1024).unwrap()
+    }
+
+    fn small(base: u64) -> Segment {
+        Segment::new(base, 1 << 20, 4096).unwrap()
+    }
+
+    #[test]
+    fn segment_validation() {
+        assert!(Segment::new(0, 4096, 4096).is_ok());
+        assert!(Segment::new(0, 4096, 1000).is_err()); // page size not 2^k
+        assert!(Segment::new(0, 0, 4096).is_err()); // empty
+        assert!(Segment::new(0, 100, 4096).is_err()); // not page-multiple
+        assert!(Segment::new(100, 4096, 4096).is_err()); // misaligned base
+        assert!(Segment::new(u64::MAX - 4095, 8192, 4096).is_err()); // overflow
+    }
+
+    #[test]
+    fn segment_geometry_queries() {
+        let s = Segment::new(0x10000, 0x4000, 4096).unwrap();
+        assert!(s.contains(0x10000));
+        assert!(s.contains(0x13fff));
+        assert!(!s.contains(0x14000));
+        assert!(!s.contains(0xffff));
+        assert!(s.overlaps(&Segment::new(0x12000, 0x4000, 4096).unwrap()));
+        assert!(!s.overlaps(&Segment::new(0x14000, 0x1000, 4096).unwrap()));
+    }
+
+    #[test]
+    fn threshold_must_be_power_of_two() {
+        assert!(DynamicIndexCache::new(geom(), IndexSpec::ipoly(), 250_000).is_err());
+    }
+
+    #[test]
+    fn default_mode_is_conventional() {
+        assert_eq!(dyn_cache().mode(), IndexMode::Conventional);
+    }
+
+    #[test]
+    fn all_large_segments_enable_ipoly() {
+        let mut c = dyn_cache();
+        c.map_segment(big(0)).unwrap();
+        c.map_segment(big(1 << 30)).unwrap();
+        assert_eq!(c.mode(), IndexMode::IPoly);
+        assert_eq!(c.flushes(), 1);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        // Pages exactly at the threshold qualify ("above a certain
+        // threshold" in the paper; we read it as >=, documented).
+        let mut c = dyn_cache();
+        c.map_segment(Segment::new(0, 1 << 20, 256 * 1024).unwrap())
+            .unwrap();
+        assert_eq!(c.mode(), IndexMode::IPoly);
+    }
+
+    #[test]
+    fn one_small_segment_reverts_to_conventional() {
+        let mut c = dyn_cache();
+        c.map_segment(big(0)).unwrap();
+        assert_eq!(c.mode(), IndexMode::IPoly);
+        c.map_segment(small(1 << 31)).unwrap();
+        assert_eq!(c.mode(), IndexMode::Conventional);
+        c.unmap_segment(1 << 31);
+        assert_eq!(c.mode(), IndexMode::IPoly);
+        assert_eq!(c.flushes(), 3);
+    }
+
+    #[test]
+    fn overlapping_map_is_rejected() {
+        let mut c = dyn_cache();
+        c.map_segment(big(0)).unwrap();
+        assert!(c.map_segment(Segment::new(0, 4096, 4096).unwrap()).is_err());
+        // Failed map must not change the mode.
+        assert_eq!(c.mode(), IndexMode::IPoly);
+    }
+
+    #[test]
+    fn unmap_of_unknown_base_is_noop() {
+        let mut c = dyn_cache();
+        c.map_segment(big(0)).unwrap();
+        let flushes = c.flushes();
+        assert!(!c.unmap_segment(0xdead_0000));
+        assert_eq!(c.flushes(), flushes);
+    }
+
+    #[test]
+    fn switch_flushes_resident_lines() {
+        let mut c = dyn_cache();
+        for i in 0..32u64 {
+            c.read(i * 32);
+        }
+        assert_eq!(c.stats().misses, 32);
+        c.map_segment(big(0)).unwrap(); // switch: flush 32 lines
+        assert_eq!(c.flushed_lines(), 32);
+        // The same blocks now miss again (compulsory refill after flush).
+        for i in 0..32u64 {
+            c.read(i * 32);
+        }
+        assert_eq!(c.stats().misses, 64);
+        assert_eq!(c.stats().accesses, 64);
+    }
+
+    #[test]
+    fn stats_accumulate_across_switches() {
+        let mut c = dyn_cache();
+        for i in 0..16u64 {
+            c.read(i * 32);
+        }
+        c.map_segment(big(0)).unwrap();
+        for i in 0..16u64 {
+            c.read(i * 32);
+        }
+        c.map_segment(small(1 << 31)).unwrap();
+        for i in 0..16u64 {
+            c.read(i * 32);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, 48);
+        assert_eq!(s.misses, 48); // every phase refills after its flush
+        assert_eq!(c.accesses_by_mode(), (32, 16));
+    }
+
+    #[test]
+    fn ipoly_mode_actually_avoids_conflicts() {
+        let mut c = dyn_cache();
+        c.map_segment(Segment::new(0, 1 << 30, 256 * 1024).unwrap())
+            .unwrap();
+        assert_eq!(c.mode(), IndexMode::IPoly);
+        // 64 blocks 4KB apart, swept 8 times: conflict-free under I-Poly.
+        for _ in 0..8 {
+            for i in 0..64u64 {
+                c.read(i * 4096);
+            }
+        }
+        assert_eq!(c.stats().misses, 64, "compulsory only");
+    }
+
+    #[test]
+    fn segment_lookup() {
+        let mut c = dyn_cache();
+        c.map_segment(big(0)).unwrap();
+        assert!(c.segment_of(100).is_some());
+        assert!(c.segment_of(1 << 40).is_none());
+    }
+}

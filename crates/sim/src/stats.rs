@@ -1,0 +1,186 @@
+//! Access and miss counters shared by every cache organization.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Running counters for one cache (or one level of a hierarchy).
+///
+/// All organizations in this crate update these uniformly so that the
+/// harness binaries can print comparable tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+    /// Valid lines evicted to make room for a fill.
+    pub evictions: u64,
+    /// Lines invalidated externally (inclusion, aliases, coherence).
+    pub invalidations: u64,
+    /// Dirty lines written back (write-back caches only).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overall miss ratio, `misses / accesses` (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Overall hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Load (read) miss ratio — the quantity the paper's Tables 2–3
+    /// report.
+    pub fn read_miss_ratio(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / self.reads as f64
+        }
+    }
+
+    /// Records a read outcome.
+    #[inline]
+    pub fn record_read(&mut self, hit: bool) {
+        self.accesses += 1;
+        self.reads += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.read_misses += 1;
+        }
+    }
+
+    /// Records a write outcome.
+    #[inline]
+    pub fn record_write(&mut self, hit: bool) {
+        self.accesses += 1;
+        self.writes += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.write_misses += 1;
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses + rhs.accesses,
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            read_misses: self.read_misses + rhs.read_misses,
+            write_misses: self.write_misses + rhs.write_misses,
+            evictions: self.evictions + rhs.evictions,
+            invalidations: self.invalidations + rhs.invalidations,
+            writebacks: self.writebacks + rhs.writebacks,
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses (miss ratio {:.2}%)",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_on_empty_stats() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.read_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn record_read_and_write() {
+        let mut s = CacheStats::new();
+        s.record_read(true);
+        s.record_read(false);
+        s.record_write(false);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.write_misses, 1);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.read_miss_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_sums_fieldwise() {
+        let mut a = CacheStats::new();
+        a.record_read(false);
+        a.evictions = 2;
+        let mut b = CacheStats::new();
+        b.record_write(true);
+        b.invalidations = 3;
+        let c = a + b;
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.evictions, 2);
+        assert_eq!(c.invalidations, 3);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_contains_ratio() {
+        let mut s = CacheStats::new();
+        s.record_read(false);
+        s.record_read(true);
+        assert!(s.to_string().contains("50.00%"));
+    }
+}

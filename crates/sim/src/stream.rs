@@ -1,0 +1,337 @@
+//! Stream buffers — the prefetch half of Jouppi's proposal \[13\].
+//!
+//! The paper's related work (§2) cites "Improving Direct-Mapped Cache
+//! Performance by the Addition of a Small Fully-Associative Cache and
+//! Prefetch Buffers": a direct-mapped cache augmented with a *victim
+//! cache* (see [`crate::victim`]) and **stream buffers** — small FIFOs
+//! that, on a miss, start prefetching the blocks sequentially following
+//! the miss address. Stream buffers attack a different miss class than
+//! pseudo-random placement: they help *sequential* compulsory/capacity
+//! misses but do nothing for the repetitive power-of-two conflicts the
+//! I-Poly function removes — a contrast the organization comparison
+//! (E10/E11) can now measure.
+//!
+//! The model: `N` buffers of `depth` entries. A cache miss first checks
+//! the *head* of each buffer; a head hit moves the block into the cache
+//! and shifts that buffer (prefetching one more block). A full miss
+//! reallocates the least-recently-used buffer to the new stream. Only
+//! head hits count (Jouppi's original policy).
+//!
+//! # Example
+//!
+//! ```
+//! use cac_core::CacheGeometry;
+//! use cac_sim::stream::StreamBufferCache;
+//!
+//! let geom = CacheGeometry::new(8 * 1024, 32, 1)?;
+//! let mut c = StreamBufferCache::new(geom, 4, 4)?;
+//! // A long sequential scan: after the first miss per stream, the
+//! // buffers supply the blocks.
+//! for i in 0..4096u64 {
+//!     c.read(i * 8);
+//! }
+//! let s = c.stats();
+//! assert!(s.stream_hits > s.misses, "{s:?}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cache::Cache;
+use crate::stats::CacheStats;
+use cac_core::{CacheGeometry, Error, IndexSpec};
+use std::collections::VecDeque;
+
+/// One prefetch FIFO: block addresses in ascending order.
+#[derive(Debug, Clone)]
+struct StreamBuffer {
+    /// Prefetched block addresses (front = head, the only hit-checkable
+    /// entry under Jouppi's policy).
+    fifo: VecDeque<u64>,
+    /// Next block address the buffer would prefetch.
+    next: u64,
+    /// LRU stamp for reallocation.
+    last_used: u64,
+}
+
+/// Counters for a [`StreamBufferCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total read accesses.
+    pub accesses: u64,
+    /// Hits in the cache proper.
+    pub cache_hits: u64,
+    /// Misses satisfied by a stream-buffer head.
+    pub stream_hits: u64,
+    /// Misses that went to the next level (and allocated a stream).
+    pub misses: u64,
+    /// Blocks prefetched that were flushed unused (reallocation waste).
+    pub flushed_unused: u64,
+}
+
+impl StreamStats {
+    /// Effective miss ratio after stream buffers: `misses / accesses`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of cache misses rescued by the buffers.
+    pub fn rescue_rate(&self) -> f64 {
+        let cache_misses = self.stream_hits + self.misses;
+        if cache_misses == 0 {
+            0.0
+        } else {
+            self.stream_hits as f64 / cache_misses as f64
+        }
+    }
+}
+
+/// A cache (any placement) fronted by Jouppi-style sequential stream
+/// buffers.
+#[derive(Debug)]
+pub struct StreamBufferCache {
+    cache: Cache,
+    buffers: Vec<StreamBuffer>,
+    depth: usize,
+    clock: u64,
+    stats: StreamStats,
+}
+
+impl StreamBufferCache {
+    /// Creates a direct-mapped conventional cache with `buffers` stream
+    /// buffers of `depth` blocks each (Jouppi's configuration: 4 × 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] if `buffers` or `depth` is zero,
+    /// plus any geometry error.
+    pub fn new(geom: CacheGeometry, buffers: usize, depth: usize) -> Result<Self, Error> {
+        Self::with_spec(geom, IndexSpec::modulo(), buffers, depth)
+    }
+
+    /// Creates the cache with an explicit placement function, so stream
+    /// buffers can be combined with I-Poly placement.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamBufferCache::new`].
+    pub fn with_spec(
+        geom: CacheGeometry,
+        spec: IndexSpec,
+        buffers: usize,
+        depth: usize,
+    ) -> Result<Self, Error> {
+        if buffers == 0 {
+            return Err(Error::OutOfRange {
+                what: "stream buffers",
+                value: 0,
+                constraint: ">= 1",
+            });
+        }
+        if depth == 0 {
+            return Err(Error::OutOfRange {
+                what: "stream buffer depth",
+                value: 0,
+                constraint: ">= 1",
+            });
+        }
+        Ok(StreamBufferCache {
+            cache: Cache::build(geom, spec)?,
+            buffers: Vec::with_capacity(buffers),
+            depth,
+            clock: 0,
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// Maximum number of stream buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.buffers.capacity()
+    }
+
+    /// Performs a read. Stores are not modelled: Jouppi's buffers are a
+    /// read-prefetch mechanism and the paper's L1 is no-write-allocate.
+    pub fn read(&mut self, addr: u64) -> StreamOutcome {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let block = self.cache.geometry().block_addr(addr);
+
+        if self.cache.probe_block(block).is_some() {
+            let _ = self.cache.read(addr);
+            self.stats.cache_hits += 1;
+            return StreamOutcome::CacheHit;
+        }
+
+        // Check stream-buffer heads.
+        if let Some(bi) = self
+            .buffers
+            .iter()
+            .position(|b| b.fifo.front() == Some(&block))
+        {
+            let buffer = &mut self.buffers[bi];
+            buffer.fifo.pop_front();
+            buffer.last_used = self.clock;
+            // Top the buffer back up.
+            while buffer.fifo.len() < self.depth {
+                buffer.fifo.push_back(buffer.next);
+                buffer.next += 1;
+            }
+            self.cache.fill_block(block);
+            self.stats.stream_hits += 1;
+            return StreamOutcome::StreamHit;
+        }
+
+        // Full miss: fetch the block and (re)allocate a stream buffer
+        // starting right after it.
+        self.cache.fill_block(block);
+        self.stats.misses += 1;
+        let mut fifo = VecDeque::with_capacity(self.depth);
+        for i in 1..=self.depth as u64 {
+            fifo.push_back(block + i);
+        }
+        let fresh = StreamBuffer {
+            fifo,
+            next: block + self.depth as u64 + 1,
+            last_used: self.clock,
+        };
+        if self.buffers.len() < self.buffers.capacity() {
+            self.buffers.push(fresh);
+        } else {
+            let lru = self
+                .buffers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.last_used)
+                .map(|(i, _)| i)
+                .expect("at least one buffer");
+            self.stats.flushed_unused += self.buffers[lru].fifo.len() as u64;
+            self.buffers[lru] = fresh;
+        }
+        StreamOutcome::Miss
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// The underlying cache's own counters (note: stream-buffer fills are
+    /// counted there as ordinary fills).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// Where a [`StreamBufferCache::read`] was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOutcome {
+    /// Hit in the cache proper.
+    CacheHit,
+    /// Head hit in a stream buffer (one next-level fetch already done).
+    StreamHit,
+    /// Full miss: fetched from the next level.
+    Miss,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8 * 1024, 32, 1).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(StreamBufferCache::new(geom(), 0, 4).is_err());
+        assert!(StreamBufferCache::new(geom(), 4, 0).is_err());
+        assert!(StreamBufferCache::new(geom(), 4, 4).is_ok());
+    }
+
+    #[test]
+    fn sequential_stream_is_rescued() {
+        let mut c = StreamBufferCache::new(geom(), 4, 4).unwrap();
+        // 1024 sequential blocks (beyond cache capacity): one real miss,
+        // then the stream buffer supplies everything.
+        for i in 0..1024u64 {
+            c.read(i * 32);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 1, "{s:?}");
+        assert_eq!(s.stream_hits, 1023);
+        assert!(s.rescue_rate() > 0.99);
+    }
+
+    #[test]
+    fn interleaved_streams_fit_in_separate_buffers() {
+        let mut c = StreamBufferCache::new(geom(), 4, 4).unwrap();
+        // Three interleaved sequential streams far apart.
+        for i in 0..512u64 {
+            c.read(i * 32);
+            c.read(0x1000_0000 + i * 32);
+            c.read(0x2000_0000 + i * 32);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 3, "one allocation per stream: {s:?}");
+    }
+
+    #[test]
+    fn too_many_streams_thrash_the_buffers() {
+        let mut c = StreamBufferCache::new(geom(), 2, 4).unwrap();
+        // Six interleaved streams over two buffers: constant reallocation.
+        for i in 0..64u64 {
+            for s in 0..6u64 {
+                c.read((s << 28) + i * 32);
+            }
+        }
+        let s = c.stats();
+        assert!(s.misses > 300, "{s:?}");
+        assert!(s.flushed_unused > 0);
+    }
+
+    #[test]
+    fn conflict_misses_are_not_rescued() {
+        // The E10/E11 contrast: a power-of-two column stride is non-
+        // sequential, so stream buffers do nothing for it.
+        let mut c = StreamBufferCache::new(geom(), 4, 4).unwrap();
+        for _pass in 0..8 {
+            for i in 0..64u64 {
+                c.read(i * 4096);
+            }
+        }
+        let s = c.stats();
+        assert!(s.stream_hits == 0, "{s:?}");
+        assert!(s.miss_ratio() > 0.5);
+    }
+
+    #[test]
+    fn cache_hits_do_not_touch_buffers() {
+        let mut c = StreamBufferCache::new(geom(), 4, 4).unwrap();
+        c.read(0x40);
+        assert_eq!(c.read(0x40), StreamOutcome::CacheHit);
+        assert_eq!(c.read(0x48), StreamOutcome::CacheHit); // same block
+        assert_eq!(c.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn head_only_policy() {
+        let mut c = StreamBufferCache::new(geom(), 1, 4).unwrap();
+        c.read(0); // allocates stream prefetching blocks 1..=4
+        // Skipping the head (block 1) to block 2 is NOT a stream hit under
+        // the head-only policy: it reallocates the buffer.
+        assert_eq!(c.read(2 * 32), StreamOutcome::Miss);
+    }
+
+    #[test]
+    fn works_with_ipoly_placement() {
+        let g2 = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        let mut c =
+            StreamBufferCache::with_spec(g2, IndexSpec::ipoly_skewed(), 4, 4).unwrap();
+        for i in 0..512u64 {
+            c.read(i * 32);
+        }
+        assert!(c.stats().rescue_rate() > 0.9);
+    }
+}

@@ -1,0 +1,300 @@
+//! Translation lookaside buffer.
+//!
+//! §3.1 of the paper weighs four ways of feeding an I-Poly index function
+//! with enough address bits despite 4KB minimum pages. *Option 1* is to
+//! translate first and index the L1 **physically** — attractive when the
+//! pipeline already translates a stage ahead of tag lookup, but otherwise
+//! "either extend the critical path ... or introduce an extra cycle of
+//! untolerated latency via an additional pipeline stage". Evaluating that
+//! trade-off needs a TLB model: this module provides a parametric
+//! set-associative TLB with LRU replacement, backed by any
+//! [`PageMapper`].
+//!
+//! [`PageMapper`]: crate::vm::PageMapper
+//!
+//! # Example
+//!
+//! ```
+//! use cac_sim::tlb::Tlb;
+//! use cac_sim::vm::PageMapper;
+//!
+//! let mut tlb = Tlb::new(64, 4, 4096, 30)?;
+//! let mut mapper = PageMapper::identity();
+//! let (pa, hit) = tlb.translate(0x1234, &mut mapper);
+//! assert_eq!(pa, 0x1234);
+//! assert!(!hit); // compulsory TLB miss
+//! let (_, hit) = tlb.translate(0x1ff8, &mut mapper);
+//! assert!(hit); // same page
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::vm::PageMapper;
+use cac_core::Error;
+
+/// One TLB entry: a cached virtual→physical page translation.
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: u64,
+    frame: u64,
+    last_used: u64,
+}
+
+/// Statistics kept by a [`Tlb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Translations requested.
+    pub accesses: u64,
+    /// Translations that missed (page walk required).
+    pub misses: u64,
+    /// Valid entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl TlbStats {
+    /// Miss ratio in `[0, 1]` (0 if no accesses yet).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative TLB with true-LRU replacement.
+#[derive(Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<TlbEntry>>,
+    ways: u32,
+    page_bits: u32,
+    miss_penalty: u32,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries organised as
+    /// `entries / ways` sets, for pages of `page_size` bytes; a miss costs
+    /// `miss_penalty` cycles (the page-walk time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPowerOfTwo`] unless `entries`, `ways` and
+    /// `page_size` are powers of two, and [`Error::OutOfRange`] if
+    /// `ways > entries`.
+    pub fn new(entries: u32, ways: u32, page_size: u64, miss_penalty: u32) -> Result<Self, Error> {
+        if entries == 0 || !entries.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "TLB entries",
+                value: u64::from(entries),
+            });
+        }
+        if ways == 0 || !ways.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "TLB ways",
+                value: u64::from(ways),
+            });
+        }
+        if page_size == 0 || !page_size.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo {
+                what: "page size",
+                value: page_size,
+            });
+        }
+        if ways > entries {
+            return Err(Error::OutOfRange {
+                what: "TLB ways",
+                value: u64::from(ways),
+                constraint: "<= entries",
+            });
+        }
+        let num_sets = (entries / ways) as usize;
+        Ok(Tlb {
+            sets: vec![Vec::with_capacity(ways as usize); num_sets],
+            ways,
+            page_bits: page_size.trailing_zeros(),
+            miss_penalty,
+            clock: 0,
+            stats: TlbStats::default(),
+        })
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        1 << self.page_bits
+    }
+
+    /// Page-walk penalty charged per miss, in cycles.
+    pub fn miss_penalty(&self) -> u32 {
+        self.miss_penalty
+    }
+
+    /// Translates `va`, consulting `mapper` (the page table) on a miss.
+    /// Returns the physical address and whether the TLB hit.
+    pub fn translate(&mut self, va: u64, mapper: &mut PageMapper) -> (u64, bool) {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let vpn = va >> self.page_bits;
+        let offset = va & (self.page_size() - 1);
+        let set_idx = (vpn % self.sets.len() as u64) as usize;
+        let clock = self.clock;
+
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|e| e.vpn == vpn) {
+            entry.last_used = clock;
+            return ((entry.frame << self.page_bits) | offset, true);
+        }
+
+        // Miss: walk the page table via the mapper.
+        self.stats.misses += 1;
+        let pa = mapper.translate(va);
+        let frame = pa >> self.page_bits;
+        if set.len() == self.ways as usize {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("set is full, hence non-empty");
+            set.swap_remove(victim);
+            self.stats.evictions += 1;
+        }
+        set.push(TlbEntry {
+            vpn,
+            frame,
+            last_used: clock,
+        });
+        (pa, false)
+    }
+
+    /// The latency contribution of a translation: 0 on a hit,
+    /// [`Tlb::miss_penalty`] on a miss.
+    pub fn latency(&self, hit: bool) -> u32 {
+        if hit {
+            0
+        } else {
+            self.miss_penalty
+        }
+    }
+
+    /// Invalidates every entry (e.g. on a context switch).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb() -> Tlb {
+        Tlb::new(64, 4, 4096, 30).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Tlb::new(0, 4, 4096, 30).is_err());
+        assert!(Tlb::new(63, 4, 4096, 30).is_err());
+        assert!(Tlb::new(64, 3, 4096, 30).is_err());
+        assert!(Tlb::new(64, 4, 1000, 30).is_err());
+        assert!(Tlb::new(4, 8, 4096, 30).is_err());
+        assert!(Tlb::new(64, 64, 4096, 30).is_ok()); // fully associative
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut t = tlb();
+        let mut m = PageMapper::identity();
+        let (pa, hit) = t.translate(0x5123, &mut m);
+        assert_eq!(pa, 0x5123);
+        assert!(!hit);
+        let (pa, hit) = t.translate(0x5fff, &mut m);
+        assert_eq!(pa, 0x5fff);
+        assert!(hit);
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().accesses, 2);
+    }
+
+    #[test]
+    fn translations_preserve_page_offset() {
+        let mut t = tlb();
+        let mut m = PageMapper::randomized(4096, 1 << 24, 42);
+        for va in [0x0u64, 0x1234, 0xabcd_e012] {
+            let (pa, _) = t.translate(va, &mut m);
+            assert_eq!(pa & 0xfff, va & 0xfff);
+        }
+    }
+
+    #[test]
+    fn cached_translation_matches_mapper() {
+        let mut t = tlb();
+        let mut m = PageMapper::randomized(4096, 1 << 24, 7);
+        let (pa1, _) = t.translate(0x8000, &mut m);
+        let (pa2, hit) = t.translate(0x8004, &mut m);
+        assert!(hit);
+        assert_eq!(pa2, pa1 + 4);
+        assert_eq!(pa2, m.translate(0x8004));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_set() {
+        // 4-way: touching 5 pages that map to one set evicts the first.
+        let mut t = Tlb::new(4, 4, 4096, 30).unwrap(); // one set
+        let mut m = PageMapper::identity();
+        for p in 0..4u64 {
+            t.translate(p * 4096, &mut m);
+        }
+        t.translate(0, &mut m); // refresh page 0
+        t.translate(4 * 4096, &mut m); // evicts page 1 (oldest)
+        assert_eq!(t.stats().evictions, 1);
+        let (_, hit0) = t.translate(0, &mut m);
+        assert!(hit0, "page 0 was refreshed, must survive");
+        let (_, hit1) = t.translate(4096, &mut m);
+        assert!(!hit1, "page 1 was LRU, must have been evicted");
+    }
+
+    #[test]
+    fn flush_forgets_everything() {
+        let mut t = tlb();
+        let mut m = PageMapper::identity();
+        t.translate(0x1000, &mut m);
+        t.flush();
+        let (_, hit) = t.translate(0x1000, &mut m);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn latency_model() {
+        let t = tlb();
+        assert_eq!(t.latency(true), 0);
+        assert_eq!(t.latency(false), 30);
+    }
+
+    #[test]
+    fn miss_ratio_over_working_set_larger_than_tlb() {
+        let mut t = Tlb::new(16, 4, 4096, 30).unwrap();
+        let mut m = PageMapper::identity();
+        // Cycle over 64 pages repeatedly: thrashes a 16-entry TLB.
+        for _ in 0..4 {
+            for p in 0..64u64 {
+                t.translate(p * 4096, &mut m);
+            }
+        }
+        assert!(t.stats().miss_ratio() > 0.9);
+        // Small working set: near-zero steady-state miss ratio.
+        let mut t2 = Tlb::new(16, 4, 4096, 30).unwrap();
+        for _ in 0..64 {
+            for p in 0..8u64 {
+                t2.translate(p * 4096, &mut m);
+            }
+        }
+        assert!(t2.stats().miss_ratio() < 0.05);
+    }
+}

@@ -1,0 +1,386 @@
+//! Plain-text trace serialization.
+//!
+//! The paper's evaluation ran captured SPEC95 traces through its
+//! simulators; this workspace substitutes synthetic models, but the hook
+//! for *real* traces should exist for downstream users. This module
+//! defines a line-oriented text format — one dynamic instruction per
+//! line, `#` comments, whitespace-separated fields — together with a
+//! writer and a streaming reader, so traces can be produced by any
+//! external tool (a Pin/DynamoRIO client, a QEMU plugin, another
+//! simulator) and replayed against every simulator in the workspace.
+//!
+//! Format, by op kind (registers are architectural numbers, `-` = none;
+//! numbers may be decimal or `0x`-prefixed hex):
+//!
+//! ```text
+//! # kind pc      fields...
+//! L      0x400   0x10000  5  3      # load  addr dst base
+//! S      0x404   0x10008  7  -      # store addr src base
+//! B      0x408   1  0x400  2        # branch taken target src
+//! C      0x40c   fmul 33 32 34      # compute class dst src1 src2
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use cac_trace::io::{read_trace, write_trace};
+//! use cac_trace::spec::SpecBenchmark;
+//!
+//! let ops: Vec<_> = SpecBenchmark::Swim.generator(1).take(100).collect();
+//! let mut text = Vec::new();
+//! write_trace(&mut text, ops.iter().copied())?;
+//! let back: Result<Vec<_>, _> = read_trace(&text[..]).collect();
+//! assert_eq!(back?, ops);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::record::{OpClass, TraceOp};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Error produced while parsing a trace line.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based number and an explanation.
+    Malformed {
+        /// 1-based line number.
+        line: u64,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            ParseTraceError::Malformed { line, reason } => {
+                write!(f, "malformed trace line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+fn class_name(class: OpClass) -> &'static str {
+    match class {
+        OpClass::IntAlu => "int",
+        OpClass::IntMul => "imul",
+        OpClass::IntDiv => "idiv",
+        OpClass::FpAdd => "fadd",
+        OpClass::FpMul => "fmul",
+        OpClass::FpDiv => "fdiv",
+        OpClass::FpSqrt => "fsqrt",
+        OpClass::Load => "load",
+        OpClass::Store => "store",
+        OpClass::Branch => "br",
+    }
+}
+
+fn class_from_name(name: &str) -> Option<OpClass> {
+    Some(match name {
+        "int" => OpClass::IntAlu,
+        "imul" => OpClass::IntMul,
+        "idiv" => OpClass::IntDiv,
+        "fadd" => OpClass::FpAdd,
+        "fmul" => OpClass::FpMul,
+        "fdiv" => OpClass::FpDiv,
+        "fsqrt" => OpClass::FpSqrt,
+        _ => return None,
+    })
+}
+
+fn reg(r: Option<u8>) -> String {
+    match r {
+        Some(r) => r.to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+/// Writes a trace in the module's text format. A `&mut Vec<u8>` or any
+/// other `Write` implementor can be passed by mutable reference.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write, I: IntoIterator<Item = TraceOp>>(
+    mut w: W,
+    ops: I,
+) -> io::Result<()> {
+    for op in ops {
+        match op.class {
+            OpClass::Load => writeln!(
+                w,
+                "L {:#x} {:#x} {} {}",
+                op.pc,
+                op.addr.unwrap_or(0),
+                reg(op.dst),
+                reg(op.srcs[0]),
+            )?,
+            OpClass::Store => writeln!(
+                w,
+                "S {:#x} {:#x} {} {}",
+                op.pc,
+                op.addr.unwrap_or(0),
+                reg(op.srcs[0]),
+                reg(op.srcs[1]),
+            )?,
+            OpClass::Branch => writeln!(
+                w,
+                "B {:#x} {} {:#x} {}",
+                op.pc,
+                u8::from(op.taken),
+                op.target,
+                reg(op.srcs[0]),
+            )?,
+            class => writeln!(
+                w,
+                "C {:#x} {} {} {} {}",
+                op.pc,
+                class_name(class),
+                reg(op.dst),
+                reg(op.srcs[0]),
+                reg(op.srcs[1]),
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Streaming reader over the module's text format: yields one
+/// [`TraceOp`] per non-comment, non-empty line.
+///
+/// Reading stops at the first error; the iterator yields it and then
+/// `None`.
+pub fn read_trace<R: Read>(reader: R) -> ReadTrace<R> {
+    ReadTrace {
+        lines: BufReader::new(reader),
+        line_no: 0,
+        failed: false,
+    }
+}
+
+/// Iterator returned by [`read_trace`].
+#[derive(Debug)]
+pub struct ReadTrace<R: Read> {
+    lines: BufReader<R>,
+    line_no: u64,
+    failed: bool,
+}
+
+impl<R: Read> ReadTrace<R> {
+    fn bad(&self, reason: impl Into<String>) -> ParseTraceError {
+        ParseTraceError::Malformed {
+            line: self.line_no,
+            reason: reason.into(),
+        }
+    }
+
+    fn parse_u64(&self, field: &str) -> Result<u64, ParseTraceError> {
+        let parsed = if let Some(hex) = field.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            field.parse()
+        };
+        parsed.map_err(|_| self.bad(format!("bad number {field:?}")))
+    }
+
+    fn parse_reg(&self, field: &str) -> Result<Option<u8>, ParseTraceError> {
+        if field == "-" {
+            return Ok(None);
+        }
+        field
+            .parse::<u8>()
+            .ok()
+            .filter(|&r| r < 64)
+            .map(Some)
+            .ok_or_else(|| self.bad(format!("bad register {field:?} (0..=63 or '-')")))
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Option<TraceOp>, ParseTraceError> {
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            return Ok(None);
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        let expect = |n: usize| -> Result<(), ParseTraceError> {
+            if fields.len() == n {
+                Ok(())
+            } else {
+                Err(self.bad(format!("expected {n} fields, found {}", fields.len())))
+            }
+        };
+        let op = match fields[0] {
+            "L" => {
+                expect(5)?;
+                TraceOp::load(
+                    self.parse_u64(fields[1])?,
+                    self.parse_u64(fields[2])?,
+                    self.parse_reg(fields[3])?
+                        .ok_or_else(|| self.bad("load needs a destination register"))?,
+                    self.parse_reg(fields[4])?,
+                )
+            }
+            "S" => {
+                expect(5)?;
+                TraceOp::store(
+                    self.parse_u64(fields[1])?,
+                    self.parse_u64(fields[2])?,
+                    self.parse_reg(fields[3])?
+                        .ok_or_else(|| self.bad("store needs a data register"))?,
+                    self.parse_reg(fields[4])?,
+                )
+            }
+            "B" => {
+                expect(5)?;
+                let taken = match fields[2] {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(self.bad(format!("bad taken flag {other:?}"))),
+                };
+                TraceOp::branch(
+                    self.parse_u64(fields[1])?,
+                    taken,
+                    self.parse_u64(fields[3])?,
+                    self.parse_reg(fields[4])?,
+                )
+            }
+            "C" => {
+                expect(6)?;
+                let class = class_from_name(fields[2])
+                    .ok_or_else(|| self.bad(format!("unknown op class {:?}", fields[2])))?;
+                TraceOp::compute(
+                    self.parse_u64(fields[1])?,
+                    class,
+                    self.parse_reg(fields[3])?
+                        .ok_or_else(|| self.bad("compute needs a destination register"))?,
+                    [self.parse_reg(fields[4])?, self.parse_reg(fields[5])?],
+                )
+            }
+            other => return Err(self.bad(format!("unknown record kind {other:?}"))),
+        };
+        Ok(Some(op))
+    }
+}
+
+impl<R: Read> Iterator for ReadTrace<R> {
+    type Item = Result<TraceOp, ParseTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            let mut line = String::new();
+            self.line_no += 1;
+            match self.lines.read_line(&mut line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+            }
+            match self.parse_line(&line) {
+                Ok(None) => continue,
+                Ok(Some(op)) => return Some(Ok(op)),
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBenchmark;
+
+    #[test]
+    fn round_trip_every_op_kind() {
+        let ops = vec![
+            TraceOp::load(0x400, 0x1000, 5, Some(3)),
+            TraceOp::load(0x404, 0x2000, 6, None),
+            TraceOp::store(0x408, 0x3000, 7, Some(2)),
+            TraceOp::branch(0x40c, true, 0x400, Some(1)),
+            TraceOp::branch(0x410, false, 0, None),
+            TraceOp::compute(0x414, OpClass::IntAlu, 1, [Some(2), Some(3)]),
+            TraceOp::compute(0x418, OpClass::FpSqrt, 40, [Some(41), None]),
+            TraceOp::compute(0x41c, OpClass::IntDiv, 9, [None, None]),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, ops.iter().copied()).unwrap();
+        let back: Vec<TraceOp> = read_trace(&buf[..]).map(Result::unwrap).collect();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn round_trip_synthetic_benchmark_prefix() {
+        let ops: Vec<TraceOp> = SpecBenchmark::Tomcatv.generator(9).take(5000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, ops.iter().copied()).unwrap();
+        let back: Vec<TraceOp> = read_trace(&buf[..]).map(Result::unwrap).collect();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\n# header comment\nL 0x400 0x1000 5 -  # inline comment\n\n";
+        let ops: Vec<TraceOp> = read_trace(text.as_bytes()).map(Result::unwrap).collect();
+        assert_eq!(ops, vec![TraceOp::load(0x400, 0x1000, 5, None)]);
+    }
+
+    #[test]
+    fn decimal_and_hex_numbers_both_parse() {
+        let text = "L 1024 4096 5 -\nL 0x400 0x1000 5 -\n";
+        let ops: Vec<TraceOp> = read_trace(text.as_bytes()).map(Result::unwrap).collect();
+        assert_eq!(ops[0], ops[1]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers_and_stop_iteration() {
+        let text = "L 0x400 0x1000 5 -\nX what is this\nL 0x400 0x1000 5 -\n";
+        let results: Vec<_> = read_trace(text.as_bytes()).collect();
+        assert_eq!(results.len(), 2, "iteration stops at the first error");
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert!(matches!(
+            err,
+            ParseTraceError::Malformed { line: 2, .. }
+        ));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn malformed_fields_are_rejected() {
+        for bad in [
+            "L 0x400 0x1000 - -",      // load without destination
+            "L 0x400 0x1000 64 -",     // register out of range
+            "L 0x400 zzz 5 -",         // bad number
+            "B 0x400 2 0x400 -",       // bad taken flag
+            "C 0x400 nosuch 1 - -",    // unknown class
+            "S 0x400 0x1000 1",        // missing field
+        ] {
+            let mut it = read_trace(bad.as_bytes());
+            assert!(matches!(it.next(), Some(Err(_))), "{bad:?} should fail");
+        }
+    }
+}

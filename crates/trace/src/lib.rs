@@ -1,0 +1,50 @@
+//! Trace and workload generation for the conflict-avoiding-cache
+//! reproduction.
+//!
+//! The paper evaluates with SPEC95 traces (100M instructions per program
+//! after a 2000M warm-up skip). Those traces are not redistributable, so
+//! this crate provides **synthetic workload models**: parameterised loop
+//! nests whose memory behaviour is tuned to reproduce the *shape* of the
+//! paper's per-benchmark miss ratios — in particular the catastrophic
+//! power-of-two column strides of `tomcatv`, `swim` and `wave5` that
+//! I-Poly indexing eliminates. See `DESIGN.md` (Substitutions) for the
+//! rationale.
+//!
+//! * [`record`] — instruction/memory record types ([`TraceOp`], [`MemRef`]).
+//! * [`io`] — a line-oriented text trace format with writer and streaming
+//!   reader, so externally captured traces (the paper's original
+//!   methodology) can replace the synthetic models.
+//! * [`stride`] — the Figure 1 stride-sweep trace (64-element vector,
+//!   strides 1..4096).
+//! * [`kernels`] — composable loop-nest generator: strided array sweeps,
+//!   column walks, random working sets, pointer chases, with synthetic
+//!   register dependences and branches.
+//! * [`patterns`] — classic scientific address patterns (FFT butterflies,
+//!   stencils, CSR SpMV, tiled matmul) for the conclusion's claims about
+//!   regular codes and tiling.
+//! * [`spec`] — the 18 named SPEC95 workload models used by Tables 2–3.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_trace::spec::SpecBenchmark;
+//!
+//! let mut gen = SpecBenchmark::Tomcatv.generator(42);
+//! let ops: Vec<_> = (&mut gen).take(1000).collect();
+//! assert_eq!(ops.len(), 1000);
+//! assert!(ops.iter().any(|op| op.is_load()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod kernels;
+pub mod patterns;
+pub mod record;
+pub mod spec;
+pub mod stride;
+
+pub use kernels::{ArrayWalk, LoopKernel};
+pub use record::{MemRef, OpClass, TraceOp};
+pub use spec::SpecBenchmark;

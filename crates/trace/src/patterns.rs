@@ -1,0 +1,431 @@
+//! Classic scientific-computing address patterns.
+//!
+//! The paper's conclusion argues that I-Poly placement matters most where
+//! regular codes meet power-of-two layouts: FFTs, stencils, and — its
+//! closing example — *tiled* linear algebra, where "tiling often
+//! introduces additional conflict misses which depend on array dimensions
+//! as well as stride" and an I-Poly cache "would eliminate the need to
+//! compute conflict-free tile dimensions". This module generates those
+//! access streams so the claim can be measured (bench binary
+//! `tiling_conflicts`, example `fft_butterfly`).
+//!
+//! All generators are deterministic and produce [`MemRef`] streams
+//! directly usable by the cache simulators.
+
+use crate::record::MemRef;
+
+/// Radix-2 in-place FFT access pattern over `2^log2_n` complex elements.
+///
+/// Every stage `s` performs `n/2` butterflies on pairs `(i, i + 2^s)` —
+/// an access stream that is *nothing but* power-of-two strides, the
+/// workload class the paper's Figure 1 guarantees are conflict-free under
+/// I-Poly placement.
+///
+/// # Example
+///
+/// ```
+/// use cac_trace::patterns::FftButterfly;
+///
+/// let fft = FftButterfly::new(0x1000, 10, 16); // 1K points, 16B elements
+/// let refs: Vec<_> = fft.stage(3).collect();
+/// assert_eq!(refs.len(), 2 * 512 * 2); // 512 butterflies, 2 loads + 2 stores
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FftButterfly {
+    base: u64,
+    log2_n: u32,
+    elem_size: u64,
+}
+
+impl FftButterfly {
+    /// Creates the pattern: `2^log2_n` elements of `elem_size` bytes at
+    /// `base`.
+    pub fn new(base: u64, log2_n: u32, elem_size: u64) -> Self {
+        FftButterfly {
+            base,
+            log2_n,
+            elem_size,
+        }
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> u64 {
+        1 << self.log2_n
+    }
+
+    /// Number of butterfly stages (`log2 n`).
+    pub fn stages(&self) -> u32 {
+        self.log2_n
+    }
+
+    /// The access stream of one butterfly stage: for each butterfly, load
+    /// both inputs then store both outputs.
+    pub fn stage(&self, s: u32) -> impl Iterator<Item = MemRef> + '_ {
+        assert!(s < self.log2_n, "stage {s} out of range");
+        let half = 1u64 << s;
+        let n = self.n();
+        let base = self.base;
+        let elem = self.elem_size;
+        (0..n / 2).flat_map(move |b| {
+            // Butterfly `b` pairs index i with i + half, where i skips the
+            // high partner bits: i = (b & !(half-1)) << 1 | (b & (half-1)).
+            let lo = ((b & !(half - 1)) << 1) | (b & (half - 1));
+            let hi = lo + half;
+            let a0 = base + lo * elem;
+            let a1 = base + hi * elem;
+            [
+                MemRef { pc: 0x100, addr: a0, is_write: false },
+                MemRef { pc: 0x104, addr: a1, is_write: false },
+                MemRef { pc: 0x108, addr: a0, is_write: true },
+                MemRef { pc: 0x10c, addr: a1, is_write: true },
+            ]
+        })
+    }
+
+    /// The bit-reversal permutation pass that precedes the butterflies:
+    /// for each `i < rev(i)`, load both elements and store both swapped.
+    pub fn bit_reversal(&self) -> impl Iterator<Item = MemRef> + '_ {
+        let n = self.n();
+        let bits = self.log2_n;
+        let base = self.base;
+        let elem = self.elem_size;
+        (0..n).flat_map(move |i| {
+            let j = i.reverse_bits() >> (64 - bits);
+            if i < j {
+                let a0 = base + i * elem;
+                let a1 = base + j * elem;
+                vec![
+                    MemRef { pc: 0x200, addr: a0, is_write: false },
+                    MemRef { pc: 0x204, addr: a1, is_write: false },
+                    MemRef { pc: 0x208, addr: a0, is_write: true },
+                    MemRef { pc: 0x20c, addr: a1, is_write: true },
+                ]
+            } else {
+                Vec::new()
+            }
+        })
+    }
+
+    /// The whole transform: bit reversal followed by every stage.
+    pub fn full_transform(&self) -> impl Iterator<Item = MemRef> + '_ {
+        self.bit_reversal()
+            .chain((0..self.log2_n).flat_map(move |s| self.stage(s)))
+    }
+}
+
+/// A 5-point stencil sweep over a `rows × cols` grid with an explicit row
+/// pitch — the pitch, not the logical width, is what collides in a cache,
+/// and power-of-two pitches are the common (and pathological) choice.
+#[derive(Debug, Clone, Copy)]
+pub struct Stencil5 {
+    base: u64,
+    rows: u64,
+    cols: u64,
+    pitch: u64,
+    elem_size: u64,
+}
+
+impl Stencil5 {
+    /// Creates the stencil pattern. `pitch` is the byte distance between
+    /// vertically adjacent elements.
+    pub fn new(base: u64, rows: u64, cols: u64, pitch: u64, elem_size: u64) -> Self {
+        Stencil5 {
+            base,
+            rows,
+            cols,
+            pitch,
+            elem_size,
+        }
+    }
+
+    fn addr(&self, r: u64, c: u64) -> u64 {
+        self.base + r * self.pitch + c * self.elem_size
+    }
+
+    /// One full sweep: for each interior point, load its four neighbours
+    /// and itself, then store the result to a second grid placed directly
+    /// after the first.
+    pub fn sweep(&self) -> impl Iterator<Item = MemRef> + '_ {
+        let out_base = self.base + self.rows * self.pitch;
+        (1..self.rows - 1).flat_map(move |r| {
+            (1..self.cols - 1).flat_map(move |c| {
+                [
+                    MemRef { pc: 0x300, addr: self.addr(r, c), is_write: false },
+                    MemRef { pc: 0x304, addr: self.addr(r - 1, c), is_write: false },
+                    MemRef { pc: 0x308, addr: self.addr(r + 1, c), is_write: false },
+                    MemRef { pc: 0x30c, addr: self.addr(r, c - 1), is_write: false },
+                    MemRef { pc: 0x310, addr: self.addr(r, c + 1), is_write: false },
+                    MemRef {
+                        pc: 0x314,
+                        addr: out_base + r * self.pitch + c * self.elem_size,
+                        is_write: true,
+                    },
+                ]
+            })
+        })
+    }
+}
+
+/// Sparse matrix–vector product (`y = A·x`) in CSR form, with a
+/// deterministic pseudo-random sparsity pattern.
+///
+/// Per row: a `row_ptr` load, then for each of `nnz_per_row` non-zeros a
+/// `col_idx` load, a value load, and a gather from `x[col]`; finally a
+/// store to `y[row]`. The gathers are the interesting part: their
+/// addresses are as close to random as real codes get, so *no* placement
+/// function helps or hurts much — a useful control workload.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrSpmv {
+    rows: u64,
+    x_len: u64,
+    nnz_per_row: u64,
+    /// Layout bases.
+    row_ptr_base: u64,
+    col_val_base: u64,
+    x_base: u64,
+    y_base: u64,
+    seed: u64,
+}
+
+impl CsrSpmv {
+    /// Creates the pattern: `rows` matrix rows, `nnz_per_row` non-zeros
+    /// per row, gathering from an `x` vector of `x_len` 8-byte elements.
+    pub fn new(rows: u64, nnz_per_row: u64, x_len: u64, seed: u64) -> Self {
+        CsrSpmv {
+            rows,
+            x_len,
+            nnz_per_row,
+            row_ptr_base: 0x1000_0000,
+            col_val_base: 0x2000_0000,
+            x_base: 0x3000_0000,
+            y_base: 0x4000_0000,
+            seed,
+        }
+    }
+
+    /// One full product.
+    pub fn product(&self) -> impl Iterator<Item = MemRef> + '_ {
+        let s = *self;
+        (0..s.rows).flat_map(move |r| {
+            let mut refs = Vec::with_capacity(2 + 3 * s.nnz_per_row as usize);
+            refs.push(MemRef { pc: 0x400, addr: s.row_ptr_base + r * 4, is_write: false });
+            for k in 0..s.nnz_per_row {
+                let nz = r * s.nnz_per_row + k;
+                // SplitMix-style hash for the column index.
+                let mut z = s.seed.wrapping_add(nz.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                let col = (z ^ (z >> 31)) % s.x_len;
+                refs.push(MemRef { pc: 0x404, addr: s.col_val_base + nz * 4, is_write: false });
+                refs.push(MemRef { pc: 0x408, addr: s.col_val_base + (s.rows * s.nnz_per_row) * 4 + nz * 8, is_write: false });
+                refs.push(MemRef { pc: 0x40c, addr: s.x_base + col * 8, is_write: false });
+            }
+            refs.push(MemRef { pc: 0x410, addr: s.y_base + r * 8, is_write: true });
+            refs
+        })
+    }
+}
+
+/// Tiled matrix multiply `C = A·B` over `n × n` matrices of 8-byte
+/// elements with an explicit storage pitch, processed in `tile × tile`
+/// blocks — the paper's closing example of a workload whose conflict
+/// behaviour "depends on array dimensions as well as stride".
+///
+/// The generator emits the inner-kernel access stream
+/// (`A[i][k]`, `B[k][j]`, `C[i][j]` per multiply-accumulate) for one
+/// block-row of tiles, which is enough to expose tile-vs-pitch conflicts
+/// without generating the full `O(n^3)` trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TiledMatMul {
+    n: u64,
+    tile: u64,
+    pitch: u64,
+    a_base: u64,
+    b_base: u64,
+    c_base: u64,
+}
+
+impl TiledMatMul {
+    /// Element size: double precision.
+    pub const ELEM: u64 = 8;
+
+    /// Creates the pattern for `n × n` matrices in `tile × tile` blocks
+    /// with rows `pitch` bytes apart. The three matrices are laid out
+    /// back-to-back (pitch-aligned), mirroring a Fortran `DIMENSION
+    /// A(LDA,N)` declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is zero, `tile > n`, or the pitch cannot hold a
+    /// row (`pitch < n * 8`).
+    pub fn new(n: u64, tile: u64, pitch: u64) -> Self {
+        assert!(tile > 0 && tile <= n, "tile must be in 1..=n");
+        assert!(pitch >= n * Self::ELEM, "pitch too small for a row");
+        let matrix_bytes = n * pitch;
+        TiledMatMul {
+            n,
+            tile,
+            pitch,
+            a_base: 0,
+            b_base: matrix_bytes,
+            c_base: 2 * matrix_bytes,
+        }
+    }
+
+    fn a(&self, i: u64, k: u64) -> u64 {
+        self.a_base + i * self.pitch + k * Self::ELEM
+    }
+
+    fn b(&self, k: u64, j: u64) -> u64 {
+        self.b_base + k * self.pitch + j * Self::ELEM
+    }
+
+    fn c(&self, i: u64, j: u64) -> u64 {
+        self.c_base + i * self.pitch + j * Self::ELEM
+    }
+
+    /// The access stream of one block-row of the tiled product: tiles
+    /// `C[0..tile, J..J+tile] += A[0..tile, K..K+tile] · B[K.., J..]` for
+    /// all tile coordinates `(J, K)`.
+    pub fn block_row(&self) -> impl Iterator<Item = MemRef> + '_ {
+        let s = *self;
+        let tiles = s.n / s.tile;
+        (0..tiles).flat_map(move |jt| {
+            (0..tiles).flat_map(move |kt| {
+                let (j0, k0) = (jt * s.tile, kt * s.tile);
+                (0..s.tile).flat_map(move |i| {
+                    (0..s.tile).flat_map(move |jj| {
+                        let j = j0 + jj;
+                        (0..s.tile).flat_map(move |kk| {
+                            let k = k0 + kk;
+                            [
+                                MemRef { pc: 0x500, addr: s.a(i, k), is_write: false },
+                                MemRef { pc: 0x504, addr: s.b(k, j), is_write: false },
+                                MemRef { pc: 0x508, addr: s.c(i, j), is_write: false },
+                                MemRef { pc: 0x50c, addr: s.c(i, j), is_write: true },
+                            ]
+                        })
+                    })
+                })
+            })
+        })
+    }
+
+    /// Bytes touched by one tile triple (`3 · tile² · 8`) — the quantity
+    /// tile-size selection tries to fit in cache.
+    pub fn tile_footprint(&self) -> u64 {
+        3 * self.tile * self.tile * Self::ELEM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_stage_pairs_are_power_of_two_apart() {
+        let fft = FftButterfly::new(0, 6, 16);
+        for s in 0..6 {
+            let refs: Vec<_> = fft.stage(s).collect();
+            assert_eq!(refs.len(), 4 * 32); // 32 butterflies × 4 refs
+            for quad in refs.chunks(4) {
+                let lo = quad[0].addr;
+                let hi = quad[1].addr;
+                assert_eq!(hi - lo, 16 << s, "stage {s} partner distance");
+                assert!(!quad[0].is_write && !quad[1].is_write);
+                assert!(quad[2].is_write && quad[3].is_write);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_stage_touches_every_element_once_per_role() {
+        let fft = FftButterfly::new(0, 8, 16);
+        for s in [0, 3, 7] {
+            let mut seen = std::collections::HashSet::new();
+            for r in fft.stage(s).filter(|r| !r.is_write) {
+                assert!(seen.insert(r.addr), "element loaded twice in a stage");
+            }
+            assert_eq!(seen.len(), 256);
+        }
+    }
+
+    #[test]
+    fn fft_bit_reversal_swaps_each_pair_once() {
+        let fft = FftButterfly::new(0, 4, 16);
+        let loads: Vec<_> = fft.bit_reversal().filter(|r| !r.is_write).collect();
+        // n = 16: fixed points are 0,6,9,15 (palindromic 4-bit indices);
+        // 6 swapped pairs × 2 loads.
+        assert_eq!(loads.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fft_stage_bounds() {
+        let fft = FftButterfly::new(0, 4, 16);
+        let _ = fft.stage(4);
+    }
+
+    #[test]
+    fn stencil_touches_neighbours() {
+        let st = Stencil5::new(0, 8, 8, 1024, 8);
+        let refs: Vec<_> = st.sweep().collect();
+        assert_eq!(refs.len(), 6 * 6 * 6); // 36 interior points × 6 refs
+        let first = &refs[..6];
+        assert_eq!(first[0].addr, 1024 + 8); // (1,1)
+        assert_eq!(first[1].addr, 8); // (0,1)
+        assert_eq!(first[2].addr, 2 * 1024 + 8); // (2,1)
+        assert_eq!(first[3].addr, 1024); // (1,0)
+        assert_eq!(first[4].addr, 1024 + 16); // (1,2)
+        assert!(first[5].is_write);
+    }
+
+    #[test]
+    fn spmv_shape_and_determinism() {
+        let spmv = CsrSpmv::new(16, 4, 1024, 7);
+        let a: Vec<_> = spmv.product().collect();
+        let b: Vec<_> = spmv.product().collect();
+        assert_eq!(a, b);
+        // Per row: 1 row_ptr + 4 × (col + val + gather) + 1 store.
+        assert_eq!(a.len(), 16 * (1 + 4 * 3 + 1));
+        assert_eq!(a.iter().filter(|r| r.is_write).count(), 16);
+        // Gathers stay inside x.
+        for r in a.iter().filter(|r| r.addr >= 0x3000_0000 && r.addr < 0x4000_0000) {
+            assert!(r.addr < 0x3000_0000 + 1024 * 8);
+        }
+    }
+
+    #[test]
+    fn matmul_validation_and_footprint() {
+        let mm = TiledMatMul::new(64, 16, 64 * 8);
+        assert_eq!(mm.tile_footprint(), 3 * 16 * 16 * 8);
+        let refs: Vec<_> = mm.block_row().collect();
+        // tiles=4: 4*4 tile pairs × 16^3 MACs × 4 refs.
+        assert_eq!(refs.len(), 16 * 4096 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile must be")]
+    fn matmul_rejects_oversized_tile() {
+        let _ = TiledMatMul::new(16, 32, 16 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch too small")]
+    fn matmul_rejects_small_pitch() {
+        let _ = TiledMatMul::new(64, 8, 64);
+    }
+
+    #[test]
+    fn matmul_addresses_respect_pitch() {
+        let mm = TiledMatMul::new(8, 8, 4096);
+        let refs: Vec<_> = mm.block_row().collect();
+        // A addresses: row i at i*4096.
+        let a_rows: std::collections::HashSet<u64> = refs
+            .iter()
+            .filter(|r| r.addr < 8 * 4096)
+            .map(|r| r.addr / 4096)
+            .collect();
+        assert_eq!(a_rows.len(), 8);
+    }
+}

@@ -1,0 +1,229 @@
+//! Trace record types.
+
+use std::fmt;
+
+/// Instruction class, matching the functional units of the paper's
+/// Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Simple integer ALU operation (1-cycle).
+    IntAlu,
+    /// Integer multiply (9-cycle on the complex-integer unit).
+    IntMul,
+    /// Integer divide (67-cycle, unpipelined).
+    IntDiv,
+    /// Simple FP operation — add/sub/convert (4-cycle).
+    FpAdd,
+    /// FP multiply (4-cycle).
+    FpMul,
+    /// FP divide (16-cycle, unpipelined).
+    FpDiv,
+    /// FP square root (35-cycle, unpipelined).
+    FpSqrt,
+    /// Memory load (effective-address unit + cache access).
+    Load,
+    /// Memory store (effective-address unit; data to memory at commit).
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+impl OpClass {
+    /// `true` for [`OpClass::Load`] and [`OpClass::Store`].
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// `true` for operations executed on FP units.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt
+        )
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int",
+            OpClass::IntMul => "imul",
+            OpClass::IntDiv => "idiv",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::FpSqrt => "fsqrt",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "br",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic instruction of a trace.
+///
+/// Architectural registers are numbered 0..=31 (integer) and 32..=63
+/// (floating point). Register 0 is the hardwired zero register and never
+/// creates dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Instruction address.
+    pub pc: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Destination architectural register, if any.
+    pub dst: Option<u8>,
+    /// Source architectural registers (use `None` for absent operands).
+    pub srcs: [Option<u8>; 2],
+    /// Effective address for loads/stores.
+    pub addr: Option<u64>,
+    /// Branch outcome (meaningful only for branches).
+    pub taken: bool,
+    /// Branch target (meaningful only for taken branches).
+    pub target: u64,
+}
+
+impl TraceOp {
+    /// A non-memory, non-branch op.
+    pub fn compute(pc: u64, class: OpClass, dst: u8, srcs: [Option<u8>; 2]) -> Self {
+        debug_assert!(!class.is_memory() && class != OpClass::Branch);
+        TraceOp {
+            pc,
+            class,
+            dst: Some(dst),
+            srcs,
+            addr: None,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A load of `addr` into `dst`.
+    pub fn load(pc: u64, addr: u64, dst: u8, base: Option<u8>) -> Self {
+        TraceOp {
+            pc,
+            class: OpClass::Load,
+            dst: Some(dst),
+            srcs: [base, None],
+            addr: Some(addr),
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A store of `src` to `addr`.
+    pub fn store(pc: u64, addr: u64, src: u8, base: Option<u8>) -> Self {
+        TraceOp {
+            pc,
+            class: OpClass::Store,
+            dst: None,
+            srcs: [Some(src), base],
+            addr: Some(addr),
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A conditional branch.
+    pub fn branch(pc: u64, taken: bool, target: u64, src: Option<u8>) -> Self {
+        TraceOp {
+            pc,
+            class: OpClass::Branch,
+            dst: None,
+            srcs: [src, None],
+            addr: None,
+            taken,
+            target,
+        }
+    }
+
+    /// `true` for loads.
+    pub fn is_load(&self) -> bool {
+        self.class == OpClass::Load
+    }
+
+    /// `true` for stores.
+    pub fn is_store(&self) -> bool {
+        self.class == OpClass::Store
+    }
+
+    /// `true` for branches.
+    pub fn is_branch(&self) -> bool {
+        self.class == OpClass::Branch
+    }
+
+    /// The memory reference view of this op, if it is a load or store.
+    pub fn mem_ref(&self) -> Option<MemRef> {
+        self.addr.map(|addr| MemRef {
+            pc: self.pc,
+            addr,
+            is_write: self.is_store(),
+        })
+    }
+}
+
+/// A bare memory reference (for cache-only experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Instruction address that issued the reference.
+    pub pc: u64,
+    /// Effective byte address.
+    pub addr: u64,
+    /// `true` for stores.
+    pub is_write: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let l = TraceOp::load(0x400, 0x1000, 5, Some(3));
+        assert!(l.is_load());
+        assert!(!l.is_store());
+        assert_eq!(l.addr, Some(0x1000));
+        assert_eq!(l.dst, Some(5));
+
+        let s = TraceOp::store(0x404, 0x2000, 7, None);
+        assert!(s.is_store());
+        assert_eq!(s.dst, None);
+        assert_eq!(s.srcs[0], Some(7));
+
+        let b = TraceOp::branch(0x408, true, 0x400, Some(1));
+        assert!(b.is_branch());
+        assert!(b.taken);
+        assert_eq!(b.target, 0x400);
+
+        let c = TraceOp::compute(0x40c, OpClass::FpMul, 33, [Some(32), Some(34)]);
+        assert_eq!(c.class, OpClass::FpMul);
+        assert!(c.class.is_fp());
+    }
+
+    #[test]
+    fn mem_ref_projection() {
+        let l = TraceOp::load(0x400, 0xAB, 5, None);
+        let r = l.mem_ref().unwrap();
+        assert_eq!(r.addr, 0xAB);
+        assert!(!r.is_write);
+        let c = TraceOp::compute(0x40c, OpClass::IntAlu, 1, [None, None]);
+        assert!(c.mem_ref().is_none());
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(OpClass::Load.is_memory());
+        assert!(OpClass::Store.is_memory());
+        assert!(!OpClass::Branch.is_memory());
+        assert!(OpClass::FpSqrt.is_fp());
+        assert!(!OpClass::IntMul.is_fp());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OpClass::Load.to_string(), "load");
+        assert_eq!(OpClass::FpDiv.to_string(), "fdiv");
+        assert_eq!(OpClass::Branch.to_string(), "br");
+    }
+}

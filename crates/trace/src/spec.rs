@@ -1,0 +1,503 @@
+//! Synthetic SPEC95 workload models.
+//!
+//! One model per benchmark of the paper's Tables 2–3. Each model is a
+//! [`LoopKernel`] whose components are chosen to reproduce the *mechanism*
+//! behind that benchmark's published miss ratio on an 8KB 2-way cache:
+//!
+//! * **hot arrays** — small cyclic working sets that fit (hits);
+//! * **sequential streams** — long arrays walked once (a compulsory miss
+//!   every `block/elem` accesses, ≈25% for 8-byte elements and 32-byte
+//!   blocks);
+//! * **wide-strided streams** — one new block per access (≈100% misses,
+//!   insensitive to placement: capacity/compulsory);
+//! * **conflict arrays** — equal-sized arrays whose bases are congruent
+//!   modulo the cache-way size, so all of them compete for the *same* set
+//!   under conventional indexing (the paper's `b0[i]`/`b1[j]` case) while
+//!   I-Poly spreads them;
+//! * **random/pointer-chase regions** — capacity-type misses over a
+//!   footprint larger than the cache.
+//!
+//! The absolute values are calibrated against column 6 of Table 2 (see
+//! `EXPERIMENTS.md`); the mechanism mix is what makes tomcatv/swim/wave5
+//! collapse under conventional indexing and recover under I-Poly, which is
+//! the effect the paper's headline results measure.
+
+use crate::kernels::{ArrayWalk, KernelGen, LoopKernel};
+
+/// Paper-reported values for one benchmark (Table 2 of the paper).
+///
+/// Miss ratios are load miss ratios in percent; IPC columns follow the
+/// table's layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// 16KB conventional: IPC.
+    pub conv16_ipc: f64,
+    /// 16KB conventional: load miss ratio (%).
+    pub conv16_miss: f64,
+    /// 8KB conventional: IPC without address prediction.
+    pub conv8_ipc: f64,
+    /// 8KB conventional: IPC with address prediction.
+    pub conv8_ipc_pred: f64,
+    /// 8KB conventional: load miss ratio (%).
+    pub conv8_miss: f64,
+    /// 8KB I-Poly, XOR not in critical path: IPC (no prediction).
+    pub ipoly_ipc: f64,
+    /// 8KB I-Poly: load miss ratio (%).
+    pub ipoly_miss: f64,
+    /// 8KB I-Poly, XOR in critical path: IPC without prediction.
+    pub ipoly_cp_ipc: f64,
+    /// 8KB I-Poly, XOR in critical path: IPC with prediction.
+    pub ipoly_cp_ipc_pred: f64,
+}
+
+/// The 18 SPEC95 benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SpecBenchmark {
+    Go,
+    M88ksim,
+    Gcc,
+    Compress,
+    Li,
+    Ijpeg,
+    Perl,
+    Vortex,
+    Tomcatv,
+    Swim,
+    Su2cor,
+    Hydro2d,
+    Applu,
+    Mgrid,
+    Turb3d,
+    Apsi,
+    Fpppp,
+    Wave5,
+}
+
+/// Region bases for generated address spaces.
+const HOT_BASE: u64 = 0x0010_0000;
+const CONFLICT_BASE: u64 = 0x0100_0000;
+const LONG_CONFLICT_BASE: u64 = 0x0200_0000;
+const STREAM_BASE: u64 = 0x1000_0000;
+const STORE_BASE: u64 = 0x2000_0000;
+
+/// `n` hot arrays of 256B each: tiny cyclic working sets that stay
+/// resident even with streams flowing through the cache.
+fn hot_arrays(n: usize) -> Vec<ArrayWalk> {
+    (0..n as u64)
+        .map(|k| ArrayWalk::sequential(HOT_BASE + k * 0x100, 32, 8))
+        .collect()
+}
+
+/// `n` short conflict arrays accessed once every `every` iterations — a
+/// diluted conflict stream for benchmarks with mild conflict behaviour.
+fn short_conflict_arrays_every(n: usize, every: u64) -> Vec<ArrayWalk> {
+    short_conflict_arrays(n)
+        .into_iter()
+        .map(|w| w.with_every(every))
+        .collect()
+}
+
+/// `n` sequential streams over huge arrays (≈25% miss, placement-neutral).
+fn seq_streams(n: usize) -> Vec<ArrayWalk> {
+    // Bases staggered by a non-power-of-two offset so concurrent streams
+    // do not march through the same sets in lockstep.
+    (0..n as u64)
+        .map(|k| ArrayWalk::sequential(STREAM_BASE + k * 0x0100_0000 + (k + 1) * 0x860, 1 << 21, 8))
+        .collect()
+}
+
+/// `n` wide-strided streams: one new block per access (≈100% miss,
+/// placement-neutral).
+fn wide_streams(n: usize) -> Vec<ArrayWalk> {
+    (0..n as u64)
+        .map(|k| {
+            ArrayWalk::strided(
+                STREAM_BASE + 0x0800_0000 + k * 0x0100_0000 + (2 * k + 1) * 0x4E0,
+                1 << 21,
+                8,
+                4,
+            )
+        })
+        .collect()
+}
+
+/// `n` *short* conflict arrays: 128B each (4 blocks), bases 4KB apart, so
+/// every array's current block maps to the same set of an 8KB 2-way
+/// cache. Under I-Poly they are small and frequently revisited enough to
+/// stay resident.
+fn short_conflict_arrays(n: usize) -> Vec<ArrayWalk> {
+    (0..n as u64)
+        .map(|k| ArrayWalk::sequential(CONFLICT_BASE + k * 0x1000, 16, 8))
+        .collect()
+}
+
+/// `n` *long* conflict arrays: 16KB each, bases 20KB apart (still
+/// congruent mod 4KB). Conventional indexing thrashes one set; I-Poly
+/// converts them into ≈25%-miss streams (they exceed capacity).
+fn long_conflict_arrays(n: usize) -> Vec<ArrayWalk> {
+    (0..n as u64)
+        .map(|k| ArrayWalk::sequential(LONG_CONFLICT_BASE + k * 0x5000, 2048, 8))
+        .collect()
+}
+
+/// One store stream (write-through/no-allocate: does not disturb cache
+/// contents, but exercises ports and the store buffer).
+fn store_stream() -> Vec<ArrayWalk> {
+    vec![ArrayWalk::sequential(STORE_BASE, 1 << 21, 8)]
+}
+
+impl SpecBenchmark {
+    /// All 18 benchmarks in the paper's table order.
+    pub fn all() -> [SpecBenchmark; 18] {
+        use SpecBenchmark::*;
+        [
+            Go, M88ksim, Gcc, Compress, Li, Ijpeg, Perl, Vortex, Tomcatv, Swim, Su2cor,
+            Hydro2d, Applu, Mgrid, Turb3d, Apsi, Fpppp, Wave5,
+        ]
+    }
+
+    /// Lowercase benchmark name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        self.paper_row().name
+    }
+
+    /// `true` for the SPECfp95 programs.
+    pub fn is_fp(&self) -> bool {
+        use SpecBenchmark::*;
+        matches!(
+            self,
+            Tomcatv | Swim | Su2cor | Hydro2d | Applu | Mgrid | Turb3d | Apsi | Fpppp | Wave5
+        )
+    }
+
+    /// The three high-conflict programs of Table 3 (tomcatv, swim, wave5).
+    pub fn is_high_conflict(&self) -> bool {
+        matches!(
+            self,
+            SpecBenchmark::Tomcatv | SpecBenchmark::Swim | SpecBenchmark::Wave5
+        )
+    }
+
+    /// The synthetic workload model.
+    pub fn kernel(&self) -> LoopKernel {
+        use SpecBenchmark::*;
+        let mut k = LoopKernel::template(self.name());
+        match self {
+            Go => {
+                k.loads = [hot_arrays(6), seq_streams(1)].concat();
+                k.random_loads = 1;
+                k.random_footprint = 16 << 10;
+                k.int_ops = 5;
+                k.data_branch_prob = 0.42;
+            }
+            M88ksim => {
+                k.loads = hot_arrays(7);
+                k.random_loads = 1;
+                k.random_every = 2;
+                k.random_footprint = 10 << 10;
+                k.int_ops = 5;
+                k.data_branch_prob = 0.12;
+            }
+            Gcc => {
+                k.loads = [hot_arrays(6), seq_streams(1)].concat();
+                k.random_loads = 1;
+                k.random_footprint = 16 << 10;
+                k.int_ops = 5;
+                k.data_branch_prob = 0.3;
+            }
+            Compress => {
+                k.loads = [hot_arrays(6), seq_streams(1)].concat();
+                k.random_loads = 1;
+                k.random_footprint = 32 << 10;
+                k.int_ops = 5;
+                k.stores = store_stream();
+                k.data_branch_prob = 0.2;
+            }
+            Li => {
+                k.loads = [hot_arrays(6), seq_streams(1)].concat();
+                k.random_loads = 1;
+                k.random_footprint = 10 << 10;
+                k.chase = true;
+                k.int_ops = 4;
+                k.data_branch_prob = 0.18;
+            }
+            Ijpeg => {
+                k.loads =
+                    [hot_arrays(7), seq_streams(1), short_conflict_arrays_every(3, 32)].concat();
+                k.int_ops = 6;
+                k.int_mul_every = 4;
+                k.stores = store_stream();
+                k.data_branch_prob = 0.06;
+            }
+            Perl => {
+                k.loads = [hot_arrays(6), seq_streams(1)].concat();
+                k.random_loads = 1;
+                k.random_footprint = 12 << 10;
+                k.chase = true;
+                k.int_ops = 4;
+                k.data_branch_prob = 0.22;
+            }
+            Vortex => {
+                k.loads = [hot_arrays(6), seq_streams(1)].concat();
+                k.random_loads = 1;
+                k.random_footprint = 10 << 10;
+                k.int_ops = 4;
+                k.stores = store_stream();
+                k.data_branch_prob = 0.15;
+            }
+            Tomcatv => {
+                k.fp_data = true;
+                k.loads = [long_conflict_arrays(5), seq_streams(2), hot_arrays(2)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 2;
+                k.fp_muls = 1;
+                k.int_ops = 2;
+                k.data_branch_prob = 0.03;
+            }
+            Swim => {
+                k.fp_data = true;
+                k.loads = [short_conflict_arrays(5), seq_streams(2), hot_arrays(2)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 2;
+                k.fp_muls = 1;
+                k.int_ops = 2;
+                k.data_branch_prob = 0.02;
+            }
+            Su2cor => {
+                k.fp_data = true;
+                k.loads = [hot_arrays(6), seq_streams(1), wide_streams(1)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 2;
+                k.fp_muls = 1;
+                k.int_ops = 2;
+                k.data_branch_prob = 0.05;
+            }
+            Hydro2d => {
+                k.fp_data = true;
+                k.loads = [hot_arrays(5), seq_streams(2), wide_streams(1)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 3;
+                k.fp_muls = 1;
+                k.int_ops = 2;
+                k.data_branch_prob = 0.05;
+            }
+            Applu => {
+                k.fp_data = true;
+                k.fp_independent = true;
+                k.loads = [hot_arrays(6), seq_streams(2)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 2;
+                k.fp_muls = 2;
+                k.int_ops = 2;
+                k.data_branch_prob = 0.02;
+            }
+            Mgrid => {
+                k.fp_data = true;
+                k.fp_independent = true;
+                k.loads = [hot_arrays(8), seq_streams(2)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 2;
+                k.fp_muls = 1;
+                k.int_ops = 2;
+                k.data_branch_prob = 0.02;
+            }
+            Turb3d => {
+                k.fp_data = true;
+                k.fp_independent = true;
+                k.loads = [hot_arrays(6), seq_streams(2)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 2;
+                k.fp_muls = 2;
+                k.int_ops = 3;
+                k.fp_div_every = 64;
+                k.data_branch_prob = 0.02;
+            }
+            Apsi => {
+                k.fp_data = true;
+                k.loads = [hot_arrays(6), seq_streams(1), wide_streams(1)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 2;
+                k.fp_muls = 1;
+                k.int_ops = 2;
+                k.fp_div_every = 48;
+                k.data_branch_prob = 0.08;
+            }
+            Fpppp => {
+                k.fp_data = true;
+                k.fp_independent = true;
+                k.fp_adds = 4;
+                k.loads = [hot_arrays(9), seq_streams(1)].concat();
+                k.stores = store_stream();
+                k.fp_adds = 3;
+                k.fp_muls = 3;
+                k.int_ops = 2;
+                k.data_branch_prob = 0.01;
+            }
+            Wave5 => {
+                k.fp_data = true;
+                k.loads = [
+                    long_conflict_arrays(3),
+                    short_conflict_arrays(1),
+                    seq_streams(2),
+                    hot_arrays(4),
+                ]
+                .concat();
+                k.stores = store_stream();
+                k.fp_adds = 2;
+                k.fp_muls = 1;
+                k.int_ops = 2;
+                k.data_branch_prob = 0.03;
+            }
+        }
+        k
+    }
+
+    /// Instantiates the workload generator with a seed.
+    pub fn generator(&self, seed: u64) -> KernelGen {
+        self.kernel().generator(seed)
+    }
+
+    /// The paper's Table 2 row for this benchmark (reference values for
+    /// shape comparison).
+    pub fn paper_row(&self) -> PaperRow {
+        use SpecBenchmark::*;
+        // name, conv16 (IPC, miss), conv8 (IPC, IPC+pred, miss),
+        // ipoly (IPC, miss), ipoly-in-CP (IPC, IPC+pred)
+        let r = |name, a, b, c, d, e, f, g, h, i| PaperRow {
+            name,
+            conv16_ipc: a,
+            conv16_miss: b,
+            conv8_ipc: c,
+            conv8_ipc_pred: d,
+            conv8_miss: e,
+            ipoly_ipc: f,
+            ipoly_miss: g,
+            ipoly_cp_ipc: h,
+            ipoly_cp_ipc_pred: i,
+        };
+        match self {
+            Go => r("go", 1.00, 5.45, 0.87, 0.88, 10.87, 0.87, 10.60, 0.83, 0.84),
+            M88ksim => r("m88ksim", 1.56, 1.41, 1.53, 1.53, 2.62, 1.52, 2.89, 1.49, 1.51),
+            Gcc => r("gcc", 1.16, 5.63, 1.04, 1.05, 10.01, 1.03, 10.77, 0.98, 0.99),
+            Compress => r("compress", 1.13, 12.96, 1.12, 1.13, 13.63, 1.11, 14.17, 1.07, 1.10),
+            Li => r("li", 1.40, 4.72, 1.30, 1.32, 8.01, 1.33, 7.10, 1.26, 1.31),
+            Ijpeg => r("ijpeg", 1.31, 0.94, 1.28, 1.28, 3.72, 1.29, 2.17, 1.28, 1.30),
+            Perl => r("perl", 1.45, 4.52, 1.26, 1.27, 9.47, 1.24, 10.26, 1.19, 1.21),
+            Vortex => r("vortex", 1.39, 4.97, 1.27, 1.28, 8.37, 1.30, 7.87, 1.25, 1.27),
+            Tomcatv => r("tomcatv", 1.18, 35.14, 1.03, 1.04, 54.45, 1.33, 19.67, 1.30, 1.36),
+            Swim => r("swim", 1.30, 29.56, 1.06, 1.08, 66.62, 1.53, 8.85, 1.49, 1.57),
+            Su2cor => r("su2cor", 1.28, 13.74, 1.24, 1.26, 14.69, 1.24, 14.66, 1.21, 1.25),
+            Hydro2d => r("hydro2d", 1.14, 15.40, 1.13, 1.15, 17.23, 1.13, 17.22, 1.11, 1.15),
+            Applu => r("applu", 1.63, 5.54, 1.61, 1.63, 6.16, 1.57, 6.84, 1.55, 1.59),
+            Mgrid => r("mgrid", 1.51, 4.91, 1.50, 1.53, 5.05, 1.50, 5.31, 1.46, 1.52),
+            Turb3d => r("turb3d", 1.85, 4.67, 1.80, 1.82, 6.05, 1.81, 5.38, 1.78, 1.82),
+            Apsi => r("apsi", 1.13, 10.03, 1.08, 1.09, 15.19, 1.08, 13.36, 1.07, 1.09),
+            Fpppp => r("fpppp", 2.14, 1.09, 2.00, 2.00, 2.66, 1.98, 2.47, 1.93, 1.94),
+            Wave5 => r("wave5", 1.37, 27.72, 1.26, 1.28, 42.76, 1.51, 14.67, 1.48, 1.54),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::mem_refs;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_benchmarks_named_and_distinct() {
+        let names: HashSet<&str> = SpecBenchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 18);
+        assert!(names.contains("tomcatv"));
+        assert!(names.contains("fpppp"));
+    }
+
+    #[test]
+    fn categories_match_the_paper() {
+        let fp = SpecBenchmark::all().iter().filter(|b| b.is_fp()).count();
+        assert_eq!(fp, 10); // SPECfp95 subset used in the paper
+        let bad: Vec<_> = SpecBenchmark::all()
+            .into_iter()
+            .filter(|b| b.is_high_conflict())
+            .collect();
+        assert_eq!(bad.len(), 3);
+        assert!(bad.iter().all(|b| b.is_fp()));
+    }
+
+    #[test]
+    fn every_kernel_generates() {
+        for b in SpecBenchmark::all() {
+            let ops: Vec<_> = b.generator(1).take(2000).collect();
+            assert_eq!(ops.len(), 2000, "{b}");
+            assert!(ops.iter().any(|o| o.is_load()), "{b} has no loads");
+            assert!(ops.iter().any(|o| o.is_branch()), "{b} has no branches");
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_emit_fp_ops() {
+        for b in SpecBenchmark::all() {
+            let has_fp = b
+                .generator(1)
+                .take(2000)
+                .any(|o| o.class.is_fp());
+            assert_eq!(has_fp, b.is_fp(), "{b}");
+        }
+    }
+
+    #[test]
+    fn conflict_benchmarks_touch_congruent_bases() {
+        // tomcatv's conflict arrays must be congruent mod 4KB (the 8KB
+        // 2-way way size) for the conventional-indexing pathology.
+        let k = SpecBenchmark::Tomcatv.kernel();
+        let conflict_bases: Vec<u64> = k
+            .loads
+            .iter()
+            .map(|w| w.base)
+            .filter(|&b| (LONG_CONFLICT_BASE..STREAM_BASE).contains(&b))
+            .collect();
+        assert!(conflict_bases.len() >= 2);
+        for w in &conflict_bases {
+            assert_eq!(w % 0x1000, conflict_bases[0] % 0x1000);
+        }
+    }
+
+    #[test]
+    fn memory_fraction_is_plausible() {
+        for b in SpecBenchmark::all() {
+            let ops: Vec<_> = b.generator(1).take(5000).collect();
+            let mem = ops.iter().filter(|o| o.class.is_memory()).count();
+            let frac = mem as f64 / ops.len() as f64;
+            assert!(
+                (0.15..0.75).contains(&frac),
+                "{b}: memory fraction {frac:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_traces() {
+        for b in [SpecBenchmark::Go, SpecBenchmark::Swim] {
+            let a: Vec<_> = mem_refs(b.generator(9).take(3000)).collect();
+            let c: Vec<_> = mem_refs(b.generator(9).take(3000)).collect();
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn paper_rows_match_table_totals() {
+        // Spot checks against the published table.
+        assert_eq!(SpecBenchmark::Swim.paper_row().conv8_miss, 66.62);
+        assert_eq!(SpecBenchmark::Fpppp.paper_row().conv16_ipc, 2.14);
+        assert_eq!(SpecBenchmark::Tomcatv.paper_row().ipoly_miss, 19.67);
+    }
+}

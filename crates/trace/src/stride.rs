@@ -1,0 +1,135 @@
+//! The Figure 1 stride-sweep trace.
+//!
+//! The paper's Figure 1 experiment drives four cache configurations with
+//! "an address trace representing repeated accesses to a vector of 64
+//! 8-byte elements in which the elements were separated by stride `S`",
+//! for every stride `1 ≤ S < 4096`.
+
+use crate::record::MemRef;
+
+/// Generator of the Figure 1 vector-access trace: `passes` sweeps over 64
+/// elements of 8 bytes, `stride_elems * 8` bytes apart.
+///
+/// # Example
+///
+/// ```
+/// use cac_trace::stride::VectorStride;
+///
+/// let refs: Vec<_> = VectorStride::paper_figure1(3, 2).collect();
+/// assert_eq!(refs.len(), 2 * 64);
+/// assert_eq!(refs[1].addr - refs[0].addr, 3 * 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VectorStride {
+    base: u64,
+    elems: u64,
+    stride_bytes: u64,
+    total: u64,
+    emitted: u64,
+    pc: u64,
+}
+
+impl VectorStride {
+    /// Creates a sweep of `elems` elements of `elem_bytes` bytes, spaced
+    /// `stride_elems` elements apart, repeated `passes` times.
+    pub fn new(base: u64, elems: u64, elem_bytes: u64, stride_elems: u64, passes: u64) -> Self {
+        VectorStride {
+            base,
+            elems,
+            stride_bytes: stride_elems * elem_bytes,
+            total: elems * passes,
+            emitted: 0,
+            pc: 0x1000,
+        }
+    }
+
+    /// The paper's Figure 1 configuration: 64 elements of 8 bytes at the
+    /// given element stride.
+    pub fn paper_figure1(stride_elems: u64, passes: u64) -> Self {
+        Self::new(0, 64, 8, stride_elems, passes)
+    }
+
+    /// Number of references this generator will produce in total.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if the generator will produce no references.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+impl Iterator for VectorStride {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if self.emitted == self.total {
+            return None;
+        }
+        let i = self.emitted % self.elems;
+        self.emitted += 1;
+        Some(MemRef {
+            pc: self.pc,
+            addr: self.base + i * self.stride_bytes,
+            is_write: false,
+        })
+    }
+}
+
+/// Runs the full Figure 1 stride sweep: for each stride in
+/// `1..max_stride`, calls `f` with the stride and a fresh trace.
+///
+/// The per-stride trace makes `passes` sweeps; the first pass warms the
+/// cache, so a conflict-free configuration converges to a miss ratio of
+/// `1/passes`.
+pub fn figure1_sweep<F: FnMut(u64, VectorStride)>(max_stride: u64, passes: u64, mut f: F) {
+    for stride in 1..max_stride {
+        f(stride, VectorStride::paper_figure1(stride, passes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_exactly_passes_times_elems() {
+        let v = VectorStride::paper_figure1(7, 5);
+        assert_eq!(v.len(), 320);
+        assert_eq!(v.count(), 320);
+    }
+
+    #[test]
+    fn addresses_wrap_each_pass() {
+        let refs: Vec<_> = VectorStride::paper_figure1(2, 2).collect();
+        assert_eq!(refs[0].addr, refs[64].addr);
+        assert_eq!(refs[63].addr, 63 * 16);
+        assert!(refs.iter().all(|r| !r.is_write));
+    }
+
+    #[test]
+    fn stride_one_is_sequential() {
+        let refs: Vec<_> = VectorStride::paper_figure1(1, 1).collect();
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(r.addr, i as u64 * 8);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_strides() {
+        let mut seen = Vec::new();
+        figure1_sweep(10, 1, |s, trace| {
+            seen.push(s);
+            assert_eq!(trace.len(), 64);
+        });
+        assert_eq!(seen, (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_when_zero_passes() {
+        let v = VectorStride::paper_figure1(1, 0);
+        assert!(v.is_empty());
+        assert_eq!(v.count(), 0);
+    }
+}

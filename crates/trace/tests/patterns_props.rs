@@ -1,0 +1,110 @@
+//! Property-based tests for the scientific address patterns.
+
+use cac_trace::patterns::{CsrSpmv, FftButterfly, Stencil5, TiledMatMul};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every FFT stage touches each element exactly once as a load and
+    /// once as a store, and partners are exactly `2^s` elements apart.
+    #[test]
+    fn fft_stage_structure(log2_n in 2u32..11, elem_log in 2u32..5) {
+        let elem = 1u64 << elem_log;
+        let fft = FftButterfly::new(0x8000, log2_n, elem);
+        for s in 0..log2_n {
+            let refs: Vec<_> = fft.stage(s).collect();
+            prop_assert_eq!(refs.len() as u64, fft.n() * 2);
+            let mut loads = std::collections::HashSet::new();
+            let mut stores = std::collections::HashSet::new();
+            for quad in refs.chunks(4) {
+                prop_assert_eq!(quad[1].addr - quad[0].addr, elem << s);
+                prop_assert_eq!(quad[0].addr, quad[2].addr);
+                prop_assert_eq!(quad[1].addr, quad[3].addr);
+                for r in &quad[..2] {
+                    prop_assert!(loads.insert(r.addr), "duplicate load");
+                }
+                for r in &quad[2..] {
+                    prop_assert!(stores.insert(r.addr), "duplicate store");
+                }
+            }
+            prop_assert_eq!(loads.len() as u64, fft.n());
+        }
+    }
+
+    /// The bit-reversal pass swaps each non-palindromic pair exactly once
+    /// and never touches fixed points.
+    #[test]
+    fn fft_bit_reversal_is_an_involution(log2_n in 2u32..12) {
+        let fft = FftButterfly::new(0, log2_n, 16);
+        let mut seen = std::collections::HashSet::new();
+        for r in fft.bit_reversal().filter(|r| !r.is_write) {
+            let idx = r.addr / 16;
+            prop_assert!(seen.insert(idx), "element touched twice");
+            let rev = idx.reverse_bits() >> (64 - log2_n);
+            prop_assert_ne!(idx, rev, "fixed point must not be swapped");
+        }
+        // Loads come in (i, rev i) pairs: even count.
+        prop_assert_eq!(seen.len() % 2, 0);
+    }
+
+    /// Stencil sweeps stay inside the two grids and have the exact
+    /// interior-point count.
+    #[test]
+    fn stencil_bounds_and_count(
+        rows in 3u64..40,
+        cols in 3u64..40,
+        pitch_log in 8u32..14,
+    ) {
+        let pitch = 1u64 << pitch_log;
+        prop_assume!(pitch >= cols * 8);
+        let st = Stencil5::new(0x1000, rows, cols, pitch, 8);
+        let refs: Vec<_> = st.sweep().collect();
+        prop_assert_eq!(refs.len() as u64, (rows - 2) * (cols - 2) * 6);
+        let end = 0x1000 + 2 * rows * pitch;
+        for r in &refs {
+            prop_assert!(r.addr >= 0x1000 && r.addr < end, "{:#x}", r.addr);
+        }
+        prop_assert_eq!(
+            refs.iter().filter(|r| r.is_write).count() as u64,
+            (rows - 2) * (cols - 2)
+        );
+    }
+
+    /// SpMV gathers stay inside `x` and the stream shape is exact.
+    #[test]
+    fn spmv_shape(rows in 1u64..64, nnz in 1u64..16, x_log in 4u32..12, seed in any::<u64>()) {
+        let x_len = 1u64 << x_log;
+        let spmv = CsrSpmv::new(rows, nnz, x_len, seed);
+        let refs: Vec<_> = spmv.product().collect();
+        prop_assert_eq!(refs.len() as u64, rows * (2 + 3 * nnz));
+        prop_assert_eq!(refs.iter().filter(|r| r.is_write).count() as u64, rows);
+        for r in refs.iter().filter(|r| (0x3000_0000..0x4000_0000).contains(&r.addr)) {
+            prop_assert!(r.addr < 0x3000_0000 + x_len * 8);
+        }
+    }
+
+    /// The tiled-matmul block row touches only the three matrices, stores
+    /// only to C, and its length follows the tile algebra.
+    #[test]
+    fn matmul_block_row_shape(
+        n_log in 3u32..8,
+        tile_log in 2u32..6,
+        pad in 0u64..3,
+    ) {
+        let n = 1u64 << n_log;
+        let tile = (1u64 << tile_log).min(n);
+        let pitch = (n + pad * 8) * 8;
+        let mm = TiledMatMul::new(n, tile, pitch);
+        let tiles = n / tile;
+        let mut count = 0u64;
+        let c_base = 2 * n * pitch;
+        let end = 3 * n * pitch;
+        for r in mm.block_row() {
+            count += 1;
+            prop_assert!(r.addr < end);
+            if r.is_write {
+                prop_assert!(r.addr >= c_base, "stores go to C only");
+            }
+        }
+        prop_assert_eq!(count, tiles * tiles * tile * tile * tile * 4);
+    }
+}

@@ -1,0 +1,68 @@
+//! 2D FFT: the column pass as a conflict-miss showcase.
+//!
+//! A 2D FFT applies a 1D transform to every row, then to every column.
+//! Rows are contiguous and behave under any placement. Columns are
+//! strided by the matrix *pitch* — for a power-of-two matrix, a
+//! power-of-two stride. One column's working set (128 blocks here) fits
+//! in the cache many times over, and each of the `log2 n` butterfly
+//! stages revisits it, so the column transform should run from cache.
+//! Under conventional placement the pitch folds the whole column onto two
+//! sets and every stage thrashes; under I-Poly the column spreads and the
+//! reuse survives — the paper's fundamental stride result (§2.1.2) acting
+//! on real signal-processing structure.
+//!
+//! Run with: `cargo run --release --example fft_butterfly [log2_n]`
+
+use cac::core::{CacheGeometry, IndexSpec};
+use cac::sim::cache::Cache;
+use cac::trace::patterns::FftButterfly;
+use cac::trace::MemRef;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let log2_n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let n = 1u64 << log2_n; // matrix is n x n complex doubles
+    let elem = 16u64;
+    let pitch = n * elem;
+    let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+    println!(
+        "2D FFT over a {n}x{n} complex matrix (pitch {pitch}B), cache {geom}\n"
+    );
+
+    let run = |spec: IndexSpec, refs: &[MemRef]| -> Result<f64, cac::core::Error> {
+        let mut cache = Cache::build(geom, spec)?;
+        for r in refs {
+            cache.access(r.addr, r.is_write);
+        }
+        Ok(cache.stats().miss_ratio() * 100.0)
+    };
+
+    // Row pass: n transforms over contiguous rows.
+    let rows: Vec<MemRef> = (0..n)
+        .flat_map(|r| FftButterfly::new(r * pitch, log2_n, elem).full_transform().collect::<Vec<_>>())
+        .collect();
+    // Column pass: n transforms strided by the pitch.
+    let cols: Vec<MemRef> = (0..n)
+        .flat_map(|c| FftButterfly::new(c * elem, log2_n, pitch).full_transform().collect::<Vec<_>>())
+        .collect();
+
+    println!("{:<12} {:>12} {:>12}", "pass", "conv miss%", "ipoly miss%");
+    for (name, refs) in [("rows", &rows), ("columns", &cols)] {
+        println!(
+            "{name:<12} {:>12.2} {:>12.2}",
+            run(IndexSpec::modulo(), refs)?,
+            run(IndexSpec::ipoly_skewed(), refs)?
+        );
+    }
+
+    println!(
+        "\nThe row pass is contiguous: both placements stream it identically.\n\
+         The column pass strides by the pitch: one column fits in cache with room\n\
+         to spare, and its {log2_n} butterfly stages reuse it — but conventional\n\
+         placement folds the column onto two sets and loses all of that reuse.\n\
+         The traditional fix is padding the pitch; the I-Poly cache needs none."
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Drive the out-of-order processor model on one synthetic SPEC95
+//! workload and print the paper's seven configurations side by side.
+//!
+//! Run with: `cargo run --release --example ooo_pipeline [benchmark] [ops]`
+//! (default: tomcatv, 100000 instructions).
+
+use cac::core::IndexSpec;
+use cac::cpu::{CpuConfig, Processor};
+use cac::trace::spec::SpecBenchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".into());
+    let ops: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let bench = SpecBenchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+
+    println!("benchmark {name}, {ops} instructions per configuration\n");
+    let configs: Vec<(&str, CpuConfig)> = vec![
+        ("conv 16KB", CpuConfig::paper_16kb(IndexSpec::modulo())?),
+        ("conv 8KB", CpuConfig::paper_baseline(IndexSpec::modulo())?),
+        (
+            "conv 8KB + pred",
+            CpuConfig::paper_baseline(IndexSpec::modulo())?.with_address_prediction(),
+        ),
+        (
+            "ipoly 8KB (XOR hidden)",
+            CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())?,
+        ),
+        (
+            "ipoly 8KB (XOR in CP)",
+            CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())?.with_xor_in_critical_path(),
+        ),
+        (
+            "ipoly 8KB (CP + pred)",
+            CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())?
+                .with_xor_in_critical_path()
+                .with_address_prediction(),
+        ),
+    ];
+    println!(
+        "{:<24} {:>6} {:>8} {:>9} {:>10} {:>10}",
+        "configuration", "IPC", "miss%", "br-acc%", "ROB-stall", "violations"
+    );
+    for (label, config) in configs {
+        let mut cpu = Processor::new(config)?;
+        let stats = cpu.run(bench.generator(7), ops);
+        println!(
+            "{label:<24} {:>6.3} {:>8.2} {:>9.1} {:>10} {:>10}",
+            stats.ipc(),
+            stats.load_miss_ratio_pct(),
+            stats.branch_accuracy() * 100.0,
+            stats.rob_stall_cycles,
+            stats.memory_violations
+        );
+    }
+    let row = bench.paper_row();
+    println!(
+        "\npaper reference: conv16 IPC {:.2}, conv8 {:.2}, ipoly {:.2} (miss {:.2}% -> {:.2}%)",
+        row.conv16_ipc, row.conv8_ipc, row.ipoly_ipc, row.conv8_miss, row.ipoly_miss
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a conflict-avoiding (I-Poly indexed) cache, run a
+//! pathological strided workload against it and a conventional cache, and
+//! print the difference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cac::core::{CacheGeometry, IndexSpec};
+use cac::sim::cache::Cache;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's primary configuration: 8KB, 2-way, 32-byte blocks.
+    let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+    println!("cache geometry : {geom}");
+
+    let mut conventional = Cache::build(geom, IndexSpec::modulo())?;
+    let mut ipoly = Cache::build(geom, IndexSpec::ipoly_skewed())?;
+    println!(
+        "index functions: {} vs {}",
+        conventional.index_fn().label(),
+        ipoly.index_fn().label()
+    );
+
+    // A classic pathological pattern: a vector whose elements sit 4KB
+    // apart (a power-of-two stride), swept repeatedly. Under conventional
+    // indexing every element maps to the same pair of sets.
+    let elements: Vec<u64> = (0..64).map(|i| i * 4096).collect();
+    for _pass in 0..16 {
+        for &addr in &elements {
+            conventional.read(addr);
+            ipoly.read(addr);
+        }
+    }
+
+    println!("\nafter 16 sweeps of 64 elements at a 4KB stride:");
+    println!(
+        "  conventional: {:5.1}% miss ratio  ({} misses)",
+        conventional.stats().miss_ratio() * 100.0,
+        conventional.stats().misses
+    );
+    println!(
+        "  I-Poly      : {:5.1}% miss ratio  ({} misses — compulsory only)",
+        ipoly.stats().miss_ratio() * 100.0,
+        ipoly.stats().misses
+    );
+
+    // The polynomial behind the magic.
+    println!("\nwhy: the skewed I-Poly cache indexes way 0 with A(x) mod P0(x)");
+    println!("and way 1 with A(x) mod P1(x), P0 != P1 irreducible over GF(2),");
+    println!("which provably spreads every power-of-two stride (Rau 1991).");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Real-time predictability: the paper's §5 argues that I-Poly's real
+//! value is *predictable* cache behaviour — pathological miss ratios
+//! cannot occur, so worst-case execution time bounds tighten.
+//!
+//! This example measures the spread (min / mean / max / standard
+//! deviation) of miss ratios across many randomly-parameterised strided
+//! tasks, per placement function. A real-time architect cares about the
+//! max and the spread, not the mean.
+//!
+//! Run with: `cargo run --release --example realtime_predictability [tasks]`
+
+use cac::core::{CacheGeometry, IndexSpec};
+use cac::sim::cache::Cache;
+use cac::trace::kernels::ArrayWalk;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tasks: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(300);
+    let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+    println!("{tasks} random strided tasks on {geom}\n");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "scheme", "min%", "mean%", "max%", "stddev"
+    );
+    for spec in [
+        IndexSpec::modulo(),
+        IndexSpec::xor_skewed(),
+        IndexSpec::ipoly_skewed(),
+    ] {
+        let mut ratios = Vec::new();
+        let mut state = 0x1234_5678_9abc_def1u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..tasks {
+            // A task: repeated sweeps over a vector with a random stride
+            // and a random base — the kind of loop a real-time system
+            // schedules periodically.
+            let stride = 1 + rng() % 512;
+            let base = (rng() % (1 << 20)) & !7;
+            let walk = ArrayWalk::strided(base, 64, 8, stride);
+            let mut cache = Cache::build(geom, spec.clone())?;
+            for pass in 0..8u64 {
+                for i in 0..64u64 {
+                    cache.read(walk.addr(pass * 64 + i));
+                }
+            }
+            ratios.push(cache.stats().miss_ratio() * 100.0);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        let min = ratios.iter().cloned().fold(100.0f64, f64::min);
+        let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / ratios.len() as f64;
+        println!(
+            "{:<10} {min:>8.1} {mean:>8.1} {max:>8.1} {:>8.2}",
+            spec.name(),
+            var.sqrt()
+        );
+    }
+    println!("\nthe skewed I-Poly cache clamps the worst case: no task can hit a");
+    println!("pathological stride, which is what makes WCET analysis tractable.");
+    Ok(())
+}

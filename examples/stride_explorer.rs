@@ -1,0 +1,67 @@
+//! Stride explorer: a miniature of the paper's Figure 1 experiment.
+//!
+//! Sweeps vector strides and prints, for each placement function, which
+//! strides are pathological. Optional arguments: max stride (default
+//! 256) and passes (default 8).
+//!
+//! Run with: `cargo run --release --example stride_explorer [max] [passes]`
+
+use cac::core::{CacheGeometry, IndexSpec};
+use cac::sim::cache::Cache;
+use cac::trace::stride::VectorStride;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let max: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    let passes: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+    let schemes = [
+        IndexSpec::modulo(),
+        IndexSpec::xor_skewed(),
+        IndexSpec::ipoly(),
+        IndexSpec::ipoly_skewed(),
+    ];
+
+    println!("miss ratio by stride (64-element 8-byte vector, {passes} passes, {geom})");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>9}",
+        "stride", "a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"
+    );
+    let mut worst = vec![(0.0f64, 0u64); schemes.len()];
+    for stride in 1..=max {
+        let ratios: Vec<f64> = schemes
+            .iter()
+            .map(|spec| {
+                let mut cache = Cache::build(geom, spec.clone()).expect("cache");
+                for r in VectorStride::paper_figure1(stride, passes) {
+                    cache.read(r.addr);
+                }
+                cache.stats().miss_ratio()
+            })
+            .collect();
+        for (w, &r) in worst.iter_mut().zip(&ratios) {
+            if r > w.0 {
+                *w = (r, stride);
+            }
+        }
+        // Print only the interesting rows: any scheme above 30%.
+        if ratios.iter().any(|&r| r > 0.3) {
+            println!(
+                "{stride:>7} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+                ratios[0] * 100.0,
+                ratios[1] * 100.0,
+                ratios[2] * 100.0,
+                ratios[3] * 100.0
+            );
+        }
+    }
+    println!("\nworst stride per scheme:");
+    for (spec, (ratio, stride)) in schemes.iter().zip(&worst) {
+        println!(
+            "  {:<10} {:5.1}% at stride {}",
+            spec.name(),
+            ratio * 100.0,
+            stride
+        );
+    }
+    Ok(())
+}

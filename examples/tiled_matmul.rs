@@ -1,0 +1,76 @@
+//! Tiled matrix multiply: the conclusion of the paper argues that an
+//! I-Poly cache "would eliminate the need to compute conflict-free tile
+//! dimensions" when tiling for locality.
+//!
+//! This example generates the address trace of a tiled `C += A * B` over
+//! double-precision matrices whose leading dimension is a power of two —
+//! the worst case for conventional indexing — and compares miss ratios
+//! across tile sizes.
+//!
+//! Run with: `cargo run --release --example tiled_matmul`
+
+use cac::core::{CacheGeometry, IndexSpec};
+use cac::sim::cache::Cache;
+
+const N: u64 = 128; // matrix dimension
+const ELEM: u64 = 8; // f64
+const LD: u64 = 128; // leading dimension (power of two => pathological)
+
+const A_BASE: u64 = 0x0010_0000;
+const B_BASE: u64 = 0x0090_0000; // bases 8MB apart, congruent mod 4KB
+const C_BASE: u64 = 0x0110_0000;
+
+fn elem(base: u64, row: u64, col: u64) -> u64 {
+    base + (row * LD + col) * ELEM
+}
+
+/// Emits the loads/stores of a tiled matmul into `sink`.
+fn tiled_matmul(tile: u64, mut sink: impl FnMut(u64, bool)) {
+    for ii in (0..N).step_by(tile as usize) {
+        for kk in (0..N).step_by(tile as usize) {
+            for jj in (0..N).step_by(tile as usize) {
+                for i in ii..(ii + tile).min(N) {
+                    for k in kk..(kk + tile).min(N) {
+                        sink(elem(A_BASE, i, k), false);
+                        for j in jj..(jj + tile).min(N) {
+                            sink(elem(B_BASE, k, j), false);
+                            sink(elem(C_BASE, i, j), false);
+                            sink(elem(C_BASE, i, j), true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+    println!(
+        "tiled {N}x{N} f64 matmul, leading dimension {LD} (power of two), {geom}"
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "tile", "conventional", "ipoly-skew", "speedup"
+    );
+    for tile in [8u64, 16, 32, 64] {
+        let mut conv = Cache::build(geom, IndexSpec::modulo())?;
+        let mut poly = Cache::build(geom, IndexSpec::ipoly_skewed())?;
+        tiled_matmul(tile, |addr, w| {
+            conv.access(addr, w);
+        });
+        tiled_matmul(tile, |addr, w| {
+            poly.access(addr, w);
+        });
+        let (mc, mp) = (conv.stats().miss_ratio(), poly.stats().miss_ratio());
+        println!(
+            "{tile:>6} {:>13.2}% {:>13.2}% {:>9.2}x",
+            mc * 100.0,
+            mp * 100.0,
+            mc / mp.max(1e-9)
+        );
+    }
+    println!("\nwith I-Poly the tile size barely matters; with conventional");
+    println!("indexing the programmer must tune tiles around the conflicts.");
+    Ok(())
+}

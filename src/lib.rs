@@ -1,0 +1,57 @@
+//! # cac — a conflict-avoiding cache
+//!
+//! A complete reproduction of **Topham, González & González, "The Design
+//! and Performance of a Conflict-Avoiding Cache" (MICRO-30, 1997)**:
+//! pseudo-random cache indexing with irreducible-polynomial-modulus
+//! (I-Poly) hash functions over GF(2), evaluated with a cache simulator
+//! and a trace-driven out-of-order superscalar processor model.
+//!
+//! This meta-crate re-exports the workspace members:
+//!
+//! * [`gf2`] — GF(2) polynomial arithmetic, irreducibility, XOR-tree
+//!   synthesis ([`cac_gf2`]).
+//! * [`core`] — the placement functions (`a2`, `a2-Hx-Sk`, `a2-Hp`,
+//!   `a2-Hp-Sk`), hole model, address predictor, latency model
+//!   ([`cac_core`]).
+//! * [`sim`] — single-level and two-level virtual-real cache simulators,
+//!   column-associative/victim organizations, 3C miss classification
+//!   ([`cac_sim`]).
+//! * [`trace`] — address/instruction trace generators, including the
+//!   synthetic SPEC95 workload models used by the paper reproduction
+//!   ([`cac_trace`]).
+//! * [`cpu`] — the 4-way out-of-order superscalar model of the paper's §4
+//!   ([`cac_cpu`]).
+//! * [`interleave`] — the banked-memory simulator in which polynomial
+//!   placement was invented (Rau \[18\]\[19\]), reproducing its
+//!   stride-insensitivity results ([`cac_interleave`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use cac::core::{CacheGeometry, IndexSpec};
+//! use cac::sim::Cache;
+//!
+//! // The paper's 8KB 2-way cache with skewed I-Poly indexing.
+//! let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+//! let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed())?;
+//!
+//! // A power-of-two stride that devastates a conventional cache is
+//! // conflict-free here.
+//! for _round in 0..10 {
+//!     for i in 0..64u64 {
+//!         cache.read(i * 4096);
+//!     }
+//! }
+//! assert_eq!(cache.stats().misses, 64); // compulsory only
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cac_core as core;
+pub use cac_cpu as cpu;
+pub use cac_gf2 as gf2;
+pub use cac_interleave as interleave;
+pub use cac_sim as sim;
+pub use cac_trace as trace;

@@ -1,0 +1,126 @@
+//! End-to-end integration: workload models → cache/CPU simulators →
+//! the paper's headline effects, across crate boundaries.
+
+use cac::core::{CacheGeometry, IndexSpec};
+use cac::cpu::{CpuConfig, Processor};
+use cac::sim::cache::Cache;
+use cac::trace::kernels::mem_refs;
+use cac::trace::spec::SpecBenchmark;
+
+const OPS: usize = 120_000;
+
+fn cache_miss_pct(b: SpecBenchmark, spec: IndexSpec) -> f64 {
+    let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+    let mut c = Cache::build(geom, spec).unwrap();
+    for r in mem_refs(b.generator(42).take(OPS)) {
+        c.access(r.addr, r.is_write);
+    }
+    c.stats().read_miss_ratio() * 100.0
+}
+
+#[test]
+fn high_conflict_benchmarks_collapse_under_conventional_indexing() {
+    for b in [SpecBenchmark::Tomcatv, SpecBenchmark::Swim, SpecBenchmark::Wave5] {
+        let conv = cache_miss_pct(b, IndexSpec::modulo());
+        let poly = cache_miss_pct(b, IndexSpec::ipoly_skewed());
+        assert!(conv > 30.0, "{b}: conventional miss {conv:.1}% too low");
+        assert!(
+            poly < conv / 2.0,
+            "{b}: ipoly {poly:.1}% not a big enough win over {conv:.1}%"
+        );
+    }
+}
+
+#[test]
+fn low_conflict_benchmarks_are_placement_insensitive() {
+    for b in [
+        SpecBenchmark::Compress,
+        SpecBenchmark::Su2cor,
+        SpecBenchmark::Applu,
+        SpecBenchmark::Fpppp,
+    ] {
+        let conv = cache_miss_pct(b, IndexSpec::modulo());
+        let poly = cache_miss_pct(b, IndexSpec::ipoly_skewed());
+        assert!(
+            (conv - poly).abs() < 3.0,
+            "{b}: conv {conv:.1}% vs ipoly {poly:.1}% should be close"
+        );
+    }
+}
+
+#[test]
+fn miss_ratio_stddev_shrinks_like_the_paper_claims() {
+    // §5: I-Poly reduces the stddev of miss ratios across Spec95 from
+    // 18.49 to 5.16. Check the direction and rough magnitude.
+    let std = |spec: IndexSpec| {
+        let xs: Vec<f64> = SpecBenchmark::all()
+            .into_iter()
+            .map(|b| cache_miss_pct(b, spec.clone()))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+    };
+    let conv = std(IndexSpec::modulo());
+    let poly = std(IndexSpec::ipoly_skewed());
+    assert!(conv > 12.0, "conventional stddev {conv:.2}");
+    assert!(poly < 8.0, "ipoly stddev {poly:.2}");
+    assert!(poly < conv / 2.0);
+}
+
+#[test]
+fn processor_ipc_improves_on_conflict_workload() {
+    // Table 3's effect on the full processor model.
+    let run = |spec: IndexSpec| {
+        let config = CpuConfig::paper_baseline(spec).unwrap();
+        let mut cpu = Processor::new(config).unwrap();
+        cpu.run(SpecBenchmark::Tomcatv.generator(7), 60_000)
+    };
+    let conv = run(IndexSpec::modulo());
+    let poly = run(IndexSpec::ipoly_skewed());
+    assert!(
+        poly.ipc() > conv.ipc() * 1.1,
+        "ipoly IPC {:.3} vs conventional {:.3}",
+        poly.ipc(),
+        conv.ipc()
+    );
+    assert!(poly.load_miss_ratio_pct() < conv.load_miss_ratio_pct() / 2.0);
+}
+
+#[test]
+fn ipoly_on_8kb_rivals_conventional_16kb() {
+    // The paper: I-Poly on 8KB achieves over 60% of the IPC gain of
+    // doubling the cache; on the bad programs it beats 16KB outright.
+    let run = |config: CpuConfig| {
+        let mut cpu = Processor::new(config).unwrap();
+        cpu.run(SpecBenchmark::Swim.generator(7), 60_000)
+    };
+    let conv8 = run(CpuConfig::paper_baseline(IndexSpec::modulo()).unwrap());
+    let conv16 = run(CpuConfig::paper_16kb(IndexSpec::modulo()).unwrap());
+    let ipoly8 = run(CpuConfig::paper_baseline(IndexSpec::ipoly_skewed()).unwrap());
+    assert!(
+        ipoly8.ipc() > conv16.ipc(),
+        "swim: ipoly-8KB {:.3} should beat conv-16KB {:.3} (conv-8KB {:.3})",
+        ipoly8.ipc(),
+        conv16.ipc(),
+        conv8.ipc()
+    );
+}
+
+#[test]
+fn all_benchmarks_run_on_the_processor() {
+    for b in SpecBenchmark::all() {
+        let config = CpuConfig::paper_baseline(IndexSpec::ipoly_skewed()).unwrap();
+        let mut cpu = Processor::new(config).unwrap();
+        let stats = cpu.run(b.generator(1), 10_000);
+        // Commit retires up to 4 per cycle, so the run may overshoot the
+        // target by up to commit_width - 1.
+        assert!(
+            (10_000..10_004).contains(&stats.instructions),
+            "{b}: {} instructions",
+            stats.instructions
+        );
+        assert!(stats.ipc() > 0.05 && stats.ipc() <= 4.0, "{b}: IPC {}", stats.ipc());
+        assert!(stats.loads > 0, "{b}");
+        assert!(stats.branches > 0, "{b}");
+    }
+}

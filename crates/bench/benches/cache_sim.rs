@@ -1,17 +1,55 @@
 //! Micro-benchmark: cache-simulator throughput (accesses per second) for
 //! single-level caches and the two-level virtual-real hierarchy.
+//!
+//! `cache_access/...` drives the post-overhaul simulator (LUT-compiled
+//! placement + struct-of-arrays storage); `cache_access_computed/...`
+//! drives the same simulator with LUT compilation defeated, i.e. the
+//! seed's per-probe dynamic-dispatch path, so the end-to-end speedup of
+//! the overhaul is measured rather than asserted. `cache_replay` runs
+//! the batched `run_refs` API over a pre-materialised trace — the form
+//! the experiment drivers use.
 
-use cac_core::{CacheGeometry, IndexSpec};
+use cac_core::{CacheGeometry, IndexFunction, IndexSpec};
 use cac_sim::cache::Cache;
 use cac_sim::hierarchy::TwoLevelHierarchy;
+use cac_sim::replacement::ReplacementPolicy;
 use cac_sim::vm::PageMapper;
+use cac_trace::MemRef;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+/// Hides a placement's structure so `IndexTable` keeps the computed
+/// (pre-overhaul) path.
+#[derive(Debug)]
+struct Opaque(Arc<dyn IndexFunction>);
+
+impl IndexFunction for Opaque {
+    fn set_index(&self, block_addr: u64, way: u32) -> u32 {
+        self.0.set_index(block_addr, way)
+    }
+    fn num_sets(&self) -> u32 {
+        self.0.num_sets()
+    }
+    fn ways(&self) -> u32 {
+        self.0.ways()
+    }
+    fn is_skewed(&self) -> bool {
+        self.0.is_skewed()
+    }
+    fn label(&self) -> String {
+        self.0.label()
+    }
+}
+
+fn addrs() -> Vec<u64> {
+    (0..4096u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 7) & 0xF_FFFF)
+        .collect()
+}
 
 fn bench_cache(c: &mut Criterion) {
     let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
-    let addrs: Vec<u64> = (0..4096u64)
-        .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 7) & 0xF_FFFF)
-        .collect();
+    let addrs = addrs();
 
     let mut group = c.benchmark_group("cache_access");
     group.throughput(Throughput::Elements(addrs.len() as u64));
@@ -25,6 +63,46 @@ fn bench_cache(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // The same accesses with LUT compilation defeated: one dynamic
+    // dispatch + hash evaluation per probed way, as the seed simulator
+    // (with its nested Vec<Vec<Option<Line>>> replaced) paid.
+    let mut group = c.benchmark_group("cache_access_computed");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for spec in [IndexSpec::modulo(), IndexSpec::ipoly_skewed()] {
+        group.bench_function(spec.name(), |b| {
+            let mut cache = Cache::from_parts(
+                geom,
+                Arc::new(Opaque(spec.build(geom).unwrap())),
+                ReplacementPolicy::Lru,
+                Default::default(),
+                0x5eed_cace,
+            );
+            b.iter(|| {
+                for &a in &addrs {
+                    black_box(cache.read(black_box(a)));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // Batched replay, the form the experiment drivers use.
+    let mut group = c.benchmark_group("cache_replay");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    let refs: Vec<MemRef> = addrs
+        .iter()
+        .map(|&addr| MemRef {
+            pc: 0x1000,
+            addr,
+            is_write: false,
+        })
+        .collect();
+    group.bench_function("ipoly-skew_run_refs", |b| {
+        let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed()).unwrap();
+        b.iter(|| black_box(cache.run_refs(refs.iter().copied())))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("hierarchy_access");

@@ -3,15 +3,18 @@
 //! The paper argues (§3) that the I-Poly hash is "remarkably simple" —
 //! a handful of XOR gates. In software the analogue is a few mask+popcnt
 //! operations; this bench quantifies it against modulo and XOR-fold
-//! indexing.
+//! indexing, and — since the hot-path overhaul — against the
+//! LUT-compiled form (`cac_core::IndexTable`) the simulators actually
+//! run, which answers in a single table load. The `set_index/...` group
+//! measures the seed's computed path (dynamic dispatch + per-way hash);
+//! `set_index_lut/...` measures the compiled path; their ratio is the
+//! speedup the LUT compilation buys per lookup.
 
-use cac_core::{CacheGeometry, IndexSpec};
+use cac_core::{CacheGeometry, IndexSpec, IndexTable};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_index_functions(c: &mut Criterion) {
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
-    let mut group = c.benchmark_group("set_index");
-    for spec in [
+const SPECS: fn() -> [IndexSpec; 8] = || {
+    [
         IndexSpec::modulo(),
         IndexSpec::xor_skewed(),
         IndexSpec::ipoly(),
@@ -20,7 +23,16 @@ fn bench_index_functions(c: &mut Criterion) {
         IndexSpec::add_skew_skewed(),
         IndexSpec::rand_table_skewed(),
         IndexSpec::xor_matrix_skewed(),
-    ] {
+    ]
+};
+
+fn bench_index_functions(c: &mut Criterion) {
+    let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+
+    // The computed path: one dyn call + hash evaluation per way (what
+    // the seed simulator paid on every probe).
+    let mut group = c.benchmark_group("set_index");
+    for spec in SPECS() {
         let f = spec.build(geom).unwrap();
         group.bench_function(spec.name(), |b| {
             let mut addr = 0x1234_5678u64;
@@ -29,6 +41,31 @@ fn bench_index_functions(c: &mut Criterion) {
                 let ba = geom.block_addr(addr);
                 black_box(f.set_index(black_box(ba), 0) ^ f.set_index(black_box(ba), 1))
             })
+        });
+    }
+    group.finish();
+
+    // The LUT-compiled path the simulators run after the overhaul.
+    let mut group = c.benchmark_group("set_index_lut");
+    for spec in SPECS() {
+        let t = spec.build_table(geom).unwrap();
+        group.bench_function(spec.name(), |b| {
+            let mut addr = 0x1234_5678u64;
+            b.iter(|| {
+                addr = addr.wrapping_mul(0x9E37_79B9).wrapping_add(12345);
+                let ba = geom.block_addr(addr);
+                black_box(t.set_index(black_box(ba), 0) ^ t.set_index(black_box(ba), 1))
+            })
+        });
+    }
+    group.finish();
+
+    // Compilation cost: what a cache construction pays per scheme.
+    let mut group = c.benchmark_group("lut_compile");
+    for spec in [IndexSpec::ipoly_skewed(), IndexSpec::xor_skewed()] {
+        let f = spec.build(geom).unwrap();
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| black_box(IndexTable::compile(black_box(f.clone()))))
         });
     }
     group.finish();

@@ -48,18 +48,15 @@ fn main() {
             arithmetic_mean(&misses)
         );
     }
-    println!(
-        "  conventional   : miss {:6.2}%",
-        {
-            let mut misses = Vec::new();
-            for b in SpecBenchmark::all() {
-                let mut c = Cache::build(geom, IndexSpec::modulo()).expect("cache");
-                for r in mem_refs(b.generator(99).take(ops)) {
-                    c.access(r.addr, r.is_write);
-                }
-                misses.push(c.stats().read_miss_ratio() * 100.0);
+    println!("  conventional   : miss {:6.2}%", {
+        let mut misses = Vec::new();
+        for b in SpecBenchmark::all() {
+            let mut c = Cache::build(geom, IndexSpec::modulo()).expect("cache");
+            for r in mem_refs(b.generator(99).take(ops)) {
+                c.access(r.addr, r.is_write);
             }
-            arithmetic_mean(&misses)
+            misses.push(c.stats().read_miss_ratio() * 100.0);
         }
-    );
+        arithmetic_mean(&misses)
+    });
 }

@@ -26,7 +26,11 @@ fn main() {
             }
             rates.push(p.stats().usable_rate() * 100.0);
         }
-        let note = if entries == 1024 { " (paper's choice)" } else { "" };
+        let note = if entries == 1024 {
+            " (paper's choice)"
+        } else {
+            ""
+        };
         println!(
             "  {entries:>5} entries: usable {:6.2}%{note}",
             arithmetic_mean(&rates)

@@ -30,7 +30,10 @@ fn main() {
     );
 
     for (pname, policy) in [
-        ("write-through/no-allocate", WritePolicy::WriteThroughNoAllocate),
+        (
+            "write-through/no-allocate",
+            WritePolicy::WriteThroughNoAllocate,
+        ),
         ("write-back/allocate", WritePolicy::WriteBackAllocate),
     ] {
         for (sname, spec) in [

@@ -16,9 +16,10 @@
 //! [max_stride] [passes]`.
 
 use cac_bench::chart::grouped;
+use cac_bench::parallel::par_map_range;
 use cac_core::{CacheGeometry, IndexSpec};
 use cac_sim::cache::Cache;
-use cac_trace::stride::figure1_sweep;
+use cac_trace::stride::VectorStride;
 
 /// A named placement-scheme constructor.
 type Scheme = (&'static str, fn() -> IndexSpec);
@@ -50,27 +51,30 @@ fn main() {
         SCHEMES.map(|(n, _)| format!("{n:>10}")).join(" ")
     );
 
+    // Each stride is an independent simulation of all four schemes:
+    // fan the sweep out across the machine and replay the per-stride
+    // trace through the batched API.
+    let per_stride: Vec<[f64; 4]> = par_map_range(1..max_stride, |stride| {
+        SCHEMES.map(|(_, spec)| {
+            let mut cache = Cache::build(geom, spec()).expect("cache");
+            let run = cache.run_refs(VectorStride::paper_figure1(stride, passes));
+            run.miss_ratio()
+        })
+    });
+
     // histogram[scheme][bin]: bins of width 0.1 over (0,1], plus a
     // "conflict-free" bin for ratios at the compulsory floor.
     let mut histogram = [[0u64; 10]; 4];
     let mut pathological = [0u64; 4];
-    let mut strides = 0u64;
-    for (si, (_, spec)) in SCHEMES.iter().enumerate() {
-        figure1_sweep(max_stride, passes, |_, trace| {
-            let mut cache = Cache::build(geom, spec()).expect("cache");
-            for r in trace {
-                cache.read(r.addr);
-            }
-            let ratio = cache.stats().miss_ratio();
+    let strides = per_stride.len() as u64;
+    for ratios in &per_stride {
+        for (si, &ratio) in ratios.iter().enumerate() {
             let bin = ((ratio * 10.0).ceil() as usize).clamp(1, 10) - 1;
             histogram[si][bin] += 1;
             if ratio > 0.5 {
                 pathological[si] += 1;
             }
-            if si == 0 {
-                strides += 1;
-            }
-        });
+        }
     }
     for (bin, _) in histogram[0].iter().enumerate() {
         let label = format!("{:.1}-{:.1}", bin as f64 / 10.0, (bin + 1) as f64 / 10.0);

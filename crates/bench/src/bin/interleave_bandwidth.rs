@@ -94,7 +94,9 @@ fn main() {
     }
     let (lo, hi) = rand_bws
         .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &b| {
+            (lo.min(b), hi.max(b))
+        });
     println!("bandwidth {lo:.3}..{hi:.3} across all selectors");
 
     println!(

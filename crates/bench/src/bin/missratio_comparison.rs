@@ -15,6 +15,7 @@
 //! Run with `cargo run --release -p cac-bench --bin missratio_comparison
 //! [ops_per_benchmark]`.
 
+use cac_bench::parallel::par_map;
 use cac_bench::{arithmetic_mean, std_dev};
 use cac_core::{CacheGeometry, IndexSpec};
 use cac_sim::cache::Cache;
@@ -34,10 +35,10 @@ fn main() {
         "{:<10} {:>10} {:>10} | {:>10} {:>10} | {:>10}",
         "bench", "conv", "paper", "ipoly", "paper", "fullassoc"
     );
-    let mut conv_all = Vec::new();
-    let mut ipoly_all = Vec::new();
-    let mut fa_all = Vec::new();
-    for b in SpecBenchmark::all() {
+    // One worker per benchmark: each generates the workload once and
+    // feeds the same reference stream to all three placements.
+    let benches = SpecBenchmark::all();
+    let results: Vec<(f64, f64, f64)> = par_map(&benches, |b| {
         let mut conv = Cache::build(geom, IndexSpec::modulo()).expect("cache");
         let mut ipoly = Cache::build(geom, IndexSpec::ipoly_skewed()).expect("cache");
         let mut fa = Cache::build(fa_geom, IndexSpec::modulo()).expect("cache");
@@ -46,12 +47,17 @@ fn main() {
             ipoly.access(r.addr, r.is_write);
             fa.access(r.addr, r.is_write);
         }
-        let row = b.paper_row();
-        let (c, p, f) = (
+        (
             conv.stats().read_miss_ratio() * 100.0,
             ipoly.stats().read_miss_ratio() * 100.0,
             fa.stats().read_miss_ratio() * 100.0,
-        );
+        )
+    });
+    let mut conv_all = Vec::new();
+    let mut ipoly_all = Vec::new();
+    let mut fa_all = Vec::new();
+    for (b, &(c, p, f)) in benches.iter().zip(&results) {
+        let row = b.paper_row();
         conv_all.push(c);
         ipoly_all.push(p);
         fa_all.push(f);

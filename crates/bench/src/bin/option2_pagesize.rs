@@ -17,8 +17,12 @@
 //! ratio in phases A and C and the static-conventional ratio in phase B,
 //! paying only two flushes (≤ 256 lines each) for the transitions.
 //!
+//! The three policies are independent simulations of the same phase
+//! script, so they run on separate workers.
+//!
 //! Run: `cargo run --release -p cac-bench --bin option2_pagesize [passes]`.
 
+use cac_bench::parallel::par_map;
 use cac_core::{CacheGeometry, IndexSpec};
 use cac_sim::cache::Cache;
 use cac_sim::pagesize::{DynamicIndexCache, IndexMode, Segment};
@@ -41,33 +45,129 @@ fn small_segment_scan(_pass: u64) -> impl Iterator<Item = u64> {
     (0..32u64).map(move |i| SMALL_BASE + i * 32)
 }
 
-#[derive(Default)]
-struct PhaseTotals {
-    phases: Vec<CacheStats>,
+/// Which cache policy a worker simulates.
+#[derive(Debug, Clone, Copy)]
+enum Policy {
+    StaticConventional,
+    StaticIPoly,
+    Dynamic,
 }
 
-impl PhaseTotals {
-    fn push_delta(&mut self, cumulative: CacheStats) {
-        let prev: CacheStats = self.phases.iter().copied().fold(
-            CacheStats::default(),
-            |acc, s| acc + s,
-        );
-        // CacheStats has no Sub; recompute the delta field-wise via the
-        // fields the report needs.
-        let delta = CacheStats {
-            accesses: cumulative.accesses - prev.accesses,
-            hits: cumulative.hits - prev.hits,
-            misses: cumulative.misses - prev.misses,
-            reads: cumulative.reads - prev.reads,
-            writes: cumulative.writes - prev.writes,
-            read_misses: cumulative.read_misses - prev.read_misses,
-            write_misses: cumulative.write_misses - prev.write_misses,
-            evictions: cumulative.evictions - prev.evictions,
-            invalidations: cumulative.invalidations - prev.invalidations,
-            writebacks: cumulative.writebacks - prev.writebacks,
-        };
-        self.phases.push(delta);
+/// Dynamic-controller details (None for the static policies).
+struct DynReport {
+    modes: Vec<IndexMode>,
+    flushes: u64,
+    flushed_lines: u64,
+    by_mode: (u64, u64),
+}
+
+/// Per-policy result: one `CacheStats` delta per phase.
+struct PolicyRun {
+    phases: Vec<CacheStats>,
+    dynamic: Option<DynReport>,
+}
+
+/// Abstracts "a cache plus optional segment-map events" so one phase
+/// script drives all three policies. Boxed: the two simulators differ
+/// considerably in size and each worker owns exactly one.
+enum Sim {
+    Plain(Box<Cache>),
+    Dynamic(Box<DynamicIndexCache>),
+}
+
+impl Sim {
+    fn read(&mut self, addr: u64) {
+        match self {
+            Sim::Plain(c) => {
+                c.read(addr);
+            }
+            Sim::Dynamic(c) => {
+                c.read(addr);
+            }
+        }
     }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            Sim::Plain(c) => c.stats(),
+            Sim::Dynamic(c) => c.stats(),
+        }
+    }
+}
+
+fn run_policy(policy: Policy, geom: CacheGeometry, passes: u64) -> PolicyRun {
+    let mut sim = match policy {
+        Policy::StaticConventional => Sim::Plain(Box::new(
+            Cache::build(geom, IndexSpec::modulo()).expect("cache"),
+        )),
+        Policy::StaticIPoly => Sim::Plain(Box::new(
+            Cache::build(geom, IndexSpec::ipoly_skewed()).expect("cache"),
+        )),
+        Policy::Dynamic => Sim::Dynamic(Box::new(
+            DynamicIndexCache::new(geom, IndexSpec::ipoly_skewed(), 256 * 1024)
+                .expect("controller"),
+        )),
+    };
+    let mut phases = Vec::new();
+    let mut modes = Vec::new();
+    let mut checkpoint = CacheStats::default();
+    let mut phase_end = |sim: &Sim, phases: &mut Vec<CacheStats>| {
+        let total = sim.stats();
+        phases.push(total - checkpoint);
+        checkpoint = total;
+    };
+
+    // Phase A: large pages only.
+    if let Sim::Dynamic(d) = &mut sim {
+        d.map_segment(Segment::new(BIG_BASE, 1 << 28, 256 * 1024).expect("segment"))
+            .expect("map");
+        modes.push(d.mode());
+    }
+    for p in 0..passes {
+        for a in column_kernel(p) {
+            sim.read(a);
+        }
+    }
+    phase_end(&sim, &mut phases);
+
+    // Phase B: a small-page segment appears (mmap of a 4KB-page file).
+    if let Sim::Dynamic(d) = &mut sim {
+        d.map_segment(Segment::new(SMALL_BASE, 1 << 20, 4096).expect("segment"))
+            .expect("map");
+        modes.push(d.mode());
+    }
+    for p in 0..passes {
+        for a in column_kernel(p) {
+            sim.read(a);
+        }
+        for a in small_segment_scan(p) {
+            sim.read(a);
+        }
+    }
+    phase_end(&sim, &mut phases);
+
+    // Phase C: the small segment goes away.
+    if let Sim::Dynamic(d) = &mut sim {
+        d.unmap_segment(SMALL_BASE);
+        modes.push(d.mode());
+    }
+    for p in 0..passes {
+        for a in column_kernel(p) {
+            sim.read(a);
+        }
+    }
+    phase_end(&sim, &mut phases);
+
+    let dynamic = match sim {
+        Sim::Dynamic(d) => Some(DynReport {
+            modes,
+            flushes: d.flushes(),
+            flushed_lines: d.flushed_lines(),
+            by_mode: d.accesses_by_mode(),
+        }),
+        Sim::Plain(_) => None,
+    };
+    PolicyRun { phases, dynamic }
 }
 
 fn main() {
@@ -77,97 +177,45 @@ fn main() {
         .unwrap_or(64);
     let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
 
-    let mut dynamic =
-        DynamicIndexCache::new(geom, IndexSpec::ipoly_skewed(), 256 * 1024).expect("controller");
-    let mut conv = Cache::build(geom, IndexSpec::modulo()).expect("cache");
-    let mut ipoly = Cache::build(geom, IndexSpec::ipoly_skewed()).expect("cache");
-
-    let mut dyn_phases = PhaseTotals::default();
-    let mut conv_phases = PhaseTotals::default();
-    let mut ipoly_phases = PhaseTotals::default();
-    let mut modes = Vec::new();
-
-    // Phase A: large pages only.
-    dynamic
-        .map_segment(Segment::new(BIG_BASE, 1 << 28, 256 * 1024).expect("segment"))
-        .expect("map");
-    modes.push(dynamic.mode());
-    for p in 0..passes {
-        for a in column_kernel(p) {
-            dynamic.read(a);
-            conv.read(a);
-            ipoly.read(a);
-        }
-    }
-    dyn_phases.push_delta(dynamic.stats());
-    conv_phases.push_delta(conv.stats());
-    ipoly_phases.push_delta(ipoly.stats());
-
-    // Phase B: a small-page segment appears (mmap of a 4KB-page file).
-    dynamic
-        .map_segment(Segment::new(SMALL_BASE, 1 << 20, 4096).expect("segment"))
-        .expect("map");
-    modes.push(dynamic.mode());
-    for p in 0..passes {
-        for a in column_kernel(p) {
-            dynamic.read(a);
-            conv.read(a);
-            ipoly.read(a);
-        }
-        for a in small_segment_scan(p) {
-            dynamic.read(a);
-            conv.read(a);
-            ipoly.read(a);
-        }
-    }
-    dyn_phases.push_delta(dynamic.stats());
-    conv_phases.push_delta(conv.stats());
-    ipoly_phases.push_delta(ipoly.stats());
-
-    // Phase C: the small segment goes away.
-    dynamic.unmap_segment(SMALL_BASE);
-    modes.push(dynamic.mode());
-    for p in 0..passes {
-        for a in column_kernel(p) {
-            dynamic.read(a);
-            conv.read(a);
-            ipoly.read(a);
-        }
-    }
-    dyn_phases.push_delta(dynamic.stats());
-    conv_phases.push_delta(conv.stats());
-    ipoly_phases.push_delta(ipoly.stats());
+    let policies = [
+        Policy::StaticConventional,
+        Policy::StaticIPoly,
+        Policy::Dynamic,
+    ];
+    let runs = par_map(&policies, |&p| run_policy(p, geom, passes));
 
     println!("E14 / section 3.1 option 2: page-size-aware index switching ({passes} passes/phase, {geom})");
     println!(
         "{:<28} {:>12} {:>12} {:>12}",
         "miss ratio (%)", "phase A", "phase B", "phase C"
     );
-    let row = |name: &str, phases: &PhaseTotals| {
-        let cells: Vec<String> = phases
+    let row = |name: &str, run: &PolicyRun| {
+        let cells: Vec<String> = run
             .phases
             .iter()
             .map(|s| format!("{:>12.2}", s.miss_ratio() * 100.0))
             .collect();
         println!("{name:<28} {}", cells.join(" "));
     };
-    row("static conventional", &conv_phases);
-    row("static I-Poly (option 3)", &ipoly_phases);
-    row("dynamic (option 2)", &dyn_phases);
+    row("static conventional", &runs[0]);
+    row("static I-Poly (option 3)", &runs[1]);
+    row("dynamic (option 2)", &runs[2]);
 
+    let report = runs[2].dynamic.as_ref().expect("dynamic policy report");
     println!(
         "\ndynamic controller: modes per phase = {:?}, flushes = {}, lines discarded = {}",
-        modes
+        report
+            .modes
             .iter()
             .map(|m| match m {
                 IndexMode::Conventional => "conv",
                 IndexMode::IPoly => "ipoly",
             })
             .collect::<Vec<_>>(),
-        dynamic.flushes(),
-        dynamic.flushed_lines(),
+        report.flushes,
+        report.flushed_lines,
     );
-    let (conv_acc, ipoly_acc) = dynamic.accesses_by_mode();
+    let (conv_acc, ipoly_acc) = report.by_mode;
     println!("accesses by mode: conventional {conv_acc}, ipoly {ipoly_acc}");
     println!(
         "\nShape check: option 2 matches I-Poly whenever it may (A, C) and conventional \

@@ -17,6 +17,7 @@
 //!
 //! Run: `cargo run --release -p cac-bench --bin options_comparison [ops]`.
 
+use cac_bench::parallel::par_map;
 use cac_bench::{arithmetic_mean, geometric_mean};
 use cac_core::IndexSpec;
 use cac_cpu::{CpuConfig, Processor, TranslationModel};
@@ -50,7 +51,7 @@ fn main() {
         "bench", "conv8 IPC", "opt1 IPC", "opt1 TLB%", "opt3 IPC", "opt3CP IPC", "opt3 miss%"
     );
 
-    type ConfigFactory = Box<dyn Fn() -> CpuConfig>;
+    type ConfigFactory = Box<dyn Fn() -> CpuConfig + Send + Sync>;
     let configs: Vec<(&str, ConfigFactory)> = vec![
         (
             "conv8",
@@ -82,8 +83,14 @@ fn main() {
     let mut misses: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     let mut tlb_misses: Vec<f64> = Vec::new();
 
-    for b in SpecBenchmark::all() {
-        let ms: Vec<Measurement> = configs.iter().map(|(_, c)| run_one(b, c(), ops)).collect();
+    // One worker per benchmark, each driving all four processor
+    // configurations (the per-benchmark CPU simulations dominate the
+    // runtime of this experiment).
+    let benches = SpecBenchmark::all();
+    let per_bench: Vec<Vec<Measurement>> = par_map(&benches, |&b| {
+        configs.iter().map(|(_, c)| run_one(b, c(), ops)).collect()
+    });
+    for (b, ms) in benches.iter().zip(per_bench) {
         for (i, m) in ms.iter().enumerate() {
             ipcs[i].push(m.ipc);
             misses[i].push(m.miss);

@@ -8,6 +8,7 @@
 //! [ops]`.
 
 use cac_bench::arithmetic_mean;
+use cac_bench::parallel::par_map;
 use cac_core::{CacheGeometry, IndexSpec};
 use cac_sim::cache::Cache;
 use cac_sim::column::{ColumnAssociative, RehashKind};
@@ -28,21 +29,26 @@ fn main() {
     let fa = CacheGeometry::fully_associative(8 * 1024, 32).expect("geometry");
 
     println!("E10 / section 2.1: 8KB organization comparison, suite-average load miss % ({ops} ops/benchmark)");
-    // Each organization is a closure from benchmark to load miss ratio.
-    type Runner = Box<dyn Fn(SpecBenchmark) -> f64>;
+    // Each organization is a closure from benchmark to load miss ratio;
+    // `Send + Sync` so the benchmark sweep can fan out per organization.
+    type Runner = Box<dyn Fn(SpecBenchmark) -> f64 + Send + Sync>;
     let cache_runner = |geom: CacheGeometry, spec: IndexSpec, ops: usize| -> Runner {
         Box::new(move |b: SpecBenchmark| {
             let mut c = Cache::build(geom, spec.clone()).expect("cache");
-            for r in mem_refs(b.generator(5).take(ops)) {
-                c.access(r.addr, r.is_write);
-            }
+            c.run_refs(mem_refs(b.generator(5).take(ops)));
             c.stats().read_miss_ratio() * 100.0
         })
     };
     let organizations: Vec<(&str, Runner)> = vec![
         ("direct-mapped", cache_runner(dm, IndexSpec::modulo(), ops)),
-        ("2-way set-assoc", cache_runner(w2, IndexSpec::modulo(), ops)),
-        ("4-way set-assoc", cache_runner(w4, IndexSpec::modulo(), ops)),
+        (
+            "2-way set-assoc",
+            cache_runner(w2, IndexSpec::modulo(), ops),
+        ),
+        (
+            "4-way set-assoc",
+            cache_runner(w4, IndexSpec::modulo(), ops),
+        ),
         (
             "victim (DM + 4 lines)",
             Box::new(move |b| {
@@ -126,19 +132,33 @@ fn main() {
                 c.stats().full_misses as f64 / reads.max(1) as f64 * 100.0
             }),
         ),
-        ("2-way skewed XOR", cache_runner(w2, IndexSpec::xor_skewed(), ops)),
+        (
+            "2-way skewed XOR",
+            cache_runner(w2, IndexSpec::xor_skewed(), ops),
+        ),
         ("2-way I-Poly", cache_runner(w2, IndexSpec::ipoly(), ops)),
-        ("2-way skewed I-Poly", cache_runner(w2, IndexSpec::ipoly_skewed(), ops)),
-        ("fully associative", cache_runner(fa, IndexSpec::modulo(), ops)),
+        (
+            "2-way skewed I-Poly",
+            cache_runner(w2, IndexSpec::ipoly_skewed(), ops),
+        ),
+        (
+            "fully associative",
+            cache_runner(fa, IndexSpec::modulo(), ops),
+        ),
     ];
 
-    println!("{:<30} {:>10} {:>10} {:>10}", "organization", "all", "bad-3", "good-15");
+    println!(
+        "{:<30} {:>10} {:>10} {:>10}",
+        "organization", "all", "bad-3", "good-15"
+    );
+    let benches = SpecBenchmark::all();
     for (name, run) in &organizations {
+        // Sweep the 18 benchmarks of this organization in parallel.
+        let measurements = par_map(&benches, |&b| run(b));
         let mut all = Vec::new();
         let mut bad = Vec::new();
         let mut good = Vec::new();
-        for b in SpecBenchmark::all() {
-            let m = run(b);
+        for (b, &m) in benches.iter().zip(&measurements) {
             all.push(m);
             if b.is_high_conflict() {
                 bad.push(m);
@@ -153,5 +173,7 @@ fn main() {
             arithmetic_mean(&good)
         );
     }
-    println!("\n(paper, quoting [10] on full Spec95: 2-way 13.84%, I-Poly 7.14%, fully-assoc 6.80%)");
+    println!(
+        "\n(paper, quoting [10] on full Spec95: 2-way 13.84%, I-Poly 7.14%, fully-assoc 6.80%)"
+    );
 }

@@ -8,7 +8,10 @@ use cac_cpu::CpuConfig;
 fn main() {
     let c = CpuConfig::paper_baseline(IndexSpec::ipoly_skewed()).expect("valid configuration");
     println!("E2 / Table 1: functional units and instruction latency");
-    println!("{:<22} {:>8} {:>12}", "Functional Unit", "Latency", "Repeat rate");
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "Functional Unit", "Latency", "Repeat rate"
+    );
     println!("{:<22} {:>8} {:>12}", "1 Simple Integer", 1, 1);
     println!("{:<22} {:>8} {:>12}", "1 Complex Integer", "9/67", "1/67");
     println!("{:<22} {:>8} {:>12}", "2 Effective Address", 1, 1);
@@ -16,8 +19,10 @@ fn main() {
     println!("{:<22} {:>8} {:>12}", "1 FP Multiplication", 4, 1);
     println!("{:<22} {:>8} {:>12}", "1 FP Div and SQR", "16/35", "16/35");
     println!();
-    println!("processor: {}-way fetch/issue/commit, ROB {}, {}+{} physical registers",
-        c.fetch_width, c.rob_entries, c.int_phys_regs, c.fp_phys_regs);
+    println!(
+        "processor: {}-way fetch/issue/commit, ROB {}, {}+{} physical registers",
+        c.fetch_width, c.rob_entries, c.int_phys_regs, c.fp_phys_regs
+    );
     println!(
         "memory: {} ports, {} MSHRs, {} L1, hit {} cycles, miss {} cycles, bus {} cycles/line, BHT {} entries",
         c.mem_ports,

@@ -22,7 +22,10 @@ fn main() {
     ));
     let rows = run_all(ops, 12345);
     let bad: Vec<_> = rows.iter().filter(|r| r.bench.is_high_conflict()).collect();
-    let good: Vec<_> = rows.iter().filter(|r| !r.bench.is_high_conflict()).collect();
+    let good: Vec<_> = rows
+        .iter()
+        .filter(|r| !r.bench.is_high_conflict())
+        .collect();
     for r in &bad {
         print_row(r);
     }

@@ -38,9 +38,7 @@ fn main() {
     let pow2_pitch = n * TiledMatMul::ELEM;
     let padded_pitch = (n + 8) * TiledMatMul::ELEM;
 
-    println!(
-        "E16 / section 5: tiled {n}x{n} matmul block-row, {geom}, load miss %\n"
-    );
+    println!("E16 / section 5: tiled {n}x{n} matmul block-row, {geom}, load miss %\n");
     println!(
         "{:<6} {:>16} {:>16} {:>16} {:>16} {:>12}",
         "tile", "conv pow2-LDA", "conv padded-LDA", "ipoly pow2-LDA", "ipoly padded", "footprint"

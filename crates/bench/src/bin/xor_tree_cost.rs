@@ -25,7 +25,11 @@ fn main() {
         cla.full_delay(),
         cla.slack_for_bits(19)
     );
-    assert_eq!(cla.delay_for_bits(19), 9, "paper: 'a delay of about 9 blocks'");
+    assert_eq!(
+        cla.delay_for_bits(19),
+        9,
+        "paper: 'a delay of about 9 blocks'"
+    );
     assert_eq!(cla.full_delay(), 11, "paper: 'requires 11 block-delays'");
     for (label, m, v) in [
         ("8KB 2-way (128 sets)", 7u32, 14u32),

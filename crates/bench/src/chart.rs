@@ -181,10 +181,7 @@ mod tests {
 
     #[test]
     fn linear_bars_scale_proportionally() {
-        let text = BarChart::new("t")
-            .bar("a", 10.0)
-            .bar("b", 5.0)
-            .render(20);
+        let text = BarChart::new("t").bar("a", 10.0).bar("b", 5.0).render(20);
         let lines: Vec<&str> = text.lines().collect();
         let count = |s: &str| s.matches('#').count();
         assert_eq!(count(lines[1]), 20);
@@ -220,9 +217,7 @@ mod tests {
     #[test]
     fn bars_builder_matches_bar() {
         let a = BarChart::new("t").bar("x", 1.0).bar("y", 2.0).render(10);
-        let b = BarChart::new("t")
-            .bars([("x", 1.0), ("y", 2.0)])
-            .render(10);
+        let b = BarChart::new("t").bars([("x", 1.0), ("y", 2.0)]).render(10);
         assert_eq!(a, b);
     }
 

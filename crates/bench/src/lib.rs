@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod parallel;
 pub mod table2;
 
 /// Arithmetic mean (the paper averages miss ratios arithmetically).

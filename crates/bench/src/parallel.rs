@@ -1,0 +1,135 @@
+//! Work-stealing parallel map for configuration sweeps.
+//!
+//! The experiment drivers sweep hundreds-to-thousands of independent
+//! cache configurations (strides, benchmarks, organizations); each
+//! simulation is pure, so the sweep is embarrassingly parallel. The
+//! build environment has no crate registry, so instead of `rayon` this
+//! module provides the one primitive the drivers need — an
+//! order-preserving [`par_map`] — on top of `std::thread::scope` with an
+//! atomic work queue. If `rayon` becomes available,
+//! `items.par_iter().map(f).collect()` is a drop-in replacement.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Applies `f` to every item on a pool of OS threads, returning results
+/// in input order.
+///
+/// Items are handed out dynamically (an atomic cursor), so uneven
+/// per-item cost — a pathological stride simulating 10× slower than a
+/// conflict-free one — load-balances naturally. Spawns at most
+/// `available_parallelism` threads and runs inline for trivial inputs.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+///
+/// # Example
+///
+/// ```
+/// let squares = cac_bench::parallel::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        // Ends when every worker has dropped its sender — including after
+        // a worker panic, which the scope then re-raises on join.
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("a worker panicked before delivering this result"))
+            .collect()
+    })
+}
+
+/// [`par_map`] over an inclusive-exclusive index range, for sweeps whose
+/// "items" are just config numbers (strides, seeds).
+///
+/// # Example
+///
+/// ```
+/// let doubled = cac_bench::parallel::par_map_range(0..5, |i| i * 2);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+/// ```
+pub fn par_map_range<R, F>(range: std::ops::Range<u64>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let items: Vec<u64> = range.collect();
+    par_map(&items, |&i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_load_balances() {
+        // Items with wildly different costs still come back in order.
+        let out = par_map_range(0..64, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&[1u32, 2, 3, 4], |&x| {
+                assert!(x != 3, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -40,7 +40,12 @@ fn run_one(b: SpecBenchmark, config: CpuConfig, ops: u64, seed: u64) -> (f64, f6
 /// Runs all seven configurations of the paper's Table 2 for one
 /// benchmark, simulating `ops` instructions per configuration.
 pub fn run_benchmark(b: SpecBenchmark, ops: u64, seed: u64) -> Table2Row {
-    let conv16 = run_one(b, CpuConfig::paper_16kb(IndexSpec::modulo()).unwrap(), ops, seed);
+    let conv16 = run_one(
+        b,
+        CpuConfig::paper_16kb(IndexSpec::modulo()).unwrap(),
+        ops,
+        seed,
+    );
     let conv8 = run_one(
         b,
         CpuConfig::paper_baseline(IndexSpec::modulo()).unwrap(),

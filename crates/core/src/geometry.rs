@@ -38,7 +38,10 @@ impl CacheGeometry {
     ///
     /// Returns [`Error::NotPowerOfTwo`] if `capacity` or `block` is not a
     /// power of two, and [`Error::OutOfRange`] if any parameter is zero, if
-    /// `block > capacity`, or if `ways` exceeds the number of blocks.
+    /// `block < 2` or `block > capacity`, or if `ways` exceeds the number
+    /// of blocks. The two-byte block minimum guarantees block addresses
+    /// (`addr >> offset_bits`) never reach `u64::MAX`, which the
+    /// simulators reserve as their invalid-tag sentinel.
     pub fn new(capacity: u64, block: u64, ways: u32) -> Result<Self, Error> {
         if capacity == 0 || !capacity.is_power_of_two() {
             return Err(Error::NotPowerOfTwo {
@@ -50,6 +53,13 @@ impl CacheGeometry {
             return Err(Error::NotPowerOfTwo {
                 what: "block size",
                 value: block,
+            });
+        }
+        if block < 2 {
+            return Err(Error::OutOfRange {
+                what: "block size",
+                value: block,
+                constraint: ">= 2 bytes",
             });
         }
         if block > capacity {
@@ -265,11 +275,17 @@ mod tests {
     fn validation_rejects_bad_parameters() {
         assert!(matches!(
             CacheGeometry::new(3000, 32, 2),
-            Err(Error::NotPowerOfTwo { what: "capacity", .. })
+            Err(Error::NotPowerOfTwo {
+                what: "capacity",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(8192, 33, 2),
-            Err(Error::NotPowerOfTwo { what: "block size", .. })
+            Err(Error::NotPowerOfTwo {
+                what: "block size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(8192, 32, 0),
@@ -281,10 +297,22 @@ mod tests {
         ));
         assert!(matches!(
             CacheGeometry::new(32, 64, 1),
-            Err(Error::OutOfRange { what: "block size", .. })
+            Err(Error::OutOfRange {
+                what: "block size",
+                ..
+            })
         ));
         // ways > blocks
         assert!(CacheGeometry::new(64, 32, 4).is_err());
+        // 1-byte blocks would let block addresses collide with the
+        // simulators' u64::MAX invalid-tag sentinel.
+        assert!(matches!(
+            CacheGeometry::new(8192, 1, 2),
+            Err(Error::OutOfRange {
+                what: "block size",
+                ..
+            })
+        ));
     }
 
     #[test]

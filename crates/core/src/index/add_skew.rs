@@ -98,6 +98,10 @@ impl IndexFunction for AddSkewIndex {
             format!("a{}-Ha", self.ways)
         }
     }
+
+    fn input_bits(&self) -> u32 {
+        2 * self.index_bits
+    }
 }
 
 #[cfg(test)]

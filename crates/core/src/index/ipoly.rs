@@ -94,8 +94,7 @@ impl IPolyIndex {
                 input_bits: 0,
             });
         }
-        let address_bits =
-            address_bits.unwrap_or_else(|| PAPER_ADDRESS_BITS.max(offset + 2 * m));
+        let address_bits = address_bits.unwrap_or_else(|| PAPER_ADDRESS_BITS.max(offset + 2 * m));
         if address_bits <= offset {
             return Err(Error::OutOfRange {
                 what: "address bits",
@@ -184,7 +183,11 @@ impl IPolyIndex {
 
     /// Largest XOR fan-in over all ways and index bits (§3.4).
     pub fn max_fan_in(&self) -> u32 {
-        self.trees.iter().map(XorTree::max_fan_in).max().unwrap_or(0)
+        self.trees
+            .iter()
+            .map(XorTree::max_fan_in)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -245,6 +248,27 @@ impl IndexFunction for IPolyIndex {
             format!("a{}-Hp", self.ways)
         }
     }
+
+    fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    fn fill_table(&self, way: u32, out: &mut [u32]) {
+        if self.trees.is_empty() {
+            out.fill(0);
+            return;
+        }
+        let bits = out.len().trailing_zeros();
+        if bits <= self.input_bits() {
+            // GF(2)-linear: synthesise the table in O(len) via the tree's
+            // incremental construction instead of len mask+popcnt hashes.
+            out.copy_from_slice(&self.tree(way).apply_table(bits));
+        } else {
+            for (a, slot) in out.iter_mut().enumerate() {
+                *slot = self.set_index(a as u64, way);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -300,8 +324,7 @@ mod tests {
     #[test]
     fn explicit_polynomials_accepted() {
         let p = default_poly(7);
-        let f =
-            IPolyIndex::from_parts(geom(), false, Some(19), Some(vec![p])).unwrap();
+        let f = IPolyIndex::from_parts(geom(), false, Some(19), Some(vec![p])).unwrap();
         assert_eq!(f.poly(0), p);
         assert_eq!(f.poly(1), p); // unskewed: same for both ways
     }
@@ -310,13 +333,8 @@ mod tests {
     fn reducible_polynomial_allowed_but_validated_for_degree() {
         // x^7 (reducible) has degree 7 and must be accepted: the paper says
         // irreducibility is for best performance, not correctness.
-        let f = IPolyIndex::from_parts(
-            geom(),
-            false,
-            Some(19),
-            Some(vec![Poly::monomial(7)]),
-        )
-        .unwrap();
+        let f =
+            IPolyIndex::from_parts(geom(), false, Some(19), Some(vec![Poly::monomial(7)])).unwrap();
         // With P = x^7 the scheme degenerates to conventional indexing.
         for ba in 0u64..256 {
             assert_eq!(f.set_index(ba, 0), (ba & 0x7f) as u32);
@@ -325,13 +343,8 @@ mod tests {
 
     #[test]
     fn wrong_degree_rejected() {
-        let err = IPolyIndex::from_parts(
-            geom(),
-            false,
-            Some(19),
-            Some(vec![default_poly(6)]),
-        )
-        .unwrap_err();
+        let err = IPolyIndex::from_parts(geom(), false, Some(19), Some(vec![default_poly(6)]))
+            .unwrap_err();
         assert!(matches!(err, Error::BadPolynomial { .. }));
     }
 

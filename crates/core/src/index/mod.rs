@@ -31,6 +31,7 @@ mod modulo;
 mod prime;
 mod prng;
 mod rand_table;
+mod table;
 mod xor_fold;
 mod xor_matrix;
 
@@ -39,6 +40,7 @@ pub use ipoly::IPolyIndex;
 pub use modulo::ModuloIndex;
 pub use prime::PrimeModIndex;
 pub use rand_table::RandTableIndex;
+pub use table::IndexTable;
 pub use xor_fold::XorFoldIndex;
 pub use xor_matrix::XorMatrixIndex;
 
@@ -80,6 +82,37 @@ pub trait IndexFunction: fmt::Debug + Send + Sync {
 
     /// Paper-style label, e.g. `a2`, `a2-Hx-Sk`, `a2-Hp`, `a2-Hp-Sk`.
     fn label(&self) -> String;
+
+    /// Number of low *block-address* bits the function depends on: for any
+    /// block address `b` and way `w`,
+    /// `set_index(b, w) == set_index(b & ((1 << input_bits()) - 1), w)`
+    /// must hold (the hardware view: bits beyond `input_bits` are simply
+    /// not wired into the hash).
+    ///
+    /// Functions that inspect every address bit (e.g. a prime modulus)
+    /// return 64. The default is the conservative 64; implementations
+    /// should override it with their true width so
+    /// [`IndexTable`](crate::index::IndexTable) can compile them into an
+    /// exact lookup table.
+    fn input_bits(&self) -> u32 {
+        64
+    }
+
+    /// Writes `set_index(a, way)` for every `a` in `0..out.len()` into
+    /// `out` (`out.len()` is a power of two).
+    ///
+    /// This is the bulk-evaluation hook [`IndexTable`](crate::index::IndexTable)
+    /// compiles placements through; the default calls [`set_index`] per
+    /// entry, and implementations with algebraic structure (I-Poly's
+    /// GF(2)-linearity) override it with an `O(out.len())` synthesis.
+    ///
+    /// [`set_index`]: IndexFunction::set_index
+    fn fill_table(&self, way: u32, out: &mut [u32]) {
+        debug_assert!(out.len().is_power_of_two());
+        for (a, slot) in out.iter_mut().enumerate() {
+            *slot = self.set_index(a as u64, way);
+        }
+    }
 }
 
 /// Declarative specification of a placement scheme; [`IndexSpec::build`]
@@ -306,6 +339,20 @@ impl IndexSpec {
         }
     }
 
+    /// Instantiates the placement function for `geom` and compiles it
+    /// into flat per-way lookup tables (see [`IndexTable`]).
+    ///
+    /// This is what the simulators call: the returned table answers
+    /// `set_index` with a single load for every scheme narrow enough to
+    /// tabulate, and transparently keeps the computed path otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`IndexSpec::build`].
+    pub fn build_table(&self, geom: CacheGeometry) -> Result<IndexTable, Error> {
+        Ok(IndexTable::compile(self.build(geom)?))
+    }
+
     /// Short lowercase name for file/CLI use: `modulo`, `xor`, `xor-skew`,
     /// `ipoly`, `ipoly-skew`, `prime`, `add-skew`, `rand-table`,
     /// `xor-matrix` (with `-skew` suffixes for the skewed variants).
@@ -377,8 +424,7 @@ mod tests {
 
     #[test]
     fn all_specs_have_distinct_names() {
-        let names: std::collections::HashSet<_> =
-            all_specs().iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<_> = all_specs().iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), all_specs().len());
     }
 
@@ -400,9 +446,18 @@ mod tests {
         assert!(!IndexSpec::ipoly().build(geom()).unwrap().is_skewed());
         assert!(IndexSpec::ipoly_skewed().build(geom()).unwrap().is_skewed());
         assert!(IndexSpec::prime_skewed().build(geom()).unwrap().is_skewed());
-        assert!(IndexSpec::add_skew_skewed().build(geom()).unwrap().is_skewed());
-        assert!(IndexSpec::rand_table_skewed().build(geom()).unwrap().is_skewed());
-        assert!(IndexSpec::xor_matrix_skewed().build(geom()).unwrap().is_skewed());
+        assert!(IndexSpec::add_skew_skewed()
+            .build(geom())
+            .unwrap()
+            .is_skewed());
+        assert!(IndexSpec::rand_table_skewed()
+            .build(geom())
+            .unwrap()
+            .is_skewed());
+        assert!(IndexSpec::xor_matrix_skewed()
+            .build(geom())
+            .unwrap()
+            .is_skewed());
     }
 
     #[test]

@@ -60,6 +60,10 @@ impl IndexFunction for ModuloIndex {
     fn label(&self) -> String {
         format!("a{}", self.ways)
     }
+
+    fn input_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,16 @@ impl IndexFunction for PrimeModIndex {
             format!("a{}-Hpr", self.ways)
         }
     }
+
+    fn input_bits(&self) -> u32 {
+        // A modulus that is not a power of two inspects every address bit;
+        // LUT compilation must keep the computed path for this scheme.
+        if self.prime <= 1 {
+            0
+        } else {
+            64
+        }
+    }
 }
 
 #[cfg(test)]

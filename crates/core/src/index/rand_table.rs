@@ -76,9 +76,7 @@ impl RandTableIndex {
     ) -> Self {
         let m = geom.index_bits();
         let spent = geom.offset_bits() + m;
-        let table_bits = address_bits
-            .saturating_sub(spent)
-            .min(Self::MAX_TABLE_BITS);
+        let table_bits = address_bits.saturating_sub(spent).min(Self::MAX_TABLE_BITS);
         let num_ways = geom.ways();
         let num_tables = if skewed { num_ways as usize } else { 1 };
         let entries = 1usize << table_bits;
@@ -154,6 +152,10 @@ impl IndexFunction for RandTableIndex {
             format!("a{}-Hr", self.ways)
         }
     }
+
+    fn input_bits(&self) -> u32 {
+        self.index_bits + self.table_bits
+    }
 }
 
 #[cfg(test)]
@@ -191,8 +193,9 @@ mod tests {
         // With F1 fixed, the map F0 -> T[F1] ^ F0 is a bijection.
         let f = RandTableIndex::new(geom(), false, 3);
         for f1 in [0u64, 1, 77] {
-            let seen: std::collections::HashSet<_> =
-                (0..128u64).map(|f0| f.set_index((f1 << 7) | f0, 0)).collect();
+            let seen: std::collections::HashSet<_> = (0..128u64)
+                .map(|f0| f.set_index((f1 << 7) | f0, 0))
+                .collect();
             assert_eq!(seen.len(), 128);
         }
     }

@@ -94,6 +94,10 @@ impl IndexFunction for XorFoldIndex {
             format!("a{}-Hx", self.ways)
         }
     }
+
+    fn input_bits(&self) -> u32 {
+        2 * self.index_bits
+    }
 }
 
 #[cfg(test)]

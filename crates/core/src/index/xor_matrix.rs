@@ -218,6 +218,10 @@ impl IndexFunction for XorMatrixIndex {
             format!("a{}-Hxm", self.ways)
         }
     }
+
+    fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
 }
 
 #[cfg(test)]

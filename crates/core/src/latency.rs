@@ -97,9 +97,7 @@ impl HitLatencyModel {
     pub fn hit_latency(&self, outcome: Outcome) -> u32 {
         match outcome {
             Outcome::ConfidentCorrect => self.base_hit.saturating_sub(1).max(1),
-            Outcome::ConfidentWrong | Outcome::NotConfident => {
-                self.base_hit + self.xor_penalty()
-            }
+            Outcome::ConfidentWrong | Outcome::NotConfident => self.base_hit + self.xor_penalty(),
         }
     }
 

@@ -11,7 +11,11 @@
 //! * [`index`] — the [`IndexFunction`] trait and the four placement schemes
 //!   of the paper's Figure 1: conventional modulo (`a2`), skewed bit-field
 //!   XOR (`a2-Hx-Sk`, the Seznec skewed-associative baseline), I-Poly
-//!   (`a2-Hp`) and skewed I-Poly (`a2-Hp-Sk`).
+//!   (`a2-Hp`) and skewed I-Poly (`a2-Hp-Sk`) — plus [`IndexTable`], the
+//!   LUT compiler that turns any of them into flat per-way lookup tables
+//!   (every scheme is a pure function of the low `v ≤ 19` address bits,
+//!   §3.4, so `set_index` becomes a single bounds-checked load on the
+//!   simulator hot path).
 //! * [`holes`] — the analytical model of §3.3 for *holes* created at L1 by
 //!   inclusion enforcement in a two-level virtual-real hierarchy
 //!   (equations (vii)–(ix)).
@@ -55,6 +59,6 @@ pub mod predictor;
 
 pub use error::Error;
 pub use geometry::CacheGeometry;
-pub use index::{IndexFunction, IndexSpec};
+pub use index::{IndexFunction, IndexSpec, IndexTable};
 pub use latency::HitLatencyModel;
 pub use predictor::AddressPredictor;

@@ -1,0 +1,86 @@
+//! Property tests: LUT-compiled placement ([`IndexTable`]) is
+//! behaviourally identical to the direct [`IndexFunction`] it was built
+//! from — for every scheme, across geometries, over the whole address
+//! space (including addresses far beyond any table's coverage).
+
+use cac_core::index::IndexTable;
+use cac_core::{CacheGeometry, IndexSpec};
+use proptest::prelude::*;
+
+fn geometries() -> impl Strategy<Value = CacheGeometry> {
+    // capacity 1KB..64KB, block 16/32/64, ways 1/2/4 — all valid combos.
+    (10u32..17, 4u32..7, 0u32..3).prop_map(|(cap_log, blk_log, way_log)| {
+        CacheGeometry::new(1u64 << cap_log, 1u64 << blk_log, 1 << way_log)
+            .expect("combination is valid by construction")
+    })
+}
+
+fn specs() -> impl Strategy<Value = IndexSpec> {
+    prop_oneof![
+        Just(IndexSpec::modulo()),
+        Just(IndexSpec::xor()),
+        Just(IndexSpec::xor_skewed()),
+        Just(IndexSpec::ipoly()),
+        Just(IndexSpec::ipoly_skewed()),
+        Just(IndexSpec::prime()),
+        Just(IndexSpec::prime_skewed()),
+        Just(IndexSpec::add_skew()),
+        Just(IndexSpec::add_skew_skewed()),
+        any::<u64>().prop_map(|seed| IndexSpec::RandTable { skewed: true, seed }),
+        any::<u64>().prop_map(|seed| IndexSpec::XorMatrix { skewed: true, seed }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn table_agrees_with_function_everywhere(
+        geom in geometries(), spec in specs(), addrs in proptest::collection::vec(any::<u64>(), 1..64)
+    ) {
+        let f = spec.build(geom).unwrap();
+        let t = IndexTable::compile(f.clone());
+        prop_assert_eq!(t.num_sets(), f.num_sets());
+        prop_assert_eq!(t.ways(), f.ways());
+        for addr in addrs {
+            let ba = geom.block_addr(addr);
+            for way in 0..geom.ways() {
+                prop_assert_eq!(
+                    t.set_index(ba, way),
+                    f.set_index(ba, way),
+                    "{} at {:#x} way {}", spec, ba, way
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_agrees_near_its_coverage_boundary(geom in geometries(), spec in specs()) {
+        // Exhaustive agreement around the table edge: the last covered
+        // block addresses and the first uncovered ones, where a wrong
+        // mask or fallback decision would show.
+        let f = spec.build(geom).unwrap();
+        let t = IndexTable::compile(f.clone());
+        let bits = t.table_bits().max(1);
+        let edge = 1u64 << bits.min(40);
+        for delta in 0..64u64 {
+            for ba in [delta, edge - 1 - delta % edge, edge + delta, 3 * edge + delta] {
+                for way in 0..geom.ways() {
+                    prop_assert_eq!(
+                        t.set_index(ba, way),
+                        f.set_index(ba, way),
+                        "{} at {:#x} way {}", spec, ba, way
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_table_matches_compile(geom in geometries(), spec in specs(), addr in any::<u64>()) {
+        let via_spec = spec.build_table(geom).unwrap();
+        let via_compile = IndexTable::compile(spec.build(geom).unwrap());
+        let ba = geom.block_addr(addr);
+        for way in 0..geom.ways() {
+            prop_assert_eq!(via_spec.set_index(ba, way), via_compile.set_index(ba, way));
+        }
+    }
+}

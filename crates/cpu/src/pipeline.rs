@@ -337,11 +337,10 @@ impl Processor {
                     let completion = if forwarded {
                         addr_ready + 1
                     } else {
-                        match self.dcache.load(
-                            slot.op.pc,
-                            slot.op.addr.unwrap_or(0),
-                            addr_ready,
-                        ) {
+                        match self
+                            .dcache
+                            .load(slot.op.pc, slot.op.addr.unwrap_or(0), addr_ready)
+                        {
                             LoadResponse::Ready { at, .. } => at,
                             LoadResponse::Blocked => continue, // retry next cycle
                         }
@@ -366,8 +365,8 @@ impl Processor {
                     self.fu_ea[ea] = self.cycle + 1;
                     ports_used += 1;
                     let completion = self.cycle + 1; // address resolved
-                    // ARB: younger loads to the same word that already
-                    // issued must replay.
+                                                     // ARB: younger loads to the same word that already
+                                                     // issued must replay.
                     for p2 in pos + 1..self.rob.len() {
                         let replay_to = completion + 2;
                         let younger = &mut self.rob[p2];
@@ -506,7 +505,12 @@ mod tests {
     fn indep_ints(n: usize) -> Vec<TraceOp> {
         (0..n)
             .map(|i| {
-                TraceOp::compute(0x400 + (i as u64 % 16) * 4, OpClass::IntAlu, 0, [None, None])
+                TraceOp::compute(
+                    0x400 + (i as u64 % 16) * 4,
+                    OpClass::IntAlu,
+                    0,
+                    [None, None],
+                )
             })
             .collect()
     }
@@ -526,9 +530,7 @@ mod tests {
         // Each op reads the previous result: IPC ~1 (1-cycle latency);
         // now with FP adds (4-cycle latency) IPC ~0.25.
         let ops: Vec<TraceOp> = (0..2000)
-            .map(|i| {
-                TraceOp::compute(0x400 + (i % 8) * 4, OpClass::FpAdd, 33, [Some(33), None])
-            })
+            .map(|i| TraceOp::compute(0x400 + (i % 8) * 4, OpClass::FpAdd, 33, [Some(33), None]))
             .collect();
         let mut p = cpu(IndexSpec::modulo());
         let s = p.run(ops.into_iter(), 2000);

@@ -60,7 +60,10 @@ pub fn is_irreducible(f: Poly) -> bool {
         None | Some(0) => return false,
         Some(n) => n,
     };
-    assert!(n <= MAX_DEGREE, "degree {n} exceeds MAX_DEGREE {MAX_DEGREE}");
+    assert!(
+        n <= MAX_DEGREE,
+        "degree {n} exceeds MAX_DEGREE {MAX_DEGREE}"
+    );
     if n == 1 {
         return true;
     }

@@ -40,7 +40,11 @@ impl BitMatrix {
     /// Panics if `cols > 64` or any row has a bit set at or beyond `cols`.
     pub fn from_rows(rows: Vec<u64>, cols: u32) -> Self {
         assert!(cols <= 64, "at most 64 columns supported");
-        let valid = if cols == 64 { u64::MAX } else { (1u64 << cols) - 1 };
+        let valid = if cols == 64 {
+            u64::MAX
+        } else {
+            (1u64 << cols) - 1
+        };
         for (i, &row) in rows.iter().enumerate() {
             assert!(
                 row & !valid == 0,
@@ -144,9 +148,7 @@ impl BitMatrix {
         let mut rows = self.rows.clone();
         let mut rank = 0u32;
         for col in 0..self.cols {
-            let Some(pivot) = (rank as usize..rows.len())
-                .find(|&r| rows[r] >> col & 1 == 1)
-            else {
+            let Some(pivot) = (rank as usize..rows.len()).find(|&r| rows[r] >> col & 1 == 1) else {
                 continue;
             };
             rows.swap(rank as usize, pivot);
@@ -183,7 +185,11 @@ impl BitMatrix {
     /// Panics if the range exceeds the column count.
     pub fn restrict_columns(&self, lo: u32, width: u32) -> BitMatrix {
         assert!(lo + width <= self.cols, "column range out of bounds");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         BitMatrix {
             rows: self.rows.iter().map(|&r| (r >> lo) & mask).collect(),
             cols: width,

@@ -119,6 +119,40 @@ impl XorTree {
         out
     }
 
+    /// Synthesises the full lookup table of this hash over the low `bits`
+    /// input bits: entry `a` is `self.apply(a)` for every
+    /// `a < 2^bits`.
+    ///
+    /// Because the hash is GF(2)-linear, the table is built incrementally
+    /// in `O(2^bits)` word operations — each entry XORs the contribution
+    /// of its lowest set bit into the entry with that bit cleared —
+    /// instead of `O(2^bits · m)` mask-and-popcount evaluations. This is
+    /// the construction the LUT-compiled placement functions
+    /// (`cac_core::index::IndexTable`) rely on to make cache construction
+    /// cheap enough for large sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 26` (a 256 MiB table — almost certainly a bug)
+    /// or `bits > input_bits` (entries beyond the wired inputs would all
+    /// alias).
+    pub fn apply_table(&self, bits: u32) -> Vec<u32> {
+        assert!(bits <= 26, "table over {bits} bits is unreasonably large");
+        assert!(
+            bits <= self.input_bits,
+            "table bits {bits} exceed wired input bits {}",
+            self.input_bits
+        );
+        // Contribution of each single input bit.
+        let unit: Vec<u32> = (0..bits).map(|j| self.apply(1u64 << j) as u32).collect();
+        let mut table = vec![0u32; 1usize << bits];
+        for a in 1..table.len() {
+            let low = a.trailing_zeros();
+            table[a] = table[a & (a - 1)] ^ unit[low as usize];
+        }
+        table
+    }
+
     /// Fan-in of the XOR gate producing output bit `i` (number of input
     /// bits wired into it).
     ///
@@ -133,7 +167,10 @@ impl XorTree {
     /// Maximum XOR fan-in over all output bits. The paper reports this is at
     /// most 5 for the degree-7 polynomials used in its experiments (§3.4).
     pub fn max_fan_in(&self) -> u32 {
-        (0..self.output_bits).map(|i| self.fan_in(i)).max().unwrap_or(0)
+        (0..self.output_bits)
+            .map(|i| self.fan_in(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Estimated gate depth of a balanced tree of 2-input XOR gates
@@ -330,5 +367,37 @@ mod tests {
     #[should_panic(expected = "modulus must be non-zero")]
     fn zero_modulus_rejected() {
         let _ = XorTree::new(Poly::ZERO, 8);
+    }
+
+    #[test]
+    fn apply_table_matches_apply_exhaustively() {
+        for degree in [3u32, 5, 7] {
+            let p = default_poly(degree);
+            let tree = XorTree::new(p, 14);
+            let table = tree.apply_table(14);
+            assert_eq!(table.len(), 1 << 14);
+            for (a, &entry) in table.iter().enumerate() {
+                assert_eq!(
+                    u64::from(entry),
+                    tree.apply(a as u64),
+                    "deg {degree} a={a:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_table_over_fewer_bits_is_a_prefix() {
+        let tree = XorTree::new(default_poly(6), 20);
+        let small = tree.apply_table(10);
+        let large = tree.apply_table(12);
+        assert_eq!(small[..], large[..1 << 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed wired input bits")]
+    fn apply_table_wider_than_inputs_rejected() {
+        let tree = XorTree::new(default_poly(6), 10);
+        let _ = tree.apply_table(11);
     }
 }

@@ -241,9 +241,9 @@ mod tests {
         .into_iter()
         .map(|s| random_sweep(config(), s, 8192, 3).unwrap().bandwidth())
         .collect();
-        let (min, max) = bws
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        let (min, max) = bws.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &b| {
+            (lo.min(b), hi.max(b))
+        });
         assert!(max - min < 0.05, "{bws:?}");
         assert!(min > 0.6, "{bws:?}");
     }

@@ -1,0 +1,246 @@
+//! Minimal offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build environment has no crate registry, so this shim provides the
+//! subset of the Criterion API the workspace's `benches/` use —
+//! `Criterion`, `benchmark_group`, `Bencher::iter`, `Throughput`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple wall-clock measurement loop instead of Criterion's statistical
+//! machinery. Reported numbers are a median of per-batch means, printed as
+//! `time/iter` plus derived throughput when one was declared.
+//!
+//! Benches must set `harness = false` in the manifest (as real Criterion
+//! benches do); `criterion_main!` supplies `fn main`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point so `use criterion::black_box` works.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per measurement iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement settings shared by `Criterion` and groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measure: Duration,
+    samples: u32,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+            samples: 11,
+        }
+    }
+}
+
+/// Timing loop driver handed to the closure of `bench_function`.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Median ns/iter recorded by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, recording a median ns-per-iteration figure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating the per-call cost.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+        // Size batches so each sample runs ~measure/samples wall time.
+        let sample_ns = self.settings.measure.as_nanos() as f64 / f64::from(self.settings.samples);
+        let batch = ((sample_ns / per_call.max(1.0)) as u64).max(1);
+        let mut samples = Vec::with_capacity(self.settings.samples as usize);
+        for _ in 0..self.settings.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn report(id: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{id:<50} time: [{}]", format_ns(ns));
+    if let Some(t) = throughput {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = n as f64 * 1e9 / ns.max(1e-9);
+        line.push_str(&format!("  thrpt: [{}]", format_rate(per_sec, unit)));
+    }
+    println!("{line}");
+}
+
+/// Top-level harness object, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            settings: &self.settings,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(id, b.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Adjusts the sample count (accepted for API compatibility; the shim
+    /// keeps its sample count within a sane range).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = (n as u32).clamp(5, 101);
+        self
+    }
+
+    /// Shortens the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measure = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            settings: &self.settings,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{id}", self.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `fn main` running each group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let settings = Settings {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            samples: 5,
+        };
+        let mut b = Bencher {
+            settings: &settings,
+            ns_per_iter: 0.0,
+        };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("µs"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+        assert!(format_rate(2.5e9, "elem").contains("Gelem/s"));
+        assert!(format_rate(2.5e6, "elem").contains("Melem/s"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// is drawn uniformly from `len` (exclusive upper bound, as in proptest).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + (rng.next_u64() % span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_in_range() {
+        let mut rng = TestRng::new(4);
+        let s = vec(any::<u16>(), 2..9);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_tuples_work() {
+        let mut rng = TestRng::new(5);
+        let s = vec((any::<u32>(), any::<bool>()), 1..4);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Case-running machinery behind the `proptest!` macro.
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure (mirrors `proptest::test_runner::TestCaseError::fail`).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Maximum rejected draws before the property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases, otherwise default.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Deterministic xoshiro256++ stream for strategy draws.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a stream from a 64-bit seed (splitmix64 expansion).
+    pub fn new(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Drives one property over its configured number of cases.
+pub struct Runner {
+    config: Config,
+    seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner, honouring `PROPTEST_SEED` for reproduction.
+    pub fn new(config: Config) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5eed_cac0_ffee);
+        Runner { config, seed }
+    }
+
+    /// Runs `case` until `config.cases` cases are accepted, panicking with
+    /// the case seed on the first failure.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut draw = 0u64;
+        while accepted < self.config.cases {
+            // Each case gets an independent sub-stream so a failure can be
+            // reproduced from (seed, draw) alone.
+            let case_seed = self
+                .seed
+                .wrapping_add(draw.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::new(case_seed);
+            draw += 1;
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < self.config.max_global_rejects,
+                        "too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property failed after {accepted} passing case(s): {msg}\n\
+                         (reproduce with PROPTEST_SEED={} ; failing draw {})",
+                        self.seed,
+                        draw - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_configured_cases() {
+        let mut count = 0;
+        Runner::new(Config::with_cases(17)).run(|_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejections_are_redrawn() {
+        let mut total = 0;
+        Runner::new(Config::with_cases(5)).run(|rng| {
+            total += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::reject("odd only"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_seed() {
+        Runner::new(Config::with_cases(5)).run(|_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -5,10 +5,31 @@
 //! all "a set of ways, each with its own index function" — conventional
 //! caches just use the same function in every way. Fully-associative
 //! caches are the degenerate single-set geometry.
+//!
+//! # Hot-path architecture
+//!
+//! The access loop is built for trace-replay throughput:
+//!
+//! * **LUT-compiled placement.** The [`IndexSpec`] is compiled into a
+//!   [`cac_core::IndexTable`] at construction, so `set_index` on the
+//!   access path is a single bounds-checked table load — no dynamic
+//!   dispatch, no per-way hash evaluation (the paper's own argument:
+//!   the I-Poly hash is a constant-time XOR tree, §3).
+//! * **Struct-of-arrays storage.** Lines live in flat way-major arrays
+//!   (`tags`, `dirty`, `last_touch`, `fill_time`) indexed by
+//!   `way * sets + set`, with an invalid-tag sentinel instead of
+//!   `Option` wrappers — probes walk a contiguous tag array.
+//! * **Slot-precise probes.** [`Cache::probe_slot`] yields `(way, set)`,
+//!   so the hit path and the fill path never recompute an index the
+//!   probe already derived.
+//! * **Batched replay.** [`Cache::run_trace`]/[`Cache::run_refs`] replay
+//!   a whole trace and return the counters attributable to it, keeping
+//!   the per-reference loop inside the crate where it inlines.
 
 use crate::replacement::{ReplacementPolicy, Selector};
 use crate::stats::CacheStats;
-use cac_core::{CacheGeometry, Error, IndexFunction, IndexSpec};
+use cac_core::{CacheGeometry, Error, IndexFunction, IndexSpec, IndexTable};
+use cac_trace::{MemRef, TraceOp};
 use std::sync::Arc;
 
 /// Write handling. The paper's L1 is write-through / no-write-allocate
@@ -23,16 +44,11 @@ pub enum WritePolicy {
     WriteBackAllocate,
 }
 
-/// One resident cache line.
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    /// Block address (full — skewed indices cannot reconstruct the
-    /// address from a partial tag, so the simulator stores it whole).
-    block: u64,
-    dirty: bool,
-    last_touch: u64,
-    fill_time: u64,
-}
+/// Tag-array sentinel for an invalid line. Block addresses are byte
+/// addresses shifted right by the offset bits, and [`CacheGeometry`]
+/// enforces blocks of at least 2 bytes, so this value cannot collide
+/// with a real block address.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// Result of a single access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,9 +81,19 @@ pub struct Access {
 #[derive(Debug, Clone)]
 pub struct Cache {
     geom: CacheGeometry,
+    /// The placement function as built (kept for introspection and for
+    /// the rare schemes the LUT compiler cannot tabulate).
     index: Arc<dyn IndexFunction>,
-    /// `ways[w][set]`.
-    ways: Vec<Vec<Option<Line>>>,
+    /// LUT-compiled placement driving every access-path index lookup.
+    table: IndexTable,
+    sets: usize,
+    ways: usize,
+    /// Way-major tag array (`way * sets + set`); `INVALID_TAG` = empty.
+    tags: Vec<u64>,
+    /// Parallel per-line metadata, same indexing as `tags`.
+    dirty: Vec<bool>,
+    last_touch: Vec<u64>,
+    fill_time: Vec<u64>,
     selector: Selector,
     write_policy: WritePolicy,
     clock: u64,
@@ -172,7 +198,8 @@ impl Cache {
     }
 
     /// Builds a cache around an existing index function (for custom
-    /// placements not expressible as an [`IndexSpec`]).
+    /// placements not expressible as an [`IndexSpec`]). The function is
+    /// LUT-compiled here, exactly as the builder path does.
     pub fn from_parts(
         geom: CacheGeometry,
         index: Arc<dyn IndexFunction>,
@@ -181,10 +208,19 @@ impl Cache {
         seed: u64,
     ) -> Self {
         let sets = geom.num_sets() as usize;
+        let ways = geom.ways() as usize;
+        let lines = sets * ways;
+        let table = IndexTable::compile(index.clone());
         Cache {
             geom,
             index,
-            ways: vec![vec![None; sets]; geom.ways() as usize],
+            table,
+            sets,
+            ways,
+            tags: vec![INVALID_TAG; lines],
+            dirty: vec![false; lines],
+            last_touch: vec![0; lines],
+            fill_time: vec![0; lines],
             selector: Selector::new(replacement, seed),
             write_policy,
             clock: 0,
@@ -200,6 +236,11 @@ impl Cache {
     /// The placement function.
     pub fn index_fn(&self) -> &Arc<dyn IndexFunction> {
         &self.index
+    }
+
+    /// The LUT-compiled placement the access path actually consults.
+    pub fn index_table(&self) -> &IndexTable {
+        &self.table
     }
 
     /// The write policy.
@@ -219,11 +260,16 @@ impl Cache {
 
     /// Invalidates everything and clears statistics.
     pub fn flush(&mut self) {
-        for way in &mut self.ways {
-            way.fill(None);
-        }
+        self.tags.fill(INVALID_TAG);
+        self.dirty.fill(false);
         self.stats = CacheStats::new();
         self.clock = 0;
+    }
+
+    /// Flat storage slot of `(way, set)`.
+    #[inline]
+    fn slot(&self, way: u32, set: u32) -> usize {
+        way as usize * self.sets + set as usize
     }
 
     /// Non-mutating lookup: the way holding `addr`'s block, if resident.
@@ -234,10 +280,20 @@ impl Cache {
 
     /// Non-mutating lookup by block address.
     pub fn probe_block(&self, block: u64) -> Option<u32> {
-        (0..self.geom.ways()).find(|&w| {
-            let set = self.index.set_index(block, w) as usize;
-            matches!(&self.ways[w as usize][set], Some(line) if line.block == block)
-        })
+        self.probe_slot(block).map(|(way, _)| way)
+    }
+
+    /// Non-mutating lookup by block address, yielding both the way and
+    /// the set so callers never recompute the index.
+    #[inline]
+    pub fn probe_slot(&self, block: u64) -> Option<(u32, u32)> {
+        for w in 0..self.ways as u32 {
+            let set = self.table.set_index(block, w);
+            if self.tags[self.slot(w, set)] == block {
+                return Some((w, set));
+            }
+        }
+        None
     }
 
     /// `true` if the block containing `addr` is resident.
@@ -260,14 +316,11 @@ impl Cache {
     pub fn access(&mut self, addr: u64, is_write: bool) -> Access {
         let block = self.geom.block_addr(addr);
         self.clock += 1;
-        if let Some(w) = self.probe_block(block) {
-            let set = self.index.set_index(block, w) as usize;
-            let line = self.ways[w as usize][set]
-                .as_mut()
-                .expect("probe_block returned an occupied way");
-            line.last_touch = self.clock;
+        if let Some((w, set)) = self.probe_slot(block) {
+            let slot = self.slot(w, set);
+            self.last_touch[slot] = self.clock;
             if is_write && self.write_policy == WritePolicy::WriteBackAllocate {
-                line.dirty = true;
+                self.dirty[slot] = true;
             }
             if is_write {
                 self.stats.record_write(true);
@@ -287,8 +340,7 @@ impl Cache {
         } else {
             self.stats.record_read(false);
         }
-        let allocate =
-            !is_write || self.write_policy == WritePolicy::WriteBackAllocate;
+        let allocate = !is_write || self.write_policy == WritePolicy::WriteBackAllocate;
         if !allocate {
             return Access {
                 hit: false,
@@ -307,70 +359,94 @@ impl Cache {
         }
     }
 
+    /// Replays a full instruction trace, performing the memory references
+    /// and skipping everything else. Returns the counters attributable to
+    /// this trace (`stats after - stats before`); totals keep
+    /// accumulating in [`Cache::stats`] as with per-op calls, and the
+    /// counters are identical to what the equivalent
+    /// `for op { access(..) }` loop would produce.
+    pub fn run_trace<I>(&mut self, ops: I) -> CacheStats
+    where
+        I: IntoIterator<Item = TraceOp>,
+    {
+        self.run_refs(ops.into_iter().filter_map(|op| op.mem_ref()))
+    }
+
+    /// Replays a bare memory-reference trace; see [`Cache::run_trace`].
+    pub fn run_refs<I>(&mut self, refs: I) -> CacheStats
+    where
+        I: IntoIterator<Item = MemRef>,
+    {
+        let before = self.stats;
+        for r in refs {
+            self.access(r.addr, r.is_write);
+        }
+        self.stats - before
+    }
+
     /// Brings `block` into the cache (as by a miss fill), returning the
     /// way used and any evicted block address. Does not touch access
     /// statistics (eviction/writeback counters are updated).
     pub fn fill_block(&mut self, block: u64) -> (u32, Option<u64>) {
         self.clock += 1;
-        if let Some(w) = self.probe_block(block) {
+        if let Some((w, _)) = self.probe_slot(block) {
             return (w, None);
         }
         self.fill_line(block, false)
     }
 
     fn fill_line(&mut self, block: u64, dirty: bool) -> (u32, Option<u64>) {
-        // Prefer an invalid candidate slot.
-        let mut empty_way = None;
-        for w in 0..self.geom.ways() {
-            let set = self.index.set_index(block, w) as usize;
-            if self.ways[w as usize][set].is_none() {
-                empty_way = Some(w);
+        // Prefer an invalid candidate slot; otherwise let the policy pick
+        // among the candidate lines directly from the metadata arrays.
+        let mut chosen: Option<(u32, u32)> = None;
+        for w in 0..self.ways as u32 {
+            let set = self.table.set_index(block, w);
+            if self.tags[self.slot(w, set)] == INVALID_TAG {
+                chosen = Some((w, set));
                 break;
             }
         }
-        let (way, evicted) = match empty_way {
-            Some(w) => (w, None),
+        let ((way, set), evicted) = match chosen {
+            Some(ws) => (ws, None),
             None => {
-                let candidates: Vec<(u64, u64)> = (0..self.geom.ways())
-                    .map(|w| {
-                        let set = self.index.set_index(block, w) as usize;
-                        let line = self.ways[w as usize][set]
-                            .as_ref()
-                            .expect("all candidates valid");
-                        (line.last_touch, line.fill_time)
-                    })
-                    .collect();
-                let w = self.selector.choose(&candidates) as u32;
-                let set = self.index.set_index(block, w) as usize;
-                let victim = self.ways[w as usize][set]
-                    .take()
-                    .expect("victim slot valid");
+                // Disjoint field borrows: the selector mutates its RNG
+                // stream while the key closure reads the metadata arrays.
+                let (table, last_touch, fill_time, sets) =
+                    (&self.table, &self.last_touch, &self.fill_time, self.sets);
+                let w = self.selector.choose_by(self.ways, |w| {
+                    let set = table.set_index(block, w as u32) as usize;
+                    let slot = w * sets + set;
+                    (last_touch[slot], fill_time[slot])
+                }) as u32;
+                let set = self.table.set_index(block, w);
+                let slot = self.slot(w, set);
+                let victim = self.tags[slot];
+                debug_assert_ne!(victim, INVALID_TAG, "victim slot valid");
                 self.stats.evictions += 1;
-                if victim.dirty {
+                if self.dirty[slot] {
                     self.stats.writebacks += 1;
                 }
-                (w, Some(victim.block))
+                ((w, set), Some(victim))
             }
         };
-        let set = self.index.set_index(block, way) as usize;
-        self.ways[way as usize][set] = Some(Line {
-            block,
-            dirty,
-            last_touch: self.clock,
-            fill_time: self.clock,
-        });
+        let slot = self.slot(way, set);
+        self.tags[slot] = block;
+        self.dirty[slot] = dirty;
+        self.last_touch[slot] = self.clock;
+        self.fill_time[slot] = self.clock;
         (way, evicted)
     }
 
     /// Invalidates the line holding `block`, if resident. Returns `true`
     /// if a line was removed. Dirty lines are counted as writebacks.
     pub fn invalidate_block(&mut self, block: u64) -> bool {
-        if let Some(w) = self.probe_block(block) {
-            let set = self.index.set_index(block, w) as usize;
-            let line = self.ways[w as usize][set].take().expect("probed line");
+        if let Some((w, set)) = self.probe_slot(block) {
+            let slot = self.slot(w, set);
+            self.tags[slot] = INVALID_TAG;
             self.stats.invalidations += 1;
-            if line.dirty {
+            if self.dirty[slot] {
                 self.stats.writebacks += 1;
+                self.dirty[slot] = false;
             }
             true
         } else {
@@ -380,20 +456,14 @@ impl Cache {
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.ways
-            .iter()
-            .map(|w| w.iter().filter(|l| l.is_some()).count())
-            .sum()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 
     /// Iterates over the block addresses of all resident lines.
     pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
-        self.ways
-            .iter()
-            .flat_map(|w| w.iter().filter_map(|l| l.as_ref().map(|l| l.block)))
+        self.tags.iter().copied().filter(|&t| t != INVALID_TAG)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,5 +638,85 @@ mod tests {
         let mut blocks: Vec<u64> = c.resident_blocks().collect();
         blocks.sort_unstable();
         assert_eq!(blocks, vec![0, 1]);
+    }
+
+    #[test]
+    fn probe_slot_agrees_with_index_function() {
+        let mut c = Cache::build(paper_geom(), IndexSpec::ipoly_skewed()).unwrap();
+        for i in 0..200u64 {
+            c.read(i * 997);
+        }
+        for i in 0..200u64 {
+            let block = paper_geom().block_addr(i * 997);
+            if let Some((w, set)) = c.probe_slot(block) {
+                assert_eq!(set, c.index_fn().set_index(block, w));
+                assert_eq!(c.probe_block(block), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn run_refs_matches_per_op_loop_exactly() {
+        let refs: Vec<cac_trace::MemRef> = (0..5000u64)
+            .map(|i| cac_trace::MemRef {
+                pc: 0x1000 + i,
+                addr: (i.wrapping_mul(0x9E37_79B9) >> 5) & 0xF_FFFF,
+                is_write: i % 7 == 0,
+            })
+            .collect();
+        for spec in [
+            IndexSpec::modulo(),
+            IndexSpec::ipoly_skewed(),
+            IndexSpec::prime(),
+        ] {
+            let mut batched = Cache::build(paper_geom(), spec.clone()).unwrap();
+            let mut manual = Cache::build(paper_geom(), spec.clone()).unwrap();
+            let delta = batched.run_refs(refs.iter().copied());
+            for r in &refs {
+                manual.access(r.addr, r.is_write);
+            }
+            assert_eq!(batched.stats(), manual.stats(), "{spec}");
+            assert_eq!(delta, manual.stats(), "{spec} delta");
+            // Contents agree too, not just counters.
+            let mut a: Vec<u64> = batched.resident_blocks().collect();
+            let mut b: Vec<u64> = manual.resident_blocks().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{spec}");
+        }
+    }
+
+    #[test]
+    fn run_trace_skips_non_memory_ops_and_returns_delta() {
+        use cac_trace::{OpClass, TraceOp};
+        let mut c = Cache::build(paper_geom(), IndexSpec::ipoly()).unwrap();
+        c.read(0x40); // pre-existing traffic: delta must exclude it
+        let ops = vec![
+            TraceOp::compute(0x400, OpClass::IntAlu, 1, [None, None]),
+            TraceOp::load(0x404, 0x80, 2, None),
+            TraceOp::branch(0x408, true, 0x400, Some(1)),
+            TraceOp::store(0x40c, 0x80, 2, None),
+        ];
+        let delta = c.run_trace(ops);
+        assert_eq!(delta.accesses, 2);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.writes, 1);
+        assert_eq!(c.stats().accesses, 3);
+    }
+
+    #[test]
+    fn index_table_is_compiled_for_paper_schemes() {
+        for spec in [
+            IndexSpec::modulo(),
+            IndexSpec::xor_skewed(),
+            IndexSpec::ipoly_skewed(),
+        ] {
+            let c = Cache::build(paper_geom(), spec).unwrap();
+            assert!(c.index_table().is_compiled());
+        }
+        // The prime baseline inspects every address bit and keeps the
+        // computed path — behaviour, not speed, is what must match.
+        let c = Cache::build(paper_geom(), IndexSpec::prime()).unwrap();
+        assert!(!c.index_table().is_compiled());
     }
 }

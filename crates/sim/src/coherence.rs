@@ -175,8 +175,8 @@ impl SnoopingBus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cac_core::{CacheGeometry, IndexSpec};
     use crate::vm::PageMapper;
+    use cac_core::{CacheGeometry, IndexSpec};
 
     fn node() -> TwoLevelHierarchy {
         TwoLevelHierarchy::new(

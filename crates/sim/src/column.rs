@@ -117,10 +117,19 @@ pub struct ColumnAssociative {
     tree: XorTree,
     rehash: RehashKind,
     mask: u64,
-    /// One block address per line (direct-mapped storage).
-    lines: Vec<Option<u64>>,
+    /// LUT over the tree's input bits so the second-probe index is a
+    /// single load on the access path (same trick as
+    /// `cac_core::IndexTable`); `None` when the input is too wide.
+    poly_lut: Option<Vec<u32>>,
+    /// One block address per line (flat direct-mapped storage;
+    /// `INVALID_LINE` = empty).
+    lines: Vec<u64>,
     stats: ColumnStats,
 }
+
+/// Sentinel for an empty line (cannot collide with a real block address;
+/// see `cac_sim::cache`).
+const INVALID_LINE: u64 = u64::MAX;
 
 impl ColumnAssociative {
     /// Creates the cache with the polynomial rehash. The geometry is
@@ -147,12 +156,15 @@ impl ColumnAssociative {
         // bits) or 2m bits, whichever is larger, for the rehash probe.
         let v = (19u32.saturating_sub(dm.offset_bits())).max(2 * m).min(40);
         let poly = min_fan_in_poly(m, v);
+        let tree = XorTree::new(poly, v);
+        let poly_lut = (rehash == RehashKind::Polynomial && v <= 20).then(|| tree.apply_table(v));
         Ok(ColumnAssociative {
             geom: dm,
-            tree: XorTree::new(poly, v),
+            tree,
             rehash,
             mask: u64::from(dm.num_sets() - 1),
-            lines: vec![None; dm.num_sets() as usize],
+            poly_lut,
+            lines: vec![INVALID_LINE; dm.num_sets() as usize],
             stats: ColumnStats::default(),
         })
     }
@@ -177,10 +189,11 @@ impl ColumnAssociative {
     #[inline]
     pub fn polynomial_index(&self, block: u64) -> usize {
         match self.rehash {
-            RehashKind::Polynomial => self.tree.apply(block) as usize,
-            RehashKind::TopBitFlip => {
-                ((block & self.mask) ^ (self.mask / 2 + 1)) as usize
-            }
+            RehashKind::Polynomial => match &self.poly_lut {
+                Some(lut) => lut[(block & (lut.len() as u64 - 1)) as usize] as usize,
+                None => self.tree.apply(block) as usize,
+            },
+            RehashKind::TopBitFlip => ((block & self.mask) ^ (self.mask / 2 + 1)) as usize,
         }
     }
 
@@ -189,7 +202,7 @@ impl ColumnAssociative {
     fn demote(&mut self, occupant: u64, slot: usize) {
         let alt = self.polynomial_index(occupant);
         if alt != slot {
-            self.lines[alt] = Some(occupant);
+            self.lines[alt] = occupant;
         }
         // else: occupant was already in its alternative (or only) home
         // and is simply evicted by the caller overwriting `slot`.
@@ -200,36 +213,38 @@ impl ColumnAssociative {
         self.stats.accesses += 1;
         let block = self.geom.block_addr(addr);
         let i1 = self.conventional_index(block);
-        if self.lines[i1] == Some(block) {
+        if self.lines[i1] == block {
             self.stats.first_probe_hits += 1;
             return ColumnAccess::FirstProbeHit;
         }
         let i2 = self.polynomial_index(block);
-        if i2 != i1 && self.lines[i2] == Some(block) {
+        if i2 != i1 && self.lines[i2] == block {
             // Promote the MRU line to its conventional home so the first
             // probe finds it next time; the displaced occupant moves to
             // its *own* polynomial home.
-            self.lines[i2] = None;
-            if let Some(occupant) = self.lines[i1] {
+            self.lines[i2] = INVALID_LINE;
+            let occupant = self.lines[i1];
+            if occupant != INVALID_LINE {
                 self.demote(occupant, i1);
             }
-            self.lines[i1] = Some(block);
+            self.lines[i1] = block;
             self.stats.second_probe_hits += 1;
             return ColumnAccess::SecondProbeHit;
         }
         // Miss: the incoming block takes its conventional home; the
         // occupant is demoted to its own polynomial home.
-        if let Some(occupant) = self.lines[i1] {
+        let occupant = self.lines[i1];
+        if occupant != INVALID_LINE {
             self.demote(occupant, i1);
         }
-        self.lines[i1] = Some(block);
+        self.lines[i1] = block;
         self.stats.misses += 1;
         ColumnAccess::Miss
     }
 
     /// Number of valid lines.
     pub fn resident_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.is_some()).count()
+        self.lines.iter().filter(|&&l| l != INVALID_LINE).count()
     }
 }
 
@@ -294,7 +309,7 @@ mod tests {
         let (a, b) = conflicting_pair(&c);
         c.read(a);
         c.read(b); // b takes the conventional slot, a demoted
-        // First access to a is a second-probe hit, which promotes it...
+                   // First access to a is a second-probe hit, which promotes it...
         assert_eq!(c.read(a), ColumnAccess::SecondProbeHit);
         // ...so the next access to a hits at the first probe.
         assert_eq!(c.read(a), ColumnAccess::FirstProbeHit);

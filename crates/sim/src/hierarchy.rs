@@ -17,7 +17,9 @@ use crate::cache::{Cache, WritePolicy};
 use crate::stats::CacheStats;
 use crate::vm::PageMapper;
 use cac_core::{CacheGeometry, Error, IndexSpec};
+use cac_trace::{MemRef, TraceOp};
 use std::collections::HashMap;
+use std::ops::Sub;
 
 /// Counters specific to the two-level hierarchy.
 ///
@@ -39,6 +41,34 @@ pub struct HierarchyStats {
     pub external_invalidations_l1: u64,
     /// L2 lines invalidated by external coherency actions.
     pub external_invalidations_l2: u64,
+}
+
+/// Field-wise difference, for batched-replay deltas.
+impl Sub for HierarchyStats {
+    type Output = HierarchyStats;
+    fn sub(self, rhs: HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            inclusion_invalidations: self.inclusion_invalidations - rhs.inclusion_invalidations,
+            holes_created: self.holes_created - rhs.holes_created,
+            alias_invalidations: self.alias_invalidations - rhs.alias_invalidations,
+            external_invalidations_l1: self.external_invalidations_l1
+                - rhs.external_invalidations_l1,
+            external_invalidations_l2: self.external_invalidations_l2
+                - rhs.external_invalidations_l2,
+        }
+    }
+}
+
+/// Counters attributable to one batched replay
+/// ([`TwoLevelHierarchy::run_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyRun {
+    /// L1 counters for the replayed trace.
+    pub l1: CacheStats,
+    /// L2 counters for the replayed trace.
+    pub l2: CacheStats,
+    /// Hierarchy (hole/alias/inclusion) counters for the replayed trace.
+    pub hierarchy: HierarchyStats,
 }
 
 /// What an external (bus) invalidation found in this node.
@@ -206,6 +236,35 @@ impl TwoLevelHierarchy {
         HierarchyAccess {
             l1_hit: false,
             l2_hit: l2_res.hit,
+        }
+    }
+
+    /// Replays a full instruction trace through the hierarchy, performing
+    /// the memory references and skipping everything else. Returns the
+    /// counters attributable to this trace; totals keep accumulating as
+    /// with per-op calls, and the counters are identical to what the
+    /// equivalent `for op { access(..) }` loop would produce.
+    pub fn run_trace<I>(&mut self, ops: I) -> HierarchyRun
+    where
+        I: IntoIterator<Item = TraceOp>,
+    {
+        self.run_refs(ops.into_iter().filter_map(|op| op.mem_ref()))
+    }
+
+    /// Replays a bare memory-reference trace; see
+    /// [`TwoLevelHierarchy::run_trace`].
+    pub fn run_refs<I>(&mut self, refs: I) -> HierarchyRun
+    where
+        I: IntoIterator<Item = MemRef>,
+    {
+        let (l1, l2, h) = (self.l1.stats(), self.l2.stats(), self.stats);
+        for r in refs {
+            self.access(r.addr, r.is_write);
+        }
+        HierarchyRun {
+            l1: self.l1.stats() - l1,
+            l2: self.l2.stats() - l2,
+            hierarchy: self.stats - h,
         }
     }
 

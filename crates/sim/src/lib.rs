@@ -38,6 +38,23 @@
 //!   enforcement, virtual-alias control, and measurement of the *holes*
 //!   the paper models analytically.
 //!
+//! # Hot-path architecture
+//!
+//! The simulators are built for billions of replayed references (see the
+//! module docs of [`cache`] for the full picture):
+//!
+//! * placement functions are LUT-compiled ([`cac_core::IndexTable`]) at
+//!   construction — `set_index` is a single table load, with no dynamic
+//!   dispatch on the access path;
+//! * cache lines live in flat way-major struct-of-arrays storage with an
+//!   invalid-tag sentinel, and probes return `(way, set)` so hit and
+//!   fill paths never recompute an index;
+//! * whole traces replay through the batched APIs
+//!   ([`cache::Cache::run_trace`], [`hierarchy::TwoLevelHierarchy::run_trace`]),
+//!   which return per-trace [`CacheStats`] deltas that are byte-identical
+//!   to an equivalent per-op loop (`crates/sim/tests/replay_equivalence.rs`
+//!   holds the guards).
+//!
 //! # Example
 //!
 //! ```

@@ -145,10 +145,7 @@ mod tests {
     #[test]
     fn allocate_and_merge() {
         let mut m = MshrFile::new(2);
-        assert_eq!(
-            m.request(1, 0, 20),
-            MshrOutcome::Allocated { ready_at: 20 }
-        );
+        assert_eq!(m.request(1, 0, 20), MshrOutcome::Allocated { ready_at: 20 });
         assert_eq!(m.request(1, 5, 20), MshrOutcome::Merged { ready_at: 20 });
         assert_eq!(m.in_flight(), 1);
         assert_eq!(m.stats().primary, 1);
@@ -190,10 +187,7 @@ mod tests {
     fn paper_configuration_eight_outstanding() {
         let mut m = MshrFile::new(8);
         for b in 0..8u64 {
-            assert!(matches!(
-                m.request(b, 0, 20),
-                MshrOutcome::Allocated { .. }
-            ));
+            assert!(matches!(m.request(b, 0, 20), MshrOutcome::Allocated { .. }));
         }
         assert_eq!(m.request(9, 0, 20), MshrOutcome::Full);
     }

@@ -263,7 +263,10 @@ impl DynamicIndexCache {
 
     fn recompute_mode(&mut self) {
         let want = if !self.segments.is_empty()
-            && self.segments.iter().all(|s| s.page_size() >= self.threshold)
+            && self
+                .segments
+                .iter()
+                .all(|s| s.page_size() >= self.threshold)
         {
             IndexMode::IPoly
         } else {
@@ -282,8 +285,8 @@ impl DynamicIndexCache {
         self.flushes += 1;
         self.flushed_lines += self.cache.resident_lines() as u64;
         self.accumulated += self.cache.stats();
-        self.cache = Cache::build(self.geom, spec)
-            .expect("both specs validated at construction time");
+        self.cache =
+            Cache::build(self.geom, spec).expect("both specs validated at construction time");
         self.mode = mode;
     }
 }

@@ -51,29 +51,35 @@ impl Selector {
 
     /// Picks the victim among candidates described by
     /// `(last_touch, fill_time)` pairs. Returns the index of the chosen
-    /// candidate.
+    /// candidate. Slice-based convenience over [`Selector::choose_by`],
+    /// kept for tests; the simulators use the allocation-free form.
     ///
     /// # Panics
     ///
     /// Panics if `candidates` is empty.
+    #[cfg(test)]
     pub(crate) fn choose(&mut self, candidates: &[(u64, u64)]) -> usize {
-        assert!(!candidates.is_empty(), "no replacement candidates");
+        self.choose_by(candidates.len(), |i| candidates[i])
+    }
+
+    /// Allocation-free variant of [`Selector::choose`]: `key(i)` yields
+    /// the `(last_touch, fill_time)` pair of candidate `i < n`. This is
+    /// the form the simulator hot paths use — the candidate metadata
+    /// lives in the cache's flat arrays and never needs collecting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub(crate) fn choose_by<F: FnMut(usize) -> (u64, u64)>(
+        &mut self,
+        n: usize,
+        mut key: F,
+    ) -> usize {
+        assert!(n != 0, "no replacement candidates");
         match self.policy {
-            ReplacementPolicy::Lru => candidates
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &(last, _))| last)
-                .map(|(i, _)| i)
-                .unwrap(),
-            ReplacementPolicy::Fifo => candidates
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &(_, fill))| fill)
-                .map(|(i, _)| i)
-                .unwrap(),
-            ReplacementPolicy::Random => {
-                (self.next_random() % candidates.len() as u64) as usize
-            }
+            ReplacementPolicy::Lru => (0..n).min_by_key(|&i| key(i).0).expect("n >= 1"),
+            ReplacementPolicy::Fifo => (0..n).min_by_key(|&i| key(i).1).expect("n >= 1"),
+            ReplacementPolicy::Random => (self.next_random() % n as u64) as usize,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Access and miss counters shared by every cache organization.
 
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Running counters for one cache (or one level of a hierarchy).
 ///
@@ -113,6 +113,31 @@ impl Add for CacheStats {
 impl AddAssign for CacheStats {
     fn add_assign(&mut self, rhs: CacheStats) {
         *self = *self + rhs;
+    }
+}
+
+/// Field-wise difference; used by the batched-replay APIs to report the
+/// counters attributable to one trace (`after - before`).
+///
+/// # Panics
+///
+/// Panics in debug builds if any counter of `rhs` exceeds the
+/// corresponding counter of `self` (the subtraction underflows).
+impl Sub for CacheStats {
+    type Output = CacheStats;
+    fn sub(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - rhs.accesses,
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+            read_misses: self.read_misses - rhs.read_misses,
+            write_misses: self.write_misses - rhs.write_misses,
+            evictions: self.evictions - rhs.evictions,
+            invalidations: self.invalidations - rhs.invalidations,
+            writebacks: self.writebacks - rhs.writebacks,
+        }
     }
 }
 

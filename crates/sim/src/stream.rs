@@ -319,16 +319,15 @@ mod tests {
     fn head_only_policy() {
         let mut c = StreamBufferCache::new(geom(), 1, 4).unwrap();
         c.read(0); // allocates stream prefetching blocks 1..=4
-        // Skipping the head (block 1) to block 2 is NOT a stream hit under
-        // the head-only policy: it reallocates the buffer.
+                   // Skipping the head (block 1) to block 2 is NOT a stream hit under
+                   // the head-only policy: it reallocates the buffer.
         assert_eq!(c.read(2 * 32), StreamOutcome::Miss);
     }
 
     #[test]
     fn works_with_ipoly_placement() {
         let g2 = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
-        let mut c =
-            StreamBufferCache::with_spec(g2, IndexSpec::ipoly_skewed(), 4, 4).unwrap();
+        let mut c = StreamBufferCache::with_spec(g2, IndexSpec::ipoly_skewed(), 4, 4).unwrap();
         for i in 0..512u64 {
             c.read(i * 32);
         }

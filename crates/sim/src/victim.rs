@@ -110,24 +110,24 @@ impl VictimCache {
     pub fn read(&mut self, addr: u64) -> VictimAccess {
         self.stats.accesses += 1;
         let block = self.main.geometry().block_addr(addr);
-        if self.main.contains(addr) {
-            self.main.read(addr);
+        // One main-cache access resolves hit/miss and performs the fill
+        // on a miss (reads always allocate) — no separate pre-probe.
+        let access = self.main.read(addr);
+        if access.hit {
             self.stats.main_hits += 1;
             return VictimAccess {
                 main_hit: true,
                 victim_hit: false,
             };
         }
-        // Probe the victim buffer.
+        // Miss: probe the victim buffer (a hit there means the fill that
+        // just happened was the swap-back) and catch the displaced line.
         let victim_hit = if let Some(pos) = self.buffer.iter().position(|&b| b == block) {
             self.buffer.remove(pos);
             true
         } else {
             false
         };
-        // Fill the main cache either way (a victim-buffer hit swaps the
-        // line back in); the displaced line drops into the buffer.
-        let access = self.main.read(addr);
         if let Some(evicted) = access.evicted {
             self.push_victim(evicted);
         }

@@ -140,8 +140,9 @@ impl PageMapper {
     pub fn page_size(&self) -> u64 {
         match self {
             PageMapper::Identity => MIN_PAGE_SIZE,
-            PageMapper::Randomized { page_size, .. }
-            | PageMapper::Aliased { page_size, .. } => *page_size,
+            PageMapper::Randomized { page_size, .. } | PageMapper::Aliased { page_size, .. } => {
+                *page_size
+            }
         }
     }
 }

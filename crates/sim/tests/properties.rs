@@ -9,9 +9,8 @@ use cac_sim::vm::PageMapper;
 use proptest::prelude::*;
 
 fn geometries() -> impl Strategy<Value = CacheGeometry> {
-    (10u32..15, 5u32..7, 0u32..2).prop_map(|(cap, blk, way)| {
-        CacheGeometry::new(1u64 << cap, 1u64 << blk, 1 << way).unwrap()
-    })
+    (10u32..15, 5u32..7, 0u32..2)
+        .prop_map(|(cap, blk, way)| CacheGeometry::new(1u64 << cap, 1u64 << blk, 1 << way).unwrap())
 }
 
 fn specs() -> impl Strategy<Value = IndexSpec> {

@@ -119,10 +119,7 @@ fn reg(r: Option<u8>) -> String {
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_trace<W: Write, I: IntoIterator<Item = TraceOp>>(
-    mut w: W,
-    ops: I,
-) -> io::Result<()> {
+pub fn write_trace<W: Write, I: IntoIterator<Item = TraceOp>>(mut w: W, ops: I) -> io::Result<()> {
     for op in ops {
         match op.class {
             OpClass::Load => writeln!(
@@ -362,22 +359,19 @@ mod tests {
         assert_eq!(results.len(), 2, "iteration stops at the first error");
         assert!(results[0].is_ok());
         let err = results[1].as_ref().unwrap_err();
-        assert!(matches!(
-            err,
-            ParseTraceError::Malformed { line: 2, .. }
-        ));
+        assert!(matches!(err, ParseTraceError::Malformed { line: 2, .. }));
         assert!(err.to_string().contains("line 2"));
     }
 
     #[test]
     fn malformed_fields_are_rejected() {
         for bad in [
-            "L 0x400 0x1000 - -",      // load without destination
-            "L 0x400 0x1000 64 -",     // register out of range
-            "L 0x400 zzz 5 -",         // bad number
-            "B 0x400 2 0x400 -",       // bad taken flag
-            "C 0x400 nosuch 1 - -",    // unknown class
-            "S 0x400 0x1000 1",        // missing field
+            "L 0x400 0x1000 - -",   // load without destination
+            "L 0x400 0x1000 64 -",  // register out of range
+            "L 0x400 zzz 5 -",      // bad number
+            "B 0x400 2 0x400 -",    // bad taken flag
+            "C 0x400 nosuch 1 - -", // unknown class
+            "S 0x400 0x1000 1",     // missing field
         ] {
             let mut it = read_trace(bad.as_bytes());
             assert!(matches!(it.next(), Some(Err(_))), "{bad:?} should fail");

@@ -74,10 +74,26 @@ impl FftButterfly {
             let a0 = base + lo * elem;
             let a1 = base + hi * elem;
             [
-                MemRef { pc: 0x100, addr: a0, is_write: false },
-                MemRef { pc: 0x104, addr: a1, is_write: false },
-                MemRef { pc: 0x108, addr: a0, is_write: true },
-                MemRef { pc: 0x10c, addr: a1, is_write: true },
+                MemRef {
+                    pc: 0x100,
+                    addr: a0,
+                    is_write: false,
+                },
+                MemRef {
+                    pc: 0x104,
+                    addr: a1,
+                    is_write: false,
+                },
+                MemRef {
+                    pc: 0x108,
+                    addr: a0,
+                    is_write: true,
+                },
+                MemRef {
+                    pc: 0x10c,
+                    addr: a1,
+                    is_write: true,
+                },
             ]
         })
     }
@@ -95,10 +111,26 @@ impl FftButterfly {
                 let a0 = base + i * elem;
                 let a1 = base + j * elem;
                 vec![
-                    MemRef { pc: 0x200, addr: a0, is_write: false },
-                    MemRef { pc: 0x204, addr: a1, is_write: false },
-                    MemRef { pc: 0x208, addr: a0, is_write: true },
-                    MemRef { pc: 0x20c, addr: a1, is_write: true },
+                    MemRef {
+                        pc: 0x200,
+                        addr: a0,
+                        is_write: false,
+                    },
+                    MemRef {
+                        pc: 0x204,
+                        addr: a1,
+                        is_write: false,
+                    },
+                    MemRef {
+                        pc: 0x208,
+                        addr: a0,
+                        is_write: true,
+                    },
+                    MemRef {
+                        pc: 0x20c,
+                        addr: a1,
+                        is_write: true,
+                    },
                 ]
             } else {
                 Vec::new()
@@ -150,11 +182,31 @@ impl Stencil5 {
         (1..self.rows - 1).flat_map(move |r| {
             (1..self.cols - 1).flat_map(move |c| {
                 [
-                    MemRef { pc: 0x300, addr: self.addr(r, c), is_write: false },
-                    MemRef { pc: 0x304, addr: self.addr(r - 1, c), is_write: false },
-                    MemRef { pc: 0x308, addr: self.addr(r + 1, c), is_write: false },
-                    MemRef { pc: 0x30c, addr: self.addr(r, c - 1), is_write: false },
-                    MemRef { pc: 0x310, addr: self.addr(r, c + 1), is_write: false },
+                    MemRef {
+                        pc: 0x300,
+                        addr: self.addr(r, c),
+                        is_write: false,
+                    },
+                    MemRef {
+                        pc: 0x304,
+                        addr: self.addr(r - 1, c),
+                        is_write: false,
+                    },
+                    MemRef {
+                        pc: 0x308,
+                        addr: self.addr(r + 1, c),
+                        is_write: false,
+                    },
+                    MemRef {
+                        pc: 0x30c,
+                        addr: self.addr(r, c - 1),
+                        is_write: false,
+                    },
+                    MemRef {
+                        pc: 0x310,
+                        addr: self.addr(r, c + 1),
+                        is_write: false,
+                    },
                     MemRef {
                         pc: 0x314,
                         addr: out_base + r * self.pitch + c * self.elem_size,
@@ -208,7 +260,11 @@ impl CsrSpmv {
         let s = *self;
         (0..s.rows).flat_map(move |r| {
             let mut refs = Vec::with_capacity(2 + 3 * s.nnz_per_row as usize);
-            refs.push(MemRef { pc: 0x400, addr: s.row_ptr_base + r * 4, is_write: false });
+            refs.push(MemRef {
+                pc: 0x400,
+                addr: s.row_ptr_base + r * 4,
+                is_write: false,
+            });
             for k in 0..s.nnz_per_row {
                 let nz = r * s.nnz_per_row + k;
                 // SplitMix-style hash for the column index.
@@ -216,11 +272,27 @@ impl CsrSpmv {
                 z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 let col = (z ^ (z >> 31)) % s.x_len;
-                refs.push(MemRef { pc: 0x404, addr: s.col_val_base + nz * 4, is_write: false });
-                refs.push(MemRef { pc: 0x408, addr: s.col_val_base + (s.rows * s.nnz_per_row) * 4 + nz * 8, is_write: false });
-                refs.push(MemRef { pc: 0x40c, addr: s.x_base + col * 8, is_write: false });
+                refs.push(MemRef {
+                    pc: 0x404,
+                    addr: s.col_val_base + nz * 4,
+                    is_write: false,
+                });
+                refs.push(MemRef {
+                    pc: 0x408,
+                    addr: s.col_val_base + (s.rows * s.nnz_per_row) * 4 + nz * 8,
+                    is_write: false,
+                });
+                refs.push(MemRef {
+                    pc: 0x40c,
+                    addr: s.x_base + col * 8,
+                    is_write: false,
+                });
             }
-            refs.push(MemRef { pc: 0x410, addr: s.y_base + r * 8, is_write: true });
+            refs.push(MemRef {
+                pc: 0x410,
+                addr: s.y_base + r * 8,
+                is_write: true,
+            });
             refs
         })
     }
@@ -299,10 +371,26 @@ impl TiledMatMul {
                         (0..s.tile).flat_map(move |kk| {
                             let k = k0 + kk;
                             [
-                                MemRef { pc: 0x500, addr: s.a(i, k), is_write: false },
-                                MemRef { pc: 0x504, addr: s.b(k, j), is_write: false },
-                                MemRef { pc: 0x508, addr: s.c(i, j), is_write: false },
-                                MemRef { pc: 0x50c, addr: s.c(i, j), is_write: true },
+                                MemRef {
+                                    pc: 0x500,
+                                    addr: s.a(i, k),
+                                    is_write: false,
+                                },
+                                MemRef {
+                                    pc: 0x504,
+                                    addr: s.b(k, j),
+                                    is_write: false,
+                                },
+                                MemRef {
+                                    pc: 0x508,
+                                    addr: s.c(i, j),
+                                    is_write: false,
+                                },
+                                MemRef {
+                                    pc: 0x50c,
+                                    addr: s.c(i, j),
+                                    is_write: true,
+                                },
                             ]
                         })
                     })
@@ -390,7 +478,10 @@ mod tests {
         assert_eq!(a.len(), 16 * (1 + 4 * 3 + 1));
         assert_eq!(a.iter().filter(|r| r.is_write).count(), 16);
         // Gathers stay inside x.
-        for r in a.iter().filter(|r| r.addr >= 0x3000_0000 && r.addr < 0x4000_0000) {
+        for r in a
+            .iter()
+            .filter(|r| r.addr >= 0x3000_0000 && r.addr < 0x4000_0000)
+        {
             assert!(r.addr < 0x3000_0000 + 1024 * 8);
         }
     }

@@ -154,8 +154,8 @@ impl SpecBenchmark {
     pub fn all() -> [SpecBenchmark; 18] {
         use SpecBenchmark::*;
         [
-            Go, M88ksim, Gcc, Compress, Li, Ijpeg, Perl, Vortex, Tomcatv, Swim, Su2cor,
-            Hydro2d, Applu, Mgrid, Turb3d, Apsi, Fpppp, Wave5,
+            Go, M88ksim, Gcc, Compress, Li, Ijpeg, Perl, Vortex, Tomcatv, Swim, Su2cor, Hydro2d,
+            Applu, Mgrid, Turb3d, Apsi, Fpppp, Wave5,
         ]
     }
 
@@ -225,8 +225,12 @@ impl SpecBenchmark {
                 k.data_branch_prob = 0.18;
             }
             Ijpeg => {
-                k.loads =
-                    [hot_arrays(7), seq_streams(1), short_conflict_arrays_every(3, 32)].concat();
+                k.loads = [
+                    hot_arrays(7),
+                    seq_streams(1),
+                    short_conflict_arrays_every(3, 32),
+                ]
+                .concat();
                 k.int_ops = 6;
                 k.int_mul_every = 4;
                 k.stores = store_stream();
@@ -380,23 +384,55 @@ impl SpecBenchmark {
         };
         match self {
             Go => r("go", 1.00, 5.45, 0.87, 0.88, 10.87, 0.87, 10.60, 0.83, 0.84),
-            M88ksim => r("m88ksim", 1.56, 1.41, 1.53, 1.53, 2.62, 1.52, 2.89, 1.49, 1.51),
-            Gcc => r("gcc", 1.16, 5.63, 1.04, 1.05, 10.01, 1.03, 10.77, 0.98, 0.99),
-            Compress => r("compress", 1.13, 12.96, 1.12, 1.13, 13.63, 1.11, 14.17, 1.07, 1.10),
+            M88ksim => r(
+                "m88ksim", 1.56, 1.41, 1.53, 1.53, 2.62, 1.52, 2.89, 1.49, 1.51,
+            ),
+            Gcc => r(
+                "gcc", 1.16, 5.63, 1.04, 1.05, 10.01, 1.03, 10.77, 0.98, 0.99,
+            ),
+            Compress => r(
+                "compress", 1.13, 12.96, 1.12, 1.13, 13.63, 1.11, 14.17, 1.07, 1.10,
+            ),
             Li => r("li", 1.40, 4.72, 1.30, 1.32, 8.01, 1.33, 7.10, 1.26, 1.31),
-            Ijpeg => r("ijpeg", 1.31, 0.94, 1.28, 1.28, 3.72, 1.29, 2.17, 1.28, 1.30),
-            Perl => r("perl", 1.45, 4.52, 1.26, 1.27, 9.47, 1.24, 10.26, 1.19, 1.21),
-            Vortex => r("vortex", 1.39, 4.97, 1.27, 1.28, 8.37, 1.30, 7.87, 1.25, 1.27),
-            Tomcatv => r("tomcatv", 1.18, 35.14, 1.03, 1.04, 54.45, 1.33, 19.67, 1.30, 1.36),
-            Swim => r("swim", 1.30, 29.56, 1.06, 1.08, 66.62, 1.53, 8.85, 1.49, 1.57),
-            Su2cor => r("su2cor", 1.28, 13.74, 1.24, 1.26, 14.69, 1.24, 14.66, 1.21, 1.25),
-            Hydro2d => r("hydro2d", 1.14, 15.40, 1.13, 1.15, 17.23, 1.13, 17.22, 1.11, 1.15),
-            Applu => r("applu", 1.63, 5.54, 1.61, 1.63, 6.16, 1.57, 6.84, 1.55, 1.59),
-            Mgrid => r("mgrid", 1.51, 4.91, 1.50, 1.53, 5.05, 1.50, 5.31, 1.46, 1.52),
-            Turb3d => r("turb3d", 1.85, 4.67, 1.80, 1.82, 6.05, 1.81, 5.38, 1.78, 1.82),
-            Apsi => r("apsi", 1.13, 10.03, 1.08, 1.09, 15.19, 1.08, 13.36, 1.07, 1.09),
-            Fpppp => r("fpppp", 2.14, 1.09, 2.00, 2.00, 2.66, 1.98, 2.47, 1.93, 1.94),
-            Wave5 => r("wave5", 1.37, 27.72, 1.26, 1.28, 42.76, 1.51, 14.67, 1.48, 1.54),
+            Ijpeg => r(
+                "ijpeg", 1.31, 0.94, 1.28, 1.28, 3.72, 1.29, 2.17, 1.28, 1.30,
+            ),
+            Perl => r(
+                "perl", 1.45, 4.52, 1.26, 1.27, 9.47, 1.24, 10.26, 1.19, 1.21,
+            ),
+            Vortex => r(
+                "vortex", 1.39, 4.97, 1.27, 1.28, 8.37, 1.30, 7.87, 1.25, 1.27,
+            ),
+            Tomcatv => r(
+                "tomcatv", 1.18, 35.14, 1.03, 1.04, 54.45, 1.33, 19.67, 1.30, 1.36,
+            ),
+            Swim => r(
+                "swim", 1.30, 29.56, 1.06, 1.08, 66.62, 1.53, 8.85, 1.49, 1.57,
+            ),
+            Su2cor => r(
+                "su2cor", 1.28, 13.74, 1.24, 1.26, 14.69, 1.24, 14.66, 1.21, 1.25,
+            ),
+            Hydro2d => r(
+                "hydro2d", 1.14, 15.40, 1.13, 1.15, 17.23, 1.13, 17.22, 1.11, 1.15,
+            ),
+            Applu => r(
+                "applu", 1.63, 5.54, 1.61, 1.63, 6.16, 1.57, 6.84, 1.55, 1.59,
+            ),
+            Mgrid => r(
+                "mgrid", 1.51, 4.91, 1.50, 1.53, 5.05, 1.50, 5.31, 1.46, 1.52,
+            ),
+            Turb3d => r(
+                "turb3d", 1.85, 4.67, 1.80, 1.82, 6.05, 1.81, 5.38, 1.78, 1.82,
+            ),
+            Apsi => r(
+                "apsi", 1.13, 10.03, 1.08, 1.09, 15.19, 1.08, 13.36, 1.07, 1.09,
+            ),
+            Fpppp => r(
+                "fpppp", 2.14, 1.09, 2.00, 2.00, 2.66, 1.98, 2.47, 1.93, 1.94,
+            ),
+            Wave5 => r(
+                "wave5", 1.37, 27.72, 1.26, 1.28, 42.76, 1.51, 14.67, 1.48, 1.54,
+            ),
         }
     }
 }
@@ -446,10 +482,7 @@ mod tests {
     #[test]
     fn fp_benchmarks_emit_fp_ops() {
         for b in SpecBenchmark::all() {
-            let has_fp = b
-                .generator(1)
-                .take(2000)
-                .any(|o| o.class.is_fp());
+            let has_fp = b.generator(1).take(2000).any(|o| o.class.is_fp());
             assert_eq!(has_fp, b.is_fp(), "{b}");
         }
     }

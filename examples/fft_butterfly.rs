@@ -27,9 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let elem = 16u64;
     let pitch = n * elem;
     let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
-    println!(
-        "2D FFT over a {n}x{n} complex matrix (pitch {pitch}B), cache {geom}\n"
-    );
+    println!("2D FFT over a {n}x{n} complex matrix (pitch {pitch}B), cache {geom}\n");
 
     let run = |spec: IndexSpec, refs: &[MemRef]| -> Result<f64, cac::core::Error> {
         let mut cache = Cache::build(geom, spec)?;
@@ -41,11 +39,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Row pass: n transforms over contiguous rows.
     let rows: Vec<MemRef> = (0..n)
-        .flat_map(|r| FftButterfly::new(r * pitch, log2_n, elem).full_transform().collect::<Vec<_>>())
+        .flat_map(|r| {
+            FftButterfly::new(r * pitch, log2_n, elem)
+                .full_transform()
+                .collect::<Vec<_>>()
+        })
         .collect();
     // Column pass: n transforms strided by the pitch.
     let cols: Vec<MemRef> = (0..n)
-        .flat_map(|c| FftButterfly::new(c * elem, log2_n, pitch).full_transform().collect::<Vec<_>>())
+        .flat_map(|c| {
+            FftButterfly::new(c * elem, log2_n, pitch)
+                .full_transform()
+                .collect::<Vec<_>>()
+        })
         .collect();
 
     println!("{:<12} {:>12} {:>12}", "pass", "conv miss%", "ipoly miss%");

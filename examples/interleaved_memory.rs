@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("bandwidth by stride (peak = 1.00):");
-    println!("{:>8} {:>22} {:>22} {:>22}", "stride", "modulo", "prime", "ipoly");
+    println!(
+        "{:>8} {:>22} {:>22} {:>22}",
+        "stride", "modulo", "prime", "ipoly"
+    );
     let sweeps: Vec<_> = selectors
         .iter()
         .map(|(_, spec)| stride_sweep(cfg, spec.clone(), 64, 1024))

@@ -14,7 +14,10 @@ use cac::sim::cache::Cache;
 use cac::trace::kernels::ArrayWalk;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let tasks: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(300);
+    let tasks: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300);
     let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
     println!("{tasks} random strided tasks on {geom}\n");
     println!(

@@ -11,8 +11,14 @@ use cac::sim::cache::Cache;
 use cac::trace::stride::VectorStride;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let max: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
-    let passes: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let max: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
+    let passes: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
     let schemes = [
         IndexSpec::modulo(),

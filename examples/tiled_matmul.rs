@@ -46,9 +46,7 @@ fn tiled_matmul(tile: u64, mut sink: impl FnMut(u64, bool)) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
-    println!(
-        "tiled {N}x{N} f64 matmul, leading dimension {LD} (power of two), {geom}"
-    );
+    println!("tiled {N}x{N} f64 matmul, leading dimension {LD} (power of two), {geom}");
     println!(
         "{:>6} {:>14} {:>14} {:>10}",
         "tile", "conventional", "ipoly-skew", "speedup"

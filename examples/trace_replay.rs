@@ -65,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         miss.push(cache.stats().read_miss_ratio() * 100.0);
     }
-    println!("{:<22} {:>11.2}% {:>11.2}%", "load miss ratio", miss[0], miss[1]);
+    println!(
+        "{:<22} {:>11.2}% {:>11.2}%",
+        "load miss ratio", miss[0], miss[1]
+    );
 
     // Full processor replay.
     let mut ipc = Vec::new();

@@ -20,7 +20,11 @@ fn cache_miss_pct(b: SpecBenchmark, spec: IndexSpec) -> f64 {
 
 #[test]
 fn high_conflict_benchmarks_collapse_under_conventional_indexing() {
-    for b in [SpecBenchmark::Tomcatv, SpecBenchmark::Swim, SpecBenchmark::Wave5] {
+    for b in [
+        SpecBenchmark::Tomcatv,
+        SpecBenchmark::Swim,
+        SpecBenchmark::Wave5,
+    ] {
         let conv = cache_miss_pct(b, IndexSpec::modulo());
         let poly = cache_miss_pct(b, IndexSpec::ipoly_skewed());
         assert!(conv > 30.0, "{b}: conventional miss {conv:.1}% too low");
@@ -119,7 +123,11 @@ fn all_benchmarks_run_on_the_processor() {
             "{b}: {} instructions",
             stats.instructions
         );
-        assert!(stats.ipc() > 0.05 && stats.ipc() <= 4.0, "{b}: IPC {}", stats.ipc());
+        assert!(
+            stats.ipc() > 0.05 && stats.ipc() <= 4.0,
+            "{b}: IPC {}",
+            stats.ipc()
+        );
         assert!(stats.loads > 0, "{b}");
         assert!(stats.branches > 0, "{b}");
     }

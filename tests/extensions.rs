@@ -129,7 +129,10 @@ fn option1_cpu_run_is_slower_but_not_broken() {
         cpu.run(SpecBenchmark::Swim.generator(7), ops)
     };
     assert_eq!(virt.instructions, phys.instructions);
-    assert!(phys.ipc() > 0.1, "physical indexing must still make progress");
+    assert!(
+        phys.ipc() > 0.1,
+        "physical indexing must still make progress"
+    );
     assert!(
         phys.ipc() <= virt.ipc() * 1.02,
         "translation latency cannot make the processor faster: {} vs {}",
@@ -210,9 +213,10 @@ fn coherence_holes_are_index_function_independent() {
             }
         }
         assert!(bus.check_invariants());
-        let holes =
-            bus.node(0).stats().external_invalidations_l1 + bus.node(1).stats().external_invalidations_l1;
-        let miss = (bus.node(0).l1_stats().miss_ratio() + bus.node(1).l1_stats().miss_ratio()) / 2.0;
+        let holes = bus.node(0).stats().external_invalidations_l1
+            + bus.node(1).stats().external_invalidations_l1;
+        let miss =
+            (bus.node(0).l1_stats().miss_ratio() + bus.node(1).l1_stats().miss_ratio()) / 2.0;
         (holes, miss)
     };
     let (conv_holes, conv_miss) = run(IndexSpec::modulo());
@@ -244,7 +248,10 @@ fn tiled_matmul_pitch_sensitivity_is_removed_by_ipoly() {
     let poly_padded = run(IndexSpec::ipoly_skewed(), 136 * 8);
     // Conventional: pitch choice is the difference between catastrophe
     // and health. I-Poly: the pitch barely matters.
-    assert!(conv_pow2 > 4.0 * conv_padded, "{conv_pow2} vs {conv_padded}");
+    assert!(
+        conv_pow2 > 4.0 * conv_padded,
+        "{conv_pow2} vs {conv_padded}"
+    );
     assert!(
         (poly_pow2 - poly_padded).abs() < 0.02,
         "{poly_pow2} vs {poly_padded}"

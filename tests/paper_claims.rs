@@ -104,7 +104,11 @@ fn holes_are_rare_with_a_big_l2() {
     // 1.2%". Use a subset of benchmarks to keep the test fast.
     let l1 = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
     let l2 = CacheGeometry::new(1024 * 1024, 32, 2).unwrap();
-    for b in [SpecBenchmark::Tomcatv, SpecBenchmark::Gcc, SpecBenchmark::Compress] {
+    for b in [
+        SpecBenchmark::Tomcatv,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Compress,
+    ] {
         let mut h = TwoLevelHierarchy::new(
             l1,
             IndexSpec::ipoly_skewed(),

@@ -126,5 +126,61 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache);
+/// Binary-format streaming replay vs in-memory batched replay on a
+/// 10M-reference trace: the acceptance bar for the trace codec is that
+/// decoding varint/delta records off a byte stream sustains at least
+/// 80% of `run_refs` on a pre-materialised `Vec<MemRef>`.
+fn bench_trace_streaming(c: &mut Criterion) {
+    use cac_sim::replay::{run_cache_chunked, run_cache_refs};
+    use cac_trace::io::{write_trace_binary, BinaryTraceReader, DEFAULT_CHUNK_OPS};
+    use cac_trace::TraceOp;
+
+    const OPS: u64 = 10_000_000;
+    let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+    // A load-only trace with the same hashed 1MB address mix as the
+    // access benches, so every record is a cache reference.
+    let ops_iter = || {
+        (0..OPS).map(|i| {
+            let addr = (i.wrapping_mul(0x9E37_79B9) >> 7) & 0xF_FFFF;
+            TraceOp::load(0x40_0000 + i * 4, addr, 5, Some(3))
+        })
+    };
+    let refs: Vec<MemRef> = ops_iter().map(|op| op.mem_ref().unwrap()).collect();
+    let bytes = write_trace_binary(Vec::new(), ops_iter()).unwrap();
+
+    let mut group = c.benchmark_group("trace_streaming");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("inmem_run_refs", |b| {
+        let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed()).unwrap();
+        b.iter(|| black_box(cache.run_refs(refs.iter().copied())))
+    });
+    group.bench_function("binary_stream", |b| {
+        let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed()).unwrap();
+        b.iter(|| {
+            let mut reader = BinaryTraceReader::new(black_box(&bytes[..])).unwrap();
+            black_box(run_cache_refs(&mut cache, &mut reader).unwrap())
+        })
+    });
+    group.bench_function("binary_stream_ops", |b| {
+        let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed()).unwrap();
+        b.iter(|| {
+            let reader = BinaryTraceReader::new(black_box(&bytes[..])).unwrap();
+            black_box(run_cache_chunked(&mut cache, reader, DEFAULT_CHUNK_OPS).unwrap())
+        })
+    });
+    group.bench_function("binary_decode_only", |b| {
+        let mut buf = Vec::with_capacity(DEFAULT_CHUNK_OPS);
+        b.iter(|| {
+            let mut reader = BinaryTraceReader::new(black_box(&bytes[..])).unwrap();
+            let mut n = 0u64;
+            while reader.read_chunk(&mut buf, DEFAULT_CHUNK_OPS).unwrap() > 0 {
+                n += buf.len() as u64;
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_trace_streaming);
 criterion_main!(benches);

@@ -1,62 +1,8 @@
-//! Ablation A2 — hash input width (§2.1.1: "For best performance v should
-//! be as close as possible to n, though it may be as small as m+1").
-//!
-//! Sweeps the number of address bits fed to the I-Poly hash and reports
-//! the suite-average miss ratio, showing the diminishing returns the
-//! paper's choice of 19 bits relies on, and the §3.1 page-size trade-off
-//! (only bits below the page boundary are available without translation
-//! tricks: 12 unmapped bits for 4KB pages).
-//!
-//! Run: `cargo run --release -p cac-bench --bin ablation_address_bits [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac ablation-address-bits` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-    println!("A2: I-Poly address-bit budget vs suite miss ratio ({ops} ops/benchmark)");
-    println!("  (m = 7 index bits + 5 offset bits; v = address_bits - 5)");
-    for address_bits in [13u32, 14, 15, 16, 19, 24, 32] {
-        let spec = IndexSpec::IPoly {
-            skewed: true,
-            address_bits: Some(address_bits),
-            polys: None,
-        };
-        let mut misses = Vec::new();
-        for b in SpecBenchmark::all() {
-            let mut c = Cache::build(geom, spec.clone()).expect("cache");
-            for r in mem_refs(b.generator(99).take(ops)) {
-                c.access(r.addr, r.is_write);
-            }
-            misses.push(c.stats().read_miss_ratio() * 100.0);
-        }
-        let note = match address_bits {
-            13 => " (v = m + 1, minimum)",
-            12 => " (4KB page boundary)",
-            19 => " (paper's choice)",
-            _ => "",
-        };
-        println!(
-            "  address bits {address_bits:>2}: miss {:6.2}%{note}",
-            arithmetic_mean(&misses)
-        );
-    }
-    println!("  conventional   : miss {:6.2}%", {
-        let mut misses = Vec::new();
-        for b in SpecBenchmark::all() {
-            let mut c = Cache::build(geom, IndexSpec::modulo()).expect("cache");
-            for r in mem_refs(b.generator(99).take(ops)) {
-                c.access(r.addr, r.is_write);
-            }
-            misses.push(c.stats().read_miss_ratio() * 100.0);
-        }
-        arithmetic_mean(&misses)
-    });
+    std::process::exit(cac_bench::driver::legacy_main("ablation_address_bits"));
 }

@@ -1,83 +1,8 @@
-//! A6 — ablation (beyond the paper): does the **L2** index function
-//! matter for holes?
-//!
-//! §3.3's analytical model assumes the L1 and L2 indices are
-//! *uncorrelated* pseudo-random hashes ("As these functions are
-//! pseudo-random there will be no correlation between the indices at L1
-//! and L2"). But the decorrelation already comes from two places: the
-//! different hash families *and* the VA→PA page mapping. This ablation
-//! fixes the L1 at skewed I-Poly and sweeps the L2 index function to ask
-//! whether a plain conventional L2 (cheaper, and what the paper's E6
-//! configuration uses) changes the hole rate.
-//!
-//! Run: `cargo run --release -p cac-bench --bin ablation_l2_index
-//! [blocks] [rounds]`.
-
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::hierarchy::TwoLevelHierarchy;
-use cac_sim::vm::PageMapper;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac ablation-l2-index` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let blocks: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16384);
-    let rounds: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6);
-
-    let l1 = CacheGeometry::new(8 * 1024, 32, 1).expect("geometry");
-    let l2 = CacheGeometry::new(256 * 1024, 32, 1).expect("geometry");
-    // The §3.3 worked example: P_H = (2^m1 - 1)/2^m2 = 255/8192.
-    let p_h = 255.0 / 8192.0;
-
-    println!(
-        "A6: hole rate vs L2 index function (8KB DM I-Poly L1 / 256KB DM L2, \
-         {blocks}-block stream x {rounds} rounds, randomized 4KB pages)"
-    );
-    println!("analytical P_H (upper bound, assumes every L2 victim is L1-resident): {p_h:.4}\n");
-    println!(
-        "{:<22} {:>12} {:>14} {:>12}",
-        "L2 index", "L2 misses", "holes created", "hole rate"
-    );
-
-    for (name, l2_spec) in [
-        ("conventional", IndexSpec::modulo()),
-        ("I-Poly", IndexSpec::ipoly()),
-        ("XOR-fold", IndexSpec::xor()),
-        ("random-table", IndexSpec::rand_table()),
-    ] {
-        let mut h = TwoLevelHierarchy::new(
-            l1,
-            IndexSpec::ipoly_skewed(),
-            l2,
-            l2_spec,
-            PageMapper::randomized(4096, 1 << 28, 7),
-        )
-        .expect("hierarchy");
-        for round in 0..rounds {
-            for i in 0..blocks {
-                h.read(i * 32 + (round % 2) * 8);
-            }
-        }
-        assert!(h.check_inclusion(), "inclusion violated");
-        let stats = h.stats();
-        println!(
-            "{name:<22} {:>12} {:>14} {:>12.4}",
-            h.l2_stats().misses,
-            stats.holes_created,
-            h.hole_rate(),
-        );
-    }
-
-    println!(
-        "\nFinding: all rates sit within ~2x of the analytical estimate, but they are\n\
-         NOT identical — the model's assumption that the L2 victim is L1-resident\n\
-         with uniform probability 2^(m1-m2) holds well for a conventional L2 on\n\
-         streaming traffic (victims are old) and degrades when a pseudo-random L2\n\
-         index makes eviction correlate with recency (hot hashed sets evict young\n\
-         blocks, which are exactly the L1-resident ones). The absolute effect stays\n\
-         negligible either way, which is what the paper's conclusion relies on."
-    );
+    std::process::exit(cac_bench::driver::legacy_main("ablation_l2_index"));
 }

@@ -1,62 +1,8 @@
-//! Ablation A1 — polynomial choice (§2.1.1: "For best performance P will
-//! be an irreducible polynomial, though it need not be so").
-//!
-//! Compares suite miss ratios for: the min-fan-in irreducible polynomial,
-//! an arbitrary irreducible, a *reducible* polynomial of the right degree,
-//! and the degenerate `x^m` (which is exactly conventional indexing).
-//!
-//! Run: `cargo run --release -p cac-bench --bin ablation_poly_choice [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_gf2::irreducible::{irreducibles, is_irreducible};
-use cac_gf2::xor_tree::min_fan_in_poly;
-use cac_gf2::Poly;
-use cac_sim::cache::Cache;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
-
-fn suite_miss(geom: CacheGeometry, spec: &IndexSpec, ops: usize) -> f64 {
-    let mut misses = Vec::new();
-    for b in SpecBenchmark::all() {
-        let mut c = Cache::build(geom, spec.clone()).expect("cache");
-        for r in mem_refs(b.generator(99).take(ops)) {
-            c.access(r.addr, r.is_write);
-        }
-        misses.push(c.stats().read_miss_ratio() * 100.0);
-    }
-    arithmetic_mean(&misses)
-}
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac ablation-poly` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-    let m = geom.index_bits();
-
-    // A reducible degree-7 polynomial with odd weight (so it is not
-    // trivially bad): (x+1)(x^6+x+1) = x^7+x^6+x^2+1.
-    let reducible = Poly::from_bits(0b1100_0101);
-    assert!(!is_irreducible(reducible));
-    let arbitrary_irreducible = irreducibles(m).last().expect("exists");
-
-    println!("A1: polynomial choice, suite-average load miss ratio (%), {ops} ops/benchmark");
-    for (label, poly) in [
-        ("min-fan-in irreducible", min_fan_in_poly(m, 14)),
-        ("last irreducible", arbitrary_irreducible),
-        ("reducible (x+1)(x^6+x+1)", reducible),
-        ("x^7 (= conventional)", Poly::monomial(m)),
-    ] {
-        let spec = IndexSpec::ipoly_with(vec![poly], 19);
-        let miss = suite_miss(geom, &spec, ops);
-        println!("  {label:<28} P = {poly:<24} miss {miss:6.2}%");
-    }
-    println!(
-        "  {:<28} {:<28} miss {:6.2}%",
-        "conventional baseline",
-        "",
-        suite_miss(geom, &IndexSpec::modulo(), ops)
-    );
+    std::process::exit(cac_bench::driver::legacy_main("ablation_poly_choice"));
 }

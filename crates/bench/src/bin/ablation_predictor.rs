@@ -1,39 +1,8 @@
-//! Ablation A3 — address-predictor table size.
-//!
-//! The paper fixes a 1K-entry untagged table; this ablation sweeps the
-//! size to show the interference/capacity trade-off behind that choice.
-//!
-//! Run: `cargo run --release -p cac-bench --bin ablation_predictor [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_core::AddressPredictor;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac ablation-predictor` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
-    println!("A3: predictor table size vs usable prediction rate ({ops} ops/benchmark)");
-    for entries in [16usize, 64, 256, 1024, 4096] {
-        let mut rates = Vec::new();
-        for b in SpecBenchmark::all() {
-            let mut p = AddressPredictor::new(entries).expect("power of two");
-            for op in b.generator(11).take(ops) {
-                if op.is_load() {
-                    p.observe(op.pc, op.addr.expect("loads have addresses"));
-                }
-            }
-            rates.push(p.stats().usable_rate() * 100.0);
-        }
-        let note = if entries == 1024 {
-            " (paper's choice)"
-        } else {
-            ""
-        };
-        println!(
-            "  {entries:>5} entries: usable {:6.2}%{note}",
-            arithmetic_mean(&rates)
-        );
-    }
+    std::process::exit(cac_bench::driver::legacy_main("ablation_predictor"));
 }

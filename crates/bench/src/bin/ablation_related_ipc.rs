@@ -1,59 +1,8 @@
-//! A4 — ablation (beyond the paper): do the §2.1 related-work placement
-//! schemes deliver I-Poly's *IPC*, not just its miss ratio?
-//!
-//! E11 compares the placement functions at the cache level; this ablation
-//! re-runs the three high-conflict programs (the paper's Table 3 subset)
-//! through the full out-of-order processor with each placement scheme in
-//! the L1. The interesting outcome is that several alternatives track
-//! I-Poly closely here — the paper's case for I-Poly over them is the
-//! *stride guarantee* and hardware cost (prime needs a divider, tables
-//! need SRAM), not average-case miss ratio on these workloads.
-//!
-//! Run: `cargo run --release -p cac-bench --bin ablation_related_ipc [ops]`.
-
-use cac_bench::geometric_mean;
-use cac_core::IndexSpec;
-use cac_cpu::{CpuConfig, Processor};
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac ablation-related-ipc` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
-    let bad = [
-        SpecBenchmark::Tomcatv,
-        SpecBenchmark::Swim,
-        SpecBenchmark::Wave5,
-    ];
-
-    println!(
-        "A4: IPC of the high-conflict programs under every placement scheme \
-         (8KB 2-way L1, {ops} ops/benchmark)"
-    );
-    println!(
-        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "scheme", "tomcatv", "swim", "wave5", "geo-mean", "miss avg%"
-    );
-
-    for spec in IndexSpec::related_work_suite() {
-        let mut ipcs = Vec::new();
-        let mut misses = Vec::new();
-        for b in bad {
-            let config = CpuConfig::paper_baseline(spec.clone()).expect("config");
-            let mut cpu = Processor::new(config).expect("processor");
-            let stats = cpu.run(b.generator(11), ops);
-            ipcs.push(stats.ipc());
-            misses.push(stats.load_miss_ratio_pct());
-        }
-        println!(
-            "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            spec.name(),
-            ipcs[0],
-            ipcs[1],
-            ipcs[2],
-            geometric_mean(&ipcs),
-            misses.iter().sum::<f64>() / misses.len() as f64,
-        );
-    }
+    std::process::exit(cac_bench::driver::legacy_main("ablation_related_ipc"));
 }

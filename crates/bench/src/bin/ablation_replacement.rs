@@ -1,78 +1,8 @@
-//! A7 — ablation (beyond the paper): replacement policy under skew.
-//!
-//! A skewed cache has no conventional notion of a *set*: the candidate
-//! lines for an incoming block sit at different indices in each way, so
-//! classic per-set LRU state does not exist. This workspace implements
-//! replacement over per-line timestamps (true LRU), FIFO (allocation
-//! time) and seeded random choice — the options Seznec's skewed-
-//! associative work debates. This ablation measures how much the choice
-//! matters for conventional vs skewed I-Poly placement.
-//!
-//! Run: `cargo run --release -p cac-bench --bin ablation_replacement
-//! [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_sim::replacement::ReplacementPolicy;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac ablation-replacement` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150_000);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-
-    println!("A7: replacement policy x placement, suite-average load miss % ({ops} ops/benchmark, {geom})");
-    println!(
-        "{:<16} {:>14} {:>16} {:>14} {:>14}",
-        "policy", "conv all", "conv bad-3", "ipoly-sk all", "ipoly-sk bad-3"
-    );
-
-    for (pname, policy) in [
-        ("LRU", ReplacementPolicy::Lru),
-        ("FIFO", ReplacementPolicy::Fifo),
-        ("random", ReplacementPolicy::Random),
-    ] {
-        let mut cells = Vec::new();
-        for spec in [IndexSpec::modulo(), IndexSpec::ipoly_skewed()] {
-            let mut all = Vec::new();
-            let mut bad = Vec::new();
-            for b in SpecBenchmark::all() {
-                let mut cache = Cache::builder(geom)
-                    .index_spec(spec.clone())
-                    .replacement(policy)
-                    .seed(42)
-                    .build()
-                    .expect("cache");
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    cache.access(r.addr, r.is_write);
-                }
-                let m = cache.stats().read_miss_ratio() * 100.0;
-                all.push(m);
-                if b.is_high_conflict() {
-                    bad.push(m);
-                }
-            }
-            cells.push(arithmetic_mean(&all));
-            cells.push(arithmetic_mean(&bad));
-        }
-        println!(
-            "{pname:<16} {:>14.2} {:>16.2} {:>14.2} {:>14.2}",
-            cells[0], cells[1], cells[2], cells[3]
-        );
-    }
-
-    println!(
-        "\nReading guide: two effects separate the columns. On the conventional\n\
-         cache, *random* replacement actually helps the pathological programs\n\
-         (it breaks the deterministic thrash cycle LRU gets locked into), a\n\
-         classic result. Under skewed I-Poly, conflicts are already randomised\n\
-         and recency is informative again, so LRU is clearly best and the cheap\n\
-         policies give back about 1.5 points. The per-line-timestamp LRU used\n\
-         here is exactly what a skewed cache can implement (no per-set state\n\
-         exists; see DESIGN.md)."
-    );
+    std::process::exit(cac_bench::driver::legacy_main("ablation_replacement"));
 }

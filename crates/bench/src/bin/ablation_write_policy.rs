@@ -1,77 +1,8 @@
-//! A5 — ablation (beyond the paper): write policy × placement function.
-//!
-//! The paper's L1 is write-through / no-write-allocate ("to have precise
-//! exceptions", §4) — a choice that interacts with placement: write-back
-//! / write-allocate caches put store lines *into* the cache, where they
-//! can either conflict (conventional indexing) or not (I-Poly). This
-//! ablation measures load miss ratio and write-back traffic across the
-//! suite for both policies under both placements.
-//!
-//! Run: `cargo run --release -p cac-bench --bin ablation_write_policy
-//! [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::{Cache, WritePolicy};
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac ablation-write-policy` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150_000);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-
-    println!("A5: write policy x placement, suite averages ({ops} ops/benchmark, {geom})");
-    println!(
-        "{:<44} {:>12} {:>12} {:>14}",
-        "configuration", "load miss%", "write miss%", "writebacks/kop"
-    );
-
-    for (pname, policy) in [
-        (
-            "write-through/no-allocate",
-            WritePolicy::WriteThroughNoAllocate,
-        ),
-        ("write-back/allocate", WritePolicy::WriteBackAllocate),
-    ] {
-        for (sname, spec) in [
-            ("conventional", IndexSpec::modulo()),
-            ("skewed I-Poly", IndexSpec::ipoly_skewed()),
-        ] {
-            let mut load_miss = Vec::new();
-            let mut write_miss = Vec::new();
-            let mut wb_per_kop = Vec::new();
-            for b in SpecBenchmark::all() {
-                let mut cache = Cache::builder(geom)
-                    .index_spec(spec.clone())
-                    .write_policy(policy)
-                    .build()
-                    .expect("cache");
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    cache.access(r.addr, r.is_write);
-                }
-                let s = cache.stats();
-                load_miss.push(s.read_miss_ratio() * 100.0);
-                if s.writes > 0 {
-                    write_miss.push(s.write_misses as f64 / s.writes as f64 * 100.0);
-                }
-                wb_per_kop.push(s.writebacks as f64 / (s.accesses as f64 / 1000.0));
-            }
-            println!(
-                "{:<44} {:>12.2} {:>12.2} {:>14.2}",
-                format!("{pname} + {sname}"),
-                arithmetic_mean(&load_miss),
-                arithmetic_mean(&write_miss),
-                arithmetic_mean(&wb_per_kop),
-            );
-        }
-    }
-
-    println!(
-        "\nReading guide: write-allocate pulls store lines into the cache, which \
-         amplifies conflicts under conventional indexing and is close to free under \
-         I-Poly — placement robustness buys freedom in the write-policy choice too."
-    );
+    std::process::exit(cac_bench::driver::legacy_main("ablation_write_policy"));
 }

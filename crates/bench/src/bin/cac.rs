@@ -1,0 +1,17 @@
+//! `cac` — the unified experiment CLI for the conflict-avoiding-cache
+//! reproduction.
+//!
+//! One binary drives the paper's whole evaluation matrix (Figure 1,
+//! Tables 1–3, the §3.1 option studies, the §3.3 hole model, the
+//! ablations) plus the external-trace tooling (`cac trace gen`,
+//! `cac trace convert`, `cac replay`), with `--format text|json|csv`
+//! report output. `cac --help` lists every subcommand; `cac help <cmd>`
+//! shows a command's parameters.
+//!
+//! Run: `cargo run --release -p cac-bench --bin cac -- fig1 --format csv`.
+
+fn main() {
+    std::process::exit(cac_bench::driver::cli_main(
+        std::env::args().skip(1).collect(),
+    ));
+}

@@ -1,112 +1,8 @@
-//! E15 — §3.3 cause 3: holes from external coherency actions.
-//!
-//! The paper lists three causes of L1 holes in the virtual-real hierarchy
-//! — L2 replacements, virtual-alias removal, and external coherency
-//! invalidations — and sets the third aside because such invalidations
-//! "occur regardless of the cache architecture". This harness checks that
-//! dismissal: four nodes on a write-invalidate snooping bus run identical
-//! private working sets plus a shared ping-pong region, once with
-//! conventional L1 indexing and once with skewed I-Poly. The external
-//! hole counts should be (nearly) identical across the two index
-//! functions, while the L1 conflict behaviour differs as usual.
-//!
-//! Run: `cargo run --release -p cac-bench --bin coherency_holes
-//! [rounds]`.
-
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::coherence::SnoopingBus;
-use cac_sim::hierarchy::TwoLevelHierarchy;
-use cac_sim::vm::PageMapper;
-
-const NODES: usize = 4;
-/// Shared region: 64 blocks at 1MB.
-const SHARED_BASE: u64 = 1 << 20;
-
-fn build_bus(l1_spec: IndexSpec) -> SnoopingBus {
-    let nodes = (0..NODES)
-        .map(|_| {
-            TwoLevelHierarchy::new(
-                CacheGeometry::new(8 * 1024, 32, 2).expect("geometry"),
-                l1_spec.clone(),
-                CacheGeometry::new(256 * 1024, 32, 2).expect("geometry"),
-                IndexSpec::modulo(),
-                PageMapper::identity(),
-            )
-            .expect("hierarchy")
-        })
-        .collect();
-    SnoopingBus::new(nodes).expect("bus")
-}
-
-/// One round of traffic: every node sweeps its private column-strided
-/// array (pathological under conventional indexing), then the round's
-/// writer updates the shared region that all nodes then read.
-fn run(bus: &mut SnoopingBus, rounds: u64) {
-    for round in 0..rounds {
-        for node in 0..NODES {
-            // Private 64-column walk, 4KB leading dimension, node-offset.
-            let base = (node as u64) << 32;
-            for i in 0..64u64 {
-                bus.read(node, base + i * 4096);
-            }
-        }
-        // Shared phase: one writer, everyone reads.
-        let writer = (round % NODES as u64) as usize;
-        for blk in 0..16u64 {
-            bus.write(writer, SHARED_BASE + blk * 32);
-        }
-        for node in 0..NODES {
-            for blk in 0..16u64 {
-                bus.read(node, SHARED_BASE + blk * 32);
-            }
-        }
-    }
-}
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac coherency` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let rounds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(256);
-
-    println!("E15 / section 3.3 cause 3: coherence holes, {NODES} nodes, {rounds} rounds");
-    println!(
-        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "L1 indexing", "L1 miss%", "repl holes", "alias holes", "coher holes", "snoop hit%"
-    );
-
-    for (name, spec) in [
-        ("conventional", IndexSpec::modulo()),
-        ("skewed I-Poly", IndexSpec::ipoly_skewed()),
-    ] {
-        let mut bus = build_bus(spec);
-        run(&mut bus, rounds);
-        assert!(bus.check_invariants(), "inclusion violated");
-
-        let mut miss_pct = 0.0;
-        let (mut repl, mut alias, mut coher) = (0u64, 0u64, 0u64);
-        for i in 0..NODES {
-            let node = bus.node(i);
-            miss_pct += node.l1_stats().miss_ratio() * 100.0 / NODES as f64;
-            let s = node.stats();
-            repl += s.holes_created;
-            alias += s.alias_invalidations;
-            coher += s.external_invalidations_l1;
-        }
-        println!(
-            "{name:<22} {:>12.2} {:>12} {:>12} {:>12} {:>12.1}",
-            miss_pct,
-            repl,
-            alias,
-            coher,
-            bus.stats().snoop_hit_rate() * 100.0,
-        );
-    }
-
-    println!(
-        "\nShape check: the two rows differ wildly in L1 miss ratio (the private \
-         column walk is pathological under conventional indexing) but agree on \
-         coherence holes — external invalidations depend on sharing, not on the \
-         index function, which is why the paper sets them aside (section 3.3)."
-    );
+    std::process::exit(cac_bench::driver::legacy_main("coherency_holes"));
 }

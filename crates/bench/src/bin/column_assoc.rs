@@ -1,60 +1,8 @@
-//! E7 — §3.1 option 4: column-associative cache with polynomial rehash.
-//!
-//! Replays the workload suite through the direct-mapped
-//! column-associative organization and reports the fraction of hits found
-//! at the first probe (the paper: "a typical probability of around 90%
-//! that a hit is detected at the first probe") together with the miss
-//! ratio against plain direct-mapped and 2-way conventional caches.
-//!
-//! Run: `cargo run --release -p cac-bench --bin column_assoc [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_sim::column::ColumnAssociative;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac column` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400_000);
-    let dm = CacheGeometry::new(8 * 1024, 32, 1).expect("geometry");
-    let two_way = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-
-    println!("E7 / section 3.1 option 4: column-associative with polynomial rehash ({ops} ops)");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12}",
-        "bench", "DM miss%", "2way miss%", "col miss%", "1st-probe%", "probes/hit"
-    );
-    let mut first_probe = Vec::new();
-    for b in SpecBenchmark::all() {
-        let mut plain = Cache::build(dm, IndexSpec::modulo()).expect("cache");
-        let mut assoc = Cache::build(two_way, IndexSpec::modulo()).expect("cache");
-        let mut col = ColumnAssociative::new(dm).expect("cache");
-        for r in mem_refs(b.generator(3).take(ops)) {
-            if r.is_write {
-                continue; // load behaviour, as in the paper's miss ratios
-            }
-            plain.read(r.addr);
-            assoc.read(r.addr);
-            col.read(r.addr);
-        }
-        let s = col.stats();
-        first_probe.push(s.first_probe_hit_fraction() * 100.0);
-        println!(
-            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>12.1} {:>12.3}",
-            b.name(),
-            plain.stats().miss_ratio() * 100.0,
-            assoc.stats().miss_ratio() * 100.0,
-            s.miss_ratio() * 100.0,
-            s.first_probe_hit_fraction() * 100.0,
-            s.avg_probes_per_hit()
-        );
-    }
-    println!(
-        "\naverage first-probe hit fraction: {:.1}%  (paper: around 90%)",
-        arithmetic_mean(&first_probe)
-    );
+    std::process::exit(cac_bench::driver::legacy_main("column_assoc"));
 }

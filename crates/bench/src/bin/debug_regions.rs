@@ -1,47 +1,8 @@
-//! Ad-hoc debugging aid: per-region miss breakdown for one benchmark.
-//! Not part of the experiment suite.
-
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
-use std::collections::BTreeMap;
-
-fn region(addr: u64) -> &'static str {
-    match addr {
-        0x0010_0000..=0x00FF_FFFF => "hot",
-        0x0100_0000..=0x01FF_FFFF => "conflict-short",
-        0x0200_0000..=0x0FFF_FFFF => "conflict-long",
-        0x1000_0000..=0x1FFF_FFFF => "stream",
-        0x2000_0000..=0x3FFF_FFFF => "store",
-        _ => "random",
-    }
-}
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac regions` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "swim".into());
-    let b = SpecBenchmark::all()
-        .into_iter()
-        .find(|b| b.name() == name)
-        .expect("unknown benchmark");
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
-    for spec in [IndexSpec::modulo(), IndexSpec::ipoly_skewed()] {
-        let mut c = Cache::build(geom, spec.clone()).unwrap();
-        let mut acc: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
-        for r in mem_refs(b.generator(12345).take(400_000)) {
-            let hit = c.access(r.addr, r.is_write).hit;
-            let e = acc.entry(region(r.addr)).or_default();
-            e.0 += 1;
-            if !hit {
-                e.1 += 1;
-            }
-        }
-        println!("--- {name} / {spec}");
-        for (reg, (n, m)) in &acc {
-            println!(
-                "  {reg:<15} {n:>8} accesses  {m:>8} misses  ({:.2}%)",
-                *m as f64 / *n as f64 * 100.0
-            );
-        }
-    }
+    std::process::exit(cac_bench::driver::legacy_main("debug_regions"));
 }

@@ -1,119 +1,8 @@
-//! E1 — **Figure 1** of the paper: frequency distribution of miss ratios
-//! for conventional and pseudo-random indexing schemes.
-//!
-//! For every stride `1 ≤ S < 4096` (in 8-byte elements), a trace of
-//! repeated sweeps over a 64-element vector drives four 8KB 2-way caches
-//! that differ only in their index function: `a2` (modulo), `a2-Hx-Sk`
-//! (skewed XOR), `a2-Hp` (I-Poly) and `a2-Hp-Sk` (skewed I-Poly). The
-//! histogram of per-stride miss ratios reproduces the paper's log-
-//! frequency bars; the paper's observations to check:
-//!
-//! * `a2` and `a2-Hx-Sk` show pathological behaviour (miss ratio > 50%)
-//!   on more than 6% of strides;
-//! * `a2-Hp-Sk` exhibits no significant conflicts on any stride.
-//!
-//! Run: `cargo run --release -p cac-bench --bin fig1_stride_sweep
-//! [max_stride] [passes]`.
-
-use cac_bench::chart::grouped;
-use cac_bench::parallel::par_map_range;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_trace::stride::VectorStride;
-
-/// A named placement-scheme constructor.
-type Scheme = (&'static str, fn() -> IndexSpec);
-
-const SCHEMES: [Scheme; 4] = [
-    ("a2", IndexSpec::modulo),
-    ("a2-Hx-Sk", IndexSpec::xor_skewed),
-    ("a2-Hp", IndexSpec::ipoly),
-    ("a2-Hp-Sk", IndexSpec::ipoly_skewed),
-];
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac fig1` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let max_stride: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4096);
-    let passes: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("valid geometry");
-
-    println!(
-        "E1 / Figure 1: miss-ratio distribution over strides 1..{max_stride} ({passes} passes, 64x8B vector, {geom})"
-    );
-    println!(
-        "{:<10} {}",
-        "bin",
-        SCHEMES.map(|(n, _)| format!("{n:>10}")).join(" ")
-    );
-
-    // Each stride is an independent simulation of all four schemes:
-    // fan the sweep out across the machine and replay the per-stride
-    // trace through the batched API.
-    let per_stride: Vec<[f64; 4]> = par_map_range(1..max_stride, |stride| {
-        SCHEMES.map(|(_, spec)| {
-            let mut cache = Cache::build(geom, spec()).expect("cache");
-            let run = cache.run_refs(VectorStride::paper_figure1(stride, passes));
-            run.miss_ratio()
-        })
-    });
-
-    // histogram[scheme][bin]: bins of width 0.1 over (0,1], plus a
-    // "conflict-free" bin for ratios at the compulsory floor.
-    let mut histogram = [[0u64; 10]; 4];
-    let mut pathological = [0u64; 4];
-    let strides = per_stride.len() as u64;
-    for ratios in &per_stride {
-        for (si, &ratio) in ratios.iter().enumerate() {
-            let bin = ((ratio * 10.0).ceil() as usize).clamp(1, 10) - 1;
-            histogram[si][bin] += 1;
-            if ratio > 0.5 {
-                pathological[si] += 1;
-            }
-        }
-    }
-    for (bin, _) in histogram[0].iter().enumerate() {
-        let label = format!("{:.1}-{:.1}", bin as f64 / 10.0, (bin + 1) as f64 / 10.0);
-        let cells: Vec<String> = histogram
-            .iter()
-            .map(|h| format!("{:>10}", h[bin]))
-            .collect();
-        println!("{label:<10} {}", cells.join(" "));
-    }
-    println!();
-    for (si, (name, _)) in SCHEMES.iter().enumerate() {
-        println!(
-            "{name:<10} pathological strides (miss > 50%): {:>5} of {strides} ({:.2}%)",
-            pathological[si],
-            pathological[si] as f64 / strides as f64 * 100.0
-        );
-    }
-    println!("(paper: a2 and a2-Hx-Sk > 6% of strides pathological; a2-Hp-Sk none)");
-
-    // Render the paper's log-frequency figure itself: columns = miss-ratio
-    // bins, one bar per indexing scheme.
-    let categories: Vec<String> = (0..10)
-        .map(|b| format!("miss {:.1}-{:.1}", b as f64 / 10.0, (b + 1) as f64 / 10.0))
-        .collect();
-    let cat_refs: Vec<&str> = categories.iter().map(String::as_str).collect();
-    let series: Vec<(&str, Vec<f64>)> = SCHEMES
-        .iter()
-        .enumerate()
-        .map(|(si, (name, _))| (*name, histogram[si].iter().map(|&c| c as f64).collect()))
-        .collect();
-    println!();
-    print!(
-        "{}",
-        grouped(
-            "Figure 1: frequency distribution of per-stride miss ratios",
-            &cat_refs,
-            &series,
-            true,
-            48,
-        )
-    );
+    std::process::exit(cac_bench::driver::legacy_main("fig1_stride_sweep"));
 }

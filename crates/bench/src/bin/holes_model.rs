@@ -1,91 +1,8 @@
-//! E6 — §3.3: holes in a two-level virtual-real hierarchy.
-//!
-//! Compares the paper's analytical model
-//! `P_H = (2^{m1} − 1) / 2^{m2}` (equations (vii)–(ix)) against the
-//! simulated fraction of L2 misses that create a hole at L1, and checks
-//! the two published data points:
-//!
-//! * 8KB/256KB direct-mapped, 32B lines → `P_H = 0.031`;
-//! * with a 1MB L2, the measured rate is "< 0.1% on average and never
-//!   more than 1.2%", i.e. far below the model's always-resident
-//!   assumption.
-//!
-//! Run: `cargo run --release -p cac-bench --bin holes_model [ops]`.
-
-use cac_core::holes::HoleModel;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::hierarchy::TwoLevelHierarchy;
-use cac_sim::vm::PageMapper;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac holes` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400_000);
-
-    println!("E6 / section 3.3: hole probability, analytical vs simulated ({ops} ops/benchmark)");
-
-    // Configurations: the worked example of the model (direct-mapped
-    // 8KB/256KB, P_H = 0.031), and the paper's simulated setup (8KB 2-way
-    // skewed I-Poly L1 over a 1MB 2-way conventionally-indexed L2).
-    let configs: [(&str, CacheGeometry, IndexSpec, CacheGeometry, IndexSpec); 2] = [
-        (
-            "worked example: L1 8KB DM I-Poly / L2 256KB DM I-Poly",
-            CacheGeometry::new(8 * 1024, 32, 1).expect("geometry"),
-            IndexSpec::ipoly_skewed(),
-            CacheGeometry::new(256 * 1024, 32, 1).expect("geometry"),
-            IndexSpec::ipoly(),
-        ),
-        (
-            "paper simulation: L1 8KB 2-way skewed I-Poly / L2 1MB 2-way conventional",
-            CacheGeometry::new(8 * 1024, 32, 2).expect("geometry"),
-            IndexSpec::ipoly_skewed(),
-            CacheGeometry::new(1024 * 1024, 32, 2).expect("geometry"),
-            IndexSpec::modulo(),
-        ),
-    ];
-    for (label, l1, l1_spec, l2, l2_spec) in configs {
-        let model = HoleModel::from_geometries(l1, l2).expect("model");
-        println!(
-            "\n{label}: analytical P_H = {:.4} (paper's 8KB/256KB example: 0.031)",
-            model.p_hole_per_l2_miss()
-        );
-        println!(
-            "{:<10} {:>12} {:>12} {:>10} {:>12}",
-            "bench", "L2 misses", "holes", "rate %", "model %"
-        );
-        let mut worst: f64 = 0.0;
-        let mut total_rate = 0.0;
-        for b in SpecBenchmark::all() {
-            let mut h = TwoLevelHierarchy::new(
-                l1,
-                l1_spec.clone(),
-                l2,
-                l2_spec.clone(),
-                PageMapper::randomized(4096, 1 << 30, 42),
-            )
-            .expect("hierarchy");
-            for r in mem_refs(b.generator(7).take(ops)) {
-                h.access(r.addr, r.is_write);
-            }
-            let rate = h.hole_rate() * 100.0;
-            worst = worst.max(rate);
-            total_rate += rate;
-            println!(
-                "{:<10} {:>12} {:>12} {:>10.3} {:>12.2}",
-                b.name(),
-                h.l2_stats().misses,
-                h.stats().holes_created,
-                rate,
-                model.p_hole_per_l2_miss() * 100.0
-            );
-        }
-        println!(
-            "average measured rate {:.3}%, worst {:.3}%  (paper, 1MB L2: avg < 0.1%, max 1.2%)",
-            total_rate / 18.0,
-            worst
-        );
-    }
+    std::process::exit(cac_bench::driver::legacy_main("holes_model"));
 }

@@ -1,107 +1,8 @@
-//! E12 — stride-insensitive interleaved memory (Rau \[18\]\[19\]), the
-//! original habitat of polynomial placement.
-//!
-//! The paper's §2.1.2 inherits its central guarantee — "all strides of
-//! the form 2^k produce address sequences that are free from conflicts" —
-//! from pseudo-randomly interleaved memories. This harness replays the
-//! classic experiment: a strided vector streamed through a banked memory
-//! under different bank-selection functions, reporting sustained
-//! bandwidth per stride.
-//!
-//! Expected shape (matching Rau's ISCA'91 figures): modulo selection
-//! collapses to `1/busy` on every stride sharing a power of two with the
-//! bank count; prime-modulus (the Lawrie–Vora baseline) fixes those but
-//! has its own resonances and needs a hardware divider; polynomial
-//! selection holds near-peak bandwidth on all power-of-two strides and
-//! almost everywhere else.
-//!
-//! Run: `cargo run --release -p cac-bench --bin interleave_bandwidth
-//! [banks] [busy] [max_stride] [accesses]`.
-
-use cac_core::IndexSpec;
-use cac_interleave::{random_sweep, stride_sweep, summarize, BankConfig};
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac interleave` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let banks: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
-    let busy: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
-    let max_stride: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(128);
-    let accesses: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2048);
-
-    let cfg = match BankConfig::new(banks, 8, busy) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("bad configuration: {e}");
-            std::process::exit(2);
-        }
-    };
-
-    println!(
-        "E12 / Rau [19]: {banks} banks x 8B words, busy {busy} cycles, \
-         strides 1..={max_stride}, {accesses} accesses per stride"
-    );
-
-    let selectors = [
-        ("modulo", IndexSpec::modulo()),
-        ("prime (Lawrie-Vora)", IndexSpec::prime()),
-        ("add-skew (Harper-Jump)", IndexSpec::add_skew()),
-        ("rand-table (Raghavan-Hayes)", IndexSpec::rand_table()),
-        ("xor-matrix (Frailong)", IndexSpec::xor_matrix()),
-        ("ipoly (Rau)", IndexSpec::ipoly()),
-    ];
-
-    println!(
-        "{:<28} {:>8} {:>8} {:>10} {:>14} {:>12}",
-        "selector", "min bw", "mean bw", "degraded", "pow2 min bw", "worst stride"
-    );
-    for (name, spec) in &selectors {
-        let results = match stride_sweep(cfg, spec.clone(), max_stride, accesses) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{name}: {e}");
-                continue;
-            }
-        };
-        let summary = summarize(&results, 0.5);
-        let pow2_min = (0..)
-            .map(|k| 1u64 << k)
-            .take_while(|&s| s <= max_stride)
-            .map(|s| results[(s - 1) as usize].bandwidth)
-            .fold(f64::INFINITY, f64::min);
-        let worst = results
-            .iter()
-            .min_by(|a, b| a.bandwidth.total_cmp(&b.bandwidth))
-            .expect("non-empty sweep");
-        println!(
-            "{name:<28} {:>8.3} {:>8.3} {:>6}/{:<3} {:>14.3} {:>12}",
-            summary.min_bandwidth,
-            summary.mean_bandwidth,
-            summary.degraded,
-            max_stride,
-            pow2_min,
-            worst.stride,
-        );
-    }
-
-    // Rau's reference point: random traffic, where the selector is
-    // irrelevant and only queueing limits bandwidth.
-    print!("\nrandom-traffic reference (selector-independent): ");
-    let mut rand_bws = Vec::new();
-    for (_, spec) in &selectors {
-        if let Ok(stats) = random_sweep(cfg, spec.clone(), accesses, 17) {
-            rand_bws.push(stats.bandwidth());
-        }
-    }
-    let (lo, hi) = rand_bws
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &b| {
-            (lo.min(b), hi.max(b))
-        });
-    println!("bandwidth {lo:.3}..{hi:.3} across all selectors");
-
-    println!(
-        "\n(peak = 1.0 access/cycle; serial floor = {:.3}; 'degraded' counts strides \
-         below bandwidth 0.5)",
-        1.0 / f64::from(busy)
-    );
+    std::process::exit(cac_bench::driver::legacy_main("interleave_bandwidth"));
 }

@@ -1,86 +1,8 @@
-//! E5 — cache-only miss-ratio comparison (§2.1 quoted result and §5
-//! stddev claim).
-//!
-//! Replays the 18 synthetic SPEC95 workload models through 8KB 2-way
-//! caches with conventional, I-Poly and fully-associative placement and
-//! prints:
-//!
-//! * the per-benchmark load miss ratios (with the paper's Table 2 values
-//!   for reference),
-//! * the suite averages the paper quotes from \[10\] (conventional 13.84% →
-//!   I-Poly 7.14% vs fully-associative 6.80%), and
-//! * the §5 predictability claim: the standard deviation of miss ratios
-//!   across the suite (paper: 18.49 → 5.16).
-//!
-//! Run with `cargo run --release -p cac-bench --bin missratio_comparison
-//! [ops_per_benchmark]`.
-
-use cac_bench::parallel::par_map;
-use cac_bench::{arithmetic_mean, std_dev};
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac missratio` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400_000);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("valid geometry");
-    let fa_geom = CacheGeometry::fully_associative(8 * 1024, 32).expect("valid geometry");
-
-    println!("E5: 8KB 2-way load miss ratios (%), {ops} ops per benchmark");
-    println!(
-        "{:<10} {:>10} {:>10} | {:>10} {:>10} | {:>10}",
-        "bench", "conv", "paper", "ipoly", "paper", "fullassoc"
-    );
-    // One worker per benchmark: each generates the workload once and
-    // feeds the same reference stream to all three placements.
-    let benches = SpecBenchmark::all();
-    let results: Vec<(f64, f64, f64)> = par_map(&benches, |b| {
-        let mut conv = Cache::build(geom, IndexSpec::modulo()).expect("cache");
-        let mut ipoly = Cache::build(geom, IndexSpec::ipoly_skewed()).expect("cache");
-        let mut fa = Cache::build(fa_geom, IndexSpec::modulo()).expect("cache");
-        for r in mem_refs(b.generator(12345).take(ops)) {
-            conv.access(r.addr, r.is_write);
-            ipoly.access(r.addr, r.is_write);
-            fa.access(r.addr, r.is_write);
-        }
-        (
-            conv.stats().read_miss_ratio() * 100.0,
-            ipoly.stats().read_miss_ratio() * 100.0,
-            fa.stats().read_miss_ratio() * 100.0,
-        )
-    });
-    let mut conv_all = Vec::new();
-    let mut ipoly_all = Vec::new();
-    let mut fa_all = Vec::new();
-    for (b, &(c, p, f)) in benches.iter().zip(&results) {
-        let row = b.paper_row();
-        conv_all.push(c);
-        ipoly_all.push(p);
-        fa_all.push(f);
-        println!(
-            "{:<10} {:>10.2} {:>10.2} | {:>10.2} {:>10.2} | {:>10.2}",
-            b.name(),
-            c,
-            row.conv8_miss,
-            p,
-            row.ipoly_miss,
-            f
-        );
-    }
-    println!();
-    println!(
-        "suite average: conv {:.2}% (paper [10]: 13.84)  ipoly {:.2}% (paper [10]: 7.14)  fully-assoc {:.2}% (paper [10]: 6.80)",
-        arithmetic_mean(&conv_all),
-        arithmetic_mean(&ipoly_all),
-        arithmetic_mean(&fa_all)
-    );
-    println!(
-        "miss-ratio stddev across suite: conv {:.2} (paper: 18.49)  ipoly {:.2} (paper: 5.16)",
-        std_dev(&conv_all),
-        std_dev(&ipoly_all)
-    );
+    std::process::exit(cac_bench::driver::legacy_main("missratio_comparison"));
 }

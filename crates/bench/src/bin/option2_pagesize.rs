@@ -1,224 +1,8 @@
-//! E14 — §3.1 option 2: page-size-aware dynamic index switching.
-//!
-//! The OS enables I-Poly indexing while every mapped segment has pages at
-//! or above a threshold (the paper's example: 256KB), reverting to
-//! conventional indexing — with an L1 flush — whenever a small-page
-//! segment appears. This harness runs a three-phase process lifetime
-//! against that controller and against the two static policies:
-//!
-//! * **phase A** — only large-page segments mapped; a tomcatv-style
-//!   column-stride kernel runs (pathological under conventional
-//!   indexing, clean under I-Poly);
-//! * **phase B** — the process maps a small-page (4KB) segment and
-//!   interleaves uniform accesses to it with the same kernel;
-//! * **phase C** — the small segment is unmapped; the kernel continues.
-//!
-//! Expected shape: the dynamic controller tracks the static-I-Poly miss
-//! ratio in phases A and C and the static-conventional ratio in phase B,
-//! paying only two flushes (≤ 256 lines each) for the transitions.
-//!
-//! The three policies are independent simulations of the same phase
-//! script, so they run on separate workers.
-//!
-//! Run: `cargo run --release -p cac-bench --bin option2_pagesize [passes]`.
-
-use cac_bench::parallel::par_map;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_sim::pagesize::{DynamicIndexCache, IndexMode, Segment};
-use cac_sim::stats::CacheStats;
-
-const BIG_BASE: u64 = 0;
-const SMALL_BASE: u64 = 1 << 31;
-
-/// One pass of the phase-A/C kernel: a 64-column walk with a 4KB leading
-/// dimension inside the large-page segment — 64 blocks that all collide
-/// on one set pair under conventional indexing but fit trivially (they
-/// are only a quarter of capacity) under I-Poly.
-fn column_kernel(_pass: u64) -> impl Iterator<Item = u64> {
-    (0..64u64).map(move |i| BIG_BASE + i * 4096)
-}
-
-/// One pass of the phase-B extra traffic: a sequential scan of 32 blocks
-/// of the small-page segment (well-behaved under any index function).
-fn small_segment_scan(_pass: u64) -> impl Iterator<Item = u64> {
-    (0..32u64).map(move |i| SMALL_BASE + i * 32)
-}
-
-/// Which cache policy a worker simulates.
-#[derive(Debug, Clone, Copy)]
-enum Policy {
-    StaticConventional,
-    StaticIPoly,
-    Dynamic,
-}
-
-/// Dynamic-controller details (None for the static policies).
-struct DynReport {
-    modes: Vec<IndexMode>,
-    flushes: u64,
-    flushed_lines: u64,
-    by_mode: (u64, u64),
-}
-
-/// Per-policy result: one `CacheStats` delta per phase.
-struct PolicyRun {
-    phases: Vec<CacheStats>,
-    dynamic: Option<DynReport>,
-}
-
-/// Abstracts "a cache plus optional segment-map events" so one phase
-/// script drives all three policies. Boxed: the two simulators differ
-/// considerably in size and each worker owns exactly one.
-enum Sim {
-    Plain(Box<Cache>),
-    Dynamic(Box<DynamicIndexCache>),
-}
-
-impl Sim {
-    fn read(&mut self, addr: u64) {
-        match self {
-            Sim::Plain(c) => {
-                c.read(addr);
-            }
-            Sim::Dynamic(c) => {
-                c.read(addr);
-            }
-        }
-    }
-
-    fn stats(&self) -> CacheStats {
-        match self {
-            Sim::Plain(c) => c.stats(),
-            Sim::Dynamic(c) => c.stats(),
-        }
-    }
-}
-
-fn run_policy(policy: Policy, geom: CacheGeometry, passes: u64) -> PolicyRun {
-    let mut sim = match policy {
-        Policy::StaticConventional => Sim::Plain(Box::new(
-            Cache::build(geom, IndexSpec::modulo()).expect("cache"),
-        )),
-        Policy::StaticIPoly => Sim::Plain(Box::new(
-            Cache::build(geom, IndexSpec::ipoly_skewed()).expect("cache"),
-        )),
-        Policy::Dynamic => Sim::Dynamic(Box::new(
-            DynamicIndexCache::new(geom, IndexSpec::ipoly_skewed(), 256 * 1024)
-                .expect("controller"),
-        )),
-    };
-    let mut phases = Vec::new();
-    let mut modes = Vec::new();
-    let mut checkpoint = CacheStats::default();
-    let mut phase_end = |sim: &Sim, phases: &mut Vec<CacheStats>| {
-        let total = sim.stats();
-        phases.push(total - checkpoint);
-        checkpoint = total;
-    };
-
-    // Phase A: large pages only.
-    if let Sim::Dynamic(d) = &mut sim {
-        d.map_segment(Segment::new(BIG_BASE, 1 << 28, 256 * 1024).expect("segment"))
-            .expect("map");
-        modes.push(d.mode());
-    }
-    for p in 0..passes {
-        for a in column_kernel(p) {
-            sim.read(a);
-        }
-    }
-    phase_end(&sim, &mut phases);
-
-    // Phase B: a small-page segment appears (mmap of a 4KB-page file).
-    if let Sim::Dynamic(d) = &mut sim {
-        d.map_segment(Segment::new(SMALL_BASE, 1 << 20, 4096).expect("segment"))
-            .expect("map");
-        modes.push(d.mode());
-    }
-    for p in 0..passes {
-        for a in column_kernel(p) {
-            sim.read(a);
-        }
-        for a in small_segment_scan(p) {
-            sim.read(a);
-        }
-    }
-    phase_end(&sim, &mut phases);
-
-    // Phase C: the small segment goes away.
-    if let Sim::Dynamic(d) = &mut sim {
-        d.unmap_segment(SMALL_BASE);
-        modes.push(d.mode());
-    }
-    for p in 0..passes {
-        for a in column_kernel(p) {
-            sim.read(a);
-        }
-    }
-    phase_end(&sim, &mut phases);
-
-    let dynamic = match sim {
-        Sim::Dynamic(d) => Some(DynReport {
-            modes,
-            flushes: d.flushes(),
-            flushed_lines: d.flushed_lines(),
-            by_mode: d.accesses_by_mode(),
-        }),
-        Sim::Plain(_) => None,
-    };
-    PolicyRun { phases, dynamic }
-}
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac option2` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let passes: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-
-    let policies = [
-        Policy::StaticConventional,
-        Policy::StaticIPoly,
-        Policy::Dynamic,
-    ];
-    let runs = par_map(&policies, |&p| run_policy(p, geom, passes));
-
-    println!("E14 / section 3.1 option 2: page-size-aware index switching ({passes} passes/phase, {geom})");
-    println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "miss ratio (%)", "phase A", "phase B", "phase C"
-    );
-    let row = |name: &str, run: &PolicyRun| {
-        let cells: Vec<String> = run
-            .phases
-            .iter()
-            .map(|s| format!("{:>12.2}", s.miss_ratio() * 100.0))
-            .collect();
-        println!("{name:<28} {}", cells.join(" "));
-    };
-    row("static conventional", &runs[0]);
-    row("static I-Poly (option 3)", &runs[1]);
-    row("dynamic (option 2)", &runs[2]);
-
-    let report = runs[2].dynamic.as_ref().expect("dynamic policy report");
-    println!(
-        "\ndynamic controller: modes per phase = {:?}, flushes = {}, lines discarded = {}",
-        report
-            .modes
-            .iter()
-            .map(|m| match m {
-                IndexMode::Conventional => "conv",
-                IndexMode::IPoly => "ipoly",
-            })
-            .collect::<Vec<_>>(),
-        report.flushes,
-        report.flushed_lines,
-    );
-    let (conv_acc, ipoly_acc) = report.by_mode;
-    println!("accesses by mode: conventional {conv_acc}, ipoly {ipoly_acc}");
-    println!(
-        "\nShape check: option 2 matches I-Poly whenever it may (A, C) and conventional \
-         when it must (B); the only extra cost is the flush at each transition."
-    );
+    std::process::exit(cac_bench::driver::legacy_main("option2_pagesize"));
 }

@@ -1,131 +1,8 @@
-//! E13 — the §3.1 design space: how should an I-Poly L1 get its address
-//! bits past the 4KB-page limit?
-//!
-//! The paper weighs four options; this harness quantifies the two that
-//! admit a direct IPC comparison on the out-of-order model:
-//!
-//! * **Option 1** — translate first, index the L1 *physically*: every
-//!   load pays an extra pipeline stage plus page-walk stalls on TLB
-//!   misses, but the XOR tree is never on the critical path.
-//! * **Option 3** — the two-level virtual-real hierarchy (the paper's
-//!   choice): the L1 is indexed with virtual bits at full speed; the XOR
-//!   tree may or may not land on the critical path (both shown).
-//!
-//! Option 2 (page-size-aware index switching) is evaluated by
-//! `option2_pagesize`, and option 4 (column-associative polynomial
-//! rehash) by `column_assoc` — both at the miss-ratio level.
-//!
-//! Run: `cargo run --release -p cac-bench --bin options_comparison [ops]`.
-
-use cac_bench::parallel::par_map;
-use cac_bench::{arithmetic_mean, geometric_mean};
-use cac_core::IndexSpec;
-use cac_cpu::{CpuConfig, Processor, TranslationModel};
-use cac_trace::spec::SpecBenchmark;
-
-struct Measurement {
-    ipc: f64,
-    miss: f64,
-    tlb_miss: Option<f64>,
-}
-
-fn run_one(b: SpecBenchmark, config: CpuConfig, ops: u64) -> Measurement {
-    let mut cpu = Processor::new(config).expect("valid configuration");
-    let stats = cpu.run(b.generator(11), ops);
-    Measurement {
-        ipc: stats.ipc(),
-        miss: stats.load_miss_ratio_pct(),
-        tlb_miss: stats.tlb.map(|t| t.miss_ratio() * 100.0),
-    }
-}
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac options` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120_000);
-
-    println!("E13 / section 3.1: translation options for an 8KB 2-way skewed I-Poly L1 ({ops} ops/benchmark)");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "bench", "conv8 IPC", "opt1 IPC", "opt1 TLB%", "opt3 IPC", "opt3CP IPC", "opt3 miss%"
-    );
-
-    type ConfigFactory = Box<dyn Fn() -> CpuConfig + Send + Sync>;
-    let configs: Vec<(&str, ConfigFactory)> = vec![
-        (
-            "conv8",
-            Box::new(|| CpuConfig::paper_baseline(IndexSpec::modulo()).unwrap()),
-        ),
-        (
-            "opt1",
-            Box::new(|| {
-                CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())
-                    .unwrap()
-                    .with_physical_indexing(TranslationModel::physically_indexed())
-            }),
-        ),
-        (
-            "opt3",
-            Box::new(|| CpuConfig::paper_baseline(IndexSpec::ipoly_skewed()).unwrap()),
-        ),
-        (
-            "opt3cp",
-            Box::new(|| {
-                CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())
-                    .unwrap()
-                    .with_xor_in_critical_path()
-            }),
-        ),
-    ];
-
-    let mut ipcs: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-    let mut misses: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-    let mut tlb_misses: Vec<f64> = Vec::new();
-
-    // One worker per benchmark, each driving all four processor
-    // configurations (the per-benchmark CPU simulations dominate the
-    // runtime of this experiment).
-    let benches = SpecBenchmark::all();
-    let per_bench: Vec<Vec<Measurement>> = par_map(&benches, |&b| {
-        configs.iter().map(|(_, c)| run_one(b, c(), ops)).collect()
-    });
-    for (b, ms) in benches.iter().zip(per_bench) {
-        for (i, m) in ms.iter().enumerate() {
-            ipcs[i].push(m.ipc);
-            misses[i].push(m.miss);
-        }
-        if let Some(t) = ms[1].tlb_miss {
-            tlb_misses.push(t);
-        }
-        println!(
-            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            b.name(),
-            ms[0].ipc,
-            ms[1].ipc,
-            ms[1].tlb_miss.unwrap_or(0.0),
-            ms[2].ipc,
-            ms[3].ipc,
-            ms[2].miss,
-        );
-    }
-
-    println!(
-        "\n{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-        "geo-mean",
-        geometric_mean(&ipcs[0]),
-        geometric_mean(&ipcs[1]),
-        arithmetic_mean(&tlb_misses),
-        geometric_mean(&ipcs[2]),
-        geometric_mean(&ipcs[3]),
-        arithmetic_mean(&misses[2]),
-    );
-
-    let opt1_cost = (geometric_mean(&ipcs[2]) / geometric_mean(&ipcs[1]) - 1.0) * 100.0;
-    let cp_cost = (geometric_mean(&ipcs[2]) / geometric_mean(&ipcs[3]) - 1.0) * 100.0;
-    println!(
-        "\nvirtual-real (opt 3) outperforms physical indexing (opt 1) by {opt1_cost:.1}% IPC \
-         (the extra load stage + TLB walks);\nputting the XOR on the critical path instead \
-         costs only {cp_cost:.1}% — the paper's argument for option 3 plus address prediction."
-    );
+    std::process::exit(cac_bench::driver::legacy_main("options_comparison"));
 }

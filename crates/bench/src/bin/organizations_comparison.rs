@@ -1,179 +1,8 @@
-//! E10 — the §2.1 organization comparison (after the companion study
-//! \[10\], which the paper quotes): suite-average load miss ratio for every
-//! cache organization the paper names — direct-mapped, set-associative,
-//! victim, hash-rehash, column-associative, skewed-associative, I-Poly
-//! and fully-associative — all at 8KB with 32-byte lines.
-//!
-//! Run: `cargo run --release -p cac-bench --bin organizations_comparison
-//! [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_bench::parallel::par_map;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_sim::column::{ColumnAssociative, RehashKind};
-use cac_sim::jouppi::JouppiCache;
-use cac_sim::stream::StreamBufferCache;
-use cac_sim::victim::VictimCache;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac organizations` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
-    let dm = CacheGeometry::new(8 * 1024, 32, 1).expect("geometry");
-    let w2 = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-    let w4 = CacheGeometry::new(8 * 1024, 32, 4).expect("geometry");
-    let fa = CacheGeometry::fully_associative(8 * 1024, 32).expect("geometry");
-
-    println!("E10 / section 2.1: 8KB organization comparison, suite-average load miss % ({ops} ops/benchmark)");
-    // Each organization is a closure from benchmark to load miss ratio;
-    // `Send + Sync` so the benchmark sweep can fan out per organization.
-    type Runner = Box<dyn Fn(SpecBenchmark) -> f64 + Send + Sync>;
-    let cache_runner = |geom: CacheGeometry, spec: IndexSpec, ops: usize| -> Runner {
-        Box::new(move |b: SpecBenchmark| {
-            let mut c = Cache::build(geom, spec.clone()).expect("cache");
-            c.run_refs(mem_refs(b.generator(5).take(ops)));
-            c.stats().read_miss_ratio() * 100.0
-        })
-    };
-    let organizations: Vec<(&str, Runner)> = vec![
-        ("direct-mapped", cache_runner(dm, IndexSpec::modulo(), ops)),
-        (
-            "2-way set-assoc",
-            cache_runner(w2, IndexSpec::modulo(), ops),
-        ),
-        (
-            "4-way set-assoc",
-            cache_runner(w4, IndexSpec::modulo(), ops),
-        ),
-        (
-            "victim (DM + 4 lines)",
-            Box::new(move |b| {
-                let mut v = VictimCache::new(dm, 4).expect("cache");
-                let mut reads = 0u64;
-                let mut misses = 0u64;
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    reads += 1;
-                    if !v.read(r.addr).hit() {
-                        misses += 1;
-                    }
-                }
-                misses as f64 / reads.max(1) as f64 * 100.0
-            }),
-        ),
-        (
-            "hash-rehash (bit flip)",
-            Box::new(move |b| {
-                let mut c =
-                    ColumnAssociative::with_rehash(dm, RehashKind::TopBitFlip).expect("cache");
-                let mut reads = 0u64;
-                let mut misses = 0u64;
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    reads += 1;
-                    if !c.read(r.addr).is_hit() {
-                        misses += 1;
-                    }
-                }
-                misses as f64 / reads.max(1) as f64 * 100.0
-            }),
-        ),
-        (
-            "column-assoc (I-Poly)",
-            Box::new(move |b| {
-                let mut c = ColumnAssociative::new(dm).expect("cache");
-                let mut reads = 0u64;
-                let mut misses = 0u64;
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    reads += 1;
-                    if !c.read(r.addr).is_hit() {
-                        misses += 1;
-                    }
-                }
-                misses as f64 / reads.max(1) as f64 * 100.0
-            }),
-        ),
-        (
-            "stream buffers (DM + 4x4)",
-            Box::new(move |b| {
-                let mut c = StreamBufferCache::new(dm, 4, 4).expect("cache");
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    c.read(r.addr);
-                }
-                c.stats().miss_ratio() * 100.0
-            }),
-        ),
-        (
-            "Jouppi (DM + victim + stream)",
-            Box::new(move |b| {
-                let mut c = JouppiCache::new(dm, 4, 4, 4).expect("cache");
-                let mut reads = 0u64;
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    reads += 1;
-                    c.read(r.addr);
-                }
-                c.stats().full_misses as f64 / reads.max(1) as f64 * 100.0
-            }),
-        ),
-        (
-            "2-way skewed XOR",
-            cache_runner(w2, IndexSpec::xor_skewed(), ops),
-        ),
-        ("2-way I-Poly", cache_runner(w2, IndexSpec::ipoly(), ops)),
-        (
-            "2-way skewed I-Poly",
-            cache_runner(w2, IndexSpec::ipoly_skewed(), ops),
-        ),
-        (
-            "fully associative",
-            cache_runner(fa, IndexSpec::modulo(), ops),
-        ),
-    ];
-
-    println!(
-        "{:<30} {:>10} {:>10} {:>10}",
-        "organization", "all", "bad-3", "good-15"
-    );
-    let benches = SpecBenchmark::all();
-    for (name, run) in &organizations {
-        // Sweep the 18 benchmarks of this organization in parallel.
-        let measurements = par_map(&benches, |&b| run(b));
-        let mut all = Vec::new();
-        let mut bad = Vec::new();
-        let mut good = Vec::new();
-        for (b, &m) in benches.iter().zip(&measurements) {
-            all.push(m);
-            if b.is_high_conflict() {
-                bad.push(m);
-            } else {
-                good.push(m);
-            }
-        }
-        println!(
-            "{name:<30} {:>10.2} {:>10.2} {:>10.2}",
-            arithmetic_mean(&all),
-            arithmetic_mean(&bad),
-            arithmetic_mean(&good)
-        );
-    }
-    println!(
-        "\n(paper, quoting [10] on full Spec95: 2-way 13.84%, I-Poly 7.14%, fully-assoc 6.80%)"
-    );
+    std::process::exit(cac_bench::driver::legacy_main("organizations_comparison"));
 }

@@ -1,50 +1,8 @@
-//! E9 — §3.4/§4: memory address predictability.
-//!
-//! Runs the workload suite's dynamic loads through the 1K-entry untagged
-//! last-address + stride predictor and reports the usable (confident and
-//! correct) prediction rate. The paper, citing \[9\], expects "the address
-//! of about 75% of the dynamically executed memory instructions" to be
-//! predictable on SPEC95.
-//!
-//! Run: `cargo run --release -p cac-bench --bin predictor_accuracy [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_core::AddressPredictor;
-use cac_trace::spec::SpecBenchmark;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac predictor` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400_000);
-    println!("E9 / section 3.4: address-prediction rates ({ops} ops/benchmark, 1K-entry table)");
-    println!(
-        "{:<10} {:>10} {:>12} {:>12} {:>12}",
-        "bench", "loads", "usable %", "precision %", "raw %"
-    );
-    let mut usable = Vec::new();
-    for b in SpecBenchmark::all() {
-        let mut p = AddressPredictor::paper_default();
-        let mut loads = 0u64;
-        for op in b.generator(11).take(ops) {
-            if op.is_load() {
-                p.observe(op.pc, op.addr.expect("loads have addresses"));
-                loads += 1;
-            }
-        }
-        let s = p.stats();
-        usable.push(s.usable_rate() * 100.0);
-        println!(
-            "{:<10} {:>10} {:>12.1} {:>12.1} {:>12.1}",
-            b.name(),
-            loads,
-            s.usable_rate() * 100.0,
-            s.confidence_precision() * 100.0,
-            s.raw_rate() * 100.0
-        );
-    }
-    println!(
-        "\naverage usable prediction rate: {:.1}%  (paper, citing [9]: about 75%)",
-        arithmetic_mean(&usable)
-    );
+    std::process::exit(cac_bench::driver::legacy_main("predictor_accuracy"));
 }

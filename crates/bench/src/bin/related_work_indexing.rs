@@ -1,100 +1,8 @@
-//! E11 — the §2.1 related-work placement functions, head to head.
-//!
-//! The paper surveys the interleaved-memory literature for conflict-
-//! avoiding placement functions — prime-modulus (Lawrie–Vora \[16\]),
-//! skewing (Harper–Jump \[11\], Sohi \[24\]), XOR-schemes (Frailong et al.
-//! \[5\]) and pseudo-random hashing (Raghavan–Hayes \[17\]) — and argues that
-//! Rau's polynomial construction \[19\] is the one that combines a simple
-//! implementation with *provably* good behaviour on regular strides. This
-//! harness puts every scheme through both evaluations:
-//!
-//! 1. the Figure-1 stride sweep (how many strides are pathological), and
-//! 2. the synthetic SPEC95 suite (average load miss ratio).
-//!
-//! Run: `cargo run --release -p cac-bench --bin related_work_indexing
-//! [max_stride] [ops]`.
-
-use cac_bench::arithmetic_mean;
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_trace::kernels::mem_refs;
-use cac_trace::spec::SpecBenchmark;
-use cac_trace::stride::figure1_sweep;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac related` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let max_stride: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4096);
-    let ops: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150_000);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-    let suite = IndexSpec::related_work_suite();
-
-    println!(
-        "E11 / section 2.1 related work: placement functions on {geom} \
-         (strides 1..{max_stride}, {ops} ops/benchmark)"
-    );
-    println!(
-        "{:<18} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "scheme", "pathological", "stride avg%", "spec all%", "spec bad-3%", "spec good%"
-    );
-
-    for spec in &suite {
-        // Part 1: Figure-1 stride sweep.
-        let mut pathological = 0u64;
-        let mut strides = 0u64;
-        let mut ratio_sum = 0.0;
-        figure1_sweep(max_stride, 16, |_, trace| {
-            let mut cache = Cache::build(geom, spec.clone()).expect("cache");
-            for r in trace {
-                cache.read(r.addr);
-            }
-            let ratio = cache.stats().miss_ratio();
-            ratio_sum += ratio;
-            strides += 1;
-            if ratio > 0.5 {
-                pathological += 1;
-            }
-        });
-
-        // Part 2: synthetic SPEC95 miss ratios.
-        let mut all = Vec::new();
-        let mut bad = Vec::new();
-        let mut good = Vec::new();
-        for b in SpecBenchmark::all() {
-            let mut cache = Cache::build(geom, spec.clone()).expect("cache");
-            for r in mem_refs(b.generator(5).take(ops)) {
-                cache.access(r.addr, r.is_write);
-            }
-            let m = cache.stats().read_miss_ratio() * 100.0;
-            all.push(m);
-            if b.is_high_conflict() {
-                bad.push(m);
-            } else {
-                good.push(m);
-            }
-        }
-
-        let label = spec.build(geom).expect("buildable").label();
-        println!(
-            "{label:<18} {:>7} ({:>4.1}%) {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
-            pathological,
-            pathological as f64 / strides as f64 * 100.0,
-            ratio_sum / strides as f64 * 100.0,
-            arithmetic_mean(&all),
-            arithmetic_mean(&bad),
-            arithmetic_mean(&good)
-        );
-    }
-
-    println!(
-        "\nReading guide: prime-modulus fixes power-of-two strides but wastes sets and \
-         needs a divider; additive skew and two-field XOR share the 2^(2m) blind spot; \
-         random-table and XOR-matrix hashing have no stride guarantee; skewed I-Poly \
-         is the only scheme that is simultaneously cheap (XOR tree), balanced, and \
-         stride-insensitive — the paper's argument in one table."
-    );
+    std::process::exit(cac_bench::driver::legacy_main("related_work_indexing"));
 }

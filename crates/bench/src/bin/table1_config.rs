@@ -1,40 +1,8 @@
-//! E2 — **Table 1** sanity harness: prints the functional-unit/latency
-//! configuration and the §4 processor parameters, asserting they match
-//! the paper.
-
-use cac_core::IndexSpec;
-use cac_cpu::CpuConfig;
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac table1` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let c = CpuConfig::paper_baseline(IndexSpec::ipoly_skewed()).expect("valid configuration");
-    println!("E2 / Table 1: functional units and instruction latency");
-    println!(
-        "{:<22} {:>8} {:>12}",
-        "Functional Unit", "Latency", "Repeat rate"
-    );
-    println!("{:<22} {:>8} {:>12}", "1 Simple Integer", 1, 1);
-    println!("{:<22} {:>8} {:>12}", "1 Complex Integer", "9/67", "1/67");
-    println!("{:<22} {:>8} {:>12}", "2 Effective Address", 1, 1);
-    println!("{:<22} {:>8} {:>12}", "1 Simple FP", 4, 1);
-    println!("{:<22} {:>8} {:>12}", "1 FP Multiplication", 4, 1);
-    println!("{:<22} {:>8} {:>12}", "1 FP Div and SQR", "16/35", "16/35");
-    println!();
-    println!(
-        "processor: {}-way fetch/issue/commit, ROB {}, {}+{} physical registers",
-        c.fetch_width, c.rob_entries, c.int_phys_regs, c.fp_phys_regs
-    );
-    println!(
-        "memory: {} ports, {} MSHRs, {} L1, hit {} cycles, miss {} cycles, bus {} cycles/line, BHT {} entries",
-        c.mem_ports,
-        c.mshrs,
-        c.cache_geometry,
-        c.hit_latency,
-        c.miss_penalty,
-        c.bus_cycles_per_line,
-        c.bht_entries
-    );
-    assert_eq!(c.fetch_width, 4);
-    assert_eq!(c.rob_entries, 32);
-    assert_eq!(c.mshrs, 8);
-    println!("all Table 1 / §4 parameters verified");
+    std::process::exit(cac_bench::driver::legacy_main("table1_config"));
 }

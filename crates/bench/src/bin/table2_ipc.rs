@@ -1,46 +1,8 @@
-//! E3 — **Table 2** of the paper: IPC and load miss ratio for the 18
-//! SPEC95 workload models under seven configurations:
-//!
-//! | column | configuration |
-//! |--------|---------------|
-//! | `16K`, `miss` | 16KB 2-way conventional |
-//! | `8K`, `8K+p`, `miss` | 8KB 2-way conventional, without/with address prediction |
-//! | `Hp`, `miss` | 8KB skewed I-Poly, XOR off the critical path |
-//! | `HpCP`, `+pred` | 8KB skewed I-Poly, XOR on the critical path, without/with prediction |
-//!
-//! Each measured row is followed by the paper's published row for shape
-//! comparison. Run: `cargo run --release -p cac-bench --bin table2_ipc
-//! [ops_per_config]`.
-
-use cac_bench::table2::{print_header, print_row, print_summary, run_all, summarize};
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac table2` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
-    print_header(&format!(
-        "E3 / Table 2: IPC and load miss ratio ({ops} instructions per configuration)"
-    ));
-    let rows = run_all(ops, 12345);
-    for r in &rows {
-        print_row(r);
-    }
-    println!();
-    let ints: Vec<_> = rows.iter().filter(|r| !r.bench.is_fp()).collect();
-    let fps: Vec<_> = rows.iter().filter(|r| r.bench.is_fp()).collect();
-    let all: Vec<_> = rows.iter().collect();
-    print_summary("Int avg", &summarize(&ints));
-    print_summary("Fp avg", &summarize(&fps));
-    print_summary("Combined", &summarize(&all));
-    println!("(paper combined: 1.36 10.47 | 1.27 1.28 16.53 | 1.33 9.68 | 1.29 1.33)");
-
-    // §5 predictability claim.
-    let conv: Vec<f64> = rows.iter().map(|r| r.conv8_miss).collect();
-    let ipoly: Vec<f64> = rows.iter().map(|r| r.ipoly_miss).collect();
-    println!(
-        "miss-ratio stddev: conv {:.2} -> ipoly {:.2}  (paper: 18.49 -> 5.16)",
-        cac_bench::std_dev(&conv),
-        cac_bench::std_dev(&ipoly)
-    );
+    std::process::exit(cac_bench::driver::legacy_main("table2_ipc"));
 }

@@ -1,58 +1,8 @@
-//! E4 — **Table 3** of the paper: the three programs with high conflict
-//! miss ratios (tomcatv, swim, wave5) in detail, plus the averages for
-//! the "bad" three and the remaining "good" fifteen.
-//!
-//! The paper's headline numbers from this table: the bad programs gain
-//! 27% IPC from I-Poly without prediction (XOR in critical path) and 33%
-//! with prediction, versus the 8KB conventional cache — 16% better than
-//! simply doubling the cache to 16KB.
-//!
-//! Run: `cargo run --release -p cac-bench --bin table3_bad_programs
-//! [ops_per_config]`.
-
-use cac_bench::table2::{print_header, print_row, print_summary, run_all, summarize};
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac table3` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let ops: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
-    print_header(&format!(
-        "E4 / Table 3: high-conflict programs ({ops} instructions per configuration)"
-    ));
-    let rows = run_all(ops, 12345);
-    let bad: Vec<_> = rows.iter().filter(|r| r.bench.is_high_conflict()).collect();
-    let good: Vec<_> = rows
-        .iter()
-        .filter(|r| !r.bench.is_high_conflict())
-        .collect();
-    for r in &bad {
-        print_row(r);
-    }
-    println!();
-    let sb = summarize(&bad);
-    let sg = summarize(&good);
-    print_summary("Avg-bad", &sb);
-    println!("(paper:    1.28  30.80 |  1.11  1.13  54.61 |  1.46  14.40 |  1.42  1.49)");
-    print_summary("Avg-good", &sg);
-    println!("(paper:    1.38   6.40 |  1.30  1.32   8.91 |  1.30   8.74 |  1.27  1.30)");
-    println!();
-
-    // The paper's derived claims for the bad programs.
-    let gain_nopred = (sb.ipoly_cp_ipc / sb.conv8_ipc - 1.0) * 100.0;
-    let gain_pred = (sb.ipoly_cp_ipc_pred / sb.conv8_ipc - 1.0) * 100.0;
-    let vs_double = (sb.ipoly_cp_ipc_pred / sb.conv16_ipc - 1.0) * 100.0;
-    println!(
-        "bad-program IPC gain over conv-8KB: {gain_nopred:+.1}% without prediction (paper: +27%)"
-    );
-    println!(
-        "bad-program IPC gain over conv-8KB: {gain_pred:+.1}% with prediction    (paper: +33%)"
-    );
-    println!(
-        "bad-program IPC vs doubling to 16KB: {vs_double:+.1}%                    (paper: +16%)"
-    );
-    let good_delta = (sg.ipoly_cp_ipc_pred / sg.conv8_ipc - 1.0) * 100.0;
-    println!(
-        "good-program IPC change (I-Poly in CP, with prediction): {good_delta:+.1}% (paper: about -1.7% without prediction)"
-    );
+    std::process::exit(cac_bench::driver::legacy_main("table3_bad_programs"));
 }

@@ -1,70 +1,8 @@
-//! E16 — the conclusion's tiling claim: "Tiling often introduces
-//! additional conflict misses which depend on array dimensions as well as
-//! stride. An I-poly cache would, for example, eliminate the need to
-//! compute conflict-free tile dimensions."
-//!
-//! This harness runs the inner block-row of a tiled matrix multiply
-//! through the paper's 8KB 2-way cache while sweeping the tile size, for
-//! two storage pitches: a power of two (the natural `LDA = N` layout) and
-//! a padded one (`LDA = N + 8`, the folklore fix). Expected shape:
-//!
-//! * conventional indexing with the power-of-two pitch is catastrophic at
-//!   every tile size (columns of A, B and C collide);
-//! * padding rescues conventional indexing — that is the manual tuning
-//!   the paper says I-Poly makes unnecessary;
-//! * skewed I-Poly is flat and low for both pitches: tile size can be
-//!   chosen on capacity grounds alone.
-//!
-//! Run: `cargo run --release -p cac-bench --bin tiling_conflicts [n]`.
-
-use cac_core::{CacheGeometry, IndexSpec};
-use cac_sim::cache::Cache;
-use cac_trace::patterns::TiledMatMul;
-
-fn miss_pct(geom: CacheGeometry, spec: &IndexSpec, n: u64, tile: u64, pitch: u64) -> f64 {
-    let mut cache = Cache::build(geom, spec.clone()).expect("cache");
-    for r in TiledMatMul::new(n, tile, pitch).block_row() {
-        cache.access(r.addr, r.is_write);
-    }
-    cache.stats().read_miss_ratio() * 100.0
-}
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac tiling` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    let n: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(128);
-    let geom = CacheGeometry::new(8 * 1024, 32, 2).expect("geometry");
-    let pow2_pitch = n * TiledMatMul::ELEM;
-    let padded_pitch = (n + 8) * TiledMatMul::ELEM;
-
-    println!("E16 / section 5: tiled {n}x{n} matmul block-row, {geom}, load miss %\n");
-    println!(
-        "{:<6} {:>16} {:>16} {:>16} {:>16} {:>12}",
-        "tile", "conv pow2-LDA", "conv padded-LDA", "ipoly pow2-LDA", "ipoly padded", "footprint"
-    );
-
-    let conv = IndexSpec::modulo();
-    let ipoly = IndexSpec::ipoly_skewed();
-    for tile in [4u64, 8, 12, 16, 20, 24, 32] {
-        if tile > n {
-            continue;
-        }
-        let mm = TiledMatMul::new(n, tile, pow2_pitch);
-        println!(
-            "{tile:<6} {:>16.2} {:>16.2} {:>16.2} {:>16.2} {:>9} KB",
-            miss_pct(geom, &conv, n, tile, pow2_pitch),
-            miss_pct(geom, &conv, n, tile, padded_pitch),
-            miss_pct(geom, &ipoly, n, tile, pow2_pitch),
-            miss_pct(geom, &ipoly, n, tile, padded_pitch),
-            mm.tile_footprint() / 1024,
-        );
-    }
-
-    println!(
-        "\nShape check: column 1 (power-of-two leading dimension, conventional index)\n\
-         should dominate everything else; column 2 shows the manual padding fix;\n\
-         columns 3-4 show I-Poly insensitive to the pitch — the tile size can be\n\
-         picked purely to fit capacity, which is the paper's closing claim."
-    );
+    std::process::exit(cac_bench::driver::legacy_main("tiling_conflicts"));
 }

@@ -1,76 +1,8 @@
-//! E8 — §3.4: implementation cost of the I-Poly XOR trees.
-//!
-//! For the cache geometries of the evaluation, enumerates the selected
-//! polynomials and reports per-index-bit XOR fan-in, maximum fan-in and
-//! estimated 2-input-gate depth, verifying the paper's statements that
-//! the fan-in "is never higher than 5" for the chosen polynomials and
-//! that only the low 19 address bits are used. The carry-lookahead model
-//! then completes the argument: the 19 low bits leave a binary CLA two
-//! block-delays before the full 64-bit sum, which is where the XOR tree
-//! hides.
-
-use cac_core::cla::ClaModel;
-use cac_core::latency::CriticalPath;
-use cac_gf2::irreducible::{irreducibles, is_primitive};
-use cac_gf2::xor_tree::{min_fan_in_poly, XorTree};
+//! Compatibility shim: this experiment now lives in the unified `cac`
+//! CLI as `cac xor-tree` (see `cac_bench::driver`). The shim keeps the
+//! old binary name and positional arguments working by forwarding them
+//! to the same experiment function.
 
 fn main() {
-    println!("E8 / section 3.4: XOR-tree cost of I-Poly index functions");
-
-    let cla = ClaModel::binary64();
-    println!(
-        "\nCLA timing (64-bit binary lookahead): 19 low bits ready at {} block-delays, \
-         full sum at {}, slack {}",
-        cla.delay_for_bits(19),
-        cla.full_delay(),
-        cla.slack_for_bits(19)
-    );
-    assert_eq!(
-        cla.delay_for_bits(19),
-        9,
-        "paper: 'a delay of about 9 blocks'"
-    );
-    assert_eq!(cla.full_delay(), 11, "paper: 'requires 11 block-delays'");
-    for (label, m, v) in [
-        ("8KB 2-way (128 sets)", 7u32, 14u32),
-        ("16KB 2-way (256 sets)", 8, 14),
-        ("8KB DM (256 sets)", 8, 14),
-    ] {
-        let p = min_fan_in_poly(m, v);
-        let tree = XorTree::new(p, v);
-        let fan_ins: Vec<u32> = (0..tree.output_bits()).map(|i| tree.fan_in(i)).collect();
-        println!(
-            "\n{label}: P(x) = {p}, v = {v} block-address bits ({} address bits), {}",
-            v + 5,
-            if is_primitive(p) {
-                "primitive (Rau's original construction)"
-            } else {
-                "irreducible but not primitive"
-            }
-        );
-        println!("  per-bit fan-in: {fan_ins:?}");
-        println!(
-            "  max fan-in {} (paper: <= 5), XOR2 depth {}",
-            tree.max_fan_in(),
-            tree.gate_depth()
-        );
-        let good = irreducibles(m)
-            .filter(|&q| XorTree::new(q, v).max_fan_in() <= 5)
-            .count();
-        let total = irreducibles(m).count();
-        println!("  {good} of {total} irreducible degree-{m} polynomials achieve fan-in <= 5");
-        assert!(tree.max_fan_in() <= 5);
-        // One XOR2 level per unit of gate depth; assume one lookahead
-        // block per XOR2 level for the critical-path verdict.
-        let verdict = cla.critical_path_for(v + 5, tree.gate_depth());
-        println!(
-            "  CLA verdict at depth {}: {}",
-            tree.gate_depth(),
-            match verdict {
-                CriticalPath::XorHidden => "XOR hidden in adder slack",
-                CriticalPath::XorExposed => "XOR exposed (one-cycle penalty applies)",
-            }
-        );
-    }
-    println!("\nall selected polynomials satisfy the paper's fan-in claim");
+    std::process::exit(cac_bench::driver::legacy_main("xor_tree_cost"));
 }

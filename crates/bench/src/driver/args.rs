@@ -1,0 +1,212 @@
+//! Experiment parameter parsing.
+//!
+//! Every experiment declares its parameters as a static [`ParamSpec`]
+//! slice (name, default, help). The CLI accepts them as `--name value`
+//! or `--name=value` in any order, or positionally in declaration order
+//! — the latter is exactly the interface of the retired per-experiment
+//! binaries, so the thin compatibility shims forward their positional
+//! arguments unchanged.
+
+use super::DriverError;
+use std::collections::BTreeMap;
+
+/// Declaration of one experiment parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// Flag name (`--name`).
+    pub name: &'static str,
+    /// Default value, as a string ("" means "no value").
+    pub default: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// Convenience constructor used by the experiment registry.
+pub const fn param(name: &'static str, default: &'static str, help: &'static str) -> ParamSpec {
+    ParamSpec {
+        name,
+        default,
+        help,
+    }
+}
+
+/// Parsed parameter values for one experiment invocation.
+#[derive(Debug, Clone, Default)]
+pub struct ExpArgs {
+    values: BTreeMap<&'static str, String>,
+}
+
+impl ExpArgs {
+    /// Builds from raw CLI words against the declared specs, accepting
+    /// `--name value`, `--name=value`, and bare positional values (bound
+    /// to the specs in declaration order).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Usage`] on unknown flags, repeated or surplus
+    /// values, or a flag without a value.
+    pub fn parse(specs: &'static [ParamSpec], words: &[String]) -> Result<Self, DriverError> {
+        let mut args = ExpArgs::default();
+        for spec in specs {
+            args.values.insert(spec.name, spec.default.to_owned());
+        }
+        let mut positional = specs.iter();
+        let mut explicit: Vec<&str> = Vec::new();
+        let mut i = 0;
+        while i < words.len() {
+            let w = &words[i];
+            if let Some(flag) = w.strip_prefix("--") {
+                let (name, value) = match flag.split_once('=') {
+                    Some((n, v)) => (n, v.to_owned()),
+                    None => {
+                        let v = words.get(i + 1).ok_or_else(|| {
+                            DriverError::Usage(format!("flag --{flag} needs a value"))
+                        })?;
+                        i += 1;
+                        (flag, v.clone())
+                    }
+                };
+                let spec = specs.iter().find(|s| s.name == name).ok_or_else(|| {
+                    DriverError::Usage(format!(
+                        "unknown flag --{name}; valid: {}",
+                        specs
+                            .iter()
+                            .map(|s| format!("--{}", s.name))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    ))
+                })?;
+                if explicit.contains(&spec.name) {
+                    return Err(DriverError::Usage(format!("--{name} given twice")));
+                }
+                explicit.push(spec.name);
+                args.values.insert(spec.name, value);
+            } else {
+                // Positional: next spec not yet bound explicitly.
+                let spec = positional
+                    .by_ref()
+                    .find(|s| !explicit.contains(&s.name))
+                    .ok_or_else(|| {
+                        DriverError::Usage(format!("unexpected positional argument {w:?}"))
+                    })?;
+                explicit.push(spec.name);
+                args.values.insert(spec.name, w.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// Raw string value of a declared parameter.
+    ///
+    /// # Panics
+    ///
+    /// If `name` was not declared — a driver bug, not a user error.
+    pub fn str(&self, name: &str) -> &str {
+        self.values
+            .get(name)
+            .unwrap_or_else(|| panic!("parameter {name} not declared"))
+    }
+
+    /// `true` if the parameter has a non-empty value.
+    pub fn is_set(&self, name: &str) -> bool {
+        !self.str(name).is_empty()
+    }
+
+    fn parse_as<T: std::str::FromStr>(&self, name: &str) -> Result<T, DriverError> {
+        let raw = self.str(name);
+        raw.parse().map_err(|_| {
+            DriverError::Usage(format!(
+                "--{name} expects a {}, got {raw:?}",
+                std::any::type_name::<T>()
+            ))
+        })
+    }
+
+    /// The parameter as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Usage`] when the value does not parse.
+    pub fn u64(&self, name: &str) -> Result<u64, DriverError> {
+        self.parse_as(name)
+    }
+
+    /// The parameter as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Usage`] when the value does not parse.
+    pub fn usize(&self, name: &str) -> Result<usize, DriverError> {
+        self.parse_as(name)
+    }
+
+    /// The parameter as a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Usage`] when the value does not parse.
+    pub fn u32(&self, name: &str) -> Result<u32, DriverError> {
+        self.parse_as(name)
+    }
+
+    /// Sets a value programmatically (used by tests and the shims).
+    pub fn set(&mut self, name: &'static str, value: impl ToString) {
+        self.values.insert(name, value.to_string());
+    }
+
+    /// Effective `(name, value)` pairs in declaration order, for the
+    /// report's parameter echo.
+    pub fn echo(&self, specs: &'static [ParamSpec]) -> Vec<(String, String)> {
+        specs
+            .iter()
+            .map(|s| (s.name.to_owned(), self.str(s.name).to_owned()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPECS: &[ParamSpec] = &[
+        param("ops", "1000", "instructions per benchmark"),
+        param("seed", "5", "workload seed"),
+        param("label", "", "optional label"),
+    ];
+
+    fn words(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_flags_and_positionals() {
+        let a = ExpArgs::parse(SPECS, &[]).unwrap();
+        assert_eq!(a.u64("ops").unwrap(), 1000);
+        assert!(!a.is_set("label"));
+
+        let a = ExpArgs::parse(SPECS, &words(&["--seed", "9", "--label=x"])).unwrap();
+        assert_eq!(a.u64("seed").unwrap(), 9);
+        assert_eq!(a.str("label"), "x");
+
+        // Positionals bind in declaration order, skipping explicit flags.
+        let a = ExpArgs::parse(SPECS, &words(&["--ops", "7", "11"])).unwrap();
+        assert_eq!(a.u64("ops").unwrap(), 7);
+        assert_eq!(a.u64("seed").unwrap(), 11);
+    }
+
+    #[test]
+    fn errors_are_usage_errors() {
+        for bad in [
+            vec!["--nope", "1"],
+            vec!["--ops"],
+            vec!["--ops", "1", "--ops", "2"],
+            vec!["1", "2", "3", "4"],
+        ] {
+            let got = ExpArgs::parse(SPECS, &words(&bad));
+            assert!(matches!(got, Err(DriverError::Usage(_))), "{bad:?}");
+        }
+        let a = ExpArgs::parse(SPECS, &words(&["abc"])).unwrap();
+        assert!(matches!(a.u64("ops"), Err(DriverError::Usage(_))));
+    }
+}

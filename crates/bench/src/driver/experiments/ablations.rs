@@ -1,0 +1,245 @@
+//! Placement-robustness ablations beyond the paper:
+//! `cac ablation-poly`, `cac ablation-address-bits`,
+//! `cac ablation-replacement`, `cac ablation-write-policy`.
+
+use super::common::paper_l1;
+use crate::arithmetic_mean;
+use crate::driver::args::ExpArgs;
+use crate::driver::report::{Report, Table, Value};
+use crate::driver::DriverError;
+use cac_core::IndexSpec;
+use cac_gf2::irreducible::{irreducibles, is_irreducible};
+use cac_gf2::xor_tree::min_fan_in_poly;
+use cac_gf2::Poly;
+use cac_sim::cache::{Cache, WritePolicy};
+use cac_sim::replacement::ReplacementPolicy;
+use cac_trace::kernels::mem_refs;
+use cac_trace::spec::SpecBenchmark;
+
+fn suite_miss(spec: &IndexSpec, ops: usize, seed: u64) -> f64 {
+    let geom = paper_l1();
+    let mut misses = Vec::new();
+    for b in SpecBenchmark::all() {
+        let mut c = Cache::build(geom, spec.clone()).expect("cache");
+        for r in mem_refs(b.generator(seed).take(ops)) {
+            c.access(r.addr, r.is_write);
+        }
+        misses.push(c.stats().read_miss_ratio() * 100.0);
+    }
+    arithmetic_mean(&misses)
+}
+
+pub(super) fn poly_choice(a: &ExpArgs) -> Result<Report, DriverError> {
+    let ops = a.usize("ops")?;
+    let m = paper_l1().index_bits();
+
+    // A reducible degree-7 polynomial with odd weight (so it is not
+    // trivially bad): (x+1)(x^6+x+1) = x^7+x^6+x^2+1.
+    let reducible = Poly::from_bits(0b1100_0101);
+    if is_irreducible(reducible) {
+        return Err(DriverError::Failed("reducible control poly drifted".into()));
+    }
+    let arbitrary_irreducible = irreducibles(m).last().expect("exists");
+
+    let mut table = Table::new(
+        "polynomial choice, suite-average load miss ratio (%)",
+        &["polynomial", "P", "miss %"],
+    );
+    for (label, poly) in [
+        ("min-fan-in irreducible", min_fan_in_poly(m, 14)),
+        ("last irreducible", arbitrary_irreducible),
+        ("reducible (x+1)(x^6+x+1)", reducible),
+        ("x^7 (= conventional)", Poly::monomial(m)),
+    ] {
+        let spec = IndexSpec::ipoly_with(vec![poly], 19);
+        table.push_row(vec![
+            Value::s(label),
+            Value::s(poly.to_string()),
+            Value::f(suite_miss(&spec, ops, 99), 2),
+        ]);
+    }
+    table.push_row(vec![
+        Value::s("conventional baseline"),
+        Value::s(""),
+        Value::f(suite_miss(&IndexSpec::modulo(), ops, 99), 2),
+    ]);
+
+    Ok(Report::new(format!(
+        "A1: polynomial choice, suite-average load miss ratio (%), {ops} ops/benchmark"
+    ))
+    .param("ops", ops)
+    .table(table))
+}
+
+pub(super) fn address_bits(a: &ExpArgs) -> Result<Report, DriverError> {
+    let ops = a.usize("ops")?;
+    let mut table = Table::new(
+        "I-Poly address-bit budget vs suite miss ratio",
+        &["address bits", "miss %", "note"],
+    );
+    for bits in [13u32, 14, 15, 16, 19, 24, 32] {
+        let spec = IndexSpec::IPoly {
+            skewed: true,
+            address_bits: Some(bits),
+            polys: None,
+        };
+        let note = match bits {
+            13 => "v = m + 1, minimum",
+            19 => "paper's choice",
+            _ => "",
+        };
+        table.push_row(vec![
+            Value::u(u64::from(bits)),
+            Value::f(suite_miss(&spec, ops, 99), 2),
+            Value::s(note),
+        ]);
+    }
+    table.push_row(vec![
+        Value::s("conventional"),
+        Value::f(suite_miss(&IndexSpec::modulo(), ops, 99), 2),
+        Value::s(""),
+    ]);
+
+    Ok(Report::new(format!(
+        "A2: I-Poly address-bit budget vs suite miss ratio ({ops} ops/benchmark)"
+    ))
+    .param("ops", ops)
+    .table(table)
+    .note("m = 7 index bits + 5 offset bits; v = address_bits - 5")
+    .note("only bits below a 4KB page boundary (12) are available without translation tricks"))
+}
+
+pub(super) fn replacement(a: &ExpArgs) -> Result<Report, DriverError> {
+    let ops = a.usize("ops")?;
+    let geom = paper_l1();
+
+    let mut table = Table::new(
+        "replacement policy x placement, suite-average load miss %",
+        &[
+            "policy",
+            "conv all",
+            "conv bad-3",
+            "ipoly-sk all",
+            "ipoly-sk bad-3",
+        ],
+    );
+    for (pname, policy) in [
+        ("LRU", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("random", ReplacementPolicy::Random),
+    ] {
+        let mut cells = Vec::new();
+        for spec in [IndexSpec::modulo(), IndexSpec::ipoly_skewed()] {
+            let mut all = Vec::new();
+            let mut bad = Vec::new();
+            for b in SpecBenchmark::all() {
+                let mut cache = Cache::builder(geom)
+                    .index_spec(spec.clone())
+                    .replacement(policy)
+                    .seed(42)
+                    .build()
+                    .expect("cache");
+                for r in mem_refs(b.generator(5).take(ops)) {
+                    cache.access(r.addr, r.is_write);
+                }
+                let m = cache.stats().read_miss_ratio() * 100.0;
+                all.push(m);
+                if b.is_high_conflict() {
+                    bad.push(m);
+                }
+            }
+            cells.push(arithmetic_mean(&all));
+            cells.push(arithmetic_mean(&bad));
+        }
+        table.push_row(vec![
+            Value::s(pname),
+            Value::f(cells[0], 2),
+            Value::f(cells[1], 2),
+            Value::f(cells[2], 2),
+            Value::f(cells[3], 2),
+        ]);
+    }
+
+    Ok(Report::new(format!(
+        "A7: replacement policy x placement, suite-average load miss % \
+         ({ops} ops/benchmark, {geom})",
+        geom = paper_l1()
+    ))
+    .param("ops", ops)
+    .table(table)
+    .note(
+        "Reading guide: two effects separate the columns. On the conventional \
+         cache, *random* replacement actually helps the pathological programs \
+         (it breaks the deterministic thrash cycle LRU gets locked into), a \
+         classic result. Under skewed I-Poly, conflicts are already randomised \
+         and recency is informative again, so LRU is clearly best and the cheap \
+         policies give back about 1.5 points. The per-line-timestamp LRU used \
+         here is exactly what a skewed cache can implement (no per-set state \
+         exists; see DESIGN.md).",
+    ))
+}
+
+pub(super) fn write_policy(a: &ExpArgs) -> Result<Report, DriverError> {
+    let ops = a.usize("ops")?;
+    let geom = paper_l1();
+
+    let mut table = Table::new(
+        "write policy x placement, suite averages",
+        &[
+            "configuration",
+            "load miss%",
+            "write miss%",
+            "writebacks/kop",
+        ],
+    );
+    for (pname, policy) in [
+        (
+            "write-through/no-allocate",
+            WritePolicy::WriteThroughNoAllocate,
+        ),
+        ("write-back/allocate", WritePolicy::WriteBackAllocate),
+    ] {
+        for (sname, spec) in [
+            ("conventional", IndexSpec::modulo()),
+            ("skewed I-Poly", IndexSpec::ipoly_skewed()),
+        ] {
+            let mut load_miss = Vec::new();
+            let mut write_miss = Vec::new();
+            let mut wb_per_kop = Vec::new();
+            for b in SpecBenchmark::all() {
+                let mut cache = Cache::builder(geom)
+                    .index_spec(spec.clone())
+                    .write_policy(policy)
+                    .build()
+                    .expect("cache");
+                for r in mem_refs(b.generator(5).take(ops)) {
+                    cache.access(r.addr, r.is_write);
+                }
+                let s = cache.stats();
+                load_miss.push(s.read_miss_ratio() * 100.0);
+                if s.writes > 0 {
+                    write_miss.push(s.write_misses as f64 / s.writes as f64 * 100.0);
+                }
+                wb_per_kop.push(s.writebacks as f64 / (s.accesses as f64 / 1000.0));
+            }
+            table.push_row(vec![
+                Value::s(format!("{pname} + {sname}")),
+                Value::f(arithmetic_mean(&load_miss), 2),
+                Value::f(arithmetic_mean(&write_miss), 2),
+                Value::f(arithmetic_mean(&wb_per_kop), 2),
+            ]);
+        }
+    }
+
+    Ok(Report::new(format!(
+        "A5: write policy x placement, suite averages ({ops} ops/benchmark, {geom})",
+        geom = paper_l1()
+    ))
+    .param("ops", ops)
+    .table(table)
+    .note(
+        "Reading guide: write-allocate pulls store lines into the cache, which \
+         amplifies conflicts under conventional indexing and is close to free under \
+         I-Poly — placement robustness buys freedom in the write-policy choice too.",
+    ))
+}

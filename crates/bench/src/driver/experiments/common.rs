@@ -1,0 +1,83 @@
+//! Helpers shared by the experiment ports.
+
+use crate::driver::args::ExpArgs;
+use crate::driver::DriverError;
+use cac_core::{CacheGeometry, IndexSpec};
+
+/// The paper's L1 geometry: 8KB, 32-byte lines, 2 ways.
+pub(super) fn paper_l1() -> CacheGeometry {
+    CacheGeometry::new(8 * 1024, 32, 2).expect("paper geometry is valid")
+}
+
+/// Every scheme accepted by `--scheme`/`--schemes`, keyed by
+/// [`IndexSpec::name`].
+fn all_schemes() -> Vec<IndexSpec> {
+    vec![
+        IndexSpec::modulo(),
+        IndexSpec::xor(),
+        IndexSpec::xor_skewed(),
+        IndexSpec::ipoly(),
+        IndexSpec::ipoly_skewed(),
+        IndexSpec::prime(),
+        IndexSpec::prime_skewed(),
+        IndexSpec::add_skew(),
+        IndexSpec::add_skew_skewed(),
+        IndexSpec::rand_table(),
+        IndexSpec::rand_table_skewed(),
+        IndexSpec::xor_matrix(),
+        IndexSpec::xor_matrix_skewed(),
+    ]
+}
+
+/// Resolves one scheme name (as printed by [`IndexSpec::name`]).
+pub(super) fn parse_scheme(name: &str) -> Result<IndexSpec, DriverError> {
+    all_schemes()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            DriverError::Usage(format!(
+                "unknown scheme {name:?}; valid: {}",
+                all_schemes()
+                    .iter()
+                    .map(IndexSpec::name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+/// Resolves a comma-separated scheme list.
+pub(super) fn parse_schemes(csv: &str) -> Result<Vec<IndexSpec>, DriverError> {
+    let schemes: Vec<IndexSpec> = csv
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_scheme(s.trim()))
+        .collect::<Result<_, _>>()?;
+    if schemes.is_empty() {
+        return Err(DriverError::Usage("no schemes given".into()));
+    }
+    Ok(schemes)
+}
+
+/// Builds a geometry from the conventional `size`/`line`/`ways`
+/// parameters declared by the trace tools.
+pub(super) fn parse_geometry(a: &ExpArgs) -> Result<CacheGeometry, DriverError> {
+    CacheGeometry::new(a.u64("size")?, a.u64("line")?, a.u32("ways")?).map_err(DriverError::from)
+}
+
+/// Resolves a benchmark name against the 18-model workload suite.
+pub(super) fn parse_benchmark(name: &str) -> Result<cac_trace::spec::SpecBenchmark, DriverError> {
+    cac_trace::spec::SpecBenchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| {
+            DriverError::Usage(format!(
+                "unknown benchmark {name:?}; valid: {}",
+                cac_trace::spec::SpecBenchmark::all()
+                    .iter()
+                    .map(|b| b.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}

@@ -1,0 +1,178 @@
+//! Hardware-cost studies: `cac xor-tree` (the §3.4 XOR-tree/CLA timing
+//! argument) and `cac interleave` (Rau's pseudo-randomly interleaved
+//! memory, the original habitat of polynomial placement).
+
+use crate::driver::args::ExpArgs;
+use crate::driver::report::{Report, Table, Value};
+use crate::driver::DriverError;
+use cac_core::cla::ClaModel;
+use cac_core::latency::CriticalPath;
+use cac_core::IndexSpec;
+use cac_gf2::irreducible::{irreducibles, is_primitive};
+use cac_gf2::xor_tree::{min_fan_in_poly, XorTree};
+use cac_interleave::{random_sweep, stride_sweep, summarize, BankConfig};
+
+pub(super) fn xor_tree(_a: &ExpArgs) -> Result<Report, DriverError> {
+    let cla = ClaModel::binary64();
+    if cla.delay_for_bits(19) != 9 || cla.full_delay() != 11 {
+        return Err(DriverError::Failed(
+            "CLA model drifted from the paper's block-delay figures".into(),
+        ));
+    }
+
+    let mut table = Table::new(
+        "XOR-tree cost of I-Poly index functions",
+        &[
+            "geometry",
+            "P(x)",
+            "class",
+            "max fan-in",
+            "XOR2 depth",
+            "fan-in<=5 polys",
+            "CLA verdict",
+        ],
+    );
+    let mut notes = Vec::new();
+    for (label, m, v) in [
+        ("8KB 2-way (128 sets)", 7u32, 14u32),
+        ("16KB 2-way (256 sets)", 8, 14),
+        ("8KB DM (256 sets)", 8, 14),
+    ] {
+        let p = min_fan_in_poly(m, v);
+        let tree = XorTree::new(p, v);
+        let fan_ins: Vec<u32> = (0..tree.output_bits()).map(|i| tree.fan_in(i)).collect();
+        if tree.max_fan_in() > 5 {
+            return Err(DriverError::Failed(format!(
+                "{label}: fan-in {} exceeds the paper's bound of 5",
+                tree.max_fan_in()
+            )));
+        }
+        let good = irreducibles(m)
+            .filter(|&q| XorTree::new(q, v).max_fan_in() <= 5)
+            .count();
+        let total = irreducibles(m).count();
+        // One XOR2 level per unit of gate depth; assume one lookahead
+        // block per XOR2 level for the critical-path verdict.
+        let verdict = cla.critical_path_for(v + 5, tree.gate_depth());
+        table.push_row(vec![
+            Value::s(label),
+            Value::s(p.to_string()),
+            Value::s(if is_primitive(p) {
+                "primitive"
+            } else {
+                "irreducible"
+            }),
+            Value::u(u64::from(tree.max_fan_in())),
+            Value::u(u64::from(tree.gate_depth())),
+            Value::s(format!("{good}/{total}")),
+            Value::s(match verdict {
+                CriticalPath::XorHidden => "XOR hidden in adder slack",
+                CriticalPath::XorExposed => "XOR exposed (one-cycle penalty)",
+            }),
+        ]);
+        notes.push(format!("{label}: per-bit fan-in {fan_ins:?}"));
+    }
+
+    let mut report = Report::new("E8 / section 3.4: XOR-tree cost of I-Poly index functions")
+        .note(format!(
+            "CLA timing (64-bit binary lookahead): 19 low bits ready at {} block-delays, \
+             full sum at {}, slack {}",
+            cla.delay_for_bits(19),
+            cla.full_delay(),
+            cla.slack_for_bits(19)
+        ))
+        .table(table);
+    for n in notes {
+        report = report.note(n);
+    }
+    Ok(report.note("all selected polynomials satisfy the paper's fan-in claim (max <= 5)"))
+}
+
+pub(super) fn interleave(a: &ExpArgs) -> Result<Report, DriverError> {
+    let banks = a.u32("banks")?;
+    let busy = a.u32("busy")?;
+    let max_stride = a.u64("max-stride")?;
+    let accesses = a.u64("accesses")?;
+
+    if max_stride == 0 {
+        return Err(DriverError::Usage("--max-stride must be at least 1".into()));
+    }
+    let cfg = BankConfig::new(banks, 8, busy)
+        .map_err(|e| DriverError::Usage(format!("bad configuration: {e}")))?;
+
+    let selectors = [
+        ("modulo", IndexSpec::modulo()),
+        ("prime (Lawrie-Vora)", IndexSpec::prime()),
+        ("add-skew (Harper-Jump)", IndexSpec::add_skew()),
+        ("rand-table (Raghavan-Hayes)", IndexSpec::rand_table()),
+        ("xor-matrix (Frailong)", IndexSpec::xor_matrix()),
+        ("ipoly (Rau)", IndexSpec::ipoly()),
+    ];
+
+    let mut table = Table::new(
+        "sustained bandwidth by bank-selection function",
+        &[
+            "selector",
+            "min bw",
+            "mean bw",
+            "degraded",
+            "pow2 min bw",
+            "worst stride",
+        ],
+    );
+    for (name, spec) in &selectors {
+        let results = stride_sweep(cfg, spec.clone(), max_stride, accesses)
+            .map_err(|e| DriverError::Failed(format!("{name}: {e}")))?;
+        let summary = summarize(&results, 0.5);
+        let pow2_min = (0..)
+            .map(|k| 1u64 << k)
+            .take_while(|&s| s <= max_stride)
+            .map(|s| results[(s - 1) as usize].bandwidth)
+            .fold(f64::INFINITY, f64::min);
+        let worst = results
+            .iter()
+            .min_by(|a, b| a.bandwidth.total_cmp(&b.bandwidth))
+            .expect("non-empty sweep");
+        table.push_row(vec![
+            Value::s(*name),
+            Value::f(summary.min_bandwidth, 3),
+            Value::f(summary.mean_bandwidth, 3),
+            Value::s(format!("{}/{max_stride}", summary.degraded)),
+            Value::f(pow2_min, 3),
+            Value::u(worst.stride),
+        ]);
+    }
+
+    // Rau's reference point: random traffic, where the selector is
+    // irrelevant and only queueing limits bandwidth.
+    let mut rand_bws = Vec::new();
+    for (_, spec) in &selectors {
+        if let Ok(stats) = random_sweep(cfg, spec.clone(), accesses, 17) {
+            rand_bws.push(stats.bandwidth());
+        }
+    }
+    let (lo, hi) = rand_bws
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &b| {
+            (lo.min(b), hi.max(b))
+        });
+
+    Ok(Report::new(format!(
+        "E12 / Rau [19]: {banks} banks x 8B words, busy {busy} cycles, \
+         strides 1..={max_stride}, {accesses} accesses per stride"
+    ))
+    .param("banks", banks)
+    .param("busy", busy)
+    .param("max-stride", max_stride)
+    .param("accesses", accesses)
+    .table(table)
+    .note(format!(
+        "random-traffic reference (selector-independent): bandwidth {lo:.3}..{hi:.3} \
+         across all selectors"
+    ))
+    .note(format!(
+        "peak = 1.0 access/cycle; serial floor = {:.3}; 'degraded' counts strides \
+         below bandwidth 0.5",
+        1.0 / f64::from(busy)
+    )))
+}

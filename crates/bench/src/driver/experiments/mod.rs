@@ -1,0 +1,310 @@
+//! The experiment implementations behind the `cac` subcommands.
+//!
+//! Each submodule ports the logic of one group of retired standalone
+//! binaries into functions from [`ExpArgs`](crate::driver::args::ExpArgs)
+//! to [`Report`](crate::driver::report::Report); [`REGISTRY`] binds them
+//! to subcommand names, legacy binary names, and declared parameters.
+//!
+//! Parameter declaration order matters: it is the positional-argument
+//! order of the retired binaries, which the compatibility shims rely on.
+
+mod ablations;
+mod cache_level;
+mod common;
+mod cpu_level;
+mod figures;
+mod hardware;
+mod hier;
+mod tables;
+mod tools;
+
+use crate::driver::args::param;
+use crate::driver::Experiment;
+
+/// Every registered experiment, in help-display order.
+pub const REGISTRY: &[Experiment] = &[
+    // ----- paper figures & tables ------------------------------------
+    Experiment {
+        name: "fig1",
+        legacy_bin: Some("fig1_stride_sweep"),
+        group: "paper figures & tables",
+        summary: "Figure 1: per-stride miss-ratio distribution of the four schemes",
+        params: &[
+            param("max-stride", "4096", "sweep strides 1..max (8B elements)"),
+            param("passes", "16", "passes over the 64-element vector"),
+        ],
+        run: figures::fig1,
+    },
+    Experiment {
+        name: "table1",
+        legacy_bin: Some("table1_config"),
+        group: "paper figures & tables",
+        summary: "Table 1: functional units and processor parameters, verified",
+        params: &[],
+        run: tables::table1,
+    },
+    Experiment {
+        name: "table2",
+        legacy_bin: Some("table2_ipc"),
+        group: "paper figures & tables",
+        summary: "Table 2: IPC and load miss ratio, 18 workloads x 7 configurations",
+        params: &[param("ops", "200000", "instructions per configuration")],
+        run: tables::table2,
+    },
+    Experiment {
+        name: "table3",
+        legacy_bin: Some("table3_bad_programs"),
+        group: "paper figures & tables",
+        summary: "Table 3: the high-conflict programs and the headline IPC gains",
+        params: &[param("ops", "200000", "instructions per configuration")],
+        run: tables::table3,
+    },
+    // ----- cache-level studies ---------------------------------------
+    Experiment {
+        name: "missratio",
+        legacy_bin: Some("missratio_comparison"),
+        group: "cache-level studies",
+        summary: "section 2.1: conventional vs I-Poly vs fully-associative miss ratios",
+        params: &[param("ops", "400000", "ops per benchmark")],
+        run: cache_level::missratio,
+    },
+    Experiment {
+        name: "organizations",
+        legacy_bin: Some("organizations_comparison"),
+        group: "cache-level studies",
+        summary: "section 2.1: every named 8KB cache organization, head to head",
+        params: &[param("ops", "200000", "ops per benchmark")],
+        run: cache_level::organizations,
+    },
+    Experiment {
+        name: "column",
+        legacy_bin: Some("column_assoc"),
+        group: "cache-level studies",
+        summary: "section 3.1 option 4: column-associative with polynomial rehash",
+        params: &[param("ops", "400000", "ops per benchmark")],
+        run: cache_level::column_assoc,
+    },
+    Experiment {
+        name: "related",
+        legacy_bin: Some("related_work_indexing"),
+        group: "cache-level studies",
+        summary: "section 2.1 related work: all placement functions on both evaluations",
+        params: &[
+            param("max-stride", "4096", "sweep strides 1..max"),
+            param("ops", "150000", "ops per benchmark"),
+        ],
+        run: cache_level::related_work,
+    },
+    Experiment {
+        name: "tiling",
+        legacy_bin: Some("tiling_conflicts"),
+        group: "cache-level studies",
+        summary: "section 5: tiled matmul tile-size sweep, conventional vs I-Poly",
+        params: &[param("n", "128", "matrix dimension")],
+        run: cache_level::tiling,
+    },
+    Experiment {
+        name: "regions",
+        legacy_bin: Some("debug_regions"),
+        group: "cache-level studies",
+        summary: "debugging aid: per-region miss breakdown for one benchmark",
+        params: &[
+            param("bench", "swim", "workload model name"),
+            param("ops", "400000", "ops to replay"),
+        ],
+        run: cache_level::regions,
+    },
+    // ----- processor-level studies -----------------------------------
+    Experiment {
+        name: "options",
+        legacy_bin: Some("options_comparison"),
+        group: "processor-level studies",
+        summary: "section 3.1: translation options (physical vs virtual-real) by IPC",
+        params: &[param("ops", "120000", "instructions per benchmark")],
+        run: cpu_level::options,
+    },
+    Experiment {
+        name: "predictor",
+        legacy_bin: Some("predictor_accuracy"),
+        group: "processor-level studies",
+        summary: "section 3.4: memory address predictability of the workload suite",
+        params: &[param("ops", "400000", "ops per benchmark")],
+        run: cpu_level::predictor_accuracy,
+    },
+    // ----- two-level hierarchy ---------------------------------------
+    Experiment {
+        name: "holes",
+        legacy_bin: Some("holes_model"),
+        group: "two-level hierarchy",
+        summary: "section 3.3: hole probability, analytical model vs simulation",
+        params: &[param("ops", "400000", "ops per benchmark")],
+        run: hier::holes,
+    },
+    Experiment {
+        name: "option2",
+        legacy_bin: Some("option2_pagesize"),
+        group: "two-level hierarchy",
+        summary: "section 3.1 option 2: page-size-aware dynamic index switching",
+        params: &[param("passes", "64", "kernel passes per phase")],
+        run: hier::option2,
+    },
+    Experiment {
+        name: "coherency",
+        legacy_bin: Some("coherency_holes"),
+        group: "two-level hierarchy",
+        summary: "section 3.3 cause 3: external coherency holes on a snooping bus",
+        params: &[param("rounds", "256", "traffic rounds")],
+        run: hier::coherency,
+    },
+    // ----- hardware cost ---------------------------------------------
+    Experiment {
+        name: "xor-tree",
+        legacy_bin: Some("xor_tree_cost"),
+        group: "hardware cost",
+        summary: "section 3.4: XOR-tree fan-in and the carry-lookahead slack argument",
+        params: &[],
+        run: hardware::xor_tree,
+    },
+    Experiment {
+        name: "interleave",
+        legacy_bin: Some("interleave_bandwidth"),
+        group: "hardware cost",
+        summary: "Rau [19]: bank-selection functions in interleaved memory",
+        params: &[
+            param("banks", "16", "number of memory banks"),
+            param("busy", "6", "bank busy time (cycles)"),
+            param("max-stride", "128", "sweep strides 1..=max"),
+            param("accesses", "2048", "accesses per stride"),
+        ],
+        run: hardware::interleave,
+    },
+    // ----- ablations -------------------------------------------------
+    Experiment {
+        name: "ablation-poly",
+        legacy_bin: Some("ablation_poly_choice"),
+        group: "ablations",
+        summary: "A1: irreducible vs reducible vs degenerate polynomial choice",
+        params: &[param("ops", "200000", "ops per benchmark")],
+        run: ablations::poly_choice,
+    },
+    Experiment {
+        name: "ablation-address-bits",
+        legacy_bin: Some("ablation_address_bits"),
+        group: "ablations",
+        summary: "A2: I-Poly hash input width vs miss ratio",
+        params: &[param("ops", "200000", "ops per benchmark")],
+        run: ablations::address_bits,
+    },
+    Experiment {
+        name: "ablation-predictor",
+        legacy_bin: Some("ablation_predictor"),
+        group: "ablations",
+        summary: "A3: address-predictor table size sweep",
+        params: &[param("ops", "200000", "ops per benchmark")],
+        run: cpu_level::ablation_predictor,
+    },
+    Experiment {
+        name: "ablation-related-ipc",
+        legacy_bin: Some("ablation_related_ipc"),
+        group: "ablations",
+        summary: "A4: related-work schemes through the full processor model",
+        params: &[param("ops", "100000", "instructions per benchmark")],
+        run: cpu_level::ablation_related_ipc,
+    },
+    Experiment {
+        name: "ablation-write-policy",
+        legacy_bin: Some("ablation_write_policy"),
+        group: "ablations",
+        summary: "A5: write policy x placement interaction",
+        params: &[param("ops", "150000", "ops per benchmark")],
+        run: ablations::write_policy,
+    },
+    Experiment {
+        name: "ablation-l2-index",
+        legacy_bin: Some("ablation_l2_index"),
+        group: "ablations",
+        summary: "A6: does the L2 index function change the hole rate?",
+        params: &[
+            param("blocks", "16384", "streamed blocks per round"),
+            param("rounds", "6", "rounds over the stream"),
+        ],
+        run: hier::ablation_l2_index,
+    },
+    Experiment {
+        name: "ablation-replacement",
+        legacy_bin: Some("ablation_replacement"),
+        group: "ablations",
+        summary: "A7: LRU vs FIFO vs random replacement under skew",
+        params: &[param("ops", "150000", "ops per benchmark")],
+        run: ablations::replacement,
+    },
+    // ----- trace tools -----------------------------------------------
+    Experiment {
+        name: "sweep",
+        legacy_bin: None,
+        group: "trace tools",
+        summary: "generalised stride sweep: any schemes, any geometry, CSV-friendly",
+        params: &[
+            param(
+                "schemes",
+                "modulo,xor-skew,ipoly,ipoly-skew",
+                "comma-separated scheme list",
+            ),
+            param("max-stride", "512", "sweep strides 1..max"),
+            param("passes", "16", "passes over the vector"),
+            param("size", "8192", "cache capacity (bytes)"),
+            param("line", "32", "line size (bytes)"),
+            param("ways", "2", "associativity"),
+        ],
+        run: figures::sweep,
+    },
+    Experiment {
+        name: "replay",
+        legacy_bin: None,
+        group: "trace tools",
+        summary: "stream a trace file through a configurable cache",
+        params: &[
+            param("trace", "", "trace file (binary or text, auto-detected)"),
+            param("scheme", "ipoly-skew", "placement scheme"),
+            param("size", "8192", "cache capacity (bytes)"),
+            param("line", "32", "line size (bytes)"),
+            param("ways", "2", "associativity"),
+            param("chunk", "8192", "ops per replay chunk"),
+        ],
+        run: tools::replay,
+    },
+    Experiment {
+        name: "trace-gen",
+        legacy_bin: None,
+        group: "trace tools",
+        summary: "generate a workload-model trace file (binary or text)",
+        params: &[
+            param("bench", "swim", "workload model name"),
+            param("ops", "1000000", "ops to generate"),
+            param("out", "", "output file path (required)"),
+            param("format", "binary", "binary | text"),
+            param("seed", "12345", "generator seed"),
+        ],
+        run: tools::trace_gen,
+    },
+    Experiment {
+        name: "trace-convert",
+        legacy_bin: None,
+        group: "trace tools",
+        summary: "convert a trace between text and binary formats",
+        params: &[
+            param("input", "", "input trace (format auto-detected)"),
+            param("output", "", "output file path"),
+            param("to", "", "target format (default: the other one)"),
+        ],
+        run: tools::trace_convert,
+    },
+    Experiment {
+        name: "trace-info",
+        legacy_bin: None,
+        group: "trace tools",
+        summary: "summarise a trace file (op mix, address range)",
+        params: &[param("input", "", "trace file to inspect")],
+        run: tools::trace_info,
+    },
+];

@@ -1,0 +1,322 @@
+//! Trace tooling: `cac trace gen`, `cac trace convert`,
+//! `cac trace info` and `cac replay`.
+//!
+//! This is the external-trace workflow the binary format exists for:
+//! generate (or import) a trace file, inspect it, convert between the
+//! text interchange format and the compact binary format, and stream it
+//! through a configurable cache at batched-replay speed.
+
+use super::common::{parse_benchmark, parse_geometry, parse_scheme};
+use crate::driver::args::ExpArgs;
+use crate::driver::report::{Report, Table, Value};
+use crate::driver::DriverError;
+use cac_sim::cache::Cache;
+use cac_sim::replay::{run_cache_chunked, run_cache_refs};
+use cac_trace::io::{
+    read_trace, sniff_format, write_trace, BinaryTraceReader, BinaryTraceWriter, ChunkSource,
+    TraceFormat, DEFAULT_CHUNK_OPS,
+};
+use cac_trace::{OpClass, TraceOp};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::time::Instant;
+
+fn parse_file_format(s: &str) -> Result<TraceFormat, DriverError> {
+    match s {
+        "binary" => Ok(TraceFormat::Binary),
+        "text" => Ok(TraceFormat::Text),
+        other => Err(DriverError::Usage(format!(
+            "unknown trace format {other:?}; valid: binary, text"
+        ))),
+    }
+}
+
+/// Opens a trace file and detects its format from the leading bytes.
+fn open_sniffed(path: &str) -> Result<(File, TraceFormat), DriverError> {
+    let mut f =
+        File::open(path).map_err(|e| DriverError::Failed(format!("cannot open {path}: {e}")))?;
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match f.read(&mut prefix[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) => return Err(DriverError::Failed(format!("cannot read {path}: {e}"))),
+        }
+    }
+    let format = sniff_format(&prefix[..got]);
+    f.seek(SeekFrom::Start(0))
+        .map_err(|e| DriverError::Failed(format!("cannot rewind {path}: {e}")))?;
+    Ok((f, format))
+}
+
+/// A [`ChunkSource`] with a unified error type, so the tools can stream
+/// either format through one code path.
+enum AnySource {
+    Binary(BinaryTraceReader<BufReader<File>>),
+    Text(cac_trace::io::ReadTrace<File>),
+}
+
+impl AnySource {
+    fn open(path: &str) -> Result<Self, DriverError> {
+        let (file, format) = open_sniffed(path)?;
+        match format {
+            TraceFormat::Binary => {
+                let reader = BinaryTraceReader::new(BufReader::new(file))
+                    .map_err(|e| DriverError::Failed(format!("{path}: {e}")))?;
+                Ok(AnySource::Binary(reader))
+            }
+            TraceFormat::Text => Ok(AnySource::Text(read_trace(file))),
+        }
+    }
+
+    fn format(&self) -> TraceFormat {
+        match self {
+            AnySource::Binary(_) => TraceFormat::Binary,
+            AnySource::Text(_) => TraceFormat::Text,
+        }
+    }
+}
+
+impl ChunkSource for AnySource {
+    type Error = DriverError;
+
+    fn read_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> Result<usize, DriverError> {
+        match self {
+            AnySource::Binary(r) => r
+                .read_chunk(out, max)
+                .map_err(|e| DriverError::Failed(e.to_string())),
+            AnySource::Text(r) => {
+                ChunkSource::read_chunk(r, out, max).map_err(|e| DriverError::Failed(e.to_string()))
+            }
+        }
+    }
+}
+
+fn format_name(f: TraceFormat) -> &'static str {
+    match f {
+        TraceFormat::Binary => "binary",
+        TraceFormat::Text => "text",
+    }
+}
+
+pub(super) fn trace_gen(a: &ExpArgs) -> Result<Report, DriverError> {
+    let bench = parse_benchmark(a.str("bench"))?;
+    let ops = a.u64("ops")?;
+    let seed = a.u64("seed")?;
+    let out = a.str("out");
+    if out.is_empty() {
+        return Err(DriverError::Usage(
+            "--out is required (path of the trace file to write)".into(),
+        ));
+    }
+    let format = parse_file_format(a.str("format"))?;
+
+    let file =
+        File::create(out).map_err(|e| DriverError::Failed(format!("cannot create {out}: {e}")))?;
+    let gen = bench.generator(seed).take(ops as usize);
+    match format {
+        TraceFormat::Binary => {
+            let mut w = BinaryTraceWriter::new(file)?;
+            w.write_all(gen)?;
+            w.finish()?;
+        }
+        TraceFormat::Text => {
+            let mut w = BufWriter::new(file);
+            write_trace(&mut w, gen)?;
+            w.flush()?;
+        }
+    }
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    Ok(Report::new("trace gen")
+        .param("bench", bench.name())
+        .param("ops", ops)
+        .param("seed", seed)
+        .param("out", out)
+        .param("format", format_name(format))
+        .table(
+            Table::new("written", &["file", "format", "ops", "bytes", "bytes/op"]).row(vec![
+                Value::s(out),
+                Value::s(format_name(format)),
+                Value::u(ops),
+                Value::u(bytes),
+                Value::f(bytes as f64 / ops.max(1) as f64, 2),
+            ]),
+        ))
+}
+
+pub(super) fn trace_convert(a: &ExpArgs) -> Result<Report, DriverError> {
+    let input = a.str("input");
+    let output = a.str("output");
+    if input.is_empty() || output.is_empty() {
+        return Err(DriverError::Usage(
+            "usage: cac trace convert <input> <output> [--to binary|text]".into(),
+        ));
+    }
+    let mut source = AnySource::open(input)?;
+    let to = if a.is_set("to") {
+        parse_file_format(a.str("to"))?
+    } else {
+        // Default: convert to the other format.
+        match source.format() {
+            TraceFormat::Binary => TraceFormat::Text,
+            TraceFormat::Text => TraceFormat::Binary,
+        }
+    };
+
+    let file = File::create(output)
+        .map_err(|e| DriverError::Failed(format!("cannot create {output}: {e}")))?;
+    let mut buf = Vec::with_capacity(DEFAULT_CHUNK_OPS);
+    let mut ops = 0u64;
+    match to {
+        TraceFormat::Binary => {
+            let mut w = BinaryTraceWriter::new(file)?;
+            while source.read_chunk(&mut buf, DEFAULT_CHUNK_OPS)? > 0 {
+                ops += buf.len() as u64;
+                w.write_all(buf.iter().copied())?;
+            }
+            w.finish()?;
+        }
+        TraceFormat::Text => {
+            let mut w = BufWriter::new(file);
+            while source.read_chunk(&mut buf, DEFAULT_CHUNK_OPS)? > 0 {
+                ops += buf.len() as u64;
+                write_trace(&mut w, buf.iter().copied())?;
+            }
+            w.flush()?;
+        }
+    }
+    let in_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    let out_bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    Ok(Report::new("trace convert")
+        .param("input", input)
+        .param("output", output)
+        .param("to", format_name(to))
+        .table(
+            Table::new("converted", &["from", "to", "ops", "in bytes", "out bytes"]).row(vec![
+                Value::s(format_name(source.format())),
+                Value::s(format_name(to)),
+                Value::u(ops),
+                Value::u(in_bytes),
+                Value::u(out_bytes),
+            ]),
+        ))
+}
+
+pub(super) fn trace_info(a: &ExpArgs) -> Result<Report, DriverError> {
+    let input = a.str("input");
+    if input.is_empty() {
+        return Err(DriverError::Usage("usage: cac trace info <file>".into()));
+    }
+    let mut source = AnySource::open(input)?;
+    let format = source.format();
+
+    let mut buf = Vec::with_capacity(DEFAULT_CHUNK_OPS);
+    let mut total = 0u64;
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut branches = 0u64;
+    let mut taken = 0u64;
+    let mut addr_min = u64::MAX;
+    let mut addr_max = 0u64;
+    while source.read_chunk(&mut buf, DEFAULT_CHUNK_OPS)? > 0 {
+        total += buf.len() as u64;
+        for op in &buf {
+            match op.class {
+                OpClass::Load => loads += 1,
+                OpClass::Store => stores += 1,
+                OpClass::Branch => {
+                    branches += 1;
+                    if op.taken {
+                        taken += 1;
+                    }
+                }
+                _ => {}
+            }
+            if let Some(addr) = op.addr {
+                addr_min = addr_min.min(addr);
+                addr_max = addr_max.max(addr);
+            }
+        }
+    }
+    let bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    let mem = loads + stores;
+    let mut table = Table::new("trace summary", &["field", "value"])
+        .row(vec![Value::s("format"), Value::s(format_name(format))])
+        .row(vec![Value::s("bytes"), Value::u(bytes)])
+        .row(vec![Value::s("ops"), Value::u(total)])
+        .row(vec![Value::s("loads"), Value::u(loads)])
+        .row(vec![Value::s("stores"), Value::u(stores)])
+        .row(vec![Value::s("branches"), Value::u(branches)])
+        .row(vec![Value::s("branches taken"), Value::u(taken)])
+        .row(vec![
+            Value::s("compute ops"),
+            Value::u(total - mem - branches),
+        ]);
+    if mem > 0 {
+        table.push_row(vec![
+            Value::s("address range"),
+            Value::s(format!("{addr_min:#x}..{addr_max:#x}")),
+        ]);
+    }
+    Ok(Report::new(format!("trace info: {input}"))
+        .param("input", input)
+        .table(table))
+}
+
+pub(super) fn replay(a: &ExpArgs) -> Result<Report, DriverError> {
+    let trace = a.str("trace");
+    if trace.is_empty() {
+        return Err(DriverError::Usage(
+            "--trace is required (a file produced by `cac trace gen`/`convert`)".into(),
+        ));
+    }
+    let scheme = parse_scheme(a.str("scheme"))?;
+    let geom = parse_geometry(a)?;
+    let chunk = a.usize("chunk")?;
+    let mut cache = Cache::build(geom, scheme.clone())?;
+
+    let source = AnySource::open(trace)?;
+    let format = source.format();
+    let start = Instant::now();
+    // Binary traces take the MemRef fast path; text streams go through
+    // the generic chunked op replay.
+    let stats = match source {
+        AnySource::Binary(mut reader) => run_cache_refs(&mut cache, &mut reader)
+            .map_err(|e| DriverError::Failed(e.to_string()))?,
+        text => run_cache_chunked(&mut cache, text, chunk)?,
+    };
+    let elapsed = start.elapsed();
+
+    let melem_s = stats.accesses as f64 / elapsed.as_secs_f64() / 1e6;
+    let table = Table::new("replay statistics", &["counter", "value"])
+        .row(vec![Value::s("accesses"), Value::u(stats.accesses)])
+        .row(vec![Value::s("reads"), Value::u(stats.reads)])
+        .row(vec![Value::s("writes"), Value::u(stats.writes)])
+        .row(vec![Value::s("misses"), Value::u(stats.misses)])
+        .row(vec![
+            Value::s("miss ratio %"),
+            Value::f(stats.miss_ratio() * 100.0, 3),
+        ])
+        .row(vec![
+            Value::s("read miss ratio %"),
+            Value::f(stats.read_miss_ratio() * 100.0, 3),
+        ])
+        .row(vec![Value::s("evictions"), Value::u(stats.evictions)]);
+    Ok(Report::new(format!(
+        "replay: {trace} ({}) through {scheme} on {geom}",
+        format_name(format)
+    ))
+    .param("trace", trace)
+    .param("scheme", scheme.name())
+    .param("size", geom.capacity())
+    .param("line", geom.block())
+    .param("ways", geom.ways())
+    .param("chunk", chunk)
+    .table(table)
+    .note(format!(
+        "replayed {} references in {:.1} ms ({melem_s:.1} Melem/s streaming)",
+        stats.accesses,
+        elapsed.as_secs_f64() * 1e3
+    )))
+}

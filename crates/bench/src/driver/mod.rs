@@ -1,0 +1,357 @@
+//! The unified experiment driver behind the `cac` CLI.
+//!
+//! The paper's evaluation is a matrix of experiments (the Figure 1
+//! stride sweep, Tables 1–3, the §3.1 option studies, the §3.3 hole
+//! model, plus this workspace's ablations). Historically each lived in
+//! its own binary under `src/bin/` with ad-hoc output; this module
+//! subsumes them all behind one registry:
+//!
+//! * every experiment is a function from parsed parameters
+//!   ([`args::ExpArgs`]) to a structured [`report::Report`];
+//! * the `cac` binary dispatches subcommands (`cac fig1`, `cac table2`,
+//!   `cac trace convert`, ...) to the registry and renders the report as
+//!   text, JSON or CSV (`--format`), to stdout or a file (`--out`);
+//! * the retired per-experiment binaries remain as thin shims over
+//!   [`legacy_main`], which maps their positional arguments onto the
+//!   same experiment functions — same code path, same numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_bench::driver;
+//!
+//! let words = vec!["--max-stride".to_owned(), "16".to_owned(), "--passes".to_owned(), "2".to_owned()];
+//! let report = driver::run_experiment("fig1", &words).unwrap();
+//! assert!(report.to_text().contains("pathological"));
+//! ```
+
+pub mod args;
+pub mod experiments;
+pub mod report;
+
+use args::{ExpArgs, ParamSpec};
+use report::{OutputFormat, Report};
+use std::fmt;
+use std::io::Write as _;
+
+/// Error produced by the driver or an experiment.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The command line (or a parameter value) was invalid; exit code 2.
+    Usage(String),
+    /// The experiment itself failed (bad trace file, invalid cache
+    /// configuration, I/O trouble); exit code 1.
+    Failed(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Usage(m) | DriverError::Failed(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<cac_core::Error> for DriverError {
+    fn from(e: cac_core::Error) -> Self {
+        DriverError::Failed(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for DriverError {
+    fn from(e: std::io::Error) -> Self {
+        DriverError::Failed(e.to_string())
+    }
+}
+
+/// One registered experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Subcommand name (`cac <name>`).
+    pub name: &'static str,
+    /// Name of the retired standalone binary this subcommand subsumes
+    /// (`None` for commands new to the unified CLI).
+    pub legacy_bin: Option<&'static str>,
+    /// Help grouping.
+    pub group: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Declared parameters.
+    pub params: &'static [ParamSpec],
+    /// The experiment body.
+    pub run: fn(&ExpArgs) -> Result<Report, DriverError>,
+}
+
+impl fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("name", &self.name)
+            .field("legacy_bin", &self.legacy_bin)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The full experiment registry, in help-display order.
+pub fn experiments() -> &'static [Experiment] {
+    experiments::REGISTRY
+}
+
+/// Looks an experiment up by subcommand name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    experiments().iter().find(|e| e.name == name)
+}
+
+/// Looks an experiment up by the name of the standalone binary it
+/// retired.
+pub fn find_legacy(bin: &str) -> Option<&'static Experiment> {
+    experiments().iter().find(|e| e.legacy_bin == Some(bin))
+}
+
+/// Parses `words` against the experiment's declared parameters and runs
+/// it. This is the programmatic entry the CLI, the shims and the tests
+/// all share.
+///
+/// # Errors
+///
+/// [`DriverError::Usage`] for unknown experiments or malformed
+/// parameters; whatever the experiment itself reports otherwise.
+pub fn run_experiment(name: &str, words: &[String]) -> Result<Report, DriverError> {
+    let exp = find(name)
+        .ok_or_else(|| DriverError::Usage(format!("unknown command {name:?}; try `cac list`")))?;
+    let parsed = ExpArgs::parse(exp.params, words)?;
+    (exp.run)(&parsed)
+}
+
+fn usage() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "cac — experiment driver for the conflict-avoiding-cache reproduction\n\
+         \n\
+         USAGE:\n\
+         \x20   cac [--format text|json|csv] [--out FILE] <command> [--param value ...]\n\
+         \x20   cac help <command>     show a command's parameters\n\
+         \x20   cac list               one line per command\n\
+         \n\
+         Parameters may also be given positionally in declaration order, exactly\n\
+         as the retired per-experiment binaries accepted them.\n",
+    );
+    let mut group = "";
+    for e in experiments() {
+        if e.group != group {
+            group = e.group;
+            out.push_str(&format!("\n{group}:\n"));
+        }
+        let legacy = match e.legacy_bin {
+            Some(b) => format!("  (was: {b})"),
+            None => String::new(),
+        };
+        out.push_str(&format!("    {:<22} {}{legacy}\n", e.name, e.summary));
+    }
+    out
+}
+
+fn command_help(e: &Experiment) -> String {
+    let mut out = format!("cac {} — {}\n", e.name, e.summary);
+    if let Some(b) = e.legacy_bin {
+        out.push_str(&format!("(subsumes the retired `{b}` binary)\n"));
+    }
+    if e.params.is_empty() {
+        out.push_str("\nno parameters\n");
+    } else {
+        out.push_str("\nparameters:\n");
+        for p in e.params {
+            let default = if p.default.is_empty() {
+                "unset".to_owned()
+            } else {
+                format!("default {}", p.default)
+            };
+            out.push_str(&format!("    --{:<18} {} [{default}]\n", p.name, p.help));
+        }
+    }
+    out
+}
+
+/// Full CLI entry point for the `cac` binary. Returns the process exit
+/// code: 0 on success, 1 on experiment failure, 2 on usage errors.
+pub fn cli_main(raw: Vec<String>) -> i32 {
+    let mut format = OutputFormat::Text;
+    let mut out_path: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    // Global flags may precede the subcommand; everything after it is
+    // handed to the experiment's own parser.
+    while let Some(w) = it.next() {
+        match w.as_str() {
+            "--format" | "-f" => match it.next().as_deref().and_then(OutputFormat::parse) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("--format expects one of: text, json, csv");
+                    return 2;
+                }
+            },
+            "--out" | "-o" => match it.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("--out expects a file path");
+                    return 2;
+                }
+            },
+            "--help" | "-h" | "help" if rest.is_empty() => {
+                rest.push("help".to_owned());
+                rest.extend(it.by_ref());
+            }
+            _ => {
+                rest.push(w);
+                rest.extend(it.by_ref());
+            }
+        }
+    }
+    let Some(command) = rest.first().cloned() else {
+        print!("{}", usage());
+        return 2;
+    };
+    let mut words = rest[1..].to_vec();
+    match command.as_str() {
+        "help" => {
+            if words.is_empty() {
+                print!("{}", usage());
+                return 0;
+            }
+            let topic = words.remove(0);
+            let name = canonical_name(&topic, &mut words);
+            match find(&name) {
+                Some(e) => {
+                    print!("{}", command_help(e));
+                    0
+                }
+                None => {
+                    eprintln!("unknown command {name:?}; try `cac list`");
+                    2
+                }
+            }
+        }
+        "list" => {
+            for e in experiments() {
+                println!("{:<22} {}", e.name, e.summary);
+            }
+            0
+        }
+        _ => {
+            let name = canonical_name(&command, &mut words);
+            match run_experiment(&name, &words) {
+                Ok(report) => {
+                    let rendered = report.render(format);
+                    match &out_path {
+                        None => {
+                            print!("{rendered}");
+                            0
+                        }
+                        Some(path) => match std::fs::File::create(path)
+                            .and_then(|mut f| f.write_all(rendered.as_bytes()))
+                        {
+                            Ok(()) => 0,
+                            Err(e) => {
+                                eprintln!("cannot write {path}: {e}");
+                                1
+                            }
+                        },
+                    }
+                }
+                Err(DriverError::Usage(m)) => {
+                    eprintln!("{m}");
+                    if let Some(e) = find(&name) {
+                        eprint!("{}", command_help(e));
+                    }
+                    2
+                }
+                Err(DriverError::Failed(m)) => {
+                    eprintln!("{name} failed: {m}");
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// Resolves the two-word `trace <sub>` spelling to the registered
+/// `trace-<sub>` experiment name, consuming the sub-word from `words`.
+fn canonical_name(command: &str, words: &mut Vec<String>) -> String {
+    if command == "trace" {
+        if let Some(first) = words.first() {
+            if !first.starts_with("--") {
+                let sub = words.remove(0);
+                return format!("trace-{sub}");
+            }
+        }
+    }
+    command.to_owned()
+}
+
+/// Entry point for the retired per-experiment binaries: maps their
+/// positional `std::env::args` onto the registered experiment and
+/// prints the text report, preserving the old invocation style
+/// (`fig1_stride_sweep [max_stride] [passes]`). Returns the exit code.
+pub fn legacy_main(legacy_bin: &str) -> i32 {
+    let Some(exp) = find_legacy(legacy_bin) else {
+        eprintln!("driver bug: no experiment registered for {legacy_bin}");
+        return 1;
+    };
+    eprintln!(
+        "note: `{legacy_bin}` is now `cac {}`; this shim forwards to it",
+        exp.name
+    );
+    let words: Vec<String> = std::env::args().skip(1).collect();
+    match run_experiment(exp.name, &words) {
+        Ok(report) => {
+            print!("{}", report.to_text());
+            0
+        }
+        Err(DriverError::Usage(m)) => {
+            eprintln!("{m}");
+            2
+        }
+        Err(DriverError::Failed(m)) => {
+            eprintln!("{legacy_bin} failed: {m}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        let mut names = std::collections::BTreeSet::new();
+        let mut legacy = std::collections::BTreeSet::new();
+        for e in experiments() {
+            assert!(names.insert(e.name), "duplicate command {}", e.name);
+            assert!(!e.summary.is_empty(), "{} needs a summary", e.name);
+            if let Some(b) = e.legacy_bin {
+                assert!(legacy.insert(b), "duplicate legacy bin {b}");
+            }
+        }
+        // Every retired binary keeps exactly one subcommand.
+        assert_eq!(legacy.len(), 24, "24 retired binaries must stay covered");
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        assert!(matches!(
+            run_experiment("nope", &[]),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_subcommands_resolve() {
+        let mut words = vec!["gen".to_owned(), "--ops".to_owned(), "5".to_owned()];
+        assert_eq!(canonical_name("trace", &mut words), "trace-gen");
+        assert_eq!(words, vec!["--ops", "5"]);
+        let mut none: Vec<String> = Vec::new();
+        assert_eq!(canonical_name("fig1", &mut none), "fig1");
+    }
+}

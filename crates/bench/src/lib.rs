@@ -1,15 +1,22 @@
-//! Shared helpers for the benchmark harness binaries.
+//! The experiment platform of the conflict-avoiding-cache reproduction.
 //!
-//! The actual experiment drivers live in `src/bin/` (one binary per table
-//! or figure of the paper) and the Criterion micro-benchmarks in
-//! `benches/`. This library hosts the small amount of code they share:
-//! table formatting, terminal bar charts ([`chart`]) and summary
-//! statistics.
+//! The paper's whole evaluation is driven from one binary, `cac`
+//! (`src/bin/cac.rs`), whose subcommands live in the [`driver`] module:
+//! every experiment is a function from parsed parameters to a structured
+//! report that renders as text, JSON or CSV. The former one-binary-per-
+//! experiment mains under `src/bin/` remain as thin shims over
+//! [`driver::legacy_main`]. Criterion micro-benchmarks live in
+//! `benches/`.
+//!
+//! This library also hosts the shared substrate: the [`driver`] itself,
+//! parallel sweeps ([`parallel`]), terminal bar charts ([`chart`]), the
+//! Tables 2–3 runner ([`table2`]) and summary statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod driver;
 pub mod parallel;
 pub mod table2;
 

@@ -92,7 +92,7 @@ pub trait IndexFunction: fmt::Debug + Send + Sync {
     /// Functions that inspect every address bit (e.g. a prime modulus)
     /// return 64. The default is the conservative 64; implementations
     /// should override it with their true width so
-    /// [`IndexTable`](crate::index::IndexTable) can compile them into an
+    /// [`IndexTable`] can compile them into an
     /// exact lookup table.
     fn input_bits(&self) -> u32 {
         64
@@ -101,7 +101,7 @@ pub trait IndexFunction: fmt::Debug + Send + Sync {
     /// Writes `set_index(a, way)` for every `a` in `0..out.len()` into
     /// `out` (`out.len()` is a power of two).
     ///
-    /// This is the bulk-evaluation hook [`IndexTable`](crate::index::IndexTable)
+    /// This is the bulk-evaluation hook [`IndexTable`]
     /// compiles placements through; the default calls [`set_index`] per
     /// entry, and implementations with algebraic structure (I-Poly's
     /// GF(2)-linearity) override it with an `O(out.len())` synthesis.

@@ -365,6 +365,24 @@ impl Cache {
     /// accumulating in [`Cache::stats`] as with per-op calls, and the
     /// counters are identical to what the equivalent
     /// `for op { access(..) }` loop would produce.
+    ///
+    /// For traces too large to hold in memory, stream them instead with
+    /// [`crate::replay::run_cache`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cac_core::{CacheGeometry, IndexSpec};
+    /// use cac_sim::cache::Cache;
+    /// use cac_trace::spec::SpecBenchmark;
+    ///
+    /// let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+    /// let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed())?;
+    /// let delta = cache.run_trace(SpecBenchmark::Swim.generator(1).take(10_000));
+    /// assert_eq!(delta.accesses, delta.hits + delta.misses);
+    /// assert_eq!(cache.stats(), delta); // first trace on a cold cache
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn run_trace<I>(&mut self, ops: I) -> CacheStats
     where
         I: IntoIterator<Item = TraceOp>,
@@ -373,6 +391,21 @@ impl Cache {
     }
 
     /// Replays a bare memory-reference trace; see [`Cache::run_trace`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cac_core::{CacheGeometry, IndexSpec};
+    /// use cac_sim::cache::Cache;
+    /// use cac_trace::stride::VectorStride;
+    ///
+    /// let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+    /// let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed())?;
+    /// // Figure 1's pathological stride: I-Poly sees only compulsory misses.
+    /// let run = cache.run_refs(VectorStride::paper_figure1(512, 16));
+    /// assert_eq!(run.misses, 64);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn run_refs<I>(&mut self, refs: I) -> CacheStats
     where
         I: IntoIterator<Item = MemRef>,

@@ -53,7 +53,11 @@
 //!   ([`cache::Cache::run_trace`], [`hierarchy::TwoLevelHierarchy::run_trace`]),
 //!   which return per-trace [`CacheStats`] deltas that are byte-identical
 //!   to an equivalent per-op loop (`crates/sim/tests/replay_equivalence.rs`
-//!   holds the guards).
+//!   holds the guards);
+//! * on-disk traces stream through [`replay`], which refills a reused
+//!   chunk buffer from any `cac_trace::io::ChunkSource` (binary or text
+//!   reader) and drains it through the same batched path, so external
+//!   traces larger than memory replay at in-memory speed.
 //!
 //! # Example
 //!
@@ -91,6 +95,7 @@ pub mod jouppi;
 pub mod mshr;
 pub mod pagesize;
 pub mod replacement;
+pub mod replay;
 pub mod stats;
 pub mod stream;
 pub mod tlb;

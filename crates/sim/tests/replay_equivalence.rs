@@ -157,3 +157,53 @@ fn hierarchy_batched_replay_matches_per_op_loop() {
         assert!(batched.check_inclusion());
     }
 }
+
+#[test]
+fn binary_streaming_replay_is_byte_identical_to_in_memory() {
+    use cac_sim::replay::{run_cache_chunked, run_hierarchy_chunked};
+    use cac_trace::io::{write_trace_binary, BinaryTraceReader};
+
+    for bench in [SpecBenchmark::Tomcatv, SpecBenchmark::Gcc] {
+        let ops: Vec<_> = bench.generator(13).take(50_000).collect();
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+
+        // Single-level cache: identical counters AND identical contents,
+        // regardless of the chunk size the stream is fed in.
+        let mut reference = Cache::build(paper_geom(), IndexSpec::ipoly_skewed()).unwrap();
+        let expect = reference.run_trace(ops.iter().copied());
+        for chunk in [1usize, 777, 1 << 15] {
+            let mut streamed = Cache::build(paper_geom(), IndexSpec::ipoly_skewed()).unwrap();
+            let reader = BinaryTraceReader::new(&bytes[..]).unwrap();
+            let got = run_cache_chunked(&mut streamed, reader, chunk).unwrap();
+            assert_eq!(got, expect, "{} chunk {chunk}", bench.name());
+            let mut ra: Vec<u64> = reference.resident_blocks().collect();
+            let mut rb: Vec<u64> = streamed.resident_blocks().collect();
+            ra.sort_unstable();
+            rb.sort_unstable();
+            assert_eq!(ra, rb, "{} contents diverge at chunk {chunk}", bench.name());
+        }
+
+        // Two-level hierarchy: streamed run equals the in-memory run.
+        let l1 = paper_geom();
+        let l2 = CacheGeometry::new(64 * 1024, 32, 2).unwrap();
+        let build = || {
+            TwoLevelHierarchy::new(
+                l1,
+                IndexSpec::ipoly_skewed(),
+                l2,
+                IndexSpec::modulo(),
+                PageMapper::randomized(4096, 1 << 26, 3),
+            )
+            .unwrap()
+        };
+        let mut in_memory = build();
+        let expect = in_memory.run_trace(ops.iter().copied());
+        let mut streamed = build();
+        let reader = BinaryTraceReader::new(&bytes[..]).unwrap();
+        let got = run_hierarchy_chunked(&mut streamed, reader, 1024).unwrap();
+        assert_eq!(got.l1, expect.l1, "{}", bench.name());
+        assert_eq!(got.l2, expect.l2, "{}", bench.name());
+        assert_eq!(got.hierarchy, expect.hierarchy, "{}", bench.name());
+        assert!(streamed.check_inclusion());
+    }
+}

@@ -1,0 +1,952 @@
+//! Compact binary trace serialization.
+//!
+//! The text format parses at a few million ops per second — an order of
+//! magnitude below the simulator's batched replay path. This module
+//! defines a streaming binary format that closes that gap, so
+//! multi-gigabyte externally captured traces (the MIRAGE/birthday-bound
+//! style of evaluation) replay at full speed:
+//!
+//! * an 8-byte header: the [`BINARY_MAGIC`] bytes `CACT`, a format
+//!   version byte ([`BINARY_VERSION`]) and three reserved zero bytes;
+//! * one record per dynamic instruction: a **tag byte** encoding the op
+//!   kind (compute class, load, store, branch taken/not-taken), followed
+//!   by kind-specific fields;
+//! * program counters and effective addresses are **delta-encoded**
+//!   against the previous record (zigzag + LEB128 varint), which turns
+//!   the mostly-sequential pc stream and spatially local address stream
+//!   into one- or two-byte fields;
+//! * register operands are single bytes (`0xFF` = absent).
+//!
+//! The stream is terminated by the end of the underlying reader; records
+//! are self-delimiting, so readers detect truncation mid-record and
+//! report it as [`BinaryTraceError::Truncated`] rather than silently
+//! dropping the tail.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_trace::io::{BinaryTraceReader, BinaryTraceWriter};
+//! use cac_trace::TraceOp;
+//!
+//! let ops = vec![
+//!     TraceOp::load(0x400, 0x1_0000, 5, Some(3)),
+//!     TraceOp::store(0x404, 0x1_0008, 7, None),
+//!     TraceOp::branch(0x408, true, 0x400, Some(2)),
+//! ];
+//! let mut w = BinaryTraceWriter::new(Vec::new())?;
+//! w.write_all(ops.iter().copied())?;
+//! let bytes = w.finish()?;
+//! let back: Result<Vec<_>, _> = BinaryTraceReader::new(&bytes[..])?.collect();
+//! assert_eq!(back?, ops);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use super::ChunkSource;
+use crate::record::{MemRef, OpClass, TraceOp};
+use std::fmt;
+use std::io::{self, BufWriter, Read, Write};
+
+/// Magic bytes opening every binary trace.
+pub const BINARY_MAGIC: [u8; 4] = *b"CACT";
+
+/// Current (and only) format version.
+pub const BINARY_VERSION: u8 = 1;
+
+/// Header length in bytes: magic, version, three reserved zeros.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on the encoded size of one record: tag byte, two 10-byte
+/// varints, three register bytes.
+const MAX_RECORD_LEN: usize = 1 + 10 + 10 + 3;
+
+/// Register-operand byte meaning "absent".
+const REG_NONE: u8 = 0xFF;
+
+// Tag-byte kinds. 0..=6 are the compute classes in `OpClass` order;
+// memory and branch kinds follow. The high tag bits are reserved and
+// must be zero in version 1.
+const TAG_LOAD: u8 = 7;
+const TAG_STORE: u8 = 8;
+const TAG_BRANCH_NOT_TAKEN: u8 = 9;
+const TAG_BRANCH_TAKEN: u8 = 10;
+
+const COMPUTE_CLASSES: [OpClass; 7] = [
+    OpClass::IntAlu,
+    OpClass::IntMul,
+    OpClass::IntDiv,
+    OpClass::FpAdd,
+    OpClass::FpMul,
+    OpClass::FpDiv,
+    OpClass::FpSqrt,
+];
+
+fn compute_tag(class: OpClass) -> u8 {
+    COMPUTE_CLASSES
+        .iter()
+        .position(|&c| c == class)
+        .expect("compute class") as u8
+}
+
+/// Error produced while reading a binary trace.
+#[derive(Debug)]
+pub enum BinaryTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with [`BINARY_MAGIC`].
+    BadMagic,
+    /// The header carries a version this reader does not understand.
+    UnsupportedVersion(u8),
+    /// The stream ended in the middle of a record.
+    Truncated {
+        /// Number of records successfully decoded before the cut.
+        ops_decoded: u64,
+    },
+    /// A structurally invalid record.
+    Corrupt {
+        /// 0-based index of the offending record.
+        op: u64,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BinaryTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryTraceError::Io(e) => write!(f, "binary trace read failed: {e}"),
+            BinaryTraceError::BadMagic => {
+                write!(f, "not a binary trace (bad magic; expected `CACT`)")
+            }
+            BinaryTraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported binary trace version {v} (supported: 1)")
+            }
+            BinaryTraceError::Truncated { ops_decoded } => {
+                write!(
+                    f,
+                    "binary trace truncated after {ops_decoded} complete records"
+                )
+            }
+            BinaryTraceError::Corrupt { op, reason } => {
+                write!(f, "corrupt binary trace record {op}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinaryTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BinaryTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BinaryTraceError {
+    fn from(e: io::Error) -> Self {
+        BinaryTraceError::Io(e)
+    }
+}
+
+#[inline]
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn reg_byte(r: Option<u8>) -> u8 {
+    r.unwrap_or(REG_NONE)
+}
+
+/// Record-decode failure, positioned by the caller.
+enum DecodeError {
+    Truncated,
+    Corrupt(String),
+}
+
+/// Byte cursor over a fully buffered span of the stream.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    #[inline(always)]
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    #[inline(always)]
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        // Unrolled fast paths: delta-encoded streams are dominated by
+        // one-byte (sequential pc) and two/three-byte (local address)
+        // varints.
+        let b = self.byte()?;
+        if b < 0x80 {
+            return Ok(u64::from(b));
+        }
+        let mut v = u64::from(b & 0x7F);
+        let b = self.byte()?;
+        v |= u64::from(b & 0x7F) << 7;
+        if b < 0x80 {
+            return Ok(v);
+        }
+        let b = self.byte()?;
+        v |= u64::from(b & 0x7F) << 14;
+        if b < 0x80 {
+            return Ok(v);
+        }
+        let mut shift = 21u32;
+        loop {
+            let b = self.byte()?;
+            if shift == 63 && b > 1 {
+                return Err(DecodeError::Corrupt("varint overflows 64 bits".into()));
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(DecodeError::Corrupt("varint longer than 10 bytes".into()));
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn reg(&mut self) -> Result<Option<u8>, DecodeError> {
+        match self.byte()? {
+            REG_NONE => Ok(None),
+            r if r < 64 => Ok(Some(r)),
+            r => Err(bad_register(r)),
+        }
+    }
+}
+
+#[cold]
+fn bad_register(r: u8) -> DecodeError {
+    DecodeError::Corrupt(format!("register byte {r:#x} out of range"))
+}
+
+/// Decodes one record from `cur`, given the previous pc/addr state.
+/// Returns the op and the updated previous-address state.
+#[inline(always)]
+fn decode_record(
+    cur: &mut Cursor<'_>,
+    prev_pc: u64,
+    prev_addr: u64,
+) -> Result<(TraceOp, u64), DecodeError> {
+    let tag = cur.byte()?;
+    let pc = prev_pc.wrapping_add(zigzag_decode(cur.varint()?) as u64);
+    let op = match tag {
+        TAG_LOAD | TAG_STORE => {
+            let addr = prev_addr.wrapping_add(zigzag_decode(cur.varint()?) as u64);
+            let a = cur.reg()?;
+            let b = cur.reg()?;
+            let op = if tag == TAG_LOAD {
+                let dst =
+                    a.ok_or_else(|| DecodeError::Corrupt("load without destination".into()))?;
+                TraceOp::load(pc, addr, dst, b)
+            } else {
+                let src =
+                    a.ok_or_else(|| DecodeError::Corrupt("store without data register".into()))?;
+                TraceOp::store(pc, addr, src, b)
+            };
+            return Ok((op, addr));
+        }
+        TAG_BRANCH_NOT_TAKEN | TAG_BRANCH_TAKEN => {
+            let target = pc.wrapping_add(zigzag_decode(cur.varint()?) as u64);
+            let src = cur.reg()?;
+            TraceOp::branch(pc, tag == TAG_BRANCH_TAKEN, target, src)
+        }
+        t if (t as usize) < COMPUTE_CLASSES.len() => {
+            let dst = cur
+                .reg()?
+                .ok_or_else(|| DecodeError::Corrupt("compute op without destination".into()))?;
+            let s1 = cur.reg()?;
+            let s2 = cur.reg()?;
+            TraceOp::compute(pc, COMPUTE_CLASSES[t as usize], dst, [s1, s2])
+        }
+        t => return Err(DecodeError::Corrupt(format!("unknown tag byte {t:#x}"))),
+    };
+    Ok((op, prev_addr))
+}
+
+/// Streaming writer for the binary format.
+///
+/// Buffers internally; call [`finish`](BinaryTraceWriter::finish) to
+/// flush and recover the underlying writer.
+#[derive(Debug)]
+pub struct BinaryTraceWriter<W: Write> {
+    out: BufWriter<W>,
+    /// Per-record scratch, reused to avoid small write calls.
+    scratch: Vec<u8>,
+    prev_pc: u64,
+    prev_addr: u64,
+    ops: u64,
+}
+
+impl<W: Write> BinaryTraceWriter<W> {
+    /// Starts a binary trace on `w`, writing the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(w: W) -> io::Result<Self> {
+        let mut out = BufWriter::with_capacity(1 << 16, w);
+        out.write_all(&BINARY_MAGIC)?;
+        out.write_all(&[BINARY_VERSION, 0, 0, 0])?;
+        Ok(BinaryTraceWriter {
+            out,
+            scratch: Vec::with_capacity(MAX_RECORD_LEN),
+            prev_pc: 0,
+            prev_addr: 0,
+            ops: 0,
+        })
+    }
+
+    /// Number of records written so far.
+    pub fn ops_written(&self) -> u64 {
+        self.ops
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_op(&mut self, op: TraceOp) -> io::Result<()> {
+        let scratch = &mut self.scratch;
+        scratch.clear();
+        let pc_delta = zigzag_encode(op.pc.wrapping_sub(self.prev_pc) as i64);
+        match op.class {
+            OpClass::Load => {
+                let addr = op.addr.unwrap_or(0);
+                scratch.push(TAG_LOAD);
+                write_varint(scratch, pc_delta);
+                write_varint(
+                    scratch,
+                    zigzag_encode(addr.wrapping_sub(self.prev_addr) as i64),
+                );
+                scratch.push(reg_byte(op.dst));
+                scratch.push(reg_byte(op.srcs[0]));
+                self.prev_addr = addr;
+            }
+            OpClass::Store => {
+                let addr = op.addr.unwrap_or(0);
+                scratch.push(TAG_STORE);
+                write_varint(scratch, pc_delta);
+                write_varint(
+                    scratch,
+                    zigzag_encode(addr.wrapping_sub(self.prev_addr) as i64),
+                );
+                scratch.push(reg_byte(op.srcs[0]));
+                scratch.push(reg_byte(op.srcs[1]));
+                self.prev_addr = addr;
+            }
+            OpClass::Branch => {
+                scratch.push(if op.taken {
+                    TAG_BRANCH_TAKEN
+                } else {
+                    TAG_BRANCH_NOT_TAKEN
+                });
+                write_varint(scratch, pc_delta);
+                write_varint(scratch, zigzag_encode(op.target.wrapping_sub(op.pc) as i64));
+                scratch.push(reg_byte(op.srcs[0]));
+            }
+            class => {
+                scratch.push(compute_tag(class));
+                write_varint(scratch, pc_delta);
+                scratch.push(reg_byte(op.dst));
+                scratch.push(reg_byte(op.srcs[0]));
+                scratch.push(reg_byte(op.srcs[1]));
+            }
+        }
+        self.prev_pc = op.pc;
+        self.ops += 1;
+        self.out.write_all(scratch)
+    }
+
+    /// Appends every op of an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_all<I: IntoIterator<Item = TraceOp>>(&mut self, ops: I) -> io::Result<()> {
+        for op in ops {
+            self.write_op(op)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final flush.
+    pub fn finish(self) -> io::Result<W> {
+        self.out
+            .into_inner()
+            .map_err(io::IntoInnerError::into_error)
+    }
+}
+
+/// One-call convenience: writes header plus all `ops` to `w` and returns
+/// the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace_binary<W: Write, I: IntoIterator<Item = TraceOp>>(
+    w: W,
+    ops: I,
+) -> io::Result<W> {
+    let mut writer = BinaryTraceWriter::new(w)?;
+    writer.write_all(ops)?;
+    writer.finish()
+}
+
+/// Streaming reader for the binary format.
+///
+/// Maintains its own refill buffer (no `BufReader` needed underneath)
+/// and decodes records either one at a time (the [`Iterator`] impl) or
+/// in caller-buffered batches
+/// ([`read_chunk`](BinaryTraceReader::read_chunk), the fast path used by
+/// `cac_sim::replay`).
+#[derive(Debug)]
+pub struct BinaryTraceReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    hit_eof: bool,
+    failed: bool,
+    prev_pc: u64,
+    prev_addr: u64,
+    ops: u64,
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Opens a binary trace, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// [`BinaryTraceError::BadMagic`] /
+    /// [`BinaryTraceError::UnsupportedVersion`] on a foreign or
+    /// newer-versioned stream, [`BinaryTraceError::Truncated`] if the
+    /// stream ends inside the header, or an I/O error.
+    pub fn new(inner: R) -> Result<Self, BinaryTraceError> {
+        let mut r = BinaryTraceReader {
+            inner,
+            buf: vec![0; 1 << 16],
+            pos: 0,
+            len: 0,
+            hit_eof: false,
+            failed: false,
+            prev_pc: 0,
+            prev_addr: 0,
+            ops: 0,
+        };
+        r.refill()?;
+        if r.len - r.pos < HEADER_LEN {
+            let have = r.len.min(BINARY_MAGIC.len());
+            if r.len == 0 || r.buf[..have] != BINARY_MAGIC[..have] {
+                return Err(BinaryTraceError::BadMagic);
+            }
+            return Err(BinaryTraceError::Truncated { ops_decoded: 0 });
+        }
+        if r.buf[..4] != BINARY_MAGIC {
+            return Err(BinaryTraceError::BadMagic);
+        }
+        if r.buf[4] != BINARY_VERSION {
+            return Err(BinaryTraceError::UnsupportedVersion(r.buf[4]));
+        }
+        r.pos = HEADER_LEN;
+        Ok(r)
+    }
+
+    /// Number of records decoded so far.
+    pub fn ops_decoded(&self) -> u64 {
+        self.ops
+    }
+
+    /// Moves the unconsumed tail to the front of the buffer and reads
+    /// more bytes, until the buffer is full or the stream ends.
+    fn refill(&mut self) -> Result<(), BinaryTraceError> {
+        self.buf.copy_within(self.pos..self.len, 0);
+        self.len -= self.pos;
+        self.pos = 0;
+        while self.len < self.buf.len() && !self.hit_eof {
+            match self.inner.read(&mut self.buf[self.len..]) {
+                Ok(0) => self.hit_eof = true,
+                Ok(n) => self.len += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    fn corrupt(&self, reason: impl Into<String>) -> BinaryTraceError {
+        BinaryTraceError::Corrupt {
+            op: self.ops,
+            reason: reason.into(),
+        }
+    }
+
+    /// Decodes the next record, or `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`BinaryTraceError::Truncated`] if the stream stops mid-record,
+    /// [`BinaryTraceError::Corrupt`] on invalid tags/operands, or an
+    /// I/O error.
+    pub fn next_op(&mut self) -> Result<Option<TraceOp>, BinaryTraceError> {
+        // Guarantee a whole record (or final EOF) is buffered so the
+        // decode below never touches the reader.
+        if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
+            self.refill()?;
+        }
+        if self.pos == self.len {
+            return Ok(None);
+        }
+        let mut cur = Cursor {
+            buf: &self.buf[self.pos..self.len],
+            pos: 0,
+        };
+        let result = decode_record(&mut cur, self.prev_pc, self.prev_addr);
+        let (op, prev_addr) = match result {
+            Ok(decoded) => decoded,
+            Err(DecodeError::Truncated) => {
+                return Err(BinaryTraceError::Truncated {
+                    ops_decoded: self.ops,
+                })
+            }
+            Err(DecodeError::Corrupt(reason)) => return Err(self.corrupt(reason)),
+        };
+        self.pos += cur.pos;
+        self.prev_pc = op.pc;
+        self.prev_addr = prev_addr;
+        self.ops += 1;
+        Ok(Some(op))
+    }
+
+    /// Clears `out` and decodes up to `max` records into it, returning
+    /// the count (`0` = end of stream). This is the batched fast path:
+    /// the buffer is caller-owned and reused, refill checks are hoisted
+    /// out of the per-record loop, and the inner decode runs over a
+    /// plain byte slice — so a replay loop does no per-op allocation,
+    /// error-checking or buffer management.
+    ///
+    /// # Errors
+    ///
+    /// As for [`next_op`](BinaryTraceReader::next_op). Records decoded
+    /// before the error are left in `out`.
+    pub fn read_chunk(
+        &mut self,
+        out: &mut Vec<TraceOp>,
+        max: usize,
+    ) -> Result<usize, BinaryTraceError> {
+        out.clear();
+        out.reserve(max.min(1 << 20));
+        while out.len() < max {
+            if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
+                self.refill()?;
+            }
+            if self.pos == self.len {
+                break;
+            }
+            // Records starting before `guaranteed` are fully buffered;
+            // past it (only at EOF) the cursor may legitimately run out,
+            // which decode reports as `Truncated`.
+            let guaranteed = if self.hit_eof {
+                self.len
+            } else {
+                self.len - MAX_RECORD_LEN + 1
+            };
+            let mut cur = Cursor {
+                buf: &self.buf[..self.len],
+                pos: self.pos,
+            };
+            let (mut prev_pc, mut prev_addr) = (self.prev_pc, self.prev_addr);
+            let mut ops = self.ops;
+            let mut failure = None;
+            while out.len() < max && cur.pos < guaranteed {
+                match decode_record(&mut cur, prev_pc, prev_addr) {
+                    Ok((op, addr)) => {
+                        prev_pc = op.pc;
+                        prev_addr = addr;
+                        ops += 1;
+                        out.push(op);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.pos = cur.pos;
+            self.prev_pc = prev_pc;
+            self.prev_addr = prev_addr;
+            self.ops = ops;
+            match failure {
+                Some(DecodeError::Truncated) => {
+                    return Err(BinaryTraceError::Truncated { ops_decoded: ops })
+                }
+                Some(DecodeError::Corrupt(reason)) => {
+                    return Err(BinaryTraceError::Corrupt { op: ops, reason })
+                }
+                None => {}
+            }
+        }
+        Ok(out.len())
+    }
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Decodes the rest of the stream, invoking `f` on every memory
+    /// reference, and returns the number of records consumed.
+    ///
+    /// This is the fastest replay shape (`cac_sim::replay::run_cache_refs`
+    /// uses it): decode and consumer run fused in one loop, so the
+    /// sequential varint decode chain of the next record overlaps with
+    /// the consumer's work for the current one instead of serialising
+    /// chunk-by-chunk, and no intermediate buffer is materialised at
+    /// all.
+    ///
+    /// # Errors
+    ///
+    /// As for [`next_op`](BinaryTraceReader::next_op). References
+    /// already delivered to `f` before the error stand.
+    pub fn for_each_ref<F: FnMut(MemRef)>(&mut self, mut f: F) -> Result<u64, BinaryTraceError> {
+        let mut consumed = 0u64;
+        loop {
+            if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
+                self.refill()?;
+            }
+            if self.pos == self.len {
+                return Ok(consumed);
+            }
+            let guaranteed = if self.hit_eof {
+                self.len
+            } else {
+                self.len - MAX_RECORD_LEN + 1
+            };
+            let mut cur = Cursor {
+                buf: &self.buf[..self.len],
+                pos: self.pos,
+            };
+            let (mut prev_pc, mut prev_addr) = (self.prev_pc, self.prev_addr);
+            let mut ops = self.ops;
+            let mut failure = None;
+            while cur.pos < guaranteed {
+                match decode_ref(&mut cur, prev_pc, prev_addr) {
+                    Ok((r, pc, addr)) => {
+                        prev_pc = pc;
+                        prev_addr = addr;
+                        ops += 1;
+                        consumed += 1;
+                        if let Some(r) = r {
+                            f(r);
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.pos = cur.pos;
+            self.prev_pc = prev_pc;
+            self.prev_addr = prev_addr;
+            self.ops = ops;
+            match failure {
+                Some(DecodeError::Truncated) => {
+                    return Err(BinaryTraceError::Truncated { ops_decoded: ops })
+                }
+                Some(DecodeError::Corrupt(reason)) => {
+                    return Err(BinaryTraceError::Corrupt { op: ops, reason })
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+/// Decodes one record, keeping only its memory-reference projection.
+/// Returns the (optional) reference plus the new pc/addr state.
+#[inline(always)]
+fn decode_ref(
+    cur: &mut Cursor<'_>,
+    prev_pc: u64,
+    prev_addr: u64,
+) -> Result<(Option<MemRef>, u64, u64), DecodeError> {
+    let tag = cur.byte()?;
+    let pc = prev_pc.wrapping_add(zigzag_decode(cur.varint()?) as u64);
+    match tag {
+        TAG_LOAD | TAG_STORE => {
+            let addr = prev_addr.wrapping_add(zigzag_decode(cur.varint()?) as u64);
+            let a = cur.reg()?;
+            cur.reg()?;
+            if a.is_none() {
+                return Err(DecodeError::Corrupt(
+                    if tag == TAG_LOAD {
+                        "load without destination"
+                    } else {
+                        "store without data register"
+                    }
+                    .into(),
+                ));
+            }
+            let r = MemRef {
+                pc,
+                addr,
+                is_write: tag == TAG_STORE,
+            };
+            Ok((Some(r), pc, addr))
+        }
+        TAG_BRANCH_NOT_TAKEN | TAG_BRANCH_TAKEN => {
+            cur.varint()?;
+            cur.reg()?;
+            Ok((None, pc, prev_addr))
+        }
+        t if (t as usize) < COMPUTE_CLASSES.len() => {
+            cur.reg()?
+                .ok_or_else(|| DecodeError::Corrupt("compute op without destination".into()))?;
+            cur.reg()?;
+            cur.reg()?;
+            Ok((None, pc, prev_addr))
+        }
+        t => Err(DecodeError::Corrupt(format!("unknown tag byte {t:#x}"))),
+    }
+}
+
+impl<R: Read> Iterator for BinaryTraceReader<R> {
+    type Item = Result<TraceOp, BinaryTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_op() {
+            Ok(Some(op)) => Some(Ok(op)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+impl<R: Read> ChunkSource for BinaryTraceReader<R> {
+    type Error = BinaryTraceError;
+
+    fn read_chunk(
+        &mut self,
+        out: &mut Vec<TraceOp>,
+        max: usize,
+    ) -> Result<usize, BinaryTraceError> {
+        BinaryTraceReader::read_chunk(self, out, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBenchmark;
+
+    fn sample_ops() -> Vec<TraceOp> {
+        vec![
+            TraceOp::load(0x400, 0x1000, 5, Some(3)),
+            TraceOp::load(0x404, 0x2000, 6, None),
+            TraceOp::store(0x408, 0x3000, 7, Some(2)),
+            TraceOp::branch(0x40c, true, 0x400, Some(1)),
+            TraceOp::branch(0x410, false, 0, None),
+            TraceOp::compute(0x414, OpClass::IntAlu, 1, [Some(2), Some(3)]),
+            TraceOp::compute(0x418, OpClass::FpSqrt, 40, [Some(41), None]),
+            TraceOp::compute(0x41c, OpClass::IntDiv, 9, [None, None]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_op_kind() {
+        let ops = sample_ops();
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let back: Vec<TraceOp> = BinaryTraceReader::new(&bytes[..])
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn round_trip_synthetic_benchmark_prefix() {
+        let ops: Vec<TraceOp> = SpecBenchmark::Tomcatv.generator(9).take(5000).collect();
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let back: Vec<TraceOp> = BinaryTraceReader::new(&bytes[..])
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn delta_encoding_is_compact() {
+        // A sequential pc stream with local addresses: ~4 bytes per
+        // memory op, ~4 per compute op.
+        let ops: Vec<TraceOp> = (0..1000u64)
+            .map(|i| TraceOp::load(0x1_0000 + i * 4, 0x8_0000 + i * 8, 5, Some(3)))
+            .collect();
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        // First record pays full-width deltas; every later one is
+        // tag + 1-byte pc delta + 1-byte addr delta + 2 register bytes.
+        assert!(
+            bytes.len() <= HEADER_LEN + MAX_RECORD_LEN + (ops.len() - 1) * 5,
+            "{} bytes for {} ops",
+            bytes.len(),
+            ops.len()
+        );
+    }
+
+    #[test]
+    fn extreme_values_survive() {
+        let ops = vec![
+            TraceOp::load(u64::MAX, 0, 63, Some(0)),
+            TraceOp::load(0, u64::MAX, 0, None),
+            TraceOp::branch(u64::MAX / 2, true, u64::MAX, None),
+        ];
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let back: Vec<TraceOp> = BinaryTraceReader::new(&bytes[..])
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert!(matches!(
+            BinaryTraceReader::new(&b"NOPE4567"[..]),
+            Err(BinaryTraceError::BadMagic)
+        ));
+        assert!(matches!(
+            BinaryTraceReader::new(&b""[..]),
+            Err(BinaryTraceError::BadMagic)
+        ));
+        let mut bytes = write_trace_binary(Vec::new(), sample_ops()).unwrap();
+        bytes[4] = 9;
+        assert!(matches!(
+            BinaryTraceReader::new(&bytes[..]),
+            Err(BinaryTraceError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        let ops = sample_ops();
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        for cut in 0..bytes.len() {
+            let r = BinaryTraceReader::new(&bytes[..cut]);
+            match r {
+                Err(BinaryTraceError::BadMagic) => assert!(cut < 4),
+                Err(BinaryTraceError::Truncated { .. }) => assert!(cut < HEADER_LEN),
+                Ok(reader) => {
+                    assert!(cut >= HEADER_LEN);
+                    let results: Vec<_> = reader.collect();
+                    let decoded_ok = results.iter().filter(|r| r.is_ok()).count();
+                    assert!(decoded_ok <= ops.len());
+                    // A cut either lands on a record boundary (clean
+                    // short stream) or yields exactly one final error.
+                    if let Some(Err(e)) = results.last() {
+                        assert!(matches!(e, BinaryTraceError::Truncated { .. }), "{e}");
+                    }
+                }
+                Err(e) => panic!("unexpected header error at cut {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected() {
+        // Unknown tag.
+        let mut bytes = write_trace_binary(Vec::new(), sample_ops()).unwrap();
+        bytes[HEADER_LEN] = 0x3F;
+        let err = BinaryTraceReader::new(&bytes[..])
+            .unwrap()
+            .find_map(Result::err)
+            .expect("error");
+        assert!(
+            matches!(err, BinaryTraceError::Corrupt { op: 0, .. }),
+            "{err}"
+        );
+
+        // Register byte out of range: load record is tag, pc varint,
+        // addr varint, dst, base — corrupt the dst byte of op 0.
+        let ops = vec![TraceOp::load(1, 1, 5, None)];
+        let mut bytes = write_trace_binary(Vec::new(), ops).unwrap();
+        let dst_off = bytes.len() - 2;
+        bytes[dst_off] = 0x64;
+        let err = BinaryTraceReader::new(&bytes[..])
+            .unwrap()
+            .find_map(Result::err)
+            .expect("error");
+        assert!(matches!(err, BinaryTraceError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn chunked_reads_match_iteration() {
+        let ops: Vec<TraceOp> = SpecBenchmark::Swim.generator(4).take(3000).collect();
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let mut reader = BinaryTraceReader::new(&bytes[..]).unwrap();
+        let mut buf = Vec::new();
+        let mut all = Vec::new();
+        while reader.read_chunk(&mut buf, 257).unwrap() > 0 {
+            all.extend_from_slice(&buf);
+        }
+        assert_eq!(all, ops);
+        assert_eq!(reader.ops_decoded(), ops.len() as u64);
+    }
+
+    #[test]
+    fn small_refill_buffers_still_decode() {
+        // Force many refills by feeding one byte at a time.
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() || buf.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let ops: Vec<TraceOp> = SpecBenchmark::Swim.generator(4).take(50).collect();
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let back: Vec<TraceOp> = BinaryTraceReader::new(OneByte(&bytes))
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(back, ops);
+    }
+}

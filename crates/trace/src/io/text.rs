@@ -1,13 +1,11 @@
 //! Plain-text trace serialization.
 //!
-//! The paper's evaluation ran captured SPEC95 traces through its
-//! simulators; this workspace substitutes synthetic models, but the hook
-//! for *real* traces should exist for downstream users. This module
-//! defines a line-oriented text format — one dynamic instruction per
-//! line, `#` comments, whitespace-separated fields — together with a
-//! writer and a streaming reader, so traces can be produced by any
+//! This is the *interchange* format: one dynamic instruction per line,
+//! `#` comments, whitespace-separated fields — easy to produce from any
 //! external tool (a Pin/DynamoRIO client, a QEMU plugin, another
-//! simulator) and replayed against every simulator in the workspace.
+//! simulator) and easy to inspect with standard text tools. For replay
+//! at simulator speed use the [compact binary format](super::binary)
+//! instead; `cac trace convert` translates between the two.
 //!
 //! Format, by op kind (registers are architectural numbers, `-` = none;
 //! numbers may be decimal or `0x`-prefixed hex):

@@ -11,9 +11,11 @@
 //! rationale.
 //!
 //! * [`record`] — instruction/memory record types ([`TraceOp`], [`MemRef`]).
-//! * [`io`] — a line-oriented text trace format with writer and streaming
-//!   reader, so externally captured traces (the paper's original
-//!   methodology) can replace the synthetic models.
+//! * [`io`] — trace serialization: a line-oriented text interchange
+//!   format and a compact varint/delta binary format, both with writers
+//!   and streaming readers, so externally captured traces (the paper's
+//!   original methodology) can replace the synthetic models and replay
+//!   at batched-simulation speed.
 //! * [`stride`] — the Figure 1 stride-sweep trace (64-element vector,
 //!   strides 1..4096).
 //! * [`kernels`] — composable loop-nest generator: strided array sweeps,

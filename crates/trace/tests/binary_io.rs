@@ -1,0 +1,110 @@
+//! Property-based tests for the trace codecs: arbitrary op sequences
+//! survive text ↔ binary ↔ in-memory round trips, and structurally
+//! damaged binary streams are rejected rather than misdecoded.
+
+use cac_trace::io::{
+    read_trace, sniff_format, write_trace, write_trace_binary, BinaryTraceError, BinaryTraceReader,
+    TraceFormat, HEADER_LEN,
+};
+use cac_trace::{OpClass, TraceOp};
+use proptest::prelude::*;
+
+/// Strategy for one arbitrary (but structurally valid) trace op.
+fn arb_op() -> impl Strategy<Value = TraceOp> {
+    let reg = prop_oneof![Just(None), (0u8..64).prop_map(Some)];
+    (
+        any::<u64>(),  // pc
+        any::<u64>(),  // addr / target
+        0u8..64,       // mandatory register
+        reg,           // optional register
+        any::<bool>(), // taken / spare
+        0usize..10,    // kind selector
+    )
+        .prop_map(|(pc, addr, r1, r2, flag, kind)| match kind {
+            0..=2 => TraceOp::load(pc, addr, r1, r2),
+            3 | 4 => TraceOp::store(pc, addr, r1, r2),
+            5 | 6 => TraceOp::branch(pc, flag, addr, r2),
+            7 => TraceOp::compute(pc, OpClass::IntAlu, r1, [r2, None]),
+            8 => TraceOp::compute(pc, OpClass::FpMul, r1, [r2, Some(r1)]),
+            _ => TraceOp::compute(pc, OpClass::IntDiv, r1, [None, r2]),
+        })
+}
+
+proptest! {
+    /// in-memory → binary → in-memory is the identity.
+    #[test]
+    fn binary_round_trip(ops in proptest::collection::vec(arb_op(), 0..300)) {
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        prop_assert_eq!(sniff_format(&bytes), TraceFormat::Binary);
+        let back: Result<Vec<TraceOp>, _> =
+            BinaryTraceReader::new(&bytes[..]).unwrap().collect();
+        prop_assert_eq!(back.unwrap(), ops);
+    }
+
+    /// in-memory → text → binary → text → in-memory is the identity:
+    /// the two formats encode exactly the same information.
+    #[test]
+    fn text_binary_text_round_trip(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut text = Vec::new();
+        write_trace(&mut text, ops.iter().copied()).unwrap();
+        let from_text: Vec<TraceOp> =
+            read_trace(&text[..]).map(Result::unwrap).collect();
+        prop_assert_eq!(&from_text, &ops);
+
+        let bytes = write_trace_binary(Vec::new(), from_text.iter().copied()).unwrap();
+        let from_binary: Vec<TraceOp> =
+            BinaryTraceReader::new(&bytes[..]).unwrap().map(Result::unwrap).collect();
+        prop_assert_eq!(&from_binary, &ops);
+
+        let mut text2 = Vec::new();
+        write_trace(&mut text2, from_binary.iter().copied()).unwrap();
+        prop_assert_eq!(text, text2);
+    }
+
+    /// Truncating a valid stream anywhere either yields a clean prefix
+    /// (cut on a record boundary) or ends with exactly one
+    /// `Truncated` error — never garbage ops beyond the damage point.
+    #[test]
+    fn truncation_never_misdecodes(
+        ops in proptest::collection::vec(arb_op(), 1..100),
+        cut_permille in 0u64..1000,
+    ) {
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let cut = HEADER_LEN + ((bytes.len() - HEADER_LEN) as u64 * cut_permille / 1000) as usize;
+        let results: Vec<_> = BinaryTraceReader::new(&bytes[..cut]).unwrap().collect();
+        let decoded: Vec<TraceOp> = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .copied()
+            .collect();
+        // Decoded prefix must be a prefix of the original ops.
+        prop_assert!(decoded.len() <= ops.len());
+        prop_assert_eq!(&decoded[..], &ops[..decoded.len()]);
+        if let Some(Err(e)) = results.last() {
+            prop_assert!(matches!(e, BinaryTraceError::Truncated { .. }), "{}", e);
+        }
+    }
+
+    /// A flipped version byte is always rejected at open.
+    #[test]
+    fn wrong_version_rejected(ops in proptest::collection::vec(arb_op(), 0..20), v in 2u8..255) {
+        let mut bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        bytes[4] = v;
+        prop_assert!(matches!(
+            BinaryTraceReader::new(&bytes[..]),
+            Err(BinaryTraceError::UnsupportedVersion(got)) if got == v
+        ));
+    }
+
+    /// Any corruption of the magic is rejected as a foreign stream.
+    #[test]
+    fn corrupt_magic_rejected(byte in 0usize..4, xor in 1u16..256) {
+        let mut bytes = write_trace_binary(Vec::new(), std::iter::empty()).unwrap();
+        bytes[byte] ^= xor as u8;
+        prop_assert!(matches!(
+            BinaryTraceReader::new(&bytes[..]),
+            Err(BinaryTraceError::BadMagic)
+        ));
+        prop_assert_eq!(sniff_format(&bytes), TraceFormat::Text);
+    }
+}

@@ -103,6 +103,15 @@ fn bench_cache(c: &mut Criterion) {
         let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed()).unwrap();
         b.iter(|| black_box(cache.run_refs(refs.iter().copied())))
     });
+    // The same replay through the `MemoryModel` trait object, as
+    // `cac run --config` drives it: the dynamic dispatch is once per
+    // slice, so this must stay within 5% of the concrete path above.
+    group.bench_function("ipoly-skew_run_refs_dyn", |b| {
+        use cac_sim::model::MemoryModel;
+        let mut model: Box<dyn MemoryModel> =
+            Box::new(Cache::build(geom, IndexSpec::ipoly_skewed()).unwrap());
+        b.iter(|| black_box(model.run_refs(&refs)))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("hierarchy_access");

@@ -19,6 +19,11 @@ pub struct ParamSpec {
     pub default: &'static str,
     /// One-line help text.
     pub help: &'static str,
+    /// Variadic: surplus positional arguments append to this parameter
+    /// (newline-separated, so values containing spaces survive), so
+    /// `cac config validate examples/*.toml` collects every
+    /// shell-expanded path. Read the result with [`ExpArgs::list`].
+    pub variadic: bool,
 }
 
 /// Convenience constructor used by the experiment registry.
@@ -27,6 +32,17 @@ pub const fn param(name: &'static str, default: &'static str, help: &'static str
         name,
         default,
         help,
+        variadic: false,
+    }
+}
+
+/// Variadic-parameter constructor; see [`ParamSpec::variadic`].
+pub const fn vparam(name: &'static str, default: &'static str, help: &'static str) -> ParamSpec {
+    ParamSpec {
+        name,
+        default,
+        help,
+        variadic: true,
     }
 }
 
@@ -82,15 +98,24 @@ impl ExpArgs {
                 explicit.push(spec.name);
                 args.values.insert(spec.name, value);
             } else {
-                // Positional: next spec not yet bound explicitly.
-                let spec = positional
-                    .by_ref()
-                    .find(|s| !explicit.contains(&s.name))
-                    .ok_or_else(|| {
-                        DriverError::Usage(format!("unexpected positional argument {w:?}"))
-                    })?;
-                explicit.push(spec.name);
-                args.values.insert(spec.name, w.clone());
+                // Positional: next spec not yet bound explicitly; once a
+                // variadic spec is bound, surplus positionals append to it.
+                match positional.by_ref().find(|s| !explicit.contains(&s.name)) {
+                    Some(spec) => {
+                        explicit.push(spec.name);
+                        args.values.insert(spec.name, w.clone());
+                    }
+                    None => {
+                        let spec = specs.iter().rev().find(|s| s.variadic).ok_or_else(|| {
+                            DriverError::Usage(format!("unexpected positional argument {w:?}"))
+                        })?;
+                        let joined = args.values.get_mut(spec.name).expect("declared");
+                        if !joined.is_empty() {
+                            joined.push('\n');
+                        }
+                        joined.push_str(w);
+                    }
+                }
             }
             i += 1;
         }
@@ -111,6 +136,17 @@ impl ExpArgs {
     /// `true` if the parameter has a non-empty value.
     pub fn is_set(&self, name: &str) -> bool {
         !self.str(name).is_empty()
+    }
+
+    /// A variadic parameter's collected values (one per surplus
+    /// positional argument; empty when unset). Values may contain
+    /// spaces — the accumulator separates entries with newlines.
+    pub fn list(&self, name: &str) -> Vec<&str> {
+        self.str(name)
+            .split('\n')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect()
     }
 
     fn parse_as<T: std::str::FromStr>(&self, name: &str) -> Result<T, DriverError> {
@@ -193,6 +229,27 @@ mod tests {
         let a = ExpArgs::parse(SPECS, &words(&["--ops", "7", "11"])).unwrap();
         assert_eq!(a.u64("ops").unwrap(), 7);
         assert_eq!(a.u64("seed").unwrap(), 11);
+    }
+
+    #[test]
+    fn variadic_param_collects_surplus_positionals() {
+        const V: &[ParamSpec] = &[
+            param("mode", "check", "validation mode"),
+            vparam("files", "", "files to validate"),
+        ];
+        let a = ExpArgs::parse(V, &words(&["strict", "a.toml", "b.toml", "c.toml"])).unwrap();
+        assert_eq!(a.str("mode"), "strict");
+        assert_eq!(a.list("files"), vec!["a.toml", "b.toml", "c.toml"]);
+        // A single-variadic-spec experiment takes any number of files,
+        // including paths with spaces.
+        const JUST_FILES: &[ParamSpec] = &[vparam("files", "", "files")];
+        let a = ExpArgs::parse(JUST_FILES, &words(&["x.toml", "my dir/y.toml"])).unwrap();
+        assert_eq!(a.list("files"), vec!["x.toml", "my dir/y.toml"]);
+        // Without a variadic spec, surplus positionals stay an error.
+        assert!(matches!(
+            ExpArgs::parse(SPECS, &words(&["1", "2", "3", "4"])),
+            Err(DriverError::Usage(_))
+        ));
     }
 
     #[test]

@@ -16,37 +16,42 @@ use crate::parallel::par_map;
 use crate::{arithmetic_mean, std_dev};
 use cac_core::{CacheGeometry, IndexSpec};
 use cac_sim::cache::Cache;
-use cac_sim::column::{ColumnAssociative, RehashKind};
-use cac_sim::jouppi::JouppiCache;
-use cac_sim::stream::StreamBufferCache;
-use cac_sim::victim::VictimCache;
+use cac_sim::column::RehashKind;
+use cac_sim::config::{ColumnConfig, JouppiConfig, ModelConfig, StreamConfig, VictimConfig};
+use cac_sim::SimConfig;
 use cac_trace::kernels::mem_refs;
 use cac_trace::patterns::TiledMatMul;
 use cac_trace::spec::SpecBenchmark;
 use cac_trace::stride::figure1_sweep;
+use cac_trace::MemRef;
 use std::collections::BTreeMap;
+
+/// Builds the configured model, replays `refs` and returns the demand
+/// load miss ratio in percent — the one measurement loop every
+/// organization/placement comparison in this module shares.
+fn load_miss_pct(cfg: &SimConfig, refs: &[MemRef]) -> f64 {
+    let mut model = cfg.build().expect("shipped config builds");
+    model.run_refs(refs);
+    model.stats().demand.read_miss_ratio() * 100.0
+}
 
 pub(super) fn missratio(a: &ExpArgs) -> Result<Report, DriverError> {
     let ops = a.usize("ops")?;
     let geom = paper_l1();
     let fa_geom = CacheGeometry::fully_associative(8 * 1024, 32).expect("valid geometry");
+    let conv = SimConfig::cache(geom, IndexSpec::modulo());
+    let ipoly = SimConfig::cache(geom, IndexSpec::ipoly_skewed());
+    let fa = SimConfig::cache(fa_geom, IndexSpec::modulo());
 
     // One worker per benchmark: each generates the workload once and
     // feeds the same reference stream to all three placements.
     let benches = SpecBenchmark::all();
     let results: Vec<(f64, f64, f64)> = par_map(&benches, |b| {
-        let mut conv = Cache::build(geom, IndexSpec::modulo()).expect("cache");
-        let mut ipoly = Cache::build(geom, IndexSpec::ipoly_skewed()).expect("cache");
-        let mut fa = Cache::build(fa_geom, IndexSpec::modulo()).expect("cache");
-        for r in mem_refs(b.generator(12345).take(ops)) {
-            conv.access(r.addr, r.is_write);
-            ipoly.access(r.addr, r.is_write);
-            fa.access(r.addr, r.is_write);
-        }
+        let refs: Vec<MemRef> = mem_refs(b.generator(12345).take(ops)).collect();
         (
-            conv.stats().read_miss_ratio() * 100.0,
-            ipoly.stats().read_miss_ratio() * 100.0,
-            fa.stats().read_miss_ratio() * 100.0,
+            load_miss_pct(&conv, &refs),
+            load_miss_pct(&ipoly, &refs),
+            load_miss_pct(&fa, &refs),
         )
     });
 
@@ -91,139 +96,91 @@ pub(super) fn missratio(a: &ExpArgs) -> Result<Report, DriverError> {
     )))
 }
 
-pub(super) fn organizations(a: &ExpArgs) -> Result<Report, DriverError> {
-    let ops = a.usize("ops")?;
+/// The §2.1 organization matrix as declarative configs — the same
+/// organizations shipped under `examples/*.toml`
+/// (`crates/bench/tests/config_equivalence.rs` proves the file and
+/// in-code forms build identical models).
+pub fn organization_matrix() -> Vec<(&'static str, SimConfig)> {
     let dm = CacheGeometry::new(8 * 1024, 32, 1).expect("geometry");
     let w2 = paper_l1();
     let w4 = CacheGeometry::new(8 * 1024, 32, 4).expect("geometry");
     let fa = CacheGeometry::fully_associative(8 * 1024, 32).expect("geometry");
-
-    // Each organization is a closure from benchmark to load miss ratio;
-    // `Send + Sync` so the benchmark sweep can fan out per organization.
-    type Runner = Box<dyn Fn(SpecBenchmark) -> f64 + Send + Sync>;
-    let cache_runner = |geom: CacheGeometry, spec: IndexSpec, ops: usize| -> Runner {
-        Box::new(move |b: SpecBenchmark| {
-            let mut c = Cache::build(geom, spec.clone()).expect("cache");
-            c.run_refs(mem_refs(b.generator(5).take(ops)));
-            c.stats().read_miss_ratio() * 100.0
-        })
-    };
-    let organizations: Vec<(&str, Runner)> = vec![
-        ("direct-mapped", cache_runner(dm, IndexSpec::modulo(), ops)),
-        (
-            "2-way set-assoc",
-            cache_runner(w2, IndexSpec::modulo(), ops),
-        ),
-        (
-            "4-way set-assoc",
-            cache_runner(w4, IndexSpec::modulo(), ops),
-        ),
+    vec![
+        ("direct-mapped", SimConfig::cache(dm, IndexSpec::modulo())),
+        ("2-way set-assoc", SimConfig::cache(w2, IndexSpec::modulo())),
+        ("4-way set-assoc", SimConfig::cache(w4, IndexSpec::modulo())),
         (
             "victim (DM + 4 lines)",
-            Box::new(move |b| {
-                let mut v = VictimCache::new(dm, 4).expect("cache");
-                let mut reads = 0u64;
-                let mut misses = 0u64;
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    reads += 1;
-                    if !v.read(r.addr).hit() {
-                        misses += 1;
-                    }
-                }
-                misses as f64 / reads.max(1) as f64 * 100.0
-            }),
+            SimConfig::new(ModelConfig::Victim(VictimConfig {
+                geometry: dm,
+                victim_lines: 4,
+            })),
         ),
         (
             "hash-rehash (bit flip)",
-            Box::new(move |b| {
-                let mut c =
-                    ColumnAssociative::with_rehash(dm, RehashKind::TopBitFlip).expect("cache");
-                let mut reads = 0u64;
-                let mut misses = 0u64;
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    reads += 1;
-                    if !c.read(r.addr).is_hit() {
-                        misses += 1;
-                    }
-                }
-                misses as f64 / reads.max(1) as f64 * 100.0
-            }),
+            SimConfig::new(ModelConfig::Column(ColumnConfig {
+                geometry: dm,
+                rehash: RehashKind::TopBitFlip,
+            })),
         ),
         (
             "column-assoc (I-Poly)",
-            Box::new(move |b| {
-                let mut c = ColumnAssociative::new(dm).expect("cache");
-                let mut reads = 0u64;
-                let mut misses = 0u64;
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    reads += 1;
-                    if !c.read(r.addr).is_hit() {
-                        misses += 1;
-                    }
-                }
-                misses as f64 / reads.max(1) as f64 * 100.0
-            }),
+            SimConfig::new(ModelConfig::Column(ColumnConfig {
+                geometry: dm,
+                rehash: RehashKind::Polynomial,
+            })),
         ),
         (
             "stream buffers (DM + 4x4)",
-            Box::new(move |b| {
-                let mut c = StreamBufferCache::new(dm, 4, 4).expect("cache");
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    c.read(r.addr);
-                }
-                c.stats().miss_ratio() * 100.0
-            }),
+            SimConfig::new(ModelConfig::Stream(StreamConfig {
+                geometry: dm,
+                index: IndexSpec::modulo(),
+                buffers: 4,
+                depth: 4,
+            })),
         ),
         (
             "Jouppi (DM + victim + stream)",
-            Box::new(move |b| {
-                let mut c = JouppiCache::new(dm, 4, 4, 4).expect("cache");
-                let mut reads = 0u64;
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    if r.is_write {
-                        continue;
-                    }
-                    reads += 1;
-                    c.read(r.addr);
-                }
-                c.stats().full_misses as f64 / reads.max(1) as f64 * 100.0
-            }),
+            SimConfig::new(ModelConfig::Jouppi(JouppiConfig {
+                geometry: dm,
+                victim_lines: 4,
+                stream_buffers: 4,
+                stream_depth: 4,
+            })),
         ),
         (
             "2-way skewed XOR",
-            cache_runner(w2, IndexSpec::xor_skewed(), ops),
+            SimConfig::cache(w2, IndexSpec::xor_skewed()),
         ),
-        ("2-way I-Poly", cache_runner(w2, IndexSpec::ipoly(), ops)),
+        ("2-way I-Poly", SimConfig::cache(w2, IndexSpec::ipoly())),
         (
             "2-way skewed I-Poly",
-            cache_runner(w2, IndexSpec::ipoly_skewed(), ops),
+            SimConfig::cache(w2, IndexSpec::ipoly_skewed()),
         ),
         (
             "fully associative",
-            cache_runner(fa, IndexSpec::modulo(), ops),
+            SimConfig::cache(fa, IndexSpec::modulo()),
         ),
-    ];
+    ]
+}
+
+pub(super) fn organizations(a: &ExpArgs) -> Result<Report, DriverError> {
+    let ops = a.usize("ops")?;
+    let organizations = organization_matrix();
 
     let mut table = Table::new(
         "suite-average load miss % by organization",
         &["organization", "all", "bad-3", "good-15"],
     );
     let benches = SpecBenchmark::all();
-    for (name, run) in &organizations {
-        // Sweep the 18 benchmarks of this organization in parallel.
-        let measurements = par_map(&benches, |&b| run(b));
+    for (name, cfg) in &organizations {
+        // Sweep the 18 benchmarks of this organization in parallel. The
+        // read-only organizations bypass stores internally, so one
+        // run_refs call covers both the cache and buffer models.
+        let measurements = par_map(&benches, |&b| {
+            let refs: Vec<MemRef> = mem_refs(b.generator(5).take(ops)).collect();
+            load_miss_pct(cfg, &refs)
+        });
         let mut all = Vec::new();
         let mut bad = Vec::new();
         let mut good = Vec::new();
@@ -255,7 +212,12 @@ pub(super) fn organizations(a: &ExpArgs) -> Result<Report, DriverError> {
 pub(super) fn column_assoc(a: &ExpArgs) -> Result<Report, DriverError> {
     let ops = a.usize("ops")?;
     let dm = CacheGeometry::new(8 * 1024, 32, 1).expect("geometry");
-    let two_way = paper_l1();
+    let plain_cfg = SimConfig::cache(dm, IndexSpec::modulo());
+    let assoc_cfg = SimConfig::cache(paper_l1(), IndexSpec::modulo());
+    let col_cfg = SimConfig::new(ModelConfig::Column(ColumnConfig {
+        geometry: dm,
+        rehash: RehashKind::Polynomial,
+    }));
 
     let mut table = Table::new(
         "column-associative with polynomial rehash",
@@ -270,26 +232,26 @@ pub(super) fn column_assoc(a: &ExpArgs) -> Result<Report, DriverError> {
     );
     let mut first_probe = Vec::new();
     for b in SpecBenchmark::all() {
-        let mut plain = Cache::build(dm, IndexSpec::modulo()).expect("cache");
-        let mut assoc = Cache::build(two_way, IndexSpec::modulo()).expect("cache");
-        let mut col = ColumnAssociative::new(dm).expect("cache");
-        for r in mem_refs(b.generator(3).take(ops)) {
-            if r.is_write {
-                continue; // load behaviour, as in the paper's miss ratios
-            }
-            plain.read(r.addr);
-            assoc.read(r.addr);
-            col.read(r.addr);
-        }
+        // Load behaviour, as in the paper's miss ratios: stores dropped.
+        let reads: Vec<MemRef> = mem_refs(b.generator(3).take(ops))
+            .filter(|r| !r.is_write)
+            .collect();
+        let mut col = col_cfg.build().expect("column config builds");
+        col.run_refs(&reads);
         let s = col.stats();
-        first_probe.push(s.first_probe_hit_fraction() * 100.0);
+        let (first, second) = (
+            s.extra("first-probe-hits").unwrap_or(0) as f64,
+            s.extra("second-probe-hits").unwrap_or(0) as f64,
+        );
+        let hits = (first + second).max(1.0);
+        first_probe.push(first / hits * 100.0);
         table.push_row(vec![
             Value::s(b.name()),
-            Value::f(plain.stats().miss_ratio() * 100.0, 2),
-            Value::f(assoc.stats().miss_ratio() * 100.0, 2),
-            Value::f(s.miss_ratio() * 100.0, 2),
-            Value::f(s.first_probe_hit_fraction() * 100.0, 1),
-            Value::f(s.avg_probes_per_hit(), 3),
+            Value::f(load_miss_pct(&plain_cfg, &reads), 2),
+            Value::f(load_miss_pct(&assoc_cfg, &reads), 2),
+            Value::f(s.demand.miss_ratio() * 100.0, 2),
+            Value::f(first / hits * 100.0, 1),
+            Value::f((first + 2.0 * second) / hits, 3),
         ]);
     }
 

@@ -9,41 +9,11 @@ pub(super) fn paper_l1() -> CacheGeometry {
     CacheGeometry::new(8 * 1024, 32, 2).expect("paper geometry is valid")
 }
 
-/// Every scheme accepted by `--scheme`/`--schemes`, keyed by
-/// [`IndexSpec::name`].
-fn all_schemes() -> Vec<IndexSpec> {
-    vec![
-        IndexSpec::modulo(),
-        IndexSpec::xor(),
-        IndexSpec::xor_skewed(),
-        IndexSpec::ipoly(),
-        IndexSpec::ipoly_skewed(),
-        IndexSpec::prime(),
-        IndexSpec::prime_skewed(),
-        IndexSpec::add_skew(),
-        IndexSpec::add_skew_skewed(),
-        IndexSpec::rand_table(),
-        IndexSpec::rand_table_skewed(),
-        IndexSpec::xor_matrix(),
-        IndexSpec::xor_matrix_skewed(),
-    ]
-}
-
-/// Resolves one scheme name (as printed by [`IndexSpec::name`]).
+/// Resolves one scheme name (as printed by [`IndexSpec::name`]) via the
+/// shared [`IndexSpec::parse`] hook, mapping the failure to a CLI usage
+/// error.
 pub(super) fn parse_scheme(name: &str) -> Result<IndexSpec, DriverError> {
-    all_schemes()
-        .into_iter()
-        .find(|s| s.name() == name)
-        .ok_or_else(|| {
-            DriverError::Usage(format!(
-                "unknown scheme {name:?}; valid: {}",
-                all_schemes()
-                    .iter()
-                    .map(IndexSpec::name)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ))
-        })
+    IndexSpec::parse(name).map_err(|e| DriverError::Usage(e.to_string()))
 }
 
 /// Resolves a comma-separated scheme list.

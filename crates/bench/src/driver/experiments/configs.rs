@@ -1,0 +1,182 @@
+//! Declarative-config tools: `cac run` and `cac config validate`.
+//!
+//! `cac run --config <file.toml>` is the universal experiment: build
+//! *any* cache organization from a [`SimConfig`] description and replay
+//! *any* trace against it — an on-disk trace file (binary or text,
+//! auto-detected) or a synthetic workload model. Every §2.1/§4
+//! organization of the paper's comparison matrix ships as a config
+//! under `examples/*.toml`; `cac config validate` keeps those files
+//! building (CI runs it, so a shipped config can never rot).
+
+use super::common::parse_benchmark;
+use super::tools::AnySource;
+use crate::driver::args::ExpArgs;
+use crate::driver::report::{Report, Table, Value};
+use crate::driver::DriverError;
+use cac_sim::model::ModelStats;
+use cac_sim::SimConfig;
+use cac_trace::io::ChunkSource;
+use cac_trace::{MemRef, TraceOp};
+use std::time::Instant;
+
+/// Renders a [`ModelStats`] into report tables: the demand stream, the
+/// per-component breakdown, and any organization-specific counters.
+fn stats_tables(stats: &ModelStats) -> Vec<Table> {
+    let mut tables = Vec::new();
+    let d = stats.demand;
+    tables.push(
+        Table::new("demand stream", &["counter", "value"])
+            .row(vec![Value::s("accesses"), Value::u(d.accesses)])
+            .row(vec![Value::s("reads"), Value::u(d.reads)])
+            .row(vec![Value::s("writes"), Value::u(d.writes)])
+            .row(vec![Value::s("hits"), Value::u(d.hits)])
+            .row(vec![Value::s("misses"), Value::u(d.misses)])
+            .row(vec![
+                Value::s("miss ratio %"),
+                Value::f(d.miss_ratio() * 100.0, 3),
+            ])
+            .row(vec![
+                Value::s("read miss ratio %"),
+                Value::f(d.read_miss_ratio() * 100.0, 3),
+            ]),
+    );
+    if stats.components.len() > 1 || stats.components.first().is_some_and(|c| c.stats != d) {
+        let mut t = Table::new(
+            "components",
+            &[
+                "component",
+                "accesses",
+                "hits",
+                "misses",
+                "miss%",
+                "evictions",
+                "writebacks",
+                "invalidations",
+            ],
+        );
+        for c in &stats.components {
+            t.push_row(vec![
+                Value::s(c.name.clone()),
+                Value::u(c.stats.accesses),
+                Value::u(c.stats.hits),
+                Value::u(c.stats.misses),
+                Value::f(c.stats.miss_ratio() * 100.0, 3),
+                Value::u(c.stats.evictions),
+                Value::u(c.stats.writebacks),
+                Value::u(c.stats.invalidations),
+            ]);
+        }
+        tables.push(t);
+    }
+    if !stats.extras.is_empty() {
+        let mut t = Table::new("organization counters", &["counter", "value"]);
+        for (name, v) in &stats.extras {
+            t.push_row(vec![Value::s(name.clone()), Value::u(*v)]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+pub(super) fn run(a: &ExpArgs) -> Result<Report, DriverError> {
+    let path = a.str("config");
+    if path.is_empty() {
+        return Err(DriverError::Usage(
+            "--config is required (a TOML model description; see examples/*.toml)".into(),
+        ));
+    }
+    let chunk = a.usize("chunk")?.max(1);
+    let cfg = SimConfig::load(path)?;
+    let mut model = cfg.build()?;
+
+    let trace = a.str("trace").to_owned();
+    let mut refs: Vec<MemRef> = Vec::with_capacity(chunk);
+    let start = Instant::now();
+    let workload: String;
+    if trace.is_empty() {
+        let bench = parse_benchmark(a.str("bench"))?;
+        let ops = a.usize("ops")?;
+        let seed = a.u64("seed")?;
+        workload = format!("{} x{ops} (seed {seed})", bench.name());
+        let mut gen = bench.generator(seed).take(ops);
+        loop {
+            refs.clear();
+            refs.extend((&mut gen).filter_map(|op| op.mem_ref()).take(chunk));
+            if refs.is_empty() {
+                break;
+            }
+            model.run_refs(&refs);
+        }
+    } else {
+        let mut source = AnySource::open(&trace)?;
+        workload = trace.clone();
+        let mut ops: Vec<TraceOp> = Vec::with_capacity(chunk);
+        while source.read_chunk(&mut ops, chunk)? > 0 {
+            refs.clear();
+            refs.extend(ops.iter().filter_map(TraceOp::mem_ref));
+            model.run_refs(&refs);
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = model.stats();
+
+    let name = cfg.name.clone().unwrap_or_else(|| path.to_owned());
+    let mut report = Report::new(format!("run: {name} — {}", model.describe()))
+        .param("config", path)
+        .param(
+            "workload",
+            if trace.is_empty() { &workload } else { &trace },
+        );
+    for t in stats_tables(&stats) {
+        report = report.table(t);
+    }
+    let melem_s = stats.demand.accesses as f64 / elapsed.as_secs_f64() / 1e6;
+    Ok(report.note(format!(
+        "replayed {} references from {workload} in {:.1} ms ({melem_s:.1} Melem/s)",
+        stats.demand.accesses,
+        elapsed.as_secs_f64() * 1e3
+    )))
+}
+
+pub(super) fn validate(a: &ExpArgs) -> Result<Report, DriverError> {
+    let files = a.list("files");
+    if files.is_empty() {
+        return Err(DriverError::Usage(
+            "usage: cac config validate <file.toml> [<file.toml> ...]".into(),
+        ));
+    }
+    let mut table = Table::new("config validation", &["file", "status", "detail"]);
+    let mut failures: Vec<String> = Vec::new();
+    for f in &files {
+        match SimConfig::load(f).and_then(|c| c.build()) {
+            Ok(model) => {
+                table.push_row(vec![
+                    Value::s(*f),
+                    Value::s("ok"),
+                    Value::s(model.describe()),
+                ]);
+            }
+            Err(e) => {
+                failures.push(format!("{f}: {e}"));
+                table.push_row(vec![
+                    Value::s(*f),
+                    Value::s("INVALID"),
+                    Value::s(e.to_string()),
+                ]);
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(DriverError::Failed(format!(
+            "{} of {} config(s) invalid:\n  {}",
+            failures.len(),
+            files.len(),
+            failures.join("\n  ")
+        )));
+    }
+    Ok(
+        Report::new(format!("config validate: {} file(s) ok", files.len()))
+            .param("files", files.join(" "))
+            .table(table),
+    )
+}

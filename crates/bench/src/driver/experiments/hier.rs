@@ -316,16 +316,16 @@ fn run_bus(bus: &mut SnoopingBus, rounds: u64) {
         for node in 0..NODES {
             let base = (node as u64) << 32;
             for i in 0..64u64 {
-                bus.read(node, base + i * 4096);
+                bus.read(node, base + i * 4096).unwrap();
             }
         }
         let writer = (round % NODES as u64) as usize;
         for blk in 0..16u64 {
-            bus.write(writer, SHARED_BASE + blk * 32);
+            bus.write(writer, SHARED_BASE + blk * 32).unwrap();
         }
         for node in 0..NODES {
             for blk in 0..16u64 {
-                bus.read(node, SHARED_BASE + blk * 32);
+                bus.read(node, SHARED_BASE + blk * 32).unwrap();
             }
         }
     }
@@ -357,7 +357,7 @@ pub(super) fn coherency(a: &ExpArgs) -> Result<Report, DriverError> {
         let mut miss_pct = 0.0;
         let (mut repl, mut alias, mut coher) = (0u64, 0u64, 0u64);
         for i in 0..NODES {
-            let node = bus.node(i);
+            let node = bus.node(i).unwrap();
             miss_pct += node.l1_stats().miss_ratio() * 100.0 / NODES as f64;
             let s = node.stats();
             repl += s.holes_created;

@@ -11,6 +11,7 @@
 mod ablations;
 mod cache_level;
 mod common;
+mod configs;
 mod cpu_level;
 mod figures;
 mod hardware;
@@ -18,8 +19,10 @@ mod hier;
 mod tables;
 mod tools;
 
-use crate::driver::args::param;
+use crate::driver::args::{param, vparam};
 use crate::driver::Experiment;
+
+pub use cache_level::organization_matrix;
 
 /// Every registered experiment, in help-display order.
 pub const REGISTRY: &[Experiment] = &[
@@ -306,5 +309,45 @@ pub const REGISTRY: &[Experiment] = &[
         summary: "summarise a trace file (op mix, address range)",
         params: &[param("input", "", "trace file to inspect")],
         run: tools::trace_info,
+    },
+    // ----- declarative configs ---------------------------------------
+    Experiment {
+        name: "run",
+        legacy_bin: None,
+        group: "declarative configs",
+        summary: "replay a trace (file or synthetic) against a TOML-configured model",
+        params: &[
+            param(
+                "config",
+                "",
+                "model description (TOML; see examples/*.toml)",
+            ),
+            param(
+                "trace",
+                "",
+                "trace file (binary or text; default: synthetic workload)",
+            ),
+            param(
+                "bench",
+                "swim",
+                "synthetic workload model when no trace is given",
+            ),
+            param("ops", "1000000", "synthetic workload length (ops)"),
+            param("seed", "12345", "synthetic workload seed"),
+            param("chunk", "8192", "ops per replay chunk"),
+        ],
+        run: configs::run,
+    },
+    Experiment {
+        name: "config-validate",
+        legacy_bin: None,
+        group: "declarative configs",
+        summary: "parse and build config files, failing loudly on any rot",
+        params: &[vparam(
+            "files",
+            "",
+            "config files (one per argument; shell globs expand)",
+        )],
+        run: configs::validate,
     },
 ];

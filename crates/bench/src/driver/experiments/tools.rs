@@ -50,15 +50,16 @@ fn open_sniffed(path: &str) -> Result<(File, TraceFormat), DriverError> {
     Ok((f, format))
 }
 
-/// A [`ChunkSource`] with a unified error type, so the tools can stream
-/// either format through one code path.
-enum AnySource {
+/// A [`ChunkSource`] with a unified error type, so the tools (and the
+/// `cac run` config driver) can stream either format through one code
+/// path.
+pub(super) enum AnySource {
     Binary(BinaryTraceReader<BufReader<File>>),
     Text(cac_trace::io::ReadTrace<File>),
 }
 
 impl AnySource {
-    fn open(path: &str) -> Result<Self, DriverError> {
+    pub(super) fn open(path: &str) -> Result<Self, DriverError> {
         let (file, format) = open_sniffed(path)?;
         match format {
             TraceFormat::Binary => {
@@ -70,7 +71,7 @@ impl AnySource {
         }
     }
 
-    fn format(&self) -> TraceFormat {
+    pub(super) fn format(&self) -> TraceFormat {
         match self {
             AnySource::Binary(_) => TraceFormat::Binary,
             AnySource::Text(_) => TraceFormat::Text,

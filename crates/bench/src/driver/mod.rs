@@ -275,14 +275,15 @@ pub fn cli_main(raw: Vec<String>) -> i32 {
     }
 }
 
-/// Resolves the two-word `trace <sub>` spelling to the registered
-/// `trace-<sub>` experiment name, consuming the sub-word from `words`.
+/// Resolves the two-word `trace <sub>` / `config <sub>` spellings to
+/// the registered `trace-<sub>` / `config-<sub>` experiment names,
+/// consuming the sub-word from `words`.
 fn canonical_name(command: &str, words: &mut Vec<String>) -> String {
-    if command == "trace" {
+    if matches!(command, "trace" | "config") {
         if let Some(first) = words.first() {
             if !first.starts_with("--") {
                 let sub = words.remove(0);
-                return format!("trace-{sub}");
+                return format!("{command}-{sub}");
             }
         }
     }
@@ -351,6 +352,9 @@ mod tests {
         let mut words = vec!["gen".to_owned(), "--ops".to_owned(), "5".to_owned()];
         assert_eq!(canonical_name("trace", &mut words), "trace-gen");
         assert_eq!(words, vec!["--ops", "5"]);
+        let mut words = vec!["validate".to_owned(), "a.toml".to_owned()];
+        assert_eq!(canonical_name("config", &mut words), "config-validate");
+        assert_eq!(words, vec!["a.toml"]);
         let mut none: Vec<String> = Vec::new();
         assert_eq!(canonical_name("fig1", &mut none), "fig1");
     }

@@ -30,6 +30,21 @@ pub enum Error {
         /// Explanation of the mismatch.
         reason: String,
     },
+    /// A declarative configuration (TOML file, scheme name, size string)
+    /// could not be parsed or validated.
+    Config {
+        /// Explanation of what was wrong and what would be accepted.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Shorthand for a [`Error::Config`] with a formatted message.
+    pub fn config(message: impl Into<String>) -> Self {
+        Error::Config {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -46,6 +61,7 @@ impl fmt::Display for Error {
             Error::BadPolynomial { reason } => {
                 write!(f, "invalid polynomial configuration: {reason}")
             }
+            Error::Config { message } => write!(f, "invalid configuration: {message}"),
         }
     }
 }

@@ -198,6 +198,63 @@ impl CacheGeometry {
     }
 }
 
+/// Parses a byte-size string as used by declarative configurations:
+/// a plain integer (`"8192"`, underscores allowed) or an integer with a
+/// binary-unit suffix (`"8K"`, `"8KiB"`, `"256kb"`, `"1M"`, `"2GiB"` —
+/// case-insensitive, `K`/`M`/`G` all meaning powers of 1024, as cache
+/// capacities always are in the paper).
+///
+/// # Errors
+///
+/// [`Error::Config`] describing the accepted forms.
+///
+/// # Example
+///
+/// ```
+/// use cac_core::geometry::parse_size;
+///
+/// assert_eq!(parse_size("8KiB")?, 8 * 1024);
+/// assert_eq!(parse_size("256k")?, 256 * 1024);
+/// assert_eq!(parse_size("32")?, 32);
+/// assert!(parse_size("eight").is_err());
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+pub fn parse_size(s: &str) -> Result<u64, Error> {
+    let trimmed = s.trim();
+    let lower = trimmed.to_ascii_lowercase();
+    let (digits, multiplier) = if let Some(d) = lower
+        .strip_suffix("kib")
+        .or_else(|| lower.strip_suffix("kb"))
+        .or_else(|| lower.strip_suffix('k'))
+    {
+        (d, 1024u64)
+    } else if let Some(d) = lower
+        .strip_suffix("mib")
+        .or_else(|| lower.strip_suffix("mb"))
+        .or_else(|| lower.strip_suffix('m'))
+    {
+        (d, 1024 * 1024)
+    } else if let Some(d) = lower
+        .strip_suffix("gib")
+        .or_else(|| lower.strip_suffix("gb"))
+        .or_else(|| lower.strip_suffix('g'))
+    {
+        (d, 1024 * 1024 * 1024)
+    } else {
+        (lower.as_str(), 1u64)
+    };
+    let digits = digits.trim().replace('_', "");
+    let value: u64 = digits.parse().map_err(|_| {
+        Error::config(format!(
+            "cannot parse size {trimmed:?}; expected bytes (\"8192\") or a \
+             binary-unit suffix (\"8KiB\", \"256K\", \"1M\")"
+        ))
+    })?;
+    value
+        .checked_mul(multiplier)
+        .ok_or_else(|| Error::config(format!("size {trimmed:?} overflows a 64-bit byte count")))
+}
+
 impl fmt::Display for CacheGeometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let cap = if self.capacity.is_multiple_of(1024) {
@@ -323,6 +380,27 @@ mod tests {
         let g4 = g.with_ways(4).unwrap();
         assert_eq!(g4.num_sets(), 64);
         assert!(g.with_capacity(999).is_err());
+    }
+
+    #[test]
+    fn parse_size_accepts_suffixes() {
+        assert_eq!(parse_size("8192").unwrap(), 8192);
+        assert_eq!(parse_size("8_192").unwrap(), 8192);
+        assert_eq!(parse_size(" 8K ").unwrap(), 8 * 1024);
+        assert_eq!(parse_size("8KiB").unwrap(), 8 * 1024);
+        assert_eq!(parse_size("8kb").unwrap(), 8 * 1024);
+        assert_eq!(parse_size("1MiB").unwrap(), 1 << 20);
+        assert_eq!(parse_size("2G").unwrap(), 2u64 << 30);
+        for bad in [
+            "",
+            "KB",
+            "1.5K",
+            "eight",
+            "8KB extra",
+            "99999999999999999999",
+        ] {
+            assert!(parse_size(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -306,6 +306,59 @@ impl IndexSpec {
         ]
     }
 
+    /// Every spec reachable by [`IndexSpec::parse`], in presentation
+    /// order (default seeds for the seeded schemes).
+    pub fn named_specs() -> Vec<IndexSpec> {
+        vec![
+            IndexSpec::modulo(),
+            IndexSpec::xor(),
+            IndexSpec::xor_skewed(),
+            IndexSpec::ipoly(),
+            IndexSpec::ipoly_skewed(),
+            IndexSpec::prime(),
+            IndexSpec::prime_skewed(),
+            IndexSpec::add_skew(),
+            IndexSpec::add_skew_skewed(),
+            IndexSpec::rand_table(),
+            IndexSpec::rand_table_skewed(),
+            IndexSpec::xor_matrix(),
+            IndexSpec::xor_matrix_skewed(),
+        ]
+    }
+
+    /// Resolves a scheme name as printed by [`IndexSpec::name`]
+    /// (`modulo`, `ipoly-skew`, ...). This is the parsing hook the CLI
+    /// and the declarative configuration layer (`cac_sim::config`) share.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] naming the valid schemes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cac_core::IndexSpec;
+    ///
+    /// assert_eq!(IndexSpec::parse("ipoly-skew")?, IndexSpec::ipoly_skewed());
+    /// assert!(IndexSpec::parse("md5").is_err());
+    /// # Ok::<(), cac_core::Error>(())
+    /// ```
+    pub fn parse(name: &str) -> Result<IndexSpec, Error> {
+        IndexSpec::named_specs()
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| {
+                Error::config(format!(
+                    "unknown index scheme {name:?}; valid schemes: {}",
+                    IndexSpec::named_specs()
+                        .iter()
+                        .map(IndexSpec::name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+
     /// Instantiates the placement function for `geom`.
     ///
     /// # Errors
@@ -481,6 +534,15 @@ mod tests {
         assert_eq!(IndexSpec::xor_skewed().to_string(), "xor-skew");
         assert_eq!(IndexSpec::ipoly().to_string(), "ipoly");
         assert_eq!(IndexSpec::ipoly_skewed().name(), "ipoly-skew");
+    }
+
+    #[test]
+    fn parse_round_trips_every_named_spec() {
+        for spec in IndexSpec::named_specs() {
+            assert_eq!(IndexSpec::parse(spec.name()).unwrap(), spec);
+        }
+        let err = IndexSpec::parse("nope").unwrap_err();
+        assert!(err.to_string().contains("ipoly-skew"), "{err}");
     }
 
     #[test]

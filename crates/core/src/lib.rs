@@ -58,7 +58,7 @@ pub mod latency;
 pub mod predictor;
 
 pub use error::Error;
-pub use geometry::CacheGeometry;
+pub use geometry::{parse_size, CacheGeometry};
 pub use index::{IndexFunction, IndexSpec, IndexTable};
 pub use latency::HitLatencyModel;
 pub use predictor::AddressPredictor;

@@ -26,6 +26,7 @@
 //!   a whole trace and return the counters attributable to it, keeping
 //!   the per-reference loop inside the crate where it inlines.
 
+use crate::model::{AccessOutcome, MemoryModel, ModelStats, ServicePoint};
 use crate::replacement::{ReplacementPolicy, Selector};
 use crate::stats::CacheStats;
 use cac_core::{CacheGeometry, Error, IndexFunction, IndexSpec, IndexTable};
@@ -50,18 +51,9 @@ pub enum WritePolicy {
 /// with a real block address.
 const INVALID_TAG: u64 = u64::MAX;
 
-/// Result of a single access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Access {
-    /// Whether the access hit.
-    pub hit: bool,
-    /// The way that hit or was filled (`None` for a non-allocating miss).
-    pub way: Option<u32>,
-    /// Block address of a valid line evicted by this access.
-    pub evicted: Option<u64>,
-    /// Whether a new line was brought in.
-    pub filled: bool,
-}
+/// Result of a single access — the shared [`AccessOutcome`], kept
+/// under its historical name for existing callers.
+pub type Access = AccessOutcome;
 
 /// A set-associative (possibly skewed) cache.
 ///
@@ -128,6 +120,11 @@ pub struct CacheBuilder {
 }
 
 impl CacheBuilder {
+    /// The geometry this builder was started with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
     /// Starts a builder with the paper's defaults: modulo indexing, LRU,
     /// write-through/no-write-allocate.
     pub fn new(geom: CacheGeometry) -> Self {
@@ -329,6 +326,7 @@ impl Cache {
             }
             return Access {
                 hit: true,
+                served_by: ServicePoint::Level(0),
                 way: Some(w),
                 evicted: None,
                 filled: false,
@@ -342,17 +340,13 @@ impl Cache {
         }
         let allocate = !is_write || self.write_policy == WritePolicy::WriteBackAllocate;
         if !allocate {
-            return Access {
-                hit: false,
-                way: None,
-                evicted: None,
-                filled: false,
-            };
+            return Access::miss();
         }
         let dirty = is_write && self.write_policy == WritePolicy::WriteBackAllocate;
         let (way, evicted) = self.fill_line(block, dirty);
         Access {
             hit: false,
+            served_by: ServicePoint::Memory,
             way: Some(way),
             evicted,
             filled: true,
@@ -495,6 +489,30 @@ impl Cache {
     /// Iterates over the block addresses of all resident lines.
     pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
         self.tags.iter().copied().filter(|&t| t != INVALID_TAG)
+    }
+}
+
+impl MemoryModel for Cache {
+    fn access(&mut self, r: MemRef) -> AccessOutcome {
+        Cache::access(self, r.addr, r.is_write)
+    }
+
+    fn stats(&self) -> ModelStats {
+        ModelStats::single("cache", self.stats)
+    }
+
+    fn reset(&mut self) {
+        self.flush();
+    }
+
+    fn describe(&self) -> String {
+        format!("{} cache, {} placement", self.geom, self.index.label())
+    }
+
+    fn run_refs(&mut self, refs: &[MemRef]) -> ModelStats {
+        // Reuse the inherent batched loop: one virtual dispatch per
+        // slice, monomorphic accesses inside.
+        ModelStats::single("cache", Cache::run_refs(self, refs.iter().copied()))
     }
 }
 #[cfg(test)]

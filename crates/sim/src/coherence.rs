@@ -38,10 +38,11 @@
 //! );
 //! let mut bus = SnoopingBus::new(vec![node()?, node()?])?;
 //!
-//! bus.read(0, 0x100);          // node 0 caches the block
-//! bus.read(1, 0x100);          // node 1 caches it too (shared)
-//! bus.write(1, 0x100);         // node 1 writes: node 0 is invalidated
-//! assert!(!bus.node(0).l1().contains(0x100));
+//! bus.read(0, 0x100)?;         // node 0 caches the block
+//! bus.read(1, 0x100)?;         // node 1 caches it too (shared)
+//! bus.write(1, 0x100)?;        // node 1 writes: node 0 is invalidated
+//! assert!(!bus.node(0).unwrap().l1().contains(0x100));
+//! assert!(bus.read(9, 0x100).is_err()); // out-of-range node: an error, not a panic
 //! assert!(bus.check_invariants());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -110,35 +111,47 @@ impl SnoopingBus {
         self.nodes.len()
     }
 
-    /// Immutable access to a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
-    pub fn node(&self, i: usize) -> &TwoLevelHierarchy {
-        &self.nodes[i]
+    /// Range-checks a node id, turning an out-of-range `i` into a
+    /// [`Error::OutOfRange`] instead of a panic.
+    fn check_node(&self, i: usize) -> Result<(), Error> {
+        if i < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(Error::OutOfRange {
+                what: "node id",
+                value: i as u64,
+                constraint: "< the bus's node count",
+            })
+        }
+    }
+
+    /// Immutable access to a node; `None` if `i` is out of range.
+    pub fn node(&self, i: usize) -> Option<&TwoLevelHierarchy> {
+        self.nodes.get(i)
     }
 
     /// A read by node `i` at virtual address `va`. Reads are satisfied
     /// locally (L1 → L2 → memory); they generate no snoop traffic in this
     /// protocol.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `i` is out of range.
-    pub fn read(&mut self, i: usize, va: u64) -> HierarchyAccess {
+    /// [`Error::OutOfRange`] if `i` is not a node on this bus.
+    pub fn read(&mut self, i: usize, va: u64) -> Result<HierarchyAccess, Error> {
+        self.check_node(i)?;
         self.stats.reads += 1;
-        self.nodes[i].read(va)
+        Ok(self.nodes[i].read(va))
     }
 
     /// A write by node `i` at virtual address `va`: performed locally,
     /// then the written physical block is invalidated in every other
     /// node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `i` is out of range.
-    pub fn write(&mut self, i: usize, va: u64) -> HierarchyAccess {
+    /// [`Error::OutOfRange`] if `i` is not a node on this bus.
+    pub fn write(&mut self, i: usize, va: u64) -> Result<HierarchyAccess, Error> {
+        self.check_node(i)?;
         self.stats.writes += 1;
         let pa = self.nodes[i].translate(va);
         let res = self.nodes[i].write(va);
@@ -155,7 +168,7 @@ impl SnoopingBus {
                 self.stats.remote_l1_holes += 1;
             }
         }
-        res
+        Ok(res)
     }
 
     /// Bus counters.
@@ -199,16 +212,29 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_node_is_an_error_not_a_panic() {
+        let mut b = bus(2);
+        assert!(b.node(1).is_some());
+        assert!(b.node(2).is_none());
+        assert!(matches!(b.read(2, 0), Err(Error::OutOfRange { .. })));
+        assert!(matches!(b.write(5, 0), Err(Error::OutOfRange { .. })));
+        // Rejected operations leave the counters untouched.
+        assert_eq!(b.stats().reads, 0);
+        assert_eq!(b.stats().writes, 0);
+        assert_eq!(b.stats().snoops, 0);
+    }
+
+    #[test]
     fn write_invalidates_remote_copies() {
         let mut b = bus(3);
         for i in 0..3 {
-            b.read(i, 0x200);
+            b.read(i, 0x200).unwrap();
         }
-        b.write(0, 0x200);
+        b.write(0, 0x200).unwrap();
         let pa_block = 0x200 / 32;
-        assert!(b.node(0).holds_physical_block(pa_block));
-        assert!(!b.node(1).holds_physical_block(pa_block));
-        assert!(!b.node(2).holds_physical_block(pa_block));
+        assert!(b.node(0).unwrap().holds_physical_block(pa_block));
+        assert!(!b.node(1).unwrap().holds_physical_block(pa_block));
+        assert!(!b.node(2).unwrap().holds_physical_block(pa_block));
         assert_eq!(b.stats().remote_l2_invalidations, 2);
         assert_eq!(b.stats().remote_l1_holes, 2);
         assert!(b.check_invariants());
@@ -217,7 +243,7 @@ mod tests {
     #[test]
     fn writes_to_private_data_produce_useless_snoops() {
         let mut b = bus(2);
-        b.write(0, 0x8000); // nobody else has it
+        b.write(0, 0x8000).unwrap(); // nobody else has it
         assert_eq!(b.stats().snoops, 1);
         assert_eq!(b.stats().remote_l2_invalidations, 0);
         assert_eq!(b.stats().snoop_hit_rate(), 0.0);
@@ -226,12 +252,12 @@ mod tests {
     #[test]
     fn remote_reader_misses_after_invalidation() {
         let mut b = bus(2);
-        b.read(1, 0x300);
-        assert!(b.read(1, 0x300).l1_hit);
-        b.write(0, 0x300);
+        b.read(1, 0x300).unwrap();
+        assert!(b.read(1, 0x300).unwrap().l1_hit);
+        b.write(0, 0x300).unwrap();
         // Node 1 must re-fetch: its copy was invalidated.
-        assert!(!b.read(1, 0x300).l1_hit);
-        assert_eq!(b.node(1).stats().external_invalidations_l1, 1);
+        assert!(!b.read(1, 0x300).unwrap().l1_hit);
+        assert_eq!(b.node(1).unwrap().stats().external_invalidations_l1, 1);
     }
 
     #[test]
@@ -239,16 +265,16 @@ mod tests {
         let mut b = bus(2);
         for round in 0..16 {
             let writer = round % 2;
-            b.read(writer, 0x400);
-            b.write(writer, 0x400);
+            b.read(writer, 0x400).unwrap();
+            b.write(writer, 0x400).unwrap();
         }
         let s = b.stats();
         // After the first write, every subsequent write finds the other
         // node's freshly-refetched copy.
         assert!(s.remote_l2_invalidations >= 14, "{s:?}");
         assert!(b.check_invariants());
-        assert!(b.node(0).stats().external_invalidations_l1 > 0);
-        assert!(b.node(1).stats().external_invalidations_l1 > 0);
+        assert!(b.node(0).unwrap().stats().external_invalidations_l1 > 0);
+        assert!(b.node(1).unwrap().stats().external_invalidations_l1 > 0);
     }
 
     #[test]
@@ -264,19 +290,19 @@ mod tests {
             let node = (x % 4) as usize;
             let va = (x >> 8) % 128 * 32; // 128 shared blocks
             if x.is_multiple_of(3) {
-                b.write(node, va);
+                b.write(node, va).unwrap();
                 // Immediately after a write, no other node may hold the
                 // block (a later read may legitimately re-cache it).
                 for j in 0..4 {
                     if j != node {
                         assert!(
-                            !b.node(j).holds_physical_block(va / 32),
+                            !b.node(j).unwrap().holds_physical_block(va / 32),
                             "remote copy survived a write"
                         );
                     }
                 }
             } else {
-                b.read(node, va);
+                b.read(node, va).unwrap();
             }
         }
         assert!(b.check_invariants());
@@ -286,7 +312,7 @@ mod tests {
     fn reads_generate_no_snoops() {
         let mut b = bus(2);
         for i in 0..64 {
-            b.read(0, i * 32);
+            b.read(0, i * 32).unwrap();
         }
         assert_eq!(b.stats().snoops, 0);
         assert_eq!(b.stats().reads, 64);

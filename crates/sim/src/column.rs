@@ -8,31 +8,16 @@
 //! finds it — the paper reports this yields "a typical probability of
 //! around 90% that a hit is detected at the first probe".
 
+use crate::model::{extra, AccessOutcome, MemoryModel, ModelStats, ServicePoint};
+use crate::stats::CacheStats;
 use cac_core::{CacheGeometry, Error};
 use cac_gf2::xor_tree::{min_fan_in_poly, XorTree};
-
-/// Outcome of one access to a [`ColumnAssociative`] cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ColumnAccess {
-    /// Hit at the conventional (first-probe) location.
-    FirstProbeHit,
-    /// Hit at the polynomial (second-probe) location; lines were swapped.
-    SecondProbeHit,
-    /// Miss at both locations.
-    Miss,
-}
-
-impl ColumnAccess {
-    /// `true` unless the access missed both probes.
-    pub fn is_hit(self) -> bool {
-        !matches!(self, ColumnAccess::Miss)
-    }
-}
+use cac_trace::MemRef;
 
 /// Counters for the column-associative organization.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ColumnStats {
-    /// Total accesses.
+    /// Total read accesses.
     pub accesses: u64,
     /// Hits at the first probe.
     pub first_probe_hits: u64,
@@ -40,6 +25,10 @@ pub struct ColumnStats {
     pub second_probe_hits: u64,
     /// Full misses.
     pub misses: u64,
+    /// Stores presented to the organization and passed through untouched
+    /// (the paper evaluates it by load miss ratio; stores are not
+    /// modelled).
+    pub bypassed_stores: u64,
 }
 
 impl ColumnStats {
@@ -100,7 +89,7 @@ pub enum RehashKind {
 ///
 /// ```
 /// use cac_core::CacheGeometry;
-/// use cac_sim::column::{ColumnAccess, ColumnAssociative};
+/// use cac_sim::column::ColumnAssociative;
 ///
 /// let geom = CacheGeometry::new(8 * 1024, 32, 1)?;
 /// let mut c = ColumnAssociative::new(geom)?;
@@ -198,24 +187,30 @@ impl ColumnAssociative {
     }
 
     /// Demotes `occupant` (currently holding slot `slot`) to its own
-    /// polynomial home, or evicts it if `slot` *is* its polynomial home.
-    fn demote(&mut self, occupant: u64, slot: usize) {
+    /// polynomial home, returning any block this pushed out of the cache
+    /// entirely: the previous resident of the polynomial home, or the
+    /// occupant itself if `slot` *is* its polynomial home (the caller is
+    /// about to overwrite `slot`).
+    fn demote(&mut self, occupant: u64, slot: usize) -> Option<u64> {
         let alt = self.polynomial_index(occupant);
         if alt != slot {
+            let displaced = self.lines[alt];
             self.lines[alt] = occupant;
+            (displaced != INVALID_LINE).then_some(displaced)
+        } else {
+            Some(occupant)
         }
-        // else: occupant was already in its alternative (or only) home
-        // and is simply evicted by the caller overwriting `slot`.
     }
 
-    /// Performs a read access.
-    pub fn read(&mut self, addr: u64) -> ColumnAccess {
+    /// Performs a read access, reporting hit/miss, the servicing probe
+    /// and any block the line movement evicted.
+    pub fn read(&mut self, addr: u64) -> AccessOutcome {
         self.stats.accesses += 1;
         let block = self.geom.block_addr(addr);
         let i1 = self.conventional_index(block);
         if self.lines[i1] == block {
             self.stats.first_probe_hits += 1;
-            return ColumnAccess::FirstProbeHit;
+            return AccessOutcome::hit_at(ServicePoint::Level(0));
         }
         let i2 = self.polynomial_index(block);
         if i2 != i1 && self.lines[i2] == block {
@@ -224,27 +219,86 @@ impl ColumnAssociative {
             // its *own* polynomial home.
             self.lines[i2] = INVALID_LINE;
             let occupant = self.lines[i1];
-            if occupant != INVALID_LINE {
-                self.demote(occupant, i1);
-            }
+            let evicted = (occupant != INVALID_LINE)
+                .then(|| self.demote(occupant, i1))
+                .flatten();
             self.lines[i1] = block;
             self.stats.second_probe_hits += 1;
-            return ColumnAccess::SecondProbeHit;
+            return AccessOutcome {
+                hit: true,
+                served_by: ServicePoint::SecondProbe,
+                way: None,
+                evicted,
+                filled: false,
+            };
         }
         // Miss: the incoming block takes its conventional home; the
         // occupant is demoted to its own polynomial home.
         let occupant = self.lines[i1];
-        if occupant != INVALID_LINE {
-            self.demote(occupant, i1);
-        }
+        let evicted = (occupant != INVALID_LINE)
+            .then(|| self.demote(occupant, i1))
+            .flatten();
         self.lines[i1] = block;
         self.stats.misses += 1;
-        ColumnAccess::Miss
+        AccessOutcome {
+            hit: false,
+            served_by: ServicePoint::Memory,
+            way: None,
+            evicted,
+            filled: true,
+        }
     }
 
     /// Number of valid lines.
     pub fn resident_lines(&self) -> usize {
         self.lines.iter().filter(|&&l| l != INVALID_LINE).count()
+    }
+
+    /// Invalidates all contents and clears all counters.
+    pub fn reset(&mut self) {
+        self.lines.fill(INVALID_LINE);
+        self.stats = ColumnStats::default();
+    }
+}
+
+impl MemoryModel for ColumnAssociative {
+    fn access(&mut self, r: MemRef) -> AccessOutcome {
+        if r.is_write {
+            self.stats.bypassed_stores += 1;
+            return AccessOutcome::bypass();
+        }
+        self.read(r.addr)
+    }
+
+    fn stats(&self) -> ModelStats {
+        let s = self.stats;
+        let demand = CacheStats {
+            accesses: s.accesses,
+            hits: s.first_probe_hits + s.second_probe_hits,
+            misses: s.misses,
+            reads: s.accesses,
+            read_misses: s.misses,
+            ..CacheStats::default()
+        };
+        let mut m = ModelStats::single("column", demand);
+        m.extras = vec![
+            extra("first-probe-hits", s.first_probe_hits),
+            extra("second-probe-hits", s.second_probe_hits),
+            extra("stores-bypassed", s.bypassed_stores),
+        ];
+        m
+    }
+
+    fn reset(&mut self) {
+        ColumnAssociative::reset(self);
+    }
+
+    fn describe(&self) -> String {
+        let rehash = match self.rehash {
+            RehashKind::Polynomial => "polynomial",
+            RehashKind::TopBitFlip => "top-bit-flip",
+        };
+        format!("column-associative {} ({rehash} rehash)", self.geom)
     }
 }
 
@@ -277,8 +331,8 @@ mod tests {
     fn conventional_conflict_pair_coexists() {
         let mut c = ColumnAssociative::new(dm8k()).unwrap();
         let (a, b) = conflicting_pair(&c);
-        assert_eq!(c.read(a), ColumnAccess::Miss);
-        assert_eq!(c.read(b), ColumnAccess::Miss);
+        assert!(!c.read(a).is_hit());
+        assert!(!c.read(b).is_hit());
         // Both resident afterwards; no more misses.
         let mut misses = 0;
         for _ in 0..20 {
@@ -310,9 +364,9 @@ mod tests {
         c.read(a);
         c.read(b); // b takes the conventional slot, a demoted
                    // First access to a is a second-probe hit, which promotes it...
-        assert_eq!(c.read(a), ColumnAccess::SecondProbeHit);
+        assert_eq!(c.read(a).served_by, ServicePoint::SecondProbe);
         // ...so the next access to a hits at the first probe.
-        assert_eq!(c.read(a), ColumnAccess::FirstProbeHit);
+        assert_eq!(c.read(a).served_by, ServicePoint::Level(0));
     }
 
     #[test]
@@ -322,7 +376,7 @@ mod tests {
             c.read(i * 32);
         }
         for i in 0..256u64 {
-            assert_eq!(c.read(i * 32), ColumnAccess::FirstProbeHit);
+            assert_eq!(c.read(i * 32).served_by, ServicePoint::Level(0));
         }
         assert!(c.stats().first_probe_hit_fraction() > 0.99);
     }
@@ -350,6 +404,61 @@ mod tests {
         );
         assert!(s.avg_probes_per_hit() >= 1.0);
         assert!(s.avg_probes_per_hit() <= 2.0);
+    }
+
+    #[test]
+    fn outcomes_report_real_evictions() {
+        // Replay a wide mix and reconcile the evictions the outcomes
+        // report against residency: fills - evictions == resident lines.
+        let mut c = ColumnAssociative::new(dm8k()).unwrap();
+        let mut fills = 0i64;
+        let mut evictions = 0i64;
+        for i in 0..5000u64 {
+            let out = c.read((i.wrapping_mul(0x9E37_79B9) >> 5) & 0x3_FFFF);
+            if out.filled {
+                fills += 1;
+            }
+            if out.evicted.is_some() {
+                evictions += 1;
+            }
+            assert_eq!(out.hit, out.is_hit());
+        }
+        assert_eq!(fills - evictions, c.resident_lines() as i64);
+    }
+
+    #[test]
+    fn memory_model_view_matches_column_stats() {
+        use crate::model::MemoryModel;
+        let mut c = ColumnAssociative::new(dm8k()).unwrap();
+        for i in 0..400u64 {
+            let r = cac_trace::MemRef {
+                pc: 0,
+                addr: (i % 300) * 32,
+                is_write: i % 7 == 0,
+            };
+            MemoryModel::access(&mut c, r);
+        }
+        let m = MemoryModel::stats(&c);
+        let s = c.stats();
+        assert_eq!(m.demand.reads, s.accesses);
+        assert_eq!(m.demand.misses, s.misses);
+        assert_eq!(m.demand.hits, s.first_probe_hits + s.second_probe_hits);
+        assert_eq!(m.extra("stores-bypassed"), Some(s.bypassed_stores));
+        assert!(s.bypassed_stores > 0);
+        // Stores must not disturb the read-only contents.
+        let resident_before = c.resident_lines();
+        MemoryModel::access(
+            &mut c,
+            cac_trace::MemRef {
+                pc: 0,
+                addr: 0xdead_0000,
+                is_write: true,
+            },
+        );
+        assert_eq!(c.resident_lines(), resident_before);
+        MemoryModel::reset(&mut c);
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().accesses, 0);
     }
 
     #[test]

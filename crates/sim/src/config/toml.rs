@@ -1,0 +1,429 @@
+//! A minimal TOML-subset reader for the declarative config layer.
+//!
+//! The build environment has no crate registry (see `crates/shims/`), so
+//! rather than depending on `serde`/`toml` this module implements the
+//! small slice of TOML the [`SimConfig`](crate::config::SimConfig) files
+//! actually use:
+//!
+//! * `key = value` pairs with bare keys (`[A-Za-z0-9_-]+`);
+//! * values: `"strings"` (with `\"`, `\\`, `\n`, `\t` escapes), integers
+//!   (optionally with `_` separators or a `0x` prefix), booleans, and
+//!   flat arrays of those scalars;
+//! * `[section]` tables and `[[section]]` arrays-of-tables;
+//! * `#` comments and blank lines.
+//!
+//! Dotted keys, inline tables, floats, dates and multi-line strings are
+//! **not** supported and produce a clear parse error with the offending
+//! line number. That is deliberate: a shipped config that strays off the
+//! subset should fail `cac config validate` loudly, not silently.
+
+use cac_core::Error;
+
+/// A scalar or array value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer (decimal, `_`-separated or `0x` hex).
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A flat array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// An ordered set of `key = value` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    pairs: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// All keys, in file order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.pairs.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// `true` if the table has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    fn insert(&mut self, key: String, value: Value, line: usize) -> Result<(), Error> {
+        if self.get(&key).is_some() {
+            return Err(Error::config(format!("line {line}: duplicate key {key:?}")));
+        }
+        self.pairs.push((key, value));
+        Ok(())
+    }
+}
+
+/// One `[name]` or `[[name]]` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name.
+    pub name: String,
+    /// `true` for `[[name]]` array-of-tables entries.
+    pub array: bool,
+    /// The section's pairs.
+    pub table: Table,
+}
+
+/// A parsed document: top-level pairs plus sections in file order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Doc {
+    /// Pairs before the first section header.
+    pub root: Table,
+    /// Sections, in file order (`[[x]]` appears once per entry).
+    pub sections: Vec<Section>,
+}
+
+impl Doc {
+    /// The single `[name]` section, if present.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the section appears more than once.
+    pub fn section(&self, name: &str) -> Result<Option<&Table>, Error> {
+        let mut found = None;
+        for s in self.sections.iter().filter(|s| s.name == name) {
+            if found.is_some() {
+                return Err(Error::config(format!("section [{name}] appears twice")));
+            }
+            found = Some(&s.table);
+        }
+        Ok(found)
+    }
+
+    /// All `[[name]]` entries, in file order.
+    pub fn section_array(&self, name: &str) -> Vec<&Table> {
+        self.sections
+            .iter()
+            .filter(|s| s.name == name && s.array)
+            .map(|s| &s.table)
+            .collect()
+    }
+
+    /// Names of all sections present, deduplicated, in first-appearance
+    /// order.
+    pub fn section_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for s in &self.sections {
+            if !names.contains(&s.name.as_str()) {
+                names.push(&s.name);
+            }
+        }
+        names
+    }
+}
+
+/// Parses a document.
+///
+/// # Errors
+///
+/// [`Error::Config`] with the offending line number on any syntax the
+/// subset does not cover.
+///
+/// # Example
+///
+/// ```
+/// let doc = cac_sim::config::toml::parse(
+///     "name = \"demo\"\n[cache]\nsize = \"8KiB\"\nways = 2\n",
+/// )?;
+/// assert_eq!(doc.root.get("name").unwrap().as_str(), Some("demo"));
+/// let cache = doc.section("cache")?.unwrap();
+/// assert_eq!(cache.get("ways").unwrap().as_int(), Some(2));
+/// # Ok::<(), cac_core::Error>(())
+/// ```
+pub fn parse(input: &str) -> Result<Doc, Error> {
+    let mut doc = Doc::default();
+    let mut current: Option<usize> = None; // index into doc.sections
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest.strip_suffix("]]").map(str::trim).ok_or_else(|| {
+                Error::config(format!("line {line_no}: malformed [[section]] header"))
+            })?;
+            check_key(name, line_no)?;
+            doc.sections.push(Section {
+                name: name.to_owned(),
+                array: true,
+                table: Table::default(),
+            });
+            current = Some(doc.sections.len() - 1);
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let name = rest.strip_suffix(']').map(str::trim).ok_or_else(|| {
+                Error::config(format!("line {line_no}: malformed [section] header"))
+            })?;
+            check_key(name, line_no)?;
+            if doc.sections.iter().any(|s| s.name == name && !s.array) {
+                return Err(Error::config(format!(
+                    "line {line_no}: section [{name}] appears twice"
+                )));
+            }
+            doc.sections.push(Section {
+                name: name.to_owned(),
+                array: false,
+                table: Table::default(),
+            });
+            current = Some(doc.sections.len() - 1);
+        } else {
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                Error::config(format!(
+                    "line {line_no}: expected `key = value` or a [section] header, got {line:?}"
+                ))
+            })?;
+            let key = key.trim();
+            check_key(key, line_no)?;
+            let value = parse_value(value.trim(), line_no)?;
+            let table = match current {
+                Some(idx) => &mut doc.sections[idx].table,
+                None => &mut doc.root,
+            };
+            table.insert(key.to_owned(), value, line_no)?;
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (pos, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..pos],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn check_key(key: &str, line_no: usize) -> Result<(), Error> {
+    if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(())
+    } else {
+        Err(Error::config(format!(
+            "line {line_no}: invalid key {key:?} (bare keys only: letters, digits, `_`, `-`)"
+        )))
+    }
+}
+
+fn parse_value(v: &str, line_no: usize) -> Result<Value, Error> {
+    if v.is_empty() {
+        return Err(Error::config(format!("line {line_no}: missing value")));
+    }
+    if let Some(body) = v.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or_else(|| {
+            Error::config(format!(
+                "line {line_no}: arrays must open and close on one line"
+            ))
+        })?;
+        let mut items = Vec::new();
+        for part in split_array(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let item = parse_value(part, line_no)?;
+            if matches!(item, Value::Array(_)) {
+                return Err(Error::config(format!(
+                    "line {line_no}: nested arrays are not supported"
+                )));
+            }
+            items.push(item);
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(body) = v.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| Error::config(format!("line {line_no}: unterminated string {v:?}")))?;
+        return Ok(Value::Str(unescape(body, line_no)?));
+    }
+    match v {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits = v.replace('_', "");
+    let parsed = if let Some(hex) = digits.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()
+    } else {
+        digits.parse().ok()
+    };
+    parsed.map(Value::Int).ok_or_else(|| {
+        Error::config(format!(
+            "line {line_no}: cannot parse value {v:?} (expected a string, integer, \
+             boolean or flat array)"
+        ))
+    })
+}
+
+/// Splits an array body on commas outside strings.
+fn split_array(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (pos, c) in body.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&body[start..pos]);
+                start = pos + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+fn unescape(s: &str, line_no: usize) -> Result<String, Error> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(Error::config(format!(
+                    "line {line_no}: unsupported escape \\{}",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_config_shapes() {
+        let doc = parse(
+            "# demo\nname = \"two level\"  # inline comment\n\
+             enabled = true\nseed = 0x5eed\n\
+             [hierarchy]\nvirtual-real = true\n\
+             [[level]]\nsize = \"8KiB\"\nways = 2\n\
+             [[level]]\nsize = \"256KiB\"\n\
+             [extras]\nlist = [1, 2, 3]\nnames = [\"a\", \"b,c\"]\n",
+        )
+        .unwrap();
+        assert_eq!(doc.root.get("name").unwrap().as_str(), Some("two level"));
+        assert_eq!(doc.root.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.root.get("seed").unwrap().as_int(), Some(0x5eed));
+        let levels = doc.section_array("level");
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].get("ways").unwrap().as_int(), Some(2));
+        assert_eq!(levels[1].get("size").unwrap().as_str(), Some("256KiB"));
+        let extras = doc.section("extras").unwrap().unwrap();
+        assert_eq!(
+            extras.get("list"),
+            Some(&Value::Array(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]))
+        );
+        assert_eq!(
+            extras.get("names"),
+            Some(&Value::Array(vec![
+                Value::Str("a".into()),
+                Value::Str("b,c".into())
+            ]))
+        );
+        assert_eq!(doc.section_names(), vec!["hierarchy", "level", "extras"]);
+        assert!(
+            doc.section("level").is_err(),
+            "array sections are not single"
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (src, needle) in [
+            ("size 8192", "line 1"),
+            ("[cache\nx = 1", "malformed"),
+            ("x = ", "missing value"),
+            ("x = 1\nx = 2", "duplicate key"),
+            ("x = \"abc", "unterminated"),
+            ("x = 1.5", "cannot parse"),
+            ("x = [[1]]", "nested arrays"),
+            ("a.b = 1", "invalid key"),
+            ("[c]\n[c]\nx = 1", "appears twice"),
+            ("x = \"\\q\"", "unsupported escape"),
+        ] {
+            let err = parse(src).unwrap_err().to_string();
+            assert!(err.contains(needle), "{src:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let doc = parse("x = \"a # b\" # real comment\n").unwrap();
+        assert_eq!(doc.root.get("x").unwrap().as_str(), Some("a # b"));
+    }
+}

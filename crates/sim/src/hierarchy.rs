@@ -14,6 +14,7 @@
 //! second virtual address maps to the same physical block.
 
 use crate::cache::{Cache, WritePolicy};
+use crate::model::{extra, AccessOutcome, ComponentStats, MemoryModel, ModelStats, ServicePoint};
 use crate::stats::CacheStats;
 use crate::vm::PageMapper;
 use cac_core::{CacheGeometry, Error, IndexSpec};
@@ -148,6 +149,9 @@ pub struct TwoLevelHierarchy {
     /// at L1. At most one alias per physical block is allowed in L1.
     l1_contents: HashMap<u64, u64>,
     stats: HierarchyStats,
+    /// The demand stream as the processor sees it: an access is a hit
+    /// when it was serviced at L1 or L2 (i.e. before memory).
+    demand: CacheStats,
 }
 
 impl TwoLevelHierarchy {
@@ -188,6 +192,7 @@ impl TwoLevelHierarchy {
             mapper,
             l1_contents: HashMap::new(),
             stats: HierarchyStats::default(),
+            demand: CacheStats::default(),
         })
     }
 
@@ -210,6 +215,17 @@ impl TwoLevelHierarchy {
 
     /// Performs an access at virtual address `va`.
     pub fn access(&mut self, va: u64, is_write: bool) -> HierarchyAccess {
+        let res = self.access_inner(va, is_write);
+        let hit = res.l1_hit || res.l2_hit;
+        if is_write {
+            self.demand.record_write(hit);
+        } else {
+            self.demand.record_read(hit);
+        }
+        res
+    }
+
+    fn access_inner(&mut self, va: u64, is_write: bool) -> HierarchyAccess {
         let geom = self.l1.geometry();
         let va_block = geom.block_addr(va);
         let pa = self.mapper.translate(va);
@@ -380,6 +396,70 @@ impl TwoLevelHierarchy {
             let pa_block = self.pa_block_of(va_block);
             self.l2.probe_block(pa_block).is_some()
         })
+    }
+
+    /// Invalidates both levels and clears all counters. Established page
+    /// mappings are kept — the OS page table outlives a cache flush.
+    pub fn reset(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.l1_contents.clear();
+        self.stats = HierarchyStats::default();
+        self.demand = CacheStats::default();
+    }
+}
+
+impl MemoryModel for TwoLevelHierarchy {
+    fn access(&mut self, r: MemRef) -> AccessOutcome {
+        let a = TwoLevelHierarchy::access(self, r.addr, r.is_write);
+        if a.l1_hit {
+            AccessOutcome::hit_at(ServicePoint::Level(0))
+        } else if a.l2_hit {
+            AccessOutcome::hit_at(ServicePoint::Level(1))
+        } else {
+            AccessOutcome {
+                filled: !r.is_write,
+                ..AccessOutcome::miss()
+            }
+        }
+    }
+
+    fn stats(&self) -> ModelStats {
+        let s = self.stats;
+        ModelStats {
+            demand: self.demand,
+            components: vec![
+                ComponentStats {
+                    name: "l1".to_owned(),
+                    stats: self.l1.stats(),
+                },
+                ComponentStats {
+                    name: "l2".to_owned(),
+                    stats: self.l2.stats(),
+                },
+            ],
+            extras: vec![
+                extra("inclusion-invalidations", s.inclusion_invalidations),
+                extra("holes-created", s.holes_created),
+                extra("alias-invalidations", s.alias_invalidations),
+                extra("external-invalidations-l1", s.external_invalidations_l1),
+                extra("external-invalidations-l2", s.external_invalidations_l2),
+            ],
+        }
+    }
+
+    fn reset(&mut self) {
+        TwoLevelHierarchy::reset(self);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "virtual-real hierarchy: L1 {} ({}) / L2 {} ({})",
+            self.l1.geometry(),
+            self.l1.index_fn().label(),
+            self.l2.geometry(),
+            self.l2.index_fn().label()
+        )
     }
 }
 

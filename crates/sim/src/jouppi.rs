@@ -37,7 +37,10 @@
 //! ```
 
 use crate::cache::Cache;
+use crate::model::{extra, AccessOutcome, MemoryModel, ModelStats, ServicePoint};
+use crate::stats::CacheStats;
 use cac_core::{CacheGeometry, Error, IndexSpec};
+use cac_trace::MemRef;
 use std::collections::VecDeque;
 
 /// Counters for a [`JouppiCache`].
@@ -53,6 +56,9 @@ pub struct JouppiStats {
     pub stream_hits: u64,
     /// Misses that went all the way to memory.
     pub full_misses: u64,
+    /// Stores presented and passed through untouched (Jouppi's buffers
+    /// are a read mechanism; the comparison is by load miss ratio).
+    pub bypassed_stores: u64,
 }
 
 impl JouppiStats {
@@ -121,8 +127,10 @@ impl JouppiCache {
         })
     }
 
-    /// Performs a read access through the full lookup chain.
-    pub fn read(&mut self, addr: u64) {
+    /// Performs a read access through the full lookup chain, reporting
+    /// where the access was serviced and any block dropped from the
+    /// organization entirely (out the far end of the victim buffer).
+    pub fn read(&mut self, addr: u64) -> AccessOutcome {
         self.clock += 1;
         self.stats.accesses += 1;
         let block = self.main.geometry().block_addr(addr);
@@ -130,15 +138,21 @@ impl JouppiCache {
         if self.main.probe_block(block).is_some() {
             let _ = self.main.read(addr);
             self.stats.main_hits += 1;
-            return;
+            return AccessOutcome::hit_at(ServicePoint::Level(0));
         }
 
         // Victim buffer: swap the line back into the cache.
         if let Some(pos) = self.victim.iter().position(|&b| b == block) {
             self.victim.remove(pos);
-            self.fill(block);
+            let evicted = self.fill(block);
             self.stats.victim_hits += 1;
-            return;
+            return AccessOutcome {
+                hit: true,
+                served_by: ServicePoint::Victim(0),
+                way: None,
+                evicted,
+                filled: false,
+            };
         }
 
         // Stream-buffer heads.
@@ -154,13 +168,19 @@ impl JouppiCache {
                 fifo.push_back(*next);
                 *next += 1;
             }
-            self.fill(block);
+            let evicted = self.fill(block);
             self.stats.stream_hits += 1;
-            return;
+            return AccessOutcome {
+                hit: true,
+                served_by: ServicePoint::Stream(0),
+                way: None,
+                evicted,
+                filled: true,
+            };
         }
 
         // Full miss: fetch and start a new stream after this block.
-        self.fill(block);
+        let evicted = self.fill(block);
         self.stats.full_misses += 1;
         let mut fifo = VecDeque::with_capacity(self.stream_depth);
         for i in 1..=self.stream_depth as u64 {
@@ -179,23 +199,87 @@ impl JouppiCache {
                 .expect("non-empty");
             self.streams[lru] = fresh;
         }
+        AccessOutcome {
+            hit: false,
+            served_by: ServicePoint::Memory,
+            way: None,
+            evicted,
+            filled: true,
+        }
     }
 
     /// Fills `block` into the main cache, spilling any displaced line
-    /// into the victim buffer.
-    fn fill(&mut self, block: u64) {
+    /// into the victim buffer; returns the block the spill pushed out of
+    /// the buffer's far end, if any.
+    fn fill(&mut self, block: u64) -> Option<u64> {
         let (_, evicted) = self.main.fill_block(block);
+        let mut dropped = None;
         if let Some(victim) = evicted {
             if self.victim.len() == self.victim_capacity {
-                self.victim.pop_front();
+                dropped = self.victim.pop_front();
             }
             self.victim.push_back(victim);
         }
+        dropped
     }
 
     /// Running counters.
     pub fn stats(&self) -> JouppiStats {
         self.stats
+    }
+
+    /// Invalidates all contents (cache, victim buffer, streams) and
+    /// clears all counters.
+    pub fn reset(&mut self) {
+        self.main.flush();
+        self.victim.clear();
+        self.streams.clear();
+        self.clock = 0;
+        self.stats = JouppiStats::default();
+    }
+}
+
+impl MemoryModel for JouppiCache {
+    fn access(&mut self, r: MemRef) -> AccessOutcome {
+        if r.is_write {
+            self.stats.bypassed_stores += 1;
+            return AccessOutcome::bypass();
+        }
+        self.read(r.addr)
+    }
+
+    fn stats(&self) -> ModelStats {
+        let s = self.stats;
+        let demand = CacheStats {
+            accesses: s.accesses,
+            hits: s.main_hits + s.victim_hits + s.stream_hits,
+            misses: s.full_misses,
+            reads: s.accesses,
+            read_misses: s.full_misses,
+            ..CacheStats::default()
+        };
+        let mut m = ModelStats::single("jouppi", demand);
+        m.extras = vec![
+            extra("main-hits", s.main_hits),
+            extra("victim-hits", s.victim_hits),
+            extra("stream-hits", s.stream_hits),
+            extra("stores-bypassed", s.bypassed_stores),
+        ];
+        m
+    }
+
+    fn reset(&mut self) {
+        JouppiCache::reset(self);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Jouppi organization: {} + {}-line victim buffer + {}x{} stream buffers",
+            self.main.geometry(),
+            self.victim_capacity,
+            self.stream_capacity,
+            self.stream_depth
+        )
     }
 }
 
@@ -216,6 +300,18 @@ mod tests {
         assert!(JouppiCache::new(geom(), 0, 4, 4).is_err());
         assert!(JouppiCache::new(geom(), 4, 0, 4).is_err());
         assert!(JouppiCache::new(geom(), 4, 4, 0).is_err());
+    }
+
+    #[test]
+    fn outcomes_name_the_servicing_structure() {
+        let mut c = cache();
+        assert_eq!(c.read(0x0000).served_by, ServicePoint::Memory);
+        assert_eq!(c.read(0x0008).served_by, ServicePoint::Level(0));
+        c.read(0x2000); // same DM set as 0x0000: spills it to the victim buffer
+        assert_eq!(c.read(0x0000).served_by, ServicePoint::Victim(0));
+        let out = c.read(0x2020); // prefetched by 0x2000's stream
+        assert_eq!(out.served_by, ServicePoint::Stream(0));
+        assert!(out.hit && out.is_hit());
     }
 
     #[test]

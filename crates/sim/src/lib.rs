@@ -37,6 +37,19 @@
 //!   hierarchy of Wang et al. that the paper adopts (§3.1–3.3): inclusion
 //!   enforcement, virtual-alias control, and measurement of the *holes*
 //!   the paper models analytically.
+//! * [`stack::Hierarchy`] — the generic N-level stack the virtual-real
+//!   design specializes, with victim/stream/MSHR structures attachable
+//!   to any level as sidecars.
+//!
+//! # One model API
+//!
+//! Every organization above implements [`model::MemoryModel`] — one
+//! `access`/`run_refs`/`stats`/`reset` surface reporting through the
+//! shared [`model::AccessOutcome`] and [`model::ModelStats`] shapes —
+//! and every organization is constructible from a declarative
+//! [`config::SimConfig`] (parsed from a small TOML subset; shipped
+//! examples under `examples/*.toml`), which is what `cac run --config`
+//! replays traces against.
 //!
 //! # Hot-path architecture
 //!
@@ -90,12 +103,15 @@ pub mod cache;
 pub mod classify;
 pub mod coherence;
 pub mod column;
+pub mod config;
 pub mod hierarchy;
 pub mod jouppi;
+pub mod model;
 pub mod mshr;
 pub mod pagesize;
 pub mod replacement;
 pub mod replay;
+pub mod stack;
 pub mod stats;
 pub mod stream;
 pub mod tlb;
@@ -104,5 +120,8 @@ pub mod vm;
 
 pub use cache::{Cache, CacheBuilder, WritePolicy};
 pub use classify::{MissKind, ThreeCClassifier};
+pub use config::SimConfig;
 pub use hierarchy::TwoLevelHierarchy;
+pub use model::{AccessOutcome, MemoryModel, ModelStats, ServicePoint};
+pub use stack::{Hierarchy, HierarchyBuilder, LevelBuilder};
 pub use stats::CacheStats;

@@ -127,6 +127,17 @@ impl MshrFile {
         self.entries.len()
     }
 
+    /// Number of registers in the file.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops all in-flight entries and clears the counters.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.stats = MshrStats::default();
+    }
+
     /// `true` when no more primary misses can be accepted.
     pub fn is_full(&self) -> bool {
         self.entries.len() == self.capacity

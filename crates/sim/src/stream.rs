@@ -36,8 +36,10 @@
 //! ```
 
 use crate::cache::Cache;
+use crate::model::{extra, AccessOutcome, MemoryModel, ModelStats, ServicePoint};
 use crate::stats::CacheStats;
 use cac_core::{CacheGeometry, Error, IndexSpec};
+use cac_trace::MemRef;
 use std::collections::VecDeque;
 
 /// One prefetch FIFO: block addresses in ascending order.
@@ -65,6 +67,9 @@ pub struct StreamStats {
     pub misses: u64,
     /// Blocks prefetched that were flushed unused (reallocation waste).
     pub flushed_unused: u64,
+    /// Stores presented and passed through untouched (stream buffers are
+    /// a read-prefetch mechanism; the paper's L1 is no-write-allocate).
+    pub bypassed_stores: u64,
 }
 
 impl StreamStats {
@@ -221,6 +226,65 @@ impl StreamBufferCache {
     /// counted there as ordinary fills).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Invalidates all contents (cache and buffers) and clears counters.
+    pub fn reset(&mut self) {
+        self.cache.flush();
+        self.buffers.clear();
+        self.clock = 0;
+        self.stats = StreamStats::default();
+    }
+}
+
+impl MemoryModel for StreamBufferCache {
+    fn access(&mut self, r: MemRef) -> AccessOutcome {
+        if r.is_write {
+            self.stats.bypassed_stores += 1;
+            return AccessOutcome::bypass();
+        }
+        match self.read(r.addr) {
+            StreamOutcome::CacheHit => AccessOutcome::hit_at(ServicePoint::Level(0)),
+            StreamOutcome::StreamHit => AccessOutcome::hit_at(ServicePoint::Stream(0)),
+            StreamOutcome::Miss => AccessOutcome {
+                filled: true,
+                ..AccessOutcome::miss()
+            },
+        }
+    }
+
+    fn stats(&self) -> ModelStats {
+        let s = self.stats;
+        let demand = CacheStats {
+            accesses: s.accesses,
+            hits: s.cache_hits + s.stream_hits,
+            misses: s.misses,
+            reads: s.accesses,
+            read_misses: s.misses,
+            ..CacheStats::default()
+        };
+        let mut m = ModelStats::single("stream", demand);
+        m.extras = vec![
+            extra("cache-hits", s.cache_hits),
+            extra("stream-hits", s.stream_hits),
+            extra("flushed-unused", s.flushed_unused),
+            extra("stores-bypassed", s.bypassed_stores),
+        ];
+        m
+    }
+
+    fn reset(&mut self) {
+        StreamBufferCache::reset(self);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{}, {} placement + {}x{} stream buffers",
+            self.cache.geometry(),
+            self.cache.index_fn().label(),
+            self.buffers.capacity(),
+            self.depth
+        )
     }
 }
 

@@ -6,8 +6,10 @@
 //! reproduce that comparison.
 
 use crate::cache::Cache;
+use crate::model::{extra, AccessOutcome, MemoryModel, ModelStats, ServicePoint};
 use crate::stats::CacheStats;
 use cac_core::{CacheGeometry, Error, IndexSpec};
+use cac_trace::MemRef;
 use std::collections::VecDeque;
 
 /// A main cache plus a small fully-associative LRU victim buffer.
@@ -52,6 +54,9 @@ pub struct VictimStats {
     pub victim_hits: u64,
     /// Misses that went to the next level.
     pub full_misses: u64,
+    /// Stores presented and passed through untouched (the organization
+    /// is evaluated by load miss ratio, as in the paper's comparison).
+    pub bypassed_stores: u64,
 }
 
 impl VictimStats {
@@ -157,6 +162,64 @@ impl VictimCache {
             self.buffer.pop_front();
         }
         self.buffer.push_back(block);
+    }
+
+    /// Invalidates all contents (cache and buffer) and clears counters.
+    pub fn reset(&mut self) {
+        self.main.flush();
+        self.buffer.clear();
+        self.stats = VictimStats::default();
+    }
+}
+
+impl MemoryModel for VictimCache {
+    fn access(&mut self, r: MemRef) -> AccessOutcome {
+        if r.is_write {
+            self.stats.bypassed_stores += 1;
+            return AccessOutcome::bypass();
+        }
+        let a = self.read(r.addr);
+        if a.main_hit {
+            AccessOutcome::hit_at(ServicePoint::Level(0))
+        } else if a.victim_hit {
+            AccessOutcome::hit_at(ServicePoint::Victim(0))
+        } else {
+            AccessOutcome {
+                filled: true,
+                ..AccessOutcome::miss()
+            }
+        }
+    }
+
+    fn stats(&self) -> ModelStats {
+        let s = self.stats;
+        let demand = CacheStats {
+            accesses: s.accesses,
+            hits: s.main_hits + s.victim_hits,
+            misses: s.full_misses,
+            reads: s.accesses,
+            read_misses: s.full_misses,
+            ..CacheStats::default()
+        };
+        let mut m = ModelStats::single("victim", demand);
+        m.extras = vec![
+            extra("main-hits", s.main_hits),
+            extra("victim-hits", s.victim_hits),
+            extra("stores-bypassed", s.bypassed_stores),
+        ];
+        m
+    }
+
+    fn reset(&mut self) {
+        VictimCache::reset(self);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "victim cache: {} + {}-line fully-associative buffer",
+            self.main.geometry(),
+            self.buffer_capacity
+        )
     }
 }
 

@@ -1,0 +1,134 @@
+//! Property tests for the Kroft MSHR file ([`cac_sim::mshr`]),
+//! previously untested outside its unit tests: capacity, merge and
+//! retire-ordering invariants under random request streams, plus the
+//! load-bearing equivalence — MSHRs are *bookkeeping*, so attaching an
+//! unbounded file to a hierarchy level changes no hit/miss counter.
+
+use cac_core::{CacheGeometry, IndexSpec};
+use cac_sim::model::MemoryModel;
+use cac_sim::mshr::{MshrFile, MshrOutcome};
+use cac_sim::stack::{Hierarchy, LevelBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A request stream: (block, clock advance, fill penalty).
+fn requests() -> impl Strategy<Value = Vec<(u16, u8, u8)>> {
+    proptest::collection::vec((0u16..64, 0u8..8, 1u8..30), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The file never tracks more than `capacity` blocks, `is_full`
+    /// agrees with `in_flight`, and a `Full` outcome is returned exactly
+    /// when a new block arrives at a full file.
+    #[test]
+    fn capacity_is_never_exceeded(cap in 1usize..9, reqs in requests()) {
+        let mut m = MshrFile::new(cap);
+        let mut now = 0u64;
+        for &(block, dt, penalty) in &reqs {
+            now += u64::from(dt);
+            let was_full = {
+                // Predict fullness after retirement, against an oracle
+                // recomputed below; here just exercise the API.
+                m.retire(now);
+                m.is_full() && m.pending(u64::from(block)).is_none()
+            };
+            let out = m.request(u64::from(block), now, u64::from(penalty));
+            prop_assert_eq!(matches!(out, MshrOutcome::Full), was_full);
+            prop_assert!(m.in_flight() <= cap);
+            prop_assert_eq!(m.is_full(), m.in_flight() == cap);
+        }
+        let s = m.stats();
+        prop_assert_eq!(s.primary + s.secondary + s.rejections, reqs.len() as u64);
+    }
+
+    /// Differential test against a trivially-correct map oracle: the
+    /// file accepts/merges/rejects exactly when the oracle says, and
+    /// merged requests complete with the primary's fill time (secondary
+    /// misses never extend the primary miss — Kroft's point).
+    #[test]
+    fn matches_a_map_oracle(cap in 1usize..6, reqs in requests()) {
+        let mut m = MshrFile::new(cap);
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new(); // block -> ready_at
+        let mut now = 0u64;
+        for &(block, dt, penalty) in &reqs {
+            now += u64::from(dt);
+            let block = u64::from(block);
+            // Retire-ordering invariant: everything due at or before
+            // `now` leaves the file before the new request is judged.
+            oracle.retain(|_, &mut ready| ready > now);
+            let out = m.request(block, now, u64::from(penalty));
+            match oracle.get(&block) {
+                Some(&ready) => {
+                    prop_assert_eq!(out, MshrOutcome::Merged { ready_at: ready });
+                }
+                None if oracle.len() < cap => {
+                    let ready = now + u64::from(penalty);
+                    prop_assert_eq!(out, MshrOutcome::Allocated { ready_at: ready });
+                    oracle.insert(block, ready);
+                }
+                None => prop_assert_eq!(out, MshrOutcome::Full),
+            }
+            prop_assert_eq!(m.in_flight(), oracle.len());
+            for (&b, &ready) in &oracle {
+                prop_assert_eq!(m.pending(b), Some(ready));
+            }
+        }
+    }
+
+    /// `retire` drops exactly the entries whose fills are due, in any
+    /// interleaving with requests.
+    #[test]
+    fn retire_is_ordered_by_ready_time(reqs in requests()) {
+        let mut m = MshrFile::new(64); // never full: isolate retirement
+        let mut now = 0u64;
+        for &(block, dt, penalty) in &reqs {
+            now += u64::from(dt);
+            m.request(u64::from(block), now, u64::from(penalty));
+            // Nothing in flight may already be due.
+            for b in 0u64..64 {
+                if let Some(ready) = m.pending(b) {
+                    prop_assert!(ready > now, "block {b} due at {ready} <= now {now}");
+                }
+            }
+        }
+        // A final retirement far in the future empties the file.
+        m.retire(now + 1000);
+        prop_assert_eq!(m.in_flight(), 0);
+    }
+
+    /// Attaching an effectively infinite MSHR file to a hierarchy level
+    /// changes no hit/miss counter anywhere in the stack.
+    #[test]
+    fn infinite_mshr_file_is_invisible_to_hit_miss_counters(
+        addrs in proptest::collection::vec((0u32..1_000_000, 0u8..5), 1..400)
+    ) {
+        let l1 = CacheGeometry::new(1024, 32, 1).unwrap();
+        let l2 = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        let build = |mshrs: Option<usize>| {
+            let mut lb = LevelBuilder::new(l1).index_spec(IndexSpec::ipoly());
+            if let Some(n) = mshrs {
+                lb = lb.mshrs(n);
+            }
+            Hierarchy::builder()
+                .level(lb)
+                .level(LevelBuilder::new(l2).write_back())
+                .build()
+                .unwrap()
+        };
+        let mut with = build(Some(1 << 20)); // far beyond any in-flight count
+        let mut without = build(None);
+        for &(addr, w) in &addrs {
+            let a = with.access(u64::from(addr), w == 0);
+            let b = without.access(u64::from(addr), w == 0);
+            prop_assert_eq!(a.hit, b.hit);
+            prop_assert_eq!(a.served_by, b.served_by);
+        }
+        prop_assert_eq!(with.demand_stats(), without.demand_stats());
+        prop_assert_eq!(with.level(0).stats(), without.level(0).stats());
+        prop_assert_eq!(with.level(1).stats(), without.level(1).stats());
+        let s = MemoryModel::stats(&with);
+        prop_assert_eq!(s.extra("l1-mshr-rejections"), Some(0));
+    }
+}

@@ -281,15 +281,15 @@ proptest! {
         for &(n, a, w) in &ops {
             let va = u64::from(a) % (1 << 14);
             if w {
-                bus.write(n, va);
+                bus.write(n, va).unwrap();
                 let pa_block = va / 32;
                 for j in 0..3 {
                     if j != n {
-                        prop_assert!(!bus.node(j).holds_physical_block(pa_block));
+                        prop_assert!(!bus.node(j).unwrap().holds_physical_block(pa_block));
                     }
                 }
             } else {
-                bus.read(n, va);
+                bus.read(n, va).unwrap();
             }
         }
         prop_assert!(bus.check_invariants());

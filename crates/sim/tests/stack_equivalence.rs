@@ -1,0 +1,134 @@
+//! Equivalence guards for the generic N-level stack.
+//!
+//! The generic [`Hierarchy`] claims to generalize the concrete
+//! organizations it replaces:
+//!
+//! * with two levels (write-through L1 over a write-back L2, Inclusion
+//!   on, no sidecars) it is the [`TwoLevelHierarchy`] under an identity
+//!   page mapping — counter for counter;
+//! * with one level plus victim + stream sidecars it is the
+//!   [`JouppiCache`];
+//! * with one level plus a victim sidecar it is the [`VictimCache`].
+
+use cac_core::{CacheGeometry, IndexSpec};
+use cac_sim::hierarchy::TwoLevelHierarchy;
+use cac_sim::jouppi::JouppiCache;
+use cac_sim::model::{MemoryModel, ServicePoint};
+use cac_sim::stack::{Hierarchy, LevelBuilder};
+use cac_sim::victim::VictimCache;
+use cac_sim::vm::PageMapper;
+
+/// Deterministic mixed traffic over a working set that overflows both
+/// cache levels.
+fn traffic(n: usize) -> impl Iterator<Item = (u64, bool)> {
+    let mut x = 0x1234_5678_9abc_def0u64;
+    (0..n).map(move |_| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ((x >> 8) % (1 << 20), x.is_multiple_of(5))
+    })
+}
+
+#[test]
+fn two_level_stack_matches_the_virtual_real_hierarchy_under_identity() {
+    let l1 = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+    let l2 = CacheGeometry::new(64 * 1024, 32, 2).unwrap();
+    let mut vr = TwoLevelHierarchy::new(
+        l1,
+        IndexSpec::ipoly_skewed(),
+        l2,
+        IndexSpec::modulo(),
+        PageMapper::identity(),
+    )
+    .unwrap();
+    let mut stack = Hierarchy::builder()
+        .level(LevelBuilder::new(l1).index_spec(IndexSpec::ipoly_skewed()))
+        .level(
+            LevelBuilder::new(l2)
+                .index_spec(IndexSpec::modulo())
+                .write_back(),
+        )
+        .build()
+        .unwrap();
+
+    for (addr, is_write) in traffic(200_000) {
+        let a = vr.access(addr, is_write);
+        let b = stack.access(addr, is_write);
+        let stack_l1_hit = b.served_by == ServicePoint::Level(0);
+        assert_eq!(a.l1_hit, stack_l1_hit, "addr {addr:#x}");
+    }
+    assert_eq!(vr.l1_stats(), stack.level(0).stats());
+    assert_eq!(vr.l2_stats(), stack.level(1).stats());
+    assert_eq!(
+        vr.stats().inclusion_invalidations,
+        stack.inclusion_invalidations()
+    );
+    assert_eq!(vr.stats().holes_created, stack.holes_created());
+    // Identity mapping ⇒ no aliases, so the generic stack models the
+    // complete behaviour.
+    assert_eq!(vr.stats().alias_invalidations, 0);
+    // The unified demand view agrees too.
+    assert_eq!(
+        MemoryModel::stats(&vr).demand,
+        MemoryModel::stats(&stack).demand
+    );
+}
+
+#[test]
+fn single_level_stack_with_sidecars_matches_jouppi() {
+    let geom = CacheGeometry::new(8 * 1024, 32, 1).unwrap();
+    let mut jouppi = JouppiCache::new(geom, 4, 4, 4).unwrap();
+    let mut stack = Hierarchy::builder()
+        .level(
+            LevelBuilder::new(geom)
+                .victim_buffer(4)
+                .stream_buffers(4, 4),
+        )
+        .build()
+        .unwrap();
+
+    for (addr, _) in traffic(150_000) {
+        let a = jouppi.read(addr);
+        let b = stack.read(addr);
+        assert_eq!(a.hit, b.hit, "addr {addr:#x}");
+        // Victim/stream/miss classification agrees access for access,
+        // and so does the block dropped out the victim buffer's far end.
+        assert_eq!(a.served_by, b.served_by, "addr {addr:#x}");
+        assert_eq!(a.evicted, b.evicted, "addr {addr:#x}");
+    }
+    let js = jouppi.stats();
+    let ss = MemoryModel::stats(&stack);
+    assert_eq!(ss.demand.accesses, js.accesses);
+    assert_eq!(ss.demand.misses, js.full_misses);
+    assert_eq!(ss.extra("l1-victim-hits"), Some(js.victim_hits));
+    assert_eq!(ss.extra("l1-stream-hits"), Some(js.stream_hits));
+    assert_eq!(
+        ss.demand.hits,
+        js.main_hits + js.victim_hits + js.stream_hits
+    );
+}
+
+#[test]
+fn single_level_stack_with_victim_matches_victim_cache() {
+    let geom = CacheGeometry::new(4 * 1024, 32, 1).unwrap();
+    let mut victim = VictimCache::new(geom, 4).unwrap();
+    let mut stack = Hierarchy::builder()
+        .level(LevelBuilder::new(geom).victim_buffer(4))
+        .build()
+        .unwrap();
+    for (addr, _) in traffic(100_000) {
+        let a = victim.read(addr);
+        let b = stack.read(addr);
+        assert_eq!(a.hit(), b.hit, "addr {addr:#x}");
+        assert_eq!(
+            a.victim_hit,
+            b.served_by == ServicePoint::Victim(0),
+            "addr {addr:#x}"
+        );
+    }
+    let vs = victim.stats();
+    let ss = MemoryModel::stats(&stack);
+    assert_eq!(ss.demand.misses, vs.full_misses);
+    assert_eq!(ss.extra("l1-victim-hits"), Some(vs.victim_hits));
+}

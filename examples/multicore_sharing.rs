@@ -51,24 +51,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Producer fills the buffer (write-through; each write
             // invalidates the consumer's stale copy).
             for b in 0..BLOCKS {
-                bus.write(PRODUCER, BUFFER + b * 32);
+                bus.write(PRODUCER, BUFFER + b * 32).unwrap();
             }
             // Consumer walks the buffer; every block is a coherence miss.
             for b in 0..BLOCKS {
-                bus.read(CONSUMER, BUFFER + b * 32);
+                bus.read(CONSUMER, BUFFER + b * 32).unwrap();
             }
             // Consumer also does private work between handoffs.
             for i in 0..32u64 {
-                bus.read(CONSUMER, (1 << 33) + i * 4096);
+                bus.read(CONSUMER, (1 << 33) + i * 4096).unwrap();
             }
         }
 
         assert!(bus.check_invariants(), "inclusion must hold");
         println!(
             "{name:<22} {:>14.2} {:>16} {:>16} {:>14.1}",
-            bus.node(CONSUMER).l1_stats().miss_ratio() * 100.0,
-            bus.node(PRODUCER).stats().external_invalidations_l1,
-            bus.node(CONSUMER).stats().external_invalidations_l1,
+            bus.node(CONSUMER).unwrap().l1_stats().miss_ratio() * 100.0,
+            bus.node(PRODUCER)
+                .unwrap()
+                .stats()
+                .external_invalidations_l1,
+            bus.node(CONSUMER)
+                .unwrap()
+                .stats()
+                .external_invalidations_l1,
             bus.stats().snoop_hit_rate() * 100.0,
         );
     }

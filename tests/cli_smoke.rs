@@ -1,0 +1,149 @@
+//! Root-package integration smoke: shell the workspace-built `cac` CLI.
+//!
+//! The root `cac` package's other tests exercise the *library* across
+//! crate boundaries; this suite makes the top-level `cargo test`
+//! meaningful for the *binary* too, by driving the real `cac`
+//! executable the way a user (and CI) does — including the declarative
+//! config workflow (`cac run --config`, `cac config validate`).
+//!
+//! The binary comes from the tier-1 flow (`cargo build --release &&
+//! cargo test`): we look for `target/release/cac`, then
+//! `target/debug/cac`. If neither exists the suite prints a skip notice
+//! rather than failing — run `cargo build --release` first for full
+//! coverage. The complete workspace test suite is
+//! `cargo test --workspace` (see README).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn cac_binary() -> Option<PathBuf> {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("target"));
+    ["release", "debug"]
+        .iter()
+        .map(|p| target.join(p).join("cac"))
+        .find(|p| p.exists())
+}
+
+/// Runs `cac` with `args`; `None` means the binary is not built yet
+/// (skip with a notice).
+fn cac(args: &[&str]) -> Option<Output> {
+    let bin = match cac_binary() {
+        Some(b) => b,
+        None => {
+            eprintln!(
+                "cli_smoke: skipping — build the CLI first (`cargo build --release`); \
+                 the full suite is `cargo test --workspace`"
+            );
+            return None;
+        }
+    };
+    Some(
+        Command::new(bin)
+            .args(args)
+            .current_dir(repo_root())
+            .output()
+            .expect("spawn cac"),
+    )
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn list_names_the_full_command_surface() {
+    let Some(out) = cac(&["list"]) else { return };
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in [
+        "fig1",
+        "table2",
+        "replay",
+        "trace-gen",
+        "run",
+        "config-validate",
+    ] {
+        assert!(text.contains(cmd), "cac list lost {cmd:?}:\n{text}");
+    }
+}
+
+#[test]
+fn fig1_renders_json() {
+    let Some(out) = cac(&["--format", "json", "fig1", "16", "2"]) else {
+        return;
+    };
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+    assert!(text.contains("a2-Hp-Sk"));
+}
+
+#[test]
+fn run_replays_a_config_end_to_end() {
+    let Some(out) = cac(&[
+        "--format",
+        "json",
+        "run",
+        "--config",
+        "examples/ipoly_skewed.toml",
+        "--bench",
+        "swim",
+        "--ops",
+        "20000",
+    ]) else {
+        return;
+    };
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("demand stream"), "{text}");
+    assert!(text.contains("\"accesses\""), "{text}");
+}
+
+#[test]
+fn config_validate_covers_every_shipped_example() {
+    let examples = repo_root().join("examples");
+    let mut files: Vec<String> = std::fs::read_dir(&examples)
+        .expect("examples/ exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "toml").then(|| p.to_str().unwrap().to_owned())
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 12, "shipped config set shrank: {files:?}");
+    let mut args = vec!["config", "validate"];
+    args.extend(files.iter().map(String::as_str));
+    let Some(out) = cac(&args) else { return };
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("ok"));
+}
+
+#[test]
+fn invalid_config_fails_with_a_grounded_message() {
+    let dir = std::env::temp_dir().join(format!("cac-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.toml");
+    std::fs::write(&bad, "[cache]\nsize = 3000\n").unwrap();
+    let Some(out) = cac(&["config", "validate", bad.to_str().unwrap()]) else {
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    };
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("power of two"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

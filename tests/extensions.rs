@@ -201,22 +201,24 @@ fn coherence_holes_are_index_function_independent() {
         for round in 0..64u64 {
             let writer = (round % 2) as usize;
             for blk in 0..32u64 {
-                bus.write(writer, 0x10_0000 + blk * 32);
+                bus.write(writer, 0x10_0000 + blk * 32).unwrap();
             }
             for node in 0..2 {
                 for blk in 0..32u64 {
-                    bus.read(node, 0x10_0000 + blk * 32);
+                    bus.read(node, 0x10_0000 + blk * 32).unwrap();
                 }
                 for i in 0..64u64 {
-                    bus.read(node, ((node as u64 + 1) << 32) + i * 4096);
+                    bus.read(node, ((node as u64 + 1) << 32) + i * 4096)
+                        .unwrap();
                 }
             }
         }
         assert!(bus.check_invariants());
-        let holes = bus.node(0).stats().external_invalidations_l1
-            + bus.node(1).stats().external_invalidations_l1;
-        let miss =
-            (bus.node(0).l1_stats().miss_ratio() + bus.node(1).l1_stats().miss_ratio()) / 2.0;
+        let holes = bus.node(0).unwrap().stats().external_invalidations_l1
+            + bus.node(1).unwrap().stats().external_invalidations_l1;
+        let miss = (bus.node(0).unwrap().l1_stats().miss_ratio()
+            + bus.node(1).unwrap().l1_stats().miss_ratio())
+            / 2.0;
         (holes, miss)
     };
     let (conv_holes, conv_miss) = run(IndexSpec::modulo());

@@ -191,5 +191,53 @@ fn bench_trace_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_trace_streaming);
+/// Decode-once multi-model sweep vs independent per-configuration
+/// replay over the §2.1 organization matrix: the whole-matrix shape
+/// `cac organizations` / `cac missratio` run. The engine pays trace
+/// generation once for the matrix; the baseline pays it per
+/// configuration (as the drivers did before the sweep engine).
+fn bench_multi_model_sweep(c: &mut Criterion) {
+    use cac_bench::driver::experiments::organization_matrix;
+    use cac_sim::model::MemoryModel;
+    use cac_sim::sweep::Sweep;
+    use cac_trace::kernels::mem_refs;
+    use cac_trace::spec::SpecBenchmark;
+
+    const OPS: usize = 500_000;
+    let organizations = organization_matrix();
+    let refs: Vec<MemRef> = mem_refs(SpecBenchmark::Swim.generator(7).take(OPS)).collect();
+    let model_refs = (refs.len() * organizations.len()) as u64;
+
+    let mut group = c.benchmark_group("multi_model_sweep");
+    group.throughput(Throughput::Elements(model_refs));
+    group.bench_function("engine_one_pass", |b| {
+        b.iter(|| {
+            let mut models: Vec<Box<dyn MemoryModel>> = organizations
+                .iter()
+                .map(|(_, cfg)| cfg.build().unwrap())
+                .collect();
+            black_box(Sweep::new().workers(1).run_refs(&mut models, &refs))
+        })
+    });
+    group.bench_function("per_config_regenerate", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for (_, cfg) in &organizations {
+                let alone: Vec<MemRef> =
+                    mem_refs(SpecBenchmark::Swim.generator(7).take(OPS)).collect();
+                let mut model = cfg.build().unwrap();
+                out.push(model.run_refs(&alone));
+            }
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_trace_streaming,
+    bench_multi_model_sweep
+);
 criterion_main!(benches);

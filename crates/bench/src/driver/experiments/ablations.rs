@@ -7,26 +7,53 @@ use crate::arithmetic_mean;
 use crate::driver::args::ExpArgs;
 use crate::driver::report::{Report, Table, Value};
 use crate::driver::DriverError;
+use crate::parallel::par_map;
 use cac_core::IndexSpec;
 use cac_gf2::irreducible::{irreducibles, is_irreducible};
 use cac_gf2::xor_tree::min_fan_in_poly;
 use cac_gf2::Poly;
-use cac_sim::cache::{Cache, WritePolicy};
+use cac_sim::cache::{Cache, CacheBuilder, WritePolicy};
+use cac_sim::model::{MemoryModel, ModelStats};
 use cac_sim::replacement::ReplacementPolicy;
+use cac_sim::sweep::Sweep;
 use cac_trace::kernels::mem_refs;
 use cac_trace::spec::SpecBenchmark;
+use cac_trace::MemRef;
 
-fn suite_miss(spec: &IndexSpec, ops: usize, seed: u64) -> f64 {
-    let geom = paper_l1();
-    let mut misses = Vec::new();
-    for b in SpecBenchmark::all() {
-        let mut c = Cache::build(geom, spec.clone()).expect("cache");
-        for r in mem_refs(b.generator(seed).take(ops)) {
-            c.access(r.addr, r.is_write);
-        }
-        misses.push(c.stats().read_miss_ratio() * 100.0);
-    }
-    arithmetic_mean(&misses)
+/// Replays the whole suite against a list of cache builders, generating
+/// each benchmark's workload ONCE and feeding every configuration from
+/// it in a single pass. Returns per-benchmark, per-configuration
+/// counter deltas (outer = benchmark, in `SpecBenchmark::all` order).
+fn suite_sweep(builders: &[CacheBuilder], ops: usize, seed: u64) -> Vec<Vec<ModelStats>> {
+    let benches = SpecBenchmark::all();
+    par_map(&benches, |&b| {
+        let refs: Vec<MemRef> = mem_refs(b.generator(seed).take(ops)).collect();
+        let mut models: Vec<Box<dyn MemoryModel>> = builders
+            .iter()
+            .map(|builder| {
+                Box::new(builder.clone().build().expect("cache")) as Box<dyn MemoryModel>
+            })
+            .collect();
+        Sweep::new().workers(1).run_refs(&mut models, &refs)
+    })
+}
+
+/// Suite-average load miss % for every placement spec, decode-once.
+fn suite_miss_many(specs: &[IndexSpec], ops: usize, seed: u64) -> Vec<f64> {
+    let builders: Vec<CacheBuilder> = specs
+        .iter()
+        .map(|s| Cache::builder(paper_l1()).index_spec(s.clone()))
+        .collect();
+    let per_bench = suite_sweep(&builders, ops, seed);
+    (0..specs.len())
+        .map(|si| {
+            let pcts: Vec<f64> = per_bench
+                .iter()
+                .map(|ms| ms[si].demand.read_miss_ratio() * 100.0)
+                .collect();
+            arithmetic_mean(&pcts)
+        })
+        .collect()
 }
 
 pub(super) fn poly_choice(a: &ExpArgs) -> Result<Report, DriverError> {
@@ -45,24 +72,27 @@ pub(super) fn poly_choice(a: &ExpArgs) -> Result<Report, DriverError> {
         "polynomial choice, suite-average load miss ratio (%)",
         &["polynomial", "P", "miss %"],
     );
-    for (label, poly) in [
-        ("min-fan-in irreducible", min_fan_in_poly(m, 14)),
-        ("last irreducible", arbitrary_irreducible),
-        ("reducible (x+1)(x^6+x+1)", reducible),
-        ("x^7 (= conventional)", Poly::monomial(m)),
-    ] {
-        let spec = IndexSpec::ipoly_with(vec![poly], 19);
+    let rows = [
+        ("min-fan-in irreducible", Some(min_fan_in_poly(m, 14))),
+        ("last irreducible", Some(arbitrary_irreducible)),
+        ("reducible (x+1)(x^6+x+1)", Some(reducible)),
+        ("x^7 (= conventional)", Some(Poly::monomial(m))),
+        ("conventional baseline", None),
+    ];
+    let specs: Vec<IndexSpec> = rows
+        .iter()
+        .map(|(_, poly)| match poly {
+            Some(p) => IndexSpec::ipoly_with(vec![*p], 19),
+            None => IndexSpec::modulo(),
+        })
+        .collect();
+    for ((label, poly), miss) in rows.iter().zip(suite_miss_many(&specs, ops, 99)) {
         table.push_row(vec![
-            Value::s(label),
-            Value::s(poly.to_string()),
-            Value::f(suite_miss(&spec, ops, 99), 2),
+            Value::s(*label),
+            Value::s(poly.map(|p| p.to_string()).unwrap_or_default()),
+            Value::f(miss, 2),
         ]);
     }
-    table.push_row(vec![
-        Value::s("conventional baseline"),
-        Value::s(""),
-        Value::f(suite_miss(&IndexSpec::modulo(), ops, 99), 2),
-    ]);
 
     Ok(Report::new(format!(
         "A1: polynomial choice, suite-average load miss ratio (%), {ops} ops/benchmark"
@@ -77,12 +107,18 @@ pub(super) fn address_bits(a: &ExpArgs) -> Result<Report, DriverError> {
         "I-Poly address-bit budget vs suite miss ratio",
         &["address bits", "miss %", "note"],
     );
-    for bits in [13u32, 14, 15, 16, 19, 24, 32] {
-        let spec = IndexSpec::IPoly {
+    const BITS: [u32; 7] = [13, 14, 15, 16, 19, 24, 32];
+    let mut specs: Vec<IndexSpec> = BITS
+        .iter()
+        .map(|&bits| IndexSpec::IPoly {
             skewed: true,
             address_bits: Some(bits),
             polys: None,
-        };
+        })
+        .collect();
+    specs.push(IndexSpec::modulo());
+    let misses = suite_miss_many(&specs, ops, 99);
+    for (&bits, &miss) in BITS.iter().zip(&misses) {
         let note = match bits {
             13 => "v = m + 1, minimum",
             19 => "paper's choice",
@@ -90,13 +126,13 @@ pub(super) fn address_bits(a: &ExpArgs) -> Result<Report, DriverError> {
         };
         table.push_row(vec![
             Value::u(u64::from(bits)),
-            Value::f(suite_miss(&spec, ops, 99), 2),
+            Value::f(miss, 2),
             Value::s(note),
         ]);
     }
     table.push_row(vec![
         Value::s("conventional"),
-        Value::f(suite_miss(&IndexSpec::modulo(), ops, 99), 2),
+        Value::f(misses[BITS.len()], 2),
         Value::s(""),
     ]);
 
@@ -123,26 +159,35 @@ pub(super) fn replacement(a: &ExpArgs) -> Result<Report, DriverError> {
             "ipoly-sk bad-3",
         ],
     );
-    for (pname, policy) in [
+    // All 6 (policy x placement) configurations replay each
+    // benchmark's stream in one generate-once pass.
+    let policies = [
         ("LRU", ReplacementPolicy::Lru),
         ("FIFO", ReplacementPolicy::Fifo),
         ("random", ReplacementPolicy::Random),
-    ] {
-        let mut cells = Vec::new();
-        for spec in [IndexSpec::modulo(), IndexSpec::ipoly_skewed()] {
-            let mut all = Vec::new();
-            let mut bad = Vec::new();
-            for b in SpecBenchmark::all() {
-                let mut cache = Cache::builder(geom)
+    ];
+    let specs = [IndexSpec::modulo(), IndexSpec::ipoly_skewed()];
+    let builders: Vec<CacheBuilder> = policies
+        .iter()
+        .flat_map(|&(_, policy)| {
+            specs.iter().map(move |spec| {
+                Cache::builder(geom)
                     .index_spec(spec.clone())
                     .replacement(policy)
                     .seed(42)
-                    .build()
-                    .expect("cache");
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    cache.access(r.addr, r.is_write);
-                }
-                let m = cache.stats().read_miss_ratio() * 100.0;
+            })
+        })
+        .collect();
+    let per_bench = suite_sweep(&builders, ops, 5);
+    let benches = SpecBenchmark::all();
+    for (pi, (pname, _)) in policies.iter().enumerate() {
+        let mut cells = Vec::new();
+        for si in 0..specs.len() {
+            let ci = pi * specs.len() + si;
+            let mut all = Vec::new();
+            let mut bad = Vec::new();
+            for (b, ms) in benches.iter().zip(&per_bench) {
+                let m = ms[ci].demand.read_miss_ratio() * 100.0;
                 all.push(m);
                 if b.is_high_conflict() {
                     bad.push(m);
@@ -152,7 +197,7 @@ pub(super) fn replacement(a: &ExpArgs) -> Result<Report, DriverError> {
             cells.push(arithmetic_mean(&bad));
         }
         table.push_row(vec![
-            Value::s(pname),
+            Value::s(*pname),
             Value::f(cells[0], 2),
             Value::f(cells[1], 2),
             Value::f(cells[2], 2),
@@ -192,30 +237,37 @@ pub(super) fn write_policy(a: &ExpArgs) -> Result<Report, DriverError> {
             "writebacks/kop",
         ],
     );
-    for (pname, policy) in [
+    // All 4 (write policy x placement) configurations, generate-once.
+    let policies = [
         (
             "write-through/no-allocate",
             WritePolicy::WriteThroughNoAllocate,
         ),
         ("write-back/allocate", WritePolicy::WriteBackAllocate),
-    ] {
-        for (sname, spec) in [
-            ("conventional", IndexSpec::modulo()),
-            ("skewed I-Poly", IndexSpec::ipoly_skewed()),
-        ] {
+    ];
+    let specs = [
+        ("conventional", IndexSpec::modulo()),
+        ("skewed I-Poly", IndexSpec::ipoly_skewed()),
+    ];
+    let builders: Vec<CacheBuilder> = policies
+        .iter()
+        .flat_map(|&(_, policy)| {
+            specs.iter().map(move |(_, spec)| {
+                Cache::builder(geom)
+                    .index_spec(spec.clone())
+                    .write_policy(policy)
+            })
+        })
+        .collect();
+    let per_bench = suite_sweep(&builders, ops, 5);
+    for (pi, (pname, _)) in policies.iter().enumerate() {
+        for (si, (sname, _)) in specs.iter().enumerate() {
+            let ci = pi * specs.len() + si;
             let mut load_miss = Vec::new();
             let mut write_miss = Vec::new();
             let mut wb_per_kop = Vec::new();
-            for b in SpecBenchmark::all() {
-                let mut cache = Cache::builder(geom)
-                    .index_spec(spec.clone())
-                    .write_policy(policy)
-                    .build()
-                    .expect("cache");
-                for r in mem_refs(b.generator(5).take(ops)) {
-                    cache.access(r.addr, r.is_write);
-                }
-                let s = cache.stats();
+            for ms in &per_bench {
+                let s = ms[ci].demand;
                 load_miss.push(s.read_miss_ratio() * 100.0);
                 if s.writes > 0 {
                     write_miss.push(s.write_misses as f64 / s.writes as f64 * 100.0);

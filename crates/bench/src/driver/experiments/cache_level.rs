@@ -12,27 +12,42 @@ use super::common::{paper_l1, parse_benchmark};
 use crate::driver::args::ExpArgs;
 use crate::driver::report::{Report, Table, Value};
 use crate::driver::DriverError;
-use crate::parallel::par_map;
+use crate::parallel::{par_map, par_map_blocked};
 use crate::{arithmetic_mean, std_dev};
-use cac_core::{CacheGeometry, IndexSpec};
+use cac_core::{parse_size, CacheGeometry, IndexSpec};
 use cac_sim::cache::Cache;
 use cac_sim::column::RehashKind;
 use cac_sim::config::{ColumnConfig, JouppiConfig, ModelConfig, StreamConfig, VictimConfig};
+use cac_sim::model::{MemoryModel, ModelStats};
+use cac_sim::sweep::{LruStackSweep, Sweep};
 use cac_sim::SimConfig;
 use cac_trace::kernels::mem_refs;
 use cac_trace::patterns::TiledMatMul;
 use cac_trace::spec::SpecBenchmark;
-use cac_trace::stride::figure1_sweep;
+use cac_trace::stride::VectorStride;
 use cac_trace::MemRef;
 use std::collections::BTreeMap;
 
-/// Builds the configured model, replays `refs` and returns the demand
-/// load miss ratio in percent — the one measurement loop every
-/// organization/placement comparison in this module shares.
-fn load_miss_pct(cfg: &SimConfig, refs: &[MemRef]) -> f64 {
-    let mut model = cfg.build().expect("shipped config builds");
-    model.run_refs(refs);
-    model.stats().demand.read_miss_ratio() * 100.0
+/// Builds every config of a sweep into boxed models.
+fn build_models(configs: &[&SimConfig]) -> Vec<Box<dyn MemoryModel>> {
+    configs
+        .iter()
+        .map(|cfg| cfg.build().expect("shipped config builds"))
+        .collect()
+}
+
+/// Replays `refs` once against every model (the decode-once sweep
+/// engine, inline: callers already parallelise across benchmarks or
+/// strides) and returns each model's demand load miss ratio in percent
+/// — the one measurement loop every organization/placement comparison
+/// in this module shares.
+fn load_miss_pcts(models: &mut [Box<dyn MemoryModel>], refs: &[MemRef]) -> Vec<f64> {
+    Sweep::new()
+        .workers(1)
+        .run_refs(models, refs)
+        .iter()
+        .map(|s| s.demand.read_miss_ratio() * 100.0)
+        .collect()
 }
 
 pub(super) fn missratio(a: &ExpArgs) -> Result<Report, DriverError> {
@@ -44,15 +59,13 @@ pub(super) fn missratio(a: &ExpArgs) -> Result<Report, DriverError> {
     let fa = SimConfig::cache(fa_geom, IndexSpec::modulo());
 
     // One worker per benchmark: each generates the workload once and
-    // feeds the same reference stream to all three placements.
+    // feeds all three placements from it in a single pass.
     let benches = SpecBenchmark::all();
     let results: Vec<(f64, f64, f64)> = par_map(&benches, |b| {
         let refs: Vec<MemRef> = mem_refs(b.generator(12345).take(ops)).collect();
-        (
-            load_miss_pct(&conv, &refs),
-            load_miss_pct(&ipoly, &refs),
-            load_miss_pct(&fa, &refs),
-        )
+        let mut models = build_models(&[&conv, &ipoly, &fa]);
+        let pcts = load_miss_pcts(&mut models, &refs);
+        (pcts[0], pcts[1], pcts[2])
     });
 
     let mut table = Table::new(
@@ -172,19 +185,25 @@ pub(super) fn organizations(a: &ExpArgs) -> Result<Report, DriverError> {
         "suite-average load miss % by organization",
         &["organization", "all", "bad-3", "good-15"],
     );
+    // One worker per benchmark: the workload is generated ONCE and
+    // every organization of the matrix replays it in a single pass
+    // (the read-only organizations bypass stores internally, so one
+    // sweep covers both the cache and buffer models). This is the
+    // whole-matrix shape the sweep engine exists for: trace cost per
+    // benchmark instead of per (organization x benchmark).
     let benches = SpecBenchmark::all();
-    for (name, cfg) in &organizations {
-        // Sweep the 18 benchmarks of this organization in parallel. The
-        // read-only organizations bypass stores internally, so one
-        // run_refs call covers both the cache and buffer models.
-        let measurements = par_map(&benches, |&b| {
-            let refs: Vec<MemRef> = mem_refs(b.generator(5).take(ops)).collect();
-            load_miss_pct(cfg, &refs)
-        });
+    let per_bench: Vec<Vec<f64>> = par_map(&benches, |&b| {
+        let refs: Vec<MemRef> = mem_refs(b.generator(5).take(ops)).collect();
+        let configs: Vec<&SimConfig> = organizations.iter().map(|(_, cfg)| cfg).collect();
+        let mut models = build_models(&configs);
+        load_miss_pcts(&mut models, &refs)
+    });
+    for (oi, (name, _)) in organizations.iter().enumerate() {
         let mut all = Vec::new();
         let mut bad = Vec::new();
         let mut good = Vec::new();
-        for (b, &m) in benches.iter().zip(&measurements) {
+        for (b, ms) in benches.iter().zip(&per_bench) {
+            let m = ms[oi];
             all.push(m);
             if b.is_high_conflict() {
                 bad.push(m);
@@ -233,12 +252,13 @@ pub(super) fn column_assoc(a: &ExpArgs) -> Result<Report, DriverError> {
     let mut first_probe = Vec::new();
     for b in SpecBenchmark::all() {
         // Load behaviour, as in the paper's miss ratios: stores dropped.
+        // One generation, one pass over all three organizations.
         let reads: Vec<MemRef> = mem_refs(b.generator(3).take(ops))
             .filter(|r| !r.is_write)
             .collect();
-        let mut col = col_cfg.build().expect("column config builds");
-        col.run_refs(&reads);
-        let s = col.stats();
+        let mut models = build_models(&[&plain_cfg, &assoc_cfg, &col_cfg]);
+        let stats: Vec<ModelStats> = Sweep::new().workers(1).run_refs(&mut models, &reads);
+        let s = &stats[2];
         let (first, second) = (
             s.extra("first-probe-hits").unwrap_or(0) as f64,
             s.extra("second-probe-hits").unwrap_or(0) as f64,
@@ -247,8 +267,8 @@ pub(super) fn column_assoc(a: &ExpArgs) -> Result<Report, DriverError> {
         first_probe.push(first / hits * 100.0);
         table.push_row(vec![
             Value::s(b.name()),
-            Value::f(load_miss_pct(&plain_cfg, &reads), 2),
-            Value::f(load_miss_pct(&assoc_cfg, &reads), 2),
+            Value::f(stats[0].demand.read_miss_ratio() * 100.0, 2),
+            Value::f(stats[1].demand.read_miss_ratio() * 100.0, 2),
             Value::f(s.demand.miss_ratio() * 100.0, 2),
             Value::f(first / hits * 100.0, 1),
             Value::f((first + 2.0 * second) / hits, 3),
@@ -284,34 +304,56 @@ pub(super) fn related_work(a: &ExpArgs) -> Result<Report, DriverError> {
             "spec good%",
         ],
     );
-    for spec in &suite {
-        // Part 1: Figure-1 stride sweep.
-        let mut pathological = 0u64;
-        let mut strides = 0u64;
-        let mut ratio_sum = 0.0;
-        figure1_sweep(max_stride, 16, |_, trace| {
-            let mut cache = Cache::build(geom, spec.clone()).expect("cache");
-            for r in trace {
-                cache.read(r.addr);
-            }
-            let ratio = cache.stats().miss_ratio();
-            ratio_sum += ratio;
-            strides += 1;
-            if ratio > 0.5 {
-                pathological += 1;
-            }
-        });
+    let build_suite = |suite: &[IndexSpec]| -> Vec<Box<dyn MemoryModel>> {
+        suite
+            .iter()
+            .map(|s| {
+                Box::new(Cache::build(geom, s.clone()).expect("cache")) as Box<dyn MemoryModel>
+            })
+            .collect()
+    };
 
-        // Part 2: synthetic SPEC95 miss ratios.
+    // Part 1: Figure-1 stride sweep — one trace per stride, every
+    // scheme of the suite in one pass (parallel across stride blocks,
+    // caches built once per block and reset between strides).
+    let per_stride: Vec<Vec<f64>> = par_map_blocked(1..max_stride, |block| {
+        let mut models = build_suite(&suite);
+        let engine = Sweep::new().workers(1);
+        let mut refs: Vec<MemRef> = Vec::new();
+        block
+            .map(|stride| {
+                refs.clear();
+                refs.extend(VectorStride::paper_figure1(stride, 16));
+                for m in models.iter_mut() {
+                    m.reset();
+                }
+                engine
+                    .run_refs(&mut models, &refs)
+                    .iter()
+                    .map(|s| s.demand.miss_ratio())
+                    .collect()
+            })
+            .collect()
+    });
+    let strides = per_stride.len() as u64;
+
+    // Part 2: synthetic SPEC95 miss ratios — one generation per
+    // benchmark, every scheme in one pass (parallel across benchmarks).
+    let benches = SpecBenchmark::all();
+    let per_bench: Vec<Vec<f64>> = par_map(&benches, |&b| {
+        let refs: Vec<MemRef> = mem_refs(b.generator(5).take(ops)).collect();
+        let mut models = build_suite(&suite);
+        load_miss_pcts(&mut models, &refs)
+    });
+
+    for (si, spec) in suite.iter().enumerate() {
+        let pathological = per_stride.iter().filter(|r| r[si] > 0.5).count() as u64;
+        let ratio_sum: f64 = per_stride.iter().map(|r| r[si]).sum();
         let mut all = Vec::new();
         let mut bad = Vec::new();
         let mut good = Vec::new();
-        for b in SpecBenchmark::all() {
-            let mut cache = Cache::build(geom, spec.clone()).expect("cache");
-            for r in mem_refs(b.generator(5).take(ops)) {
-                cache.access(r.addr, r.is_write);
-            }
-            let m = cache.stats().read_miss_ratio() * 100.0;
+        for (b, ms) in benches.iter().zip(&per_bench) {
+            let m = ms[si];
             all.push(m);
             if b.is_high_conflict() {
                 bad.push(m);
@@ -404,6 +446,122 @@ pub(super) fn tiling(a: &ExpArgs) -> Result<Report, DriverError> {
          columns 3-4 show I-Poly insensitive to the pitch — the tile size can be \
          picked purely to fit capacity, which is the paper's closing claim.",
     ))
+}
+
+/// Parses a comma-separated list with an element parser, mapping
+/// failures to usage errors.
+fn parse_csv<T>(
+    csv: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, DriverError> {
+    let items: Vec<T> = csv
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).ok_or_else(|| DriverError::Usage(format!("invalid {what} value {s:?}"))))
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(DriverError::Usage(format!("no {what} values given")));
+    }
+    Ok(items)
+}
+
+pub(super) fn lru_curve(a: &ExpArgs) -> Result<Report, DriverError> {
+    let b = parse_benchmark(a.str("bench"))?;
+    let ops = a.usize("ops")?;
+    let line = a.u64("line")?;
+    let sizes = parse_csv(a.str("sizes"), "size", |s| parse_size(s).ok())?;
+    let ways = parse_csv(a.str("ways"), "ways", |s| s.parse::<u32>().ok())?;
+    let sample = a.u32("sample")?;
+
+    // The size x associativity grid, as (size, sets, ways) cells; cells
+    // whose geometry degenerates (ways * line > size) are skipped.
+    let mut grid: Vec<(u64, u32, u32)> = Vec::new();
+    for &size in &sizes {
+        for &w in &ways {
+            if w == 0 || size % (line * u64::from(w)) != 0 {
+                continue;
+            }
+            let sets = (size / (line * u64::from(w))) as u32;
+            if sets > 0 {
+                grid.push((size, sets, w));
+            }
+        }
+    }
+    if grid.is_empty() {
+        return Err(DriverError::Usage(
+            "the size/ways grid is empty; every cell needs ways * line <= size".into(),
+        ));
+    }
+    let set_counts: Vec<u32> = grid.iter().map(|&(_, sets, _)| sets).collect();
+    let mut sweep = LruStackSweep::new(line, &set_counts)?;
+    if sample > 1 {
+        sweep = sweep.with_set_sampling(sample)?;
+    }
+
+    // One traversal of the load stream (no materialisation at all):
+    // the whole grid's miss counts come out of this single pass. Loads
+    // only, as in the paper's miss-ratio tables — and a read-only
+    // stream keeps the stack-distance counts exact for the paper's
+    // write-through L1 as well.
+    for r in mem_refs(b.generator(5).take(ops)) {
+        if !r.is_write {
+            sweep.observe(r.addr);
+        }
+    }
+
+    let mut columns = vec!["size".to_owned()];
+    columns.extend(ways.iter().map(|w| format!("{w}-way miss%")));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new("LRU load miss-ratio curves (modulus indexing)", &col_refs);
+    for &size in &sizes {
+        let mut row = vec![Value::s(format_size(size))];
+        for &w in &ways {
+            let cell = grid
+                .iter()
+                .find(|&&(s, _, gw)| s == size && gw == w)
+                .and_then(|&(_, sets, _)| sweep.miss_ratio(sets, w));
+            row.push(match cell {
+                Some(ratio) => Value::f(ratio * 100.0, 2),
+                None => Value::s("-"),
+            });
+        }
+        table.push_row(row);
+    }
+
+    let mut report = Report::new(format!(
+        "Mattson one-pass LRU miss-ratio curves: {} loads of {} ({} ops), {line}B lines",
+        sweep.refs_seen(),
+        b.name(),
+        ops
+    ))
+    .param("bench", b.name())
+    .param("ops", ops)
+    .param("line", line)
+    .param("sizes", a.str("sizes"))
+    .param("ways", a.str("ways"))
+    .param("sample", sample)
+    .table(table)
+    .note(format!(
+        "one stack-distance traversal replaced {} independent LRU replays",
+        grid.len()
+    ));
+    if let Some(note) = sweep.sampling_note() {
+        report = report.note(note);
+    }
+    Ok(report)
+}
+
+/// Renders a byte size with binary-unit suffixes for table labels.
+fn format_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}MiB", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}KiB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
 }
 
 fn region(addr: u64) -> &'static str {

@@ -10,10 +10,12 @@ use crate::driver::args::ExpArgs;
 use crate::driver::report::{Report, Table, Value};
 use crate::driver::DriverError;
 use crate::parallel::par_map;
+use crate::table2::TRACE_SLACK;
 use crate::{arithmetic_mean, geometric_mean};
 use cac_core::{AddressPredictor, IndexSpec};
 use cac_cpu::{CpuConfig, Processor, TranslationModel};
 use cac_trace::spec::SpecBenchmark;
+use cac_trace::TraceOp;
 
 struct Measurement {
     ipc: f64,
@@ -21,9 +23,9 @@ struct Measurement {
     tlb_miss: Option<f64>,
 }
 
-fn run_one(b: SpecBenchmark, config: CpuConfig, ops: u64) -> Measurement {
+fn run_one(trace: &[TraceOp], config: CpuConfig, ops: u64) -> Measurement {
     let mut cpu = Processor::new(config).expect("valid configuration");
-    let stats = cpu.run(b.generator(11), ops);
+    let stats = cpu.run(trace.iter().copied(), ops);
     Measurement {
         ipc: stats.ipc(),
         miss: stats.load_miss_ratio_pct(),
@@ -80,10 +82,15 @@ pub(super) fn options(a: &ExpArgs) -> Result<Report, DriverError> {
     );
     // One worker per benchmark, each driving all four processor
     // configurations (the per-benchmark CPU simulations dominate the
-    // runtime of this experiment).
+    // runtime of this experiment). The instruction stream is
+    // materialised once per benchmark and shared by all four.
     let benches = SpecBenchmark::all();
     let per_bench: Vec<Vec<Measurement>> = par_map(&benches, |&b| {
-        configs.iter().map(|(_, c)| run_one(b, c(), ops)).collect()
+        let trace: Vec<TraceOp> = b.generator(11).take(ops as usize + TRACE_SLACK).collect();
+        configs
+            .iter()
+            .map(|(_, c)| run_one(&trace, c(), ops))
+            .collect()
     });
     for (b, ms) in benches.iter().zip(per_bench) {
         for (i, m) in ms.iter().enumerate() {

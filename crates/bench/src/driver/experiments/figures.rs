@@ -17,10 +17,52 @@ use crate::chart::grouped;
 use crate::driver::args::ExpArgs;
 use crate::driver::report::{Report, Table, Value};
 use crate::driver::DriverError;
-use crate::parallel::par_map_range;
-use cac_core::IndexSpec;
+use crate::parallel::par_map_blocked;
+use cac_core::{CacheGeometry, IndexSpec};
 use cac_sim::cache::Cache;
+use cac_sim::model::MemoryModel;
+use cac_sim::sweep::Sweep;
 use cac_trace::stride::VectorStride;
+use cac_trace::MemRef;
+
+/// Runs a stride sweep through the decode-once engine: strides are
+/// fanned out across the machine in blocks; each block builds its
+/// scheme caches ONCE (LUT compilation dominates short-trace sweeps)
+/// and, per stride, generates the trace ONCE, resets the models and
+/// replays all of them in a single pass. Returns per-stride miss
+/// ratios in scheme order.
+fn stride_sweep(
+    geom: CacheGeometry,
+    schemes: &[IndexSpec],
+    max_stride: u64,
+    passes: u64,
+) -> Vec<Vec<f64>> {
+    par_map_blocked(1..max_stride, |block| {
+        let mut models: Vec<Box<dyn MemoryModel>> = schemes
+            .iter()
+            .map(|spec| {
+                Box::new(Cache::build(geom, spec.clone()).expect("validated scheme"))
+                    as Box<dyn MemoryModel>
+            })
+            .collect();
+        let engine = Sweep::new().workers(1);
+        let mut refs: Vec<MemRef> = Vec::new();
+        block
+            .map(|stride| {
+                refs.clear();
+                refs.extend(VectorStride::paper_figure1(stride, passes));
+                for m in models.iter_mut() {
+                    m.reset();
+                }
+                engine
+                    .run_refs(&mut models, &refs)
+                    .iter()
+                    .map(|s| s.demand.miss_ratio())
+                    .collect()
+            })
+            .collect()
+    })
+}
 
 /// A labelled placement-scheme constructor.
 type Scheme = (&'static str, fn() -> IndexSpec);
@@ -42,15 +84,10 @@ pub(super) fn fig1(a: &ExpArgs) -> Result<Report, DriverError> {
     let geom = paper_l1();
 
     // Each stride is an independent simulation of all four schemes:
-    // fan the sweep out across the machine and replay the per-stride
-    // trace through the batched API.
-    let per_stride: Vec<[f64; 4]> = par_map_range(1..max_stride, |stride| {
-        SCHEMES.map(|(_, spec)| {
-            let mut cache = Cache::build(geom, spec()).expect("cache");
-            let run = cache.run_refs(VectorStride::paper_figure1(stride, passes));
-            run.miss_ratio()
-        })
-    });
+    // one trace generation and one replay pass per stride, with the
+    // caches built once per stride block (see `stride_sweep`).
+    let schemes: Vec<IndexSpec> = SCHEMES.iter().map(|(_, spec)| spec()).collect();
+    let per_stride = stride_sweep(geom, &schemes, max_stride, passes);
 
     // histogram[scheme][bin]: bins of width 0.1 over (0,1].
     let mut histogram = [[0u64; 10]; 4];
@@ -134,18 +171,12 @@ pub(super) fn sweep(a: &ExpArgs) -> Result<Report, DriverError> {
         s.build(geom)?;
     }
 
-    let per_stride: Vec<Vec<f64>> = par_map_range(1..max_stride, |stride| {
-        schemes
-            .iter()
-            .map(|spec| {
-                let mut cache = Cache::build(geom, spec.clone()).expect("validated above");
-                cache
-                    .run_refs(VectorStride::paper_figure1(stride, passes))
-                    .miss_ratio()
-                    * 100.0
-            })
-            .collect()
-    });
+    // As in fig1: one trace generation and one pass per stride, caches
+    // built once per block.
+    let per_stride: Vec<Vec<f64>> = stride_sweep(geom, &schemes, max_stride, passes)
+        .into_iter()
+        .map(|ratios| ratios.into_iter().map(|r| r * 100.0).collect())
+        .collect();
 
     let mut columns = vec!["stride".to_owned()];
     columns.extend(schemes.iter().map(|s| format!("{} miss%", s.name())));

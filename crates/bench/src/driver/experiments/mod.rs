@@ -9,6 +9,7 @@
 //! order of the retired binaries, which the compatibility shims rely on.
 
 mod ablations;
+mod benchmarks;
 mod cache_level;
 mod common;
 mod configs;
@@ -105,6 +106,25 @@ pub const REGISTRY: &[Experiment] = &[
         summary: "section 5: tiled matmul tile-size sweep, conventional vs I-Poly",
         params: &[param("n", "128", "matrix dimension")],
         run: cache_level::tiling,
+    },
+    Experiment {
+        name: "lru-curve",
+        legacy_bin: None,
+        group: "cache-level studies",
+        summary: "Mattson one-pass LRU miss-ratio curves over a size x associativity grid",
+        params: &[
+            param("bench", "swim", "workload model name"),
+            param("ops", "400000", "ops to replay"),
+            param("line", "32", "line size (bytes)"),
+            param(
+                "sizes",
+                "1KiB,2KiB,4KiB,8KiB,16KiB,32KiB,64KiB",
+                "comma-separated capacities",
+            ),
+            param("ways", "1,2,4,8", "comma-separated associativities"),
+            param("sample", "1", "1-in-K set sampling (1 = exact)"),
+        ],
+        run: cache_level::lru_curve,
     },
     Experiment {
         name: "regions",
@@ -309,6 +329,26 @@ pub const REGISTRY: &[Experiment] = &[
         summary: "summarise a trace file (op mix, address range)",
         params: &[param("input", "", "trace file to inspect")],
         run: tools::trace_info,
+    },
+    // ----- benchmarks ------------------------------------------------
+    Experiment {
+        name: "bench-sweep",
+        legacy_bin: None,
+        group: "benchmarks",
+        summary: "sweep-engine throughput over the organization matrix (JSON-friendly)",
+        params: &[
+            param("bench", "swim", "workload model name"),
+            param("ops", "1000000", "ops to generate"),
+            param("seed", "12345", "generator seed"),
+            param("workers", "0", "sweep worker threads (0 = auto)"),
+            param("chunk", "8192", "refs per broadcast chunk"),
+            param(
+                "baseline",
+                "true",
+                "also time per-config replay (false to skip)",
+            ),
+        ],
+        run: benchmarks::bench_sweep,
     },
     // ----- declarative configs ---------------------------------------
     Experiment {

@@ -240,6 +240,10 @@ pub fn cli_main(raw: Vec<String>) -> i32 {
         }
         _ => {
             let name = canonical_name(&command, &mut words);
+            if let Err(m) = extract_global_flags(&name, &mut words, &mut format, &mut out_path) {
+                eprintln!("{m}");
+                return 2;
+            }
             match run_experiment(&name, &words) {
                 Ok(report) => {
                     let rendered = report.render(format);
@@ -275,11 +279,11 @@ pub fn cli_main(raw: Vec<String>) -> i32 {
     }
 }
 
-/// Resolves the two-word `trace <sub>` / `config <sub>` spellings to
-/// the registered `trace-<sub>` / `config-<sub>` experiment names,
-/// consuming the sub-word from `words`.
+/// Resolves the two-word `trace <sub>` / `config <sub>` / `bench <sub>`
+/// spellings to the registered `trace-<sub>` / `config-<sub>` /
+/// `bench-<sub>` experiment names, consuming the sub-word from `words`.
 fn canonical_name(command: &str, words: &mut Vec<String>) -> String {
-    if matches!(command, "trace" | "config") {
+    if matches!(command, "trace" | "config" | "bench") {
         if let Some(first) = words.first() {
             if !first.starts_with("--") {
                 let sub = words.remove(0);
@@ -288,6 +292,52 @@ fn canonical_name(command: &str, words: &mut Vec<String>) -> String {
         }
     }
     command.to_owned()
+}
+
+/// Lifts global `--format`/`--out` flags given *after* the subcommand
+/// (`cac bench sweep --format json`) out of the experiment's words —
+/// unless the experiment declares a parameter of that name itself
+/// (`cac trace gen --format binary` stays an experiment flag).
+///
+/// Returns a usage-error message for a malformed global flag value.
+fn extract_global_flags(
+    name: &str,
+    words: &mut Vec<String>,
+    format: &mut OutputFormat,
+    out_path: &mut Option<String>,
+) -> Result<(), String> {
+    let declared = |flag: &str| find(name).is_some_and(|e| e.params.iter().any(|p| p.name == flag));
+    let mut i = 0;
+    while i < words.len() {
+        let (flag, inline) = match words[i].split_once('=') {
+            Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+            None => (words[i].clone(), None),
+        };
+        let is_format = matches!(flag.as_str(), "--format" | "-f") && !declared("format");
+        let is_out = matches!(flag.as_str(), "--out" | "-o") && !declared("out");
+        if !is_format && !is_out {
+            i += 1;
+            continue;
+        }
+        words.remove(i);
+        let value = match inline {
+            Some(v) => v,
+            None => {
+                if i < words.len() {
+                    words.remove(i)
+                } else {
+                    return Err(format!("{flag} expects a value"));
+                }
+            }
+        };
+        if is_format {
+            *format = OutputFormat::parse(&value)
+                .ok_or_else(|| "--format expects one of: text, json, csv".to_owned())?;
+        } else {
+            *out_path = Some(value);
+        }
+    }
+    Ok(())
 }
 
 /// Entry point for the retired per-experiment binaries: maps their
@@ -355,7 +405,45 @@ mod tests {
         let mut words = vec!["validate".to_owned(), "a.toml".to_owned()];
         assert_eq!(canonical_name("config", &mut words), "config-validate");
         assert_eq!(words, vec!["a.toml"]);
+        let mut words = vec!["sweep".to_owned()];
+        assert_eq!(canonical_name("bench", &mut words), "bench-sweep");
         let mut none: Vec<String> = Vec::new();
         assert_eq!(canonical_name("fig1", &mut none), "fig1");
+    }
+
+    #[test]
+    fn trailing_global_flags_are_lifted_unless_declared() {
+        use report::OutputFormat;
+        // `cac bench sweep --ops 9 --format json`: --format is global.
+        let mut words: Vec<String> = ["--ops", "9", "--format", "json"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let mut format = OutputFormat::Text;
+        let mut out = None;
+        extract_global_flags("bench-sweep", &mut words, &mut format, &mut out).unwrap();
+        assert_eq!(format, OutputFormat::Json);
+        assert_eq!(words, vec!["--ops", "9"]);
+
+        // `cac trace gen --format binary`: trace-gen declares --format,
+        // so it stays an experiment flag.
+        let mut words: Vec<String> = ["--format=binary", "--out=x.bin"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let mut format = OutputFormat::Text;
+        let mut out = None;
+        extract_global_flags("trace-gen", &mut words, &mut format, &mut out).unwrap();
+        assert_eq!(format, OutputFormat::Text);
+        assert!(out.is_none());
+        assert_eq!(words, vec!["--format=binary", "--out=x.bin"]);
+
+        // Malformed values are usage errors.
+        let mut words = vec!["--format".to_owned()];
+        let mut format = OutputFormat::Text;
+        let mut out = None;
+        assert!(extract_global_flags("fig1", &mut words, &mut format, &mut out).is_err());
+        let mut words = vec!["--format".to_owned(), "yaml".to_owned()];
+        assert!(extract_global_flags("fig1", &mut words, &mut format, &mut out).is_err());
     }
 }

@@ -21,9 +21,24 @@ use std::thread;
 /// conflict-free one — load-balances naturally. Spawns at most
 /// `available_parallelism` threads and runs inline for trivial inputs.
 ///
+/// # Ordering
+///
+/// `out[i] == f(&items[i])` always: results are reassembled by index,
+/// so the output order is the **input order**, never completion order,
+/// regardless of how items were scheduled across workers. Experiments
+/// rely on this to zip sweep results back to their configurations.
+/// `f` itself may observe items in any interleaving and must not
+/// depend on evaluation order (it only gets `&T`, and shared state
+/// would serialise the sweep anyway).
+///
 /// # Panics
 ///
-/// Propagates the first panic raised by `f`.
+/// If `f` panics for any item, the sweep stops handing out new work,
+/// already-computed results are discarded, and one panic propagates to
+/// the caller once every worker has been joined (the message names the
+/// first undelivered item; with several concurrent panics, which
+/// payload surfaces is unspecified). There is no partial-result
+/// recovery: a sweep either completes for every item or panics.
 ///
 /// # Example
 ///
@@ -92,6 +107,62 @@ where
     par_map(&items, |&i| f(i))
 }
 
+/// [`par_map_range`] in contiguous *blocks*: `f` receives a sub-range
+/// and returns one result per index; the flattened output is in range
+/// order, exactly as `par_map_range` would produce.
+///
+/// The point of blocking is per-block state reuse: a sweep worker can
+/// build its simulation models (LUT compilation, storage allocation)
+/// once per block and `reset()` them between items, instead of paying
+/// construction per item — the dominant cost for short-trace sweeps
+/// like `cac fig1`. Several blocks per worker are created so uneven
+/// per-item cost still load-balances.
+///
+/// # Example
+///
+/// ```
+/// let out = cac_bench::parallel::par_map_blocked(0..10, |block| {
+///     // one "expensive setup" per block, reused across its items
+///     let base = 100;
+///     block.map(|i| base + i).collect()
+/// });
+/// assert_eq!(out, (100..110).collect::<Vec<_>>());
+/// ```
+pub fn par_map_blocked<R, F>(range: std::ops::Range<u64>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<u64>) -> Vec<R> + Sync,
+{
+    let n = range.end.saturating_sub(range.start);
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1) as u64;
+    // ~8 blocks per worker: few enough to amortise per-block setup,
+    // many enough that a block of pathological items load-balances.
+    let blocks = (workers * 8).min(n);
+    let len = n.div_ceil(blocks);
+    let ranges: Vec<std::ops::Range<u64>> = (0..blocks)
+        .map(|b| {
+            let start = range.start + b * len;
+            start..(start + len).min(range.end)
+        })
+        .filter(|r| !r.is_empty())
+        .collect();
+    let out = par_map(&ranges, |r| {
+        let got = f(r.clone());
+        assert_eq!(
+            got.len(),
+            (r.end - r.start) as usize,
+            "block callback must return one result per index"
+        );
+        got
+    });
+    out.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +191,28 @@ mod tests {
             i * i
         });
         assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_map_flattens_in_range_order() {
+        assert_eq!(
+            par_map_blocked(5..25, |b| b.map(|i| i * 2).collect()),
+            (5..25).map(|i| i * 2).collect::<Vec<_>>()
+        );
+        assert!(par_map_blocked(3..3, |b| b.collect::<Vec<_>>()).is_empty());
+        assert_eq!(par_map_blocked(7..8, |b| b.collect()), vec![7]);
+    }
+
+    #[test]
+    fn results_come_back_in_input_order_not_completion_order() {
+        // Earlier items sleep longer, so completion order is roughly the
+        // REVERSE of input order; the output must still be input order.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(&items, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - x) * 100));
+            x
+        });
+        assert_eq!(out, items);
     }
 
     #[test]

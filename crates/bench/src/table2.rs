@@ -4,6 +4,7 @@
 use cac_core::IndexSpec;
 use cac_cpu::{CpuConfig, Processor};
 use cac_trace::spec::SpecBenchmark;
+use cac_trace::TraceOp;
 
 /// Measured results for one benchmark (mirrors the paper's Table 2 column
 /// layout).
@@ -31,57 +32,62 @@ pub struct Table2Row {
     pub ipoly_cp_ipc_pred: f64,
 }
 
-fn run_one(b: SpecBenchmark, config: CpuConfig, ops: u64, seed: u64) -> (f64, f64) {
+fn run_one(trace: &[TraceOp], config: CpuConfig, ops: u64) -> (f64, f64) {
     let mut cpu = Processor::new(config).expect("valid configuration");
-    let stats = cpu.run(b.generator(seed), ops);
+    let stats = cpu.run(trace.iter().copied(), ops);
     (stats.ipc(), stats.load_miss_ratio_pct())
 }
 
+/// Instruction slack beyond the simulated-instruction target, so a
+/// trace materialised once (and shared by every processor
+/// configuration) never runs dry inside the pipeline's in-flight
+/// window — which would change drain behaviour relative to an endless
+/// generator. Shared by every CPU-level driver that materialises a
+/// trace (`cac options` uses it too).
+pub const TRACE_SLACK: usize = 4096;
+
 /// Runs all seven configurations of the paper's Table 2 for one
-/// benchmark, simulating `ops` instructions per configuration.
+/// benchmark, simulating `ops` instructions per configuration. The
+/// benchmark's instruction stream is generated ONCE and shared by all
+/// seven (the configurations differ only on the processor side).
 pub fn run_benchmark(b: SpecBenchmark, ops: u64, seed: u64) -> Table2Row {
+    let trace: Vec<TraceOp> = b.generator(seed).take(ops as usize + TRACE_SLACK).collect();
     let conv16 = run_one(
-        b,
+        &trace,
         CpuConfig::paper_16kb(IndexSpec::modulo()).unwrap(),
         ops,
-        seed,
     );
     let conv8 = run_one(
-        b,
+        &trace,
         CpuConfig::paper_baseline(IndexSpec::modulo()).unwrap(),
         ops,
-        seed,
     );
     let conv8_pred = run_one(
-        b,
+        &trace,
         CpuConfig::paper_baseline(IndexSpec::modulo())
             .unwrap()
             .with_address_prediction(),
         ops,
-        seed,
     );
     let ipoly = run_one(
-        b,
+        &trace,
         CpuConfig::paper_baseline(IndexSpec::ipoly_skewed()).unwrap(),
         ops,
-        seed,
     );
     let ipoly_cp = run_one(
-        b,
+        &trace,
         CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())
             .unwrap()
             .with_xor_in_critical_path(),
         ops,
-        seed,
     );
     let ipoly_cp_pred = run_one(
-        b,
+        &trace,
         CpuConfig::paper_baseline(IndexSpec::ipoly_skewed())
             .unwrap()
             .with_xor_in_critical_path()
             .with_address_prediction(),
         ops,
-        seed,
     );
     Table2Row {
         bench: b,

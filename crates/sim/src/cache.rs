@@ -255,12 +255,17 @@ impl Cache {
         self.stats = CacheStats::new();
     }
 
-    /// Invalidates everything and clears statistics.
+    /// Invalidates everything and clears statistics, returning the
+    /// cache to its as-built state (the random-replacement stream
+    /// restarts from its seed too, so a flushed cache replays exactly
+    /// like a freshly constructed one — the sweep engine reuses models
+    /// across sweep items on this guarantee).
     pub fn flush(&mut self) {
         self.tags.fill(INVALID_TAG);
         self.dirty.fill(false);
         self.stats = CacheStats::new();
         self.clock = 0;
+        self.selector.reset();
     }
 
     /// Flat storage slot of `(way, set)`.

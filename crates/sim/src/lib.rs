@@ -70,7 +70,12 @@
 //! * on-disk traces stream through [`replay`], which refills a reused
 //!   chunk buffer from any `cac_trace::io::ChunkSource` (binary or text
 //!   reader) and drains it through the same batched path, so external
-//!   traces larger than memory replay at in-memory speed.
+//!   traces larger than memory replay at in-memory speed;
+//! * multi-configuration sweeps run through [`sweep`]: the reference
+//!   stream is decoded/generated **once** and broadcast to every model
+//!   ([`sweep::Sweep`]), and LRU modulus-indexed size × associativity
+//!   grids collapse into a single Mattson stack-distance traversal
+//!   ([`sweep::LruStackSweep`]), optionally set-sampled.
 //!
 //! # Example
 //!
@@ -114,6 +119,7 @@ pub mod replay;
 pub mod stack;
 pub mod stats;
 pub mod stream;
+pub mod sweep;
 pub mod tlb;
 pub mod victim;
 pub mod vm;
@@ -125,3 +131,4 @@ pub use hierarchy::TwoLevelHierarchy;
 pub use model::{AccessOutcome, MemoryModel, ModelStats, ServicePoint};
 pub use stack::{Hierarchy, HierarchyBuilder, LevelBuilder};
 pub use stats::CacheStats;
+pub use sweep::{sweep_refs, LruStackSweep, Sweep};

@@ -233,7 +233,12 @@ impl fmt::Display for ModelStats {
 /// [`crate::stack::Hierarchy`], [`crate::column::ColumnAssociative`],
 /// [`crate::jouppi::JouppiCache`], [`crate::victim::VictimCache`] and
 /// [`crate::stream::StreamBufferCache`].
-pub trait MemoryModel {
+///
+/// `Send` is a supertrait so a `Box<dyn MemoryModel>` can be handed to
+/// a worker thread of the multi-configuration sweep engine
+/// ([`crate::sweep`]); every model here is plain owned data, so the
+/// bound costs implementors nothing.
+pub trait MemoryModel: Send {
     /// Replays one memory reference.
     fn access(&mut self, r: MemRef) -> AccessOutcome;
 

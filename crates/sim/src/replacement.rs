@@ -23,21 +23,33 @@ pub enum ReplacementPolicy {
 #[derive(Debug, Clone)]
 pub(crate) struct Selector {
     policy: ReplacementPolicy,
+    seed: u64,
     rng_state: u64,
 }
 
 impl Selector {
     pub(crate) fn new(policy: ReplacementPolicy, seed: u64) -> Self {
+        let mut s = Selector {
+            policy,
+            seed,
+            rng_state: 0,
+        };
+        s.reset();
+        s
+    }
+
+    /// Restores the as-constructed state: the random stream restarts
+    /// from the seed, so a reset cache replays exactly like a freshly
+    /// built one (the sweep engine reuses models across sweep items on
+    /// this guarantee).
+    pub(crate) fn reset(&mut self) {
         // splitmix64 scramble so distinct seeds yield distinct xorshift
         // streams (and state is never zero).
-        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        Selector {
-            policy,
-            rng_state: z | 1,
-        }
+        self.rng_state = z | 1;
     }
 
     fn next_random(&mut self) -> u64 {
@@ -113,6 +125,15 @@ mod tests {
         assert_ne!(pick(42), pick(43));
         // All picks are in range.
         assert!(pick(7).iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn reset_restarts_the_random_stream() {
+        let mut s = Selector::new(ReplacementPolicy::Random, 9);
+        let first: Vec<usize> = (0..8).map(|_| s.choose(&[(0, 0); 4])).collect();
+        s.reset();
+        let again: Vec<usize> = (0..8).map(|_| s.choose(&[(0, 0); 4])).collect();
+        assert_eq!(first, again);
     }
 
     #[test]

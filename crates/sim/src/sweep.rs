@@ -1,0 +1,678 @@
+//! Multi-configuration sweep engine: decode the reference stream
+//! **once**, drive every model from it.
+//!
+//! Every headline experiment of the paper is a *sweep* — the same
+//! reference stream replayed against a matrix of cache configurations
+//! (the Figure 1 stride sweep, the §2.1 organization comparison, the
+//! miss-ratio tables). Replaying each configuration independently pays
+//! the trace cost (synthetic generation, varint decode, text parsing)
+//! once **per configuration**: O(configs × refs) work for what is one
+//! pass over the data. This module provides the two engines that
+//! collapse it to O(refs + configs × accesses):
+//!
+//! * [`Sweep`] — a chunk-broadcast replay engine. One producer refills
+//!   reusable reference chunks from a [`RefSource`] (a binary trace, a
+//!   text trace, a synthetic workload iterator) or walks an in-memory
+//!   slice, and each worker thread owns a *shard* of the model set, so
+//!   models stay cache-resident with their worker while a chunk is
+//!   replayed against all of them. Counters are byte-identical to
+//!   running each model alone (`crates/sim/tests/sweep_equivalence.rs`).
+//! * [`LruStackSweep`] — an exact one-pass **Mattson stack-distance**
+//!   engine for the LRU / modulus-indexed cache family: a single
+//!   traversal maintains per-set reuse stacks and a distance histogram,
+//!   from which the miss count of *every* size × associativity of a
+//!   given line size is read off exactly — dozens of independent
+//!   replays become one traversal. An optional 1-in-K set-sampling mode
+//!   trades exactness for a further K× cost reduction on giant sweeps.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_core::{CacheGeometry, IndexSpec};
+//! use cac_sim::cache::Cache;
+//! use cac_sim::model::MemoryModel;
+//! use cac_sim::sweep::sweep_refs;
+//! use cac_trace::stride::VectorStride;
+//!
+//! let geom = CacheGeometry::new(8 * 1024, 32, 2)?;
+//! // Figure 1, one stride, all four placement schemes — one pass.
+//! let refs: Vec<_> = VectorStride::paper_figure1(512, 16).collect();
+//! let mut models: Vec<Box<dyn MemoryModel>> = [
+//!     IndexSpec::modulo(),
+//!     IndexSpec::xor_skewed(),
+//!     IndexSpec::ipoly(),
+//!     IndexSpec::ipoly_skewed(),
+//! ]
+//! .into_iter()
+//! .map(|s| Ok(Box::new(Cache::build(geom, s)?) as Box<dyn MemoryModel>))
+//! .collect::<Result<_, cac_core::Error>>()?;
+//! let stats = sweep_refs(&mut models, &refs);
+//! // The pathological stride thrashes modulo placement; skewed I-Poly
+//! // sees only the 64 compulsory misses.
+//! assert!(stats[0].demand.miss_ratio() > 0.9);
+//! assert_eq!(stats[3].demand.misses, 64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::model::{MemoryModel, ModelStats};
+use cac_core::Error;
+use cac_trace::io::{RefSource, DEFAULT_CHUNK_OPS};
+use cac_trace::MemRef;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+/// Multi-model replay engine configuration (builder style).
+///
+/// `workers = 0` (the default) uses the machine's available
+/// parallelism; `workers = 1` runs inline on the calling thread with no
+/// thread-spawn cost at all — the right choice when the caller already
+/// parallelises across sweep items (as `cac fig1` does across strides).
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    workers: usize,
+    chunk_ops: usize,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::new()
+    }
+}
+
+impl Sweep {
+    /// Engine with default chunking ([`DEFAULT_CHUNK_OPS`]) and
+    /// auto-detected worker count.
+    pub fn new() -> Self {
+        Sweep {
+            workers: 0,
+            chunk_ops: DEFAULT_CHUNK_OPS,
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism,
+    /// `1` = run inline on the calling thread).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the reference-chunk length. Chunks should fit the host L2
+    /// so the replay of model *i + 1* finds the chunk still resident.
+    #[must_use]
+    pub fn chunk_ops(mut self, chunk_ops: usize) -> Self {
+        self.chunk_ops = chunk_ops.max(1);
+        self
+    }
+
+    fn effective_workers(&self, models: usize) -> usize {
+        let auto = if self.workers == 0 {
+            thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        auto.min(models).max(1)
+    }
+
+    /// Replays an in-memory reference slice against every model, with
+    /// the model set sharded across worker threads. Replay is
+    /// chunk-interleaved *within each shard* — every model of a shard
+    /// sees chunk *c* before any of them sees chunk *c + 1*, so the
+    /// chunk stays cache-resident across that shard's models (shards
+    /// advance through the slice independently of each other).
+    ///
+    /// Returns one per-model counter delta (`stats after - before`), in
+    /// model order — exactly what `models[i].run_refs(refs)` alone
+    /// would have returned.
+    pub fn run_refs(
+        &self,
+        models: &mut [Box<dyn MemoryModel>],
+        refs: &[MemRef],
+    ) -> Vec<ModelStats> {
+        let before: Vec<ModelStats> = models.iter().map(|m| m.stats()).collect();
+        let workers = self.effective_workers(models.len());
+        if workers <= 1 {
+            for chunk in refs.chunks(self.chunk_ops) {
+                for m in models.iter_mut() {
+                    m.run_refs(chunk);
+                }
+            }
+        } else {
+            let shard = models.len().div_ceil(workers);
+            thread::scope(|s| {
+                for shard in models.chunks_mut(shard) {
+                    s.spawn(move || {
+                        for chunk in refs.chunks(self.chunk_ops) {
+                            for m in shard.iter_mut() {
+                                m.run_refs(chunk);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        models
+            .iter()
+            .zip(before)
+            .map(|(m, b)| m.stats() - b)
+            .collect()
+    }
+
+    /// Streams a [`RefSource`] through every model: the source is
+    /// decoded **once** into reusable chunks that are broadcast to the
+    /// worker threads, each of which owns a shard of the model set.
+    ///
+    /// Returns per-model counter deltas as [`Sweep::run_refs`] does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's decode/read errors. References broadcast
+    /// before the error remain applied to every model (and their
+    /// counters are included in the returned deltas).
+    pub fn run_source<S: RefSource>(
+        &self,
+        models: &mut [Box<dyn MemoryModel>],
+        mut source: S,
+    ) -> Result<Vec<ModelStats>, S::Error> {
+        let before: Vec<ModelStats> = models.iter().map(|m| m.stats()).collect();
+        let workers = self.effective_workers(models.len());
+        let mut result = Ok(());
+        if workers <= 1 {
+            let mut buf = Vec::with_capacity(self.chunk_ops);
+            loop {
+                match source.read_ref_chunk(&mut buf, self.chunk_ops) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        for m in models.iter_mut() {
+                            m.run_refs(&buf);
+                        }
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+        } else {
+            let shard = models.len().div_ceil(workers);
+            result = thread::scope(|s| {
+                // Bounded broadcast: each worker gets its own queue of
+                // Arc'd chunks; the bound keeps a slow shard from
+                // letting chunks pile up unboundedly.
+                let mut senders = Vec::new();
+                for shard in models.chunks_mut(shard) {
+                    let (tx, rx) = mpsc::sync_channel::<Arc<Vec<MemRef>>>(2);
+                    senders.push(tx);
+                    s.spawn(move || {
+                        for chunk in rx.iter() {
+                            for m in shard.iter_mut() {
+                                m.run_refs(&chunk);
+                            }
+                        }
+                    });
+                }
+                // Producer (this thread): refill a recycled buffer,
+                // broadcast it, reclaim buffers all workers are done
+                // with. `strong_count == 1` means only the producer's
+                // own handle is left, so the buffer can be reused
+                // without copying.
+                let mut in_flight: VecDeque<Arc<Vec<MemRef>>> = VecDeque::new();
+                loop {
+                    let recyclable = in_flight.front().is_some_and(|a| Arc::strong_count(a) == 1);
+                    let mut buf = if recyclable {
+                        Arc::try_unwrap(in_flight.pop_front().expect("checked"))
+                            .expect("sole owner")
+                    } else {
+                        Vec::with_capacity(self.chunk_ops)
+                    };
+                    match source.read_ref_chunk(&mut buf, self.chunk_ops) {
+                        Ok(0) => return Ok(()),
+                        Ok(_) => {
+                            let chunk = Arc::new(buf);
+                            for tx in &senders {
+                                // A receiver only disappears if its
+                                // worker panicked; the panic resurfaces
+                                // when the scope joins, so the drop is
+                                // ignored here.
+                                let _ = tx.send(chunk.clone());
+                            }
+                            in_flight.push_back(chunk);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                // Senders drop here; workers drain their queues and
+                // exit, then the scope joins them.
+            });
+        }
+        let after: Vec<ModelStats> = models
+            .iter()
+            .zip(before)
+            .map(|(m, b)| m.stats() - b)
+            .collect();
+        result.map(|()| after)
+    }
+}
+
+/// [`Sweep::run_refs`] with default settings — the one-liner the
+/// experiment drivers use.
+pub fn sweep_refs(models: &mut [Box<dyn MemoryModel>], refs: &[MemRef]) -> Vec<ModelStats> {
+    Sweep::new().run_refs(models, refs)
+}
+
+// ---------------------------------------------------------------------
+// One-pass Mattson stack-distance engine
+// ---------------------------------------------------------------------
+
+/// Exact one-pass miss-ratio curves for the LRU, modulus-indexed cache
+/// family (Mattson et al., 1970).
+///
+/// LRU has the *inclusion* property: the content of an `A`-way set is
+/// always a subset of the content of the same set with more ways. One
+/// traversal that maintains, per set, the blocks in LRU order (a
+/// "reuse stack") therefore determines every associativity at once: an
+/// access whose block sits at stack depth `d` hits in every cache of
+/// that set count with associativity `> d` and misses in the rest.
+/// Recording a histogram of depths per set count yields the **exact**
+/// miss count of every `(sets, ways)` combination of a given line size
+/// in one pass — the per-combination replays of a size × associativity
+/// grid collapse into a single traversal.
+///
+/// Exactness holds for reference streams replayed with
+/// allocate-on-miss, touch-on-hit semantics for every access: that is
+/// any read-only stream (the paper's Figure 1 stride traces, load
+/// miss-ratio studies), or mixed streams against write-allocate LRU
+/// caches ([`crate::cache::WritePolicy::WriteBackAllocate`]). Under
+/// no-write-allocate, whether a *write* moves its block to MRU depends
+/// on the associativity, so no single stack order represents all
+/// configurations — use the [`Sweep`] engine for those.
+///
+/// # Set sampling
+///
+/// [`LruStackSweep::with_set_sampling`] keeps only blocks whose low
+/// index bits match one residue class (1 in K), which selects the same
+/// 1-in-K subset of sets in **every** configuration with at least K
+/// sets. Miss *ratios* over the sampled stream are unbiased estimates
+/// of the full-stream ratios; [`LruStackSweep::sampling_note`] renders
+/// the caveat for reports.
+///
+/// # Example
+///
+/// ```
+/// use cac_sim::sweep::LruStackSweep;
+/// use cac_trace::stride::VectorStride;
+///
+/// // 32-byte lines; all set counts of an 8KB cache at 1/2/4 ways plus
+/// // fully-associative, in one pass.
+/// let mut sweep = LruStackSweep::new(32, &[256, 128, 64, 1])?;
+/// let refs: Vec<_> = VectorStride::paper_figure1(128, 16).collect();
+/// sweep.run_refs(&refs);
+/// // 8KB direct-mapped = 256 sets x 1 way; fully assoc = 1 set x 256.
+/// let dm = sweep.misses(256, 1).unwrap();
+/// let fa = sweep.misses(1, 256).unwrap();
+/// assert!(dm > fa);
+/// assert_eq!(fa, 64); // compulsory only: the vector fits
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruStackSweep {
+    line: u64,
+    block_bits: u32,
+    families: Vec<SetFamily>,
+    /// Sampling modulus (1 = every block) and the kept residue.
+    sample_k: u64,
+    refs_seen: u64,
+    refs_sampled: u64,
+}
+
+/// Per-set reuse stacks and the distance histogram for one set count.
+#[derive(Debug, Clone)]
+struct SetFamily {
+    sets: u32,
+    /// Per-set LRU stacks, MRU first. Sampled-out sets stay empty.
+    stacks: Vec<Vec<u64>>,
+    /// `hist[d]` = accesses that found their block at stack depth `d`.
+    hist: Vec<u64>,
+    /// Accesses whose block was not on the stack (compulsory for the
+    /// whole family).
+    cold: u64,
+}
+
+impl LruStackSweep {
+    /// Creates an engine for `line`-byte blocks covering every given
+    /// set count (duplicates are merged). A `(sets, ways)` query then
+    /// describes the cache of capacity `sets * ways * line`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] unless `line` and every set count are powers
+    /// of two (the modulus family the paper's conventional caches use),
+    /// with at least one set count given.
+    pub fn new(line: u64, set_counts: &[u32]) -> Result<Self, Error> {
+        if line < 2 || !line.is_power_of_two() {
+            return Err(Error::config(format!(
+                "stack-distance sweep needs a power-of-two line size of at least 2, got {line}"
+            )));
+        }
+        let mut counts: Vec<u32> = set_counts.to_vec();
+        counts.sort_unstable();
+        counts.dedup();
+        if counts.is_empty() {
+            return Err(Error::config(
+                "stack-distance sweep needs at least one set count",
+            ));
+        }
+        if let Some(bad) = counts.iter().find(|c| **c == 0 || !c.is_power_of_two()) {
+            return Err(Error::config(format!(
+                "stack-distance sweep set counts must be powers of two (modulus \
+                 indexing), got {bad}"
+            )));
+        }
+        Ok(LruStackSweep {
+            line,
+            block_bits: line.trailing_zeros(),
+            families: counts
+                .into_iter()
+                .map(|sets| SetFamily {
+                    sets,
+                    stacks: vec![Vec::new(); sets as usize],
+                    hist: Vec::new(),
+                    cold: 0,
+                })
+                .collect(),
+            sample_k: 1,
+            refs_seen: 0,
+            refs_sampled: 0,
+        })
+    }
+
+    /// Enables 1-in-`k` set sampling: only blocks with
+    /// `block_addr % k == 0` are observed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] unless `k` is a power of two no larger than
+    /// the smallest configured set count (larger `k` would leave some
+    /// configurations with no sampled set at all).
+    pub fn with_set_sampling(mut self, k: u32) -> Result<Self, Error> {
+        if k == 0 || !k.is_power_of_two() {
+            return Err(Error::config(format!(
+                "set-sampling factor must be a power of two, got {k}"
+            )));
+        }
+        let min_sets = self.families.first().map(|f| f.sets).unwrap_or(1);
+        if k > min_sets {
+            return Err(Error::config(format!(
+                "set-sampling factor {k} exceeds the smallest set count {min_sets}; \
+                 every configuration must retain at least one sampled set"
+            )));
+        }
+        self.sample_k = u64::from(k);
+        Ok(self)
+    }
+
+    /// The configured line size in bytes.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// The sampling factor K (1 = exact, no sampling).
+    pub fn sampling(&self) -> u64 {
+        self.sample_k
+    }
+
+    /// References presented to the engine (sampled or not).
+    pub fn refs_seen(&self) -> u64 {
+        self.refs_seen
+    }
+
+    /// References that fell in the sampled residue class and were
+    /// observed. Equal to [`LruStackSweep::refs_seen`] when sampling is
+    /// off.
+    pub fn refs_sampled(&self) -> u64 {
+        self.refs_sampled
+    }
+
+    /// Observes one reference.
+    pub fn observe(&mut self, addr: u64) {
+        self.refs_seen += 1;
+        let block = addr >> self.block_bits;
+        if self.sample_k > 1 && !block.is_multiple_of(self.sample_k) {
+            return;
+        }
+        self.refs_sampled += 1;
+        for family in &mut self.families {
+            let set = (block & u64::from(family.sets - 1)) as usize;
+            let stack = &mut family.stacks[set];
+            match stack.iter().position(|&b| b == block) {
+                Some(depth) => {
+                    // Move-to-front; record the depth it was found at.
+                    stack[..=depth].rotate_right(1);
+                    if family.hist.len() <= depth {
+                        family.hist.resize(depth + 1, 0);
+                    }
+                    family.hist[depth] += 1;
+                }
+                None => {
+                    family.cold += 1;
+                    stack.insert(0, block);
+                }
+            }
+        }
+    }
+
+    /// Observes every reference of a slice (reads and writes alike; see
+    /// the type docs for when that is exact).
+    pub fn run_refs(&mut self, refs: &[MemRef]) {
+        for r in refs {
+            self.observe(r.addr);
+        }
+    }
+
+    /// Streams a [`RefSource`] through the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's decode/read errors; references observed
+    /// before the error remain counted.
+    pub fn run_source<S: RefSource>(&mut self, mut source: S) -> Result<(), S::Error> {
+        let mut buf = Vec::with_capacity(DEFAULT_CHUNK_OPS);
+        while source.read_ref_chunk(&mut buf, DEFAULT_CHUNK_OPS)? > 0 {
+            self.run_refs(&buf);
+        }
+        Ok(())
+    }
+
+    fn family(&self, sets: u32) -> Option<&SetFamily> {
+        self.families.iter().find(|f| f.sets == sets)
+    }
+
+    /// Exact misses of the sampled stream in the `(sets, ways)` LRU
+    /// cache, or `None` if that set count was not configured or `ways`
+    /// is 0.
+    pub fn misses(&self, sets: u32, ways: u32) -> Option<u64> {
+        if ways == 0 {
+            return None;
+        }
+        let family = self.family(sets)?;
+        let deep: u64 = family.hist.iter().skip(ways as usize).sum();
+        Some(family.cold + deep)
+    }
+
+    /// Hits of the sampled stream in the `(sets, ways)` cache.
+    pub fn hits(&self, sets: u32, ways: u32) -> Option<u64> {
+        self.misses(sets, ways).map(|m| self.refs_sampled - m)
+    }
+
+    /// Miss ratio of the sampled stream in the `(sets, ways)` cache
+    /// (exact when sampling is off, an unbiased estimate otherwise).
+    /// `None` for unconfigured set counts or before any reference.
+    pub fn miss_ratio(&self, sets: u32, ways: u32) -> Option<f64> {
+        if self.refs_sampled == 0 {
+            return None;
+        }
+        self.misses(sets, ways)
+            .map(|m| m as f64 / self.refs_sampled as f64)
+    }
+
+    /// A report-ready caveat line when sampling is on (`None` when the
+    /// engine is exact): the sampled fraction and the worst-case
+    /// binomial standard error of a reported miss ratio.
+    pub fn sampling_note(&self) -> Option<String> {
+        if self.sample_k <= 1 {
+            return None;
+        }
+        let n = self.refs_sampled.max(1) as f64;
+        // p(1-p)/n is maximised at p = 0.5.
+        let se = (0.25 / n).sqrt();
+        Some(format!(
+            "set sampling 1/{}: ratios estimated from {} of {} refs \
+             (worst-case standard error ±{:.2} miss-%)",
+            self.sample_k,
+            self.refs_sampled,
+            self.refs_seen,
+            se * 100.0
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+    use cac_core::{CacheGeometry, IndexSpec};
+    use cac_trace::stride::VectorStride;
+
+    fn models(specs: &[IndexSpec]) -> Vec<Box<dyn MemoryModel>> {
+        let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        specs
+            .iter()
+            .map(|s| Box::new(Cache::build(geom, s.clone()).unwrap()) as Box<dyn MemoryModel>)
+            .collect()
+    }
+
+    fn mixed_refs(n: u64) -> Vec<MemRef> {
+        (0..n)
+            .map(|i| MemRef {
+                pc: 0x1000 + i,
+                addr: (i.wrapping_mul(0x9E37_79B9) >> 5) & 0xF_FFFF,
+                is_write: i % 7 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_sequential_replay_any_worker_count() {
+        let refs = mixed_refs(30_000);
+        let specs = [
+            IndexSpec::modulo(),
+            IndexSpec::ipoly_skewed(),
+            IndexSpec::xor_skewed(),
+        ];
+        let mut reference = models(&specs);
+        let expect: Vec<ModelStats> = reference.iter_mut().map(|m| m.run_refs(&refs)).collect();
+        for workers in [1usize, 2, 5] {
+            let mut swept = models(&specs);
+            let got = Sweep::new()
+                .workers(workers)
+                .chunk_ops(977)
+                .run_refs(&mut swept, &refs);
+            assert_eq!(got, expect, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn source_and_slice_paths_agree() {
+        use cac_trace::io::IterRefSource;
+        let refs = mixed_refs(25_000);
+        let specs = [IndexSpec::modulo(), IndexSpec::ipoly_skewed()];
+        let mut by_slice = models(&specs);
+        let expect = sweep_refs(&mut by_slice, &refs);
+        for workers in [1usize, 3] {
+            let mut by_source = models(&specs);
+            let got = Sweep::new()
+                .workers(workers)
+                .chunk_ops(1013)
+                .run_source(&mut by_source, IterRefSource::new(refs.iter().copied()))
+                .unwrap();
+            assert_eq!(got, expect, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_no_ops() {
+        let mut ms = models(&[IndexSpec::modulo()]);
+        let stats = sweep_refs(&mut ms, &[]);
+        assert_eq!(stats[0].demand.accesses, 0);
+        let none: Vec<Box<dyn MemoryModel>> = Vec::new();
+        let mut none = none;
+        assert!(sweep_refs(&mut none, &mixed_refs(10)).is_empty());
+    }
+
+    #[test]
+    fn stack_sweep_matches_figure1_compulsory_bound() {
+        let mut sweep = LruStackSweep::new(32, &[128]).unwrap();
+        let refs: Vec<MemRef> = VectorStride::paper_figure1(1, 16).collect();
+        sweep.run_refs(&refs);
+        // 64 sequential 8-byte elements = 16 blocks, all resident at
+        // 2 ways x 128 sets: compulsory only.
+        assert_eq!(sweep.misses(128, 2), Some(16));
+        assert_eq!(sweep.hits(128, 2), Some(refs.len() as u64 - 16));
+        assert_eq!(sweep.refs_seen(), refs.len() as u64);
+    }
+
+    #[test]
+    fn stack_sweep_validation() {
+        assert!(LruStackSweep::new(31, &[64]).is_err());
+        assert!(LruStackSweep::new(32, &[]).is_err());
+        assert!(LruStackSweep::new(32, &[48]).is_err());
+        assert!(LruStackSweep::new(32, &[64])
+            .unwrap()
+            .misses(32, 1)
+            .is_none());
+        assert!(LruStackSweep::new(32, &[64])
+            .unwrap()
+            .misses(64, 0)
+            .is_none());
+        assert!(LruStackSweep::new(32, &[64, 128])
+            .unwrap()
+            .with_set_sampling(128)
+            .is_err());
+        assert!(LruStackSweep::new(32, &[64])
+            .unwrap()
+            .with_set_sampling(3)
+            .is_err());
+    }
+
+    #[test]
+    fn sampling_k1_is_exact_and_k4_is_close() {
+        let refs = mixed_refs(60_000);
+        let mut exact = LruStackSweep::new(32, &[64, 128]).unwrap();
+        exact.run_refs(&refs);
+        let mut k1 = LruStackSweep::new(32, &[64, 128])
+            .unwrap()
+            .with_set_sampling(1)
+            .unwrap();
+        k1.run_refs(&refs);
+        assert_eq!(k1.misses(128, 2), exact.misses(128, 2));
+        assert!(k1.sampling_note().is_none());
+
+        let mut k4 = LruStackSweep::new(32, &[64, 128])
+            .unwrap()
+            .with_set_sampling(4)
+            .unwrap();
+        k4.run_refs(&refs);
+        assert!(k4.refs_sampled() < refs.len() as u64 / 2);
+        let exact_ratio = exact.miss_ratio(128, 2).unwrap();
+        let sampled_ratio = k4.miss_ratio(128, 2).unwrap();
+        assert!(
+            (exact_ratio - sampled_ratio).abs() < 0.05,
+            "exact {exact_ratio:.4} vs sampled {sampled_ratio:.4}"
+        );
+        assert!(k4.sampling_note().unwrap().contains("1/4"));
+    }
+}

@@ -623,6 +623,81 @@ impl<R: Read> BinaryTraceReader<R> {
 }
 
 impl<R: Read> BinaryTraceReader<R> {
+    /// Clears `out` and decodes records into it as bare [`MemRef`]s
+    /// until `max` references are buffered or the stream ends, skipping
+    /// non-memory records without materialising them. Returns the
+    /// reference count (`0` = end of stream).
+    ///
+    /// This is the chunked sibling of
+    /// [`for_each_ref`](BinaryTraceReader::for_each_ref), shaped for
+    /// multi-model sweeps (`cac_sim::sweep`): the chunk is decoded
+    /// **once** and then replayed against any number of cache models,
+    /// so decode cost is amortised across the whole configuration
+    /// matrix instead of being paid per configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`next_op`](BinaryTraceReader::next_op). References
+    /// decoded before the error are left in `out`.
+    pub fn read_ref_chunk(
+        &mut self,
+        out: &mut Vec<MemRef>,
+        max: usize,
+    ) -> Result<usize, BinaryTraceError> {
+        out.clear();
+        out.reserve(max.min(1 << 20));
+        while out.len() < max {
+            if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
+                self.refill()?;
+            }
+            if self.pos == self.len {
+                break;
+            }
+            let guaranteed = if self.hit_eof {
+                self.len
+            } else {
+                self.len - MAX_RECORD_LEN + 1
+            };
+            let mut cur = Cursor {
+                buf: &self.buf[..self.len],
+                pos: self.pos,
+            };
+            let (mut prev_pc, mut prev_addr) = (self.prev_pc, self.prev_addr);
+            let mut ops = self.ops;
+            let mut failure = None;
+            while out.len() < max && cur.pos < guaranteed {
+                match decode_ref(&mut cur, prev_pc, prev_addr) {
+                    Ok((r, pc, addr)) => {
+                        prev_pc = pc;
+                        prev_addr = addr;
+                        ops += 1;
+                        if let Some(r) = r {
+                            out.push(r);
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.pos = cur.pos;
+            self.prev_pc = prev_pc;
+            self.prev_addr = prev_addr;
+            self.ops = ops;
+            match failure {
+                Some(DecodeError::Truncated) => {
+                    return Err(BinaryTraceError::Truncated { ops_decoded: ops })
+                }
+                Some(DecodeError::Corrupt(reason)) => {
+                    return Err(BinaryTraceError::Corrupt { op: ops, reason })
+                }
+                None => {}
+            }
+        }
+        Ok(out.len())
+    }
+
     /// Decodes the rest of the stream, invoking `f` on every memory
     /// reference, and returns the number of records consumed.
     ///
@@ -767,6 +842,18 @@ impl<R: Read> ChunkSource for BinaryTraceReader<R> {
         max: usize,
     ) -> Result<usize, BinaryTraceError> {
         BinaryTraceReader::read_chunk(self, out, max)
+    }
+}
+
+impl<R: Read> super::RefSource for BinaryTraceReader<R> {
+    type Error = BinaryTraceError;
+
+    fn read_ref_chunk(
+        &mut self,
+        out: &mut Vec<MemRef>,
+        max: usize,
+    ) -> Result<usize, BinaryTraceError> {
+        BinaryTraceReader::read_ref_chunk(self, out, max)
     }
 }
 
@@ -925,6 +1012,43 @@ mod tests {
         }
         assert_eq!(all, ops);
         assert_eq!(reader.ops_decoded(), ops.len() as u64);
+    }
+
+    #[test]
+    fn ref_chunks_match_for_each_ref() {
+        let ops: Vec<TraceOp> = SpecBenchmark::Tomcatv.generator(6).take(4000).collect();
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let mut fused = Vec::new();
+        BinaryTraceReader::new(&bytes[..])
+            .unwrap()
+            .for_each_ref(|r| fused.push(r))
+            .unwrap();
+        for chunk in [1usize, 61, 8192] {
+            let mut reader = BinaryTraceReader::new(&bytes[..]).unwrap();
+            let mut buf = Vec::new();
+            let mut all = Vec::new();
+            while reader.read_ref_chunk(&mut buf, chunk).unwrap() > 0 {
+                all.extend_from_slice(&buf);
+            }
+            assert_eq!(all, fused, "chunk {chunk}");
+            assert_eq!(reader.ops_decoded(), ops.len() as u64);
+        }
+    }
+
+    #[test]
+    fn ref_chunks_skip_non_memory_tails() {
+        // A stream ending in non-memory ops must still report 0 (not a
+        // short non-empty chunk followed by a stuck loop).
+        let ops = [
+            TraceOp::load(0x400, 0x1000, 5, None),
+            TraceOp::branch(0x404, true, 0x400, None),
+            TraceOp::compute(0x408, OpClass::IntAlu, 1, [None, None]),
+        ];
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let mut reader = BinaryTraceReader::new(&bytes[..]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(reader.read_ref_chunk(&mut buf, 8).unwrap(), 1);
+        assert_eq!(reader.read_ref_chunk(&mut buf, 8).unwrap(), 0);
     }
 
     #[test]

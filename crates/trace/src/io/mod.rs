@@ -57,7 +57,7 @@ pub use binary::{
 };
 pub use text::{read_trace, write_trace, ParseTraceError, ReadTrace};
 
-use crate::record::TraceOp;
+use crate::record::{MemRef, TraceOp};
 use std::convert::Infallible;
 use std::io::Read;
 
@@ -145,6 +145,109 @@ impl<R: Read> ChunkSource for ReadTrace<R> {
     }
 }
 
+/// A stream of bare [`MemRef`]s delivered in caller-buffered batches —
+/// the decode-once feed of multi-model sweeps.
+///
+/// [`ChunkSource`] delivers whole [`TraceOp`]s; cache-only consumers
+/// (`cac_sim::sweep`, the replay fast paths) never look at the
+/// instruction fields, so this trait delivers the memory-reference
+/// projection directly. A sweep engine refills **one** reference buffer
+/// from the source and fans it out to every model, so varint decode,
+/// text parsing or synthetic-trace generation is paid once per sweep
+/// instead of once per configuration.
+///
+/// Implementations are provided for the binary reader
+/// ([`BinaryTraceReader::read_ref_chunk`] is the fused fast path), for
+/// any [`ChunkSource`] via [`OpRefSource`], and for arbitrary reference
+/// iterators (synthetic workloads) via [`IterRefSource`].
+pub trait RefSource {
+    /// Error type produced by the underlying decoder.
+    type Error;
+
+    /// Clears `out` and refills it with up to `max` references. Returns
+    /// the number delivered; `0` means the stream is exhausted (sources
+    /// skip over non-memory ops rather than delivering short chunks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode/read errors from the source.
+    fn read_ref_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> Result<usize, Self::Error>;
+}
+
+/// [`RefSource`] over any reference iterator (infallible) — the bridge
+/// from synthetic workload generators to the sweep engine.
+///
+/// # Example
+///
+/// ```
+/// use cac_trace::io::{IterRefSource, RefSource};
+/// use cac_trace::stride::VectorStride;
+///
+/// let mut src = IterRefSource::new(VectorStride::paper_figure1(4, 1));
+/// let mut buf = Vec::new();
+/// assert_eq!(src.read_ref_chunk(&mut buf, 50).unwrap(), 50);
+/// assert_eq!(src.read_ref_chunk(&mut buf, 50).unwrap(), 14);
+/// assert_eq!(src.read_ref_chunk(&mut buf, 50).unwrap(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterRefSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = MemRef>> IterRefSource<I> {
+    /// Wraps a reference iterator.
+    pub fn new(iter: I) -> Self {
+        IterRefSource { iter }
+    }
+}
+
+impl<I: Iterator<Item = MemRef>> RefSource for IterRefSource<I> {
+    type Error = Infallible;
+
+    fn read_ref_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> Result<usize, Infallible> {
+        out.clear();
+        out.extend(self.iter.by_ref().take(max));
+        Ok(out.len())
+    }
+}
+
+/// [`RefSource`] adapter over any [`ChunkSource`]: decodes op chunks
+/// through an internal buffer and keeps only the memory references
+/// (text traces, slices — the binary reader has its own fused path).
+#[derive(Debug)]
+pub struct OpRefSource<S> {
+    source: S,
+    ops: Vec<TraceOp>,
+}
+
+impl<S: ChunkSource> OpRefSource<S> {
+    /// Wraps an op-chunk source.
+    pub fn new(source: S) -> Self {
+        OpRefSource {
+            source,
+            ops: Vec::new(),
+        }
+    }
+}
+
+impl<S: ChunkSource> RefSource for OpRefSource<S> {
+    type Error = S::Error;
+
+    fn read_ref_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> Result<usize, S::Error> {
+        out.clear();
+        // An op chunk may hold no memory references at all; keep
+        // draining so only true exhaustion reports 0.
+        while out.len() < max {
+            let want = max - out.len();
+            if self.source.read_chunk(&mut self.ops, want)? == 0 {
+                break;
+            }
+            out.extend(self.ops.iter().filter_map(TraceOp::mem_ref));
+        }
+        Ok(out.len())
+    }
+}
+
 /// On-disk trace format, as detected by [`sniff_format`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceFormat {
@@ -181,6 +284,26 @@ mod tests {
         assert_eq!(sniff_format(&bin), TraceFormat::Binary);
         assert_eq!(sniff_format(b""), TraceFormat::Text);
         assert_eq!(sniff_format(b"CA"), TraceFormat::Text);
+    }
+
+    #[test]
+    fn op_ref_source_matches_direct_projection() {
+        let ops: Vec<TraceOp> = SpecBenchmark::Swim.generator(8).take(2000).collect();
+        let expect: Vec<MemRef> = ops.iter().filter_map(TraceOp::mem_ref).collect();
+        let mut src = OpRefSource::new(SliceSource::new(&ops));
+        let mut buf = Vec::new();
+        let mut all = Vec::new();
+        while src.read_ref_chunk(&mut buf, 97).unwrap() > 0 {
+            all.extend_from_slice(&buf);
+        }
+        assert_eq!(all, expect);
+        // Iterator-backed source delivers the same projection.
+        let mut src = IterRefSource::new(expect.iter().copied());
+        let mut all = Vec::new();
+        while src.read_ref_chunk(&mut buf, 97).unwrap() > 0 {
+            all.extend_from_slice(&buf);
+        }
+        assert_eq!(all, expect);
     }
 
     #[test]

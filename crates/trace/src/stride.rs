@@ -75,7 +75,14 @@ impl Iterator for VectorStride {
             is_write: false,
         })
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.total - self.emitted) as usize;
+        (left, Some(left))
+    }
 }
+
+impl ExactSizeIterator for VectorStride {}
 
 /// Runs the full Figure 1 stride sweep: for each stride in
 /// `1..max_stride`, calls `f` with the stride and a fresh trace.

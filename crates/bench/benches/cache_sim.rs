@@ -135,6 +135,90 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// The O(1) fully-associative engine: per-op and batched replay on the
+/// degenerate one-set geometry (8KB/32B = 256 ways — the paper's
+/// reference curve), plus a 64KB/2048-way configuration where the old
+/// O(ways) scan was hopeless. The same hashed 1MB address mix as
+/// `cache_access`, so numbers are comparable across groups.
+fn bench_fully_assoc(c: &mut Criterion) {
+    let addrs = addrs();
+    let refs: Vec<MemRef> = addrs
+        .iter()
+        .map(|&addr| MemRef {
+            pc: 0x1000,
+            addr,
+            is_write: false,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fully_assoc");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    let fa8k = CacheGeometry::fully_associative(8 * 1024, 32).unwrap();
+    group.bench_function("8k_256w_read", |b| {
+        let mut cache = Cache::build(fa8k, IndexSpec::modulo()).unwrap();
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cache.read(black_box(a)));
+            }
+        })
+    });
+    group.bench_function("8k_256w_run_refs", |b| {
+        let mut cache = Cache::build(fa8k, IndexSpec::modulo()).unwrap();
+        b.iter(|| black_box(cache.run_refs_slice(&refs)))
+    });
+    let fa64k = CacheGeometry::fully_associative(64 * 1024, 32).unwrap();
+    group.bench_function("64k_2048w_run_refs", |b| {
+        let mut cache = Cache::build(fa64k, IndexSpec::modulo()).unwrap();
+        b.iter(|| black_box(cache.run_refs_slice(&refs)))
+    });
+    group.finish();
+}
+
+/// The per-ways probe kernels behind `run_refs`: one monomorphized
+/// kernel per (ways, policy) shape. 8 ways exercises the generic
+/// fallback loop for comparison.
+fn bench_probe_kernels(c: &mut Criterion) {
+    use cac_sim::replacement::ReplacementPolicy;
+
+    let addrs = addrs();
+    let refs: Vec<MemRef> = addrs
+        .iter()
+        .map(|&addr| MemRef {
+            pc: 0x1000,
+            addr,
+            is_write: false,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("probe_kernels");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for (name, ways) in [
+        ("1way", 1u32),
+        ("2way", 2),
+        ("4way", 4),
+        ("8way_generic", 8),
+    ] {
+        let geom = CacheGeometry::new(8 * 1024, 32, ways).unwrap();
+        group.bench_function(name, |b| {
+            let mut cache = Cache::build(geom, IndexSpec::modulo()).unwrap();
+            b.iter(|| black_box(cache.run_refs_slice(&refs)))
+        });
+    }
+    let g2 = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+    group.bench_function("2way_skew", |b| {
+        let mut cache = Cache::build(g2, IndexSpec::ipoly_skewed()).unwrap();
+        b.iter(|| black_box(cache.run_refs_slice(&refs)))
+    });
+    group.bench_function("2way_random", |b| {
+        let mut cache = Cache::builder(g2)
+            .replacement(ReplacementPolicy::Random)
+            .build()
+            .unwrap();
+        b.iter(|| black_box(cache.run_refs_slice(&refs)))
+    });
+    group.finish();
+}
+
 /// Binary-format streaming replay vs in-memory batched replay on a
 /// 10M-reference trace: the acceptance bar for the trace codec is that
 /// decoding varint/delta records off a byte stream sustains at least
@@ -237,6 +321,8 @@ fn bench_multi_model_sweep(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_cache,
+    bench_fully_assoc,
+    bench_probe_kernels,
     bench_trace_streaming,
     bench_multi_model_sweep
 );

@@ -343,6 +343,11 @@ pub const REGISTRY: &[Experiment] = &[
             param("workers", "0", "sweep worker threads (0 = auto)"),
             param("chunk", "8192", "refs per broadcast chunk"),
             param(
+                "repeat",
+                "1",
+                "runs per timed region; tables report the median",
+            ),
+            param(
                 "baseline",
                 "true",
                 "also time per-config replay (false to skip)",

@@ -15,17 +15,31 @@
 //!   access path is a single bounds-checked table load — no dynamic
 //!   dispatch, no per-way hash evaluation (the paper's own argument:
 //!   the I-Poly hash is a constant-time XOR tree, §3).
-//! * **Struct-of-arrays storage.** Lines live in flat way-major arrays
-//!   (`tags`, `dirty`, `last_touch`, `fill_time`) indexed by
-//!   `way * sets + set`, with an invalid-tag sentinel instead of
-//!   `Option` wrappers — probes walk a contiguous tag array.
+//! * **Struct-of-arrays storage with packed metadata.** Lines live in
+//!   flat way-major arrays indexed by `way * sets + set`: a tag array
+//!   with an invalid-tag sentinel, and **one** packed `u64` metadata
+//!   word per line (bit 0 = dirty, the upper bits = the replacement
+//!   stamp the configured policy actually consults — last-touch time
+//!   for LRU, fill time for FIFO). An access touches two arrays, not
+//!   four.
 //! * **Slot-precise probes.** [`Cache::probe_slot`] yields `(way, set)`,
-//!   so the hit path and the fill path never recompute an index the
-//!   probe already derived.
-//! * **Batched replay.** [`Cache::run_trace`]/[`Cache::run_refs`] replay
-//!   a whole trace and return the counters attributable to it, keeping
-//!   the per-reference loop inside the crate where it inlines.
+//!   and victim selection folds the winning `(way, set)` out of its
+//!   single scan, so the hit path and the fill path never recompute an
+//!   index a probe already derived.
+//! * **O(1) fully-associative engine.** When the geometry degenerates
+//!   to one set, probes and victim selection run through
+//!   [`crate::assoc::AssocIndex`] — an open-addressing tag map plus an
+//!   intrusive LRU/FIFO list — instead of scanning every way, with
+//!   behaviour (including the random-replacement RNG stream)
+//!   byte-identical to the scan it replaces.
+//! * **Specialized probe kernels.** [`Cache::run_refs`] and
+//!   [`Cache::run_refs_slice`] dispatch once per chunk to monomorphized
+//!   kernels for ways ∈ {1, 2, 4} × replacement policy (direct-mapped
+//!   probes compile to a single load/compare) that accumulate counters
+//!   in registers; other shapes fall back to the generic loop with
+//!   identical counters.
 
+use crate::assoc::AssocIndex;
 use crate::model::{AccessOutcome, MemoryModel, ModelStats, ServicePoint};
 use crate::replacement::{ReplacementPolicy, Selector};
 use crate::stats::CacheStats;
@@ -50,6 +64,23 @@ pub enum WritePolicy {
 /// enforces blocks of at least 2 bytes, so this value cannot collide
 /// with a real block address.
 const INVALID_TAG: u64 = u64::MAX;
+
+/// Dirty flag in the packed per-line metadata word; the bits above it
+/// hold the replacement stamp (`clock << META_STAMP_SHIFT`).
+const META_DIRTY: u64 = 1;
+
+/// Shift isolating the stamp in the packed metadata word.
+const META_STAMP_SHIFT: u32 = 1;
+
+/// Replacement-policy codes for kernel monomorphization.
+const POLICY_LRU: u8 = 0;
+const POLICY_FIFO: u8 = 1;
+const POLICY_RANDOM: u8 = 2;
+
+/// References per internal chunk of the iterator-driven replay APIs:
+/// big enough to amortize the kernel dispatch, small enough to stay in
+/// the host L1/L2.
+const KERNEL_CHUNK: usize = 4096;
 
 /// Result of a single access — the shared [`AccessOutcome`], kept
 /// under its historical name for existing callers.
@@ -82,10 +113,11 @@ pub struct Cache {
     ways: usize,
     /// Way-major tag array (`way * sets + set`); `INVALID_TAG` = empty.
     tags: Vec<u64>,
-    /// Parallel per-line metadata, same indexing as `tags`.
-    dirty: Vec<bool>,
-    last_touch: Vec<u64>,
-    fill_time: Vec<u64>,
+    /// Packed per-line metadata, same indexing as `tags`: bit 0 = dirty,
+    /// upper bits = the stamp the replacement policy consults.
+    meta: Vec<u64>,
+    /// O(1) probe/victim engine, present exactly when `sets == 1`.
+    assoc: Option<AssocIndex>,
     selector: Selector,
     write_policy: WritePolicy,
     clock: u64,
@@ -215,9 +247,8 @@ impl Cache {
             sets,
             ways,
             tags: vec![INVALID_TAG; lines],
-            dirty: vec![false; lines],
-            last_touch: vec![0; lines],
-            fill_time: vec![0; lines],
+            meta: vec![0; lines],
+            assoc: (sets == 1).then(|| AssocIndex::new(ways)),
             selector: Selector::new(replacement, seed),
             write_policy,
             clock: 0,
@@ -245,6 +276,12 @@ impl Cache {
         self.write_policy
     }
 
+    /// `true` when probes and victim selection run through the O(1)
+    /// fully-associative engine (the geometry has a single set).
+    pub fn uses_assoc_engine(&self) -> bool {
+        self.assoc.is_some()
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -262,7 +299,10 @@ impl Cache {
     /// across sweep items on this guarantee).
     pub fn flush(&mut self) {
         self.tags.fill(INVALID_TAG);
-        self.dirty.fill(false);
+        self.meta.fill(0);
+        if let Some(a) = &mut self.assoc {
+            a.clear();
+        }
         self.stats = CacheStats::new();
         self.clock = 0;
         self.selector.reset();
@@ -286,9 +326,13 @@ impl Cache {
     }
 
     /// Non-mutating lookup by block address, yielding both the way and
-    /// the set so callers never recompute the index.
+    /// the set so callers never recompute the index. O(1) for
+    /// fully-associative geometries, one tag compare per way otherwise.
     #[inline]
     pub fn probe_slot(&self, block: u64) -> Option<(u32, u32)> {
+        if let Some(a) = &self.assoc {
+            return a.get(block).map(|way| (way, 0));
+        }
         for w in 0..self.ways as u32 {
             let set = self.table.set_index(block, w);
             if self.tags[self.slot(w, set)] == block {
@@ -315,14 +359,95 @@ impl Cache {
 
     /// Performs an access; `is_write` selects the write path of the
     /// configured [`WritePolicy`].
+    ///
+    /// Dispatches to a probe body monomorphized for the common way
+    /// counts (direct-mapped probes are a single load/compare); the
+    /// fully-associative engine and other shapes take the generic path.
     pub fn access(&mut self, addr: u64, is_write: bool) -> Access {
+        if self.assoc.is_some() {
+            return self.access_generic(addr, is_write);
+        }
+        match self.ways {
+            1 => self.access_ways::<1>(addr, is_write),
+            2 => self.access_ways::<2>(addr, is_write),
+            4 => self.access_ways::<4>(addr, is_write),
+            _ => self.access_generic(addr, is_write),
+        }
+    }
+
+    /// [`Cache::access`] with the way count baked in: the probe is
+    /// unrolled and the fill path reuses the per-way sets the probe
+    /// already derived.
+    #[inline]
+    fn access_ways<const WAYS: usize>(&mut self, addr: u64, is_write: bool) -> Access {
+        debug_assert_eq!(self.ways, WAYS);
+        let block = self.geom.block_addr(addr);
+        self.clock += 1;
+        let mut sets = [0u32; WAYS];
+        let hit = self.probe_ways::<WAYS>(block, &mut sets);
+        if hit != WAYS {
+            let slot = hit * self.sets + sets[hit] as usize;
+            if self.selector.policy() == ReplacementPolicy::Lru {
+                self.meta[slot] = (self.clock << META_STAMP_SHIFT) | (self.meta[slot] & META_DIRTY);
+            }
+            if is_write && self.write_policy == WritePolicy::WriteBackAllocate {
+                self.meta[slot] |= META_DIRTY;
+            }
+            if is_write {
+                self.stats.record_write(true);
+            } else {
+                self.stats.record_read(true);
+            }
+            return Access {
+                hit: true,
+                served_by: ServicePoint::Level(0),
+                way: Some(hit as u32),
+                evicted: None,
+                filled: false,
+            };
+        }
+        // Miss.
+        if is_write {
+            self.stats.record_write(false);
+        } else {
+            self.stats.record_read(false);
+        }
+        let allocate = !is_write || self.write_policy == WritePolicy::WriteBackAllocate;
+        if !allocate {
+            return Access::miss();
+        }
+        let dirty = is_write && self.write_policy == WritePolicy::WriteBackAllocate;
+        let (way, evicted) = self.fill_from_sets::<WAYS>(block, dirty, &sets);
+        Access {
+            hit: false,
+            served_by: ServicePoint::Memory,
+            way: Some(way),
+            evicted,
+            filled: true,
+        }
+    }
+
+    /// The generic access body: dynamic way count, and the path every
+    /// one-set (fully-associative-engine) cache takes.
+    fn access_generic(&mut self, addr: u64, is_write: bool) -> Access {
         let block = self.geom.block_addr(addr);
         self.clock += 1;
         if let Some((w, set)) = self.probe_slot(block) {
             let slot = self.slot(w, set);
-            self.last_touch[slot] = self.clock;
+            if self.selector.policy() == ReplacementPolicy::Lru {
+                // Under the O(1) engine the intrusive list IS the
+                // recency order; nothing reads the packed stamp, so
+                // refreshing it would be a dead store.
+                match &mut self.assoc {
+                    Some(a) => a.touch(w),
+                    None => {
+                        self.meta[slot] =
+                            (self.clock << META_STAMP_SHIFT) | (self.meta[slot] & META_DIRTY);
+                    }
+                }
+            }
             if is_write && self.write_policy == WritePolicy::WriteBackAllocate {
-                self.dirty[slot] = true;
+                self.meta[slot] |= META_DIRTY;
             }
             if is_write {
                 self.stats.record_write(true);
@@ -391,6 +516,10 @@ impl Cache {
 
     /// Replays a bare memory-reference trace; see [`Cache::run_trace`].
     ///
+    /// Internally the iterator is drained through a reused chunk buffer
+    /// so each chunk replays on the specialized kernel path of
+    /// [`Cache::run_refs_slice`].
+    ///
     /// # Example
     ///
     /// ```
@@ -410,10 +539,209 @@ impl Cache {
         I: IntoIterator<Item = MemRef>,
     {
         let before = self.stats;
-        for r in refs {
-            self.access(r.addr, r.is_write);
+        let mut iter = refs.into_iter();
+        let mut chunk: Vec<MemRef> = Vec::with_capacity(KERNEL_CHUNK);
+        loop {
+            chunk.extend(iter.by_ref().take(KERNEL_CHUNK));
+            if chunk.is_empty() {
+                break;
+            }
+            self.replay_slice(&chunk);
+            chunk.clear();
         }
         self.stats - before
+    }
+
+    /// Replays a reference slice and returns the counters attributable
+    /// to it, exactly as the equivalent per-reference
+    /// [`Cache::access`] loop would produce.
+    ///
+    /// This is the kernel entry point: the slice is dispatched **once**
+    /// to a probe kernel monomorphized for the cache's shape — ways ∈
+    /// {1, 2, 4} × replacement policy, plus the O(1) fully-associative
+    /// engine — with the generic loop as the fallback for other shapes.
+    pub fn run_refs_slice(&mut self, refs: &[MemRef]) -> CacheStats {
+        let before = self.stats;
+        self.replay_slice(refs);
+        self.stats - before
+    }
+
+    /// Dispatches one slice to the matching monomorphized kernel.
+    fn replay_slice(&mut self, refs: &[MemRef]) {
+        let policy = self.selector.policy();
+        if self.assoc.is_some() {
+            return match policy {
+                ReplacementPolicy::Lru => self.run_kernel_assoc::<POLICY_LRU>(refs),
+                ReplacementPolicy::Fifo => self.run_kernel_assoc::<POLICY_FIFO>(refs),
+                ReplacementPolicy::Random => self.run_kernel_assoc::<POLICY_RANDOM>(refs),
+            };
+        }
+        match (self.ways, policy) {
+            (1, ReplacementPolicy::Lru) => self.run_kernel::<1, POLICY_LRU>(refs),
+            (1, ReplacementPolicy::Fifo) => self.run_kernel::<1, POLICY_FIFO>(refs),
+            (1, ReplacementPolicy::Random) => self.run_kernel::<1, POLICY_RANDOM>(refs),
+            (2, ReplacementPolicy::Lru) => self.run_kernel::<2, POLICY_LRU>(refs),
+            (2, ReplacementPolicy::Fifo) => self.run_kernel::<2, POLICY_FIFO>(refs),
+            (2, ReplacementPolicy::Random) => self.run_kernel::<2, POLICY_RANDOM>(refs),
+            (4, ReplacementPolicy::Lru) => self.run_kernel::<4, POLICY_LRU>(refs),
+            (4, ReplacementPolicy::Fifo) => self.run_kernel::<4, POLICY_FIFO>(refs),
+            (4, ReplacementPolicy::Random) => self.run_kernel::<4, POLICY_RANDOM>(refs),
+            _ => {
+                for r in refs {
+                    self.access(r.addr, r.is_write);
+                }
+            }
+        }
+    }
+
+    /// The set-associative probe kernel: the per-reference body of
+    /// [`Cache::access`] with the way count and replacement policy
+    /// baked in at compile time and hit/miss counters accumulated in
+    /// registers.
+    fn run_kernel<const WAYS: usize, const POLICY: u8>(&mut self, refs: &[MemRef]) {
+        debug_assert_eq!(self.ways, WAYS);
+        let wb = self.write_policy == WritePolicy::WriteBackAllocate;
+        let mut k = KernelCounts::default();
+        'refs: for &r in refs {
+            let block = self.geom.block_addr(r.addr);
+            self.clock += 1;
+            // Probe, remembering each way's set for the fill path.
+            let mut sets = [0u32; WAYS];
+            let hit = self.probe_ways::<WAYS>(block, &mut sets);
+            if hit != WAYS {
+                let slot = hit * self.sets + sets[hit] as usize;
+                if POLICY == POLICY_LRU {
+                    self.meta[slot] =
+                        (self.clock << META_STAMP_SHIFT) | (self.meta[slot] & META_DIRTY);
+                }
+                if r.is_write {
+                    if wb {
+                        self.meta[slot] |= META_DIRTY;
+                    }
+                    k.writes += 1;
+                } else {
+                    k.reads += 1;
+                }
+                continue 'refs;
+            }
+            // Miss.
+            if r.is_write {
+                k.writes += 1;
+                k.write_misses += 1;
+                if !wb {
+                    continue 'refs; // no-write-allocate
+                }
+            } else {
+                k.reads += 1;
+                k.read_misses += 1;
+            }
+            self.fill_from_sets::<WAYS>(block, r.is_write && wb, &sets);
+        }
+        k.fold_into(&mut self.stats);
+    }
+
+    /// The probe body of the monomorphized paths: records each way's
+    /// set index in `sets` and returns the hitting way, or `WAYS` on a
+    /// miss (entries of `sets` past the hit are untouched).
+    #[inline]
+    fn probe_ways<const WAYS: usize>(&self, block: u64, sets: &mut [u32; WAYS]) -> usize {
+        debug_assert_eq!(self.ways, WAYS);
+        for (w, way_set) in sets.iter_mut().enumerate() {
+            let set = self.table.set_index(block, w as u32);
+            *way_set = set;
+            if self.tags[w * self.sets + set as usize] == block {
+                return w;
+            }
+        }
+        WAYS
+    }
+
+    /// The fill path of [`Cache::access_ways`] and the probe kernels,
+    /// reusing the per-way sets the probe already derived: first
+    /// invalid slot, else the minimum-stamp (or random) victim folded
+    /// out of one scan. Returns the way filled and any evicted block.
+    #[inline]
+    fn fill_from_sets<const WAYS: usize>(
+        &mut self,
+        block: u64,
+        dirty: bool,
+        sets: &[u32; WAYS],
+    ) -> (u32, Option<u64>) {
+        let mut invalid = WAYS;
+        let mut best = (u64::MAX, 0usize);
+        for (w, &set) in sets.iter().enumerate() {
+            let slot = w * self.sets + set as usize;
+            if self.tags[slot] == INVALID_TAG {
+                invalid = w;
+                break;
+            }
+            let stamp = self.meta[slot] >> META_STAMP_SHIFT;
+            if stamp < best.0 {
+                best = (stamp, w);
+            }
+        }
+        let (way, evicted) = if invalid != WAYS {
+            (invalid, None)
+        } else {
+            let w = if self.selector.policy() == ReplacementPolicy::Random {
+                self.selector.pick_random(WAYS)
+            } else {
+                best.1
+            };
+            let slot = w * self.sets + sets[w] as usize;
+            let victim = self.tags[slot];
+            debug_assert_ne!(victim, INVALID_TAG, "victim slot valid");
+            self.stats.evictions += 1;
+            if self.meta[slot] & META_DIRTY != 0 {
+                self.stats.writebacks += 1;
+            }
+            (w, Some(victim))
+        };
+        let slot = way * self.sets + sets[way] as usize;
+        self.tags[slot] = block;
+        self.meta[slot] = (self.clock << META_STAMP_SHIFT) | u64::from(dirty);
+        (way as u32, evicted)
+    }
+
+    /// The fully-associative kernel: O(1) probes through the
+    /// [`AssocIndex`] engine, policy baked in at compile time.
+    fn run_kernel_assoc<const POLICY: u8>(&mut self, refs: &[MemRef]) {
+        let wb = self.write_policy == WritePolicy::WriteBackAllocate;
+        let mut k = KernelCounts::default();
+        for &r in refs {
+            let block = self.geom.block_addr(r.addr);
+            self.clock += 1;
+            let hit = self.assoc.as_ref().expect("assoc engine").get(block);
+            if let Some(w) = hit {
+                let slot = w as usize;
+                if POLICY == POLICY_LRU {
+                    // The intrusive list is the recency order; the
+                    // packed stamp is never read under the engine.
+                    self.assoc.as_mut().expect("assoc engine").touch(w);
+                }
+                if r.is_write {
+                    if wb {
+                        self.meta[slot] |= META_DIRTY;
+                    }
+                    k.writes += 1;
+                } else {
+                    k.reads += 1;
+                }
+                continue;
+            }
+            if r.is_write {
+                k.writes += 1;
+                k.write_misses += 1;
+                if !wb {
+                    continue;
+                }
+            } else {
+                k.reads += 1;
+                k.read_misses += 1;
+            }
+            self.fill_line_assoc(block, r.is_write && wb);
+        }
+        k.fold_into(&mut self.stats);
     }
 
     /// Brings `block` into the cache (as by a miss fill), returning the
@@ -428,34 +756,42 @@ impl Cache {
     }
 
     fn fill_line(&mut self, block: u64, dirty: bool) -> (u32, Option<u64>) {
-        // Prefer an invalid candidate slot; otherwise let the policy pick
-        // among the candidate lines directly from the metadata arrays.
-        let mut chosen: Option<(u32, u32)> = None;
+        if self.assoc.is_some() {
+            return self.fill_line_assoc(block, dirty);
+        }
+        // One pass over the candidate ways: take the first invalid slot,
+        // otherwise fold the minimum-stamp victim — *with its set* — out
+        // of the same scan, so nothing is re-derived after the choice.
+        // Stamps are unique (one line is stamped per tick), so "first
+        // minimum in way order" is the unique minimum.
+        let mut invalid: Option<(u32, u32)> = None;
+        let mut best = (u64::MAX, 0u32, 0u32);
         for w in 0..self.ways as u32 {
             let set = self.table.set_index(block, w);
-            if self.tags[self.slot(w, set)] == INVALID_TAG {
-                chosen = Some((w, set));
+            let slot = self.slot(w, set);
+            if self.tags[slot] == INVALID_TAG {
+                invalid = Some((w, set));
                 break;
             }
+            let stamp = self.meta[slot] >> META_STAMP_SHIFT;
+            if stamp < best.0 {
+                best = (stamp, w, set);
+            }
         }
-        let ((way, set), evicted) = match chosen {
+        let ((way, set), evicted) = match invalid {
             Some(ws) => (ws, None),
             None => {
-                // Disjoint field borrows: the selector mutates its RNG
-                // stream while the key closure reads the metadata arrays.
-                let (table, last_touch, fill_time, sets) =
-                    (&self.table, &self.last_touch, &self.fill_time, self.sets);
-                let w = self.selector.choose_by(self.ways, |w| {
-                    let set = table.set_index(block, w as u32) as usize;
-                    let slot = w * sets + set;
-                    (last_touch[slot], fill_time[slot])
-                }) as u32;
-                let set = self.table.set_index(block, w);
+                let (w, set) = if self.selector.policy() == ReplacementPolicy::Random {
+                    let w = self.selector.pick_random(self.ways) as u32;
+                    (w, self.table.set_index(block, w))
+                } else {
+                    (best.1, best.2)
+                };
                 let slot = self.slot(w, set);
                 let victim = self.tags[slot];
                 debug_assert_ne!(victim, INVALID_TAG, "victim slot valid");
                 self.stats.evictions += 1;
-                if self.dirty[slot] {
+                if self.meta[slot] & META_DIRTY != 0 {
                     self.stats.writebacks += 1;
                 }
                 ((w, set), Some(victim))
@@ -463,9 +799,37 @@ impl Cache {
         };
         let slot = self.slot(way, set);
         self.tags[slot] = block;
-        self.dirty[slot] = dirty;
-        self.last_touch[slot] = self.clock;
-        self.fill_time[slot] = self.clock;
+        self.meta[slot] = (self.clock << META_STAMP_SHIFT) | u64::from(dirty);
+        (way, evicted)
+    }
+
+    /// [`Cache::fill_line`] through the O(1) engine. Slot numbers equal
+    /// way numbers (one set), and freed slots are reused lowest-first,
+    /// so the slot layout — and therefore every random-replacement
+    /// victim — matches the generic scan exactly.
+    fn fill_line_assoc(&mut self, block: u64, dirty: bool) -> (u32, Option<u64>) {
+        let full = self.assoc.as_ref().expect("assoc engine").is_full();
+        let evicted = if full {
+            let w = match self.selector.policy() {
+                ReplacementPolicy::Random => self.selector.pick_random(self.ways) as u32,
+                _ => self.assoc.as_ref().expect("assoc engine").victim_slot(),
+            };
+            let slot = w as usize;
+            let victim = self.tags[slot];
+            debug_assert_ne!(victim, INVALID_TAG, "victim slot valid");
+            self.stats.evictions += 1;
+            if self.meta[slot] & META_DIRTY != 0 {
+                self.stats.writebacks += 1;
+            }
+            self.assoc.as_mut().expect("assoc engine").remove_slot(w);
+            Some(victim)
+        } else {
+            None
+        };
+        let way = self.assoc.as_mut().expect("assoc engine").insert(block);
+        let slot = way as usize;
+        self.tags[slot] = block;
+        self.meta[slot] = (self.clock << META_STAMP_SHIFT) | u64::from(dirty);
         (way, evicted)
     }
 
@@ -475,10 +839,13 @@ impl Cache {
         if let Some((w, set)) = self.probe_slot(block) {
             let slot = self.slot(w, set);
             self.tags[slot] = INVALID_TAG;
+            if let Some(a) = &mut self.assoc {
+                a.remove_slot(w);
+            }
             self.stats.invalidations += 1;
-            if self.dirty[slot] {
+            if self.meta[slot] & META_DIRTY != 0 {
                 self.stats.writebacks += 1;
-                self.dirty[slot] = false;
+                self.meta[slot] &= !META_DIRTY;
             }
             true
         } else {
@@ -494,6 +861,31 @@ impl Cache {
     /// Iterates over the block addresses of all resident lines.
     pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
         self.tags.iter().copied().filter(|&t| t != INVALID_TAG)
+    }
+}
+
+/// Per-chunk counters the probe kernels accumulate in registers and
+/// fold into [`CacheStats`] once per slice.
+#[derive(Debug, Default, Clone, Copy)]
+struct KernelCounts {
+    reads: u64,
+    writes: u64,
+    read_misses: u64,
+    write_misses: u64,
+}
+
+impl KernelCounts {
+    #[inline]
+    fn fold_into(self, stats: &mut CacheStats) {
+        let accesses = self.reads + self.writes;
+        let misses = self.read_misses + self.write_misses;
+        stats.accesses += accesses;
+        stats.reads += self.reads;
+        stats.writes += self.writes;
+        stats.read_misses += self.read_misses;
+        stats.write_misses += self.write_misses;
+        stats.misses += misses;
+        stats.hits += accesses - misses;
     }
 }
 
@@ -515,9 +907,9 @@ impl MemoryModel for Cache {
     }
 
     fn run_refs(&mut self, refs: &[MemRef]) -> ModelStats {
-        // Reuse the inherent batched loop: one virtual dispatch per
-        // slice, monomorphic accesses inside.
-        ModelStats::single("cache", Cache::run_refs(self, refs.iter().copied()))
+        // One virtual dispatch per slice; the kernel dispatch inside is
+        // monomorphic.
+        ModelStats::single("cache", self.run_refs_slice(refs))
     }
 }
 #[cfg(test)]
@@ -647,6 +1039,7 @@ mod tests {
     fn fully_associative_geometry_works() {
         let geom = CacheGeometry::fully_associative(1024, 32).unwrap();
         let mut c = Cache::build(geom, IndexSpec::modulo()).unwrap();
+        assert!(c.uses_assoc_engine());
         // 32 lines; fill 32 distinct blocks, all resident.
         for i in 0..32u64 {
             c.read(i * 32);
@@ -657,6 +1050,25 @@ mod tests {
         c.read(32 * 32);
         assert!(!c.contains(0));
         assert!(c.contains(32 * 32));
+    }
+
+    #[test]
+    fn fully_associative_lru_tracks_recency_through_the_engine() {
+        let geom = CacheGeometry::fully_associative(256, 32).unwrap(); // 8 lines
+        let mut c = Cache::build(geom, IndexSpec::modulo()).unwrap();
+        for i in 0..8u64 {
+            c.read(i * 32);
+        }
+        c.read(0); // block 0 becomes MRU
+        c.read(8 * 32); // evicts block 1, the LRU
+        assert!(c.contains(0));
+        assert!(!c.contains(32));
+        // Invalidation frees the lowest slot for the next fill.
+        let victim_way = c.probe_block(c.geom.block_addr(2 * 32)).unwrap();
+        assert!(c.invalidate_block(2));
+        let out = c.read(9 * 32);
+        assert_eq!(out.way, Some(victim_way), "freed way reused first");
+        assert_eq!(out.evicted, None, "fill used the invalid slot");
     }
 
     #[test]
@@ -711,15 +1123,19 @@ mod tests {
         }
     }
 
-    #[test]
-    fn run_refs_matches_per_op_loop_exactly() {
-        let refs: Vec<cac_trace::MemRef> = (0..5000u64)
+    fn hashed_refs(n: u64) -> Vec<cac_trace::MemRef> {
+        (0..n)
             .map(|i| cac_trace::MemRef {
                 pc: 0x1000 + i,
                 addr: (i.wrapping_mul(0x9E37_79B9) >> 5) & 0xF_FFFF,
                 is_write: i % 7 == 0,
             })
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn run_refs_matches_per_op_loop_exactly() {
+        let refs = hashed_refs(5000);
         for spec in [
             IndexSpec::modulo(),
             IndexSpec::ipoly_skewed(),
@@ -739,6 +1155,76 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "{spec}");
+        }
+    }
+
+    #[test]
+    fn kernels_match_per_op_loop_across_shapes() {
+        // Every (ways, policy, write-policy) kernel the dispatcher can
+        // pick — plus a non-kernel shape (8 ways) exercising the
+        // fallback — against the per-op access loop.
+        let refs = hashed_refs(6000);
+        for ways in [1u32, 2, 4, 8] {
+            for policy in [
+                ReplacementPolicy::Lru,
+                ReplacementPolicy::Fifo,
+                ReplacementPolicy::Random,
+            ] {
+                for wp in [
+                    WritePolicy::WriteThroughNoAllocate,
+                    WritePolicy::WriteBackAllocate,
+                ] {
+                    let geom = CacheGeometry::new(8 * 1024, 32, ways).unwrap();
+                    let build = || {
+                        Cache::builder(geom)
+                            .index_spec(IndexSpec::ipoly_skewed())
+                            .replacement(policy)
+                            .write_policy(wp)
+                            .build()
+                            .unwrap()
+                    };
+                    let mut batched = build();
+                    let mut manual = build();
+                    let delta = batched.run_refs_slice(&refs);
+                    for r in &refs {
+                        manual.access(r.addr, r.is_write);
+                    }
+                    let tag = format!("{ways} ways, {policy:?}, {wp:?}");
+                    assert_eq!(batched.stats(), manual.stats(), "{tag}");
+                    assert_eq!(delta, manual.stats(), "{tag}");
+                    let mut a: Vec<u64> = batched.resident_blocks().collect();
+                    let mut b: Vec<u64> = manual.resident_blocks().collect();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assoc_engine_matches_per_op_loop() {
+        let refs = hashed_refs(4000);
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let geom = CacheGeometry::fully_associative(8 * 1024, 32).unwrap();
+            let build = || Cache::builder(geom).replacement(policy).build().unwrap();
+            let mut batched = build();
+            let mut manual = build();
+            let delta = batched.run_refs_slice(&refs);
+            for r in &refs {
+                manual.access(r.addr, r.is_write);
+            }
+            assert_eq!(batched.stats(), manual.stats(), "{policy:?}");
+            assert_eq!(delta, manual.stats(), "{policy:?}");
+            let mut a: Vec<u64> = batched.resident_blocks().collect();
+            let mut b: Vec<u64> = manual.resident_blocks().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{policy:?}");
         }
     }
 

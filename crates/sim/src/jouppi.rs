@@ -36,6 +36,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::assoc::VictimQueue;
 use crate::cache::Cache;
 use crate::model::{extra, AccessOutcome, MemoryModel, ModelStats, ServicePoint};
 use crate::stats::CacheStats;
@@ -77,9 +78,15 @@ impl JouppiStats {
 #[derive(Debug)]
 pub struct JouppiCache {
     main: Cache,
-    victim: VecDeque<u64>,
-    victim_capacity: usize,
+    /// O(1)-membership FIFO of evicted blocks.
+    victim: VictimQueue,
     streams: Vec<(VecDeque<u64>, u64, u64)>, // (fifo, next, last_used)
+    /// Flat tag store over the stream heads (`heads[i]` mirrors
+    /// `streams[i].0.front()`): the hit check scans one contiguous
+    /// array instead of chasing a `VecDeque` front per buffer. A plain
+    /// array rather than a hash map because two streams may legally
+    /// converge on the same head block, and the first match must win.
+    heads: Vec<u64>,
     stream_capacity: usize,
     stream_depth: usize,
     clock: u64,
@@ -117,9 +124,9 @@ impl JouppiCache {
         }
         Ok(JouppiCache {
             main: Cache::build(geom, IndexSpec::modulo())?,
-            victim: VecDeque::with_capacity(victim_lines),
-            victim_capacity: victim_lines,
+            victim: VictimQueue::new(victim_lines),
             streams: Vec::with_capacity(stream_buffers),
+            heads: Vec::with_capacity(stream_buffers),
             stream_capacity: stream_buffers,
             stream_depth,
             clock: 0,
@@ -142,8 +149,7 @@ impl JouppiCache {
         }
 
         // Victim buffer: swap the line back into the cache.
-        if let Some(pos) = self.victim.iter().position(|&b| b == block) {
-            self.victim.remove(pos);
+        if self.victim.take(block) {
             let evicted = self.fill(block);
             self.stats.victim_hits += 1;
             return AccessOutcome {
@@ -155,12 +161,8 @@ impl JouppiCache {
             };
         }
 
-        // Stream-buffer heads.
-        if let Some(si) = self
-            .streams
-            .iter()
-            .position(|(fifo, _, _)| fifo.front() == Some(&block))
-        {
+        // Stream-buffer heads: one scan over the flat tag store.
+        if let Some(si) = self.heads.iter().position(|&h| h == block) {
             let (fifo, next, last_used) = &mut self.streams[si];
             fifo.pop_front();
             *last_used = self.clock;
@@ -168,6 +170,7 @@ impl JouppiCache {
                 fifo.push_back(*next);
                 *next += 1;
             }
+            self.heads[si] = *fifo.front().expect("stream topped up");
             let evicted = self.fill(block);
             self.stats.stream_hits += 1;
             return AccessOutcome {
@@ -186,9 +189,11 @@ impl JouppiCache {
         for i in 1..=self.stream_depth as u64 {
             fifo.push_back(block + i);
         }
+        let head = *fifo.front().expect("depth >= 1");
         let fresh = (fifo, block + self.stream_depth as u64 + 1, self.clock);
         if self.streams.len() < self.stream_capacity {
             self.streams.push(fresh);
+            self.heads.push(head);
         } else {
             let lru = self
                 .streams
@@ -198,6 +203,7 @@ impl JouppiCache {
                 .map(|(i, _)| i)
                 .expect("non-empty");
             self.streams[lru] = fresh;
+            self.heads[lru] = head;
         }
         AccessOutcome {
             hit: false,
@@ -213,14 +219,7 @@ impl JouppiCache {
     /// the buffer's far end, if any.
     fn fill(&mut self, block: u64) -> Option<u64> {
         let (_, evicted) = self.main.fill_block(block);
-        let mut dropped = None;
-        if let Some(victim) = evicted {
-            if self.victim.len() == self.victim_capacity {
-                dropped = self.victim.pop_front();
-            }
-            self.victim.push_back(victim);
-        }
-        dropped
+        evicted.and_then(|victim| self.victim.push(victim))
     }
 
     /// Running counters.
@@ -234,6 +233,7 @@ impl JouppiCache {
         self.main.flush();
         self.victim.clear();
         self.streams.clear();
+        self.heads.clear();
         self.clock = 0;
         self.stats = JouppiStats::default();
     }
@@ -276,7 +276,7 @@ impl MemoryModel for JouppiCache {
         format!(
             "Jouppi organization: {} + {}-line victim buffer + {}x{} stream buffers",
             self.main.geometry(),
-            self.victim_capacity,
+            self.victim.capacity(),
             self.stream_capacity,
             self.stream_depth
         )

@@ -60,8 +60,15 @@
 //!   construction — `set_index` is a single table load, with no dynamic
 //!   dispatch on the access path;
 //! * cache lines live in flat way-major struct-of-arrays storage with an
-//!   invalid-tag sentinel, and probes return `(way, set)` so hit and
-//!   fill paths never recompute an index;
+//!   invalid-tag sentinel and one packed metadata word per line, and
+//!   probes return `(way, set)` so hit and fill paths never recompute an
+//!   index;
+//! * one-set (fully-associative) geometries — the paper's reference
+//!   curve, victim buffers, maximal TLBs — probe and pick victims in
+//!   O(1) through [`assoc::AssocIndex`] instead of scanning every way;
+//! * batched replay dispatches each chunk to a probe kernel
+//!   monomorphized for the cache's shape (ways ∈ {1, 2, 4} ×
+//!   replacement policy, plus the fully-associative engine);
 //! * whole traces replay through the batched APIs
 //!   ([`cache::Cache::run_trace`], [`hierarchy::TwoLevelHierarchy::run_trace`]),
 //!   which return per-trace [`CacheStats`] deltas that are byte-identical
@@ -104,6 +111,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assoc;
 pub mod cache;
 pub mod classify;
 pub mod coherence;

@@ -52,6 +52,13 @@ impl Selector {
         self.rng_state = z | 1;
     }
 
+    /// The configured policy (the cache hot paths branch on it once per
+    /// chunk when picking a kernel, and once per fill otherwise).
+    #[inline]
+    pub(crate) fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
     fn next_random(&mut self) -> u64 {
         let mut x = self.rng_state;
         x ^= x << 13;
@@ -59,6 +66,21 @@ impl Selector {
         x ^= x << 17;
         self.rng_state = x;
         x
+    }
+
+    /// The victim index for [`ReplacementPolicy::Random`]: one xorshift
+    /// draw — the same stream, consumed at the same rate, as the
+    /// [`Selector::choose_by`] Random arm, so callers that select LRU and
+    /// FIFO victims elsewhere (stamp scan, intrusive list) replay
+    /// byte-identically to the `choose_by` path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub(crate) fn pick_random(&mut self, n: usize) -> usize {
+        assert!(n != 0, "no replacement candidates");
+        (self.next_random() % n as u64) as usize
     }
 
     /// Picks the victim among candidates described by
@@ -76,12 +98,16 @@ impl Selector {
 
     /// Allocation-free variant of [`Selector::choose`]: `key(i)` yields
     /// the `(last_touch, fill_time)` pair of candidate `i < n`. This is
-    /// the form the simulator hot paths use — the candidate metadata
-    /// lives in the cache's flat arrays and never needs collecting.
+    /// the *reference* victim-selection semantics the tests pin down;
+    /// the simulator hot paths reproduce it without the closure — a
+    /// fused minimum-stamp scan for LRU/FIFO, the intrusive list of
+    /// [`crate::assoc::AssocIndex`] for one-set geometries, and
+    /// [`Selector::pick_random`] (the same RNG stream) for Random.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[cfg(test)]
     pub(crate) fn choose_by<F: FnMut(usize) -> (u64, u64)>(
         &mut self,
         n: usize,
@@ -91,7 +117,7 @@ impl Selector {
         match self.policy {
             ReplacementPolicy::Lru => (0..n).min_by_key(|&i| key(i).0).expect("n >= 1"),
             ReplacementPolicy::Fifo => (0..n).min_by_key(|&i| key(i).1).expect("n >= 1"),
-            ReplacementPolicy::Random => (self.next_random() % n as u64) as usize,
+            ReplacementPolicy::Random => self.pick_random(n),
         }
     }
 }

@@ -73,28 +73,40 @@ pub fn run_cache_chunked<S: ChunkSource>(
 }
 
 /// Streams a **binary** trace through a single-level [`Cache`] on the
-/// memory-reference fast path: records decode straight to `MemRef`s
-/// ([`BinaryTraceReader::for_each_ref`]), skipping the instruction
-/// fields cache-only replay never looks at, with decode and access
-/// **fused in one loop** — no intermediate buffer, and the sequential
-/// varint decode chain of the next record overlaps with the cache
-/// access of the current one in the out-of-order window.
+/// memory-reference fast path: records decode straight to `MemRef`
+/// chunks ([`BinaryTraceReader::read_ref_chunk`]), skipping the
+/// instruction fields cache-only replay never looks at, and each chunk
+/// replays through [`Cache::run_refs_slice`] — one kernel dispatch per
+/// chunk, so the streaming path inherits the same specialized probe
+/// kernels as in-memory replay.
 ///
 /// Counters are identical to [`run_cache`] on the same stream. This is
 /// the path `cac replay` and the `trace_streaming` benchmark use.
 ///
 /// # Errors
 ///
-/// Propagates decode/read errors from the reader. References replayed
+/// Propagates decode/read errors from the reader. References decoded
 /// before the error remain applied (and counted in [`Cache::stats`]).
 pub fn run_cache_refs<R: Read>(
     cache: &mut Cache,
     reader: &mut BinaryTraceReader<R>,
 ) -> Result<CacheStats, BinaryTraceError> {
     let before = cache.stats();
-    reader.for_each_ref(|r| {
-        cache.access(r.addr, r.is_write);
-    })?;
+    let mut buf: Vec<cac_trace::MemRef> = Vec::with_capacity(DEFAULT_CHUNK_OPS);
+    loop {
+        match reader.read_ref_chunk(&mut buf, DEFAULT_CHUNK_OPS) {
+            Ok(0) => break,
+            Ok(_) => {
+                cache.run_refs_slice(&buf);
+            }
+            Err(e) => {
+                // References decoded before the error still replay, as
+                // the fused per-op loop this path replaced did.
+                cache.run_refs_slice(&buf);
+                return Err(e);
+            }
+        }
+    }
     Ok(cache.stats() - before)
 }
 

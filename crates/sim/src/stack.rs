@@ -60,6 +60,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::assoc::VictimQueue;
 use crate::cache::{Cache, CacheBuilder, WritePolicy};
 use crate::model::{extra, AccessOutcome, ComponentStats, MemoryModel, ModelStats, ServicePoint};
 use crate::mshr::MshrFile;
@@ -179,12 +180,10 @@ impl LevelBuilder {
         }
         Ok(Level {
             cache: self.cache.build()?,
-            victim: self.victim_lines.map(|capacity| VictimBuffer {
-                fifo: VecDeque::with_capacity(capacity),
-                capacity,
-            }),
+            victim: self.victim_lines.map(VictimQueue::new),
             streams: self.stream.map(|(buffers, depth)| StreamSet {
                 buffers: Vec::with_capacity(buffers),
+                heads: Vec::with_capacity(buffers),
                 capacity: buffers,
                 depth,
             }),
@@ -193,41 +192,6 @@ impl LevelBuilder {
             victim_hits: 0,
             stream_hits: 0,
         })
-    }
-}
-
-/// Fully-associative LRU FIFO of evicted blocks.
-#[derive(Debug)]
-struct VictimBuffer {
-    fifo: VecDeque<u64>,
-    capacity: usize,
-}
-
-impl VictimBuffer {
-    /// Removes `block` if buffered; `true` on a victim hit.
-    fn take(&mut self, block: u64) -> bool {
-        if let Some(pos) = self.fifo.iter().position(|&b| b == block) {
-            self.fifo.remove(pos);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Buffers an eviction, returning the block pushed out the far end.
-    fn push(&mut self, block: u64) -> Option<u64> {
-        let dropped = if self.fifo.len() == self.capacity {
-            self.fifo.pop_front()
-        } else {
-            None
-        };
-        self.fifo.push_back(block);
-        dropped
-    }
-
-    /// Drops `block` without a hit (Inclusion invalidation from below).
-    fn invalidate(&mut self, block: u64) {
-        self.take(block);
     }
 }
 
@@ -243,6 +207,10 @@ struct StreamFifo {
 #[derive(Debug)]
 struct StreamSet {
     buffers: Vec<StreamFifo>,
+    /// Flat tag store over the buffer heads (`heads[i]` mirrors
+    /// `buffers[i].fifo.front()`): the hit check scans one contiguous
+    /// array, first match wins (two streams may converge on one head).
+    heads: Vec<u64>,
     capacity: usize,
     depth: usize,
 }
@@ -251,11 +219,7 @@ impl StreamSet {
     /// Head-only probe: a hit pops the head, tops the FIFO back up and
     /// refreshes the LRU stamp.
     fn take_head(&mut self, block: u64, clock: u64) -> bool {
-        let Some(bi) = self
-            .buffers
-            .iter()
-            .position(|b| b.fifo.front() == Some(&block))
-        else {
+        let Some(bi) = self.heads.iter().position(|&h| h == block) else {
             return false;
         };
         let b = &mut self.buffers[bi];
@@ -265,6 +229,7 @@ impl StreamSet {
             b.fifo.push_back(b.next);
             b.next += 1;
         }
+        self.heads[bi] = *b.fifo.front().expect("stream topped up");
         true
     }
 
@@ -274,6 +239,7 @@ impl StreamSet {
         for i in 1..=self.depth as u64 {
             fifo.push_back(block + i);
         }
+        let head = *fifo.front().expect("depth >= 1");
         let fresh = StreamFifo {
             fifo,
             next: block + self.depth as u64 + 1,
@@ -281,6 +247,7 @@ impl StreamSet {
         };
         if self.buffers.len() < self.capacity {
             self.buffers.push(fresh);
+            self.heads.push(head);
         } else {
             let lru = self
                 .buffers
@@ -290,6 +257,7 @@ impl StreamSet {
                 .map(|(i, _)| i)
                 .expect("at least one buffer");
             self.buffers[lru] = fresh;
+            self.heads[lru] = head;
         }
     }
 }
@@ -298,7 +266,7 @@ impl StreamSet {
 #[derive(Debug)]
 struct Level {
     cache: Cache,
-    victim: Option<VictimBuffer>,
+    victim: Option<VictimQueue>,
     streams: Option<StreamSet>,
     mshr: Option<MshrFile>,
     miss_penalty: u64,
@@ -442,10 +410,11 @@ impl Hierarchy {
         for level in &mut self.levels {
             level.cache.flush();
             if let Some(v) = &mut level.victim {
-                v.fifo.clear();
+                v.clear();
             }
             if let Some(s) = &mut level.streams {
                 s.buffers.clear();
+                s.heads.clear();
             }
             if let Some(m) = &mut level.mshr {
                 m.reset();
@@ -674,7 +643,7 @@ impl MemoryModel for Hierarchy {
                     l.cache.index_fn().label()
                 );
                 if let Some(v) = &l.victim {
-                    d.push_str(&format!(" +victim[{}]", v.capacity));
+                    d.push_str(&format!(" +victim[{}]", v.capacity()));
                 }
                 if let Some(s) = &l.streams {
                     d.push_str(&format!(" +stream[{}x{}]", s.capacity, s.depth));

@@ -99,6 +99,15 @@ impl StreamStats {
 pub struct StreamBufferCache {
     cache: Cache,
     buffers: Vec<StreamBuffer>,
+    /// Flat tag store over the buffer heads (`heads[i]` mirrors
+    /// `buffers[i].fifo.front()`), so the head-hit check scans one
+    /// contiguous array. A plain array rather than a hash map because
+    /// two streams may legally converge on the same head block, and the
+    /// first match must win.
+    heads: Vec<u64>,
+    /// Configured buffer count (`Vec::capacity` only promises "at
+    /// least", so it cannot serve as the limit).
+    capacity: usize,
     depth: usize,
     clock: u64,
     stats: StreamStats,
@@ -145,6 +154,8 @@ impl StreamBufferCache {
         Ok(StreamBufferCache {
             cache: Cache::build(geom, spec)?,
             buffers: Vec::with_capacity(buffers),
+            heads: Vec::with_capacity(buffers),
+            capacity: buffers,
             depth,
             clock: 0,
             stats: StreamStats::default(),
@@ -153,7 +164,7 @@ impl StreamBufferCache {
 
     /// Maximum number of stream buffers.
     pub fn num_buffers(&self) -> usize {
-        self.buffers.capacity()
+        self.capacity
     }
 
     /// Performs a read. Stores are not modelled: Jouppi's buffers are a
@@ -169,12 +180,8 @@ impl StreamBufferCache {
             return StreamOutcome::CacheHit;
         }
 
-        // Check stream-buffer heads.
-        if let Some(bi) = self
-            .buffers
-            .iter()
-            .position(|b| b.fifo.front() == Some(&block))
-        {
+        // Check stream-buffer heads: one scan over the flat tag store.
+        if let Some(bi) = self.heads.iter().position(|&h| h == block) {
             let buffer = &mut self.buffers[bi];
             buffer.fifo.pop_front();
             buffer.last_used = self.clock;
@@ -183,6 +190,7 @@ impl StreamBufferCache {
                 buffer.fifo.push_back(buffer.next);
                 buffer.next += 1;
             }
+            self.heads[bi] = *buffer.fifo.front().expect("stream topped up");
             self.cache.fill_block(block);
             self.stats.stream_hits += 1;
             return StreamOutcome::StreamHit;
@@ -196,13 +204,15 @@ impl StreamBufferCache {
         for i in 1..=self.depth as u64 {
             fifo.push_back(block + i);
         }
+        let head = *fifo.front().expect("depth >= 1");
         let fresh = StreamBuffer {
             fifo,
             next: block + self.depth as u64 + 1,
             last_used: self.clock,
         };
-        if self.buffers.len() < self.buffers.capacity() {
+        if self.buffers.len() < self.capacity {
             self.buffers.push(fresh);
+            self.heads.push(head);
         } else {
             let lru = self
                 .buffers
@@ -213,6 +223,7 @@ impl StreamBufferCache {
                 .expect("at least one buffer");
             self.stats.flushed_unused += self.buffers[lru].fifo.len() as u64;
             self.buffers[lru] = fresh;
+            self.heads[lru] = head;
         }
         StreamOutcome::Miss
     }
@@ -232,6 +243,7 @@ impl StreamBufferCache {
     pub fn reset(&mut self) {
         self.cache.flush();
         self.buffers.clear();
+        self.heads.clear();
         self.clock = 0;
         self.stats = StreamStats::default();
     }
@@ -282,7 +294,7 @@ impl MemoryModel for StreamBufferCache {
             "{}, {} placement + {}x{} stream buffers",
             self.cache.geometry(),
             self.cache.index_fn().label(),
-            self.buffers.capacity(),
+            self.capacity,
             self.depth
         )
     }

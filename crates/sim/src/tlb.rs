@@ -28,6 +28,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::assoc::AssocIndex;
 use crate::vm::PageMapper;
 use cac_core::Error;
 
@@ -37,6 +38,15 @@ struct TlbEntry {
     vpn: u64,
     frame: u64,
     last_used: u64,
+}
+
+/// O(1) state for the fully-associative (one-set) configuration: the
+/// [`AssocIndex`] maps VPNs to slots and orders them LRU; `frames`
+/// holds the slot-indexed payload.
+#[derive(Debug)]
+struct AssocTlb {
+    index: AssocIndex,
+    frames: Vec<u64>,
 }
 
 /// Statistics kept by a [`Tlb`].
@@ -62,9 +72,16 @@ impl TlbStats {
 }
 
 /// A set-associative TLB with true-LRU replacement.
+///
+/// The fully-associative configuration (`ways == entries`, §3.1's
+/// worst case for lookup cost) runs on the O(1)
+/// [`AssocIndex`] engine instead of scanning the
+/// single set, with identical hit/miss/eviction behaviour.
 #[derive(Debug)]
 pub struct Tlb {
     sets: Vec<Vec<TlbEntry>>,
+    /// O(1) probe/LRU engine, present exactly when there is one set.
+    assoc: Option<AssocTlb>,
     ways: u32,
     page_bits: u32,
     miss_penalty: u32,
@@ -111,6 +128,10 @@ impl Tlb {
         let num_sets = (entries / ways) as usize;
         Ok(Tlb {
             sets: vec![Vec::with_capacity(ways as usize); num_sets],
+            assoc: (num_sets == 1).then(|| AssocTlb {
+                index: AssocIndex::new(ways as usize),
+                frames: vec![0; ways as usize],
+            }),
             ways,
             page_bits: page_size.trailing_zeros(),
             miss_penalty,
@@ -136,6 +157,22 @@ impl Tlb {
         self.stats.accesses += 1;
         let vpn = va >> self.page_bits;
         let offset = va & (self.page_size() - 1);
+        if let Some(fa) = &mut self.assoc {
+            // Fully-associative fast path: O(1) probe and LRU update.
+            if let Some(slot) = fa.index.get(vpn) {
+                fa.index.touch(slot);
+                return ((fa.frames[slot as usize] << self.page_bits) | offset, true);
+            }
+            self.stats.misses += 1;
+            let pa = mapper.translate(va);
+            if fa.index.is_full() {
+                fa.index.remove_slot(fa.index.victim_slot());
+                self.stats.evictions += 1;
+            }
+            let slot = fa.index.insert(vpn);
+            fa.frames[slot as usize] = pa >> self.page_bits;
+            return (pa, false);
+        }
         let set_idx = (vpn % self.sets.len() as u64) as usize;
         let clock = self.clock;
 
@@ -181,6 +218,9 @@ impl Tlb {
     pub fn flush(&mut self) {
         for set in &mut self.sets {
             set.clear();
+        }
+        if let Some(fa) = &mut self.assoc {
+            fa.index.clear();
         }
     }
 
@@ -275,6 +315,47 @@ mod tests {
         let t = tlb();
         assert_eq!(t.latency(true), 0);
         assert_eq!(t.latency(false), 30);
+    }
+
+    /// The O(1) fully-associative path against a naive LRU vector: same
+    /// hits, same translations, same eviction count.
+    #[test]
+    fn fully_associative_engine_matches_naive_lru() {
+        let entries = 16usize;
+        let mut t = Tlb::new(entries as u32, entries as u32, 4096, 30).unwrap();
+        let mut m = PageMapper::randomized(4096, 1 << 26, 11);
+        let mut shadow = PageMapper::randomized(4096, 1 << 26, 11);
+        let mut naive: Vec<u64> = Vec::new(); // VPNs, oldest first
+        let mut evictions = 0u64;
+        let mut x = 0x2468_ace0u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let va = x % (1 << 19); // 128 pages: thrashes 16 entries
+            let vpn = va >> 12;
+            let expect_hit = if let Some(p) = naive.iter().position(|&v| v == vpn) {
+                naive.remove(p);
+                naive.push(vpn);
+                true
+            } else {
+                if naive.len() == entries {
+                    naive.remove(0);
+                    evictions += 1;
+                }
+                naive.push(vpn);
+                false
+            };
+            let (pa, hit) = t.translate(va, &mut m);
+            assert_eq!(hit, expect_hit, "va {va:#x}");
+            assert_eq!(pa, shadow.translate(va));
+        }
+        assert_eq!(t.stats().evictions, evictions);
+        assert!(t.stats().misses > 0 && t.stats().misses < t.stats().accesses);
+        // flush() clears the engine too.
+        t.flush();
+        let (_, hit) = t.translate(0, &mut m);
+        assert!(!hit);
     }
 
     #[test]

@@ -5,12 +5,12 @@
 //! I-Poly study compared against; this implementation lets the harness
 //! reproduce that comparison.
 
+use crate::assoc::VictimQueue;
 use crate::cache::Cache;
 use crate::model::{extra, AccessOutcome, MemoryModel, ModelStats, ServicePoint};
 use crate::stats::CacheStats;
 use cac_core::{CacheGeometry, Error, IndexSpec};
 use cac_trace::MemRef;
-use std::collections::VecDeque;
 
 /// A main cache plus a small fully-associative LRU victim buffer.
 ///
@@ -37,9 +37,8 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct VictimCache {
     main: Cache,
-    /// LRU queue of victim block addresses, most recent at the back.
-    buffer: VecDeque<u64>,
-    buffer_capacity: usize,
+    /// The fully-associative buffer: a FIFO set with O(1) membership.
+    buffer: VictimQueue,
     stats: VictimStats,
 }
 
@@ -105,8 +104,7 @@ impl VictimCache {
         }
         Ok(VictimCache {
             main: Cache::build(geom, IndexSpec::modulo())?,
-            buffer: VecDeque::with_capacity(victim_lines),
-            buffer_capacity: victim_lines,
+            buffer: VictimQueue::new(victim_lines),
             stats: VictimStats::default(),
         })
     }
@@ -127,14 +125,9 @@ impl VictimCache {
         }
         // Miss: probe the victim buffer (a hit there means the fill that
         // just happened was the swap-back) and catch the displaced line.
-        let victim_hit = if let Some(pos) = self.buffer.iter().position(|&b| b == block) {
-            self.buffer.remove(pos);
-            true
-        } else {
-            false
-        };
+        let victim_hit = self.buffer.take(block);
         if let Some(evicted) = access.evicted {
-            self.push_victim(evicted);
+            self.buffer.push(evicted);
         }
         if victim_hit {
             self.stats.victim_hits += 1;
@@ -155,13 +148,6 @@ impl VictimCache {
     /// Counters of the underlying main cache.
     pub fn main_stats(&self) -> CacheStats {
         self.main.stats()
-    }
-
-    fn push_victim(&mut self, block: u64) {
-        if self.buffer.len() == self.buffer_capacity {
-            self.buffer.pop_front();
-        }
-        self.buffer.push_back(block);
     }
 
     /// Invalidates all contents (cache and buffer) and clears counters.
@@ -218,7 +204,7 @@ impl MemoryModel for VictimCache {
         format!(
             "victim cache: {} + {}-line fully-associative buffer",
             self.main.geometry(),
-            self.buffer_capacity
+            self.buffer.capacity()
         )
     }
 }

@@ -7,7 +7,7 @@
 //! mapping (demand-paged style), which is what makes L1 and L2 indices
 //! effectively uncorrelated in the hole experiments.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Minimum page size the paper's discussion assumes (§3.1: "Typical
 /// operating systems permit pages to be as small as 4Kbytes").
@@ -29,8 +29,8 @@ pub enum PageMapper {
         rng_state: u64,
         /// Number of physical frames available.
         frames: u64,
-        /// Frames already handed out (frame → taken).
-        used: HashMap<u64, bool>,
+        /// Frames already handed out.
+        used: HashSet<u64>,
     },
     /// Many-to-one mapping: virtual page `v` maps to frame `v mod frames`.
     /// Distinct virtual pages deliberately share physical frames, creating
@@ -70,7 +70,7 @@ impl PageMapper {
             mappings: HashMap::new(),
             rng_state: seed | 1,
             frames: memory_bytes / page_size,
-            used: HashMap::new(),
+            used: HashSet::new(),
         }
     }
 
@@ -126,7 +126,7 @@ impl PageMapper {
                         x ^= x << 17;
                         *rng_state = x;
                         let candidate = x % *frames;
-                        if used.insert(candidate, true).is_none() {
+                        if used.insert(candidate) {
                             break candidate;
                         }
                     }

@@ -1,0 +1,377 @@
+//! Oracle equivalence: a deliberately naive reference cache against the
+//! production [`Cache`] on randomized mixed read/write traces.
+//!
+//! The production cache is aggressively specialized — LUT-compiled
+//! placement, packed metadata words, monomorphized probe kernels, and an
+//! O(1) engine for one-set geometries. This suite re-implements the
+//! *semantics* from first principles with none of those tricks
+//! (`Vec<Option<Line>>` storage, per-probe `IndexFunction` calls, victim
+//! selection by scanning, an independently-implemented copy of the
+//! replacement RNG) and checks both the per-op path and the batched
+//! kernel path against it, per access, across every replacement ×
+//! write-policy combination.
+
+use cac_core::{CacheGeometry, IndexFunction, IndexSpec};
+use cac_sim::cache::{Cache, WritePolicy};
+use cac_sim::replacement::ReplacementPolicy;
+use cac_sim::stats::CacheStats;
+use cac_trace::MemRef;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The seed `Cache::builder` uses by default; the oracle's RNG copy
+/// must start from the same stream.
+const DEFAULT_SEED: u64 = 0x5eed_cace;
+
+/// One resident line of the naive model.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    last_touch: u64,
+    fill_time: u64,
+}
+
+/// A naive reference cache: way-major `Vec<Option<Line>>`, per-probe
+/// index-function calls, victim selection by scanning all candidates.
+struct Oracle {
+    geom: CacheGeometry,
+    index: Arc<dyn IndexFunction>,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Option<Line>>,
+    policy: ReplacementPolicy,
+    write_policy: WritePolicy,
+    rng_state: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// What one access did, in the shape of the fields of
+/// [`cac_sim::model::AccessOutcome`] the oracle can predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outcome {
+    hit: bool,
+    way: Option<u32>,
+    evicted: Option<u64>,
+    filled: bool,
+}
+
+impl Oracle {
+    fn new(
+        geom: CacheGeometry,
+        spec: IndexSpec,
+        policy: ReplacementPolicy,
+        write_policy: WritePolicy,
+    ) -> Self {
+        let sets = geom.num_sets() as usize;
+        let ways = geom.ways() as usize;
+        // An independent copy of the documented selector seeding:
+        // splitmix64 scramble of the seed, low bit forced to one.
+        let mut z = DEFAULT_SEED.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Oracle {
+            geom,
+            index: spec.build(geom).expect("valid spec"),
+            sets,
+            ways,
+            lines: vec![None; sets * ways],
+            policy,
+            write_policy,
+            rng_state: z | 1,
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn next_random(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    fn slot(&self, way: usize, set: u32) -> usize {
+        way * self.sets + set as usize
+    }
+
+    fn access(&mut self, addr: u64, is_write: bool) -> Outcome {
+        let block = self.geom.block_addr(addr);
+        self.clock += 1;
+        // Probe every way in order with the raw index function.
+        for w in 0..self.ways {
+            let set = self.index.set_index(block, w as u32);
+            let slot = self.slot(w, set);
+            if let Some(line) = &mut self.lines[slot] {
+                if line.tag == block {
+                    line.last_touch = self.clock;
+                    if is_write && self.write_policy == WritePolicy::WriteBackAllocate {
+                        line.dirty = true;
+                    }
+                    if is_write {
+                        self.stats.record_write(true);
+                    } else {
+                        self.stats.record_read(true);
+                    }
+                    return Outcome {
+                        hit: true,
+                        way: Some(w as u32),
+                        evicted: None,
+                        filled: false,
+                    };
+                }
+            }
+        }
+        // Miss.
+        if is_write {
+            self.stats.record_write(false);
+        } else {
+            self.stats.record_read(false);
+        }
+        let wb = self.write_policy == WritePolicy::WriteBackAllocate;
+        if is_write && !wb {
+            return Outcome {
+                hit: false,
+                way: None,
+                evicted: None,
+                filled: false,
+            };
+        }
+        // Fill: first invalid way, else the policy's victim.
+        let mut target: Option<usize> = None;
+        for w in 0..self.ways {
+            let set = self.index.set_index(block, w as u32);
+            if self.lines[self.slot(w, set)].is_none() {
+                target = Some(w);
+                break;
+            }
+        }
+        let mut evicted = None;
+        let way = match target {
+            Some(w) => w,
+            None => {
+                let w = match self.policy {
+                    ReplacementPolicy::Lru => (0..self.ways)
+                        .min_by_key(|&w| {
+                            let set = self.index.set_index(block, w as u32);
+                            self.lines[self.slot(w, set)].expect("valid").last_touch
+                        })
+                        .expect("ways >= 1"),
+                    ReplacementPolicy::Fifo => (0..self.ways)
+                        .min_by_key(|&w| {
+                            let set = self.index.set_index(block, w as u32);
+                            self.lines[self.slot(w, set)].expect("valid").fill_time
+                        })
+                        .expect("ways >= 1"),
+                    ReplacementPolicy::Random => (self.next_random() % self.ways as u64) as usize,
+                    other => unreachable!("policy {other:?} not modelled"),
+                };
+                let set = self.index.set_index(block, w as u32);
+                let victim = self.lines[self.slot(w, set)].expect("valid");
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                }
+                evicted = Some(victim.tag);
+                w
+            }
+        };
+        let set = self.index.set_index(block, way as u32);
+        let slot = self.slot(way, set);
+        self.lines[slot] = Some(Line {
+            tag: block,
+            dirty: is_write && wb,
+            last_touch: self.clock,
+            fill_time: self.clock,
+        });
+        Outcome {
+            hit: false,
+            way: Some(way as u32),
+            evicted,
+            filled: true,
+        }
+    }
+
+    fn resident(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.lines.iter().flatten().map(|l| l.tag).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+fn policies() -> [ReplacementPolicy; 3] {
+    [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ]
+}
+
+fn write_policies() -> [WritePolicy; 2] {
+    [
+        WritePolicy::WriteThroughNoAllocate,
+        WritePolicy::WriteBackAllocate,
+    ]
+}
+
+/// Replays `refs` against the oracle, a per-op `Cache` and a batched
+/// (kernel-path) `Cache`, checking per-access outcomes, final counters
+/// and final contents.
+fn check_equivalence(
+    geom: CacheGeometry,
+    spec: IndexSpec,
+    policy: ReplacementPolicy,
+    wp: WritePolicy,
+    refs: &[MemRef],
+) -> Result<(), TestCaseError> {
+    let build = || {
+        Cache::builder(geom)
+            .index_spec(spec.clone())
+            .replacement(policy)
+            .write_policy(wp)
+            .build()
+            .expect("valid cache")
+    };
+    let mut oracle = Oracle::new(geom, spec.clone(), policy, wp);
+    let mut per_op = build();
+    let mut batched = build();
+    for (i, r) in refs.iter().enumerate() {
+        let want = oracle.access(r.addr, r.is_write);
+        let got = per_op.access(r.addr, r.is_write);
+        let got = Outcome {
+            hit: got.hit,
+            way: got.way,
+            evicted: got.evicted,
+            filled: got.filled,
+        };
+        prop_assert_eq!(
+            got,
+            want,
+            "ref {} ({:#x} {}) under {:?}/{:?}/{}",
+            i,
+            r.addr,
+            if r.is_write { "W" } else { "R" },
+            policy,
+            wp,
+            spec
+        );
+    }
+    let delta = batched.run_refs_slice(refs);
+    prop_assert_eq!(per_op.stats(), oracle.stats);
+    prop_assert_eq!(delta, oracle.stats);
+    let mut got: Vec<u64> = per_op.resident_blocks().collect();
+    got.sort_unstable();
+    prop_assert_eq!(got, oracle.resident());
+    let mut got: Vec<u64> = batched.resident_blocks().collect();
+    got.sort_unstable();
+    prop_assert_eq!(got, oracle.resident());
+    Ok(())
+}
+
+/// Address/op mix: a handful of hot sets plus a wide tail, so traces
+/// exercise hits, conflicts and evictions at every geometry.
+fn trace(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
+    proptest::collection::vec((0u32..1 << 18, 0u32..8), len..len + 1).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(a, w)| MemRef {
+                pc: 0,
+                addr: u64::from(a) & !3,
+                is_write: w == 0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Set-associative shapes (kernel ways 1/2/4 plus the 8-way
+    /// fallback), conventional and skewed placements, all replacement ×
+    /// write policies.
+    #[test]
+    fn set_associative_matches_oracle(
+        refs in trace(400),
+        way_sel in 0usize..4,
+        spec_sel in 0usize..3,
+        cap_bits in 10u32..13,
+    ) {
+        let ways = [1u32, 2, 4, 8][way_sel];
+        let spec = [IndexSpec::modulo(), IndexSpec::ipoly_skewed(), IndexSpec::xor_skewed()]
+            [spec_sel].clone();
+        let geom = CacheGeometry::new(1u64 << cap_bits, 32, ways).unwrap();
+        for policy in policies() {
+            for wp in write_policies() {
+                check_equivalence(geom, spec.clone(), policy, wp, &refs)?;
+            }
+        }
+    }
+
+    /// Fully-associative geometries: the O(1) engine (hash probes,
+    /// intrusive LRU/FIFO list, lowest-free-slot reuse) against the
+    /// naive scan, all replacement × write policies.
+    #[test]
+    fn fully_associative_matches_oracle(
+        refs in trace(400),
+        cap_bits in 9u32..13,
+    ) {
+        let geom = CacheGeometry::fully_associative(1u64 << cap_bits, 32).unwrap();
+        for policy in policies() {
+            for wp in write_policies() {
+                check_equivalence(geom, IndexSpec::modulo(), policy, wp, &refs)?;
+            }
+        }
+    }
+
+    /// Interleaving invalidations with accesses keeps all three in
+    /// lockstep (exercises the engine's free-slot heap and the packed
+    /// dirty bit on externally removed lines).
+    #[test]
+    fn invalidations_stay_in_lockstep(
+        refs in trace(300),
+        fully in 0usize..2,
+    ) {
+        let geom = if fully == 1 {
+            CacheGeometry::fully_associative(1 << 10, 32).unwrap()
+        } else {
+            CacheGeometry::new(1 << 10, 32, 2).unwrap()
+        };
+        let mut oracle = Oracle::new(
+            geom, IndexSpec::modulo(), ReplacementPolicy::Lru, WritePolicy::WriteBackAllocate);
+        let mut cache = Cache::builder(geom)
+            .write_policy(WritePolicy::WriteBackAllocate)
+            .build()
+            .unwrap();
+        for (i, r) in refs.iter().enumerate() {
+            oracle.access(r.addr, r.is_write);
+            cache.access(r.addr, r.is_write);
+            if i % 7 == 0 {
+                // Invalidate the block of the previous reference.
+                let block = geom.block_addr(refs[i.saturating_sub(1)].addr);
+                let removed = cache.invalidate_block(block);
+                let mut oracle_removed = false;
+                for w in 0..oracle.ways {
+                    let set = oracle.index.set_index(block, w as u32);
+                    let slot = oracle.slot(w, set);
+                    if oracle.lines[slot].map(|l| l.tag) == Some(block) {
+                        let line = oracle.lines[slot].take().expect("checked");
+                        oracle.stats.invalidations += 1;
+                        if line.dirty {
+                            oracle.stats.writebacks += 1;
+                        }
+                        oracle_removed = true;
+                        break;
+                    }
+                }
+                prop_assert_eq!(removed, oracle_removed, "ref {}", i);
+            }
+        }
+        prop_assert_eq!(cache.stats(), oracle.stats);
+        let mut got: Vec<u64> = cache.resident_blocks().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, oracle.resident());
+    }
+}

@@ -701,12 +701,13 @@ impl<R: Read> BinaryTraceReader<R> {
     /// Decodes the rest of the stream, invoking `f` on every memory
     /// reference, and returns the number of records consumed.
     ///
-    /// This is the fastest replay shape (`cac_sim::replay::run_cache_refs`
-    /// uses it): decode and consumer run fused in one loop, so the
-    /// sequential varint decode chain of the next record overlaps with
-    /// the consumer's work for the current one instead of serialising
-    /// chunk-by-chunk, and no intermediate buffer is materialised at
-    /// all.
+    /// Decode and consumer run fused in one loop with no intermediate
+    /// buffer — the right shape when the consumer is a genuinely
+    /// per-reference closure. Batched replay consumers should prefer
+    /// [`read_ref_chunk`](BinaryTraceReader::read_ref_chunk) instead:
+    /// `cac_sim::replay::run_cache_refs` decodes chunks through it so
+    /// each chunk replays on the simulator's specialized probe kernels,
+    /// which outruns the fused per-op loop.
     ///
     /// # Errors
     ///

@@ -272,6 +272,15 @@ fn bench_trace_streaming(c: &mut Criterion) {
             black_box(n)
         })
     });
+    // The fault-tolerance bar: on clean input, lenient decode must stay
+    // within 10% of the strict streaming path above.
+    group.bench_function("binary_stream_lenient", |b| {
+        let mut cache = Cache::build(geom, IndexSpec::ipoly_skewed()).unwrap();
+        b.iter(|| {
+            let mut reader = BinaryTraceReader::new_lenient(black_box(&bytes[..])).unwrap();
+            black_box(run_cache_refs(&mut cache, &mut reader).unwrap())
+        })
+    });
     group.finish();
 }
 

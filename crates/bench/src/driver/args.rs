@@ -55,12 +55,14 @@ pub struct ExpArgs {
 impl ExpArgs {
     /// Builds from raw CLI words against the declared specs, accepting
     /// `--name value`, `--name=value`, and bare positional values (bound
-    /// to the specs in declaration order).
+    /// to the specs in declaration order). A parameter whose default is
+    /// `"true"`/`"false"` is a boolean flag and may stand alone
+    /// (`--verify` means `--verify true`).
     ///
     /// # Errors
     ///
     /// [`DriverError::Usage`] on unknown flags, repeated or surplus
-    /// values, or a flag without a value.
+    /// values, or a non-boolean flag without a value.
     pub fn parse(specs: &'static [ParamSpec], words: &[String]) -> Result<Self, DriverError> {
         let mut args = ExpArgs::default();
         for spec in specs {
@@ -73,14 +75,8 @@ impl ExpArgs {
             let w = &words[i];
             if let Some(flag) = w.strip_prefix("--") {
                 let (name, value) = match flag.split_once('=') {
-                    Some((n, v)) => (n, v.to_owned()),
-                    None => {
-                        let v = words.get(i + 1).ok_or_else(|| {
-                            DriverError::Usage(format!("flag --{flag} needs a value"))
-                        })?;
-                        i += 1;
-                        (flag, v.clone())
-                    }
+                    Some((n, v)) => (n, Some(v.to_owned())),
+                    None => (flag, words.get(i + 1).cloned()),
                 };
                 let spec = specs.iter().find(|s| s.name == name).ok_or_else(|| {
                     DriverError::Usage(format!(
@@ -92,6 +88,27 @@ impl ExpArgs {
                             .join(" ")
                     ))
                 })?;
+                let boolean = matches!(spec.default, "true" | "false");
+                let value = match value {
+                    // A boolean flag may stand alone (`--verify`); the
+                    // next word is only its value when it isn't a flag.
+                    Some(v) if boolean && !flag.contains('=') => {
+                        if v.starts_with("--") {
+                            "true".to_owned()
+                        } else {
+                            i += 1;
+                            v
+                        }
+                    }
+                    Some(v) => {
+                        if !flag.contains('=') {
+                            i += 1;
+                        }
+                        v
+                    }
+                    None if boolean => "true".to_owned(),
+                    None => return Err(DriverError::Usage(format!("flag --{flag} needs a value"))),
+                };
                 if explicit.contains(&spec.name) {
                     return Err(DriverError::Usage(format!("--{name} given twice")));
                 }
@@ -248,6 +265,34 @@ mod tests {
         // Without a variadic spec, surplus positionals stay an error.
         assert!(matches!(
             ExpArgs::parse(SPECS, &words(&["1", "2", "3", "4"])),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_flags_stand_alone() {
+        const B: &[ParamSpec] = &[
+            param("input", "", "file"),
+            param("verify", "false", "audit"),
+            param("format", "text", "renderer"),
+        ];
+        // Bare at the end, bare before another flag, and explicit forms.
+        for ws in [
+            vec!["t.bin", "--verify"],
+            vec!["t.bin", "--verify", "--format", "text"],
+            vec!["t.bin", "--verify=true"],
+            vec!["t.bin", "--verify", "true"],
+        ] {
+            let a = ExpArgs::parse(B, &words(&ws)).unwrap();
+            assert_eq!(a.str("verify"), "true", "{ws:?}");
+            assert_eq!(a.str("input"), "t.bin", "{ws:?}");
+            assert_eq!(a.str("format"), "text", "{ws:?}");
+        }
+        let a = ExpArgs::parse(B, &words(&["t.bin", "--verify", "false"])).unwrap();
+        assert_eq!(a.str("verify"), "false");
+        // Non-boolean flags still require a value.
+        assert!(matches!(
+            ExpArgs::parse(B, &words(&["--format"])),
             Err(DriverError::Usage(_))
         ));
     }

@@ -7,16 +7,26 @@
 //! organization of the paper's comparison matrix ships as a config
 //! under `examples/*.toml`; `cac config validate` keeps those files
 //! building (CI runs it, so a shipped config can never rot).
+//!
+//! `--config` also takes a comma-separated *grid* of configs. Grid runs
+//! are fault tolerant: each cell replays under panic isolation (a
+//! poisoned config degrades to a `failed` row without touching its
+//! siblings), and `--checkpoint <journal>` persists completed cells so
+//! a killed run resumes computing only what is missing — the resumed
+//! report is byte-identical to an uninterrupted one.
 
 use super::common::parse_benchmark;
 use super::tools::AnySource;
 use crate::driver::args::ExpArgs;
 use crate::driver::report::{Report, Table, Value};
 use crate::driver::DriverError;
+use cac_sim::journal::{fingerprint, Journal};
 use cac_sim::model::ModelStats;
+use cac_sim::sweep::{ModelOutcome, Sweep};
 use cac_sim::SimConfig;
-use cac_trace::io::ChunkSource;
+use cac_trace::io::{ChunkSource, IterRefSource};
 use cac_trace::{MemRef, TraceOp};
+use std::path::Path;
 use std::time::Instant;
 
 /// Renders a [`ModelStats`] into report tables: the demand stream, the
@@ -79,14 +89,32 @@ fn stats_tables(stats: &ModelStats) -> Vec<Table> {
 }
 
 pub(super) fn run(a: &ExpArgs) -> Result<Report, DriverError> {
-    let path = a.str("config");
-    if path.is_empty() {
+    let raw = a.str("config");
+    if raw.is_empty() {
         return Err(DriverError::Usage(
             "--config is required (a TOML model description; see examples/*.toml)".into(),
         ));
     }
+    let paths: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if paths.is_empty() {
+        return Err(DriverError::Usage("--config names no files".into()));
+    }
+    // A single config without a checkpoint keeps the classic detailed
+    // report; grids and checkpointed runs get the cell-oriented one.
+    if paths.len() > 1 || a.is_set("checkpoint") {
+        return run_grid(a, &paths);
+    }
+    run_single(a, &paths[0])
+}
+
+fn run_single(a: &ExpArgs, path: &str) -> Result<Report, DriverError> {
     let chunk = a.usize("chunk")?.max(1);
-    let cfg = SimConfig::load(path)?;
+    let cfg = SimConfig::load(path).map_err(|e| DriverError::Input(e.to_string()))?;
     let mut model = cfg.build()?;
 
     let trace = a.str("trace").to_owned();
@@ -136,6 +164,176 @@ pub(super) fn run(a: &ExpArgs) -> Result<Report, DriverError> {
         stats.demand.accesses,
         elapsed.as_secs_f64() * 1e3
     )))
+}
+
+/// One grid cell's result: computed, restored from the journal, or
+/// failed (config rot or a panic mid-replay).
+enum Cell {
+    Done(ModelStats),
+    Failed(String),
+}
+
+/// Replays one freshly built model under panic isolation and returns
+/// its outcome.
+fn replay_cell(
+    a: &ExpArgs,
+    trace: &str,
+    chunk: usize,
+    model: Box<dyn cac_sim::model::MemoryModel>,
+) -> Result<ModelOutcome, DriverError> {
+    let mut models = vec![model];
+    let engine = Sweep::new().workers(1).chunk_ops(chunk);
+    let mut outcomes = if trace.is_empty() {
+        let bench = parse_benchmark(a.str("bench"))?;
+        let ops = a.usize("ops")?;
+        let seed = a.u64("seed")?;
+        let gen = bench
+            .generator(seed)
+            .take(ops)
+            .filter_map(|op| op.mem_ref());
+        engine
+            .run_source_isolated(&mut models, IterRefSource::new(gen))
+            .unwrap_or_else(|e| match e {})
+    } else {
+        let source = AnySource::open(trace)?;
+        engine.run_source_isolated(&mut models, source)?
+    };
+    Ok(outcomes.remove(0))
+}
+
+/// The fault-tolerant, checkpointable config-grid path of `cac run`.
+///
+/// Every cell is keyed `<config-path>@<config-content-hash>` so editing
+/// a config invalidates exactly that cell, and the journal is bound to
+/// a workload fingerprint so resuming against a different trace or
+/// synthetic workload is refused. The report deliberately contains no
+/// timing: a resumed run must render byte-identically to an
+/// uninterrupted one.
+fn run_grid(a: &ExpArgs, paths: &[String]) -> Result<Report, DriverError> {
+    let chunk = a.usize("chunk")?.max(1);
+    let trace = a.str("trace").to_owned();
+    let workload = if trace.is_empty() {
+        let bench = parse_benchmark(a.str("bench"))?;
+        format!(
+            "{} x{} (seed {})",
+            bench.name(),
+            a.usize("ops")?,
+            a.u64("seed")?
+        )
+    } else {
+        trace.clone()
+    };
+    let fp = fingerprint(&["cac run", &workload]);
+    let checkpoint = a.str("checkpoint").to_owned();
+    let mut journal = if checkpoint.is_empty() {
+        None
+    } else {
+        Some(
+            Journal::load(Path::new(&checkpoint), fp)
+                .map_err(|e| DriverError::Input(e.to_string()))?,
+        )
+    };
+
+    let mut cells: Vec<(String, Cell)> = Vec::new();
+    for path in paths {
+        // The cell key hashes the config *content*, so an edited config
+        // recomputes while untouched siblings restore from the journal.
+        let key = match std::fs::read(path) {
+            Ok(bytes) => {
+                let hex: String = format!("{:016x}", fingerprint_bytes(&bytes));
+                format!("{path}@{hex}")
+            }
+            Err(e) => {
+                cells.push((
+                    path.clone(),
+                    Cell::Failed(format!("cannot read config: {e}")),
+                ));
+                continue;
+            }
+        };
+        if let Some(stats) = journal.as_ref().and_then(|j| j.get(&key)) {
+            cells.push((path.clone(), Cell::Done(stats.clone())));
+            continue;
+        }
+        let model = match SimConfig::load(path).and_then(|c| c.build()) {
+            Ok(m) => m,
+            Err(e) => {
+                cells.push((path.clone(), Cell::Failed(e.to_string())));
+                continue;
+            }
+        };
+        match replay_cell(a, &trace, chunk, model)? {
+            ModelOutcome::Completed(stats) => {
+                if let Some(j) = journal.as_mut() {
+                    j.record(&key, &stats);
+                    j.save(Path::new(&checkpoint))
+                        .map_err(|e| DriverError::Input(e.to_string()))?;
+                }
+                cells.push((path.clone(), Cell::Done(stats)));
+            }
+            ModelOutcome::Failed { reason } => {
+                cells.push((path.clone(), Cell::Failed(reason)));
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "config grid",
+        &["config", "status", "accesses", "misses", "miss%", "detail"],
+    );
+    let mut failures = 0u64;
+    for (path, cell) in &cells {
+        match cell {
+            Cell::Done(stats) => {
+                let d = stats.demand;
+                table.push_row(vec![
+                    Value::s(path.clone()),
+                    Value::s("ok"),
+                    Value::u(d.accesses),
+                    Value::u(d.misses),
+                    Value::f(d.miss_ratio() * 100.0, 3),
+                    Value::s(""),
+                ]);
+            }
+            Cell::Failed(reason) => {
+                failures += 1;
+                table.push_row(vec![
+                    Value::s(path.clone()),
+                    Value::s("FAILED"),
+                    Value::u(0),
+                    Value::u(0),
+                    Value::f(0.0, 3),
+                    Value::s(reason.clone()),
+                ]);
+            }
+        }
+    }
+    // Note no checkpoint-path echo and no timing: the report of a
+    // resumed run must be byte-identical to an uninterrupted one,
+    // whatever journal file carried it there.
+    let mut report = Report::new(format!("run: {} config(s) against {workload}", paths.len()))
+        .param("config", a.str("config"))
+        .param("workload", &workload)
+        .table(table)
+        .flag_failures(failures);
+    if failures > 0 {
+        report = report.note(format!(
+            "{failures} of {} cell(s) failed; their rows carry the reason and \
+             the healthy cells are unaffected",
+            paths.len()
+        ));
+    }
+    Ok(report)
+}
+
+/// FNV-1a over raw bytes, for config-content cell keys.
+fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 pub(super) fn validate(a: &ExpArgs) -> Result<Report, DriverError> {

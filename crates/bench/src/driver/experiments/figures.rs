@@ -20,10 +20,12 @@ use crate::driver::DriverError;
 use crate::parallel::par_map_blocked;
 use cac_core::{CacheGeometry, IndexSpec};
 use cac_sim::cache::Cache;
+use cac_sim::journal::{fingerprint, Journal};
 use cac_sim::model::MemoryModel;
 use cac_sim::sweep::Sweep;
 use cac_trace::stride::VectorStride;
 use cac_trace::MemRef;
+use std::path::Path;
 
 /// Runs a stride sweep through the decode-once engine: strides are
 /// fanned out across the machine in blocks; each block builds its
@@ -62,6 +64,81 @@ fn stride_sweep(
             })
             .collect()
     })
+}
+
+/// Checkpoint-aware variant of [`stride_sweep`]: strides run
+/// sequentially, each (stride, scheme) cell's stats are journaled, and
+/// a resumed run replays only the missing cells. Deterministic replay
+/// makes the resumed output byte-identical to an uninterrupted run.
+fn stride_sweep_checkpointed(
+    geom: CacheGeometry,
+    schemes: &[IndexSpec],
+    max_stride: u64,
+    passes: u64,
+    checkpoint: &str,
+) -> Result<Vec<Vec<f64>>, DriverError> {
+    let fp = fingerprint(&[
+        "cac sweep",
+        &schemes
+            .iter()
+            .map(IndexSpec::name)
+            .collect::<Vec<_>>()
+            .join(","),
+        &geom.to_string(),
+        &max_stride.to_string(),
+        &passes.to_string(),
+    ]);
+    let path = Path::new(checkpoint);
+    let mut journal = Journal::load(path, fp).map_err(|e| DriverError::Input(e.to_string()))?;
+
+    let mut models: Vec<Box<dyn MemoryModel>> = schemes
+        .iter()
+        .map(|spec| {
+            Box::new(Cache::build(geom, spec.clone()).expect("validated scheme"))
+                as Box<dyn MemoryModel>
+        })
+        .collect();
+    let engine = Sweep::new().workers(1);
+    let mut refs: Vec<MemRef> = Vec::new();
+    let mut out = Vec::with_capacity((max_stride - 1) as usize);
+    let mut dirty = 0u64;
+    for stride in 1..max_stride {
+        let keys: Vec<String> = schemes
+            .iter()
+            .map(|s| format!("s{stride}/{}", s.name()))
+            .collect();
+        let cached: Option<Vec<f64>> = keys
+            .iter()
+            .map(|k| journal.get(k).map(|s| s.demand.miss_ratio()))
+            .collect();
+        if let Some(ratios) = cached {
+            out.push(ratios);
+            continue;
+        }
+        refs.clear();
+        refs.extend(VectorStride::paper_figure1(stride, passes));
+        for m in models.iter_mut() {
+            m.reset();
+        }
+        let stats = engine.run_refs(&mut models, &refs);
+        for (key, s) in keys.iter().zip(&stats) {
+            journal.record(key, s);
+        }
+        dirty += 1;
+        // Amortize the rewrite: a kill loses at most 64 strides.
+        if dirty.is_multiple_of(64) {
+            journal
+                .save(path)
+                .map_err(|e| DriverError::Input(e.to_string()))?;
+        }
+        out.push(stats.iter().map(|s| s.demand.miss_ratio()).collect());
+    }
+    if dirty > 0 {
+        journal
+            .save(path)
+            .map_err(|e| DriverError::Input(e.to_string()))?;
+    }
+    Ok(out)
 }
 
 /// A labelled placement-scheme constructor.
@@ -172,8 +249,14 @@ pub(super) fn sweep(a: &ExpArgs) -> Result<Report, DriverError> {
     }
 
     // As in fig1: one trace generation and one pass per stride, caches
-    // built once per block.
-    let per_stride: Vec<Vec<f64>> = stride_sweep(geom, &schemes, max_stride, passes)
+    // built once per block. With --checkpoint the strides run
+    // sequentially against a crash-safe journal instead.
+    let raw = if a.is_set("checkpoint") {
+        stride_sweep_checkpointed(geom, &schemes, max_stride, passes, a.str("checkpoint"))?
+    } else {
+        stride_sweep(geom, &schemes, max_stride, passes)
+    };
+    let per_stride: Vec<Vec<f64>> = raw
         .into_iter()
         .map(|ratios| ratios.into_iter().map(|r| r * 100.0).collect())
         .collect();

@@ -278,6 +278,11 @@ pub const REGISTRY: &[Experiment] = &[
             param("size", "8192", "cache capacity (bytes)"),
             param("line", "32", "line size (bytes)"),
             param("ways", "2", "associativity"),
+            param(
+                "checkpoint",
+                "",
+                "journal file for crash-safe kill-and-resume",
+            ),
         ],
         run: figures::sweep,
     },
@@ -293,6 +298,11 @@ pub const REGISTRY: &[Experiment] = &[
             param("line", "32", "line size (bytes)"),
             param("ways", "2", "associativity"),
             param("chunk", "8192", "ops per replay chunk"),
+            param(
+                "mode",
+                "strict",
+                "strict | lenient (skip damaged binary blocks)",
+            ),
         ],
         run: tools::replay,
     },
@@ -307,6 +317,11 @@ pub const REGISTRY: &[Experiment] = &[
             param("out", "", "output file path (required)"),
             param("format", "binary", "binary | text"),
             param("seed", "12345", "generator seed"),
+            param(
+                "inject",
+                "",
+                "fault spec, e.g. flip=200,seed=7,truncate=4096,io-error=99",
+            ),
         ],
         run: tools::trace_gen,
     },
@@ -327,7 +342,14 @@ pub const REGISTRY: &[Experiment] = &[
         legacy_bin: None,
         group: "trace tools",
         summary: "summarise a trace file (op mix, address range)",
-        params: &[param("input", "", "trace file to inspect")],
+        params: &[
+            param("input", "", "trace file to inspect"),
+            param(
+                "verify",
+                "false",
+                "audit block framing and checksums (lenient walk)",
+            ),
+        ],
         run: tools::trace_info,
     },
     // ----- benchmarks ------------------------------------------------
@@ -365,7 +387,7 @@ pub const REGISTRY: &[Experiment] = &[
             param(
                 "config",
                 "",
-                "model description (TOML; see examples/*.toml)",
+                "model description(s), comma-separated (TOML; see examples/*.toml)",
             ),
             param(
                 "trace",
@@ -380,6 +402,11 @@ pub const REGISTRY: &[Experiment] = &[
             param("ops", "1000000", "synthetic workload length (ops)"),
             param("seed", "12345", "synthetic workload seed"),
             param("chunk", "8192", "ops per replay chunk"),
+            param(
+                "checkpoint",
+                "",
+                "journal file for crash-safe kill-and-resume",
+            ),
         ],
         run: configs::run,
     },

@@ -12,14 +12,37 @@ use crate::driver::report::{Report, Table, Value};
 use crate::driver::DriverError;
 use cac_sim::cache::Cache;
 use cac_sim::replay::{run_cache_chunked, run_cache_refs};
+use cac_trace::fault::{FaultSource, FaultSpec};
 use cac_trace::io::{
     read_trace, sniff_format, write_trace, BinaryTraceReader, BinaryTraceWriter, ChunkSource,
-    TraceFormat, DEFAULT_CHUNK_OPS,
+    DecodeMode, RefSource, SkipReport, TraceFormat, DEFAULT_CHUNK_OPS,
 };
-use cac_trace::{OpClass, TraceOp};
+use cac_trace::{MemRef, OpClass, TraceOp};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::time::Instant;
+
+/// Parses the shared `--mode strict|lenient` trace-decode flag.
+pub(super) fn parse_decode_mode(s: &str) -> Result<DecodeMode, DriverError> {
+    match s {
+        "strict" => Ok(DecodeMode::Strict),
+        "lenient" => Ok(DecodeMode::Lenient),
+        other => Err(DriverError::Usage(format!(
+            "unknown decode mode {other:?}; valid: strict, lenient"
+        ))),
+    }
+}
+
+/// Parses a boolean-ish experiment flag.
+pub(super) fn parse_bool(name: &str, s: &str) -> Result<bool, DriverError> {
+    match s {
+        "true" | "yes" | "1" => Ok(true),
+        "false" | "no" | "0" | "" => Ok(false),
+        other => Err(DriverError::Usage(format!(
+            "--{name} expects true or false, got {other:?}"
+        ))),
+    }
+}
 
 fn parse_file_format(s: &str) -> Result<TraceFormat, DriverError> {
     match s {
@@ -34,19 +57,19 @@ fn parse_file_format(s: &str) -> Result<TraceFormat, DriverError> {
 /// Opens a trace file and detects its format from the leading bytes.
 fn open_sniffed(path: &str) -> Result<(File, TraceFormat), DriverError> {
     let mut f =
-        File::open(path).map_err(|e| DriverError::Failed(format!("cannot open {path}: {e}")))?;
+        File::open(path).map_err(|e| DriverError::Input(format!("cannot open {path}: {e}")))?;
     let mut prefix = [0u8; 4];
     let mut got = 0;
     while got < prefix.len() {
         match f.read(&mut prefix[got..]) {
             Ok(0) => break,
             Ok(n) => got += n,
-            Err(e) => return Err(DriverError::Failed(format!("cannot read {path}: {e}"))),
+            Err(e) => return Err(DriverError::Input(format!("cannot read {path}: {e}"))),
         }
     }
     let format = sniff_format(&prefix[..got]);
     f.seek(SeekFrom::Start(0))
-        .map_err(|e| DriverError::Failed(format!("cannot rewind {path}: {e}")))?;
+        .map_err(|e| DriverError::Input(format!("cannot rewind {path}: {e}")))?;
     Ok((f, format))
 }
 
@@ -60,11 +83,19 @@ pub(super) enum AnySource {
 
 impl AnySource {
     pub(super) fn open(path: &str) -> Result<Self, DriverError> {
+        AnySource::open_with_mode(path, DecodeMode::Strict)
+    }
+
+    /// Opens a trace with an explicit decode mode. Lenient mode only
+    /// affects binary traces (text streams have per-line recovery
+    /// anyway); skip accounting is read back with
+    /// [`AnySource::skipped`].
+    pub(super) fn open_with_mode(path: &str, mode: DecodeMode) -> Result<Self, DriverError> {
         let (file, format) = open_sniffed(path)?;
         match format {
             TraceFormat::Binary => {
-                let reader = BinaryTraceReader::new(BufReader::new(file))
-                    .map_err(|e| DriverError::Failed(format!("{path}: {e}")))?;
+                let reader = BinaryTraceReader::with_mode(BufReader::new(file), mode)
+                    .map_err(|e| DriverError::Input(format!("{path}: {e}")))?;
                 Ok(AnySource::Binary(reader))
             }
             TraceFormat::Text => Ok(AnySource::Text(read_trace(file))),
@@ -77,6 +108,14 @@ impl AnySource {
             AnySource::Text(_) => TraceFormat::Text,
         }
     }
+
+    /// What a lenient binary decode skipped so far (empty for text).
+    pub(super) fn skipped(&self) -> SkipReport {
+        match self {
+            AnySource::Binary(r) => r.skipped(),
+            AnySource::Text(_) => SkipReport::default(),
+        }
+    }
 }
 
 impl ChunkSource for AnySource {
@@ -86,9 +125,37 @@ impl ChunkSource for AnySource {
         match self {
             AnySource::Binary(r) => r
                 .read_chunk(out, max)
-                .map_err(|e| DriverError::Failed(e.to_string())),
+                .map_err(|e| DriverError::Input(e.to_string())),
             AnySource::Text(r) => {
-                ChunkSource::read_chunk(r, out, max).map_err(|e| DriverError::Failed(e.to_string()))
+                ChunkSource::read_chunk(r, out, max).map_err(|e| DriverError::Input(e.to_string()))
+            }
+        }
+    }
+}
+
+impl RefSource for AnySource {
+    type Error = DriverError;
+
+    fn read_ref_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> Result<usize, DriverError> {
+        match self {
+            // Binary traces take the fused decode-to-MemRef path.
+            AnySource::Binary(r) => r
+                .read_ref_chunk(out, max)
+                .map_err(|e| DriverError::Input(e.to_string())),
+            AnySource::Text(r) => {
+                out.clear();
+                let mut ops: Vec<TraceOp> = Vec::new();
+                while out.len() < max {
+                    let want = max - out.len();
+                    if ChunkSource::read_chunk(r, &mut ops, want)
+                        .map_err(|e| DriverError::Input(e.to_string()))?
+                        == 0
+                    {
+                        break;
+                    }
+                    out.extend(ops.iter().filter_map(TraceOp::mem_ref));
+                }
+                Ok(out.len())
             }
         }
     }
@@ -112,24 +179,51 @@ pub(super) fn trace_gen(a: &ExpArgs) -> Result<Report, DriverError> {
         ));
     }
     let format = parse_file_format(a.str("format"))?;
+    let inject = if a.is_set("inject") {
+        Some(FaultSpec::parse(a.str("inject")).map_err(DriverError::Usage)?)
+    } else {
+        None
+    };
 
     let file =
-        File::create(out).map_err(|e| DriverError::Failed(format!("cannot create {out}: {e}")))?;
+        File::create(out).map_err(|e| DriverError::Input(format!("cannot create {out}: {e}")))?;
     let gen = bench.generator(seed).take(ops as usize);
+    // The clean encoding is staged in memory so fault injection can
+    // damage the *encoded* bytes (the failure mode lenient decode and
+    // `trace info --verify` exist for), not the op stream.
+    let mut clean: Vec<u8> = Vec::new();
     match format {
         TraceFormat::Binary => {
-            let mut w = BinaryTraceWriter::new(file)?;
+            let mut w = BinaryTraceWriter::new(&mut clean)?;
             w.write_all(gen)?;
             w.finish()?;
         }
         TraceFormat::Text => {
-            let mut w = BufWriter::new(file);
-            write_trace(&mut w, gen)?;
-            w.flush()?;
+            write_trace(&mut clean, gen)?;
         }
     }
+    let mut flips = 0u64;
+    let mut w = BufWriter::new(file);
+    match inject {
+        None => w.write_all(&clean)?,
+        Some(spec) => {
+            let mut faulty = FaultSource::new(&clean[..], spec);
+            // Injected IO errors are transient by design; surface them
+            // as a note-worthy count rather than aborting the write.
+            let mut buf = [0u8; 8192];
+            loop {
+                match faulty.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => w.write_all(&buf[..n])?,
+                    Err(_) => continue,
+                }
+            }
+            flips = faulty.flips();
+        }
+    }
+    w.flush()?;
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
-    Ok(Report::new("trace gen")
+    let mut report = Report::new("trace gen")
         .param("bench", bench.name())
         .param("ops", ops)
         .param("seed", seed)
@@ -143,7 +237,21 @@ pub(super) fn trace_gen(a: &ExpArgs) -> Result<Report, DriverError> {
                 Value::u(bytes),
                 Value::f(bytes as f64 / ops.max(1) as f64, 2),
             ]),
-        ))
+        );
+    if a.is_set("inject") {
+        report = report
+            .param("inject", a.str("inject"))
+            .table(
+                Table::new("injected faults", &["fault", "value"])
+                    .row(vec![Value::s("bytes with a flipped bit"), Value::u(flips)])
+                    .row(vec![
+                        Value::s("truncated at"),
+                        Value::u(bytes.min(clean.len() as u64)),
+                    ]),
+            )
+            .note("this file is deliberately damaged; replay it with --mode lenient");
+    }
+    Ok(report)
 }
 
 pub(super) fn trace_convert(a: &ExpArgs) -> Result<Report, DriverError> {
@@ -209,7 +317,17 @@ pub(super) fn trace_info(a: &ExpArgs) -> Result<Report, DriverError> {
     if input.is_empty() {
         return Err(DriverError::Usage("usage: cac trace info <file>".into()));
     }
-    let mut source = AnySource::open(input)?;
+    let verify = parse_bool("verify", a.str("verify"))?;
+    // An audit decodes leniently so damage is *counted* instead of
+    // aborting the summary at the first bad block; a plain info run
+    // stays strict and reports the first decode error as an input
+    // error.
+    let mode = if verify {
+        DecodeMode::Lenient
+    } else {
+        DecodeMode::Strict
+    };
+    let mut source = AnySource::open_with_mode(input, mode)?;
     let format = source.format();
 
     let mut buf = Vec::with_capacity(DEFAULT_CHUNK_OPS);
@@ -260,9 +378,29 @@ pub(super) fn trace_info(a: &ExpArgs) -> Result<Report, DriverError> {
             Value::s(format!("{addr_min:#x}..{addr_max:#x}")),
         ]);
     }
-    Ok(Report::new(format!("trace info: {input}"))
+    let mut report = Report::new(format!("trace info: {input}"))
         .param("input", input)
-        .table(table))
+        .table(table);
+    if verify {
+        let skip = source.skipped();
+        let verdict = if skip.any() { "DAMAGED" } else { "clean" };
+        report = report.param("verify", "true").table(
+            Table::new("verification", &["field", "value"])
+                .row(vec![Value::s("verdict"), Value::s(verdict)])
+                .row(vec![Value::s("records decoded"), Value::u(total)])
+                .row(vec![Value::s("blocks skipped"), Value::u(skip.blocks)])
+                .row(vec![Value::s("records skipped"), Value::u(skip.records)])
+                .row(vec![Value::s("bytes skipped"), Value::u(skip.bytes)]),
+        );
+        if skip.any() {
+            report = report
+                .flag_failures(skip.blocks.max(1))
+                .note("verification found damage; replay this file with --mode lenient");
+        } else {
+            report = report.note("verification passed: every block framed and checksummed");
+        }
+    }
+    Ok(report)
 }
 
 pub(super) fn replay(a: &ExpArgs) -> Result<Report, DriverError> {
@@ -275,16 +413,22 @@ pub(super) fn replay(a: &ExpArgs) -> Result<Report, DriverError> {
     let scheme = parse_scheme(a.str("scheme"))?;
     let geom = parse_geometry(a)?;
     let chunk = a.usize("chunk")?;
+    let mode = parse_decode_mode(a.str("mode"))?;
     let mut cache = Cache::build(geom, scheme.clone())?;
 
-    let source = AnySource::open(trace)?;
+    let source = AnySource::open_with_mode(trace, mode)?;
     let format = source.format();
     let start = Instant::now();
     // Binary traces take the MemRef fast path; text streams go through
     // the generic chunked op replay.
+    let mut skip = SkipReport::default();
     let stats = match source {
-        AnySource::Binary(mut reader) => run_cache_refs(&mut cache, &mut reader)
-            .map_err(|e| DriverError::Failed(e.to_string()))?,
+        AnySource::Binary(mut reader) => {
+            let stats = run_cache_refs(&mut cache, &mut reader)
+                .map_err(|e| DriverError::Input(e.to_string()))?;
+            skip = reader.skipped();
+            stats
+        }
         text => run_cache_chunked(&mut cache, text, chunk)?,
     };
     let elapsed = start.elapsed();
@@ -304,7 +448,7 @@ pub(super) fn replay(a: &ExpArgs) -> Result<Report, DriverError> {
             Value::f(stats.read_miss_ratio() * 100.0, 3),
         ])
         .row(vec![Value::s("evictions"), Value::u(stats.evictions)]);
-    Ok(Report::new(format!(
+    let mut report = Report::new(format!(
         "replay: {trace} ({}) through {scheme} on {geom}",
         format_name(format)
     ))
@@ -314,10 +458,25 @@ pub(super) fn replay(a: &ExpArgs) -> Result<Report, DriverError> {
     .param("line", geom.block())
     .param("ways", geom.ways())
     .param("chunk", chunk)
+    .param("mode", a.str("mode"))
     .table(table)
     .note(format!(
         "replayed {} references in {:.1} ms ({melem_s:.1} Melem/s streaming)",
         stats.accesses,
         elapsed.as_secs_f64() * 1e3
-    )))
+    ));
+    if skip.any() {
+        // A lenient replay that had to drop data completes, but the
+        // numbers are partial: flag it so `cac` exits 1.
+        report = report
+            .table(
+                Table::new("skipped (damaged input)", &["what", "count"])
+                    .row(vec![Value::s("blocks"), Value::u(skip.blocks)])
+                    .row(vec![Value::s("records"), Value::u(skip.records)])
+                    .row(vec![Value::s("bytes"), Value::u(skip.bytes)]),
+            )
+            .flag_failures(skip.blocks.max(1))
+            .note("input was damaged; statistics cover the decodable blocks only");
+    }
+    Ok(report)
 }

@@ -35,19 +35,33 @@ use std::fmt;
 use std::io::Write as _;
 
 /// Error produced by the driver or an experiment.
+///
+/// The variants define the `cac` exit-code contract:
+///
+/// | exit | meaning                                                    |
+/// |------|------------------------------------------------------------|
+/// | 0    | success                                                    |
+/// | 1    | ran to completion but the report carries failures          |
+/// | 2    | usage error (unknown command, malformed parameters)        |
+/// | 3    | input error (unreadable/corrupt trace, bad config file)    |
 #[derive(Debug)]
 pub enum DriverError {
     /// The command line (or a parameter value) was invalid; exit code 2.
     Usage(String),
-    /// The experiment itself failed (bad trace file, invalid cache
-    /// configuration, I/O trouble); exit code 1.
+    /// The experiment itself failed mid-flight; exit code 1.
     Failed(String),
+    /// An input file was missing, unreadable, undecodable, or refused
+    /// (config rot, trace corruption under strict decode, stale
+    /// checkpoint); exit code 3.
+    Input(String),
 }
 
 impl fmt::Display for DriverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DriverError::Usage(m) | DriverError::Failed(m) => f.write_str(m),
+            DriverError::Usage(m) | DriverError::Failed(m) | DriverError::Input(m) => {
+                f.write_str(m)
+            }
         }
     }
 }
@@ -133,9 +147,13 @@ fn usage() -> String {
          \x20   cac [--format text|json|csv] [--out FILE] <command> [--param value ...]\n\
          \x20   cac help <command>     show a command's parameters\n\
          \x20   cac list               one line per command\n\
+         \x20   cac --version          print the driver version\n\
          \n\
          Parameters may also be given positionally in declaration order, exactly\n\
-         as the retired per-experiment binaries accepted them.\n",
+         as the retired per-experiment binaries accepted them.\n\
+         \n\
+         Exit codes: 0 success; 1 report carries failures; 2 usage error;\n\
+         3 input error (unreadable/corrupt trace, bad config, stale checkpoint).\n",
     );
     let mut group = "";
     for e in experiments() {
@@ -174,7 +192,9 @@ fn command_help(e: &Experiment) -> String {
 }
 
 /// Full CLI entry point for the `cac` binary. Returns the process exit
-/// code: 0 on success, 1 on experiment failure, 2 on usage errors.
+/// code: 0 on success, 1 when the run completed but its report carries
+/// failures (degraded sweep rows, damaged trace blocks), 2 on usage
+/// errors, 3 on input errors (see [`DriverError`]).
 pub fn cli_main(raw: Vec<String>) -> i32 {
     let mut format = OutputFormat::Text;
     let mut out_path: Option<String> = None;
@@ -201,6 +221,10 @@ pub fn cli_main(raw: Vec<String>) -> i32 {
             "--help" | "-h" | "help" if rest.is_empty() => {
                 rest.push("help".to_owned());
                 rest.extend(it.by_ref());
+            }
+            "--version" | "-V" if rest.is_empty() => {
+                println!("cac {}", env!("CARGO_PKG_VERSION"));
+                return 0;
             }
             _ => {
                 rest.push(w);
@@ -246,16 +270,20 @@ pub fn cli_main(raw: Vec<String>) -> i32 {
             }
             match run_experiment(&name, &words) {
                 Ok(report) => {
+                    // A report that completed but carries failure rows
+                    // (degraded sweep cells, skipped trace blocks)
+                    // still renders in full — the exit code flags it.
+                    let ok = if report.failures == 0 { 0 } else { 1 };
                     let rendered = report.render(format);
                     match &out_path {
                         None => {
                             print!("{rendered}");
-                            0
+                            ok
                         }
                         Some(path) => match std::fs::File::create(path)
                             .and_then(|mut f| f.write_all(rendered.as_bytes()))
                         {
-                            Ok(()) => 0,
+                            Ok(()) => ok,
                             Err(e) => {
                                 eprintln!("cannot write {path}: {e}");
                                 1
@@ -273,6 +301,10 @@ pub fn cli_main(raw: Vec<String>) -> i32 {
                 Err(DriverError::Failed(m)) => {
                     eprintln!("{name} failed: {m}");
                     1
+                }
+                Err(DriverError::Input(m)) => {
+                    eprintln!("{name}: {m}");
+                    3
                 }
             }
         }
@@ -363,7 +395,9 @@ pub fn legacy_main(legacy_bin: &str) -> i32 {
             eprintln!("{m}");
             2
         }
-        Err(DriverError::Failed(m)) => {
+        // The retired binaries only ever distinguished 0/1/2, so input
+        // errors collapse to 1 here to keep their contract stable.
+        Err(DriverError::Failed(m)) | Err(DriverError::Input(m)) => {
             eprintln!("{legacy_bin} failed: {m}");
             1
         }

@@ -183,6 +183,10 @@ pub struct Report {
     /// Pre-rendered text blocks (terminal charts); included in
     /// [`Report::to_text`] only.
     pub text_blocks: Vec<String>,
+    /// Number of failed cells the report carries (degraded sweep rows,
+    /// skipped trace blocks). Not rendered directly — the tables name
+    /// the failures — but a non-zero count makes `cac` exit 1.
+    pub failures: u64,
 }
 
 impl Report {
@@ -219,6 +223,14 @@ impl Report {
     #[must_use]
     pub fn text_block(mut self, block: impl Into<String>) -> Self {
         self.text_blocks.push(block.into());
+        self
+    }
+
+    /// Adds to the report's failure count (builder style); see
+    /// [`Report::failures`].
+    #[must_use]
+    pub fn flag_failures(mut self, n: u64) -> Self {
+        self.failures += n;
         self
     }
 

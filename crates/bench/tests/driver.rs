@@ -219,9 +219,9 @@ fn usage_errors_are_reported_not_panicked() {
             "{name} {bad:?} should be a usage error, got {got:?}"
         );
     }
-    // A missing trace file is an experiment failure, not a usage error.
+    // A missing trace file is an input error (exit 3), not a usage error.
     let got = driver::run_experiment("replay", &words(&["--trace", "/nonexistent/x.bin"]));
-    assert!(matches!(got, Err(DriverError::Failed(_))));
+    assert!(matches!(got, Err(DriverError::Input(_))), "{got:?}");
 }
 
 #[test]

@@ -227,6 +227,14 @@ pub struct JouppiConfig {
     pub stream_depth: usize,
 }
 
+/// A deliberately faulty model for exercising the sweep engine's panic
+/// isolation (see [`crate::model::PoisonModel`]). Test-and-demo only.
+#[derive(Debug, Clone)]
+pub struct PoisonConfig {
+    /// Accesses replayed before the model starts panicking.
+    pub after: u64,
+}
+
 /// The model a [`SimConfig`] describes.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -243,6 +251,8 @@ pub enum ModelConfig {
     Stream(StreamConfig),
     /// The complete Jouppi organization.
     Jouppi(JouppiConfig),
+    /// A panic-injection fixture ([`crate::model::PoisonModel`]).
+    Poison(PoisonConfig),
 }
 
 /// A declarative simulation configuration: an optional name plus one
@@ -329,6 +339,7 @@ impl SimConfig {
                 j.stream_buffers,
                 j.stream_depth,
             )?)),
+            ModelConfig::Poison(p) => Ok(Box::new(crate::model::PoisonModel::new(p.after))),
         }
     }
 
@@ -349,7 +360,7 @@ impl SimConfig {
             .filter(|n| {
                 matches!(
                     *n,
-                    "cache" | "hierarchy" | "column" | "victim" | "stream" | "jouppi"
+                    "cache" | "hierarchy" | "column" | "victim" | "stream" | "jouppi" | "poison"
                 )
             })
             .collect();
@@ -371,6 +382,13 @@ impl SimConfig {
             }
             (["jouppi"], false) => {
                 ModelConfig::Jouppi(parse_jouppi(doc.section("jouppi")?.expect("present"))?)
+            }
+            (["poison"], false) => {
+                let table = doc.section("poison")?.expect("present");
+                check_keys(table, &["after"], "[poison]")?;
+                ModelConfig::Poison(PoisonConfig {
+                    after: get_u64(table, "after", 0)?,
+                })
             }
             ([], false) => {
                 return Err(Error::config(
@@ -394,7 +412,14 @@ impl SimConfig {
         for n in doc.section_names() {
             if !matches!(
                 n,
-                "cache" | "hierarchy" | "level" | "column" | "victim" | "stream" | "jouppi"
+                "cache"
+                    | "hierarchy"
+                    | "level"
+                    | "column"
+                    | "victim"
+                    | "stream"
+                    | "jouppi"
+                    | "poison"
             ) {
                 return Err(Error::config(format!(
                     "unknown section [{n}]; valid sections: cache, hierarchy, level, \

@@ -181,6 +181,13 @@ pub fn parse(input: &str) -> Result<Doc, Error> {
     let mut current: Option<usize> = None; // index into doc.sections
     for (i, raw) in input.lines().enumerate() {
         let line_no = i + 1;
+        if raw.len() > MAX_LINE_LEN {
+            return Err(Error::config(format!(
+                "line {line_no}: line is {} bytes long (limit {MAX_LINE_LEN}); \
+                 config files this subset covers never need lines that long",
+                raw.len()
+            )));
+        }
         let line = strip_comment(raw);
         let line = line.trim();
         if line.is_empty() {
@@ -261,6 +268,12 @@ fn check_key(key: &str, line_no: usize) -> Result<(), Error> {
     }
 }
 
+/// Longest raw line [`parse`] accepts. A generous bound for real
+/// configs that keeps pathological input (one multi-megabyte line,
+/// e.g. a decompression bomb) from being scanned char by char many
+/// times over.
+pub const MAX_LINE_LEN: usize = 4096;
+
 fn parse_value(v: &str, line_no: usize) -> Result<Value, Error> {
     if v.is_empty() {
         return Err(Error::config(format!("line {line_no}: missing value")));
@@ -277,13 +290,15 @@ fn parse_value(v: &str, line_no: usize) -> Result<Value, Error> {
             if part.is_empty() {
                 continue;
             }
-            let item = parse_value(part, line_no)?;
-            if matches!(item, Value::Array(_)) {
+            // Rejected *before* recursing: a deeply nested `[[[[...`
+            // value must not recurse once per bracket (stack overflow
+            // on adversarial input).
+            if part.starts_with('[') {
                 return Err(Error::config(format!(
                     "line {line_no}: nested arrays are not supported"
                 )));
             }
-            items.push(item);
+            items.push(parse_value(part, line_no)?);
         }
         return Ok(Value::Array(items));
     }
@@ -299,16 +314,29 @@ fn parse_value(v: &str, line_no: usize) -> Result<Value, Error> {
         _ => {}
     }
     let digits = v.replace('_', "");
-    let parsed = if let Some(hex) = digits.strip_prefix("0x") {
-        i64::from_str_radix(hex, 16).ok()
+    let (parsed, numeric) = if let Some(hex) = digits.strip_prefix("0x") {
+        (
+            i64::from_str_radix(hex, 16).ok(),
+            !hex.is_empty() && hex.chars().all(|c| c.is_ascii_hexdigit()),
+        )
     } else {
-        digits.parse().ok()
+        (
+            digits.parse().ok(),
+            !digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()),
+        )
     };
     parsed.map(Value::Int).ok_or_else(|| {
-        Error::config(format!(
-            "line {line_no}: cannot parse value {v:?} (expected a string, integer, \
-             boolean or flat array)"
-        ))
+        if numeric {
+            Error::config(format!(
+                "line {line_no}: integer {v} is out of range (values must fit a \
+                 signed 64-bit integer)"
+            ))
+        } else {
+            Error::config(format!(
+                "line {line_no}: cannot parse value {v:?} (expected a string, integer, \
+                 boolean or flat array)"
+            ))
+        }
     })
 }
 
@@ -425,5 +453,37 @@ mod tests {
     fn comments_respect_strings() {
         let doc = parse("x = \"a # b\" # real comment\n").unwrap();
         assert_eq!(doc.root.get("x").unwrap().as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn pathological_input_errors_instead_of_panicking() {
+        // Deep array nesting must not recurse per bracket. (Depth is
+        // kept under MAX_LINE_LEN so the nesting check, not the line
+        // limit, is what fires.)
+        let deep = format!("x = {}1{}", "[".repeat(1_500), "]".repeat(1_500));
+        let err = parse(&deep).unwrap_err().to_string();
+        assert!(err.contains("nested arrays"), "{err}");
+
+        // Past the line limit the length guard fires first — either
+        // way, adversarial nesting cannot recurse.
+        let vast = format!("x = {}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = parse(&vast).unwrap_err().to_string();
+        assert!(err.contains("limit"), "{err}");
+
+        // Overlong lines are rejected with the line number.
+        let long = format!("y = 1\nx = \"{}\"", "a".repeat(MAX_LINE_LEN + 1));
+        let err = parse(&long).unwrap_err().to_string();
+        assert!(err.contains("line 2") && err.contains("limit"), "{err}");
+
+        // Out-of-range integers name the problem, with line numbers.
+        for src in ["x = 99999999999999999999", "x = 0xFFFFFFFFFFFFFFFF"] {
+            let err = parse(src).unwrap_err().to_string();
+            assert!(err.contains("out of range"), "{src} -> {err}");
+        }
+        // Negative and in-range values still parse.
+        assert_eq!(
+            parse("x = -5").unwrap().root.get("x").unwrap().as_int(),
+            Some(-5)
+        );
     }
 }

@@ -1,0 +1,491 @@
+//! Crash-safe checkpoint journal for long sweeps.
+//!
+//! The ROADMAP's service north star replays fleets of traces across a
+//! config grid — hours of work that a killed process must not throw
+//! away. This module persists per-(workload, config) [`ModelStats`]
+//! cells so a restarted run recomputes only the missing cells:
+//!
+//! * **Append-only text format.** The file opens with a header line
+//!   `CACJ v1 <fingerprint>` binding the journal to one workload (see
+//!   below), followed by one `cell <key> <payload> <checksum>` line per
+//!   completed cell. Later duplicates of a key win, so re-recording a
+//!   cell is harmless.
+//! * **Checksummed lines.** Every cell line carries an FNV-64 checksum
+//!   of its content; a torn final line (the typical crash artifact) is
+//!   skipped on load instead of poisoning the journal.
+//! * **Atomic save.** [`Journal::save`] writes a temp file next to the
+//!   target and `rename`s it into place, so a crash mid-save leaves
+//!   the previous journal intact.
+//! * **Fingerprint binding.** The header fingerprint hashes the
+//!   workload identity (trace path + size, or synthetic bench + ops +
+//!   seed). [`Journal::load`] refuses a journal whose fingerprint does
+//!   not match the workload being resumed — stale checkpoints fail
+//!   loudly instead of splicing mismatched results into a report.
+//!
+//! Cell *keys* are chosen by the caller; the drivers use
+//! `<config-name>@<config-content-hash>` so editing a config file
+//! invalidates exactly that config's cell.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_sim::journal::Journal;
+//! use cac_sim::model::ModelStats;
+//!
+//! let dir = std::env::temp_dir().join(format!("cac-journal-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("sweep.journal");
+//!
+//! let mut j = Journal::new(0xABCD);
+//! j.record("cfg-a", &ModelStats::default());
+//! j.save(&path)?;
+//!
+//! let resumed = Journal::load(&path, 0xABCD)?;
+//! assert!(resumed.get("cfg-a").is_some());
+//! assert!(resumed.get("cfg-b").is_none());
+//! assert!(Journal::load(&path, 0x9999).is_err()); // stale fingerprint
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::model::{ComponentStats, ModelStats};
+use crate::stats::CacheStats;
+use cac_core::Error;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Magic word opening a journal file.
+const JOURNAL_MAGIC: &str = "CACJ";
+/// Journal format version.
+const JOURNAL_VERSION: &str = "v1";
+
+/// FNV-1a over a string, for line checksums and fingerprints.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes a workload description into a journal fingerprint. Callers
+/// feed the parts that define workload identity (trace path and size,
+/// or bench name, op count and seed).
+pub fn fingerprint(parts: &[&str]) -> u64 {
+    fnv64(&parts.join("\u{1f}"))
+}
+
+/// Percent-encodes a cell key so it survives the space-separated line
+/// format (spaces, `%` and control characters are escaped).
+fn encode_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for b in key.bytes() {
+        if b.is_ascii_graphic() && b != b'%' {
+            out.push(b as char);
+        } else {
+            let _ = write!(out, "%{b:02X}");
+        }
+    }
+    out
+}
+
+fn decode_key(key: &str) -> Option<String> {
+    let mut out = Vec::with_capacity(key.len());
+    let bytes = key.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn encode_cache_stats(s: &CacheStats) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{}",
+        s.accesses,
+        s.hits,
+        s.misses,
+        s.reads,
+        s.writes,
+        s.read_misses,
+        s.write_misses,
+        s.evictions,
+        s.invalidations,
+        s.writebacks
+    )
+}
+
+fn decode_cache_stats(s: &str) -> Option<CacheStats> {
+    let mut it = s.split(',').map(|f| f.parse::<u64>().ok());
+    let mut next = || it.next().flatten();
+    let stats = CacheStats {
+        accesses: next()?,
+        hits: next()?,
+        misses: next()?,
+        reads: next()?,
+        writes: next()?,
+        read_misses: next()?,
+        write_misses: next()?,
+        evictions: next()?,
+        invalidations: next()?,
+        writebacks: next()?,
+    };
+    it.next().is_none().then_some(stats)
+}
+
+/// Serializes a [`ModelStats`] into the journal's one-token payload:
+/// `demand|comp;comp;...|extra;extra;...` with names percent-encoded.
+fn encode_stats(stats: &ModelStats) -> String {
+    let comps: Vec<String> = stats
+        .components
+        .iter()
+        .map(|c| format!("{}:{}", encode_key(&c.name), encode_cache_stats(&c.stats)))
+        .collect();
+    let extras: Vec<String> = stats
+        .extras
+        .iter()
+        .map(|(n, v)| format!("{}:{}", encode_key(n), v))
+        .collect();
+    format!(
+        "{}|{}|{}",
+        encode_cache_stats(&stats.demand),
+        comps.join(";"),
+        extras.join(";")
+    )
+}
+
+fn decode_stats(payload: &str) -> Option<ModelStats> {
+    let mut parts = payload.split('|');
+    let demand = decode_cache_stats(parts.next()?)?;
+    let comps = parts.next()?;
+    let extras = parts.next()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let components = comps
+        .split(';')
+        .filter(|c| !c.is_empty())
+        .map(|c| {
+            // Split from the right: the stats side never contains ':',
+            // while a (decoded) component name may.
+            let (name, stats) = c.rsplit_once(':')?;
+            Some(ComponentStats {
+                name: decode_key(name)?,
+                stats: decode_cache_stats(stats)?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let extras = extras
+        .split(';')
+        .filter(|e| !e.is_empty())
+        .map(|e| {
+            let (name, v) = e.rsplit_once(':')?;
+            Some((decode_key(name)?, v.parse().ok()?))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(ModelStats {
+        demand,
+        components,
+        extras,
+    })
+}
+
+/// A per-(workload, config) result store with crash-safe persistence.
+/// See the [module docs](self) for format and guarantees.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    fingerprint: u64,
+    /// Insertion-ordered keys (latest record of a key wins on load).
+    order: Vec<String>,
+    cells: HashMap<String, ModelStats>,
+}
+
+impl Journal {
+    /// An empty journal bound to a workload fingerprint (see
+    /// [`fingerprint`]).
+    pub fn new(fingerprint: u64) -> Self {
+        Journal {
+            fingerprint,
+            order: Vec::new(),
+            cells: HashMap::new(),
+        }
+    }
+
+    /// The workload fingerprint this journal is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of completed cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if no cells are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The stored result for `key`, if that cell completed earlier.
+    pub fn get(&self, key: &str) -> Option<&ModelStats> {
+        self.cells.get(key)
+    }
+
+    /// Records (or overwrites) a completed cell.
+    pub fn record(&mut self, key: &str, stats: &ModelStats) {
+        if !self.cells.contains_key(key) {
+            self.order.push(key.to_owned());
+        }
+        self.cells.insert(key.to_owned(), stats.clone());
+    }
+
+    /// Loads a journal, verifying its fingerprint against the workload
+    /// about to run. A missing file is an empty journal (first run);
+    /// checksum-corrupt cell lines (torn writes) are skipped silently.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the file exists but is not a journal, has
+    /// an unsupported version, or — the important guard — was recorded
+    /// for a *different* workload (fingerprint mismatch).
+    pub fn load(path: &Path, fingerprint: u64) -> Result<Journal, Error> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Journal::new(fingerprint))
+            }
+            Err(e) => {
+                return Err(Error::config(format!(
+                    "cannot read checkpoint {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let mut fields = header.split(' ');
+        if fields.next() != Some(JOURNAL_MAGIC) {
+            return Err(Error::config(format!(
+                "{} is not a checkpoint journal (bad header)",
+                path.display()
+            )));
+        }
+        let version = fields.next().unwrap_or("");
+        if version != JOURNAL_VERSION {
+            return Err(Error::config(format!(
+                "checkpoint {} has unsupported version {version:?} (supported: {JOURNAL_VERSION})",
+                path.display()
+            )));
+        }
+        let stored = fields
+            .next()
+            .and_then(|f| u64::from_str_radix(f, 16).ok())
+            .ok_or_else(|| {
+                Error::config(format!(
+                    "checkpoint {} has a malformed fingerprint field",
+                    path.display()
+                ))
+            })?;
+        if stored != fingerprint {
+            return Err(Error::config(format!(
+                "checkpoint {} was recorded for a different workload \
+                 (fingerprint {stored:016x}, expected {fingerprint:016x}); \
+                 delete it or point --checkpoint elsewhere to start fresh",
+                path.display()
+            )));
+        }
+        let mut journal = Journal::new(fingerprint);
+        for line in lines {
+            // `cell <key> <payload> <crc>` — anything that does not
+            // parse and verify is a torn/corrupt line: skip it.
+            let Some(rest) = line.strip_prefix("cell ") else {
+                continue;
+            };
+            let mut fields = rest.rsplitn(2, ' ');
+            let (Some(crc), Some(body)) = (fields.next(), fields.next()) else {
+                continue;
+            };
+            if u64::from_str_radix(crc, 16) != Ok(fnv64(body)) {
+                continue;
+            }
+            let Some((key, payload)) = body.split_once(' ') else {
+                continue;
+            };
+            let (Some(key), Some(stats)) = (decode_key(key), decode_stats(payload)) else {
+                continue;
+            };
+            journal.record(&key, &stats);
+        }
+        Ok(journal)
+    }
+
+    /// Persists the journal atomically: the content is written to a
+    /// sibling temp file and renamed over `path`, so a crash mid-save
+    /// cannot leave a half-written journal.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] carrying the underlying I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), Error> {
+        let mut out = format!(
+            "{JOURNAL_MAGIC} {JOURNAL_VERSION} {:016x}\n",
+            self.fingerprint
+        );
+        for key in &self.order {
+            let stats = &self.cells[key];
+            let body = format!("{} {}", encode_key(key), encode_stats(stats));
+            let _ = writeln!(out, "cell {body} {:016x}", fnv64(&body));
+        }
+        let io_err = |what: &str, e: std::io::Error| {
+            Error::config(format!("cannot {what} checkpoint {}: {e}", path.display()))
+        };
+        let tmp = path.with_extension("journal.tmp");
+        std::fs::write(&tmp, &out).map_err(|e| io_err("write", e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err("commit", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::extra;
+
+    fn sample_stats(seed: u64) -> ModelStats {
+        let mut demand = CacheStats::new();
+        for i in 0..seed + 5 {
+            demand.record_read(i % 3 == 0);
+            demand.record_write(i % 2 == 0);
+        }
+        demand.evictions = seed;
+        demand.writebacks = seed / 2;
+        ModelStats {
+            demand,
+            components: vec![
+                ComponentStats {
+                    name: "l1 array".into(),
+                    stats: demand,
+                },
+                ComponentStats {
+                    name: "victim".into(),
+                    stats: CacheStats::new(),
+                },
+            ],
+            extras: vec![
+                extra("holes-created", seed * 3),
+                extra("100% weird:name", 7),
+            ],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cac-journal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_cells_exactly() {
+        let dir = temp_dir("rt");
+        let path = dir.join("j");
+        let mut j = Journal::new(fingerprint(&["swim", "1000000", "42"]));
+        j.record("a2-Hp-Sk@00ff", &sample_stats(3));
+        j.record("modulo@1234", &sample_stats(9));
+        j.record("name with spaces@x", &sample_stats(1));
+        j.save(&path).unwrap();
+
+        let back = Journal::load(&path, j.fingerprint()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get("a2-Hp-Sk@00ff"), Some(&sample_stats(3)));
+        assert_eq!(back.get("modulo@1234"), Some(&sample_stats(9)));
+        assert_eq!(back.get("name with spaces@x"), Some(&sample_stats(1)));
+        assert_eq!(back.get("missing"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let dir = temp_dir("missing");
+        let j = Journal::load(&dir.join("nope"), 5).unwrap();
+        assert!(j.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let dir = temp_dir("fp");
+        let path = dir.join("j");
+        Journal::new(0xAAAA).save(&path).unwrap();
+        let err = Journal::load(&path, 0xBBBB).unwrap_err().to_string();
+        assert!(err.contains("different workload"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_refused() {
+        let dir = temp_dir("foreign");
+        let path = dir.join("j");
+        std::fs::write(&path, "just some text\n").unwrap();
+        assert!(Journal::load(&path, 0).is_err());
+        std::fs::write(&path, "CACJ v9 0000000000000000\n").unwrap();
+        let err = Journal::load(&path, 0).unwrap_err().to_string();
+        assert!(err.contains("unsupported version"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_lines_are_skipped() {
+        let dir = temp_dir("torn");
+        let path = dir.join("j");
+        let mut j = Journal::new(77);
+        j.record("good", &sample_stats(2));
+        j.record("tail", &sample_stats(4));
+        j.save(&path).unwrap();
+        // Simulate a crash mid-append: cut the last line short.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().len() - 10;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let back = Journal::load(&path, 77).unwrap();
+        assert_eq!(back.get("good"), Some(&sample_stats(2)));
+        assert_eq!(back.get("tail"), None, "torn line must not resurrect");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn last_duplicate_wins() {
+        let dir = temp_dir("dup");
+        let path = dir.join("j");
+        let mut j = Journal::new(1);
+        j.record("k", &sample_stats(1));
+        j.record("k", &sample_stats(8));
+        assert_eq!(j.len(), 1);
+        j.save(&path).unwrap();
+        let back = Journal::load(&path, 1).unwrap();
+        assert_eq!(back.get("k"), Some(&sample_stats(8)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_over_existing_journals() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("j");
+        let mut j = Journal::new(3);
+        j.record("a", &sample_stats(1));
+        j.save(&path).unwrap();
+        j.record("b", &sample_stats(2));
+        j.save(&path).unwrap();
+        let back = Journal::load(&path, 3).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(!path.with_extension("journal.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -119,6 +119,7 @@ pub mod column;
 pub mod config;
 pub mod hierarchy;
 pub mod jouppi;
+pub mod journal;
 pub mod model;
 pub mod mshr;
 pub mod pagesize;

@@ -269,6 +269,61 @@ pub trait MemoryModel: Send {
     }
 }
 
+/// A deliberately faulty model: behaves as an always-miss "cache" until
+/// its access counter reaches a trigger, then panics on every further
+/// access.
+///
+/// This is the test fixture behind the sweep engine's panic isolation
+/// (`[poison]` config sections, `Sweep::run_refs_isolated`): a sweep
+/// containing a `PoisonModel` must degrade that one row to
+/// `Failed` while sibling models' counters stay byte-identical. It has
+/// no simulation value.
+#[derive(Debug, Clone)]
+pub struct PoisonModel {
+    after: u64,
+    stats: CacheStats,
+}
+
+impl PoisonModel {
+    /// A model that panics once `after` accesses have been replayed
+    /// (`after = 0` panics on the very first access).
+    pub fn new(after: u64) -> Self {
+        PoisonModel {
+            after,
+            stats: CacheStats::new(),
+        }
+    }
+}
+
+impl MemoryModel for PoisonModel {
+    fn access(&mut self, r: MemRef) -> AccessOutcome {
+        if self.stats.accesses >= self.after {
+            panic!(
+                "poison model tripped after {} accesses (configured trigger {})",
+                self.stats.accesses, self.after
+            );
+        }
+        if r.is_write {
+            self.stats.record_write(false);
+        } else {
+            self.stats.record_read(false);
+        }
+        AccessOutcome::miss()
+    }
+
+    fn stats(&self) -> ModelStats {
+        ModelStats::single("poison", self.stats)
+    }
+
+    fn reset(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    fn describe(&self) -> String {
+        format!("poison model (panics after {} accesses)", self.after)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

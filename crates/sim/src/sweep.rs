@@ -59,9 +59,83 @@ use cac_core::Error;
 use cac_trace::io::{RefSource, DEFAULT_CHUNK_OPS};
 use cac_trace::MemRef;
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
+
+/// Per-model result of an *isolated* sweep
+/// ([`Sweep::run_refs_isolated`] / [`Sweep::run_source_isolated`]):
+/// either the model's counter delta, or the reason its replay panicked.
+///
+/// A failed model is quarantined from the first panic on — it sees no
+/// further references — and its partial counters are discarded; sibling
+/// models in the same sweep (even the same worker shard) are unaffected
+/// and their results are byte-identical to a sweep without the failed
+/// model present.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelOutcome {
+    /// The model replayed the whole stream; its counter delta.
+    Completed(ModelStats),
+    /// The model panicked; replay of *this model only* was abandoned.
+    Failed {
+        /// The panic payload (or a placeholder for non-string panics).
+        reason: String,
+    },
+}
+
+impl ModelOutcome {
+    /// The stats delta, if the model completed.
+    pub fn stats(&self) -> Option<&ModelStats> {
+        match self {
+            ModelOutcome::Completed(s) => Some(s),
+            ModelOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True if the model panicked.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ModelOutcome::Failed { .. })
+    }
+
+    /// The failure reason, if the model panicked.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            ModelOutcome::Completed(_) => None,
+            ModelOutcome::Failed { reason } => Some(reason),
+        }
+    }
+}
+
+/// Renders a caught panic payload as a failure reason.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model panicked with a non-string payload".to_owned()
+    }
+}
+
+/// Replays `chunk` against every not-yet-poisoned model of a shard,
+/// catching panics and quarantining the panicking model.
+fn replay_isolated(
+    shard: &mut [Box<dyn MemoryModel>],
+    poisoned: &mut [Option<String>],
+    chunk: &[MemRef],
+) {
+    for (m, poison) in shard.iter_mut().zip(poisoned.iter_mut()) {
+        if poison.is_some() {
+            continue;
+        }
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| {
+            m.run_refs(chunk);
+        })) {
+            *poison = Some(panic_reason(payload));
+        }
+    }
+}
 
 /// Multi-model replay engine configuration (builder style).
 ///
@@ -256,6 +330,123 @@ impl Sweep {
             .collect();
         result.map(|()| after)
     }
+
+    /// Panic-isolated [`Sweep::run_refs`]: each model's replay is
+    /// wrapped in [`std::panic::catch_unwind`], so one poisoned
+    /// configuration yields a [`ModelOutcome::Failed`] row instead of
+    /// tearing down the whole sweep. Completed models' deltas are
+    /// byte-identical to a non-isolated sweep.
+    pub fn run_refs_isolated(
+        &self,
+        models: &mut [Box<dyn MemoryModel>],
+        refs: &[MemRef],
+    ) -> Vec<ModelOutcome> {
+        let before: Vec<ModelStats> = models.iter().map(|m| m.stats()).collect();
+        let workers = self.effective_workers(models.len());
+        let mut poisoned: Vec<Option<String>> = vec![None; models.len()];
+        if workers <= 1 {
+            for chunk in refs.chunks(self.chunk_ops) {
+                replay_isolated(models, &mut poisoned, chunk);
+            }
+        } else {
+            let shard = models.len().div_ceil(workers);
+            thread::scope(|s| {
+                for (shard, poison) in models.chunks_mut(shard).zip(poisoned.chunks_mut(shard)) {
+                    s.spawn(move || {
+                        for chunk in refs.chunks(self.chunk_ops) {
+                            replay_isolated(shard, poison, chunk);
+                        }
+                    });
+                }
+            });
+        }
+        collect_outcomes(models, before, poisoned)
+    }
+
+    /// Panic-isolated [`Sweep::run_source`]: streams the source once,
+    /// catching per-model panics as [`ModelOutcome::Failed`] rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's decode/read errors (model panics are
+    /// *not* errors — they surface as `Failed` outcomes).
+    pub fn run_source_isolated<S: RefSource>(
+        &self,
+        models: &mut [Box<dyn MemoryModel>],
+        mut source: S,
+    ) -> Result<Vec<ModelOutcome>, S::Error> {
+        let before: Vec<ModelStats> = models.iter().map(|m| m.stats()).collect();
+        let workers = self.effective_workers(models.len());
+        let mut poisoned: Vec<Option<String>> = vec![None; models.len()];
+        let mut result = Ok(());
+        if workers <= 1 {
+            let mut buf = Vec::with_capacity(self.chunk_ops);
+            loop {
+                match source.read_ref_chunk(&mut buf, self.chunk_ops) {
+                    Ok(0) => break,
+                    Ok(_) => replay_isolated(models, &mut poisoned, &buf),
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+        } else {
+            let shard = models.len().div_ceil(workers);
+            result = thread::scope(|s| {
+                let mut senders = Vec::new();
+                for (shard, poison) in models.chunks_mut(shard).zip(poisoned.chunks_mut(shard)) {
+                    let (tx, rx) = mpsc::sync_channel::<Arc<Vec<MemRef>>>(2);
+                    senders.push(tx);
+                    s.spawn(move || {
+                        for chunk in rx.iter() {
+                            replay_isolated(shard, poison, &chunk);
+                        }
+                    });
+                }
+                let mut in_flight: VecDeque<Arc<Vec<MemRef>>> = VecDeque::new();
+                loop {
+                    let recyclable = in_flight.front().is_some_and(|a| Arc::strong_count(a) == 1);
+                    let mut buf = if recyclable {
+                        Arc::try_unwrap(in_flight.pop_front().expect("checked"))
+                            .expect("sole owner")
+                    } else {
+                        Vec::with_capacity(self.chunk_ops)
+                    };
+                    match source.read_ref_chunk(&mut buf, self.chunk_ops) {
+                        Ok(0) => return Ok(()),
+                        Ok(_) => {
+                            let chunk = Arc::new(buf);
+                            for tx in &senders {
+                                let _ = tx.send(chunk.clone());
+                            }
+                            in_flight.push_back(chunk);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            });
+        }
+        result.map(|()| collect_outcomes(models, before, poisoned))
+    }
+}
+
+/// Folds post-sweep model state and poison markers into per-model
+/// outcomes, discarding the partial counters of failed models.
+fn collect_outcomes(
+    models: &[Box<dyn MemoryModel>],
+    before: Vec<ModelStats>,
+    poisoned: Vec<Option<String>>,
+) -> Vec<ModelOutcome> {
+    models
+        .iter()
+        .zip(before)
+        .zip(poisoned)
+        .map(|((m, b), poison)| match poison {
+            Some(reason) => ModelOutcome::Failed { reason },
+            None => ModelOutcome::Completed(m.stats() - b),
+        })
+        .collect()
 }
 
 /// [`Sweep::run_refs`] with default settings — the one-liner the
@@ -601,6 +792,78 @@ mod tests {
                 .unwrap();
             assert_eq!(got, expect, "workers {workers}");
         }
+    }
+
+    #[test]
+    fn isolated_sweep_matches_plain_sweep_when_nothing_fails() {
+        let refs = mixed_refs(20_000);
+        let specs = [IndexSpec::modulo(), IndexSpec::ipoly_skewed()];
+        let mut plain = models(&specs);
+        let expect = sweep_refs(&mut plain, &refs);
+        for workers in [1usize, 3] {
+            let mut isolated = models(&specs);
+            let got = Sweep::new()
+                .workers(workers)
+                .chunk_ops(977)
+                .run_refs_isolated(&mut isolated, &refs);
+            let got: Vec<&ModelStats> = got.iter().map(|o| o.stats().unwrap()).collect();
+            assert_eq!(got, expect.iter().collect::<Vec<_>>(), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn poisoned_model_degrades_without_touching_siblings() {
+        use crate::model::PoisonModel;
+        use cac_trace::io::IterRefSource;
+        let refs = mixed_refs(15_000);
+        let specs = [IndexSpec::modulo(), IndexSpec::xor_skewed()];
+        let mut healthy = models(&specs);
+        let expect = sweep_refs(&mut healthy, &refs);
+
+        for workers in [1usize, 2, 4] {
+            // Slice path: poison sandwiched between healthy models.
+            let mut mixed: Vec<Box<dyn MemoryModel>> = Vec::new();
+            mixed.push(models(&specs[..1]).pop().unwrap());
+            mixed.push(Box::new(PoisonModel::new(4_000)));
+            mixed.push(models(&specs[1..]).pop().unwrap());
+            let outcomes = Sweep::new()
+                .workers(workers)
+                .chunk_ops(1013)
+                .run_refs_isolated(&mut mixed, &refs);
+            assert_eq!(outcomes.len(), 3, "workers {workers}");
+            assert_eq!(outcomes[0].stats(), Some(&expect[0]), "workers {workers}");
+            assert!(outcomes[1].is_failed(), "workers {workers}");
+            assert!(
+                outcomes[1].failure().unwrap().contains("poison model"),
+                "workers {workers}: {:?}",
+                outcomes[1].failure()
+            );
+            assert_eq!(outcomes[2].stats(), Some(&expect[1]), "workers {workers}");
+
+            // Streaming path: same quarantine guarantees.
+            let mut mixed: Vec<Box<dyn MemoryModel>> = Vec::new();
+            mixed.push(models(&specs[..1]).pop().unwrap());
+            mixed.push(Box::new(PoisonModel::new(4_000)));
+            mixed.push(models(&specs[1..]).pop().unwrap());
+            let outcomes = Sweep::new()
+                .workers(workers)
+                .chunk_ops(1013)
+                .run_source_isolated(&mut mixed, IterRefSource::new(refs.iter().copied()))
+                .unwrap();
+            assert_eq!(outcomes[0].stats(), Some(&expect[0]), "workers {workers}");
+            assert!(outcomes[1].is_failed(), "workers {workers}");
+            assert_eq!(outcomes[2].stats(), Some(&expect[1]), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn immediate_panic_is_reported_with_its_reason() {
+        use crate::model::PoisonModel;
+        let refs = mixed_refs(100);
+        let mut ms: Vec<Box<dyn MemoryModel>> = vec![Box::new(PoisonModel::new(0))];
+        let outcomes = Sweep::new().workers(1).run_refs_isolated(&mut ms, &refs);
+        let reason = outcomes[0].failure().expect("must fail");
+        assert!(reason.contains("configured trigger 0"), "{reason}");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Property-based hardening tests for the declarative config layer:
+//! the TOML-subset reader and `SimConfig` must return `Error::Config`
+//! (never panic, never hang) on arbitrary and adversarial input.
+
+use cac_sim::config::toml::{parse, MAX_LINE_LEN};
+use cac_sim::config::SimConfig;
+use proptest::prelude::*;
+
+/// One line of config-ish fuzz input: valid headers and pairs mixed
+/// with malformed fragments and raw bytes.
+fn arb_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("[cache]".to_owned()),
+        Just("[hierarchy]".to_owned()),
+        Just("[[level]]".to_owned()),
+        Just("[poison]".to_owned()),
+        (any::<u64>()).prop_map(|v| format!("size = {v}")),
+        (any::<u64>()).prop_map(|v| format!("key{} = \"v{v}\"", v % 10)),
+        (any::<u64>(), 0usize..6)
+            .prop_map(|(v, n)| format!("list = [{}]", vec![v.to_string(); n].join(", "))),
+        (any::<u64>()).prop_map(|v| format!("x = {}", "[".repeat((v % 40) as usize))),
+        // Raw noise: arbitrary bytes squeezed into a lossy string.
+        proptest::collection::vec(any::<u8>(), 0..60)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned()),
+    ]
+}
+
+proptest! {
+    /// The parser is total: any byte soup either parses or returns a
+    /// config error. (A panic or stack overflow would abort the test.)
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = parse(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// The full `SimConfig` pipeline (parse + validate + build) never
+    /// panics on assembled config-ish documents either.
+    #[test]
+    fn sim_config_never_panics(lines in proptest::collection::vec(arb_line(), 0..12)) {
+        let input = lines.join("\n");
+        let _ = SimConfig::from_toml_str(&input).map(|c| c.build());
+    }
+
+    /// Deeply nested brackets are rejected without recursing per
+    /// bracket (no stack overflow at any depth).
+    #[test]
+    fn deep_nesting_is_rejected_flat(depth in 2usize..5000) {
+        let src = format!("x = {}1{}", "[".repeat(depth), "]".repeat(depth));
+        let err = parse(&src).unwrap_err().to_string();
+        // Small depths hit the nested-array guard; huge ones trip the
+        // line-length limit first. Either way: flat rejection, no
+        // per-bracket recursion.
+        prop_assert!(
+            err.contains("nested arrays") || err.contains("limit"),
+            "{}", err
+        );
+    }
+
+    /// Key/value pairs written within the subset always round-trip.
+    #[test]
+    fn valid_pairs_round_trip(int_val in any::<i64>(), tag in 0u32..1000) {
+        let key = format!("key-{tag}");
+        let src = format!("{key} = {int_val}\nother = \"s{tag}\"\n");
+        let doc = parse(&src).unwrap();
+        prop_assert_eq!(doc.root.get(&key).unwrap().as_int(), Some(int_val));
+        let expect = format!("s{tag}");
+        prop_assert_eq!(doc.root.get("other").unwrap().as_str(), Some(expect.as_str()));
+    }
+}
+
+#[test]
+fn overlong_lines_are_rejected_with_position() {
+    let src = format!("ok = 1\nbad = \"{}\"\n", "x".repeat(MAX_LINE_LEN));
+    let err = parse(&src).unwrap_err().to_string();
+    assert!(err.contains("line 2"), "{err}");
+}

@@ -1,0 +1,364 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! The lenient decode mode, the panic-isolated sweep engine and the
+//! checkpoint journal all claim to *recover* from damage. Claims about
+//! recovery need a reproducible way to produce damage: this module
+//! wraps any byte stream ([`FaultSource`]) or op stream
+//! ([`FaultChunkSource`]) and injects faults at seeded, configurable
+//! rates — the same seed always damages the same bytes, so a failing
+//! case is a one-line reproduction (`cac trace gen --inject ...`).
+//!
+//! Three fault classes cover the realistic failure modes of captured
+//! trace files:
+//!
+//! * **bit flips** (storage/transfer corruption) at a parts-per-million
+//!   rate over the byte stream;
+//! * **truncation** (a killed capture run) at a fixed byte offset;
+//! * **I/O errors** (a flaky mount) raised once at a fixed byte offset.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_trace::fault::{FaultSource, FaultSpec};
+//! use std::io::Read;
+//!
+//! let clean = vec![0u8; 100_000];
+//! let spec = FaultSpec::parse("flip=100,seed=7").unwrap();
+//! let mut damaged = Vec::new();
+//! let mut src = FaultSource::new(&clean[..], spec);
+//! src.read_to_end(&mut damaged).unwrap();
+//! assert_eq!(damaged.len(), clean.len());
+//! assert!(src.flips() > 0);
+//! assert_ne!(damaged, clean);
+//! ```
+
+use crate::io::ChunkSource;
+use crate::record::TraceOp;
+use std::io::{self, Read};
+
+/// What faults to inject, and where. Built directly or parsed from the
+/// CLI's compact `k=v` list by [`FaultSpec::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSpec {
+    /// PRNG seed; the same seed over the same stream damages the same
+    /// bytes.
+    pub seed: u64,
+    /// Bit-flip rate in flipped bits per million bytes (each byte gets
+    /// at most one flipped bit). 0 disables flips.
+    pub flip_ppm: u32,
+    /// Truncate the stream at this byte offset (report EOF early).
+    pub truncate_at: Option<u64>,
+    /// Raise one `io::Error` when the read cursor reaches this offset;
+    /// subsequent reads continue normally (a transient fault).
+    pub io_error_at: Option<u64>,
+}
+
+impl FaultSpec {
+    /// Parses a compact comma-separated `key=value` list, e.g.
+    /// `"flip=200,seed=7"` or `"truncate=65536,io-error=4096"`.
+    ///
+    /// Keys: `flip` (bit flips per million bytes), `seed` (PRNG seed),
+    /// `truncate` (byte offset), `io-error` (byte offset). Unknown keys
+    /// and malformed numbers are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed
+    /// entry.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for item in s.split(',').map(str::trim).filter(|i| !i.is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item `{item}` is not key=value"))?;
+            let number = |what: &str| {
+                value
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault spec {what} `{value}` is not a number"))
+            };
+            match key.trim() {
+                "flip" => {
+                    let ppm = number("flip rate")?;
+                    if ppm > 1_000_000 {
+                        return Err(format!("flip rate {ppm} exceeds 1000000 ppm"));
+                    }
+                    spec.flip_ppm = ppm as u32;
+                }
+                "seed" => spec.seed = number("seed")?,
+                "truncate" => spec.truncate_at = Some(number("truncate offset")?),
+                "io-error" => spec.io_error_at = Some(number("io-error offset")?),
+                k => {
+                    return Err(format!(
+                        "unknown fault spec key `{k}` (known: flip, seed, truncate, io-error)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// True if this spec injects nothing.
+    pub fn is_noop(&self) -> bool {
+        self.flip_ppm == 0 && self.truncate_at.is_none() && self.io_error_at.is_none()
+    }
+}
+
+/// xorshift64* — tiny, seedable, and plenty random for picking fault
+/// sites. Kept inline so fault injection has no dependency footprint.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zeros fixed point.
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A [`Read`] adapter injecting the faults described by a
+/// [`FaultSpec`] into the wrapped stream. See the [module
+/// docs](self) for the fault classes.
+#[derive(Debug)]
+pub struct FaultSource<R> {
+    inner: R,
+    spec: FaultSpec,
+    rng: Rng,
+    offset: u64,
+    flips: u64,
+    io_error_armed: bool,
+}
+
+impl<R: Read> FaultSource<R> {
+    /// Wraps `inner`, injecting per `spec`.
+    pub fn new(inner: R, spec: FaultSpec) -> Self {
+        FaultSource {
+            inner,
+            rng: Rng::new(spec.seed),
+            offset: 0,
+            flips: 0,
+            io_error_armed: spec.io_error_at.is_some(),
+            spec,
+        }
+    }
+
+    /// Bits flipped so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Bytes delivered so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Unwraps the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FaultSource<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut limit = buf.len();
+        if let Some(cut) = self.spec.truncate_at {
+            limit = limit.min(cut.saturating_sub(self.offset) as usize);
+            if limit == 0 && !buf.is_empty() {
+                return Ok(0); // injected truncation: early EOF
+            }
+        }
+        if self.io_error_armed {
+            if let Some(at) = self.spec.io_error_at {
+                if self.offset >= at {
+                    self.io_error_armed = false;
+                    return Err(io::Error::other(format!("injected I/O fault at byte {at}")));
+                }
+                limit = limit.min((at - self.offset) as usize).max(1);
+            }
+        }
+        let n = self.inner.read(&mut buf[..limit])?;
+        if self.spec.flip_ppm > 0 {
+            // Per-byte Bernoulli trial at flip_ppm / 1e6; one flipped
+            // bit per damaged byte.
+            let threshold = u64::from(self.spec.flip_ppm) * (u64::MAX / 1_000_000);
+            for b in &mut buf[..n] {
+                if self.rng.next() < threshold {
+                    *b ^= 1 << (self.rng.next() % 8);
+                    self.flips += 1;
+                }
+            }
+        }
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
+/// A [`ChunkSource`] adapter injecting *record-level* faults: drops
+/// whole ops at a seeded parts-per-million rate. Useful for exercising
+/// consumers that must tolerate incomplete streams without involving
+/// byte-level decode at all.
+#[derive(Debug)]
+pub struct FaultChunkSource<S> {
+    inner: S,
+    rng: Rng,
+    drop_ppm: u32,
+    dropped: u64,
+}
+
+impl<S: ChunkSource> FaultChunkSource<S> {
+    /// Wraps `inner`, dropping ops at `drop_ppm` parts per million
+    /// under `seed`.
+    pub fn new(inner: S, seed: u64, drop_ppm: u32) -> Self {
+        FaultChunkSource {
+            inner,
+            rng: Rng::new(seed),
+            drop_ppm,
+            dropped: 0,
+        }
+    }
+
+    /// Ops dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<S: ChunkSource> ChunkSource for FaultChunkSource<S> {
+    type Error = S::Error;
+
+    fn read_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> Result<usize, S::Error> {
+        let n = self.inner.read_chunk(out, max)?;
+        if self.drop_ppm > 0 && n > 0 {
+            let threshold = u64::from(self.drop_ppm) * (u64::MAX / 1_000_000);
+            let before = out.len();
+            let rng = &mut self.rng;
+            out.retain(|_| rng.next() >= threshold);
+            self.dropped += (before - out.len()) as u64;
+        }
+        Ok(out.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::SliceSource;
+    use crate::spec::SpecBenchmark;
+
+    #[test]
+    fn spec_parses_and_rejects() {
+        let spec = FaultSpec::parse("flip=200, seed=7, truncate=1024, io-error=99").unwrap();
+        assert_eq!(
+            spec,
+            FaultSpec {
+                seed: 7,
+                flip_ppm: 200,
+                truncate_at: Some(1024),
+                io_error_at: Some(99),
+            }
+        );
+        assert!(FaultSpec::parse("").unwrap().is_noop());
+        assert!(FaultSpec::parse("flip").is_err());
+        assert!(FaultSpec::parse("flip=abc").is_err());
+        assert!(FaultSpec::parse("warp=9").is_err());
+        assert!(FaultSpec::parse("flip=2000000").is_err());
+    }
+
+    #[test]
+    fn flips_are_deterministic_and_rate_bounded() {
+        let clean = vec![0u8; 1 << 20];
+        let read_all = |spec: FaultSpec| {
+            let mut src = FaultSource::new(&clean[..], spec);
+            let mut out = Vec::new();
+            src.read_to_end(&mut out).unwrap();
+            (out, src.flips())
+        };
+        let spec = FaultSpec {
+            flip_ppm: 500,
+            seed: 42,
+            ..FaultSpec::default()
+        };
+        let (a, flips_a) = read_all(spec);
+        let (b, flips_b) = read_all(spec);
+        assert_eq!(a, b, "same seed, same damage");
+        assert_eq!(flips_a, flips_b);
+        // ~500ppm over 1MiB ≈ 524 expected flips; allow wide slack.
+        assert!((100..3000).contains(&flips_a), "{flips_a}");
+        let differing = a.iter().filter(|&&x| x != 0).count() as u64;
+        assert_eq!(differing, flips_a, "one bit per damaged byte");
+        let (c, _) = read_all(FaultSpec { seed: 43, ..spec });
+        assert_ne!(a, c, "different seed, different damage");
+    }
+
+    #[test]
+    fn truncation_cuts_exactly() {
+        let clean: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let spec = FaultSpec {
+            truncate_at: Some(777),
+            ..FaultSpec::default()
+        };
+        let mut out = Vec::new();
+        FaultSource::new(&clean[..], spec)
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, &clean[..777]);
+    }
+
+    #[test]
+    fn io_error_fires_once_then_recovers() {
+        let clean = vec![7u8; 10_000];
+        let spec = FaultSpec {
+            io_error_at: Some(100),
+            ..FaultSpec::default()
+        };
+        let mut src = FaultSource::new(&clean[..], spec);
+        let mut out = Vec::new();
+        let err = src.read_to_end(&mut out).unwrap_err();
+        assert!(err.to_string().contains("injected I/O fault"), "{err}");
+        // The error is transient: retrying drains the rest.
+        out.clear();
+        src.read_to_end(&mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn chunk_faults_drop_deterministically() {
+        let ops: Vec<TraceOp> = SpecBenchmark::Swim.generator(1).take(50_000).collect();
+        let drain = |seed: u64| {
+            let mut src = FaultChunkSource::new(SliceSource::new(&ops), seed, 10_000);
+            let mut buf = Vec::new();
+            let mut all = Vec::new();
+            while src.read_chunk(&mut buf, 4096).unwrap() > 0 {
+                all.extend_from_slice(&buf);
+            }
+            (all, src.dropped())
+        };
+        let (a, dropped_a) = drain(5);
+        let (b, dropped_b) = drain(5);
+        assert_eq!(a, b);
+        assert_eq!(dropped_a, dropped_b);
+        assert_eq!(a.len() as u64 + dropped_a, ops.len() as u64);
+        // 1% drop rate over 50k ops: a few hundred expected.
+        assert!((100..2000).contains(&dropped_a), "{dropped_a}");
+    }
+
+    #[test]
+    fn noop_spec_is_transparent() {
+        let clean: Vec<u8> = (0..=255u8).cycle().take(5_000).collect();
+        let mut out = Vec::new();
+        let mut src = FaultSource::new(&clean[..], FaultSpec::default());
+        src.read_to_end(&mut out).unwrap();
+        assert_eq!(out, clean);
+        assert_eq!(src.flips(), 0);
+    }
+}

@@ -17,10 +17,26 @@
 //!   into one- or two-byte fields;
 //! * register operands are single bytes (`0xFF` = absent).
 //!
-//! The stream is terminated by the end of the underlying reader; records
-//! are self-delimiting, so readers detect truncation mid-record and
-//! report it as [`BinaryTraceError::Truncated`] rather than silently
-//! dropping the tail.
+//! # Version 2: framed, checksummed blocks
+//!
+//! Version 2 (the current writer output) groups records into
+//! independently decodable **blocks** of roughly [`BLOCK_TARGET`]
+//! payload bytes. Each block is a 16-byte header — the [`BLOCK_MAGIC`]
+//! marker `CBLK`, the payload length, the record count, and a checksum
+//! of the payload — followed by the v1-encoded records. The delta state
+//! resets at every block start, so one damaged block never corrupts the
+//! decode of its neighbours. Version 1 streams (no framing, one
+//! continuous record run) are still read transparently.
+//!
+//! Framing is what makes **lenient decode** possible: a reader in
+//! [`DecodeMode::Lenient`] drops a block whose checksum (or structure)
+//! does not verify, resynchronizes at the next `CBLK` marker, and keeps
+//! going, tallying what it skipped in a [`SkipReport`] instead of
+//! failing the stream. Strict mode (the default) reports the first
+//! damage as an error positioned by absolute byte offset. Truncation is
+//! detected in both versions and both modes: the stream ends either at
+//! a block/record boundary (clean EOF) or inside one
+//! ([`BinaryTraceError::Truncated`], or a skip tally in lenient mode).
 //!
 //! # Example
 //!
@@ -49,11 +65,28 @@ use std::io::{self, BufWriter, Read, Write};
 /// Magic bytes opening every binary trace.
 pub const BINARY_MAGIC: [u8; 4] = *b"CACT";
 
-/// Current (and only) format version.
-pub const BINARY_VERSION: u8 = 1;
+/// Current format version (written by [`BinaryTraceWriter::new`]).
+/// Versions 1 and 2 are both readable.
+pub const BINARY_VERSION: u8 = 2;
 
 /// Header length in bytes: magic, version, three reserved zeros.
 pub const HEADER_LEN: usize = 8;
+
+/// Marker bytes opening every version-2 block.
+pub const BLOCK_MAGIC: [u8; 4] = *b"CBLK";
+
+/// Version-2 block header length: marker, payload length (u32 LE),
+/// record count (u32 LE), payload checksum (u32 LE).
+pub const BLOCK_HEADER_LEN: usize = 16;
+
+/// Payload size at which the writer closes the current block. Blocks
+/// may exceed this by at most one record.
+pub const BLOCK_TARGET: usize = 32 << 10;
+
+/// Largest payload length a reader accepts in a block header. A
+/// corrupted length field cannot make the reader buffer an absurd
+/// amount of data: anything above this cap is treated as damage.
+pub const MAX_BLOCK_LEN: usize = 1 << 20;
 
 /// Upper bound on the encoded size of one record: tag byte, two 10-byte
 /// varints, three register bytes.
@@ -64,7 +97,7 @@ const REG_NONE: u8 = 0xFF;
 
 // Tag-byte kinds. 0..=6 are the compute classes in `OpClass` order;
 // memory and branch kinds follow. The high tag bits are reserved and
-// must be zero in version 1.
+// must be zero.
 const TAG_LOAD: u8 = 7;
 const TAG_STORE: u8 = 8;
 const TAG_BRANCH_NOT_TAKEN: u8 = 9;
@@ -87,6 +120,25 @@ fn compute_tag(class: OpClass) -> u8 {
         .expect("compute class") as u8
 }
 
+/// Checksum over a block payload: FNV-1a over 8-byte words (plus a
+/// byte-wise tail), folded to 32 bits. Word-wise so verification costs
+/// a fraction of record decode on the hot streaming path.
+pub fn block_checksum(bytes: &[u8]) -> u32 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ (bytes.len() as u64);
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        h ^= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in words.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
 /// Error produced while reading a binary trace.
 #[derive(Debug)]
 pub enum BinaryTraceError {
@@ -96,15 +148,20 @@ pub enum BinaryTraceError {
     BadMagic,
     /// The header carries a version this reader does not understand.
     UnsupportedVersion(u8),
-    /// The stream ended in the middle of a record.
+    /// The stream ended in the middle of a record, block header or
+    /// block payload.
     Truncated {
         /// Number of records successfully decoded before the cut.
         ops_decoded: u64,
+        /// Absolute byte offset of the end of the stream.
+        offset: u64,
     },
-    /// A structurally invalid record.
+    /// A structurally invalid record or block.
     Corrupt {
-        /// 0-based index of the offending record.
+        /// 0-based index of the next record (records decoded so far).
         op: u64,
+        /// Absolute byte offset of the damage.
+        offset: u64,
         /// What was wrong.
         reason: String,
     },
@@ -118,16 +175,22 @@ impl fmt::Display for BinaryTraceError {
                 write!(f, "not a binary trace (bad magic; expected `CACT`)")
             }
             BinaryTraceError::UnsupportedVersion(v) => {
-                write!(f, "unsupported binary trace version {v} (supported: 1)")
+                write!(f, "unsupported binary trace version {v} (supported: 1-2)")
             }
-            BinaryTraceError::Truncated { ops_decoded } => {
+            BinaryTraceError::Truncated {
+                ops_decoded,
+                offset,
+            } => {
                 write!(
                     f,
-                    "binary trace truncated after {ops_decoded} complete records"
+                    "binary trace truncated at byte {offset} after {ops_decoded} complete records"
                 )
             }
-            BinaryTraceError::Corrupt { op, reason } => {
-                write!(f, "corrupt binary trace record {op}: {reason}")
+            BinaryTraceError::Corrupt { op, offset, reason } => {
+                write!(
+                    f,
+                    "corrupt binary trace at byte {offset} (record {op}): {reason}"
+                )
             }
         }
     }
@@ -145,6 +208,41 @@ impl std::error::Error for BinaryTraceError {
 impl From<io::Error> for BinaryTraceError {
     fn from(e: io::Error) -> Self {
         BinaryTraceError::Io(e)
+    }
+}
+
+/// Error-handling policy of a [`BinaryTraceReader`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DecodeMode {
+    /// Report the first structural damage as an error (the default).
+    #[default]
+    Strict,
+    /// Skip damaged data and resynchronize at the next block boundary,
+    /// tallying what was dropped in a [`SkipReport`]. Only header and
+    /// I/O errors still fail the stream. On version-1 streams (no block
+    /// framing to resynchronize on) the remaining tail is abandoned at
+    /// the first damaged record.
+    Lenient,
+}
+
+/// What a lenient reader skipped over. All zeros on a clean stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SkipReport {
+    /// Damaged regions skipped: blocks that failed verification, plus
+    /// one per resynchronization scan over unrecognizable bytes.
+    pub blocks: u64,
+    /// Records lost, as claimed by the skipped blocks' headers (exact
+    /// when the damage is confined to block payloads; damage to a block
+    /// header loses that block's count).
+    pub records: u64,
+    /// Bytes skipped without being decoded.
+    pub bytes: u64,
+}
+
+impl SkipReport {
+    /// True if anything at all was skipped.
+    pub fn any(&self) -> bool {
+        *self != SkipReport::default()
     }
 }
 
@@ -293,31 +391,59 @@ fn decode_record(
 
 /// Streaming writer for the binary format.
 ///
-/// Buffers internally; call [`finish`](BinaryTraceWriter::finish) to
-/// flush and recover the underlying writer.
+/// Writes version-2 framed blocks by default
+/// ([`new`](BinaryTraceWriter::new)); the unframed version-1 layout
+/// remains writable ([`new_v1`](BinaryTraceWriter::new_v1)) for
+/// compatibility fixtures. Buffers internally; call
+/// [`finish`](BinaryTraceWriter::finish) to flush the final block and
+/// recover the underlying writer.
 #[derive(Debug)]
 pub struct BinaryTraceWriter<W: Write> {
     out: BufWriter<W>,
-    /// Per-record scratch, reused to avoid small write calls.
+    version: u8,
+    /// v1: per-record scratch. v2: the accumulating block payload.
     scratch: Vec<u8>,
+    block_records: u32,
     prev_pc: u64,
     prev_addr: u64,
     ops: u64,
 }
 
 impl<W: Write> BinaryTraceWriter<W> {
-    /// Starts a binary trace on `w`, writing the header immediately.
+    /// Starts a version-2 binary trace on `w`, writing the header
+    /// immediately.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn new(w: W) -> io::Result<Self> {
+        BinaryTraceWriter::with_version(w, BINARY_VERSION)
+    }
+
+    /// Starts a legacy version-1 (unframed) binary trace on `w`. Kept
+    /// so compatibility with old readers and fixtures can be exercised;
+    /// new traces should use [`new`](BinaryTraceWriter::new).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new_v1(w: W) -> io::Result<Self> {
+        BinaryTraceWriter::with_version(w, 1)
+    }
+
+    fn with_version(w: W, version: u8) -> io::Result<Self> {
         let mut out = BufWriter::with_capacity(1 << 16, w);
         out.write_all(&BINARY_MAGIC)?;
-        out.write_all(&[BINARY_VERSION, 0, 0, 0])?;
+        out.write_all(&[version, 0, 0, 0])?;
         Ok(BinaryTraceWriter {
             out,
-            scratch: Vec::with_capacity(MAX_RECORD_LEN),
+            version,
+            scratch: Vec::with_capacity(if version >= 2 {
+                BLOCK_TARGET + MAX_RECORD_LEN
+            } else {
+                MAX_RECORD_LEN
+            }),
+            block_records: 0,
             prev_pc: 0,
             prev_addr: 0,
             ops: 0,
@@ -335,8 +461,10 @@ impl<W: Write> BinaryTraceWriter<W> {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_op(&mut self, op: TraceOp) -> io::Result<()> {
+        if self.version < 2 {
+            self.scratch.clear();
+        }
         let scratch = &mut self.scratch;
-        scratch.clear();
         let pc_delta = zigzag_encode(op.pc.wrapping_sub(self.prev_pc) as i64);
         match op.class {
             OpClass::Load => {
@@ -383,7 +511,34 @@ impl<W: Write> BinaryTraceWriter<W> {
         }
         self.prev_pc = op.pc;
         self.ops += 1;
-        self.out.write_all(scratch)
+        if self.version < 2 {
+            return self.out.write_all(&self.scratch);
+        }
+        self.block_records += 1;
+        if self.scratch.len() >= BLOCK_TARGET {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the accumulated block (header + payload) and resets the
+    /// per-block delta state, matching the reader's per-block reset.
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.scratch.is_empty() {
+            return Ok(());
+        }
+        let mut header = [0u8; BLOCK_HEADER_LEN];
+        header[..4].copy_from_slice(&BLOCK_MAGIC);
+        header[4..8].copy_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+        header[8..12].copy_from_slice(&self.block_records.to_le_bytes());
+        header[12..16].copy_from_slice(&block_checksum(&self.scratch).to_le_bytes());
+        self.out.write_all(&header)?;
+        self.out.write_all(&self.scratch)?;
+        self.scratch.clear();
+        self.block_records = 0;
+        self.prev_pc = 0;
+        self.prev_addr = 0;
+        Ok(())
     }
 
     /// Appends every op of an iterator.
@@ -398,12 +553,16 @@ impl<W: Write> BinaryTraceWriter<W> {
         Ok(())
     }
 
-    /// Flushes and returns the underlying writer.
+    /// Flushes (closing the final block on version 2) and returns the
+    /// underlying writer.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the final flush.
-    pub fn finish(self) -> io::Result<W> {
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.version >= 2 {
+            self.flush_block()?;
+        }
         self.out
             .into_inner()
             .map_err(io::IntoInnerError::into_error)
@@ -425,13 +584,19 @@ pub fn write_trace_binary<W: Write, I: IntoIterator<Item = TraceOp>>(
     writer.finish()
 }
 
-/// Streaming reader for the binary format.
+/// Streaming reader for the binary format (versions 1 and 2).
 ///
 /// Maintains its own refill buffer (no `BufReader` needed underneath)
 /// and decodes records either one at a time (the [`Iterator`] impl) or
 /// in caller-buffered batches
 /// ([`read_chunk`](BinaryTraceReader::read_chunk), the fast path used by
 /// `cac_sim::replay`).
+///
+/// Opened in [`DecodeMode::Strict`] by
+/// [`new`](BinaryTraceReader::new) or [`DecodeMode::Lenient`] by
+/// [`new_lenient`](BinaryTraceReader::new_lenient); see [`DecodeMode`]
+/// for the difference and [`skipped`](BinaryTraceReader::skipped) for
+/// the lenient-mode damage tally.
 #[derive(Debug)]
 pub struct BinaryTraceReader<R: Read> {
     inner: R,
@@ -440,13 +605,26 @@ pub struct BinaryTraceReader<R: Read> {
     len: usize,
     hit_eof: bool,
     failed: bool,
+    mode: DecodeMode,
+    version: u8,
+    /// Absolute stream offset of `buf[0]`.
+    stream_base: u64,
+    /// End of the current verified block payload in `buf` (v2 only;
+    /// `== pos` when no block is open).
+    block_end: usize,
+    /// Record count the current block's header claims (v2 only).
+    block_records: u64,
+    /// `ops` when the current block opened (v2 only).
+    block_ops_base: u64,
+    blocks: u64,
+    skip: SkipReport,
     prev_pc: u64,
     prev_addr: u64,
     ops: u64,
 }
 
 impl<R: Read> BinaryTraceReader<R> {
-    /// Opens a binary trace, validating the header.
+    /// Opens a binary trace in strict mode, validating the header.
     ///
     /// # Errors
     ///
@@ -455,6 +633,26 @@ impl<R: Read> BinaryTraceReader<R> {
     /// newer-versioned stream, [`BinaryTraceError::Truncated`] if the
     /// stream ends inside the header, or an I/O error.
     pub fn new(inner: R) -> Result<Self, BinaryTraceError> {
+        BinaryTraceReader::with_mode(inner, DecodeMode::Strict)
+    }
+
+    /// Opens a binary trace in lenient mode: damaged blocks are skipped
+    /// and tallied instead of failing the stream.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](BinaryTraceReader::new) — the file header must
+    /// still be intact.
+    pub fn new_lenient(inner: R) -> Result<Self, BinaryTraceError> {
+        BinaryTraceReader::with_mode(inner, DecodeMode::Lenient)
+    }
+
+    /// Opens a binary trace with an explicit [`DecodeMode`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](BinaryTraceReader::new).
+    pub fn with_mode(inner: R, mode: DecodeMode) -> Result<Self, BinaryTraceError> {
         let mut r = BinaryTraceReader {
             inner,
             buf: vec![0; 1 << 16],
@@ -462,25 +660,38 @@ impl<R: Read> BinaryTraceReader<R> {
             len: 0,
             hit_eof: false,
             failed: false,
+            mode,
+            version: 0,
+            stream_base: 0,
+            block_end: 0,
+            block_records: 0,
+            block_ops_base: 0,
+            blocks: 0,
+            skip: SkipReport::default(),
             prev_pc: 0,
             prev_addr: 0,
             ops: 0,
         };
-        r.refill()?;
-        if r.len - r.pos < HEADER_LEN {
+        r.refill(0)?;
+        if r.len < HEADER_LEN {
             let have = r.len.min(BINARY_MAGIC.len());
             if r.len == 0 || r.buf[..have] != BINARY_MAGIC[..have] {
                 return Err(BinaryTraceError::BadMagic);
             }
-            return Err(BinaryTraceError::Truncated { ops_decoded: 0 });
+            return Err(BinaryTraceError::Truncated {
+                ops_decoded: 0,
+                offset: r.len as u64,
+            });
         }
         if r.buf[..4] != BINARY_MAGIC {
             return Err(BinaryTraceError::BadMagic);
         }
-        if r.buf[4] != BINARY_VERSION {
+        if !(1..=BINARY_VERSION).contains(&r.buf[4]) {
             return Err(BinaryTraceError::UnsupportedVersion(r.buf[4]));
         }
+        r.version = r.buf[4];
         r.pos = HEADER_LEN;
+        r.block_end = r.pos;
         Ok(r)
     }
 
@@ -489,12 +700,44 @@ impl<R: Read> BinaryTraceReader<R> {
         self.ops
     }
 
-    /// Moves the unconsumed tail to the front of the buffer and reads
-    /// more bytes, until the buffer is full or the stream ends.
-    fn refill(&mut self) -> Result<(), BinaryTraceError> {
+    /// The stream's format version (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// The reader's error-handling mode.
+    pub fn mode(&self) -> DecodeMode {
+        self.mode
+    }
+
+    /// Verified blocks decoded so far (always 0 on version-1 streams).
+    pub fn blocks_decoded(&self) -> u64 {
+        self.blocks
+    }
+
+    /// What lenient decode has skipped so far (all zeros in strict mode
+    /// and on clean streams).
+    pub fn skipped(&self) -> SkipReport {
+        self.skip
+    }
+
+    /// Absolute stream offset of buffer position `pos`.
+    fn offset_at(&self, pos: usize) -> u64 {
+        self.stream_base + pos as u64
+    }
+
+    /// Moves the unconsumed tail to the front of the buffer, grows it
+    /// to at least `needed` bytes, and reads until the buffer is full
+    /// or the stream ends.
+    fn refill(&mut self, needed: usize) -> Result<(), BinaryTraceError> {
+        self.stream_base += self.pos as u64;
         self.buf.copy_within(self.pos..self.len, 0);
         self.len -= self.pos;
+        self.block_end = self.block_end.saturating_sub(self.pos);
         self.pos = 0;
+        if self.buf.len() < needed {
+            self.buf.resize(needed, 0);
+        }
         while self.len < self.buf.len() && !self.hit_eof {
             match self.inner.read(&mut self.buf[self.len..]) {
                 Ok(0) => self.hit_eof = true,
@@ -506,10 +749,218 @@ impl<R: Read> BinaryTraceReader<R> {
         Ok(())
     }
 
-    fn corrupt(&self, reason: impl Into<String>) -> BinaryTraceError {
+    fn truncated(&self) -> BinaryTraceError {
+        BinaryTraceError::Truncated {
+            ops_decoded: self.ops,
+            offset: self.offset_at(self.len),
+        }
+    }
+
+    fn corrupt_at(&self, pos: usize, reason: impl Into<String>) -> BinaryTraceError {
         BinaryTraceError::Corrupt {
             op: self.ops,
+            offset: self.offset_at(pos),
             reason: reason.into(),
+        }
+    }
+
+    /// Ensures decodable data is buffered at `pos` and returns the
+    /// *guard*: the exclusive bound on record **start** positions for
+    /// the inner decode loops. `None` means clean end of stream.
+    ///
+    /// v1: records starting before the guard are guaranteed fully
+    /// buffered (except at EOF, where running out is genuine
+    /// truncation). v2: the guard is the end of the current verified
+    /// block payload.
+    fn prepare(&mut self) -> Result<Option<usize>, BinaryTraceError> {
+        if self.version >= 2 {
+            return self.prepare_block();
+        }
+        if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
+            self.refill(0)?;
+        }
+        if self.pos == self.len {
+            return Ok(None);
+        }
+        Ok(Some(if self.hit_eof {
+            self.len
+        } else {
+            self.len - MAX_RECORD_LEN + 1
+        }))
+    }
+
+    /// The exclusive bound the record decoder may read up to (wider
+    /// than the guard on v1, where only record *starts* are bounded).
+    fn decode_limit(&self) -> usize {
+        if self.version >= 2 {
+            self.block_end
+        } else {
+            self.len
+        }
+    }
+
+    /// v2 [`prepare`](Self::prepare): verifies block framing, skipping
+    /// damage in lenient mode.
+    fn prepare_block(&mut self) -> Result<Option<usize>, BinaryTraceError> {
+        loop {
+            if self.pos < self.block_end {
+                return Ok(Some(self.block_end));
+            }
+            if self.len - self.pos < BLOCK_HEADER_LEN && !self.hit_eof {
+                self.refill(0)?;
+            }
+            if self.pos == self.len {
+                return Ok(None);
+            }
+            let avail = self.len - self.pos;
+            if avail < BLOCK_HEADER_LEN {
+                // EOF inside a block header (or trailing garbage too
+                // short to be one).
+                if self.mode == DecodeMode::Strict {
+                    return Err(self.truncated());
+                }
+                self.skip.blocks += 1;
+                self.skip.bytes += avail as u64;
+                self.pos = self.len;
+                continue;
+            }
+            if self.buf[self.pos..self.pos + 4] != BLOCK_MAGIC {
+                if self.mode == DecodeMode::Strict {
+                    return Err(self.corrupt_at(self.pos, "bad block marker"));
+                }
+                self.resync()?;
+                continue;
+            }
+            let header = &self.buf[self.pos..self.pos + BLOCK_HEADER_LEN];
+            let payload_len =
+                u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+            let records = u64::from(u32::from_le_bytes(
+                header[8..12].try_into().expect("4 bytes"),
+            ));
+            let stored_sum = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+            if payload_len > MAX_BLOCK_LEN {
+                if self.mode == DecodeMode::Strict {
+                    return Err(self.corrupt_at(
+                        self.pos + 4,
+                        format!("block length {payload_len} exceeds the {MAX_BLOCK_LEN}-byte cap"),
+                    ));
+                }
+                self.resync()?;
+                continue;
+            }
+            let framed = BLOCK_HEADER_LEN + payload_len;
+            if self.len - self.pos < framed {
+                self.refill(framed)?;
+                if self.len - self.pos < framed {
+                    // EOF inside the payload.
+                    if self.mode == DecodeMode::Strict {
+                        return Err(self.truncated());
+                    }
+                    self.skip.blocks += 1;
+                    self.skip.records += records;
+                    self.skip.bytes += (self.len - self.pos) as u64;
+                    self.pos = self.len;
+                    continue;
+                }
+            }
+            let payload = &self.buf[self.pos + BLOCK_HEADER_LEN..self.pos + framed];
+            if block_checksum(payload) != stored_sum {
+                if self.mode == DecodeMode::Strict {
+                    return Err(self.corrupt_at(self.pos + 12, "block checksum mismatch"));
+                }
+                self.skip.blocks += 1;
+                self.skip.records += records;
+                self.skip.bytes += framed as u64;
+                self.pos += framed;
+                continue;
+            }
+            // Verified: open the block and reset the delta state, the
+            // writer's per-block reset mirrored.
+            self.pos += BLOCK_HEADER_LEN;
+            self.block_end = self.pos + payload_len;
+            self.block_records = records;
+            self.block_ops_base = self.ops;
+            self.blocks += 1;
+            self.prev_pc = 0;
+            self.prev_addr = 0;
+            return Ok(Some(self.block_end));
+        }
+    }
+
+    /// Lenient-mode resynchronization: the bytes at `pos` do not start
+    /// a block, so skip at least one byte and scan forward for the next
+    /// [`BLOCK_MAGIC`] marker, refilling as needed.
+    fn resync(&mut self) -> Result<(), BinaryTraceError> {
+        self.skip.blocks += 1;
+        self.pos += 1;
+        self.skip.bytes += 1;
+        loop {
+            while self.len - self.pos >= BLOCK_MAGIC.len() {
+                if self.buf[self.pos..self.pos + 4] == BLOCK_MAGIC {
+                    return Ok(());
+                }
+                self.pos += 1;
+                self.skip.bytes += 1;
+            }
+            if self.hit_eof {
+                self.skip.bytes += (self.len - self.pos) as u64;
+                self.pos = self.len;
+                return Ok(());
+            }
+            self.refill(0)?;
+        }
+    }
+
+    /// Lenient handling of a damaged record inside a verified v2 block
+    /// (possible only if the damage survived the checksum): drop the
+    /// rest of the block.
+    fn skip_rest_of_block(&mut self) {
+        let decoded_here = self.ops - self.block_ops_base;
+        self.skip.records += self.block_records.saturating_sub(decoded_here);
+        self.skip.blocks += 1;
+        self.skip.bytes += (self.block_end - self.pos) as u64;
+        self.pos = self.block_end;
+    }
+
+    /// Lenient handling of a damaged record on an unframed v1 stream:
+    /// with no block boundary to resynchronize on, abandon (and count)
+    /// the rest of the stream.
+    fn abandon_tail(&mut self) -> Result<(), BinaryTraceError> {
+        self.skip.blocks += 1;
+        self.skip.bytes += (self.len - self.pos) as u64;
+        self.pos = self.len;
+        let mut scratch = [0u8; 8192];
+        while !self.hit_eof {
+            match self.inner.read(&mut scratch) {
+                Ok(0) => self.hit_eof = true,
+                Ok(n) => self.skip.bytes += n as u64,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles a record-decode failure at buffer position `at`: strict
+    /// mode returns the positioned error; lenient mode tallies the skip
+    /// and returns `Ok` so the caller re-enters [`prepare`](Self::prepare).
+    fn record_failure(&mut self, e: DecodeError, at: usize) -> Result<(), BinaryTraceError> {
+        match self.mode {
+            DecodeMode::Strict => Err(match e {
+                DecodeError::Truncated if self.version >= 2 => {
+                    self.corrupt_at(at, "record crosses its block boundary")
+                }
+                DecodeError::Truncated => self.truncated(),
+                DecodeError::Corrupt(reason) => self.corrupt_at(at, reason),
+            }),
+            DecodeMode::Lenient => {
+                if self.version >= 2 {
+                    self.skip_rest_of_block();
+                    Ok(())
+                } else {
+                    self.abandon_tail()
+                }
+            }
         }
     }
 
@@ -518,44 +969,39 @@ impl<R: Read> BinaryTraceReader<R> {
     /// # Errors
     ///
     /// [`BinaryTraceError::Truncated`] if the stream stops mid-record,
-    /// [`BinaryTraceError::Corrupt`] on invalid tags/operands, or an
-    /// I/O error.
+    /// [`BinaryTraceError::Corrupt`] on invalid blocks/tags/operands,
+    /// or an I/O error. Lenient mode reports only header and I/O
+    /// errors; structural damage is skipped and tallied instead.
     pub fn next_op(&mut self) -> Result<Option<TraceOp>, BinaryTraceError> {
-        // Guarantee a whole record (or final EOF) is buffered so the
-        // decode below never touches the reader.
-        if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
-            self.refill()?;
-        }
-        if self.pos == self.len {
-            return Ok(None);
-        }
-        let mut cur = Cursor {
-            buf: &self.buf[self.pos..self.len],
-            pos: 0,
-        };
-        let result = decode_record(&mut cur, self.prev_pc, self.prev_addr);
-        let (op, prev_addr) = match result {
-            Ok(decoded) => decoded,
-            Err(DecodeError::Truncated) => {
-                return Err(BinaryTraceError::Truncated {
-                    ops_decoded: self.ops,
-                })
+        loop {
+            if self.prepare()?.is_none() {
+                return Ok(None);
             }
-            Err(DecodeError::Corrupt(reason)) => return Err(self.corrupt(reason)),
-        };
-        self.pos += cur.pos;
-        self.prev_pc = op.pc;
-        self.prev_addr = prev_addr;
-        self.ops += 1;
-        Ok(Some(op))
+            let limit = self.decode_limit();
+            let at = self.pos;
+            let mut cur = Cursor {
+                buf: &self.buf[..limit],
+                pos: at,
+            };
+            match decode_record(&mut cur, self.prev_pc, self.prev_addr) {
+                Ok((op, prev_addr)) => {
+                    self.pos = cur.pos;
+                    self.prev_pc = op.pc;
+                    self.prev_addr = prev_addr;
+                    self.ops += 1;
+                    return Ok(Some(op));
+                }
+                Err(e) => self.record_failure(e, at)?,
+            }
+        }
     }
 
     /// Clears `out` and decodes up to `max` records into it, returning
     /// the count (`0` = end of stream). This is the batched fast path:
-    /// the buffer is caller-owned and reused, refill checks are hoisted
-    /// out of the per-record loop, and the inner decode runs over a
-    /// plain byte slice — so a replay loop does no per-op allocation,
-    /// error-checking or buffer management.
+    /// the buffer is caller-owned and reused, refill and framing checks
+    /// are hoisted out of the per-record loop, and the inner decode
+    /// runs over a plain byte slice — so a replay loop does no per-op
+    /// allocation, error-checking or buffer management.
     ///
     /// # Errors
     ///
@@ -569,28 +1015,17 @@ impl<R: Read> BinaryTraceReader<R> {
         out.clear();
         out.reserve(max.min(1 << 20));
         while out.len() < max {
-            if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
-                self.refill()?;
-            }
-            if self.pos == self.len {
-                break;
-            }
-            // Records starting before `guaranteed` are fully buffered;
-            // past it (only at EOF) the cursor may legitimately run out,
-            // which decode reports as `Truncated`.
-            let guaranteed = if self.hit_eof {
-                self.len
-            } else {
-                self.len - MAX_RECORD_LEN + 1
-            };
+            let Some(guard) = self.prepare()? else { break };
+            let limit = self.decode_limit();
             let mut cur = Cursor {
-                buf: &self.buf[..self.len],
+                buf: &self.buf[..limit],
                 pos: self.pos,
             };
             let (mut prev_pc, mut prev_addr) = (self.prev_pc, self.prev_addr);
             let mut ops = self.ops;
             let mut failure = None;
-            while out.len() < max && cur.pos < guaranteed {
+            while out.len() < max && cur.pos < guard {
+                let at = cur.pos;
                 match decode_record(&mut cur, prev_pc, prev_addr) {
                     Ok((op, addr)) => {
                         prev_pc = op.pc;
@@ -599,23 +1034,20 @@ impl<R: Read> BinaryTraceReader<R> {
                         out.push(op);
                     }
                     Err(e) => {
-                        failure = Some(e);
+                        failure = Some((e, at));
                         break;
                     }
                 }
             }
-            self.pos = cur.pos;
             self.prev_pc = prev_pc;
             self.prev_addr = prev_addr;
             self.ops = ops;
             match failure {
-                Some(DecodeError::Truncated) => {
-                    return Err(BinaryTraceError::Truncated { ops_decoded: ops })
+                Some((e, at)) => {
+                    self.pos = at;
+                    self.record_failure(e, at)?;
                 }
-                Some(DecodeError::Corrupt(reason)) => {
-                    return Err(BinaryTraceError::Corrupt { op: ops, reason })
-                }
-                None => {}
+                None => self.pos = cur.pos,
             }
         }
         Ok(out.len())
@@ -647,25 +1079,17 @@ impl<R: Read> BinaryTraceReader<R> {
         out.clear();
         out.reserve(max.min(1 << 20));
         while out.len() < max {
-            if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
-                self.refill()?;
-            }
-            if self.pos == self.len {
-                break;
-            }
-            let guaranteed = if self.hit_eof {
-                self.len
-            } else {
-                self.len - MAX_RECORD_LEN + 1
-            };
+            let Some(guard) = self.prepare()? else { break };
+            let limit = self.decode_limit();
             let mut cur = Cursor {
-                buf: &self.buf[..self.len],
+                buf: &self.buf[..limit],
                 pos: self.pos,
             };
             let (mut prev_pc, mut prev_addr) = (self.prev_pc, self.prev_addr);
             let mut ops = self.ops;
             let mut failure = None;
-            while out.len() < max && cur.pos < guaranteed {
+            while out.len() < max && cur.pos < guard {
+                let at = cur.pos;
                 match decode_ref(&mut cur, prev_pc, prev_addr) {
                     Ok((r, pc, addr)) => {
                         prev_pc = pc;
@@ -676,23 +1100,20 @@ impl<R: Read> BinaryTraceReader<R> {
                         }
                     }
                     Err(e) => {
-                        failure = Some(e);
+                        failure = Some((e, at));
                         break;
                     }
                 }
             }
-            self.pos = cur.pos;
             self.prev_pc = prev_pc;
             self.prev_addr = prev_addr;
             self.ops = ops;
             match failure {
-                Some(DecodeError::Truncated) => {
-                    return Err(BinaryTraceError::Truncated { ops_decoded: ops })
+                Some((e, at)) => {
+                    self.pos = at;
+                    self.record_failure(e, at)?;
                 }
-                Some(DecodeError::Corrupt(reason)) => {
-                    return Err(BinaryTraceError::Corrupt { op: ops, reason })
-                }
-                None => {}
+                None => self.pos = cur.pos,
             }
         }
         Ok(out.len())
@@ -716,25 +1137,19 @@ impl<R: Read> BinaryTraceReader<R> {
     pub fn for_each_ref<F: FnMut(MemRef)>(&mut self, mut f: F) -> Result<u64, BinaryTraceError> {
         let mut consumed = 0u64;
         loop {
-            if self.len - self.pos < MAX_RECORD_LEN && !self.hit_eof {
-                self.refill()?;
-            }
-            if self.pos == self.len {
+            let Some(guard) = self.prepare()? else {
                 return Ok(consumed);
-            }
-            let guaranteed = if self.hit_eof {
-                self.len
-            } else {
-                self.len - MAX_RECORD_LEN + 1
             };
+            let limit = self.decode_limit();
             let mut cur = Cursor {
-                buf: &self.buf[..self.len],
+                buf: &self.buf[..limit],
                 pos: self.pos,
             };
             let (mut prev_pc, mut prev_addr) = (self.prev_pc, self.prev_addr);
             let mut ops = self.ops;
             let mut failure = None;
-            while cur.pos < guaranteed {
+            while cur.pos < guard {
+                let at = cur.pos;
                 match decode_ref(&mut cur, prev_pc, prev_addr) {
                     Ok((r, pc, addr)) => {
                         prev_pc = pc;
@@ -746,23 +1161,20 @@ impl<R: Read> BinaryTraceReader<R> {
                         }
                     }
                     Err(e) => {
-                        failure = Some(e);
+                        failure = Some((e, at));
                         break;
                     }
                 }
             }
-            self.pos = cur.pos;
             self.prev_pc = prev_pc;
             self.prev_addr = prev_addr;
             self.ops = ops;
             match failure {
-                Some(DecodeError::Truncated) => {
-                    return Err(BinaryTraceError::Truncated { ops_decoded: ops })
+                Some((e, at)) => {
+                    self.pos = at;
+                    self.record_failure(e, at)?;
                 }
-                Some(DecodeError::Corrupt(reason)) => {
-                    return Err(BinaryTraceError::Corrupt { op: ops, reason })
-                }
-                None => {}
+                None => self.pos = cur.pos,
             }
         }
     }
@@ -876,6 +1288,11 @@ mod tests {
         ]
     }
 
+    /// A big-enough op stream to span several v2 blocks.
+    fn multi_block_ops(n: usize) -> Vec<TraceOp> {
+        SpecBenchmark::Swim.generator(4).take(n).collect()
+    }
+
     #[test]
     fn round_trip_every_op_kind() {
         let ops = sample_ops();
@@ -899,6 +1316,33 @@ mod tests {
     }
 
     #[test]
+    fn v1_streams_still_read() {
+        let ops = multi_block_ops(20_000);
+        let mut w = BinaryTraceWriter::new_v1(Vec::new()).unwrap();
+        w.write_all(ops.iter().copied()).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes[4], 1);
+        let mut reader = BinaryTraceReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.version(), 1);
+        let back: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        assert_eq!(back, ops);
+        assert_eq!(reader.blocks_decoded(), 0);
+    }
+
+    #[test]
+    fn v2_streams_are_blocked() {
+        let ops = multi_block_ops(60_000);
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        assert_eq!(bytes[4], 2);
+        assert_eq!(bytes[HEADER_LEN..HEADER_LEN + 4], BLOCK_MAGIC);
+        let mut reader = BinaryTraceReader::new(&bytes[..]).unwrap();
+        let back: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        assert_eq!(back, ops);
+        assert!(reader.blocks_decoded() > 1, "{}", reader.blocks_decoded());
+        assert!(!reader.skipped().any());
+    }
+
+    #[test]
     fn delta_encoding_is_compact() {
         // A sequential pc stream with local addresses: ~4 bytes per
         // memory op, ~4 per compute op.
@@ -908,8 +1352,9 @@ mod tests {
         let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
         // First record pays full-width deltas; every later one is
         // tag + 1-byte pc delta + 1-byte addr delta + 2 register bytes.
+        // One block header covers the whole 5KB stream.
         assert!(
-            bytes.len() <= HEADER_LEN + MAX_RECORD_LEN + (ops.len() - 1) * 5,
+            bytes.len() <= HEADER_LEN + BLOCK_HEADER_LEN + MAX_RECORD_LEN + (ops.len() - 1) * 5,
             "{} bytes for {} ops",
             bytes.len(),
             ops.len()
@@ -963,7 +1408,7 @@ mod tests {
                     let results: Vec<_> = reader.collect();
                     let decoded_ok = results.iter().filter(|r| r.is_ok()).count();
                     assert!(decoded_ok <= ops.len());
-                    // A cut either lands on a record boundary (clean
+                    // A cut either lands on a block boundary (clean
                     // short stream) or yields exactly one final error.
                     if let Some(Err(e)) = results.last() {
                         assert!(matches!(e, BinaryTraceError::Truncated { .. }), "{e}");
@@ -975,8 +1420,28 @@ mod tests {
     }
 
     #[test]
+    fn v1_truncation_is_detected_at_every_cut() {
+        let ops = sample_ops();
+        let mut w = BinaryTraceWriter::new_v1(Vec::new()).unwrap();
+        w.write_all(ops.iter().copied()).unwrap();
+        let bytes = w.finish().unwrap();
+        for cut in HEADER_LEN..bytes.len() {
+            let results: Vec<_> = BinaryTraceReader::new(&bytes[..cut]).unwrap().collect();
+            let decoded: Vec<TraceOp> = results
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .copied()
+                .collect();
+            assert_eq!(&decoded[..], &ops[..decoded.len()], "cut {cut}");
+            if let Some(Err(e)) = results.last() {
+                assert!(matches!(e, BinaryTraceError::Truncated { .. }), "{e}");
+            }
+        }
+    }
+
+    #[test]
     fn corrupt_records_are_rejected() {
-        // Unknown tag.
+        // Destroying the first block marker is structural corruption.
         let mut bytes = write_trace_binary(Vec::new(), sample_ops()).unwrap();
         bytes[HEADER_LEN] = 0x3F;
         let err = BinaryTraceReader::new(&bytes[..])
@@ -988,8 +1453,7 @@ mod tests {
             "{err}"
         );
 
-        // Register byte out of range: load record is tag, pc varint,
-        // addr varint, dst, base — corrupt the dst byte of op 0.
+        // Payload damage is caught by the block checksum.
         let ops = vec![TraceOp::load(1, 1, 5, None)];
         let mut bytes = write_trace_binary(Vec::new(), ops).unwrap();
         let dst_off = bytes.len() - 2;
@@ -999,6 +1463,150 @@ mod tests {
             .find_map(Result::err)
             .expect("error");
         assert!(matches!(err, BinaryTraceError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn v1_corrupt_records_are_rejected() {
+        // With no checksum, v1 damage is caught at the record decoder:
+        // an out-of-range register byte.
+        let ops = vec![TraceOp::load(1, 1, 5, None)];
+        let mut w = BinaryTraceWriter::new_v1(Vec::new()).unwrap();
+        w.write_all(ops).unwrap();
+        let mut bytes = w.finish().unwrap();
+        let dst_off = bytes.len() - 2;
+        bytes[dst_off] = 0x64;
+        let err = BinaryTraceReader::new(&bytes[..])
+            .unwrap()
+            .find_map(Result::err)
+            .expect("error");
+        assert!(
+            matches!(err, BinaryTraceError::Corrupt { op: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn errors_carry_stream_offsets() {
+        let ops = multi_block_ops(60_000);
+        let mut bytes = write_trace_binary(Vec::new(), ops).unwrap();
+        // Flip a byte in the *second* block's payload; the error should
+        // point at the second block's checksum field, past the first
+        // block entirely.
+        let first_payload =
+            u32::from_le_bytes(bytes[HEADER_LEN + 4..HEADER_LEN + 8].try_into().unwrap()) as usize;
+        let second_block = HEADER_LEN + BLOCK_HEADER_LEN + first_payload;
+        assert_eq!(&bytes[second_block..second_block + 4], &BLOCK_MAGIC);
+        bytes[second_block + BLOCK_HEADER_LEN + 10] ^= 0xFF;
+        let err = BinaryTraceReader::new(&bytes[..])
+            .unwrap()
+            .find_map(Result::err)
+            .expect("error");
+        match err {
+            BinaryTraceError::Corrupt { op, offset, .. } => {
+                assert!(op > 0, "whole first block decoded first");
+                assert_eq!(offset, (second_block + 12) as u64);
+            }
+            e => panic!("expected Corrupt, got {e}"),
+        }
+    }
+
+    #[test]
+    fn lenient_skips_damaged_blocks_and_resumes() {
+        let ops = multi_block_ops(60_000);
+        let mut bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        // Count blocks and record the second block's claimed records.
+        let first_payload =
+            u32::from_le_bytes(bytes[HEADER_LEN + 4..HEADER_LEN + 8].try_into().unwrap()) as usize;
+        let second_block = HEADER_LEN + BLOCK_HEADER_LEN + first_payload;
+        let second_records = u32::from_le_bytes(
+            bytes[second_block + 8..second_block + 12]
+                .try_into()
+                .unwrap(),
+        ) as u64;
+        bytes[second_block + BLOCK_HEADER_LEN + 3] ^= 0x10;
+
+        let mut reader = BinaryTraceReader::new_lenient(&bytes[..]).unwrap();
+        let back: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        let skip = reader.skipped();
+        assert_eq!(skip.blocks, 1);
+        assert_eq!(skip.records, second_records);
+        assert_eq!(back.len() as u64 + skip.records, ops.len() as u64);
+        // Everything outside the damaged block decodes exactly.
+        let first_count =
+            u32::from_le_bytes(bytes[HEADER_LEN + 8..HEADER_LEN + 12].try_into().unwrap()) as usize;
+        assert_eq!(&back[..first_count], &ops[..first_count]);
+        assert_eq!(
+            &back[first_count..],
+            &ops[first_count + second_records as usize..]
+        );
+    }
+
+    #[test]
+    fn lenient_resyncs_over_shredded_headers() {
+        let ops = multi_block_ops(60_000);
+        let mut bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        // Shred the second block's *header* (marker included): the
+        // reader must scan to the third block and continue.
+        let first_payload =
+            u32::from_le_bytes(bytes[HEADER_LEN + 4..HEADER_LEN + 8].try_into().unwrap()) as usize;
+        let second_block = HEADER_LEN + BLOCK_HEADER_LEN + first_payload;
+        for b in &mut bytes[second_block..second_block + BLOCK_HEADER_LEN] {
+            *b = 0xAA;
+        }
+        let mut reader = BinaryTraceReader::new_lenient(&bytes[..]).unwrap();
+        let back: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        assert!(reader.skipped().blocks >= 1);
+        assert!(reader.skipped().bytes > 0);
+        let first_count =
+            u32::from_le_bytes(bytes[HEADER_LEN + 8..HEADER_LEN + 12].try_into().unwrap()) as usize;
+        // The first block decodes cleanly, the tail blocks decode
+        // cleanly, only the shredded block's records are missing.
+        assert_eq!(&back[..first_count], &ops[..first_count]);
+        assert!(back.len() < ops.len());
+        assert_eq!(&ops[ops.len() - 100..], &back[back.len() - 100..]);
+    }
+
+    #[test]
+    fn lenient_counts_truncated_tail() {
+        let ops = multi_block_ops(60_000);
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let cut = bytes.len() - 1000;
+        let mut reader = BinaryTraceReader::new_lenient(&bytes[..cut]).unwrap();
+        let back: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        assert!(!back.is_empty() && back.len() < ops.len());
+        assert_eq!(&back[..], &ops[..back.len()]);
+        let skip = reader.skipped();
+        assert_eq!(skip.blocks, 1);
+        assert!(skip.bytes > 0);
+    }
+
+    #[test]
+    fn lenient_v1_abandons_tail_on_damage() {
+        let ops = sample_ops();
+        let mut w = BinaryTraceWriter::new_v1(Vec::new()).unwrap();
+        w.write_all(ops.iter().copied()).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes[HEADER_LEN] = 0x3F; // unknown tag on record 0
+        let mut reader = BinaryTraceReader::new_lenient(&bytes[..]).unwrap();
+        let back: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        assert!(back.is_empty());
+        let skip = reader.skipped();
+        assert_eq!(skip.bytes, (bytes.len() - HEADER_LEN) as u64);
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_streams() {
+        let ops = multi_block_ops(40_000);
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let mut strict = BinaryTraceReader::new(&bytes[..]).unwrap();
+        let mut lenient = BinaryTraceReader::new_lenient(&bytes[..]).unwrap();
+        let mut refs_strict = Vec::new();
+        let mut refs_lenient = Vec::new();
+        strict.for_each_ref(|r| refs_strict.push(r)).unwrap();
+        lenient.for_each_ref(|r| refs_lenient.push(r)).unwrap();
+        assert_eq!(refs_strict, refs_lenient);
+        assert!(!lenient.skipped().any());
+        assert_eq!(strict.ops_decoded(), lenient.ops_decoded());
     }
 
     #[test]
@@ -1073,5 +1681,13 @@ mod tests {
             .map(Result::unwrap)
             .collect();
         assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn checksum_distinguishes_lengths_and_content() {
+        assert_ne!(block_checksum(b""), block_checksum(b"\0"));
+        assert_ne!(block_checksum(b"\0\0"), block_checksum(b"\0"));
+        assert_ne!(block_checksum(b"abcdefgh"), block_checksum(b"abcdefgi"));
+        assert_eq!(block_checksum(b"abcdefgh"), block_checksum(b"abcdefgh"));
     }
 }

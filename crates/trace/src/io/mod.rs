@@ -13,6 +13,9 @@
 //!   one op-kind tag byte per record, and varint **delta-encoded**
 //!   addresses, so multi-gigabyte externally captured traces decode at
 //!   batched-replay speed (see [`BinaryTraceReader::read_chunk`]).
+//!   Version 2 frames records into checksummed blocks, enabling a
+//!   lenient decode mode ([`DecodeMode::Lenient`]) that skips damaged
+//!   blocks and tallies them in a [`SkipReport`] instead of failing.
 //!
 //! `cac trace convert` translates between the two; [`sniff_format`]
 //! auto-detects which one a file holds.
@@ -52,8 +55,9 @@ pub mod binary;
 pub mod text;
 
 pub use binary::{
-    write_trace_binary, BinaryTraceError, BinaryTraceReader, BinaryTraceWriter, BINARY_MAGIC,
-    BINARY_VERSION, HEADER_LEN,
+    block_checksum, write_trace_binary, BinaryTraceError, BinaryTraceReader, BinaryTraceWriter,
+    DecodeMode, SkipReport, BINARY_MAGIC, BINARY_VERSION, BLOCK_HEADER_LEN, BLOCK_MAGIC,
+    BLOCK_TARGET, HEADER_LEN, MAX_BLOCK_LEN,
 };
 pub use text::{read_trace, write_trace, ParseTraceError, ReadTrace};
 

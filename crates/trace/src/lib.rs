@@ -16,6 +16,8 @@
 //!   and streaming readers, so externally captured traces (the paper's
 //!   original methodology) can replace the synthetic models and replay
 //!   at batched-simulation speed.
+//! * [`fault`] — seeded fault injection (bit flips, truncation, I/O
+//!   errors) for proving the lenient decode and recovery paths work.
 //! * [`stride`] — the Figure 1 stride-sweep trace (64-element vector,
 //!   strides 1..4096).
 //! * [`kernels`] — composable loop-nest generator: strided array sweeps,
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod io;
 pub mod kernels;
 pub mod patterns;

@@ -2,11 +2,12 @@
 //! survive text ↔ binary ↔ in-memory round trips, and structurally
 //! damaged binary streams are rejected rather than misdecoded.
 
+use cac_trace::fault::{FaultSource, FaultSpec};
 use cac_trace::io::{
     read_trace, sniff_format, write_trace, write_trace_binary, BinaryTraceError, BinaryTraceReader,
     TraceFormat, HEADER_LEN,
 };
-use cac_trace::{OpClass, TraceOp};
+use cac_trace::{MemRef, OpClass, TraceOp};
 use proptest::prelude::*;
 
 /// Strategy for one arbitrary (but structurally valid) trace op.
@@ -85,9 +86,146 @@ proptest! {
         }
     }
 
+    /// Truncating a valid stream anywhere never misdecodes through the
+    /// chunked and fused ref paths either: whatever they deliver is a
+    /// prefix of the clean stream's reference projection.
+    #[test]
+    fn truncation_never_misdecodes_ref_paths(
+        ops in proptest::collection::vec(arb_op(), 1..100),
+        cut_permille in 0u64..1000,
+        chunk in 1usize..200,
+    ) {
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let clean_refs: Vec<MemRef> = ops.iter().filter_map(TraceOp::mem_ref).collect();
+        let cut = HEADER_LEN + ((bytes.len() - HEADER_LEN) as u64 * cut_permille / 1000) as usize;
+
+        // Chunked ref path.
+        let mut reader = BinaryTraceReader::new(&bytes[..cut]).unwrap();
+        let mut buf = Vec::new();
+        let mut refs = Vec::new();
+        let err = loop {
+            match reader.read_ref_chunk(&mut buf, chunk) {
+                Ok(0) => break None,
+                Ok(_) => refs.extend_from_slice(&buf),
+                Err(e) => { refs.extend_from_slice(&buf); break Some(e) }
+            }
+        };
+        prop_assert!(refs.len() <= clean_refs.len());
+        prop_assert_eq!(&refs[..], &clean_refs[..refs.len()]);
+        if let Some(ref e) = err {
+            prop_assert!(matches!(e, BinaryTraceError::Truncated { .. }), "{}", e);
+        }
+
+        // Fused path agrees with the chunked path exactly.
+        let mut fused = Vec::new();
+        let fused_err = BinaryTraceReader::new(&bytes[..cut])
+            .unwrap()
+            .for_each_ref(|r| fused.push(r))
+            .err();
+        prop_assert_eq!(&fused, &refs);
+        prop_assert_eq!(fused_err.is_some(), err.is_some());
+    }
+
+    /// Lenient mode on a clean stream is exactly strict mode: same
+    /// ops, nothing skipped — it never misdecodes a clean block.
+    #[test]
+    fn lenient_matches_strict_on_clean_input(
+        ops in proptest::collection::vec(arb_op(), 0..300),
+    ) {
+        let bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let mut reader = BinaryTraceReader::new_lenient(&bytes[..]).unwrap();
+        let back: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        prop_assert_eq!(back, ops);
+        prop_assert!(!reader.skipped().any());
+    }
+
+    /// Under seeded bit-flip injection, lenient decode (a) never
+    /// fails the stream, (b) accounts for every record exactly —
+    /// decoded + header-claimed-skipped = written, whenever every
+    /// damaged region left its block header intact — and (c) never
+    /// fabricates more records than were written.
+    #[test]
+    fn lenient_skip_counts_are_exact_under_fault_injection(
+        seed in 0u64..1000,
+        flip_ppm in 50u32..400,
+    ) {
+        use cac_trace::SpecBenchmark;
+        let ops: Vec<TraceOp> = SpecBenchmark::Swim.generator(seed).take(40_000).collect();
+        let clean = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let spec = FaultSpec { seed, flip_ppm, ..FaultSpec::default() };
+        let mut damaged = Vec::new();
+        std::io::Read::read_to_end(
+            &mut FaultSource::new(&clean[..], spec),
+            &mut damaged,
+        ).unwrap();
+        // Keep the 8-byte file header intact: lenient mode still
+        // requires an identifiable file.
+        damaged[..HEADER_LEN].copy_from_slice(&clean[..HEADER_LEN]);
+
+        let mut reader = BinaryTraceReader::new_lenient(&damaged[..]).unwrap();
+        let mut decoded = 0u64;
+        let mut buf = Vec::new();
+        while reader.read_ref_chunk(&mut buf, 4096).unwrap() > 0 {
+            decoded += buf.len() as u64;
+        }
+        let skip = reader.skipped();
+        let total_mem = ops.iter().filter(|o| o.mem_ref().is_some()).count() as u64;
+        // Never fabricates records beyond the clean stream's content.
+        prop_assert!(decoded <= total_mem);
+        prop_assert!(reader.ops_decoded() <= ops.len() as u64);
+        // If nothing needed skipping, the decode was complete; if
+        // something was lost, the tally says so. (Exact per-record
+        // accounting under payload-confined damage is proven by
+        // `payload_damage_accounting_is_exact`; a flipped *header*
+        // byte can forge the claimed record count, so only block/byte
+        // tallies are meaningful here.)
+        if skip.blocks == 0 {
+            prop_assert_eq!(decoded, total_mem);
+            prop_assert_eq!(reader.ops_decoded(), ops.len() as u64);
+        } else {
+            prop_assert!(skip.bytes > 0 || skip.records > 0);
+        }
+    }
+
+    /// Payload-confined damage (block headers left alone) gives exact
+    /// record accounting: decoded + skipped == written.
+    #[test]
+    fn payload_damage_accounting_is_exact(seed in 0u64..500) {
+        use cac_trace::SpecBenchmark;
+        let ops: Vec<TraceOp> = SpecBenchmark::Tomcatv.generator(seed).take(40_000).collect();
+        let mut bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        // Walk the block structure and flip one payload byte per block
+        // on a seeded coin toss, never touching headers.
+        let mut pos = HEADER_LEN;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+        while pos + 16 <= bytes.len() {
+            let payload = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            if next() % 2 == 0 && payload > 0 {
+                let off = pos + 16 + (next() as usize % payload);
+                bytes[off] ^= 1 << (next() % 8);
+            }
+            pos += 16 + payload;
+        }
+        let mut reader = BinaryTraceReader::new_lenient(&bytes[..]).unwrap();
+        let decoded: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        let skip = reader.skipped();
+        prop_assert_eq!(
+            decoded.len() as u64 + skip.records,
+            ops.len() as u64,
+            "blocks skipped: {}", skip.blocks
+        );
+        // Decoded records are genuine: each surviving block's run
+        // matches the original stream (checked as subsequence).
+        let mut it = ops.iter();
+        for op in &decoded {
+            prop_assert!(it.any(|o| o == op), "fabricated record {:?}", op);
+        }
+    }
+
     /// A flipped version byte is always rejected at open.
     #[test]
-    fn wrong_version_rejected(ops in proptest::collection::vec(arb_op(), 0..20), v in 2u8..255) {
+    fn wrong_version_rejected(ops in proptest::collection::vec(arb_op(), 0..20), v in 3u8..255) {
         let mut bytes = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
         bytes[4] = v;
         prop_assert!(matches!(

@@ -132,6 +132,230 @@ fn config_validate_covers_every_shipped_example() {
     assert!(stdout(&out).contains("ok"));
 }
 
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cac-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn shipped_configs() -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(repo_root().join("examples"))
+        .expect("examples/ exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "toml").then(|| p.to_str().unwrap().to_owned())
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn version_and_exit_code_contract() {
+    let Some(out) = cac(&["--version"]) else {
+        return;
+    };
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).starts_with("cac "), "{}", stdout(&out));
+
+    // 2: usage errors (unknown command, bad parameter value).
+    let out = cac(&["no-such-command"]).unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = cac(&["fig1", "--max-stride", "1"]).unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // 3: input errors (missing trace, missing config).
+    let out = cac(&["replay", "--trace", "/nonexistent/trace.bin"]).unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let out = cac(&["run", "--config", "/nonexistent/model.toml"]).unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn fault_injection_verify_and_lenient_replay() {
+    let dir = temp_dir("faults");
+    let clean = dir.join("clean.bin");
+    let bad = dir.join("bad.bin");
+    let Some(out) = cac(&[
+        "trace",
+        "gen",
+        "--bench",
+        "swim",
+        "--ops",
+        "20000",
+        "--out",
+        clean.to_str().unwrap(),
+    ]) else {
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    };
+    assert_eq!(out.status.code(), Some(0));
+
+    // A clean file audits clean, exit 0.
+    let out = cac(&["trace", "info", clean.to_str().unwrap(), "--verify", "true"]).unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("clean"), "{}", stdout(&out));
+
+    // Injected truncation damages the file deterministically; the
+    // audit reports it and exits 1 (report-with-failures).
+    let out = cac(&[
+        "trace",
+        "gen",
+        "--bench",
+        "swim",
+        "--ops",
+        "20000",
+        "--out",
+        bad.to_str().unwrap(),
+        "--inject",
+        "truncate=30000",
+    ])
+    .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let out = cac(&["trace", "info", bad.to_str().unwrap(), "--verify", "true"]).unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("DAMAGED"), "{}", stdout(&out));
+
+    // Strict replay refuses the damaged file (3); lenient completes,
+    // reports what it skipped, and exits 1.
+    let out = cac(&["replay", "--trace", bad.to_str().unwrap()]).unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let out = cac(&[
+        "replay",
+        "--trace",
+        bad.to_str().unwrap(),
+        "--mode",
+        "lenient",
+    ])
+    .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("skipped"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpointed_run_resumes_byte_identically() {
+    let dir = temp_dir("ckpt");
+    let configs = shipped_configs();
+    assert!(configs.len() >= 12);
+    let all = configs.join(",");
+    let subset = configs[..3].join(",");
+    let j1 = dir.join("full.journal");
+    let j2 = dir.join("resume.journal");
+    let run = |config: &str, journal: &PathBuf| {
+        cac(&[
+            "run",
+            "--config",
+            config,
+            "--bench",
+            "swim",
+            "--ops",
+            "5000",
+            "--checkpoint",
+            journal.to_str().unwrap(),
+        ])
+    };
+
+    // Uninterrupted full run.
+    let Some(full) = run(&all, &j1) else {
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    };
+    assert_eq!(
+        full.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+
+    // "Killed" run: only a subset completes, then the full grid
+    // resumes against the same journal. Output must be byte-identical
+    // to the uninterrupted run.
+    let partial = run(&subset, &j2).unwrap();
+    assert_eq!(partial.status.code(), Some(0));
+    let resumed = run(&all, &j2).unwrap();
+    assert_eq!(resumed.status.code(), Some(0));
+    assert_eq!(
+        stdout(&full),
+        stdout(&resumed),
+        "resumed report differs from uninterrupted report"
+    );
+
+    // A journal recorded for a different workload is refused (exit 3).
+    let out = cac(&[
+        "run",
+        "--config",
+        &subset,
+        "--bench",
+        "swim",
+        "--ops",
+        "6000",
+        "--checkpoint",
+        j2.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("different workload"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poisoned_config_degrades_without_touching_siblings() {
+    let dir = temp_dir("poison");
+    let poison = dir.join("poison.toml");
+    std::fs::write(&poison, "[poison]\nafter = 1000\n").unwrap();
+    let grid = format!(
+        "examples/ipoly_skewed.toml,{},examples/two_way.toml",
+        poison.to_str().unwrap()
+    );
+    let Some(out) = cac(&["run", "--config", &grid, "--bench", "swim", "--ops", "5000"]) else {
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    };
+    // The grid completes (exit 1 = report carries failures) and the
+    // healthy rows are intact.
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("poison model tripped"), "{text}");
+    // Both healthy siblings completed with real numbers (their table
+    // rows lead with the config path).
+    let healthy: Vec<&str> = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("examples/"))
+        .collect();
+    assert_eq!(healthy.len(), 2, "{text}");
+    for line in healthy {
+        assert!(line.contains("ok"), "healthy row degraded: {line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpointed_sweep_matches_unjournaled_sweep() {
+    let dir = temp_dir("sweep-ckpt");
+    let journal = dir.join("sweep.journal");
+    let base = ["sweep", "--max-stride", "24", "--passes", "2"];
+    let Some(plain) = cac(&base) else {
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    };
+    let mut with_ckpt: Vec<&str> = base.to_vec();
+    with_ckpt.extend(["--checkpoint", journal.to_str().unwrap()]);
+    let first = cac(&with_ckpt).unwrap();
+    let second = cac(&with_ckpt).unwrap();
+    assert_eq!(plain.status.code(), Some(0));
+    assert_eq!(first.status.code(), Some(0));
+    assert_eq!(second.status.code(), Some(0));
+    assert_eq!(stdout(&plain), stdout(&first), "journaled sweep diverged");
+    assert_eq!(stdout(&first), stdout(&second), "resumed sweep diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn invalid_config_fails_with_a_grounded_message() {
     let dir = std::env::temp_dir().join(format!("cac-cli-smoke-{}", std::process::id()));

@@ -70,6 +70,7 @@ impl ExpArgs {
         }
         let mut positional = specs.iter();
         let mut explicit: Vec<&str> = Vec::new();
+        let mut open_variadic: Option<&'static str> = None;
         let mut i = 0;
         while i < words.len() {
             let w = &words[i];
@@ -114,13 +115,26 @@ impl ExpArgs {
                 }
                 explicit.push(spec.name);
                 args.values.insert(spec.name, value);
+            } else if let Some(name) = open_variadic {
+                // A positionally-bound variadic parameter swallows every
+                // later positional, so `cac analytic validate a.toml
+                // b.toml --trace t.bin` collects both paths into
+                // `configs` while later specs stay reachable by flag.
+                let joined = args.values.get_mut(name).expect("declared");
+                joined.push('\n');
+                joined.push_str(w);
             } else {
-                // Positional: next spec not yet bound explicitly; once a
-                // variadic spec is bound, surplus positionals append to it.
+                // Positional: next spec not yet bound explicitly; a
+                // variadic spec keeps collecting (above), and surplus
+                // positionals past the last spec fall back to the last
+                // variadic spec if any.
                 match positional.by_ref().find(|s| !explicit.contains(&s.name)) {
                     Some(spec) => {
                         explicit.push(spec.name);
                         args.values.insert(spec.name, w.clone());
+                        if spec.variadic {
+                            open_variadic = Some(spec.name);
+                        }
                     }
                     None => {
                         let spec = specs.iter().rev().find(|s| s.variadic).ok_or_else(|| {
@@ -267,6 +281,31 @@ mod tests {
             ExpArgs::parse(SPECS, &words(&["1", "2", "3", "4"])),
             Err(DriverError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn variadic_first_swallows_positionals_but_leaves_flags() {
+        // The `analytic validate` shape: the variadic spec comes first
+        // and later specs are reachable only by flag — every positional
+        // after the first must append to the variadic parameter, not
+        // bind `trace`.
+        const V: &[ParamSpec] = &[
+            vparam("configs", "", "config files"),
+            param("trace", "", "trace file"),
+            param("ops", "1000", "refs"),
+        ];
+        let a = ExpArgs::parse(
+            V,
+            &words(&["a.toml", "b.toml", "--trace", "t.bin", "c.toml"]),
+        )
+        .unwrap();
+        assert_eq!(a.list("configs"), vec!["a.toml", "b.toml", "c.toml"]);
+        assert_eq!(a.str("trace"), "t.bin");
+        assert_eq!(a.u64("ops").unwrap(), 1000);
+        // Explicitly-set variadic flags do not swallow positionals.
+        let a = ExpArgs::parse(V, &words(&["--configs", "a.toml", "t.bin"])).unwrap();
+        assert_eq!(a.list("configs"), vec!["a.toml"]);
+        assert_eq!(a.str("trace"), "t.bin");
     }
 
     #[test]

@@ -548,6 +548,12 @@ pub(super) fn lru_curve(a: &ExpArgs) -> Result<Report, DriverError> {
         grid.len()
     ));
     if let Some(note) = sweep.sampling_note() {
+        // The numeric form rides in a table so JSON/CSV consumers (the
+        // analytic validator among them) get the standard error without
+        // scraping the note text.
+        if let Some(table) = super::analytic::sampling_table(&sweep) {
+            report = report.table(table);
+        }
         report = report.note(note);
     }
     Ok(report)

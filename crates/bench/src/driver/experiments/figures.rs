@@ -235,6 +235,90 @@ pub(super) fn fig1(a: &ExpArgs) -> Result<Report, DriverError> {
     .text_block(chart))
 }
 
+/// One cell of a (possibly pruned) sweep row: the simulated miss ratio,
+/// or the analytic prediction a pruned cell was screened out on.
+enum SweepCell {
+    /// Simulated miss ratio (fraction, not percent).
+    Simulated(f64),
+    /// Skipped by the analytic screen; carries the predicted ratio.
+    Pruned(f64),
+}
+
+/// Analytic screening variant of [`stride_sweep`]: per stride, one
+/// stack-distance pass predicts every scheme's miss ratio (exactly for
+/// modulus placement, via the binomial birthday model for hashed
+/// placement), cells predicted worse than the stride's best by more
+/// than `band` are skipped, and only the survivors replay. Survivor
+/// cells are byte-identical to the unpruned sweep's (same engine, same
+/// trace, same reset discipline).
+fn stride_sweep_pruned(
+    geom: CacheGeometry,
+    schemes: &[IndexSpec],
+    max_stride: u64,
+    passes: u64,
+    band: f64,
+) -> Result<Vec<Vec<SweepCell>>, DriverError> {
+    use cac_sim::analytic::{prune_dominated, AnalyticModel};
+    use cac_sim::sweep::LruStackSweep;
+
+    let mut models: Vec<Box<dyn MemoryModel>> = schemes
+        .iter()
+        .map(|spec| {
+            Box::new(Cache::build(geom, spec.clone()).expect("validated scheme"))
+                as Box<dyn MemoryModel>
+        })
+        .collect();
+    let engine = Sweep::new().workers(1);
+    let mut refs: Vec<MemRef> = Vec::new();
+    let mut out = Vec::with_capacity((max_stride - 1) as usize);
+    for stride in 1..max_stride {
+        refs.clear();
+        refs.extend(VectorStride::paper_figure1(stride, passes));
+        // One stack-distance pass covers both the exact modulus curve
+        // and the fully-associative histogram the hashed-placement
+        // model needs (the Figure-1 stride traces are read-only, so the
+        // stack counts are exact).
+        let mut stack =
+            LruStackSweep::new(geom.block(), &[1, geom.num_sets()]).map_err(DriverError::from)?;
+        for r in &refs {
+            stack.observe(r.addr);
+        }
+        let model = AnalyticModel::from_sweep(&stack).expect("1-set family configured");
+        let predicted: Vec<f64> = schemes
+            .iter()
+            .map(|s| {
+                if s.name() == "modulo" {
+                    stack
+                        .miss_ratio(geom.num_sets(), geom.ways())
+                        .expect("configured set count")
+                } else {
+                    model
+                        .predict(geom.num_sets(), geom.ways())
+                        .expect("refs observed")
+                }
+            })
+            .collect();
+        let keep = prune_dominated(&predicted, band);
+        let row: Vec<SweepCell> = keep
+            .iter()
+            .zip(&predicted)
+            .enumerate()
+            .map(|(i, (&kept, &p))| {
+                if kept {
+                    let m = &mut models[i];
+                    m.reset();
+                    let stats = engine.run_refs(std::slice::from_mut(m), &refs);
+                    SweepCell::Simulated(stats[0].demand.miss_ratio())
+                } else {
+                    SweepCell::Pruned(p)
+                }
+            })
+            .collect();
+        out.push(row);
+    }
+    Ok(out)
+}
+
 pub(super) fn sweep(a: &ExpArgs) -> Result<Report, DriverError> {
     let schemes = parse_schemes(a.str("schemes"))?;
     let max_stride = a.u64("max-stride")?;
@@ -242,6 +326,28 @@ pub(super) fn sweep(a: &ExpArgs) -> Result<Report, DriverError> {
     if max_stride < 2 {
         return Err(DriverError::Usage("--max-stride must be at least 2".into()));
     }
+    let prune = match a.str("prune") {
+        "" => false,
+        "analytic" => true,
+        other => {
+            return Err(DriverError::Usage(format!(
+                "--prune supports only \"analytic\", got {other:?}"
+            )))
+        }
+    };
+    if prune && a.is_set("checkpoint") {
+        return Err(DriverError::Usage(
+            "--prune analytic cannot be combined with --checkpoint; a pruned \
+             grid is not resumable cell-by-cell"
+                .into(),
+        ));
+    }
+    let band_pct = a.str("prune-band").parse::<f64>().map_err(|_| {
+        DriverError::Usage(format!(
+            "--prune-band expects a number, got {:?}",
+            a.str("prune-band")
+        ))
+    })?;
     let geom = cac_core::CacheGeometry::new(a.u64("size")?, a.u64("line")?, a.u32("ways")?)?;
     // Validate every scheme against the geometry before the sweep.
     for s in &schemes {
@@ -250,28 +356,43 @@ pub(super) fn sweep(a: &ExpArgs) -> Result<Report, DriverError> {
 
     // As in fig1: one trace generation and one pass per stride, caches
     // built once per block. With --checkpoint the strides run
-    // sequentially against a crash-safe journal instead.
-    let raw = if a.is_set("checkpoint") {
-        stride_sweep_checkpointed(geom, &schemes, max_stride, passes, a.str("checkpoint"))?
+    // sequentially against a crash-safe journal instead; with --prune
+    // the analytic tier screens cells before any replay.
+    let cells: Vec<Vec<SweepCell>> = if prune {
+        stride_sweep_pruned(geom, &schemes, max_stride, passes, band_pct / 100.0)?
     } else {
-        stride_sweep(geom, &schemes, max_stride, passes)
+        let raw = if a.is_set("checkpoint") {
+            stride_sweep_checkpointed(geom, &schemes, max_stride, passes, a.str("checkpoint"))?
+        } else {
+            stride_sweep(geom, &schemes, max_stride, passes)
+        };
+        raw.into_iter()
+            .map(|row| row.into_iter().map(SweepCell::Simulated).collect())
+            .collect()
     };
-    let per_stride: Vec<Vec<f64>> = raw
-        .into_iter()
-        .map(|ratios| ratios.into_iter().map(|r| r * 100.0).collect())
-        .collect();
 
     let mut columns = vec!["stride".to_owned()];
     columns.extend(schemes.iter().map(|s| format!("{} miss%", s.name())));
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut table = Table::new("per-stride miss ratios", &col_refs);
-    for (i, ratios) in per_stride.iter().enumerate() {
+    let mut pruned_cells = 0u64;
+    let mut total_cells = 0u64;
+    for (i, row_cells) in cells.iter().enumerate() {
         let mut row = vec![Value::u(i as u64 + 1)];
-        row.extend(ratios.iter().map(|&r| Value::f(r, 2)));
+        for cell in row_cells {
+            total_cells += 1;
+            row.push(match cell {
+                SweepCell::Simulated(r) => Value::f(r * 100.0, 2),
+                SweepCell::Pruned(p) => {
+                    pruned_cells += 1;
+                    Value::s(format!("PRUNED(predicted={:.2})", p * 100.0))
+                }
+            });
+        }
         table.push_row(row);
     }
 
-    Ok(Report::new(format!(
+    let mut report = Report::new(format!(
         "stride sweep: {} on {geom}, strides 1..{max_stride}, {passes} passes",
         schemes
             .iter()
@@ -282,5 +403,13 @@ pub(super) fn sweep(a: &ExpArgs) -> Result<Report, DriverError> {
     .param("schemes", a.str("schemes"))
     .param("max-stride", max_stride)
     .param("passes", passes)
-    .table(table))
+    .table(table);
+    if prune {
+        report = report.note(format!(
+            "analytic screen: {pruned_cells} of {total_cells} cells pruned \
+             (predicted worse than the stride's best by more than \
+             {band_pct:.1} miss-% points) and never replayed"
+        ));
+    }
+    Ok(report)
 }

@@ -9,6 +9,7 @@
 //! order of the retired binaries, which the compatibility shims rely on.
 
 mod ablations;
+mod analytic;
 mod benchmarks;
 mod cache_level;
 mod common;
@@ -136,6 +137,45 @@ pub const REGISTRY: &[Experiment] = &[
             param("ops", "400000", "ops to replay"),
         ],
         run: cache_level::regions,
+    },
+    // ----- analytic screening ----------------------------------------
+    Experiment {
+        name: "analytic-predict",
+        legacy_bin: None,
+        group: "analytic screening",
+        summary: "closed-form miss-ratio grid from one stack-distance pass, no replay",
+        params: &[
+            param("bench", "swim", "workload model name"),
+            param("ops", "400000", "ops to observe"),
+            param("line", "32", "line size (bytes)"),
+            param(
+                "sizes",
+                "1KiB,2KiB,4KiB,8KiB,16KiB,32KiB,64KiB",
+                "comma-separated capacities",
+            ),
+            param("ways", "1,2,4,8", "comma-separated associativities"),
+            param("trace", "", "trace file (overrides the synthetic workload)"),
+        ],
+        run: analytic::predict,
+    },
+    Experiment {
+        name: "analytic-validate",
+        legacy_bin: None,
+        group: "analytic screening",
+        summary: "model-vs-simulation error over config files; exit 1 beyond the bound",
+        params: &[
+            vparam(
+                "configs",
+                "",
+                "config files (one per argument; shell globs expand)",
+            ),
+            param("trace", "", "trace file (overrides the synthetic workload)"),
+            param("bench", "tomcatv", "synthetic workload model"),
+            param("ops", "200000", "synthetic workload length (ops)"),
+            param("sample", "1", "1-in-K set sampling (1 = exact)"),
+            param("bound", "5", "mean abs error bound (miss-% points)"),
+        ],
+        run: analytic::validate,
     },
     // ----- processor-level studies -----------------------------------
     Experiment {
@@ -282,6 +322,16 @@ pub const REGISTRY: &[Experiment] = &[
                 "checkpoint",
                 "",
                 "journal file for crash-safe kill-and-resume",
+            ),
+            param(
+                "prune",
+                "",
+                "analytic = screen cells with the analytic tier before replay",
+            ),
+            param(
+                "prune-band",
+                "5",
+                "pruning error band (miss-% points; with --prune)",
             ),
         ],
         run: figures::sweep,

@@ -1,0 +1,142 @@
+//! Safety guard for `cac sweep --prune analytic`.
+//!
+//! Pruning is only legitimate if it is invisible where it matters:
+//!
+//! * every **surviving** cell must be byte-identical to the unpruned
+//!   sweep (prediction must never perturb replay);
+//! * no **pruned** cell's true simulated miss ratio may beat the best
+//!   surviving cell in its row by more than the error band;
+//! * the surviving cells must contain the true per-row winner — zero
+//!   rank inversions at the top.
+//!
+//! The grid is 511 strides x 4 schemes = 2044 cells, the issue's
+//! 1000+-config screening benchmark.
+
+use cac_bench::driver::report::Value;
+use cac_bench::driver::run_experiment;
+
+fn words(ws: &[&str]) -> Vec<String> {
+    ws.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// The per-stride miss-ratio tables of an unpruned and a pruned sweep
+/// over the same grid.
+fn sweep_pair(max_stride: &str, passes: &str, band: &str) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let plain = run_experiment(
+        "sweep",
+        &words(&["--max-stride", max_stride, "--passes", passes]),
+    )
+    .expect("unpruned sweep");
+    let pruned = run_experiment(
+        "sweep",
+        &words(&[
+            "--max-stride",
+            max_stride,
+            "--passes",
+            passes,
+            "--prune",
+            "analytic",
+            "--prune-band",
+            band,
+        ]),
+    )
+    .expect("pruned sweep");
+    let table = |r: &cac_bench::driver::report::Report| {
+        r.tables
+            .iter()
+            .find(|t| t.name == "per-stride miss ratios")
+            .expect("sweep table")
+            .rows
+            .clone()
+    };
+    (table(&plain), table(&pruned))
+}
+
+#[test]
+fn pruned_sweep_is_safe_and_survivors_are_byte_identical() {
+    const BAND_PCT: f64 = 5.0;
+    let (plain, pruned) = sweep_pair("512", "4", "5");
+    assert_eq!(plain.len(), 511, "511 strides");
+    assert_eq!(plain.len(), pruned.len());
+
+    let mut cells = 0usize;
+    let mut pruned_cells = 0usize;
+    for (p_row, q_row) in plain.iter().zip(&pruned) {
+        assert_eq!(p_row.len(), q_row.len());
+        assert_eq!(p_row[0].render(), q_row[0].render(), "stride label");
+
+        // The best surviving cell of this row, from the unpruned
+        // ground truth (survivor cells are identical across runs).
+        let best_survivor = p_row[1..]
+            .iter()
+            .zip(&q_row[1..])
+            .filter(|(_, q)| !q.render().starts_with("PRUNED"))
+            .map(|(p, _)| p.as_f64().expect("simulated cell"))
+            .fold(f64::INFINITY, f64::min);
+        let true_best = p_row[1..]
+            .iter()
+            .map(|p| p.as_f64().expect("simulated cell"))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_survivor.is_finite(),
+            "a row must never be pruned empty: stride {}",
+            p_row[0].render()
+        );
+        // Zero rank inversions at the top: the row's true winner is
+        // always among the survivors (ties included).
+        assert!(
+            best_survivor <= true_best + 1e-9,
+            "stride {}: true best {true_best} was pruned, best survivor {best_survivor}",
+            p_row[0].render()
+        );
+
+        for (p, q) in p_row[1..].iter().zip(&q_row[1..]) {
+            cells += 1;
+            let simulated = p.as_f64().expect("simulated cell");
+            if q.render().starts_with("PRUNED") {
+                pruned_cells += 1;
+                // Safety: the pruned cell's true miss ratio must not
+                // beat the best survivor by more than the band.
+                assert!(
+                    simulated >= best_survivor - BAND_PCT,
+                    "stride {}: pruned cell simulated {simulated} beats best \
+                     survivor {best_survivor} by more than the {BAND_PCT}-point band",
+                    p_row[0].render()
+                );
+            } else {
+                // Survivors must be byte-identical to the unpruned run.
+                assert_eq!(
+                    p.render(),
+                    q.render(),
+                    "stride {}: surviving cell diverged",
+                    p_row[0].render()
+                );
+            }
+        }
+    }
+    assert_eq!(cells, 511 * 4, "grid covers 2044 cells");
+    assert!(
+        pruned_cells > 0,
+        "the screen must actually prune something on this grid"
+    );
+}
+
+#[test]
+fn prune_rejects_invalid_mode_and_checkpoint_combination() {
+    let err = run_experiment("sweep", &words(&["--max-stride", "8", "--prune", "bogus"]))
+        .expect_err("unknown prune mode");
+    assert!(err.to_string().contains("prune"), "{err}");
+    let err = run_experiment(
+        "sweep",
+        &words(&[
+            "--max-stride",
+            "8",
+            "--prune",
+            "analytic",
+            "--checkpoint",
+            "/tmp/prune_safety_ckpt.bin",
+        ]),
+    )
+    .expect_err("prune + checkpoint is unsupported");
+    assert!(err.to_string().contains("checkpoint"), "{err}");
+}

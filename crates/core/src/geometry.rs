@@ -179,6 +179,21 @@ impl CacheGeometry {
         (self.block_addr(addr) & u64::from(self.num_sets() - 1)) as u32
     }
 
+    /// Number of cache blocks a `bytes`-byte footprint occupies
+    /// (rounded up) — the `m` of the analytic birthday/overflow bounds.
+    #[inline]
+    pub fn footprint_blocks(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block)
+    }
+
+    /// Load factor of a footprint of `blocks` distinct blocks against
+    /// this cache's total block count: values above 1.0 mean capacity
+    /// misses are unavoidable regardless of placement.
+    #[inline]
+    pub fn load_factor(&self, blocks: u64) -> f64 {
+        blocks as f64 / f64::from(self.num_blocks())
+    }
+
     /// Returns a geometry identical except for the capacity.
     ///
     /// # Errors
@@ -407,5 +422,18 @@ mod tests {
     fn display_for_odd_capacity() {
         let g = CacheGeometry::new(512, 32, 1).unwrap();
         assert_eq!(g.to_string(), "512B 1-way 32B-block (16 sets)");
+    }
+
+    #[test]
+    fn footprint_math() {
+        let g = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        assert_eq!(g.footprint_blocks(0), 0);
+        assert_eq!(g.footprint_blocks(1), 1);
+        assert_eq!(g.footprint_blocks(32), 1);
+        assert_eq!(g.footprint_blocks(33), 2);
+        assert_eq!(g.footprint_blocks(8 * 1024), 256);
+        assert_eq!(g.load_factor(256), 1.0);
+        assert_eq!(g.load_factor(128), 0.5);
+        assert!(g.load_factor(512) > 1.0);
     }
 }

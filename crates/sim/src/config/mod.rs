@@ -343,6 +343,41 @@ impl SimConfig {
         }
     }
 
+    /// The geometry of the model's primary (closest-to-CPU) cache:
+    /// level 1 for hierarchies, the main array for
+    /// column/victim/stream/Jouppi organizations. `None` for models
+    /// without a cache array (the poison fixture). This is the geometry
+    /// the [`analytic`](crate::analytic) tier predicts for.
+    pub fn primary_geometry(&self) -> Option<CacheGeometry> {
+        match &self.model {
+            ModelConfig::Cache(c) => Some(c.geometry),
+            ModelConfig::Hierarchy(h) => h.levels.first().map(|l| l.cache.geometry),
+            ModelConfig::Column(c) => Some(c.geometry),
+            ModelConfig::Victim(v) => Some(v.geometry),
+            ModelConfig::Stream(s) => Some(s.geometry),
+            ModelConfig::Jouppi(j) => Some(j.geometry),
+            ModelConfig::Poison(_) => None,
+        }
+    }
+
+    /// The placement scheme of the model's primary cache.
+    /// Column/victim/Jouppi primary arrays are modulus-indexed by
+    /// construction; `None` for models without a cache array. Paired
+    /// with [`SimConfig::primary_geometry`], this tells the analytic
+    /// tier which estimator applies (exact Mattson curves for modulus
+    /// placement, the binomial model for hashed placement).
+    pub fn primary_index(&self) -> Option<IndexSpec> {
+        match &self.model {
+            ModelConfig::Cache(c) => Some(c.index.clone()),
+            ModelConfig::Hierarchy(h) => h.levels.first().map(|l| l.cache.index.clone()),
+            ModelConfig::Column(_) | ModelConfig::Victim(_) | ModelConfig::Jouppi(_) => {
+                Some(IndexSpec::modulo())
+            }
+            ModelConfig::Stream(s) => Some(s.index.clone()),
+            ModelConfig::Poison(_) => None,
+        }
+    }
+
     /// Parses a config document.
     ///
     /// # Errors

@@ -111,6 +111,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod assoc;
 pub mod cache;
 pub mod classify;
@@ -133,6 +134,7 @@ pub mod tlb;
 pub mod victim;
 pub mod vm;
 
+pub use analytic::{AnalyticModel, StackHistogram};
 pub use cache::{Cache, CacheBuilder, WritePolicy};
 pub use classify::{MissKind, ThreeCClassifier};
 pub use config::SimConfig;

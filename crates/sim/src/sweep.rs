@@ -710,16 +710,25 @@ impl LruStackSweep {
             .map(|m| m as f64 / self.refs_sampled as f64)
     }
 
-    /// A report-ready caveat line when sampling is on (`None` when the
-    /// engine is exact): the sampled fraction and the worst-case
-    /// binomial standard error of a reported miss ratio.
-    pub fn sampling_note(&self) -> Option<String> {
+    /// Worst-case binomial standard error of a reported miss ratio
+    /// under set sampling, or `None` when the engine is exact
+    /// (sampling off). Exposed numerically so analytic validators can
+    /// widen their error bounds programmatically instead of scraping
+    /// the text note.
+    pub fn sampling_standard_error(&self) -> Option<f64> {
         if self.sample_k <= 1 {
             return None;
         }
         let n = self.refs_sampled.max(1) as f64;
         // p(1-p)/n is maximised at p = 0.5.
-        let se = (0.25 / n).sqrt();
+        Some((0.25 / n).sqrt())
+    }
+
+    /// A report-ready caveat line when sampling is on (`None` when the
+    /// engine is exact): the sampled fraction and the worst-case
+    /// binomial standard error of a reported miss ratio.
+    pub fn sampling_note(&self) -> Option<String> {
+        let se = self.sampling_standard_error()?;
         Some(format!(
             "set sampling 1/{}: ratios estimated from {} of {} refs \
              (worst-case standard error ±{:.2} miss-%)",
@@ -728,6 +737,19 @@ impl LruStackSweep {
             self.refs_seen,
             se * 100.0
         ))
+    }
+
+    /// A copy of the recorded stack-distance histogram for one
+    /// configured set count (the raw material of the
+    /// [`analytic`](crate::analytic) tier), or `None` for set counts
+    /// the sweep was not configured with.
+    pub fn histogram(&self, sets: u32) -> Option<crate::analytic::StackHistogram> {
+        let family = self.family(sets)?;
+        Some(crate::analytic::StackHistogram {
+            cold: family.cold,
+            depths: family.hist.clone(),
+            refs: self.refs_sampled,
+        })
     }
 }
 

@@ -371,3 +371,116 @@ fn invalid_config_fails_with_a_grounded_message() {
     assert!(err.contains("power of two"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn analytic_predict_renders_every_format() {
+    let Some(out) = cac(&[
+        "--format", "json", "analytic", "predict", "--bench", "swim", "--ops", "40000",
+    ]) else {
+        return;
+    };
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.starts_with('{') && text.trim_end().ends_with('}'),
+        "{text}"
+    );
+    assert!(text.contains("predicted miss-ratio grid"), "{text}");
+    assert!(text.contains("birthday conflict bounds"), "{text}");
+
+    // CSV keeps both tables, separated by `# table:` markers.
+    let out = cac(&[
+        "--format", "csv", "analytic", "predict", "--bench", "swim", "--ops", "40000",
+    ])
+    .unwrap();
+    assert!(out.status.success());
+    let csv = stdout(&out);
+    assert!(csv.contains("# table: predicted miss-ratio grid"), "{csv}");
+    assert!(csv.contains("# table: birthday conflict bounds"), "{csv}");
+}
+
+#[test]
+fn analytic_validate_passes_the_shipped_examples_and_round_trips_json() {
+    let configs = shipped_configs();
+    let mut args = vec!["--format", "json", "analytic", "validate"];
+    args.extend(configs.iter().map(String::as_str));
+    args.extend(["--bench", "tomcatv", "--ops", "60000"]);
+    let Some(out) = cac(&args) else { return };
+    assert!(
+        out.status.success(),
+        "validation must pass the documented bound; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.starts_with('{') && text.trim_end().ends_with('}'),
+        "{text}"
+    );
+    assert!(text.contains("model vs simulation"), "{text}");
+    assert!(text.contains("\"summary\""), "{text}");
+    assert!(text.contains("PASS"), "{text}");
+}
+
+#[test]
+fn analytic_validate_exit_codes() {
+    // 1: validation ran but the model exceeded the (impossible) bound.
+    let Some(out) = cac(&[
+        "analytic",
+        "validate",
+        "examples/ipoly.toml",
+        "--bench",
+        "tomcatv",
+        "--ops",
+        "40000",
+        "--bound",
+        "0",
+    ]) else {
+        return;
+    };
+    assert_eq!(out.status.code(), Some(1), "over-bound validation exits 1");
+    assert!(stdout(&out).contains("FAIL"));
+
+    // 2: usage errors (no configs; malformed bound).
+    let out = cac(&["analytic", "validate"]).unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = cac(&[
+        "analytic",
+        "validate",
+        "examples/ipoly.toml",
+        "--bound",
+        "wide",
+    ])
+    .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // 3: input errors (missing config file).
+    let out = cac(&["analytic", "validate", "/nonexistent/model.toml"]).unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn pruned_sweep_reports_screened_cells() {
+    let Some(out) = cac(&[
+        "sweep",
+        "--max-stride",
+        "64",
+        "--passes",
+        "4",
+        "--prune",
+        "analytic",
+    ]) else {
+        return;
+    };
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("PRUNED(predicted="), "{text}");
+    assert!(text.contains("analytic screen:"), "{text}");
+}

@@ -251,15 +251,54 @@ enum SweepCell {
 /// than `band` are skipped, and only the survivors replay. Survivor
 /// cells are byte-identical to the unpruned sweep's (same engine, same
 /// trace, same reset discipline).
+///
+/// With `checkpoint` set, every cell — simulated or pruned — lands in
+/// the crash-safe journal (pruned cells via the shared
+/// `analytic-pruned`/`predicted-bits` extras convention), and a resumed
+/// run restores a stride only when all of its scheme cells are present.
+/// The journal's fingerprint folds in the prune mode and band, so a
+/// pruned journal can never silently continue a full sweep or a sweep
+/// with a different band.
 fn stride_sweep_pruned(
     geom: CacheGeometry,
     schemes: &[IndexSpec],
     max_stride: u64,
     passes: u64,
     band: f64,
+    checkpoint: Option<&str>,
 ) -> Result<Vec<Vec<SweepCell>>, DriverError> {
+    use cac_corpus::{pruned_stats, PRUNED_FLAG, PRUNED_PREDICTED};
     use cac_sim::analytic::{prune_dominated, AnalyticModel};
     use cac_sim::sweep::LruStackSweep;
+
+    let mut journal = match checkpoint {
+        Some(path) => {
+            let fp = fingerprint(&[
+                "cac sweep",
+                &schemes
+                    .iter()
+                    .map(IndexSpec::name)
+                    .collect::<Vec<_>>()
+                    .join(","),
+                &geom.to_string(),
+                &max_stride.to_string(),
+                &passes.to_string(),
+                "prune=analytic",
+                &format!("band={band}"),
+            ]);
+            let j = Journal::load(Path::new(path), fp)
+                .map_err(|e| DriverError::Input(e.to_string()))?;
+            Some((j, Path::new(path)))
+        }
+        None => None,
+    };
+    let restore = |stats: &cac_sim::model::ModelStats| {
+        if stats.extra(PRUNED_FLAG) == Some(1) {
+            SweepCell::Pruned(f64::from_bits(stats.extra(PRUNED_PREDICTED).unwrap_or(0)))
+        } else {
+            SweepCell::Simulated(stats.demand.miss_ratio())
+        }
+    };
 
     let mut models: Vec<Box<dyn MemoryModel>> = schemes
         .iter()
@@ -271,7 +310,22 @@ fn stride_sweep_pruned(
     let engine = Sweep::new().workers(1);
     let mut refs: Vec<MemRef> = Vec::new();
     let mut out = Vec::with_capacity((max_stride - 1) as usize);
+    let mut dirty = 0u64;
     for stride in 1..max_stride {
+        let keys: Vec<String> = schemes
+            .iter()
+            .map(|s| format!("s{stride}/{}", s.name()))
+            .collect();
+        if let Some((j, _)) = &journal {
+            // Restore the stride only if every scheme cell resolved;
+            // partial rows recompute whole (screening is per-stride).
+            let cached: Option<Vec<SweepCell>> =
+                keys.iter().map(|k| j.get(k).map(restore)).collect();
+            if let Some(row) = cached {
+                out.push(row);
+                continue;
+            }
+        }
         refs.clear();
         refs.extend(VectorStride::paper_figure1(stride, passes));
         // One stack-distance pass covers both the exact modulus curve
@@ -299,22 +353,38 @@ fn stride_sweep_pruned(
             })
             .collect();
         let keep = prune_dominated(&predicted, band);
-        let row: Vec<SweepCell> = keep
-            .iter()
-            .zip(&predicted)
-            .enumerate()
-            .map(|(i, (&kept, &p))| {
-                if kept {
-                    let m = &mut models[i];
-                    m.reset();
-                    let stats = engine.run_refs(std::slice::from_mut(m), &refs);
-                    SweepCell::Simulated(stats[0].demand.miss_ratio())
-                } else {
-                    SweepCell::Pruned(p)
+        let mut row = Vec::with_capacity(schemes.len());
+        for (i, (&kept, &p)) in keep.iter().zip(&predicted).enumerate() {
+            if kept {
+                let m = &mut models[i];
+                m.reset();
+                let stats = engine.run_refs(std::slice::from_mut(m), &refs);
+                if let Some((j, _)) = &mut journal {
+                    j.record(&keys[i], &stats[0]);
                 }
-            })
-            .collect();
+                row.push(SweepCell::Simulated(stats[0].demand.miss_ratio()));
+            } else {
+                if let Some((j, _)) = &mut journal {
+                    j.record(&keys[i], &pruned_stats(p));
+                }
+                row.push(SweepCell::Pruned(p));
+            }
+        }
         out.push(row);
+        if let Some((j, path)) = &journal {
+            dirty += 1;
+            // Amortize the rewrite: a kill loses at most 64 strides.
+            if dirty.is_multiple_of(64) {
+                j.save(path)
+                    .map_err(|e| DriverError::Input(e.to_string()))?;
+            }
+        }
+    }
+    if let Some((j, path)) = &journal {
+        if dirty > 0 {
+            j.save(path)
+                .map_err(|e| DriverError::Input(e.to_string()))?;
+        }
     }
     Ok(out)
 }
@@ -335,13 +405,6 @@ pub(super) fn sweep(a: &ExpArgs) -> Result<Report, DriverError> {
             )))
         }
     };
-    if prune && a.is_set("checkpoint") {
-        return Err(DriverError::Usage(
-            "--prune analytic cannot be combined with --checkpoint; a pruned \
-             grid is not resumable cell-by-cell"
-                .into(),
-        ));
-    }
     let band_pct = a.str("prune-band").parse::<f64>().map_err(|_| {
         DriverError::Usage(format!(
             "--prune-band expects a number, got {:?}",
@@ -357,9 +420,19 @@ pub(super) fn sweep(a: &ExpArgs) -> Result<Report, DriverError> {
     // As in fig1: one trace generation and one pass per stride, caches
     // built once per block. With --checkpoint the strides run
     // sequentially against a crash-safe journal instead; with --prune
-    // the analytic tier screens cells before any replay.
+    // the analytic tier screens cells before any replay. The two
+    // compose: a pruned checkpointed sweep journals pruned cells
+    // alongside simulated ones and resumes either kind.
     let cells: Vec<Vec<SweepCell>> = if prune {
-        stride_sweep_pruned(geom, &schemes, max_stride, passes, band_pct / 100.0)?
+        let checkpoint = a.is_set("checkpoint").then(|| a.str("checkpoint"));
+        stride_sweep_pruned(
+            geom,
+            &schemes,
+            max_stride,
+            passes,
+            band_pct / 100.0,
+            checkpoint,
+        )?
     } else {
         let raw = if a.is_set("checkpoint") {
             stride_sweep_checkpointed(geom, &schemes, max_stride, passes, a.str("checkpoint"))?

@@ -14,6 +14,7 @@ mod benchmarks;
 mod cache_level;
 mod common;
 mod configs;
+mod corpus;
 mod cpu_level;
 mod figures;
 mod hardware;
@@ -402,7 +403,86 @@ pub const REGISTRY: &[Experiment] = &[
         ],
         run: tools::trace_info,
     },
+    // ----- corpus tier -----------------------------------------------
+    Experiment {
+        name: "corpus-add",
+        legacy_bin: None,
+        group: "corpus tier",
+        summary: "ingest a trace into a corpus (any format -> columnar store)",
+        params: &[
+            param("dir", "", "corpus directory (created on first add)"),
+            param("name", "", "corpus-unique trace name"),
+            param("input", "", "trace file to ingest (format auto-detected)"),
+        ],
+        run: corpus::corpus_add,
+    },
+    Experiment {
+        name: "corpus-ls",
+        legacy_bin: None,
+        group: "corpus tier",
+        summary: "list a corpus's stored traces (counts, sizes, content hashes)",
+        params: &[param("dir", "", "corpus directory")],
+        run: corpus::corpus_ls,
+    },
+    Experiment {
+        name: "corpus-verify",
+        legacy_bin: None,
+        group: "corpus tier",
+        summary: "audit every stored trace: hashes, checksums, record counts",
+        params: &[param("dir", "", "corpus directory")],
+        run: corpus::corpus_verify,
+    },
+    Experiment {
+        name: "corpus-run",
+        legacy_bin: None,
+        group: "corpus tier",
+        summary: "sweep every stored trace x config grid, recomputing only changed cells",
+        params: &[
+            param("dir", "", "corpus directory"),
+            vparam(
+                "configs",
+                "",
+                "config files (one per argument; shell globs expand)",
+            ),
+            param(
+                "prune",
+                "",
+                "analytic = screen dominated configs before replay",
+            ),
+            param(
+                "prune-band",
+                "5",
+                "pruning error band (miss-% points; with --prune)",
+            ),
+            param("workers", "1", "sweep worker threads"),
+            param("chunk", "8192", "ops per replay chunk"),
+            param(
+                "explain",
+                "false",
+                "append the work-accounting table (replayed/restored/pruned)",
+            ),
+        ],
+        run: corpus::corpus_run,
+    },
     // ----- benchmarks ------------------------------------------------
+    Experiment {
+        name: "bench-corpus",
+        legacy_bin: None,
+        group: "benchmarks",
+        summary: "columnar streaming vs in-memory sweep throughput + incremental rerun speedup",
+        params: &[
+            param("bench", "swim", "workload model name"),
+            param("ops", "1000000", "ops to generate"),
+            param("seed", "12345", "generator seed"),
+            param("chunk", "8192", "refs per replay chunk"),
+            param(
+                "repeat",
+                "1",
+                "runs per timed region; tables report the median",
+            ),
+        ],
+        run: corpus::bench_corpus,
+    },
     Experiment {
         name: "bench-sweep",
         legacy_bin: None,

@@ -11,10 +11,11 @@ use crate::driver::args::ExpArgs;
 use crate::driver::report::{Report, Table, Value};
 use crate::driver::DriverError;
 use cac_sim::cache::Cache;
-use cac_sim::replay::{run_cache_chunked, run_cache_refs};
+use cac_sim::replay::{run_cache_chunked, run_cache_source};
 use cac_trace::fault::{FaultSource, FaultSpec};
 use cac_trace::io::{
-    read_trace, sniff_format, write_trace, BinaryTraceReader, BinaryTraceWriter, ChunkSource,
+    read_trace, sniff_format, write_trace, write_trace_columnar, BinaryTraceReader,
+    BinaryTraceWriter, ChunkSource, ColumnBytes, ColumnarTraceReader, ColumnarTraceWriter,
     DecodeMode, RefSource, SkipReport, TraceFormat, DEFAULT_CHUNK_OPS,
 };
 use cac_trace::{MemRef, OpClass, TraceOp};
@@ -48,17 +49,20 @@ fn parse_file_format(s: &str) -> Result<TraceFormat, DriverError> {
     match s {
         "binary" => Ok(TraceFormat::Binary),
         "text" => Ok(TraceFormat::Text),
+        "columnar" => Ok(TraceFormat::Columnar),
         other => Err(DriverError::Usage(format!(
-            "unknown trace format {other:?}; valid: binary, text"
+            "unknown trace format {other:?}; valid: binary, text, columnar"
         ))),
     }
 }
 
-/// Opens a trace file and detects its format from the leading bytes.
+/// Opens a trace file and detects its format from the leading bytes
+/// (five are needed: the columnar format shares the `CACT` magic and
+/// differs only in the version byte).
 fn open_sniffed(path: &str) -> Result<(File, TraceFormat), DriverError> {
     let mut f =
         File::open(path).map_err(|e| DriverError::Input(format!("cannot open {path}: {e}")))?;
-    let mut prefix = [0u8; 4];
+    let mut prefix = [0u8; 5];
     let mut got = 0;
     while got < prefix.len() {
         match f.read(&mut prefix[got..]) {
@@ -78,7 +82,28 @@ fn open_sniffed(path: &str) -> Result<(File, TraceFormat), DriverError> {
 /// path.
 pub(super) enum AnySource {
     Binary(BinaryTraceReader<BufReader<File>>),
+    // Boxed: the columnar reader's scratch makes it much larger
+    // than its siblings.
+    Columnar(Box<ColumnarTraceReader<BufReader<File>>>),
     Text(cac_trace::io::ReadTrace<File>),
+}
+
+/// Decode-side statistics of a columnar stream, for `trace info`.
+pub(super) struct ColumnarStats {
+    pub columns: ColumnBytes,
+    pub payload_bytes: u64,
+    pub blocks: u64,
+    pub index_entries: u64,
+    pub refs: u64,
+}
+
+impl ColumnarStats {
+    /// The fixed-width bytes the packed payload replaces: per record
+    /// 1 tag, 8 pc, 8 target and 3 register bytes, plus 8 address
+    /// bytes per memory reference.
+    pub(super) fn payload_unpacked(&self, records: u64) -> u64 {
+        records * (1 + 8 + 8 + 3) + self.refs * 8
+    }
 }
 
 impl AnySource {
@@ -98,6 +123,11 @@ impl AnySource {
                     .map_err(|e| DriverError::Input(format!("{path}: {e}")))?;
                 Ok(AnySource::Binary(reader))
             }
+            TraceFormat::Columnar => {
+                let reader = ColumnarTraceReader::with_mode(BufReader::new(file), mode)
+                    .map_err(|e| DriverError::Input(format!("{path}: {e}")))?;
+                Ok(AnySource::Columnar(Box::new(reader)))
+            }
             TraceFormat::Text => Ok(AnySource::Text(read_trace(file))),
         }
     }
@@ -105,15 +135,32 @@ impl AnySource {
     pub(super) fn format(&self) -> TraceFormat {
         match self {
             AnySource::Binary(_) => TraceFormat::Binary,
+            AnySource::Columnar(_) => TraceFormat::Columnar,
             AnySource::Text(_) => TraceFormat::Text,
         }
     }
 
-    /// What a lenient binary decode skipped so far (empty for text).
+    /// What a lenient binary/columnar decode skipped so far (empty for
+    /// text).
     pub(super) fn skipped(&self) -> SkipReport {
         match self {
             AnySource::Binary(r) => r.skipped(),
+            AnySource::Columnar(r) => r.skipped(),
             AnySource::Text(_) => SkipReport::default(),
+        }
+    }
+
+    /// Column/index statistics, for columnar streams only.
+    pub(super) fn columnar_stats(&self) -> Option<ColumnarStats> {
+        match self {
+            AnySource::Columnar(r) => Some(ColumnarStats {
+                columns: r.column_bytes(),
+                payload_bytes: r.payload_bytes(),
+                blocks: r.blocks_decoded(),
+                index_entries: r.index_entries(),
+                refs: r.refs_decoded(),
+            }),
+            _ => None,
         }
     }
 }
@@ -124,6 +171,9 @@ impl ChunkSource for AnySource {
     fn read_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> Result<usize, DriverError> {
         match self {
             AnySource::Binary(r) => r
+                .read_chunk(out, max)
+                .map_err(|e| DriverError::Input(e.to_string())),
+            AnySource::Columnar(r) => r
                 .read_chunk(out, max)
                 .map_err(|e| DriverError::Input(e.to_string())),
             AnySource::Text(r) => {
@@ -138,8 +188,12 @@ impl RefSource for AnySource {
 
     fn read_ref_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> Result<usize, DriverError> {
         match self {
-            // Binary traces take the fused decode-to-MemRef path.
+            // Binary and columnar traces take the fused
+            // decode-to-MemRef path.
             AnySource::Binary(r) => r
+                .read_ref_chunk(out, max)
+                .map_err(|e| DriverError::Input(e.to_string())),
+            AnySource::Columnar(r) => r
                 .read_ref_chunk(out, max)
                 .map_err(|e| DriverError::Input(e.to_string())),
             AnySource::Text(r) => {
@@ -164,6 +218,7 @@ impl RefSource for AnySource {
 fn format_name(f: TraceFormat) -> &'static str {
     match f {
         TraceFormat::Binary => "binary",
+        TraceFormat::Columnar => "columnar",
         TraceFormat::Text => "text",
     }
 }
@@ -197,6 +252,9 @@ pub(super) fn trace_gen(a: &ExpArgs) -> Result<Report, DriverError> {
             let mut w = BinaryTraceWriter::new(&mut clean)?;
             w.write_all(gen)?;
             w.finish()?;
+        }
+        TraceFormat::Columnar => {
+            write_trace_columnar(&mut clean, gen)?;
         }
         TraceFormat::Text => {
             write_trace(&mut clean, gen)?;
@@ -266,10 +324,10 @@ pub(super) fn trace_convert(a: &ExpArgs) -> Result<Report, DriverError> {
     let to = if a.is_set("to") {
         parse_file_format(a.str("to"))?
     } else {
-        // Default: convert to the other format.
+        // Default: binary becomes text, everything else becomes binary.
         match source.format() {
             TraceFormat::Binary => TraceFormat::Text,
-            TraceFormat::Text => TraceFormat::Binary,
+            TraceFormat::Columnar | TraceFormat::Text => TraceFormat::Binary,
         }
     };
 
@@ -285,6 +343,14 @@ pub(super) fn trace_convert(a: &ExpArgs) -> Result<Report, DriverError> {
                 w.write_all(buf.iter().copied())?;
             }
             w.finish()?;
+        }
+        TraceFormat::Columnar => {
+            let mut w = ColumnarTraceWriter::new(BufWriter::new(file))?;
+            while source.read_chunk(&mut buf, DEFAULT_CHUNK_OPS)? > 0 {
+                ops += buf.len() as u64;
+                w.write_all(buf.iter().copied())?;
+            }
+            w.finish()?.flush()?;
         }
         TraceFormat::Text => {
             let mut w = BufWriter::new(file);
@@ -381,6 +447,61 @@ pub(super) fn trace_info(a: &ExpArgs) -> Result<Report, DriverError> {
     let mut report = Report::new(format!("trace info: {input}"))
         .param("input", input)
         .table(table);
+    if let Some(cs) = source.columnar_stats() {
+        // Column-split storage: report where the bytes went and what
+        // the delta/bit-packing bought. The "unpacked" reference is the
+        // fixed-width record layout the columns replace (1 tag + 8 pc +
+        // 8 addr/target + up to 3 reg bytes per record).
+        let unpacked = cs.payload_unpacked(total);
+        let mut cols = Table::new(
+            "columnar storage",
+            &["column", "bytes", "bytes/record", "share %"],
+        );
+        let per = |b: u64, n: u64| Value::f(b as f64 / n.max(1) as f64, 3);
+        let share = |b: u64| Value::f(100.0 * b as f64 / cs.payload_bytes.max(1) as f64, 1);
+        for (name, bytes, records) in [
+            ("tags", cs.columns.tags, total),
+            ("pc deltas", cs.columns.pc, total),
+            ("addr deltas", cs.columns.addr, cs.refs),
+            ("branch target deltas", cs.columns.target, total),
+            ("registers", cs.columns.regs, total),
+        ] {
+            cols.push_row(vec![
+                Value::s(name),
+                Value::u(bytes),
+                per(bytes, records),
+                share(bytes),
+            ]);
+        }
+        cols.push_row(vec![
+            Value::s("total payload"),
+            Value::u(cs.payload_bytes),
+            per(cs.payload_bytes, total),
+            Value::f(100.0, 1),
+        ]);
+        report = report.table(cols).table(
+            Table::new("block index", &["field", "value"])
+                .row(vec![Value::s("blocks decoded"), Value::u(cs.blocks)])
+                .row(vec![Value::s("index entries"), Value::u(cs.index_entries)])
+                .row(vec![
+                    Value::s("records/block (mean)"),
+                    Value::f(total as f64 / cs.blocks.max(1) as f64, 1),
+                ])
+                .row(vec![
+                    Value::s("payload bytes/block (mean)"),
+                    Value::f(cs.payload_bytes as f64 / cs.blocks.max(1) as f64, 1),
+                ])
+                .row(vec![
+                    Value::s("compression vs fixed-width"),
+                    Value::s(format!(
+                        "{:.2}x ({} -> {} bytes)",
+                        unpacked as f64 / cs.payload_bytes.max(1) as f64,
+                        unpacked,
+                        cs.payload_bytes
+                    )),
+                ]),
+        );
+    }
     if verify {
         let skip = source.skipped();
         let verdict = if skip.any() { "DAMAGED" } else { "clean" };
@@ -419,12 +540,18 @@ pub(super) fn replay(a: &ExpArgs) -> Result<Report, DriverError> {
     let source = AnySource::open_with_mode(trace, mode)?;
     let format = source.format();
     let start = Instant::now();
-    // Binary traces take the MemRef fast path; text streams go through
-    // the generic chunked op replay.
+    // Binary and columnar traces take the MemRef fast path; text
+    // streams go through the generic chunked op replay.
     let mut skip = SkipReport::default();
     let stats = match source {
         AnySource::Binary(mut reader) => {
-            let stats = run_cache_refs(&mut cache, &mut reader)
+            let stats = run_cache_source(&mut cache, &mut reader)
+                .map_err(|e| DriverError::Input(e.to_string()))?;
+            skip = reader.skipped();
+            stats
+        }
+        AnySource::Columnar(mut reader) => {
+            let stats = run_cache_source(&mut cache, &mut *reader)
                 .map_err(|e| DriverError::Input(e.to_string()))?;
             skip = reader.skipped();
             stats

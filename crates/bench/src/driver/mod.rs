@@ -312,11 +312,15 @@ pub fn cli_main(raw: Vec<String>) -> i32 {
 }
 
 /// Resolves the two-word `trace <sub>` / `config <sub>` /
-/// `bench <sub>` / `analytic <sub>` spellings to the registered
-/// `trace-<sub>` / `config-<sub>` / `bench-<sub>` / `analytic-<sub>`
-/// experiment names, consuming the sub-word from `words`.
+/// `bench <sub>` / `analytic <sub>` / `corpus <sub>` spellings to the
+/// registered `trace-<sub>` / `config-<sub>` / `bench-<sub>` /
+/// `analytic-<sub>` / `corpus-<sub>` experiment names, consuming the
+/// sub-word from `words`.
 fn canonical_name(command: &str, words: &mut Vec<String>) -> String {
-    if matches!(command, "trace" | "config" | "bench" | "analytic") {
+    if matches!(
+        command,
+        "trace" | "config" | "bench" | "analytic" | "corpus"
+    ) {
         if let Some(first) = words.first() {
             if !first.starts_with("--") {
                 let sub = words.remove(0);

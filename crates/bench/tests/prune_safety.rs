@@ -122,21 +122,88 @@ fn pruned_sweep_is_safe_and_survivors_are_byte_identical() {
 }
 
 #[test]
-fn prune_rejects_invalid_mode_and_checkpoint_combination() {
+fn prune_rejects_invalid_mode() {
     let err = run_experiment("sweep", &words(&["--max-stride", "8", "--prune", "bogus"]))
         .expect_err("unknown prune mode");
     assert!(err.to_string().contains("prune"), "{err}");
-    let err = run_experiment(
-        "sweep",
-        &words(&[
+}
+
+/// A pruned sweep composes with `--checkpoint`: pruned cells journal
+/// alongside simulated ones, and a run resumed from a partial journal
+/// (a kill at any save point) emits a report byte-identical to an
+/// uninterrupted one.
+#[test]
+fn pruned_checkpoint_resumes_byte_identical() {
+    use cac_sim::journal::{fingerprint, Journal};
+    use std::path::Path;
+
+    let ckpt = std::env::temp_dir().join("prune_resume_ckpt.journal");
+    let ckpt_s = ckpt.to_str().expect("utf-8 temp path");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let sweep_table = |extra: &[&str]| {
+        let mut args = words(&[
             "--max-stride",
-            "8",
+            "128",
+            "--passes",
+            "4",
             "--prune",
             "analytic",
-            "--checkpoint",
-            "/tmp/prune_safety_ckpt.bin",
-        ]),
-    )
-    .expect_err("prune + checkpoint is unsupported");
-    assert!(err.to_string().contains("checkpoint"), "{err}");
+        ]);
+        args.extend(words(extra));
+        let report = run_experiment("sweep", &args).expect("pruned sweep");
+        let table = report
+            .tables
+            .iter()
+            .find(|t| t.name == "per-stride miss ratios")
+            .expect("sweep table")
+            .rows
+            .clone();
+        table
+            .iter()
+            .map(|row| row.iter().map(Value::render).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    };
+
+    let truth = sweep_table(&[]);
+    assert!(
+        truth.iter().flatten().any(|c| c.starts_with("PRUNED")),
+        "grid must exercise the pruned-cell journal path"
+    );
+    let cold = sweep_table(&["--checkpoint", ckpt_s]);
+    assert_eq!(truth, cold, "checkpointing must not perturb the sweep");
+
+    // Emulate a kill: rebuild the journal with only strides 1..=59
+    // complete and stride 60 missing one scheme cell (a partial row
+    // must recompute whole). The fingerprint mirrors the driver's:
+    // prune mode and band are part of the workload identity.
+    let geom = cac_core::CacheGeometry::new(8192, 32, 2).expect("default geometry");
+    let fp = fingerprint(&[
+        "cac sweep",
+        "modulo,xor-skew,ipoly,ipoly-skew",
+        &geom.to_string(),
+        "128",
+        "4",
+        "prune=analytic",
+        "band=0.05",
+    ]);
+    let full = Journal::load(&ckpt, fp).expect("journal written by the cold run");
+    let mut partial = Journal::new(fp);
+    for stride in 1..=60u64 {
+        for (i, scheme) in ["modulo", "xor-skew", "ipoly", "ipoly-skew"]
+            .iter()
+            .enumerate()
+        {
+            if stride == 60 && i == 3 {
+                continue;
+            }
+            let key = format!("s{stride}/{scheme}");
+            partial.record(&key, full.get(&key).expect("cell journaled"));
+        }
+    }
+    partial.save(Path::new(ckpt_s)).expect("partial journal");
+
+    let resumed = sweep_table(&["--checkpoint", ckpt_s]);
+    assert_eq!(truth, resumed, "resumed run must be byte-identical");
+    let _ = std::fs::remove_file(&ckpt);
 }

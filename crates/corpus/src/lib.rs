@@ -1,0 +1,145 @@
+//! The corpus tier: a manifest-driven store of columnar traces with
+//! incremental fleet sweeps.
+//!
+//! The ROADMAP's north star treats miss-ratio evaluation as a service:
+//! users submit traces, the service answers "how would this workload
+//! behave across the organization grid" — and keeps answering cheaply
+//! as traces and configs churn. This crate is that data tier:
+//!
+//! * [`Corpus`] — a directory holding `corpus.toml` (the manifest) and
+//!   one CACT v3 columnar file per ingested trace. [`Corpus::add`]
+//!   accepts any sniffable trace format (text, binary v1/v2, columnar
+//!   v3) and transcodes it into the block-compressed columnar store,
+//!   recording a content hash so downstream results can be invalidated
+//!   precisely.
+//! * [`manifest`] — the `corpus.toml` schema: one `[[trace]]` entry per
+//!   stored trace with its FNV-64 content hash, record counts and
+//!   stored size. Saves are atomic (temp file + rename), mirroring the
+//!   sweep journal.
+//! * [`run`] — the incremental fleet runner: traces × configs, one
+//!   decode pass per trace, with per-(trace-hash, config-hash) result
+//!   cells persisted in a [`cac_sim::journal::Journal`] so a rerun
+//!   recomputes only cells whose trace or config content changed. An
+//!   optional analytic prune screens dominated configs with a single
+//!   LRU stack pass before any replay (see [`cac_sim::analytic`]).
+//!
+//! Cell keys are `<trace>@<trace-hash>/<config>@<config-hash>`: editing
+//! a config invalidates one column of the result matrix, re-adding a
+//! trace with different content invalidates one row, and everything
+//! else restores from the journal without touching the trace bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod manifest;
+pub mod run;
+pub mod store;
+
+pub use manifest::{Manifest, TraceEntry};
+pub use run::{
+    pruned_stats, CellOutcome, RunOptions, RunReport, TraceRow, WorkSummary, PRUNED_FLAG,
+    PRUNED_PREDICTED,
+};
+pub use store::{Corpus, VerifyReport};
+
+/// Errors produced by corpus operations.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// An I/O operation failed; `context` names what was being done.
+    Io {
+        /// What the operation was trying to do.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The corpus manifest is missing, malformed, or inconsistent.
+    Manifest(String),
+    /// A trace file failed to decode.
+    Trace(cac_trace::io::BinaryTraceError),
+    /// A simulator config or journal operation failed.
+    Sim(cac_core::Error),
+}
+
+impl CorpusError {
+    /// Shorthand for an [`CorpusError::Io`] with formatted context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        CorpusError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { context, source } => write!(f, "{context}: {source}"),
+            CorpusError::Manifest(msg) => write!(f, "corpus manifest: {msg}"),
+            CorpusError::Trace(e) => write!(f, "trace decode: {e}"),
+            CorpusError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io { source, .. } => Some(source),
+            CorpusError::Trace(e) => Some(e),
+            CorpusError::Sim(e) => Some(e),
+            CorpusError::Manifest(_) => None,
+        }
+    }
+}
+
+impl From<cac_trace::io::BinaryTraceError> for CorpusError {
+    fn from(e: cac_trace::io::BinaryTraceError) -> Self {
+        CorpusError::Trace(e)
+    }
+}
+
+impl From<cac_core::Error> for CorpusError {
+    fn from(e: cac_core::Error) -> Self {
+        CorpusError::Sim(e)
+    }
+}
+
+/// FNV-1a over raw bytes — the corpus content hash.
+///
+/// Matches the journal's string hash on identical byte sequences, so a
+/// hash printed by `cac corpus ls` can be compared against journal cell
+/// keys directly.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_matches_fnv_reference() {
+        // FNV-1a reference vectors.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(content_hash(b"ab"), content_hash(b"ba"));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CorpusError::Manifest("missing [[trace]] name".into());
+        assert!(e.to_string().contains("missing [[trace]] name"));
+        let e = CorpusError::io(
+            "reading corpus.toml",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("reading corpus.toml"));
+    }
+}

@@ -1,0 +1,265 @@
+//! The `corpus.toml` manifest: the corpus's table of contents.
+//!
+//! One `[[trace]]` entry per stored trace. The entry records the
+//! *stored* (columnar) file's FNV-64 content hash — the value that keys
+//! result cells — plus record counts and sizes so `cac corpus ls` can
+//! describe the corpus without decoding anything.
+//!
+//! The file is written through the same TOML subset the simulator
+//! configs use ([`cac_sim::config::toml`]), and saves are atomic: the
+//! manifest is rendered to `corpus.toml.tmp` and renamed into place, so
+//! a crash mid-save leaves the previous manifest intact.
+
+use crate::CorpusError;
+use cac_sim::config::toml;
+use std::path::Path;
+
+/// Manifest format version this crate reads and writes.
+pub const MANIFEST_VERSION: i64 = 1;
+
+/// One stored trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Corpus-unique trace name (the `add --name` argument).
+    pub name: String,
+    /// Path of the stored columnar file, relative to the corpus dir.
+    pub file: String,
+    /// FNV-64 content hash of the stored file's bytes.
+    pub hash: u64,
+    /// Trace operations (all record kinds).
+    pub ops: u64,
+    /// Memory references (loads + stores) among them.
+    pub refs: u64,
+    /// Stored file size in bytes.
+    pub bytes: u64,
+    /// Columnar blocks in the stored file.
+    pub blocks: u64,
+}
+
+/// The parsed manifest: an ordered list of [`TraceEntry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Entries, in insertion order.
+    pub traces: Vec<TraceEntry>,
+}
+
+fn str_field(t: &toml::Table, key: &str, idx: usize) -> Result<String, CorpusError> {
+    t.get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
+        .ok_or_else(|| CorpusError::Manifest(format!("[[trace]] #{idx}: missing string {key:?}")))
+}
+
+fn int_field(t: &toml::Table, key: &str, idx: usize) -> Result<u64, CorpusError> {
+    t.get(key)
+        .and_then(|v| v.as_int())
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| {
+            CorpusError::Manifest(format!(
+                "[[trace]] #{idx}: missing non-negative integer {key:?}"
+            ))
+        })
+}
+
+impl Manifest {
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Manifest`] on syntax errors, an unsupported
+    /// `version`, missing fields, malformed hashes, or duplicate trace
+    /// names.
+    pub fn from_toml_str(input: &str) -> Result<Manifest, CorpusError> {
+        let doc = toml::parse(input).map_err(|e| CorpusError::Manifest(e.to_string()))?;
+        let version = doc
+            .root
+            .get("version")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| CorpusError::Manifest("missing integer `version`".into()))?;
+        if version != MANIFEST_VERSION {
+            return Err(CorpusError::Manifest(format!(
+                "unsupported manifest version {version} (supported: {MANIFEST_VERSION})"
+            )));
+        }
+        let mut traces = Vec::new();
+        for (idx, t) in doc.section_array("trace").into_iter().enumerate() {
+            let name = str_field(t, "name", idx)?;
+            let file = str_field(t, "file", idx)?;
+            let hash_str = str_field(t, "hash", idx)?;
+            let hash = u64::from_str_radix(&hash_str, 16).map_err(|_| {
+                CorpusError::Manifest(format!(
+                    "[[trace]] #{idx}: hash {hash_str:?} is not 16 hex digits"
+                ))
+            })?;
+            if hash_str.len() != 16 {
+                return Err(CorpusError::Manifest(format!(
+                    "[[trace]] #{idx}: hash {hash_str:?} is not 16 hex digits"
+                )));
+            }
+            traces.push(TraceEntry {
+                name,
+                file,
+                hash,
+                ops: int_field(t, "ops", idx)?,
+                refs: int_field(t, "refs", idx)?,
+                bytes: int_field(t, "bytes", idx)?,
+                blocks: int_field(t, "blocks", idx)?,
+            });
+        }
+        let m = Manifest { traces };
+        if let Some(dup) = m.first_duplicate_name() {
+            return Err(CorpusError::Manifest(format!(
+                "duplicate trace name {dup:?}"
+            )));
+        }
+        Ok(m)
+    }
+
+    /// Renders the manifest to its canonical TOML form.
+    ///
+    /// Rendering is deterministic (entries in list order, fixed field
+    /// order), so two manifests with equal entries are byte-identical
+    /// on disk.
+    pub fn to_toml_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# cac trace corpus manifest — edit through `cac corpus`, not by hand.\n");
+        out.push_str(&format!("version = {MANIFEST_VERSION}\n"));
+        for e in &self.traces {
+            out.push_str("\n[[trace]]\n");
+            out.push_str(&format!("name = \"{}\"\n", escape(&e.name)));
+            out.push_str(&format!("file = \"{}\"\n", escape(&e.file)));
+            out.push_str(&format!("hash = \"{:016x}\"\n", e.hash));
+            out.push_str(&format!("ops = {}\n", e.ops));
+            out.push_str(&format!("refs = {}\n", e.refs));
+            out.push_str(&format!("bytes = {}\n", e.bytes));
+            out.push_str(&format!("blocks = {}\n", e.blocks));
+        }
+        out
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&TraceEntry> {
+        self.traces.iter().find(|e| e.name == name)
+    }
+
+    /// Loads and parses the manifest at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the file cannot be read,
+    /// [`CorpusError::Manifest`] if it does not parse.
+    pub fn load(path: &Path) -> Result<Manifest, CorpusError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CorpusError::io(format!("reading manifest {}", path.display()), e))?;
+        Manifest::from_toml_str(&text)
+    }
+
+    /// Atomically writes the manifest to `path` (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the temp file cannot be written or the
+    /// rename fails.
+    pub fn save(&self, path: &Path) -> Result<(), CorpusError> {
+        let tmp = path.with_extension("toml.tmp");
+        std::fs::write(&tmp, self.to_toml_string())
+            .map_err(|e| CorpusError::io(format!("writing manifest {}", tmp.display()), e))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| CorpusError::io(format!("installing manifest {}", path.display()), e))
+    }
+
+    fn first_duplicate_name(&self) -> Option<&str> {
+        for (i, e) in self.traces.iter().enumerate() {
+            if self.traces[..i].iter().any(|p| p.name == e.name) {
+                return Some(&e.name);
+            }
+        }
+        None
+    }
+}
+
+/// Escapes a string for the TOML subset's double-quoted form.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            traces: vec![
+                TraceEntry {
+                    name: "go".into(),
+                    file: "traces/go.cact".into(),
+                    hash: 0x0123_4567_89ab_cdef,
+                    ops: 1000,
+                    refs: 350,
+                    bytes: 4096,
+                    blocks: 1,
+                },
+                TraceEntry {
+                    name: "gcc".into(),
+                    file: "traces/gcc.cact".into(),
+                    hash: 0xfeed_face_cafe_f00d,
+                    ops: 2000,
+                    refs: 800,
+                    bytes: 9000,
+                    blocks: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_toml() {
+        let m = sample();
+        let text = m.to_toml_string();
+        let back = Manifest::from_toml_str(&text).unwrap();
+        assert_eq!(m, back);
+        // Deterministic rendering: render(parse(render(m))) == render(m).
+        assert_eq!(back.to_toml_string(), text);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(Manifest::from_toml_str("").is_err()); // no version
+        assert!(Manifest::from_toml_str("version = 99\n").is_err());
+        let missing_hash = "version = 1\n[[trace]]\nname = \"x\"\nfile = \"y\"\n";
+        assert!(Manifest::from_toml_str(missing_hash).is_err());
+        let short_hash =
+            "version = 1\n[[trace]]\nname = \"x\"\nfile = \"y\"\nhash = \"ab\"\nops = 1\nrefs = 1\nbytes = 1\nblocks = 1\n";
+        assert!(Manifest::from_toml_str(short_hash).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut m = sample();
+        m.traces[1].name = "go".into();
+        let err = Manifest::from_toml_str(&m.to_toml_string()).unwrap_err();
+        assert!(err.to_string().contains("duplicate trace name"));
+    }
+
+    #[test]
+    fn save_is_atomic_and_loadable() {
+        let dir = std::env::temp_dir().join(format!("cac-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.toml");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert!(!path.with_extension("toml.tmp").exists());
+        assert_eq!(Manifest::load(&path).unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,648 @@
+//! The incremental fleet runner: traces × configs, recompute only what
+//! changed.
+//!
+//! Results live in a [`Journal`] next to the manifest, one cell per
+//! (trace, config) pair keyed
+//! `<trace>@<trace-hash>/<config-path>@<config-hash>`. A rerun restores
+//! every cell whose key still resolves and replays only the rest:
+//! re-adding a trace with different content invalidates its row,
+//! editing a config file invalidates its column, and a no-op rerun
+//! replays nothing while producing the identical report.
+//!
+//! Each trace is decoded **once** per run regardless of how many
+//! configs need it — all pending models ride the same
+//! [`Sweep::run_source_isolated`] pass over the columnar stream.
+//!
+//! With [`RunOptions::prune`] set, an analytic screen runs first: one
+//! LRU stack-distance pass per (trace, line-size) group predicts every
+//! config's miss ratio, and configs predicted worse than the trace's
+//! best by more than [`RunOptions::prune_band`] are recorded as pruned
+//! cells — never built, never replayed. Pruned cells persist in the
+//! journal (with the prediction embedded), so a pruned rerun is as
+//! incremental as a full one. The screen's decisions depend only on
+//! trace content, the config list and the band — never on journal
+//! state — so an interrupted-and-resumed pruned run converges to the
+//! same report as an uninterrupted one.
+
+use crate::store::Corpus;
+use crate::{content_hash, CorpusError};
+use cac_sim::analytic::{prune_dominated, AnalyticModel};
+use cac_sim::config::SimConfig;
+use cac_sim::journal::{fingerprint, Journal};
+use cac_sim::model::ModelStats;
+use cac_sim::sweep::{LruStackSweep, ModelOutcome, Sweep};
+use cac_trace::io::{ColumnarTraceReader, DEFAULT_CHUNK_OPS};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+/// Journal extras key marking a cell as analytically pruned.
+pub const PRUNED_FLAG: &str = "analytic-pruned";
+/// Journal extras key carrying the pruned cell's predicted miss ratio
+/// (an `f64` stored via `to_bits`, exact across save/load).
+pub const PRUNED_PREDICTED: &str = "predicted-bits";
+
+/// Options for [`run`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Sweep worker threads (1 = deterministic in-order replay).
+    pub workers: usize,
+    /// Trace operations decoded per replay chunk.
+    pub chunk: usize,
+    /// Screen configs with the analytic model before replaying.
+    pub prune: bool,
+    /// Prune band as a miss-ratio fraction: a config is pruned when its
+    /// predicted miss ratio exceeds the trace's best prediction by more
+    /// than this.
+    pub prune_band: f64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: 1,
+            chunk: DEFAULT_CHUNK_OPS,
+            prune: false,
+            prune_band: 0.02,
+        }
+    }
+}
+
+/// One result cell of the trace × config matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The config replayed (now, or in a previous run).
+    Done {
+        /// The model's counters over the whole trace.
+        stats: ModelStats,
+        /// `true` if restored from the journal instead of replayed.
+        restored: bool,
+    },
+    /// The analytic screen pruned the config before any replay.
+    Pruned {
+        /// The screen's predicted miss ratio.
+        predicted: f64,
+        /// `true` if restored from the journal.
+        restored: bool,
+    },
+    /// The cell could not be computed (model build error, replay
+    /// panic, trace decode failure). Failed cells are *not* journaled;
+    /// the next run retries them.
+    Failed {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+/// One trace's row of cells, in config order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// The trace's manifest name.
+    pub trace: String,
+    /// One cell per config, aligned with [`RunReport::configs`].
+    pub cells: Vec<CellOutcome>,
+}
+
+/// Work accounting for one [`run`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkSummary {
+    /// Cells replayed in this run.
+    pub replayed: u64,
+    /// Cells restored from the journal (replayed or pruned earlier).
+    pub restored: u64,
+    /// Cells pruned by the analytic screen in this run.
+    pub pruned: u64,
+    /// Cells that failed (not journaled; retried next run).
+    pub failed: u64,
+    /// Traces that received an analytic screening pass in this run.
+    pub screened_traces: u64,
+}
+
+/// The result matrix of one [`run`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Config paths, in column order (as passed in).
+    pub configs: Vec<String>,
+    /// One row per corpus trace, in manifest order.
+    pub rows: Vec<TraceRow>,
+    /// What this run actually did.
+    pub summary: WorkSummary,
+}
+
+/// A parsed config column.
+struct ConfigColumn {
+    key: String,
+    cfg: SimConfig,
+}
+
+/// Loads and hashes the config files.
+fn load_configs(paths: &[String]) -> Result<Vec<ConfigColumn>, CorpusError> {
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CorpusError::io(format!("reading config {path}"), e))?;
+        let cfg = SimConfig::from_toml_str(&text)
+            .map_err(|e| CorpusError::Sim(cac_core::Error::config(format!("{path}: {e}"))))?;
+        out.push(ConfigColumn {
+            key: format!("{path}@{:016x}", content_hash(text.as_bytes())),
+            cfg,
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a pruned cell as journalable [`ModelStats`]: zero counters
+/// plus the [`PRUNED_FLAG`]/[`PRUNED_PREDICTED`] extras. Shared by
+/// every pruned-and-checkpointed sweep in the workspace so journals
+/// stay mutually readable.
+pub fn pruned_stats(predicted: f64) -> ModelStats {
+    ModelStats {
+        extras: vec![
+            (PRUNED_FLAG.into(), 1),
+            (PRUNED_PREDICTED.into(), predicted.to_bits()),
+        ],
+        ..ModelStats::default()
+    }
+}
+
+/// Decodes a journaled cell back into an outcome.
+fn restore_cell(stats: &ModelStats) -> CellOutcome {
+    if stats.extra(PRUNED_FLAG) == Some(1) {
+        CellOutcome::Pruned {
+            predicted: f64::from_bits(stats.extra(PRUNED_PREDICTED).unwrap_or(0)),
+            restored: true,
+        }
+    } else {
+        CellOutcome::Done {
+            stats: stats.clone(),
+            restored: true,
+        }
+    }
+}
+
+/// Opens a trace's columnar stream for one decode pass.
+fn open_stream(path: &Path) -> Result<ColumnarTraceReader<BufReader<File>>, CorpusError> {
+    let file = File::open(path)
+        .map_err(|e| CorpusError::io(format!("opening trace {}", path.display()), e))?;
+    Ok(ColumnarTraceReader::new(BufReader::new(file))?)
+}
+
+/// Runs the analytic screen for one trace: predicted miss ratio per
+/// config (`None` where the config has no primary cache to predict
+/// for), then the dominated-config mask.
+///
+/// Configs are grouped by primary line size; each group shares one LRU
+/// stack pass over the trace. Modulo-indexed configs use the stack
+/// sweep's exact set-conflict ratio; hashed/skewed indexes use the
+/// analytic conflict model (hashing decorrelates sets from address
+/// bits, which is precisely that model's assumption).
+fn screen_trace(
+    trace_path: &Path,
+    configs: &[ConfigColumn],
+    band: f64,
+) -> Result<(Vec<Option<f64>>, Vec<bool>), CorpusError> {
+    let mut predicted: Vec<Option<f64>> = vec![None; configs.len()];
+    let mut by_line: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (j, c) in configs.iter().enumerate() {
+        if let Some(geom) = c.cfg.primary_geometry() {
+            by_line.entry(geom.block()).or_default().push(j);
+        }
+    }
+    for (line, members) in &by_line {
+        let mut set_counts: Vec<u32> = vec![1];
+        for &j in members {
+            let sets = configs[j]
+                .cfg
+                .primary_geometry()
+                .expect("grouped by primary geometry")
+                .num_sets();
+            if !set_counts.contains(&sets) {
+                set_counts.push(sets);
+            }
+        }
+        let mut stack = LruStackSweep::new(*line, &set_counts)?;
+        stack
+            .run_source(open_stream(trace_path)?)
+            .map_err(CorpusError::Trace)?;
+        let model = AnalyticModel::from_sweep(&stack).expect("1-set family configured");
+        for &j in members {
+            let geom = configs[j].cfg.primary_geometry().expect("grouped");
+            let modulo = configs[j]
+                .cfg
+                .primary_index()
+                .is_some_and(|s| s.name() == "modulo");
+            predicted[j] = if modulo {
+                stack.miss_ratio(geom.num_sets(), geom.ways())
+            } else {
+                model.predict(geom.num_sets(), geom.ways())
+            };
+        }
+    }
+    // Dominance is judged over the predictable subset only; configs the
+    // screen cannot model are always kept.
+    let known: Vec<(usize, f64)> = predicted
+        .iter()
+        .enumerate()
+        .filter_map(|(j, p)| p.map(|p| (j, p)))
+        .collect();
+    let keep = prune_dominated(&known.iter().map(|&(_, p)| p).collect::<Vec<_>>(), band);
+    let mut pruned = vec![false; configs.len()];
+    for (&(j, _), &keep) in known.iter().zip(&keep) {
+        pruned[j] = !keep;
+    }
+    Ok((predicted, pruned))
+}
+
+/// Sweeps every corpus trace across `config_paths`, restoring cells
+/// from the corpus's result journal and replaying only the rest.
+///
+/// The journal is saved after every trace that produced new cells, so
+/// a killed run loses at most one trace's work.
+///
+/// # Errors
+///
+/// Config-file and journal problems abort the run. Per-trace and
+/// per-cell problems (damaged trace, model build error, replay panic)
+/// are reported as [`CellOutcome::Failed`] cells instead, so one bad
+/// entry cannot take down a fleet sweep.
+pub fn run(
+    corpus: &Corpus,
+    config_paths: &[String],
+    opts: &RunOptions,
+) -> Result<RunReport, CorpusError> {
+    let configs = load_configs(config_paths)?;
+    let prune_tag = if opts.prune {
+        format!("prune=analytic band={:.6}", opts.prune_band)
+    } else {
+        "prune=none".to_owned()
+    };
+    let fp = fingerprint(&["cac corpus run", &prune_tag]);
+    let journal_path = corpus.results_path();
+    let mut journal = Journal::load(&journal_path, fp)?;
+
+    let mut summary = WorkSummary::default();
+    let mut rows = Vec::with_capacity(corpus.entries().len());
+    for entry in corpus.entries() {
+        let trace_key = format!("{}@{:016x}", entry.name, entry.hash);
+        let mut cells: Vec<Option<CellOutcome>> = Vec::with_capacity(configs.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (j, c) in configs.iter().enumerate() {
+            match journal.get(&format!("{trace_key}/{}", c.key)) {
+                Some(stats) => {
+                    summary.restored += 1;
+                    cells.push(Some(restore_cell(stats)));
+                }
+                None => {
+                    pending.push(j);
+                    cells.push(None);
+                }
+            }
+        }
+
+        let mut dirty = false;
+        if !pending.is_empty() {
+            let trace_path = corpus.trace_path(entry);
+            // Screen decisions are a function of (trace, config list,
+            // band) only, so resumed runs decide identically.
+            let screen = if opts.prune {
+                match screen_trace(&trace_path, &configs, opts.prune_band) {
+                    Ok(s) => {
+                        summary.screened_traces += 1;
+                        Some(s)
+                    }
+                    Err(e) => {
+                        // A trace that cannot be screened cannot be
+                        // replayed either; fail its pending cells.
+                        for &j in &pending {
+                            cells[j] = Some(CellOutcome::Failed {
+                                reason: format!("analytic screen failed: {e}"),
+                            });
+                            summary.failed += 1;
+                        }
+                        pending.clear();
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+
+            let mut to_replay: Vec<usize> = Vec::new();
+            for &j in &pending {
+                match &screen {
+                    Some((predicted, pruned)) if pruned[j] => {
+                        let p = predicted[j].expect("pruned implies predicted");
+                        journal
+                            .record(&format!("{trace_key}/{}", configs[j].key), &pruned_stats(p));
+                        dirty = true;
+                        summary.pruned += 1;
+                        cells[j] = Some(CellOutcome::Pruned {
+                            predicted: p,
+                            restored: false,
+                        });
+                    }
+                    _ => to_replay.push(j),
+                }
+            }
+
+            if !to_replay.is_empty() {
+                let mut models = Vec::with_capacity(to_replay.len());
+                let mut buildable: Vec<usize> = Vec::new();
+                for &j in &to_replay {
+                    match configs[j].cfg.build() {
+                        Ok(m) => {
+                            buildable.push(j);
+                            models.push(m);
+                        }
+                        Err(e) => {
+                            cells[j] = Some(CellOutcome::Failed {
+                                reason: format!("config build failed: {e}"),
+                            });
+                            summary.failed += 1;
+                        }
+                    }
+                }
+                if !models.is_empty() {
+                    let engine = Sweep::new()
+                        .workers(opts.workers.max(1))
+                        .chunk_ops(opts.chunk.max(1));
+                    match open_stream(&corpus.trace_path(entry)).and_then(|s| {
+                        engine
+                            .run_source_isolated(&mut models, s)
+                            .map_err(Into::into)
+                    }) {
+                        Ok(outcomes) => {
+                            for (&j, outcome) in buildable.iter().zip(&outcomes) {
+                                match outcome {
+                                    ModelOutcome::Completed(stats) => {
+                                        journal.record(
+                                            &format!("{trace_key}/{}", configs[j].key),
+                                            stats,
+                                        );
+                                        dirty = true;
+                                        summary.replayed += 1;
+                                        cells[j] = Some(CellOutcome::Done {
+                                            stats: stats.clone(),
+                                            restored: false,
+                                        });
+                                    }
+                                    ModelOutcome::Failed { reason } => {
+                                        cells[j] = Some(CellOutcome::Failed {
+                                            reason: format!("replay panicked: {reason}"),
+                                        });
+                                        summary.failed += 1;
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            for &j in &buildable {
+                                cells[j] = Some(CellOutcome::Failed {
+                                    reason: format!("trace replay failed: {e}"),
+                                });
+                                summary.failed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if dirty {
+            journal.save(&journal_path)?;
+        }
+        rows.push(TraceRow {
+            trace: entry.name.clone(),
+            cells: cells
+                .into_iter()
+                .map(|c| c.expect("every cell resolved"))
+                .collect(),
+        });
+    }
+
+    Ok(RunReport {
+        configs: config_paths.to_vec(),
+        rows,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cac_trace::io::write_trace_columnar;
+    use cac_trace::TraceOp;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cac-corpus-run-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_config(dir: &Path, name: &str, body: &str) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn direct_mapped(size: &str) -> String {
+        format!("name = \"dm-{size}\"\n[cache]\nsize = \"{size}\"\nline = 16\nways = 1\n")
+    }
+
+    fn seeded_corpus(dir: &Path, ops: u64) -> Corpus {
+        let trace: Vec<TraceOp> = (0..ops)
+            .map(|i| {
+                // Cyclic sweep over a 32KiB working set: caches smaller
+                // than the footprint thrash, larger ones barely miss —
+                // so cache size visibly separates the predictions.
+                TraceOp::load(0x1000 + 4 * i, (16 * i) % 0x8000, 1, None)
+            })
+            .collect();
+        let raw = dir.join("raw.cact");
+        let mut buf = Vec::new();
+        write_trace_columnar(&mut buf, trace).unwrap();
+        std::fs::write(&raw, buf).unwrap();
+        let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+        corpus.add("synthetic", &raw).unwrap();
+        corpus
+    }
+
+    #[test]
+    fn rerun_restores_every_cell_and_reports_identically() {
+        let dir = tmp_dir("rerun");
+        let corpus = seeded_corpus(&dir, 20_000);
+        let configs = vec![
+            write_config(&dir, "small.toml", &direct_mapped("1KiB")),
+            write_config(&dir, "large.toml", &direct_mapped("64KiB")),
+        ];
+        let opts = RunOptions::default();
+
+        let cold = run(&corpus, &configs, &opts).unwrap();
+        assert_eq!(cold.summary.replayed, 2);
+        assert_eq!(cold.summary.restored, 0);
+
+        let warm = run(&corpus, &configs, &opts).unwrap();
+        assert_eq!(warm.summary.replayed, 0);
+        assert_eq!(warm.summary.restored, 2);
+        // Same matrix content: stats equal cell by cell.
+        for (a, b) in cold.rows.iter().zip(&warm.rows) {
+            for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                match (ca, cb) {
+                    (CellOutcome::Done { stats: sa, .. }, CellOutcome::Done { stats: sb, .. }) => {
+                        assert_eq!(sa, sb)
+                    }
+                    other => panic!("unexpected cell pair: {other:?}"),
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn editing_one_config_invalidates_one_column() {
+        let dir = tmp_dir("config-edit");
+        let corpus = seeded_corpus(&dir, 10_000);
+        let configs = vec![
+            write_config(&dir, "a.toml", &direct_mapped("1KiB")),
+            write_config(&dir, "b.toml", &direct_mapped("64KiB")),
+        ];
+        let opts = RunOptions::default();
+        run(&corpus, &configs, &opts).unwrap();
+
+        // Touch config b's content.
+        write_config(&dir, "b.toml", &direct_mapped("32KiB"));
+        let warm = run(&corpus, &configs, &opts).unwrap();
+        assert_eq!(warm.summary.replayed, 1);
+        assert_eq!(warm.summary.restored, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn re_adding_a_changed_trace_invalidates_its_row() {
+        let dir = tmp_dir("trace-edit");
+        let mut corpus = seeded_corpus(&dir, 10_000);
+        let configs = vec![write_config(&dir, "a.toml", &direct_mapped("4KiB"))];
+        let opts = RunOptions::default();
+        run(&corpus, &configs, &opts).unwrap();
+
+        // Re-add the same name with different content.
+        let raw = dir.join("raw2.cact");
+        let mut buf = Vec::new();
+        write_trace_columnar(
+            &mut buf,
+            (0..5000u64).map(|i| TraceOp::load(0x2000 + 4 * i, 64 * i, 2, None)),
+        )
+        .unwrap();
+        std::fs::write(&raw, buf).unwrap();
+        corpus.add("synthetic", &raw).unwrap();
+
+        let warm = run(&corpus, &configs, &opts).unwrap();
+        assert_eq!(warm.summary.replayed, 1);
+        assert_eq!(warm.summary.restored, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pruned_run_is_incremental_and_restores_predictions_exactly() {
+        let dir = tmp_dir("prune");
+        let corpus = seeded_corpus(&dir, 30_000);
+        // A clearly-dominated tiny cache among healthy ones.
+        let configs = vec![
+            write_config(&dir, "tiny.toml", &direct_mapped("256")),
+            write_config(&dir, "mid.toml", &direct_mapped("16KiB")),
+            write_config(&dir, "big.toml", &direct_mapped("128KiB")),
+        ];
+        let opts = RunOptions {
+            prune: true,
+            prune_band: 0.02,
+            ..RunOptions::default()
+        };
+
+        let cold = run(&corpus, &configs, &opts).unwrap();
+        assert_eq!(cold.summary.screened_traces, 1);
+        assert!(cold.summary.pruned >= 1, "tiny cache should be pruned");
+        assert!(cold.summary.replayed >= 1);
+
+        let warm = run(&corpus, &configs, &opts).unwrap();
+        assert_eq!(warm.summary.replayed, 0);
+        assert_eq!(warm.summary.pruned, 0);
+        assert_eq!(
+            warm.summary.screened_traces, 0,
+            "no pending cells, no screen"
+        );
+        assert_eq!(
+            warm.summary.restored as usize,
+            configs.len(),
+            "every cell restores"
+        );
+        for (a, b) in cold.rows[0].cells.iter().zip(&warm.rows[0].cells) {
+            match (a, b) {
+                (
+                    CellOutcome::Pruned { predicted: pa, .. },
+                    CellOutcome::Pruned { predicted: pb, .. },
+                ) => assert_eq!(pa.to_bits(), pb.to_bits(), "prediction restored exactly"),
+                (CellOutcome::Done { stats: sa, .. }, CellOutcome::Done { stats: sb, .. }) => {
+                    assert_eq!(sa, sb)
+                }
+                other => panic!("cell kind changed across rerun: {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pruned_and_full_runs_use_distinct_journals() {
+        let dir = tmp_dir("fingerprint");
+        let corpus = seeded_corpus(&dir, 5_000);
+        let configs = vec![write_config(&dir, "a.toml", &direct_mapped("4KiB"))];
+        run(&corpus, &configs, &RunOptions::default()).unwrap();
+        // Same journal file, different workload fingerprint: refused
+        // loudly instead of splicing mismatched cells.
+        let pruned = RunOptions {
+            prune: true,
+            ..RunOptions::default()
+        };
+        let err = run(&corpus, &configs, &pruned).unwrap_err();
+        assert!(
+            err.to_string().contains("different workload"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_trace_fails_its_row_without_aborting_the_fleet() {
+        let dir = tmp_dir("damaged");
+        let mut corpus = seeded_corpus(&dir, 8_000);
+        // Second, healthy trace.
+        let raw = dir.join("ok.cact");
+        let mut buf = Vec::new();
+        write_trace_columnar(
+            &mut buf,
+            (0..2000u64).map(|i| TraceOp::load(0x3000 + 4 * i, 8 * i, 1, None)),
+        )
+        .unwrap();
+        std::fs::write(&raw, buf).unwrap();
+        corpus.add("healthy", &raw).unwrap();
+
+        // Truncate the first trace's stored file (drops the index).
+        let entry = corpus.manifest().get("synthetic").unwrap().clone();
+        let stored = corpus.trace_path(&entry);
+        let bytes = std::fs::read(&stored).unwrap();
+        std::fs::write(&stored, &bytes[..bytes.len() / 2]).unwrap();
+
+        let configs = vec![write_config(&dir, "a.toml", &direct_mapped("4KiB"))];
+        let report = run(&corpus, &configs, &RunOptions::default()).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert!(matches!(
+            report.rows[0].cells[0],
+            CellOutcome::Failed { .. }
+        ));
+        assert!(matches!(report.rows[1].cells[0], CellOutcome::Done { .. }));
+        assert_eq!(report.summary.failed, 1);
+        assert_eq!(report.summary.replayed, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,485 @@
+//! The on-disk corpus: a directory of columnar traces plus manifest.
+//!
+//! Layout:
+//!
+//! ```text
+//! <corpus-dir>/
+//!   corpus.toml        # manifest: one [[trace]] entry per stored trace
+//!   traces/<name>.cact # CACT v3 columnar files, one per trace
+//!   results.journal    # incremental result cells (see crate::run)
+//! ```
+//!
+//! [`Corpus::add`] ingests a trace in any sniffable format (text,
+//! binary v1/v2, columnar v3) and transcodes it — streaming, one record
+//! at a time — into the columnar store. The stored file's content hash
+//! becomes part of every result-cell key, so re-adding a trace under
+//! the same name invalidates exactly that trace's row of results.
+
+use crate::manifest::{Manifest, TraceEntry};
+use crate::{content_hash, CorpusError};
+use cac_trace::io::{
+    read_trace, sniff_format, ColumnarFile, ColumnarTraceReader, ColumnarTraceWriter, TraceFormat,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the manifest file inside the corpus directory.
+pub const MANIFEST_FILE: &str = "corpus.toml";
+/// Name of the subdirectory holding stored traces.
+pub const TRACES_DIR: &str = "traces";
+/// Name of the incremental result journal.
+pub const RESULTS_FILE: &str = "results.journal";
+
+/// An open corpus directory.
+#[derive(Debug)]
+pub struct Corpus {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+/// The outcome of verifying one stored trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// The trace's manifest name.
+    pub name: String,
+    /// `true` if every check passed.
+    pub ok: bool,
+    /// Human-readable detail: counts on success, the reason on failure.
+    pub detail: String,
+}
+
+impl Corpus {
+    /// Creates a new corpus directory (with `traces/` and an empty
+    /// manifest).
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Manifest`] if a manifest already exists there;
+    /// [`CorpusError::Io`] on filesystem failures.
+    pub fn init(dir: &Path) -> Result<Corpus, CorpusError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(CorpusError::Manifest(format!(
+                "{} already exists — use open",
+                manifest_path.display()
+            )));
+        }
+        std::fs::create_dir_all(dir.join(TRACES_DIR))
+            .map_err(|e| CorpusError::io(format!("creating corpus dir {}", dir.display()), e))?;
+        let manifest = Manifest::default();
+        manifest.save(&manifest_path)?;
+        Ok(Corpus {
+            dir: dir.to_path_buf(),
+            manifest,
+        })
+    }
+
+    /// Opens an existing corpus directory.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the manifest cannot be read,
+    /// [`CorpusError::Manifest`] if it does not parse.
+    pub fn open(dir: &Path) -> Result<Corpus, CorpusError> {
+        let manifest = Manifest::load(&dir.join(MANIFEST_FILE))?;
+        Ok(Corpus {
+            dir: dir.to_path_buf(),
+            manifest,
+        })
+    }
+
+    /// Opens the corpus at `dir`, initialising it first if the
+    /// manifest does not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// As [`Corpus::open`] / [`Corpus::init`].
+    pub fn open_or_init(dir: &Path) -> Result<Corpus, CorpusError> {
+        if dir.join(MANIFEST_FILE).exists() {
+            Corpus::open(dir)
+        } else {
+            Corpus::init(dir)
+        }
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Stored traces, in manifest order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.manifest.traces
+    }
+
+    /// Absolute path of a stored trace file.
+    pub fn trace_path(&self, entry: &TraceEntry) -> PathBuf {
+        self.dir.join(&entry.file)
+    }
+
+    /// Path of the incremental result journal.
+    pub fn results_path(&self) -> PathBuf {
+        self.dir.join(RESULTS_FILE)
+    }
+
+    /// Ingests the trace at `source` under `name`, transcoding it into
+    /// the columnar store and updating the manifest atomically.
+    ///
+    /// Accepts any sniffable input format. Re-adding an existing name
+    /// replaces that entry; if the new content hash differs, the
+    /// trace's result cells (keyed by hash) are naturally invalidated.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Manifest`] for invalid names, [`CorpusError::Io`]
+    /// / [`CorpusError::Trace`] if the source cannot be read or
+    /// decoded.
+    pub fn add(&mut self, name: &str, source: &Path) -> Result<&TraceEntry, CorpusError> {
+        validate_name(name)?;
+        let rel = format!("{TRACES_DIR}/{name}.cact");
+        let stored = self.dir.join(&rel);
+        let tmp = self.dir.join(format!("{TRACES_DIR}/{name}.cact.tmp"));
+        if let Some(parent) = stored.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                CorpusError::io(format!("creating trace dir {}", parent.display()), e)
+            })?;
+        }
+
+        let out = File::create(&tmp)
+            .map_err(|e| CorpusError::io(format!("creating {}", tmp.display()), e))?;
+        let mut writer = ColumnarTraceWriter::new(BufWriter::new(out))
+            .map_err(|e| CorpusError::io(format!("writing {}", tmp.display()), e))?;
+        let counts = transcode_into(source, &mut writer);
+        let counts = match counts {
+            Ok(c) => c,
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                return Err(e);
+            }
+        };
+        let buf = writer
+            .finish()
+            .map_err(|e| CorpusError::io(format!("finishing {}", tmp.display()), e))?;
+        buf.into_inner()
+            .map_err(|e| CorpusError::io(format!("flushing {}", tmp.display()), e.into_error()))?;
+        std::fs::rename(&tmp, &stored)
+            .map_err(|e| CorpusError::io(format!("installing {}", stored.display()), e))?;
+
+        let bytes = std::fs::read(&stored)
+            .map_err(|e| CorpusError::io(format!("hashing {}", stored.display()), e))?;
+        let hash = content_hash(&bytes);
+        let indexed = ColumnarFile::open_path(&stored)?;
+        let entry = TraceEntry {
+            name: name.to_owned(),
+            file: rel,
+            hash,
+            ops: counts.0,
+            refs: counts.1,
+            bytes: bytes.len() as u64,
+            blocks: indexed.block_count() as u64,
+        };
+        match self.manifest.traces.iter_mut().find(|e| e.name == name) {
+            Some(slot) => *slot = entry,
+            None => self.manifest.traces.push(entry),
+        }
+        self.manifest.save(&self.dir.join(MANIFEST_FILE))?;
+        Ok(self.manifest.get(name).expect("entry just inserted"))
+    }
+
+    /// Verifies every stored trace: file present, content hash intact,
+    /// full strict decode succeeds, and counts match the manifest.
+    ///
+    /// Per-trace failures are reported, not returned as errors, so a
+    /// damaged trace does not hide the state of the others.
+    pub fn verify(&self) -> Vec<VerifyReport> {
+        self.entries()
+            .iter()
+            .map(|e| {
+                let detail = self.verify_entry(e);
+                VerifyReport {
+                    name: e.name.clone(),
+                    ok: detail.is_ok(),
+                    detail: match detail {
+                        Ok(d) | Err(d) => d,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    fn verify_entry(&self, e: &TraceEntry) -> Result<String, String> {
+        let path = self.trace_path(e);
+        let bytes =
+            std::fs::read(&path).map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+        if bytes.len() as u64 != e.bytes {
+            return Err(format!(
+                "size mismatch: stored {} bytes, manifest says {}",
+                bytes.len(),
+                e.bytes
+            ));
+        }
+        let hash = content_hash(&bytes);
+        if hash != e.hash {
+            return Err(format!(
+                "content hash mismatch: stored {hash:016x}, manifest says {:016x}",
+                e.hash
+            ));
+        }
+        let mut reader = ColumnarTraceReader::new(&bytes[..])
+            .map_err(|err| format!("not a columnar trace: {err}"))?;
+        let mut ops = 0u64;
+        let mut refs = 0u64;
+        loop {
+            match reader.next_op() {
+                Ok(Some(op)) => {
+                    ops += 1;
+                    refs += u64::from(op.mem_ref().is_some());
+                }
+                Ok(None) => break,
+                Err(err) => return Err(format!("decode failed after {ops} ops: {err}")),
+            }
+        }
+        if ops != e.ops || refs != e.refs {
+            return Err(format!(
+                "count mismatch: decoded {ops} ops / {refs} refs, manifest says {} / {}",
+                e.ops, e.refs
+            ));
+        }
+        let blocks = reader.blocks_decoded();
+        if blocks != e.blocks {
+            return Err(format!(
+                "block count mismatch: decoded {blocks}, manifest says {}",
+                e.blocks
+            ));
+        }
+        Ok(format!(
+            "{ops} ops, {refs} refs, {blocks} blocks, {} bytes, hash {hash:016x}",
+            e.bytes
+        ))
+    }
+}
+
+/// Streams every record of `source` (any sniffable format) into the
+/// columnar writer, returning `(ops, refs)` written.
+fn transcode_into<W: Write>(
+    source: &Path,
+    writer: &mut ColumnarTraceWriter<W>,
+) -> Result<(u64, u64), CorpusError> {
+    let mut file = File::open(source)
+        .map_err(|e| CorpusError::io(format!("opening {}", source.display()), e))?;
+    let mut prefix = [0u8; 5];
+    let mut got = 0usize;
+    while got < prefix.len() {
+        match file
+            .read(&mut prefix[got..])
+            .map_err(|e| CorpusError::io(format!("reading {}", source.display()), e))?
+        {
+            0 => break,
+            n => got += n,
+        }
+    }
+    // Re-open rather than seek so the format-specific readers each see
+    // the stream from byte zero (text input may be a pipe-unfriendly
+    // special file; plain reopen is the simplest correct move).
+    drop(file);
+    let file = File::open(source)
+        .map_err(|e| CorpusError::io(format!("reopening {}", source.display()), e))?;
+    let mut ops = 0u64;
+    let mut refs = 0u64;
+    let mut push =
+        |op: cac_trace::TraceOp, writer: &mut ColumnarTraceWriter<W>| -> Result<(), CorpusError> {
+            ops += 1;
+            refs += u64::from(op.mem_ref().is_some());
+            writer
+                .write_op(op)
+                .map_err(|e| CorpusError::io("writing columnar block", e))
+        };
+    match sniff_format(&prefix[..got]) {
+        TraceFormat::Text => {
+            for op in read_trace(BufReader::new(file)) {
+                let op = op.map_err(|e| {
+                    CorpusError::io(
+                        format!("parsing text trace {}", source.display()),
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+                    )
+                })?;
+                push(op, writer)?;
+            }
+        }
+        TraceFormat::Binary => {
+            let mut reader = cac_trace::io::BinaryTraceReader::new(BufReader::new(file))?;
+            while let Some(op) = reader.next_op()? {
+                push(op, writer)?;
+            }
+        }
+        TraceFormat::Columnar => {
+            let mut reader = ColumnarTraceReader::new(BufReader::new(file))?;
+            while let Some(op) = reader.next_op()? {
+                push(op, writer)?;
+            }
+        }
+    }
+    Ok((ops, refs))
+}
+
+fn validate_name(name: &str) -> Result<(), CorpusError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        && !name.starts_with('.');
+    if ok {
+        Ok(())
+    } else {
+        Err(CorpusError::Manifest(format!(
+            "invalid trace name {name:?} (want 1-64 chars of [A-Za-z0-9._-], not starting with '.')"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cac_trace::io::write_trace_columnar;
+    use cac_trace::TraceOp;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cac-corpus-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_ops(n: u64) -> Vec<TraceOp> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => TraceOp::load(0x1000 + 4 * i, 0x8000 + 16 * i, 1, Some(4)),
+                1 => TraceOp::store(0x1000 + 4 * i, 0x9000 + 8 * i, 2, None),
+                _ => TraceOp::compute(0x1000 + 4 * i, cac_trace::OpClass::IntAlu, 3, [None; 2]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_ingests_all_three_formats_identically() {
+        let dir = tmp_dir("ingest");
+        let ops = sample_ops(5000);
+
+        let text = dir.join("in.txt");
+        let mut w = Vec::new();
+        cac_trace::io::write_trace(&mut w, ops.iter().copied()).unwrap();
+        std::fs::write(&text, w).unwrap();
+
+        let binary = dir.join("in.bin");
+        let mut w = Vec::new();
+        cac_trace::io::write_trace_binary(&mut w, ops.iter().copied()).unwrap();
+        std::fs::write(&binary, w).unwrap();
+
+        let columnar = dir.join("in.col");
+        let mut w = Vec::new();
+        write_trace_columnar(&mut w, ops.iter().copied()).unwrap();
+        std::fs::write(&columnar, w).unwrap();
+
+        let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+        let h1 = corpus.add("from-text", &text).unwrap().hash;
+        let h2 = corpus.add("from-binary", &binary).unwrap().hash;
+        let h3 = corpus.add("from-columnar", &columnar).unwrap().hash;
+        // Same records => identical stored bytes => identical hashes.
+        assert_eq!(h1, h2);
+        assert_eq!(h2, h3);
+        let entry = corpus.manifest().get("from-text").unwrap();
+        assert_eq!(entry.ops, 5000);
+        assert_eq!(
+            entry.refs,
+            ops.iter().filter(|o| o.mem_ref().is_some()).count() as u64
+        );
+        assert!(entry.blocks >= 1);
+
+        for r in corpus.verify() {
+            assert!(r.ok, "{}: {}", r.name, r.detail);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn re_add_with_changed_content_changes_hash() {
+        let dir = tmp_dir("re-add");
+        let t1 = dir.join("a.txt");
+        let t2 = dir.join("b.txt");
+        let mut w = Vec::new();
+        cac_trace::io::write_trace(&mut w, sample_ops(100)).unwrap();
+        std::fs::write(&t1, &w).unwrap();
+        let mut w = Vec::new();
+        cac_trace::io::write_trace(&mut w, sample_ops(200)).unwrap();
+        std::fs::write(&t2, &w).unwrap();
+
+        let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+        let h1 = corpus.add("t", &t1).unwrap().hash;
+        let h2 = corpus.add("t", &t2).unwrap().hash;
+        assert_ne!(h1, h2);
+        assert_eq!(corpus.entries().len(), 1);
+
+        // Reopen sees the updated entry.
+        let reopened = Corpus::open(corpus.dir()).unwrap();
+        assert_eq!(reopened.manifest().get("t").unwrap().hash, h2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_flags_tampered_trace() {
+        let dir = tmp_dir("verify");
+        let t = dir.join("a.txt");
+        let mut w = Vec::new();
+        cac_trace::io::write_trace(&mut w, sample_ops(3000)).unwrap();
+        std::fs::write(&t, &w).unwrap();
+
+        let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+        let file = corpus.add("t", &t).unwrap().file.clone();
+        let path = corpus.dir().join(&file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let reports = corpus.verify();
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].ok);
+        assert!(
+            reports[0].detail.contains("hash mismatch"),
+            "unexpected detail: {}",
+            reports[0].detail
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn init_twice_is_an_error_but_open_or_init_is_not() {
+        let dir = tmp_dir("init");
+        let c = dir.join("corpus");
+        Corpus::init(&c).unwrap();
+        assert!(Corpus::init(&c).is_err());
+        assert!(Corpus::open_or_init(&c).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let dir = tmp_dir("names");
+        let t = dir.join("a.txt");
+        let mut w = Vec::new();
+        cac_trace::io::write_trace(&mut w, sample_ops(10)).unwrap();
+        std::fs::write(&t, &w).unwrap();
+        let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+        for bad in ["", "../evil", "a b", ".hidden", "x/y"] {
+            assert!(corpus.add(bad, &t).is_err(), "accepted {bad:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -35,7 +35,9 @@
 use crate::cache::Cache;
 use crate::hierarchy::{HierarchyRun, TwoLevelHierarchy};
 use crate::stats::CacheStats;
-use cac_trace::io::{BinaryTraceError, BinaryTraceReader, ChunkSource, DEFAULT_CHUNK_OPS};
+use cac_trace::io::{
+    BinaryTraceError, BinaryTraceReader, ChunkSource, RefSource, DEFAULT_CHUNK_OPS,
+};
 use std::io::Read;
 
 /// Streams a trace through a single-level [`Cache`] in
@@ -91,10 +93,26 @@ pub fn run_cache_refs<R: Read>(
     cache: &mut Cache,
     reader: &mut BinaryTraceReader<R>,
 ) -> Result<CacheStats, BinaryTraceError> {
+    run_cache_source(cache, reader)
+}
+
+/// Streams any [`RefSource`] through a single-level [`Cache`] in
+/// [`DEFAULT_CHUNK_OPS`]-sized reference batches — the generic sibling
+/// of [`run_cache_refs`] for columnar corpus files and other non-binary
+/// streams.
+///
+/// # Errors
+///
+/// Propagates decode/read errors from the source. References decoded
+/// before the error remain applied (and counted in [`Cache::stats`]).
+pub fn run_cache_source<S: RefSource>(
+    cache: &mut Cache,
+    mut source: S,
+) -> Result<CacheStats, S::Error> {
     let before = cache.stats();
     let mut buf: Vec<cac_trace::MemRef> = Vec::with_capacity(DEFAULT_CHUNK_OPS);
     loop {
-        match reader.read_ref_chunk(&mut buf, DEFAULT_CHUNK_OPS) {
+        match source.read_ref_chunk(&mut buf, DEFAULT_CHUNK_OPS) {
             Ok(0) => break,
             Ok(_) => {
                 cache.run_refs_slice(&buf);

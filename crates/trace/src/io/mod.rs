@@ -52,12 +52,19 @@
 //! ```
 
 pub mod binary;
+pub mod columnar;
 pub mod text;
 
 pub use binary::{
     block_checksum, write_trace_binary, BinaryTraceError, BinaryTraceReader, BinaryTraceWriter,
     DecodeMode, SkipReport, BINARY_MAGIC, BINARY_VERSION, BLOCK_HEADER_LEN, BLOCK_MAGIC,
     BLOCK_TARGET, HEADER_LEN, MAX_BLOCK_LEN,
+};
+pub use columnar::{
+    col_block_checksum, write_trace_columnar, ColIndexEntry, ColumnBytes, ColumnarFile,
+    ColumnarTraceReader, ColumnarTraceWriter, COLUMNAR_VERSION, COL_BLOCK_HEADER_LEN,
+    COL_BLOCK_MAGIC, COL_BLOCK_RECORDS, COL_FOOTER_LEN, COL_FOOTER_MAGIC, COL_INDEX_ENTRY_LEN,
+    COL_INDEX_MAGIC,
 };
 pub use text::{read_trace, write_trace, ParseTraceError, ReadTrace};
 
@@ -178,6 +185,17 @@ pub trait RefSource {
     fn read_ref_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> Result<usize, Self::Error>;
 }
 
+/// Mutable references forward, so a caller can stream a source through
+/// a generic consumer while keeping ownership (to read skip accounting
+/// or decode counters afterwards).
+impl<S: RefSource + ?Sized> RefSource for &mut S {
+    type Error = S::Error;
+
+    fn read_ref_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> Result<usize, Self::Error> {
+        (**self).read_ref_chunk(out, max)
+    }
+}
+
 /// [`RefSource`] over any reference iterator (infallible) — the bridge
 /// from synthetic workload generators to the sweep engine.
 ///
@@ -257,17 +275,24 @@ impl<S: ChunkSource> RefSource for OpRefSource<S> {
 pub enum TraceFormat {
     /// The line-oriented [`text`] format.
     Text,
-    /// The compact [`binary`] format.
+    /// The compact row-oriented [`binary`] format (versions 1–2).
     Binary,
+    /// The block-compressed [`columnar`] format (version 3).
+    Columnar,
 }
 
 /// Detects the format of a trace from its first bytes (at least
-/// [`BINARY_MAGIC`]`.len()` bytes should be supplied; fewer is treated
-/// as text, which the text parser will then reject with a line number
-/// if it is not).
+/// [`BINARY_MAGIC`]`.len() + 1` bytes should be supplied so the version
+/// byte distinguishes the row and columnar layouts; fewer than the
+/// magic is treated as text, which the text parser will then reject
+/// with a line number if it is not).
 pub fn sniff_format(prefix: &[u8]) -> TraceFormat {
     if prefix.len() >= BINARY_MAGIC.len() && prefix[..BINARY_MAGIC.len()] == BINARY_MAGIC {
-        TraceFormat::Binary
+        if prefix.len() > BINARY_MAGIC.len() && prefix[BINARY_MAGIC.len()] == COLUMNAR_VERSION {
+            TraceFormat::Columnar
+        } else {
+            TraceFormat::Binary
+        }
     } else {
         TraceFormat::Text
     }
@@ -286,8 +311,12 @@ mod tests {
         assert_eq!(sniff_format(&text), TraceFormat::Text);
         let bin = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
         assert_eq!(sniff_format(&bin), TraceFormat::Binary);
+        let col = write_trace_columnar(Vec::new(), ops.iter().copied()).unwrap();
+        assert_eq!(sniff_format(&col), TraceFormat::Columnar);
         assert_eq!(sniff_format(b""), TraceFormat::Text);
         assert_eq!(sniff_format(b"CA"), TraceFormat::Text);
+        // A bare magic (no version byte) still reads as the row format.
+        assert_eq!(sniff_format(b"CACT"), TraceFormat::Binary);
     }
 
     #[test]

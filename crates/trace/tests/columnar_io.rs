@@ -1,0 +1,252 @@
+//! Property-based tests for the columnar (v3) trace codec: arbitrary
+//! op sequences round-trip record-identically with the row (v2) codec,
+//! damaged streams are skipped with exact accounting rather than
+//! misdecoded, and seeded fault injection composes with the reader.
+
+use cac_trace::fault::{FaultSource, FaultSpec};
+use cac_trace::io::{
+    sniff_format, write_trace_binary, write_trace_columnar, BinaryTraceError, BinaryTraceReader,
+    ColumnarFile, ColumnarTraceReader, TraceFormat, COL_BLOCK_RECORDS, HEADER_LEN,
+};
+use cac_trace::{MemRef, OpClass, TraceOp};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Strategy for one arbitrary (but structurally valid) trace op.
+fn arb_op() -> impl Strategy<Value = TraceOp> {
+    let reg = prop_oneof![Just(None), (0u8..64).prop_map(Some)];
+    (
+        any::<u64>(),  // pc
+        any::<u64>(),  // addr / target
+        0u8..64,       // mandatory register
+        reg,           // optional register
+        any::<bool>(), // taken / spare
+        0usize..10,    // kind selector
+    )
+        .prop_map(|(pc, addr, r1, r2, flag, kind)| match kind {
+            0..=2 => TraceOp::load(pc, addr, r1, r2),
+            3 | 4 => TraceOp::store(pc, addr, r1, r2),
+            5 | 6 => TraceOp::branch(pc, flag, addr, r2),
+            7 => TraceOp::compute(pc, OpClass::IntAlu, r1, [r2, None]),
+            8 => TraceOp::compute(pc, OpClass::FpMul, r1, [r2, Some(r1)]),
+            _ => TraceOp::compute(pc, OpClass::IntDiv, r1, [None, r2]),
+        })
+}
+
+/// Drains a reader's ref stream chunk by chunk into `refs`.
+fn drain(
+    refs: &mut Vec<MemRef>,
+    chunk: usize,
+    mut f: impl FnMut(&mut Vec<MemRef>, usize) -> usize,
+) {
+    let mut buf = Vec::new();
+    while f(&mut buf, chunk) > 0 {
+        refs.extend_from_slice(&buf);
+    }
+}
+
+proptest! {
+    /// in-memory → columnar → in-memory is the identity, and the v2
+    /// and v3 encodings of the same ops decode record-identically.
+    #[test]
+    fn v2_v3_record_identical(ops in proptest::collection::vec(arb_op(), 0..300)) {
+        let v2 = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let v3 = write_trace_columnar(Vec::new(), ops.iter().copied()).unwrap();
+        prop_assert_eq!(sniff_format(&v3), TraceFormat::Columnar);
+        let from_v2: Vec<TraceOp> =
+            BinaryTraceReader::new(&v2[..]).unwrap().map(Result::unwrap).collect();
+        let from_v3: Vec<TraceOp> =
+            ColumnarTraceReader::new(&v3[..]).unwrap().map(Result::unwrap).collect();
+        prop_assert_eq!(&from_v3, &ops);
+        prop_assert_eq!(from_v2, from_v3);
+    }
+
+    /// The reference projections of the two formats agree chunk for
+    /// chunk, whatever the chunk size.
+    #[test]
+    fn v2_v3_ref_streams_identical(
+        ops in proptest::collection::vec(arb_op(), 0..300),
+        chunk in 1usize..200,
+    ) {
+        let v2 = write_trace_binary(Vec::new(), ops.iter().copied()).unwrap();
+        let v3 = write_trace_columnar(Vec::new(), ops.iter().copied()).unwrap();
+        let mut r2 = BinaryTraceReader::new(&v2[..]).unwrap();
+        let mut refs2 = Vec::new();
+        drain(&mut refs2, chunk, |b, n| r2.read_ref_chunk(b, n).unwrap());
+        let mut r3 = ColumnarTraceReader::new(&v3[..]).unwrap();
+        let mut refs3 = Vec::new();
+        drain(&mut refs3, chunk, |b, n| r3.read_ref_chunk(b, n).unwrap());
+        let expect: Vec<MemRef> = ops.iter().filter_map(TraceOp::mem_ref).collect();
+        prop_assert_eq!(&refs2, &expect);
+        prop_assert_eq!(refs3, expect);
+    }
+
+    /// Truncating a columnar stream anywhere never misdecodes: strict
+    /// mode always errors (the index is missing), and whatever lenient
+    /// mode delivers is a prefix of the clean record stream.
+    #[test]
+    fn truncation_never_misdecodes(
+        ops in proptest::collection::vec(arb_op(), 1..100),
+        cut_permille in 0u64..1000,
+    ) {
+        let bytes = write_trace_columnar(Vec::new(), ops.iter().copied()).unwrap();
+        let cut = HEADER_LEN + ((bytes.len() - 1 - HEADER_LEN) as u64 * cut_permille / 1000) as usize;
+        let results: Vec<_> = ColumnarTraceReader::new(&bytes[..cut]).unwrap().collect();
+        let decoded: Vec<TraceOp> = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .copied()
+            .collect();
+        prop_assert!(decoded.len() <= ops.len());
+        prop_assert_eq!(&decoded[..], &ops[..decoded.len()]);
+        // Unlike v2, *every* cut is detected — the index never arrives.
+        prop_assert!(
+            matches!(
+                results.last(),
+                Some(Err(BinaryTraceError::Truncated { .. } | BinaryTraceError::Corrupt { .. }))
+            ),
+            "cut at {} went undetected", cut
+        );
+
+        let mut lenient = ColumnarTraceReader::new_lenient(&bytes[..cut]).unwrap();
+        let relaxed: Vec<TraceOp> = (&mut lenient).map(Result::unwrap).collect();
+        prop_assert_eq!(&relaxed[..], &ops[..relaxed.len()]);
+        prop_assert!(lenient.skipped().any(), "cut at {} left no tally", cut);
+    }
+
+    /// Under seeded bit-flip injection the lenient reader (a) never
+    /// fails the stream, (b) never fabricates records, and (c) resyncs
+    /// at block granularity: every delivered record is genuine and in
+    /// stream order.
+    #[test]
+    fn fault_source_composes_with_v3(
+        seed in 0u64..500,
+        flip_ppm in 50u32..400,
+    ) {
+        use cac_trace::SpecBenchmark;
+        let ops: Vec<TraceOp> = SpecBenchmark::Swim.generator(seed).take(20_000).collect();
+        let clean = write_trace_columnar(Vec::new(), ops.iter().copied()).unwrap();
+        let spec = FaultSpec { seed, flip_ppm, ..FaultSpec::default() };
+        // Compose the fault injector *under* the columnar reader, the
+        // way `cac trace gen --inject` stages damage.
+        let mut damaged = Vec::new();
+        std::io::Read::read_to_end(
+            &mut FaultSource::new(&clean[..], spec),
+            &mut damaged,
+        ).unwrap();
+        damaged[..HEADER_LEN].copy_from_slice(&clean[..HEADER_LEN]);
+
+        let mut reader = ColumnarTraceReader::new_lenient(&damaged[..]).unwrap();
+        let decoded: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        let skip = reader.skipped();
+        prop_assert!(decoded.len() <= ops.len());
+        prop_assert!(reader.ops_decoded() <= ops.len() as u64);
+        if skip.blocks == 0 {
+            prop_assert_eq!(&decoded, &ops);
+        }
+        // Delivered records appear in the original stream, in order.
+        let mut it = ops.iter();
+        for op in &decoded {
+            prop_assert!(it.any(|o| o == op), "fabricated record {:?}", op);
+        }
+    }
+
+    /// Payload-confined damage (headers and index left alone) gives
+    /// exact skip accounting: decoded + skipped == written, and the
+    /// reader resynchronizes at exactly the next indexed block.
+    #[test]
+    fn payload_damage_accounting_is_exact(seed in 0u64..300) {
+        use cac_trace::SpecBenchmark;
+        let n = 3 * COL_BLOCK_RECORDS + 100;
+        let ops: Vec<TraceOp> = SpecBenchmark::Tomcatv.generator(seed).take(n).collect();
+        let bytes = write_trace_columnar(Vec::new(), ops.iter().copied()).unwrap();
+        // Locate blocks through the trailing index, then flip one
+        // payload byte per block on a seeded coin toss.
+        let file = ColumnarFile::open(Cursor::new(bytes.clone())).unwrap();
+        let entries: Vec<_> = file.entries().to_vec();
+        let mut damaged = bytes.clone();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17; state
+        };
+        let mut expect_lost_records = 0u64;
+        let mut expect_lost_blocks = 0u64;
+        let mut surviving = Vec::new();
+        let mut at = 0usize;
+        for e in &entries {
+            let hit = next() % 2 == 0;
+            if hit {
+                let payload_at = e.offset as usize + 20 + (next() as usize % 64);
+                damaged[payload_at] ^= 1 << (next() % 8);
+                expect_lost_records += u64::from(e.records);
+                expect_lost_blocks += 1;
+            } else {
+                surviving.extend_from_slice(&ops[at..at + e.records as usize]);
+            }
+            at += e.records as usize;
+        }
+        let mut reader = ColumnarTraceReader::new_lenient(&damaged[..]).unwrap();
+        let decoded: Vec<TraceOp> = (&mut reader).map(Result::unwrap).collect();
+        let skip = reader.skipped();
+        prop_assert_eq!(skip.blocks, expect_lost_blocks);
+        prop_assert_eq!(skip.records, expect_lost_records);
+        prop_assert_eq!(decoded, surviving);
+        prop_assert_eq!(reader.index_entries(), entries.len() as u64);
+    }
+
+    /// O(1) block access agrees with the streaming decode for every
+    /// block, in arbitrary visit order.
+    #[test]
+    fn indexed_reads_match_streaming(seed in 0u64..200, visit in any::<u64>()) {
+        use cac_trace::SpecBenchmark;
+        let n = 2 * COL_BLOCK_RECORDS + 700;
+        let ops: Vec<TraceOp> = SpecBenchmark::Hydro2d.generator(seed).take(n).collect();
+        let bytes = write_trace_columnar(Vec::new(), ops.iter().copied()).unwrap();
+        let mut file = ColumnarFile::open(Cursor::new(bytes)).unwrap();
+        prop_assert_eq!(file.records(), ops.len() as u64);
+        let blocks = file.block_count();
+        for i in 0..blocks {
+            // Arbitrary-order visits: permute by the seed.
+            let b = (i + (visit as usize % blocks.max(1))) % blocks;
+            let got = file.read_block(b).unwrap();
+            let lo = b * COL_BLOCK_RECORDS;
+            let hi = (lo + COL_BLOCK_RECORDS).min(ops.len());
+            prop_assert_eq!(got, &ops[lo..hi]);
+        }
+    }
+}
+
+/// A truncated stream fed through `FaultSource` (truncate + flip
+/// composed) still never misdecodes through the chunked ref path.
+#[test]
+fn composed_truncate_and_flip_never_misdecode() {
+    use cac_trace::SpecBenchmark;
+    let ops: Vec<TraceOp> = SpecBenchmark::Swim.generator(11).take(30_000).collect();
+    let clean = write_trace_columnar(Vec::new(), ops.iter().copied()).unwrap();
+    let clean_refs: Vec<MemRef> = ops.iter().filter_map(TraceOp::mem_ref).collect();
+    for seed in 0..20u64 {
+        let spec = FaultSpec {
+            seed,
+            flip_ppm: 120,
+            truncate_at: Some(clean.len() as u64 * (seed + 70) / 100),
+            ..FaultSpec::default()
+        };
+        let mut damaged = Vec::new();
+        std::io::Read::read_to_end(&mut FaultSource::new(&clean[..], spec), &mut damaged).unwrap();
+        let head = HEADER_LEN.min(damaged.len());
+        damaged[..head].copy_from_slice(&clean[..head]);
+        let mut reader = ColumnarTraceReader::new_lenient(&damaged[..]).unwrap();
+        let mut refs: Vec<MemRef> = Vec::new();
+        let mut buf = Vec::new();
+        while reader.read_ref_chunk(&mut buf, 4096).unwrap() > 0 {
+            refs.extend_from_slice(&buf);
+        }
+        // Damage plus truncation must be tallied, and every delivered
+        // reference must be genuine (in-order subsequence).
+        assert!(reader.skipped().any(), "seed {seed}: no tally");
+        let mut it = clean_refs.iter();
+        for r in &refs {
+            assert!(it.any(|c| c == r), "seed {seed}: fabricated ref {r:?}");
+        }
+    }
+}

@@ -274,6 +274,14 @@ fn run_grid(a: &ExpArgs, paths: &[String]) -> Result<Report, DriverError> {
             ModelOutcome::Failed { reason } => {
                 cells.push((path.clone(), Cell::Failed(reason)));
             }
+            // `cac run` sets no sweep budget, so cancellation cannot
+            // happen here; treat it defensively as a failure row.
+            ModelOutcome::Cancelled { refs_replayed } => {
+                cells.push((
+                    path.clone(),
+                    Cell::Failed(format!("cancelled after {refs_replayed} refs")),
+                ));
+            }
         }
     }
 

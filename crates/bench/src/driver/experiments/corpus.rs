@@ -15,10 +15,12 @@ use super::tools::parse_bool;
 use crate::driver::args::ExpArgs;
 use crate::driver::report::{Report, Table, Value};
 use crate::driver::DriverError;
-use cac_corpus::run::{run as corpus_run_engine, CellOutcome, RunOptions};
+use cac_corpus::run::{run as corpus_run_engine, CellOutcome, RunOptions, RunReport};
+use cac_corpus::supervisor::{CellBudget, ChaosPlan, RetryPolicy};
 use cac_corpus::{Corpus, CorpusError};
 use cac_sim::model::MemoryModel;
 use cac_sim::sweep::Sweep;
+use cac_trace::fault::FaultSpec;
 use cac_trace::io::{write_trace_columnar, ColumnarTraceReader};
 use cac_trace::MemRef;
 use std::fs::File;
@@ -83,9 +85,19 @@ pub(super) fn corpus_ls(a: &ExpArgs) -> Result<Report, DriverError> {
     let corpus = Corpus::open(&dir).map_err(driver_err)?;
     let mut table = Table::new(
         "traces",
-        &["name", "ops", "refs", "blocks", "bytes", "bytes/op", "hash"],
+        &[
+            "name", "ops", "refs", "blocks", "bytes", "bytes/op", "hash", "status",
+        ],
     );
+    let mut quarantined = 0u64;
     for e in corpus.entries() {
+        let status = match corpus.quarantined(&e.name) {
+            Some(q) => {
+                quarantined += 1;
+                format!("QUARANTINED [{}]: {}", q.class, q.reason)
+            }
+            None => "ok".to_owned(),
+        };
         table.push_row(vec![
             Value::s(&e.name),
             Value::u(e.ops),
@@ -94,15 +106,23 @@ pub(super) fn corpus_ls(a: &ExpArgs) -> Result<Report, DriverError> {
             Value::u(e.bytes),
             Value::f(e.bytes as f64 / e.ops.max(1) as f64, 2),
             Value::s(format!("{:016x}", e.hash)),
+            Value::s(status),
         ]);
     }
-    Ok(Report::new(format!(
+    let mut report = Report::new(format!(
         "corpus ls: {} trace(s) in {}",
         corpus.entries().len(),
         dir.display()
     ))
     .param("dir", dir.display())
-    .table(table))
+    .table(table);
+    if quarantined > 0 {
+        report = report.note(format!(
+            "{quarantined} trace(s) quarantined; `corpus run` skips them \
+             (re-add from a clean source to clear)"
+        ));
+    }
+    Ok(report)
 }
 
 pub(super) fn corpus_verify(a: &ExpArgs) -> Result<Report, DriverError> {
@@ -124,6 +144,12 @@ pub(super) fn corpus_verify(a: &ExpArgs) -> Result<Report, DriverError> {
     let mut report = Report::new(format!("corpus verify: {}", dir.display()))
         .param("dir", dir.display())
         .table(table);
+    for q in corpus.manifest().quarantine.iter() {
+        report = report.note(format!(
+            "quarantined: {} [{}] — {}",
+            q.name, q.class, q.reason
+        ));
+    }
     if damaged > 0 {
         report = report.flag_failures(damaged).note(format!(
             "{damaged} of {} trace(s) failed verification; re-add them from clean sources",
@@ -136,6 +162,166 @@ pub(super) fn corpus_verify(a: &ExpArgs) -> Result<Report, DriverError> {
         ));
     }
     Ok(report)
+}
+
+/// Parses the shared supervision flags (`--retry`, `--retry-seed`,
+/// `--backoff-ms`, `--cell-budget`, `--skip-threshold`) into run
+/// options.
+fn supervision_opts(a: &ExpArgs, opts: &mut RunOptions) -> Result<(), DriverError> {
+    opts.retry = RetryPolicy {
+        attempts: a.u32("retry")?,
+        base_ms: a.u64("backoff-ms")?,
+        seed: a.u64("retry-seed")?,
+    };
+    let budget = a.str("cell-budget");
+    if !budget.is_empty() {
+        opts.budget = Some(CellBudget::parse(budget).map_err(DriverError::Usage)?);
+    }
+    opts.skip_threshold = a.u64("skip-threshold")?;
+    Ok(())
+}
+
+/// Renders one result cell's `(status, accesses, misses, miss %)`
+/// columns. The rendering is a pure function of journaled cell content
+/// — no timings, no cached/fresh markers — so a fully-restored rerun is
+/// byte-identical to the cold run. `FAILED`/`DEGRADED`/`QUARANTINED`
+/// cells count toward `failures` (report exits 1).
+fn render_cell(cell: &CellOutcome, failures: &mut u64) -> [Value; 4] {
+    match cell {
+        CellOutcome::Done { stats, .. } => [
+            Value::s("ok"),
+            Value::u(stats.demand.accesses),
+            Value::u(stats.demand.misses),
+            Value::f(stats.demand.miss_ratio() * 100.0, 3),
+        ],
+        CellOutcome::Pruned { predicted, .. } => [
+            Value::s("pruned"),
+            Value::s("-"),
+            Value::s("-"),
+            Value::s(format!("PRUNED(predicted={:.2})", predicted * 100.0)),
+        ],
+        CellOutcome::Degraded { estimate, se, .. } => [
+            Value::s("degraded"),
+            Value::s("-"),
+            Value::s("-"),
+            Value::s(format!(
+                "DEGRADED(estimate={:.2}, se={:.2})",
+                estimate * 100.0,
+                se * 100.0
+            )),
+        ],
+        CellOutcome::Failed { reason, class, .. } => {
+            *failures += 1;
+            [
+                Value::s("FAILED"),
+                Value::s("-"),
+                Value::s("-"),
+                Value::s(format!("FAILED[{class}]({reason})")),
+            ]
+        }
+        CellOutcome::Quarantined { reason } => {
+            *failures += 1;
+            [
+                Value::s("QUARANTINED"),
+                Value::s("-"),
+                Value::s("-"),
+                Value::s(format!("QUARANTINED({reason})")),
+            ]
+        }
+    }
+}
+
+/// Renders the matrix table plus the count of failure-carrying cells.
+fn render_matrix(report_data: &RunReport) -> (Table, u64) {
+    let mut matrix = Table::new(
+        "results",
+        &["trace", "config", "status", "accesses", "misses", "miss %"],
+    );
+    let mut failures = 0u64;
+    for row in &report_data.rows {
+        for (config, cell) in report_data.configs.iter().zip(&row.cells) {
+            let [status, accesses, misses, ratio] = render_cell(cell, &mut failures);
+            matrix.push_row(vec![
+                Value::s(&row.trace),
+                Value::s(config),
+                status,
+                accesses,
+                misses,
+                ratio,
+            ]);
+        }
+    }
+    (matrix, failures)
+}
+
+/// Renders the per-trace health table for traces with supervision
+/// events (retries, skipped blocks, quarantines). Empty when the fleet
+/// was healthy — so healthy cold/warm reruns still render identically.
+fn render_health(report_data: &RunReport) -> Option<Table> {
+    let mut table = Table::new(
+        "trace health",
+        &[
+            "trace",
+            "attempts",
+            "backoff ms",
+            "skipped blocks",
+            "status",
+        ],
+    );
+    let mut any = false;
+    for h in &report_data.health {
+        let unhealthy = h.attempts > 1 || h.skipped.any() || h.quarantined.is_some();
+        if !unhealthy {
+            continue;
+        }
+        any = true;
+        let backoffs = if h.backoffs_ms.is_empty() {
+            "-".to_owned()
+        } else {
+            h.backoffs_ms
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        table.push_row(vec![
+            Value::s(&h.trace),
+            Value::u(u64::from(h.attempts)),
+            Value::s(backoffs),
+            Value::u(h.skipped.blocks),
+            Value::s(if h.note.is_empty() {
+                "ok"
+            } else {
+                h.note.as_str()
+            }),
+        ]);
+    }
+    any.then_some(table)
+}
+
+fn work_table(report_data: &RunReport) -> Table {
+    let s = report_data.summary;
+    Table::new("work", &["what", "cells"])
+        .row(vec![Value::s("replayed"), Value::u(s.replayed)])
+        .row(vec![
+            Value::s("restored from journal"),
+            Value::u(s.restored),
+        ])
+        .row(vec![Value::s("pruned (this run)"), Value::u(s.pruned)])
+        .row(vec![Value::s("failed"), Value::u(s.failed)])
+        .row(vec![
+            Value::s("degraded (over budget)"),
+            Value::u(s.degraded),
+        ])
+        .row(vec![
+            Value::s("quarantined (skipped)"),
+            Value::u(s.quarantined),
+        ])
+        .row(vec![Value::s("retried attempts"), Value::u(s.retried)])
+        .row(vec![
+            Value::s("traces screened analytically"),
+            Value::u(s.screened_traces),
+        ])
 }
 
 pub(super) fn corpus_run(a: &ExpArgs) -> Result<Report, DriverError> {
@@ -165,59 +351,19 @@ pub(super) fn corpus_run(a: &ExpArgs) -> Result<Report, DriverError> {
         ));
     }
     let explain = parse_bool("explain", a.str("explain"))?;
-    let opts = RunOptions {
+    let mut opts = RunOptions {
         workers: a.usize("workers")?.max(1),
         chunk: a.usize("chunk")?.max(1),
         prune,
         prune_band: band_pct / 100.0,
+        ..RunOptions::default()
     };
+    supervision_opts(a, &mut opts)?;
 
-    let corpus = Corpus::open(&dir).map_err(driver_err)?;
-    let report_data = corpus_run_engine(&corpus, &config_paths, &opts).map_err(driver_err)?;
+    let mut corpus = Corpus::open(&dir).map_err(driver_err)?;
+    let report_data = corpus_run_engine(&mut corpus, &config_paths, &opts).map_err(driver_err)?;
 
-    // The matrix table renders from journaled cell content only — no
-    // timings, no cached/fresh markers — so a fully-restored rerun is
-    // byte-identical to the cold run.
-    let mut matrix = Table::new(
-        "results",
-        &["trace", "config", "status", "accesses", "misses", "miss %"],
-    );
-    let mut failures = 0u64;
-    for row in &report_data.rows {
-        for (config, cell) in report_data.configs.iter().zip(&row.cells) {
-            let (status, accesses, misses, ratio) = match cell {
-                CellOutcome::Done { stats, .. } => (
-                    Value::s("ok"),
-                    Value::u(stats.demand.accesses),
-                    Value::u(stats.demand.misses),
-                    Value::f(stats.demand.miss_ratio() * 100.0, 3),
-                ),
-                CellOutcome::Pruned { predicted, .. } => (
-                    Value::s("pruned"),
-                    Value::s("-"),
-                    Value::s("-"),
-                    Value::s(format!("PRUNED(predicted={:.2})", predicted * 100.0)),
-                ),
-                CellOutcome::Failed { reason } => {
-                    failures += 1;
-                    (
-                        Value::s("FAILED"),
-                        Value::s("-"),
-                        Value::s("-"),
-                        Value::s(format!("FAILED({reason})")),
-                    )
-                }
-            };
-            matrix.push_row(vec![
-                Value::s(&row.trace),
-                Value::s(config),
-                status,
-                accesses,
-                misses,
-                ratio,
-            ]);
-        }
-    }
+    let (matrix, mut failures) = render_matrix(&report_data);
     let mut report = Report::new(format!(
         "corpus run: {} trace(s) x {} config(s)",
         report_data.rows.len(),
@@ -230,29 +376,209 @@ pub(super) fn corpus_run(a: &ExpArgs) -> Result<Report, DriverError> {
     if prune {
         report = report.param("prune-band", a.str("prune-band"));
     }
-    if failures > 0 {
-        report = report
-            .flag_failures(failures)
-            .note("failed cells are not journaled; the next run retries them");
+    if let Some(budget) = opts.budget {
+        report = report.param("cell-budget", budget);
     }
-    if explain {
-        let s = report_data.summary;
-        report = report.param("explain", "true").table(
-            Table::new("work", &["what", "cells"])
-                .row(vec![Value::s("replayed"), Value::u(s.replayed)])
-                .row(vec![
-                    Value::s("restored from journal"),
-                    Value::u(s.restored),
-                ])
-                .row(vec![Value::s("pruned (this run)"), Value::u(s.pruned)])
-                .row(vec![Value::s("failed"), Value::u(s.failed)])
-                .row(vec![
-                    Value::s("traces screened analytically"),
-                    Value::u(s.screened_traces),
-                ]),
+    if let Some(health) = render_health(&report_data) {
+        report = report.table(health);
+    }
+    let skipped = report_data.skipped_blocks();
+    if skipped > 0 {
+        failures += skipped;
+        report = report.note(format!(
+            "lenient decode skipped {skipped} block(s) across the corpus; \
+             results may under-count (exit 1)"
+        ));
+    }
+    if failures > 0 {
+        report = report.flag_failures(failures).note(
+            "failed cells are journaled and their traces quarantined; \
+             re-add a trace from a clean source to recompute its row",
         );
     }
+    if explain {
+        report = report
+            .param("explain", "true")
+            .table(work_table(&report_data));
+    }
     Ok(report)
+}
+
+pub(super) fn corpus_chaos(a: &ExpArgs) -> Result<Report, DriverError> {
+    let dir = require_dir(a)?;
+    let config_paths: Vec<String> = a.list("configs").iter().map(|s| s.to_string()).collect();
+    if config_paths.is_empty() {
+        return Err(DriverError::Usage(
+            "at least one --configs file is required (e.g. examples/*.toml)".into(),
+        ));
+    }
+    let spec = FaultSpec::parse(a.str("fault")).map_err(DriverError::Usage)?;
+    let faulty_attempts = a.u32("faulty-attempts")?;
+    let target = a.str("trace");
+    let mut opts = RunOptions {
+        workers: a.usize("workers")?.max(1),
+        chunk: a.usize("chunk")?.max(1),
+        // The harness must never contaminate real incremental state:
+        // scratch journals, no persisted quarantine.
+        persist_quarantine: false,
+        ..RunOptions::default()
+    };
+    supervision_opts(a, &mut opts)?;
+
+    let mut corpus = Corpus::open(&dir).map_err(driver_err)?;
+    let baseline_journal = dir.join("chaos-baseline.journal");
+    let injected_journal = dir.join("chaos-injected.journal");
+    std::fs::remove_file(&baseline_journal).ok();
+    std::fs::remove_file(&injected_journal).ok();
+
+    // Undisturbed reference run with the same supervision settings.
+    let mut baseline_opts = opts.clone();
+    baseline_opts.journal = Some(baseline_journal);
+    let baseline =
+        corpus_run_engine(&mut corpus, &config_paths, &baseline_opts).map_err(driver_err)?;
+
+    // The same fleet under injected faults.
+    let mut injected_opts = opts.clone();
+    injected_opts.journal = Some(injected_journal);
+    injected_opts.chaos = Some(ChaosPlan {
+        spec,
+        faulty_attempts,
+        trace: (!target.is_empty()).then(|| target.to_owned()),
+    });
+    let injected =
+        corpus_run_engine(&mut corpus, &config_paths, &injected_opts).map_err(driver_err)?;
+
+    // Convergence audit: every injected cell must either be
+    // byte-identical to the undisturbed run or carry an explicit
+    // degraded/failed/quarantined classification — never silently
+    // wrong, never silently missing.
+    let mut identical = 0u64;
+    let mut unhealthy = 0u64;
+    let mut diverged: Vec<String> = Vec::new();
+    for (brow, irow) in baseline.rows.iter().zip(&injected.rows) {
+        for (j, (bc, ic)) in brow.cells.iter().zip(&irow.cells).enumerate() {
+            let cell_name = || format!("{} x {}", irow.trace, injected.configs[j]);
+            match (bc, ic) {
+                (CellOutcome::Done { stats: bs, .. }, CellOutcome::Done { stats: is, .. }) => {
+                    if bs == is {
+                        identical += 1;
+                    } else {
+                        diverged.push(format!("{}: stats differ under injection", cell_name()));
+                    }
+                }
+                (
+                    CellOutcome::Pruned { predicted: bp, .. },
+                    CellOutcome::Pruned { predicted: ip, .. },
+                ) => {
+                    if bp.to_bits() == ip.to_bits() {
+                        identical += 1;
+                    } else {
+                        diverged.push(format!(
+                            "{}: prune prediction differs under injection",
+                            cell_name()
+                        ));
+                    }
+                }
+                (
+                    CellOutcome::Degraded {
+                        estimate: be,
+                        se: bse,
+                        ..
+                    },
+                    CellOutcome::Degraded {
+                        estimate: ie,
+                        se: ise,
+                        ..
+                    },
+                ) if be.to_bits() == ie.to_bits() && bse.to_bits() == ise.to_bits() => {
+                    identical += 1;
+                }
+                (
+                    _,
+                    CellOutcome::Degraded { .. }
+                    | CellOutcome::Failed { .. }
+                    | CellOutcome::Quarantined { .. },
+                ) => unhealthy += 1,
+                (b, i) => diverged.push(format!(
+                    "{}: {} became {} under injection",
+                    cell_name(),
+                    cell_kind(b),
+                    cell_kind(i)
+                )),
+            }
+        }
+    }
+    if let Some(first) = diverged.first() {
+        return Err(DriverError::Failed(format!(
+            "chaos divergence: {} cell(s) silently changed under injection; first: {first}",
+            diverged.len()
+        )));
+    }
+
+    let (matrix, _) = render_matrix(&injected);
+    let quarantined: Vec<&cac_corpus::TraceHealth> = injected
+        .health
+        .iter()
+        .filter(|h| h.quarantined.is_some())
+        .collect();
+    let mut report = Report::new(format!(
+        "corpus chaos: {} trace(s) x {} config(s) under fault injection",
+        injected.rows.len(),
+        injected.configs.len()
+    ))
+    .param("dir", dir.display())
+    .param("fault", a.str("fault"))
+    .param("faulty-attempts", faulty_attempts)
+    .param("retry", a.str("retry"))
+    .table(matrix);
+    if !target.is_empty() {
+        report = report.param("trace", target);
+    }
+    if let Some(health) = render_health(&injected) {
+        report = report.table(health);
+    }
+    report = report.table(
+        Table::new("convergence", &["what", "cells"])
+            .row(vec![
+                Value::s("byte-identical to undisturbed run"),
+                Value::u(identical),
+            ])
+            .row(vec![
+                Value::s("degraded / failed / quarantined"),
+                Value::u(unhealthy),
+            ])
+            .row(vec![Value::s("silently diverged"), Value::u(0)]),
+    );
+    report = report.table(work_table(&injected));
+    for h in &quarantined {
+        report = report.note(format!(
+            "quarantine (not persisted by chaos): {} — {}",
+            h.trace,
+            h.quarantined.as_deref().unwrap_or("")
+        ));
+    }
+    if unhealthy > 0 {
+        report = report.flag_failures(unhealthy).note(format!(
+            "converged: {identical} cell(s) byte-identical, {unhealthy} \
+             classified unhealthy, 0 silently dropped (exit 1)"
+        ));
+    } else {
+        report = report.note(format!(
+            "converged: all {identical} cell(s) byte-identical to the \
+             undisturbed run despite injection"
+        ));
+    }
+    Ok(report)
+}
+
+fn cell_kind(c: &CellOutcome) -> &'static str {
+    match c {
+        CellOutcome::Done { .. } => "ok",
+        CellOutcome::Pruned { .. } => "pruned",
+        CellOutcome::Degraded { .. } => "degraded",
+        CellOutcome::Failed { .. } => "failed",
+        CellOutcome::Quarantined { .. } => "quarantined",
+    }
 }
 
 /// Median of a non-empty sample set (lower-middle for even counts).
@@ -399,10 +725,10 @@ fn bench_corpus_inner(
         ..RunOptions::default()
     };
     let start = Instant::now();
-    let cold = corpus_run_engine(&corpus, &config_paths, &opts).map_err(driver_err)?;
+    let cold = corpus_run_engine(&mut corpus, &config_paths, &opts).map_err(driver_err)?;
     let cold_secs = start.elapsed().as_secs_f64();
     let start = Instant::now();
-    let warm = corpus_run_engine(&corpus, &config_paths, &opts).map_err(driver_err)?;
+    let warm = corpus_run_engine(&mut corpus, &config_paths, &opts).map_err(driver_err)?;
     let warm_secs = start.elapsed().as_secs_f64();
 
     let mut table = Table::new(

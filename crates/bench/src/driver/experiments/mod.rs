@@ -456,6 +456,23 @@ pub const REGISTRY: &[Experiment] = &[
             ),
             param("workers", "1", "sweep worker threads"),
             param("chunk", "8192", "ops per replay chunk"),
+            param("retry", "0", "retry attempts for transient failures"),
+            param(
+                "backoff-ms",
+                "0",
+                "base backoff delay between retries (deterministic jittered exponential)",
+            ),
+            param("retry-seed", "0", "seed for the backoff jitter stream"),
+            param(
+                "cell-budget",
+                "",
+                "per-cell replay budget (<N>[refs] or <X>secs); over-budget cells degrade to analytic estimates",
+            ),
+            param(
+                "skip-threshold",
+                "0",
+                "lenient-decode skipped blocks tolerated per trace before the attempt fails",
+            ),
             param(
                 "explain",
                 "false",
@@ -463,6 +480,47 @@ pub const REGISTRY: &[Experiment] = &[
             ),
         ],
         run: corpus::corpus_run,
+    },
+    Experiment {
+        name: "corpus-chaos",
+        legacy_bin: None,
+        group: "corpus tier",
+        summary: "fault-injection harness: run the fleet under seeded faults and audit convergence",
+        params: &[
+            param("dir", "", "corpus directory"),
+            vparam(
+                "configs",
+                "",
+                "config files (one per argument; shell globs expand)",
+            ),
+            param(
+                "fault",
+                "flip=200,seed=42",
+                "fault spec: flip=<ppm>,seed=<n>,truncate=<off>,io-error=<off>",
+            ),
+            param(
+                "faulty-attempts",
+                "1",
+                "leading attempts (per trace) that see the fault; more than --retry makes it persistent",
+            ),
+            param("trace", "", "restrict injection to this trace name (default: all)"),
+            param("workers", "1", "sweep worker threads"),
+            param("chunk", "8192", "ops per replay chunk"),
+            param("retry", "2", "retry attempts for transient failures"),
+            param("backoff-ms", "0", "base backoff delay between retries"),
+            param("retry-seed", "0", "seed for the backoff jitter stream"),
+            param(
+                "cell-budget",
+                "",
+                "per-cell replay budget (<N>[refs] or <X>secs)",
+            ),
+            param(
+                "skip-threshold",
+                "0",
+                "lenient-decode skipped blocks tolerated per trace",
+            ),
+        ],
+        run: corpus::corpus_chaos,
     },
     // ----- benchmarks ------------------------------------------------
     Experiment {

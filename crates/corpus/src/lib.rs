@@ -36,13 +36,16 @@ use std::fmt;
 pub mod manifest;
 pub mod run;
 pub mod store;
+pub mod supervisor;
 
-pub use manifest::{Manifest, TraceEntry};
+pub use manifest::{Manifest, QuarantineEntry, TraceEntry};
 pub use run::{
-    pruned_stats, CellOutcome, RunOptions, RunReport, TraceRow, WorkSummary, PRUNED_FLAG,
-    PRUNED_PREDICTED,
+    degraded_stats, failed_stats, pruned_stats, CellOutcome, RunOptions, RunReport, TraceHealth,
+    TraceRow, WorkSummary, DEGRADED_ESTIMATE, DEGRADED_FLAG, DEGRADED_SE, FAILED_CLASS,
+    FAILED_FLAG, FAILED_REASON_PREFIX, PRUNED_FLAG, PRUNED_PREDICTED,
 };
 pub use store::{Corpus, VerifyReport};
+pub use supervisor::{classify, CellBudget, ChaosPlan, RetryPolicy};
 
 /// Errors produced by corpus operations.
 #[derive(Debug)]

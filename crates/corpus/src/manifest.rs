@@ -12,6 +12,7 @@
 
 use crate::CorpusError;
 use cac_sim::config::toml;
+use cac_trace::io::FailureClass;
 use std::path::Path;
 
 /// Manifest format version this crate reads and writes.
@@ -36,18 +37,49 @@ pub struct TraceEntry {
     pub blocks: u64,
 }
 
-/// The parsed manifest: an ordered list of [`TraceEntry`].
+/// One quarantined trace: the fleet supervisor exhausted its retries
+/// (or hit a permanent failure) against this exact trace content, so
+/// `corpus run` skips it until it is re-added with different bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Name of the quarantined trace.
+    pub name: String,
+    /// Content hash the trace had when it was quarantined. A re-added
+    /// trace with a different hash clears the quarantine automatically.
+    pub hash: u64,
+    /// Human-readable reason (the classified failure message).
+    pub reason: String,
+    /// Failure class at quarantine time (permanent, or transient after
+    /// retry exhaustion).
+    pub class: FailureClass,
+}
+
+/// The parsed manifest: an ordered list of [`TraceEntry`] plus the
+/// supervisor's quarantine list.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
     /// Entries, in insertion order.
     pub traces: Vec<TraceEntry>,
+    /// Quarantined traces, in quarantine order.
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 fn str_field(t: &toml::Table, key: &str, idx: usize) -> Result<String, CorpusError> {
+    str_field_in(t, "trace", key, idx)
+}
+
+fn str_field_in(
+    t: &toml::Table,
+    section: &str,
+    key: &str,
+    idx: usize,
+) -> Result<String, CorpusError> {
     t.get(key)
         .and_then(|v| v.as_str())
         .map(str::to_owned)
-        .ok_or_else(|| CorpusError::Manifest(format!("[[trace]] #{idx}: missing string {key:?}")))
+        .ok_or_else(|| {
+            CorpusError::Manifest(format!("[[{section}]] #{idx}: missing string {key:?}"))
+        })
 }
 
 fn int_field(t: &toml::Table, key: &str, idx: usize) -> Result<u64, CorpusError> {
@@ -106,7 +138,33 @@ impl Manifest {
                 blocks: int_field(t, "blocks", idx)?,
             });
         }
-        let m = Manifest { traces };
+        let mut quarantine = Vec::new();
+        for (idx, t) in doc.section_array("quarantine").into_iter().enumerate() {
+            let name = str_field_in(t, "quarantine", "name", idx)?;
+            let hash_str = str_field_in(t, "quarantine", "hash", idx)?;
+            let hash = match u64::from_str_radix(&hash_str, 16) {
+                Ok(h) if hash_str.len() == 16 => h,
+                _ => {
+                    return Err(CorpusError::Manifest(format!(
+                        "[[quarantine]] #{idx}: hash {hash_str:?} is not 16 hex digits"
+                    )))
+                }
+            };
+            let class_str = str_field_in(t, "quarantine", "class", idx)?;
+            let class = FailureClass::parse(&class_str).ok_or_else(|| {
+                CorpusError::Manifest(format!(
+                    "[[quarantine]] #{idx}: class {class_str:?} is not \
+                     \"transient\" or \"permanent\""
+                ))
+            })?;
+            quarantine.push(QuarantineEntry {
+                name,
+                hash,
+                reason: str_field_in(t, "quarantine", "reason", idx)?,
+                class,
+            });
+        }
+        let m = Manifest { traces, quarantine };
         if let Some(dup) = m.first_duplicate_name() {
             return Err(CorpusError::Manifest(format!(
                 "duplicate trace name {dup:?}"
@@ -134,12 +192,44 @@ impl Manifest {
             out.push_str(&format!("bytes = {}\n", e.bytes));
             out.push_str(&format!("blocks = {}\n", e.blocks));
         }
+        for q in &self.quarantine {
+            out.push_str("\n[[quarantine]]\n");
+            out.push_str(&format!("name = \"{}\"\n", escape(&q.name)));
+            out.push_str(&format!("hash = \"{:016x}\"\n", q.hash));
+            out.push_str(&format!("reason = \"{}\"\n", escape(&q.reason)));
+            out.push_str(&format!("class = \"{}\"\n", q.class));
+        }
         out
     }
 
     /// Looks an entry up by name.
     pub fn get(&self, name: &str) -> Option<&TraceEntry> {
         self.traces.iter().find(|e| e.name == name)
+    }
+
+    /// The quarantine record for a trace, if its *current* content is
+    /// quarantined (a stale record for a since-re-added trace does not
+    /// count — different bytes deserve a fresh chance).
+    pub fn quarantined(&self, name: &str) -> Option<&QuarantineEntry> {
+        let current = self.get(name)?.hash;
+        self.quarantine
+            .iter()
+            .find(|q| q.name == name && q.hash == current)
+    }
+
+    /// Adds or replaces the quarantine record for a trace (one record
+    /// per name; the newest wins).
+    pub fn set_quarantine(&mut self, entry: QuarantineEntry) {
+        self.quarantine.retain(|q| q.name != entry.name);
+        self.quarantine.push(entry);
+    }
+
+    /// Drops any quarantine record for `name`. Returns true if one was
+    /// removed.
+    pub fn clear_quarantine(&mut self, name: &str) -> bool {
+        let before = self.quarantine.len();
+        self.quarantine.retain(|q| q.name != name);
+        self.quarantine.len() != before
     }
 
     /// Loads and parses the manifest at `path`.
@@ -219,6 +309,7 @@ mod tests {
                     blocks: 2,
                 },
             ],
+            quarantine: Vec::new(),
         }
     }
 
@@ -241,6 +332,38 @@ mod tests {
         let short_hash =
             "version = 1\n[[trace]]\nname = \"x\"\nfile = \"y\"\nhash = \"ab\"\nops = 1\nrefs = 1\nbytes = 1\nblocks = 1\n";
         assert!(Manifest::from_toml_str(short_hash).is_err());
+    }
+
+    #[test]
+    fn quarantine_round_trips_and_tracks_hash() {
+        let mut m = sample();
+        m.set_quarantine(QuarantineEntry {
+            name: "go".into(),
+            hash: m.traces[0].hash,
+            reason: "corrupt block 3: bad checksum".into(),
+            class: FailureClass::Permanent,
+        });
+        let text = m.to_toml_string();
+        let back = Manifest::from_toml_str(&text).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.to_toml_string(), text);
+        assert_eq!(
+            back.quarantined("go").unwrap().class,
+            FailureClass::Permanent
+        );
+        assert!(back.quarantined("gcc").is_none());
+
+        // Re-adding the trace with different content (new hash) makes
+        // the quarantine record stale: the trace runs again.
+        let mut readded = back.clone();
+        readded.traces[0].hash ^= 1;
+        assert!(readded.quarantined("go").is_none());
+        assert!(readded.clear_quarantine("go"));
+        assert!(!readded.clear_quarantine("go"));
+
+        // A bad class string is rejected.
+        let bad = text.replace("class = \"permanent\"", "class = \"sideways\"");
+        assert!(Manifest::from_toml_str(&bad).is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The incremental fleet runner: traces × configs, recompute only what
-//! changed.
+//! The supervised incremental fleet runner: traces × configs,
+//! recompute only what changed, survive what breaks.
 //!
 //! Results live in a [`Journal`] next to the manifest, one cell per
 //! (trace, config) pair keyed
@@ -23,25 +23,71 @@
 //! trace content, the config list and the band — never on journal
 //! state — so an interrupted-and-resumed pruned run converges to the
 //! same report as an uninterrupted one.
+//!
+//! # Supervision
+//!
+//! The runner is a fleet *supervisor* (see [`crate::supervisor`]):
+//!
+//! * Trace streams are decoded **leniently** — damaged blocks are
+//!   skipped and tallied; more than [`RunOptions::skip_threshold`]
+//!   skipped blocks fails the attempt as *transient* (the one shared
+//!   classifier in [`cac_trace::io::FailureClass`] decides everything
+//!   else).
+//! * Transient attempt failures retry up to [`RetryPolicy::attempts`]
+//!   times on a deterministic jittered backoff schedule; permanent
+//!   failures (and exhausted retries) journal **FAILED** cells — with
+//!   reason and class — and quarantine the trace in `corpus.toml`, so
+//!   a poisoned trace costs its retry allowance exactly once and then
+//!   restores from the journal with zero replays.
+//! * With a [`CellBudget`], a record-count watchdog inside the sweep
+//!   cancels an over-budget trace pass; cancelled cells are re-priced
+//!   through the analytic tier with 1-in-K set sampling and journaled
+//!   as **DEGRADED** cells carrying the estimate and its standard
+//!   error.
+//! * A [`ChaosPlan`] (the `cac corpus chaos` harness) wraps trace
+//!   streams in a seeded fault source for a trace's leading attempts,
+//!   driving every one of those paths end-to-end.
 
+use crate::manifest::QuarantineEntry;
 use crate::store::Corpus;
+use crate::supervisor::{classify, CellBudget, ChaosPlan, RetryPolicy};
 use crate::{content_hash, CorpusError};
 use cac_sim::analytic::{prune_dominated, AnalyticModel};
 use cac_sim::config::SimConfig;
 use cac_sim::journal::{fingerprint, Journal};
 use cac_sim::model::ModelStats;
 use cac_sim::sweep::{LruStackSweep, ModelOutcome, Sweep};
-use cac_trace::io::{ColumnarTraceReader, DEFAULT_CHUNK_OPS};
+use cac_trace::fault::{FaultSource, FaultSpec};
+use cac_trace::io::{ColumnarTraceReader, DecodeMode, FailureClass, SkipReport, DEFAULT_CHUNK_OPS};
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::BufReader;
-use std::path::Path;
+use std::io::{BufReader, Read};
+use std::path::{Path, PathBuf};
 
 /// Journal extras key marking a cell as analytically pruned.
 pub const PRUNED_FLAG: &str = "analytic-pruned";
 /// Journal extras key carrying the pruned cell's predicted miss ratio
 /// (an `f64` stored via `to_bits`, exact across save/load).
 pub const PRUNED_PREDICTED: &str = "predicted-bits";
+/// Journal extras key marking a cell the supervisor failed permanently.
+pub const FAILED_FLAG: &str = "supervisor-failed";
+/// Journal extras key carrying a failed cell's class
+/// (0 = transient-exhausted, 1 = permanent).
+pub const FAILED_CLASS: &str = "failed-class";
+/// Prefix of the journal extras *name* that carries a failed cell's
+/// reason text (the value is always 1; names survive the journal's
+/// percent-encoding, values are numeric only).
+pub const FAILED_REASON_PREFIX: &str = "failed-reason:";
+/// Journal extras key marking a budget-degraded, analytically re-priced
+/// cell.
+pub const DEGRADED_FLAG: &str = "analytic-degraded";
+/// Journal extras key carrying a degraded cell's estimated miss ratio
+/// (`f64` via `to_bits`).
+pub const DEGRADED_ESTIMATE: &str = "estimate-bits";
+/// Journal extras key carrying the standard error of a degraded
+/// estimate (`f64` via `to_bits`; 0 when the re-pricing pass was
+/// exact).
+pub const DEGRADED_SE: &str = "se-bits";
 
 /// Options for [`run`].
 #[derive(Debug, Clone)]
@@ -56,6 +102,24 @@ pub struct RunOptions {
     /// predicted miss ratio exceeds the trace's best prediction by more
     /// than this.
     pub prune_band: f64,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Per-cell replay budget; over-budget cells degrade to analytic
+    /// estimates.
+    pub budget: Option<CellBudget>,
+    /// Lenient-decode skipped blocks tolerated per decode pass; more
+    /// fails the attempt as transient. 0 (the default) accepts no loss.
+    pub skip_threshold: u64,
+    /// Chaos fault-injection plan (the chaos harness; `None` in real
+    /// runs).
+    pub chaos: Option<ChaosPlan>,
+    /// Journal file override (`None` = the corpus's `results.journal`).
+    /// The chaos harness points this at scratch journals so it never
+    /// contaminates real incremental state.
+    pub journal: Option<PathBuf>,
+    /// Persist quarantine decisions into `corpus.toml` (real runs do;
+    /// the chaos harness reports them without persisting).
+    pub persist_quarantine: bool,
 }
 
 impl Default for RunOptions {
@@ -65,6 +129,12 @@ impl Default for RunOptions {
             chunk: DEFAULT_CHUNK_OPS,
             prune: false,
             prune_band: 0.02,
+            retry: RetryPolicy::default(),
+            budget: None,
+            skip_threshold: 0,
+            chaos: None,
+            journal: None,
+            persist_quarantine: true,
         }
     }
 }
@@ -86,11 +156,32 @@ pub enum CellOutcome {
         /// `true` if restored from the journal.
         restored: bool,
     },
-    /// The cell could not be computed (model build error, replay
-    /// panic, trace decode failure). Failed cells are *not* journaled;
-    /// the next run retries them.
+    /// The cell exceeded its budget and was re-priced analytically.
+    Degraded {
+        /// Estimated miss ratio from the sampled analytic pass.
+        estimate: f64,
+        /// Worst-case binomial standard error of the estimate (0 when
+        /// the pass was exact).
+        se: f64,
+        /// `true` if restored from the journal.
+        restored: bool,
+    },
+    /// The cell could not be computed. Failed cells are journaled with
+    /// their reason and class, so warm reruns restore them instead of
+    /// re-replaying a known-bad trace.
     Failed {
         /// What went wrong.
+        reason: String,
+        /// Transient (retries were exhausted) or permanent.
+        class: FailureClass,
+        /// `true` if restored from the journal.
+        restored: bool,
+    },
+    /// The trace is quarantined in `corpus.toml`; this pending cell was
+    /// skipped without touching the trace. Not journaled — clearing the
+    /// quarantine makes the cell computable again.
+    Quarantined {
+        /// The quarantine reason recorded in the manifest.
         reason: String,
     },
 }
@@ -104,17 +195,44 @@ pub struct TraceRow {
     pub cells: Vec<CellOutcome>,
 }
 
+/// Per-trace supervision accounting for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHealth {
+    /// The trace's manifest name.
+    pub trace: String,
+    /// Replay attempts consumed this run (0 = nothing needed
+    /// replaying).
+    pub attempts: u32,
+    /// Deterministic backoff delays (ms) taken before each retry.
+    pub backoffs_ms: Vec<u64>,
+    /// Lenient-decode skip accounting for the accepted attempt (the
+    /// worst pass of that attempt).
+    pub skipped: SkipReport,
+    /// The quarantine reason, if the trace is (or just became)
+    /// quarantined.
+    pub quarantined: Option<String>,
+    /// One-line status note for reports.
+    pub note: String,
+}
+
 /// Work accounting for one [`run`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkSummary {
     /// Cells replayed in this run.
     pub replayed: u64,
-    /// Cells restored from the journal (replayed or pruned earlier).
+    /// Cells restored from the journal (replayed, pruned, degraded or
+    /// failed earlier).
     pub restored: u64,
     /// Cells pruned by the analytic screen in this run.
     pub pruned: u64,
-    /// Cells that failed (not journaled; retried next run).
+    /// Cells that failed in this run (journaled; restored thereafter).
     pub failed: u64,
+    /// Cells degraded to analytic estimates in this run.
+    pub degraded: u64,
+    /// Pending cells skipped because their trace is quarantined.
+    pub quarantined: u64,
+    /// Retry attempts performed (beyond each trace's first attempt).
+    pub retried: u64,
     /// Traces that received an analytic screening pass in this run.
     pub screened_traces: u64,
 }
@@ -126,8 +244,17 @@ pub struct RunReport {
     pub configs: Vec<String>,
     /// One row per corpus trace, in manifest order.
     pub rows: Vec<TraceRow>,
+    /// One health record per corpus trace, aligned with `rows`.
+    pub health: Vec<TraceHealth>,
     /// What this run actually did.
     pub summary: WorkSummary,
+}
+
+impl RunReport {
+    /// Total lenient-decode blocks skipped across all traces this run.
+    pub fn skipped_blocks(&self) -> u64 {
+        self.health.iter().map(|h| h.skipped.blocks).sum()
+    }
 }
 
 /// A parsed config column.
@@ -166,11 +293,65 @@ pub fn pruned_stats(predicted: f64) -> ModelStats {
     }
 }
 
+/// Encodes a failed cell as journalable [`ModelStats`]: the class and
+/// the reason (embedded in an extras *name* — the journal
+/// percent-encodes names, and `;` is flattened to `,` because it
+/// separates extras on the wire).
+pub fn failed_stats(reason: &str, class: FailureClass) -> ModelStats {
+    let clean = reason.replace(';', ",");
+    ModelStats {
+        extras: vec![
+            (FAILED_FLAG.into(), 1),
+            (
+                FAILED_CLASS.into(),
+                u64::from(class == FailureClass::Permanent),
+            ),
+            (format!("{FAILED_REASON_PREFIX}{clean}"), 1),
+        ],
+        ..ModelStats::default()
+    }
+}
+
+/// Encodes a budget-degraded cell as journalable [`ModelStats`].
+pub fn degraded_stats(estimate: f64, se: f64) -> ModelStats {
+    ModelStats {
+        extras: vec![
+            (DEGRADED_FLAG.into(), 1),
+            (DEGRADED_ESTIMATE.into(), estimate.to_bits()),
+            (DEGRADED_SE.into(), se.to_bits()),
+        ],
+        ..ModelStats::default()
+    }
+}
+
 /// Decodes a journaled cell back into an outcome.
 fn restore_cell(stats: &ModelStats) -> CellOutcome {
     if stats.extra(PRUNED_FLAG) == Some(1) {
         CellOutcome::Pruned {
             predicted: f64::from_bits(stats.extra(PRUNED_PREDICTED).unwrap_or(0)),
+            restored: true,
+        }
+    } else if stats.extra(DEGRADED_FLAG) == Some(1) {
+        CellOutcome::Degraded {
+            estimate: f64::from_bits(stats.extra(DEGRADED_ESTIMATE).unwrap_or(0)),
+            se: f64::from_bits(stats.extra(DEGRADED_SE).unwrap_or(0)),
+            restored: true,
+        }
+    } else if stats.extra(FAILED_FLAG) == Some(1) {
+        let reason = stats
+            .extras
+            .iter()
+            .find_map(|(n, _)| n.strip_prefix(FAILED_REASON_PREFIX))
+            .unwrap_or("unrecorded failure")
+            .to_owned();
+        let class = if stats.extra(FAILED_CLASS) == Some(0) {
+            FailureClass::Transient
+        } else {
+            FailureClass::Permanent
+        };
+        CellOutcome::Failed {
+            reason,
+            class,
             restored: true,
         }
     } else {
@@ -181,11 +362,62 @@ fn restore_cell(stats: &ModelStats) -> CellOutcome {
     }
 }
 
-/// Opens a trace's columnar stream for one decode pass.
-fn open_stream(path: &Path) -> Result<ColumnarTraceReader<BufReader<File>>, CorpusError> {
+/// Opens a trace's columnar stream for one decode pass, optionally
+/// wrapped in a seeded fault source (chaos harness).
+fn open_stream(
+    path: &Path,
+    fault: Option<&FaultSpec>,
+    mode: DecodeMode,
+) -> Result<ColumnarTraceReader<Box<dyn Read>>, CorpusError> {
     let file = File::open(path)
         .map_err(|e| CorpusError::io(format!("opening trace {}", path.display()), e))?;
-    Ok(ColumnarTraceReader::new(BufReader::new(file))?)
+    let inner: Box<dyn Read> = match fault {
+        Some(spec) => Box::new(FaultSource::new(BufReader::new(file), *spec)),
+        None => Box::new(BufReader::new(file)),
+    };
+    Ok(ColumnarTraceReader::with_mode(inner, mode)?)
+}
+
+/// Keeps the worst (most blocks skipped) pass's accounting. Passes of
+/// one attempt read the same damaged bytes, so the worst pass bounds
+/// what any of them lost.
+fn merge_skips(acc: &mut SkipReport, seen: SkipReport) {
+    if seen.blocks > acc.blocks {
+        *acc = seen;
+    }
+}
+
+/// A whole-attempt failure: every pending cell of the trace shares it.
+struct AttemptFailure {
+    class: FailureClass,
+    reason: String,
+}
+
+impl AttemptFailure {
+    fn from_error(e: &CorpusError) -> Self {
+        AttemptFailure {
+            class: classify(e),
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// What one attempt decided for a single pending config.
+enum PendingOutcome {
+    Done(ModelStats),
+    Pruned(f64),
+    Degraded { estimate: f64, se: f64 },
+    Failed { reason: String, class: FailureClass },
+}
+
+/// Everything one successful attempt produced.
+struct AttemptResult {
+    /// `(config index, outcome)`, one per pending config.
+    outcomes: Vec<(usize, PendingOutcome)>,
+    /// Worst-pass lenient-decode skip accounting.
+    skipped: SkipReport,
+    /// Whether the analytic screen ran.
+    screened: bool,
 }
 
 /// Runs the analytic screen for one trace: predicted miss ratio per
@@ -201,6 +433,8 @@ fn screen_trace(
     trace_path: &Path,
     configs: &[ConfigColumn],
     band: f64,
+    fault: Option<&FaultSpec>,
+    skipped: &mut SkipReport,
 ) -> Result<(Vec<Option<f64>>, Vec<bool>), CorpusError> {
     let mut predicted: Vec<Option<f64>> = vec![None; configs.len()];
     let mut by_line: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
@@ -222,9 +456,9 @@ fn screen_trace(
             }
         }
         let mut stack = LruStackSweep::new(*line, &set_counts)?;
-        stack
-            .run_source(open_stream(trace_path)?)
-            .map_err(CorpusError::Trace)?;
+        let mut reader = open_stream(trace_path, fault, DecodeMode::Lenient)?;
+        stack.run_source(&mut reader).map_err(CorpusError::Trace)?;
+        merge_skips(skipped, reader.skipped());
         let model = AnalyticModel::from_sweep(&stack).expect("1-set family configured");
         for &j in members {
             let geom = configs[j].cfg.primary_geometry().expect("grouped");
@@ -254,20 +488,228 @@ fn screen_trace(
     Ok((predicted, pruned))
 }
 
+/// Re-prices budget-cancelled configs through the analytic tier with
+/// 1-in-K set sampling: one sampled stack pass per line-size group,
+/// shared by every cancelled config of that group.
+fn degrade_cells(
+    trace_path: &Path,
+    configs: &[ConfigColumn],
+    cancelled: &[usize],
+    fault: Option<&FaultSpec>,
+    skipped: &mut SkipReport,
+    out: &mut Vec<(usize, PendingOutcome)>,
+) -> Result<(), CorpusError> {
+    let mut by_line: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for &j in cancelled {
+        match configs[j].cfg.primary_geometry() {
+            Some(geom) => by_line.entry(geom.block()).or_default().push(j),
+            None => out.push((
+                j,
+                PendingOutcome::Failed {
+                    reason: "over budget and no primary cache to estimate for".into(),
+                    class: FailureClass::Permanent,
+                },
+            )),
+        }
+    }
+    for (line, members) in &by_line {
+        let mut set_counts: Vec<u32> = vec![1];
+        let mut min_sets = u32::MAX;
+        for &j in members {
+            let sets = configs[j]
+                .cfg
+                .primary_geometry()
+                .expect("grouped by primary geometry")
+                .num_sets();
+            min_sets = min_sets.min(sets);
+            if !set_counts.contains(&sets) {
+                set_counts.push(sets);
+            }
+        }
+        // 1-in-K sampling, K capped by the smallest member so every
+        // config keeps sampled sets; 8 is plenty of speedup for an
+        // estimate that carries its own standard error.
+        let k = 1u32 << min_sets.min(8).ilog2();
+        let mut stack = LruStackSweep::new(*line, &set_counts)?.with_set_sampling(k)?;
+        let mut reader = open_stream(trace_path, fault, DecodeMode::Lenient)?;
+        stack.run_source(&mut reader).map_err(CorpusError::Trace)?;
+        merge_skips(skipped, reader.skipped());
+        let model = AnalyticModel::from_sweep(&stack).expect("1-set family configured");
+        let se = stack.sampling_standard_error().unwrap_or(0.0);
+        for &j in members {
+            let geom = configs[j].cfg.primary_geometry().expect("grouped");
+            let modulo = configs[j]
+                .cfg
+                .primary_index()
+                .is_some_and(|s| s.name() == "modulo");
+            let estimate = if modulo {
+                stack.miss_ratio(geom.num_sets(), geom.ways())
+            } else {
+                model.predict(geom.num_sets(), geom.ways())
+            };
+            out.push((
+                j,
+                match estimate {
+                    Some(estimate) => PendingOutcome::Degraded { estimate, se },
+                    None => PendingOutcome::Failed {
+                        reason: "over budget and not analytically priceable".into(),
+                        class: FailureClass::Permanent,
+                    },
+                },
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One full attempt at a trace's pending cells: screen, build, replay,
+/// degrade. Returns per-config outcomes on success; a classified
+/// [`AttemptFailure`] when the whole attempt must be retried or given
+/// up on. Nothing is journaled here — the caller commits results only
+/// after an attempt succeeds, so a retried attempt leaves no residue.
+fn attempt_trace(
+    trace_path: &Path,
+    configs: &[ConfigColumn],
+    pending: &[usize],
+    opts: &RunOptions,
+    fault: Option<&FaultSpec>,
+) -> Result<AttemptResult, AttemptFailure> {
+    let mut skipped = SkipReport::default();
+    let mut outcomes: Vec<(usize, PendingOutcome)> = Vec::with_capacity(pending.len());
+    let over_threshold = |s: &SkipReport| -> Option<AttemptFailure> {
+        (s.blocks > opts.skip_threshold).then(|| AttemptFailure {
+            class: FailureClass::Transient,
+            reason: format!(
+                "lenient decode skipped {} blocks ({} records), over the \
+                 {}-block tolerance",
+                s.blocks, s.records, opts.skip_threshold
+            ),
+        })
+    };
+
+    // Screen decisions are a function of (trace, config list, band)
+    // only, so resumed runs decide identically.
+    let screen = if opts.prune {
+        match screen_trace(trace_path, configs, opts.prune_band, fault, &mut skipped) {
+            Ok(s) => Some(s),
+            Err(e) => return Err(AttemptFailure::from_error(&e)),
+        }
+    } else {
+        None
+    };
+    if let Some(fail) = over_threshold(&skipped) {
+        return Err(fail);
+    }
+
+    let mut to_replay: Vec<usize> = Vec::new();
+    for &j in pending {
+        match &screen {
+            Some((predicted, pruned)) if pruned[j] => {
+                let p = predicted[j].expect("pruned implies predicted");
+                outcomes.push((j, PendingOutcome::Pruned(p)));
+            }
+            _ => to_replay.push(j),
+        }
+    }
+
+    // Models are built fresh inside every attempt: a model that saw a
+    // partial stream carries counters no later attempt may reuse.
+    let mut models = Vec::with_capacity(to_replay.len());
+    let mut buildable: Vec<usize> = Vec::new();
+    for &j in &to_replay {
+        match configs[j].cfg.build() {
+            Ok(m) => {
+                buildable.push(j);
+                models.push(m);
+            }
+            Err(e) => outcomes.push((
+                j,
+                PendingOutcome::Failed {
+                    reason: format!("config build failed: {e}"),
+                    class: FailureClass::Permanent,
+                },
+            )),
+        }
+    }
+
+    let mut cancelled: Vec<usize> = Vec::new();
+    if !models.is_empty() {
+        let mut engine = Sweep::new()
+            .workers(opts.workers.max(1))
+            .chunk_ops(opts.chunk.max(1));
+        if let Some(budget) = opts.budget {
+            engine = engine.budget(budget.to_sweep());
+        }
+        let mut reader = match open_stream(trace_path, fault, DecodeMode::Lenient) {
+            Ok(r) => r,
+            Err(e) => return Err(AttemptFailure::from_error(&e)),
+        };
+        let replay = engine.run_source_isolated(&mut models, &mut reader);
+        merge_skips(&mut skipped, reader.skipped());
+        let model_outcomes = match replay {
+            Ok(o) => o,
+            Err(e) => return Err(AttemptFailure::from_error(&CorpusError::Trace(e))),
+        };
+        if let Some(fail) = over_threshold(&skipped) {
+            return Err(fail);
+        }
+        for (&j, outcome) in buildable.iter().zip(&model_outcomes) {
+            match outcome {
+                ModelOutcome::Completed(stats) => {
+                    outcomes.push((j, PendingOutcome::Done(stats.clone())));
+                }
+                ModelOutcome::Failed { reason } => outcomes.push((
+                    j,
+                    PendingOutcome::Failed {
+                        reason: format!("replay panicked: {reason}"),
+                        class: FailureClass::Permanent,
+                    },
+                )),
+                ModelOutcome::Cancelled { .. } => cancelled.push(j),
+            }
+        }
+    }
+
+    if !cancelled.is_empty() {
+        if let Err(e) = degrade_cells(
+            trace_path,
+            configs,
+            &cancelled,
+            fault,
+            &mut skipped,
+            &mut outcomes,
+        ) {
+            return Err(AttemptFailure::from_error(&e));
+        }
+        if let Some(fail) = over_threshold(&skipped) {
+            return Err(fail);
+        }
+    }
+
+    Ok(AttemptResult {
+        outcomes,
+        skipped,
+        screened: screen.is_some(),
+    })
+}
+
 /// Sweeps every corpus trace across `config_paths`, restoring cells
-/// from the corpus's result journal and replaying only the rest.
+/// from the corpus's result journal and replaying only the rest under
+/// the supervision policy in `opts` (see the module docs).
 ///
 /// The journal is saved after every trace that produced new cells, so
 /// a killed run loses at most one trace's work.
 ///
 /// # Errors
 ///
-/// Config-file and journal problems abort the run. Per-trace and
-/// per-cell problems (damaged trace, model build error, replay panic)
-/// are reported as [`CellOutcome::Failed`] cells instead, so one bad
-/// entry cannot take down a fleet sweep.
+/// Config-file and journal problems abort the run. Per-trace problems
+/// (damaged trace, I/O faults, model build errors, replay panics,
+/// budget trips) never abort the fleet: they surface as
+/// [`CellOutcome::Failed`] / [`CellOutcome::Degraded`] /
+/// [`CellOutcome::Quarantined`] cells and per-trace [`TraceHealth`]
+/// records.
 pub fn run(
-    corpus: &Corpus,
+    corpus: &mut Corpus,
     config_paths: &[String],
     opts: &RunOptions,
 ) -> Result<RunReport, CorpusError> {
@@ -277,14 +719,37 @@ pub fn run(
     } else {
         "prune=none".to_owned()
     };
-    let fp = fingerprint(&["cac corpus run", &prune_tag]);
-    let journal_path = corpus.results_path();
+    // The budget joins the fingerprint only when set: degraded cells
+    // are a function of it, while budget-less runs stay journal-
+    // compatible with earlier versions. Retry/backoff/chaos knobs are
+    // deliberately excluded — they change *when* a cell computes, never
+    // what a computed cell contains.
+    let budget_tag = opts.budget.map(|b| format!("budget={}", b.tag()));
+    let mut fp_parts: Vec<&str> = vec!["cac corpus run", &prune_tag];
+    if let Some(tag) = &budget_tag {
+        fp_parts.push(tag);
+    }
+    let fp = fingerprint(&fp_parts);
+    let journal_path = opts
+        .journal
+        .clone()
+        .unwrap_or_else(|| corpus.results_path());
     let mut journal = Journal::load(&journal_path, fp)?;
 
     let mut summary = WorkSummary::default();
-    let mut rows = Vec::with_capacity(corpus.entries().len());
-    for entry in corpus.entries() {
+    let entries = corpus.entries().to_vec();
+    let mut rows = Vec::with_capacity(entries.len());
+    let mut health = Vec::with_capacity(entries.len());
+    for entry in &entries {
         let trace_key = format!("{}@{:016x}", entry.name, entry.hash);
+        let mut trace_health = TraceHealth {
+            trace: entry.name.clone(),
+            attempts: 0,
+            backoffs_ms: Vec::new(),
+            skipped: SkipReport::default(),
+            quarantined: corpus.quarantined(&entry.name).map(|q| q.reason.clone()),
+            note: String::new(),
+        };
         let mut cells: Vec<Option<CellOutcome>> = Vec::with_capacity(configs.len());
         let mut pending: Vec<usize> = Vec::new();
         for (j, c) in configs.iter().enumerate() {
@@ -300,110 +765,132 @@ pub fn run(
             }
         }
 
+        // A quarantined trace is never touched: journaled cells above
+        // restored for free, everything still pending is skipped.
+        if let Some(reason) = trace_health.quarantined.clone() {
+            for &j in &pending {
+                cells[j] = Some(CellOutcome::Quarantined {
+                    reason: reason.clone(),
+                });
+                summary.quarantined += 1;
+            }
+            pending.clear();
+            trace_health.note = "quarantined; pending cells skipped".into();
+        }
+
         let mut dirty = false;
         if !pending.is_empty() {
             let trace_path = corpus.trace_path(entry);
-            // Screen decisions are a function of (trace, config list,
-            // band) only, so resumed runs decide identically.
-            let screen = if opts.prune {
-                match screen_trace(&trace_path, &configs, opts.prune_band) {
-                    Ok(s) => {
-                        summary.screened_traces += 1;
-                        Some(s)
-                    }
-                    Err(e) => {
-                        // A trace that cannot be screened cannot be
-                        // replayed either; fail its pending cells.
-                        for &j in &pending {
-                            cells[j] = Some(CellOutcome::Failed {
-                                reason: format!("analytic screen failed: {e}"),
-                            });
-                            summary.failed += 1;
+            let max_attempts = 1 + opts.retry.attempts;
+            let mut attempts_used: u32 = 0;
+            let attempt_outcome = loop {
+                let fault = opts
+                    .chaos
+                    .as_ref()
+                    .and_then(|c| c.fault_for(&entry.name, attempts_used));
+                attempts_used += 1;
+                match attempt_trace(&trace_path, &configs, &pending, opts, fault) {
+                    Ok(result) => break Ok(result),
+                    Err(fail)
+                        if fail.class == FailureClass::Transient
+                            && attempts_used < max_attempts =>
+                    {
+                        let delay = opts.retry.delay_ms(&trace_key, attempts_used - 1);
+                        trace_health.backoffs_ms.push(delay);
+                        summary.retried += 1;
+                        if delay > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(delay));
                         }
-                        pending.clear();
-                        None
+                    }
+                    Err(fail) => break Err(fail),
+                }
+            };
+            trace_health.attempts = attempts_used;
+
+            match attempt_outcome {
+                Ok(result) => {
+                    trace_health.skipped = result.skipped;
+                    if result.screened {
+                        summary.screened_traces += 1;
+                    }
+                    for (j, outcome) in result.outcomes {
+                        let key = format!("{trace_key}/{}", configs[j].key);
+                        let cell = match outcome {
+                            PendingOutcome::Done(stats) => {
+                                journal.record(&key, &stats);
+                                summary.replayed += 1;
+                                CellOutcome::Done {
+                                    stats,
+                                    restored: false,
+                                }
+                            }
+                            PendingOutcome::Pruned(predicted) => {
+                                journal.record(&key, &pruned_stats(predicted));
+                                summary.pruned += 1;
+                                CellOutcome::Pruned {
+                                    predicted,
+                                    restored: false,
+                                }
+                            }
+                            PendingOutcome::Degraded { estimate, se } => {
+                                journal.record(&key, &degraded_stats(estimate, se));
+                                summary.degraded += 1;
+                                CellOutcome::Degraded {
+                                    estimate,
+                                    se,
+                                    restored: false,
+                                }
+                            }
+                            PendingOutcome::Failed { reason, class } => {
+                                journal.record(&key, &failed_stats(&reason, class));
+                                summary.failed += 1;
+                                CellOutcome::Failed {
+                                    reason,
+                                    class,
+                                    restored: false,
+                                }
+                            }
+                        };
+                        cells[j] = Some(cell);
+                        dirty = true;
+                    }
+                    if result.skipped.any() {
+                        trace_health.note =
+                            format!("accepted with {} skipped blocks", result.skipped.blocks);
                     }
                 }
-            } else {
-                None
-            };
-
-            let mut to_replay: Vec<usize> = Vec::new();
-            for &j in &pending {
-                match &screen {
-                    Some((predicted, pruned)) if pruned[j] => {
-                        let p = predicted[j].expect("pruned implies predicted");
-                        journal
-                            .record(&format!("{trace_key}/{}", configs[j].key), &pruned_stats(p));
-                        dirty = true;
-                        summary.pruned += 1;
-                        cells[j] = Some(CellOutcome::Pruned {
-                            predicted: p,
+                Err(fail) => {
+                    // The whole attempt failed (and, if transient, its
+                    // retries are exhausted): journal FAILED cells so
+                    // reruns restore them, and quarantine the trace so
+                    // nothing re-replays this content.
+                    let reason = if fail.class == FailureClass::Transient {
+                        format!("{} (after {attempts_used} attempts)", fail.reason)
+                    } else {
+                        fail.reason.clone()
+                    };
+                    for &j in &pending {
+                        journal.record(
+                            &format!("{trace_key}/{}", configs[j].key),
+                            &failed_stats(&reason, fail.class),
+                        );
+                        summary.failed += 1;
+                        cells[j] = Some(CellOutcome::Failed {
+                            reason: reason.clone(),
+                            class: fail.class,
                             restored: false,
                         });
                     }
-                    _ => to_replay.push(j),
-                }
-            }
-
-            if !to_replay.is_empty() {
-                let mut models = Vec::with_capacity(to_replay.len());
-                let mut buildable: Vec<usize> = Vec::new();
-                for &j in &to_replay {
-                    match configs[j].cfg.build() {
-                        Ok(m) => {
-                            buildable.push(j);
-                            models.push(m);
-                        }
-                        Err(e) => {
-                            cells[j] = Some(CellOutcome::Failed {
-                                reason: format!("config build failed: {e}"),
-                            });
-                            summary.failed += 1;
-                        }
-                    }
-                }
-                if !models.is_empty() {
-                    let engine = Sweep::new()
-                        .workers(opts.workers.max(1))
-                        .chunk_ops(opts.chunk.max(1));
-                    match open_stream(&corpus.trace_path(entry)).and_then(|s| {
-                        engine
-                            .run_source_isolated(&mut models, s)
-                            .map_err(Into::into)
-                    }) {
-                        Ok(outcomes) => {
-                            for (&j, outcome) in buildable.iter().zip(&outcomes) {
-                                match outcome {
-                                    ModelOutcome::Completed(stats) => {
-                                        journal.record(
-                                            &format!("{trace_key}/{}", configs[j].key),
-                                            stats,
-                                        );
-                                        dirty = true;
-                                        summary.replayed += 1;
-                                        cells[j] = Some(CellOutcome::Done {
-                                            stats: stats.clone(),
-                                            restored: false,
-                                        });
-                                    }
-                                    ModelOutcome::Failed { reason } => {
-                                        cells[j] = Some(CellOutcome::Failed {
-                                            reason: format!("replay panicked: {reason}"),
-                                        });
-                                        summary.failed += 1;
-                                    }
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            for &j in &buildable {
-                                cells[j] = Some(CellOutcome::Failed {
-                                    reason: format!("trace replay failed: {e}"),
-                                });
-                                summary.failed += 1;
-                            }
-                        }
+                    dirty = !pending.is_empty();
+                    trace_health.quarantined = Some(reason.clone());
+                    trace_health.note = format!("FAILED [{}]: {reason}", fail.class);
+                    if opts.persist_quarantine {
+                        corpus.quarantine(QuarantineEntry {
+                            name: entry.name.clone(),
+                            hash: entry.hash,
+                            reason,
+                            class: fail.class,
+                        })?;
                     }
                 }
             }
@@ -418,11 +905,13 @@ pub fn run(
                 .map(|c| c.expect("every cell resolved"))
                 .collect(),
         });
+        health.push(trace_health);
     }
 
     Ok(RunReport {
         configs: config_paths.to_vec(),
         rows,
+        health,
         summary,
     })
 }
@@ -472,20 +961,22 @@ mod tests {
     #[test]
     fn rerun_restores_every_cell_and_reports_identically() {
         let dir = tmp_dir("rerun");
-        let corpus = seeded_corpus(&dir, 20_000);
+        let mut corpus = seeded_corpus(&dir, 20_000);
         let configs = vec![
             write_config(&dir, "small.toml", &direct_mapped("1KiB")),
             write_config(&dir, "large.toml", &direct_mapped("64KiB")),
         ];
         let opts = RunOptions::default();
 
-        let cold = run(&corpus, &configs, &opts).unwrap();
+        let cold = run(&mut corpus, &configs, &opts).unwrap();
         assert_eq!(cold.summary.replayed, 2);
         assert_eq!(cold.summary.restored, 0);
+        assert_eq!(cold.health[0].attempts, 1);
 
-        let warm = run(&corpus, &configs, &opts).unwrap();
+        let warm = run(&mut corpus, &configs, &opts).unwrap();
         assert_eq!(warm.summary.replayed, 0);
         assert_eq!(warm.summary.restored, 2);
+        assert_eq!(warm.health[0].attempts, 0, "nothing pending, no attempt");
         // Same matrix content: stats equal cell by cell.
         for (a, b) in cold.rows.iter().zip(&warm.rows) {
             for (ca, cb) in a.cells.iter().zip(&b.cells) {
@@ -503,17 +994,17 @@ mod tests {
     #[test]
     fn editing_one_config_invalidates_one_column() {
         let dir = tmp_dir("config-edit");
-        let corpus = seeded_corpus(&dir, 10_000);
+        let mut corpus = seeded_corpus(&dir, 10_000);
         let configs = vec![
             write_config(&dir, "a.toml", &direct_mapped("1KiB")),
             write_config(&dir, "b.toml", &direct_mapped("64KiB")),
         ];
         let opts = RunOptions::default();
-        run(&corpus, &configs, &opts).unwrap();
+        run(&mut corpus, &configs, &opts).unwrap();
 
         // Touch config b's content.
         write_config(&dir, "b.toml", &direct_mapped("32KiB"));
-        let warm = run(&corpus, &configs, &opts).unwrap();
+        let warm = run(&mut corpus, &configs, &opts).unwrap();
         assert_eq!(warm.summary.replayed, 1);
         assert_eq!(warm.summary.restored, 1);
         std::fs::remove_dir_all(&dir).ok();
@@ -525,7 +1016,7 @@ mod tests {
         let mut corpus = seeded_corpus(&dir, 10_000);
         let configs = vec![write_config(&dir, "a.toml", &direct_mapped("4KiB"))];
         let opts = RunOptions::default();
-        run(&corpus, &configs, &opts).unwrap();
+        run(&mut corpus, &configs, &opts).unwrap();
 
         // Re-add the same name with different content.
         let raw = dir.join("raw2.cact");
@@ -538,7 +1029,7 @@ mod tests {
         std::fs::write(&raw, buf).unwrap();
         corpus.add("synthetic", &raw).unwrap();
 
-        let warm = run(&corpus, &configs, &opts).unwrap();
+        let warm = run(&mut corpus, &configs, &opts).unwrap();
         assert_eq!(warm.summary.replayed, 1);
         assert_eq!(warm.summary.restored, 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -547,7 +1038,7 @@ mod tests {
     #[test]
     fn pruned_run_is_incremental_and_restores_predictions_exactly() {
         let dir = tmp_dir("prune");
-        let corpus = seeded_corpus(&dir, 30_000);
+        let mut corpus = seeded_corpus(&dir, 30_000);
         // A clearly-dominated tiny cache among healthy ones.
         let configs = vec![
             write_config(&dir, "tiny.toml", &direct_mapped("256")),
@@ -560,12 +1051,12 @@ mod tests {
             ..RunOptions::default()
         };
 
-        let cold = run(&corpus, &configs, &opts).unwrap();
+        let cold = run(&mut corpus, &configs, &opts).unwrap();
         assert_eq!(cold.summary.screened_traces, 1);
         assert!(cold.summary.pruned >= 1, "tiny cache should be pruned");
         assert!(cold.summary.replayed >= 1);
 
-        let warm = run(&corpus, &configs, &opts).unwrap();
+        let warm = run(&mut corpus, &configs, &opts).unwrap();
         assert_eq!(warm.summary.replayed, 0);
         assert_eq!(warm.summary.pruned, 0);
         assert_eq!(
@@ -595,20 +1086,28 @@ mod tests {
     #[test]
     fn pruned_and_full_runs_use_distinct_journals() {
         let dir = tmp_dir("fingerprint");
-        let corpus = seeded_corpus(&dir, 5_000);
+        let mut corpus = seeded_corpus(&dir, 5_000);
         let configs = vec![write_config(&dir, "a.toml", &direct_mapped("4KiB"))];
-        run(&corpus, &configs, &RunOptions::default()).unwrap();
+        run(&mut corpus, &configs, &RunOptions::default()).unwrap();
         // Same journal file, different workload fingerprint: refused
         // loudly instead of splicing mismatched cells.
         let pruned = RunOptions {
             prune: true,
             ..RunOptions::default()
         };
-        let err = run(&corpus, &configs, &pruned).unwrap_err();
+        let err = run(&mut corpus, &configs, &pruned).unwrap_err();
         assert!(
             err.to_string().contains("different workload"),
             "unexpected error: {err}"
         );
+        // A budget also changes the fingerprint: degraded cells depend
+        // on it.
+        let budgeted = RunOptions {
+            budget: Some(CellBudget::Refs(1_000)),
+            ..RunOptions::default()
+        };
+        let err = run(&mut corpus, &configs, &budgeted).unwrap_err();
+        assert!(err.to_string().contains("different workload"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -634,7 +1133,7 @@ mod tests {
         std::fs::write(&stored, &bytes[..bytes.len() / 2]).unwrap();
 
         let configs = vec![write_config(&dir, "a.toml", &direct_mapped("4KiB"))];
-        let report = run(&corpus, &configs, &RunOptions::default()).unwrap();
+        let report = run(&mut corpus, &configs, &RunOptions::default()).unwrap();
         assert_eq!(report.rows.len(), 2);
         assert!(matches!(
             report.rows[0].cells[0],
@@ -643,6 +1142,115 @@ mod tests {
         assert!(matches!(report.rows[1].cells[0], CellOutcome::Done { .. }));
         assert_eq!(report.summary.failed, 1);
         assert_eq!(report.summary.replayed, 1);
+        // The damaged trace is quarantined and its FAILED cell is
+        // journaled: a rerun restores everything and replays nothing.
+        assert!(corpus.quarantined("synthetic").is_some());
+        let warm = run(&mut corpus, &configs, &RunOptions::default()).unwrap();
+        assert_eq!(warm.summary.replayed, 0);
+        assert_eq!(warm.summary.restored, 2);
+        assert!(matches!(
+            warm.rows[0].cells[0],
+            CellOutcome::Failed { restored: true, .. }
+        ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_degrades_cells_to_estimates_and_journals_them() {
+        let dir = tmp_dir("budget");
+        let mut corpus = seeded_corpus(&dir, 40_000);
+        let configs = vec![
+            write_config(&dir, "small.toml", &direct_mapped("1KiB")),
+            write_config(&dir, "large.toml", &direct_mapped("64KiB")),
+        ];
+        // Reference truth from an unbudgeted run in its own journal.
+        let truth_opts = RunOptions {
+            journal: Some(dir.join("truth.journal")),
+            ..RunOptions::default()
+        };
+        let truth = run(&mut corpus, &configs, &truth_opts).unwrap();
+
+        let opts = RunOptions {
+            budget: Some(CellBudget::Refs(5_000)),
+            chunk: 1024,
+            ..RunOptions::default()
+        };
+        let cold = run(&mut corpus, &configs, &opts).unwrap();
+        assert_eq!(cold.summary.degraded, 2);
+        assert_eq!(cold.summary.replayed, 0);
+        for (cell, full) in cold.rows[0].cells.iter().zip(&truth.rows[0].cells) {
+            let CellOutcome::Degraded {
+                estimate,
+                se,
+                restored,
+            } = cell
+            else {
+                panic!("expected degraded cell, got {cell:?}");
+            };
+            assert!(!restored);
+            assert!(*se > 0.0, "sampled estimate carries a standard error");
+            let CellOutcome::Done { stats, .. } = full else {
+                panic!()
+            };
+            let actual = stats.demand.miss_ratio();
+            // Degraded estimates stay within the analytic tier's
+            // documented 5-point bound, widened by the sampling error.
+            assert!(
+                (estimate - actual).abs() <= 0.05 + 4.0 * se,
+                "estimate {estimate:.4} vs actual {actual:.4} (se {se:.4})"
+            );
+        }
+
+        // Degraded cells restore from the journal bit-exactly.
+        let warm = run(&mut corpus, &configs, &opts).unwrap();
+        assert_eq!(warm.summary.degraded, 0);
+        assert_eq!(warm.summary.restored, 2);
+        for (a, b) in cold.rows[0].cells.iter().zip(&warm.rows[0].cells) {
+            let (
+                CellOutcome::Degraded {
+                    estimate: ea,
+                    se: sa,
+                    ..
+                },
+                CellOutcome::Degraded {
+                    estimate: eb,
+                    se: sb,
+                    restored,
+                },
+            ) = (a, b)
+            else {
+                panic!("cell kind changed: {a:?} vs {b:?}");
+            };
+            assert!(restored);
+            assert_eq!(ea.to_bits(), eb.to_bits());
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_and_degraded_cells_round_trip_through_stats() {
+        let f = failed_stats("decode exploded; twice", FailureClass::Transient);
+        let CellOutcome::Failed {
+            reason,
+            class,
+            restored,
+        } = restore_cell(&f)
+        else {
+            panic!()
+        };
+        assert_eq!(reason, "decode exploded, twice", "`;` flattened");
+        assert_eq!(class, FailureClass::Transient);
+        assert!(restored);
+
+        let d = degraded_stats(0.1234, 0.0056);
+        let CellOutcome::Degraded { estimate, se, .. } = restore_cell(&d) else {
+            panic!()
+        };
+        assert_eq!(estimate.to_bits(), 0.1234f64.to_bits());
+        assert_eq!(se.to_bits(), 0.0056f64.to_bits());
+
+        let p = pruned_stats(0.5);
+        assert!(matches!(restore_cell(&p), CellOutcome::Pruned { .. }));
     }
 }

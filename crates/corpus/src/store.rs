@@ -15,7 +15,7 @@
 //! becomes part of every result-cell key, so re-adding a trace under
 //! the same name invalidates exactly that trace's row of results.
 
-use crate::manifest::{Manifest, TraceEntry};
+use crate::manifest::{Manifest, QuarantineEntry, TraceEntry};
 use crate::{content_hash, CorpusError};
 use cac_trace::io::{
     read_trace, sniff_format, ColumnarFile, ColumnarTraceReader, ColumnarTraceWriter, TraceFormat,
@@ -188,8 +188,48 @@ impl Corpus {
             Some(slot) => *slot = entry,
             None => self.manifest.traces.push(entry),
         }
+        // Re-adding with different bytes deserves a fresh chance: drop
+        // any quarantine record made against the old content.
+        if self
+            .manifest
+            .quarantine
+            .iter()
+            .any(|q| q.name == name && q.hash != hash)
+        {
+            self.manifest.clear_quarantine(name);
+        }
         self.manifest.save(&self.dir.join(MANIFEST_FILE))?;
         Ok(self.manifest.get(name).expect("entry just inserted"))
+    }
+
+    /// The quarantine record for a trace's *current* content, if any
+    /// (see [`Manifest::quarantined`]).
+    pub fn quarantined(&self, name: &str) -> Option<&QuarantineEntry> {
+        self.manifest.quarantined(name)
+    }
+
+    /// Records a quarantine for a trace and persists the manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the manifest cannot be saved.
+    pub fn quarantine(&mut self, entry: QuarantineEntry) -> Result<(), CorpusError> {
+        self.manifest.set_quarantine(entry);
+        self.manifest.save(&self.dir.join(MANIFEST_FILE))
+    }
+
+    /// Drops any quarantine record for `name` and persists the
+    /// manifest. Returns true if a record was removed.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the manifest cannot be saved.
+    pub fn clear_quarantine(&mut self, name: &str) -> Result<bool, CorpusError> {
+        if !self.manifest.clear_quarantine(name) {
+            return Ok(false);
+        }
+        self.manifest.save(&self.dir.join(MANIFEST_FILE))?;
+        Ok(true)
     }
 
     /// Verifies every stored trace: file present, content hash intact,
@@ -217,8 +257,14 @@ impl Corpus {
         let path = self.trace_path(e);
         let bytes =
             std::fs::read(&path).map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+        // Collect every problem instead of stopping at the first: a
+        // torn final block fails the size check *and* the decode, and
+        // the decode's block index + failure class is what tells the
+        // operator (and the supervisor) whether the damage is
+        // retryable.
+        let mut problems = Vec::new();
         if bytes.len() as u64 != e.bytes {
-            return Err(format!(
+            problems.push(format!(
                 "size mismatch: stored {} bytes, manifest says {}",
                 bytes.len(),
                 e.bytes
@@ -226,41 +272,61 @@ impl Corpus {
         }
         let hash = content_hash(&bytes);
         if hash != e.hash {
-            return Err(format!(
+            problems.push(format!(
                 "content hash mismatch: stored {hash:016x}, manifest says {:016x}",
                 e.hash
             ));
         }
-        let mut reader = ColumnarTraceReader::new(&bytes[..])
-            .map_err(|err| format!("not a columnar trace: {err}"))?;
-        let mut ops = 0u64;
-        let mut refs = 0u64;
-        loop {
-            match reader.next_op() {
-                Ok(Some(op)) => {
-                    ops += 1;
-                    refs += u64::from(op.mem_ref().is_some());
+        match ColumnarTraceReader::new(&bytes[..]) {
+            Err(err) => problems.push(format!(
+                "not a columnar trace [{}]: {err}",
+                err.failure_class()
+            )),
+            Ok(mut reader) => {
+                let mut ops = 0u64;
+                let mut refs = 0u64;
+                let decode_err = loop {
+                    match reader.next_op() {
+                        Ok(Some(op)) => {
+                            ops += 1;
+                            refs += u64::from(op.mem_ref().is_some());
+                        }
+                        Ok(None) => break None,
+                        Err(err) => break Some(err),
+                    }
+                };
+                if let Some(err) = decode_err {
+                    // Fully decoded blocks so far = 0-based index of
+                    // the block the failure is in — the one shared
+                    // classifier names it transient or permanent.
+                    problems.push(format!(
+                        "decode failed in block {} after {ops} ops [{}]: {err}",
+                        reader.blocks_decoded(),
+                        err.failure_class()
+                    ));
+                } else {
+                    if ops != e.ops || refs != e.refs {
+                        problems.push(format!(
+                            "count mismatch: decoded {ops} ops / {refs} refs, manifest says {} / {}",
+                            e.ops, e.refs
+                        ));
+                    }
+                    let blocks = reader.blocks_decoded();
+                    if blocks != e.blocks {
+                        problems.push(format!(
+                            "block count mismatch: decoded {blocks}, manifest says {}",
+                            e.blocks
+                        ));
+                    }
                 }
-                Ok(None) => break,
-                Err(err) => return Err(format!("decode failed after {ops} ops: {err}")),
             }
         }
-        if ops != e.ops || refs != e.refs {
-            return Err(format!(
-                "count mismatch: decoded {ops} ops / {refs} refs, manifest says {} / {}",
-                e.ops, e.refs
-            ));
-        }
-        let blocks = reader.blocks_decoded();
-        if blocks != e.blocks {
-            return Err(format!(
-                "block count mismatch: decoded {blocks}, manifest says {}",
-                e.blocks
-            ));
+        if !problems.is_empty() {
+            return Err(problems.join("; "));
         }
         Ok(format!(
-            "{ops} ops, {refs} refs, {blocks} blocks, {} bytes, hash {hash:016x}",
-            e.bytes
+            "{} ops, {} refs, {} blocks, {} bytes, hash {hash:016x}",
+            e.ops, e.refs, e.blocks, e.bytes
         ))
     }
 }
@@ -456,6 +522,80 @@ mod tests {
             "unexpected detail: {}",
             reports[0].detail
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_names_block_and_class_for_torn_final_block() {
+        let dir = tmp_dir("torn");
+        let t = dir.join("a.txt");
+        let mut w = Vec::new();
+        cac_trace::io::write_trace(&mut w, sample_ops(30_000)).unwrap();
+        std::fs::write(&t, &w).unwrap();
+
+        let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+        let (blocks, file) = {
+            let e = corpus.add("t", &t).unwrap();
+            (e.blocks, e.file.clone())
+        };
+        assert!(blocks >= 2, "need a multi-block trace, got {blocks}");
+        let path = corpus.dir().join(&file);
+        let bytes = std::fs::read(&path).unwrap();
+        // Tear the tail off: the final block (and footer) are gone.
+        std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+        let reports = corpus.verify();
+        assert!(!reports[0].ok);
+        let d = &reports[0].detail;
+        assert!(d.contains("size mismatch"), "{d}");
+        assert!(d.contains("decode failed in block "), "{d}");
+        assert!(d.contains("[permanent]"), "{d}");
+        // The reported index is a real block index of this trace.
+        let idx: u64 = d
+            .split("decode failed in block ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("block index in detail");
+        assert!(
+            idx < blocks,
+            "index {idx} out of range ({blocks} blocks): {d}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_persists_and_clears_on_re_add() {
+        use cac_trace::io::FailureClass;
+        let dir = tmp_dir("quarantine");
+        let t1 = dir.join("a.txt");
+        let t2 = dir.join("b.txt");
+        let mut w = Vec::new();
+        cac_trace::io::write_trace(&mut w, sample_ops(100)).unwrap();
+        std::fs::write(&t1, &w).unwrap();
+        let mut w = Vec::new();
+        cac_trace::io::write_trace(&mut w, sample_ops(200)).unwrap();
+        std::fs::write(&t2, &w).unwrap();
+
+        let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+        let hash = corpus.add("t", &t1).unwrap().hash;
+        corpus
+            .quarantine(QuarantineEntry {
+                name: "t".into(),
+                hash,
+                reason: "corrupt block 0".into(),
+                class: FailureClass::Permanent,
+            })
+            .unwrap();
+        // Persisted: a reopened corpus still sees it.
+        let reopened = Corpus::open(corpus.dir()).unwrap();
+        assert_eq!(reopened.quarantined("t").unwrap().reason, "corrupt block 0");
+
+        // Re-adding different content clears the quarantine on disk.
+        corpus.add("t", &t2).unwrap();
+        assert!(corpus.quarantined("t").is_none());
+        let reopened = Corpus::open(corpus.dir()).unwrap();
+        assert!(reopened.manifest().quarantine.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

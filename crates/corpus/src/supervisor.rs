@@ -1,0 +1,264 @@
+//! Fleet-supervision policy types: failure classification, retry
+//! schedules, and per-cell budgets.
+//!
+//! The fleet runner ([`crate::run`]) is a supervisor: every per-trace
+//! failure is classified **transient** (worth retrying — I/O faults,
+//! lenient-decode skips past the tolerance) or **permanent** (retrying
+//! cannot help — structural corruption, config errors, model panics)
+//! using the one shared classifier rooted in
+//! [`cac_trace::io::BinaryTraceError::failure_class`]. Transient failures are retried
+//! on a deterministic jittered backoff schedule; exhausted or permanent
+//! failures are journaled as FAILED cells and the trace is quarantined
+//! in `corpus.toml` so later runs skip it without replaying anything.
+
+use crate::{content_hash, CorpusError};
+use cac_sim::sweep::SweepBudget;
+use cac_trace::fault::FaultSpec;
+use cac_trace::io::FailureClass;
+use std::fmt;
+
+/// Classifies a corpus-level failure with the shared taxonomy: I/O
+/// errors are transient, trace-decode errors defer to
+/// [`cac_trace::io::BinaryTraceError::failure_class`], and everything
+/// else (manifest problems, config/build/journal errors) is permanent.
+pub fn classify(err: &CorpusError) -> FailureClass {
+    match err {
+        CorpusError::Io { .. } => FailureClass::Transient,
+        CorpusError::Trace(e) => e.failure_class(),
+        CorpusError::Manifest(_) | CorpusError::Sim(_) => FailureClass::Permanent,
+    }
+}
+
+/// Retry policy for transient failures: how many extra attempts, and a
+/// *deterministic* jittered backoff schedule so reruns reproduce the
+/// exact same attempt timing.
+///
+/// The delay before retry `i` (0-based) is
+/// `base_ms * 2^i * (0.5 + jitter)` with `jitter ∈ [0, 1)` drawn from a
+/// xorshift64* stream seeded by FNV-1a over `(seed, trace key, i)` —
+/// a pure function of the policy and the cell, never of wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts after the first try (0 = fail fast).
+    pub attempts: u32,
+    /// Base backoff delay in milliseconds (0 = retry immediately; the
+    /// schedule is still computed and reported for reproducibility).
+    pub base_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The full backoff schedule for one trace: `attempts` delays in
+    /// milliseconds, deterministic in `(seed, trace_key)`.
+    pub fn schedule(&self, trace_key: &str) -> Vec<u64> {
+        (0..self.attempts)
+            .map(|i| self.delay_ms(trace_key, i))
+            .collect()
+    }
+
+    /// The delay in milliseconds before retry `attempt` (0-based).
+    pub fn delay_ms(&self, trace_key: &str, attempt: u32) -> u64 {
+        if self.base_ms == 0 {
+            return 0;
+        }
+        let mut seed_bytes = Vec::with_capacity(trace_key.len() + 12);
+        seed_bytes.extend_from_slice(&self.seed.to_le_bytes());
+        seed_bytes.extend_from_slice(trace_key.as_bytes());
+        seed_bytes.extend_from_slice(&attempt.to_le_bytes());
+        // xorshift64* over the FNV hash; one step is plenty for a
+        // jitter fraction.
+        let mut x = content_hash(&seed_bytes) | 1;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let jitter = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = self.base_ms.saturating_mul(1u64 << attempt.min(16));
+        ((exp as f64) * (0.5 + jitter)) as u64
+    }
+}
+
+/// A per-cell replay budget, parsed from the CLI's
+/// `--cell-budget <N[refs]|Xsecs>` flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellBudget {
+    /// Cancel a trace's sweep after this many references
+    /// (deterministic; see [`SweepBudget`]).
+    Refs(u64),
+    /// Cancel after this much wall-clock time (machine-dependent).
+    Secs(f64),
+}
+
+impl CellBudget {
+    /// Parses `"500000"`, `"500000refs"` or `"2.5secs"` (also accepts
+    /// the `s`/`sec` suffixes).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed value.
+    pub fn parse(s: &str) -> Result<CellBudget, String> {
+        let s = s.trim();
+        if let Some(n) = s.strip_suffix("refs") {
+            return n
+                .trim()
+                .parse::<u64>()
+                .map(CellBudget::Refs)
+                .map_err(|_| format!("cell budget `{s}`: `{n}` is not a whole number of refs"));
+        }
+        for suffix in ["secs", "sec", "s"] {
+            if let Some(n) = s.strip_suffix(suffix) {
+                return n
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                    .map(CellBudget::Secs)
+                    .ok_or_else(|| {
+                        format!("cell budget `{s}`: `{n}` is not a positive number of seconds")
+                    });
+            }
+        }
+        s.parse::<u64>()
+            .map(CellBudget::Refs)
+            .map_err(|_| format!("cell budget `{s}` wants <N>[refs] or <X>secs"))
+    }
+
+    /// The [`SweepBudget`] enforcing this cell budget.
+    pub fn to_sweep(self) -> SweepBudget {
+        match self {
+            CellBudget::Refs(n) => SweepBudget::refs(n),
+            CellBudget::Secs(x) => SweepBudget::secs(x),
+        }
+    }
+
+    /// A canonical tag for journal fingerprints: degraded cells are a
+    /// function of the budget, so runs with different budgets must not
+    /// share a journal.
+    pub fn tag(self) -> String {
+        match self {
+            CellBudget::Refs(n) => format!("{n}refs"),
+            CellBudget::Secs(x) => format!("{x}secs"),
+        }
+    }
+}
+
+impl fmt::Display for CellBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+/// A chaos-injection plan: wrap trace streams in a seeded
+/// [`FaultSource`](cac_trace::fault::FaultSource) for the first
+/// `faulty_attempts` attempts of each trace, then read clean. Letting
+/// later attempts succeed is what drives the transient-retry path
+/// end-to-end; `faulty_attempts` larger than the retry allowance makes
+/// the fault effectively persistent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// The faults to inject.
+    pub spec: FaultSpec,
+    /// Number of leading attempts (per trace) that see the fault.
+    pub faulty_attempts: u32,
+    /// Restrict injection to this trace name (`None` = every trace).
+    pub trace: Option<String>,
+}
+
+impl ChaosPlan {
+    /// The fault to apply to `trace` on 0-based `attempt`, if any.
+    pub fn fault_for(&self, trace: &str, attempt: u32) -> Option<&FaultSpec> {
+        let targeted = self.trace.as_deref().is_none_or(|t| t == trace);
+        (targeted && attempt < self.faulty_attempts && !self.spec.is_noop()).then_some(&self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_uses_shared_taxonomy() {
+        use cac_trace::io::BinaryTraceError;
+        let io = CorpusError::io(
+            "reading trace",
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "flaky"),
+        );
+        assert_eq!(classify(&io), FailureClass::Transient);
+        let tr = CorpusError::Trace(BinaryTraceError::Io(std::io::Error::other("disk")));
+        assert_eq!(classify(&tr), FailureClass::Transient);
+        let corrupt = CorpusError::Trace(BinaryTraceError::BadMagic);
+        assert_eq!(classify(&corrupt), FailureClass::Permanent);
+        let sim = CorpusError::Sim(cac_core::Error::config("bad ways"));
+        assert_eq!(classify(&sim), FailureClass::Permanent);
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_and_jittered() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_ms: 100,
+            seed: 7,
+        };
+        let a = p.schedule("go@00000000deadbeef");
+        let b = p.schedule("go@00000000deadbeef");
+        assert_eq!(a, b, "same policy + key => same schedule");
+        assert_eq!(a.len(), 4);
+        // Exponential envelope: delay i sits in [base*2^i/2, base*2^i*1.5).
+        for (i, &d) in a.iter().enumerate() {
+            let exp = 100u64 << i;
+            assert!(d >= exp / 2 && d < exp + exp / 2, "delay {i} = {d}");
+        }
+        // A different trace key jitters differently somewhere.
+        let c = p.schedule("gcc@0123456789abcdef");
+        assert_ne!(a, c);
+        // base 0 = no sleeping at all.
+        let zero = RetryPolicy {
+            attempts: 3,
+            base_ms: 0,
+            seed: 7,
+        };
+        assert_eq!(zero.schedule("x"), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn cell_budget_parses_both_units() {
+        assert_eq!(CellBudget::parse("500000"), Ok(CellBudget::Refs(500_000)));
+        assert_eq!(CellBudget::parse("10refs"), Ok(CellBudget::Refs(10)));
+        assert_eq!(CellBudget::parse(" 2.5secs "), Ok(CellBudget::Secs(2.5)));
+        assert_eq!(CellBudget::parse("3s"), Ok(CellBudget::Secs(3.0)));
+        assert!(CellBudget::parse("").is_err());
+        assert!(CellBudget::parse("fast").is_err());
+        assert!(CellBudget::parse("-1secs").is_err());
+        assert_eq!(CellBudget::Refs(10).tag(), "10refs");
+        assert_eq!(CellBudget::Refs(10).to_sweep(), SweepBudget::refs(10));
+        assert_eq!(CellBudget::Secs(2.0).to_sweep(), SweepBudget::secs(2.0));
+    }
+
+    #[test]
+    fn chaos_plan_targets_leading_attempts() {
+        let plan = ChaosPlan {
+            spec: FaultSpec {
+                flip_ppm: 100,
+                ..FaultSpec::default()
+            },
+            faulty_attempts: 2,
+            trace: Some("bad".into()),
+        };
+        assert!(plan.fault_for("bad", 0).is_some());
+        assert!(plan.fault_for("bad", 1).is_some());
+        assert!(plan.fault_for("bad", 2).is_none());
+        assert!(plan.fault_for("healthy", 0).is_none());
+        let all = ChaosPlan {
+            trace: None,
+            ..plan.clone()
+        };
+        assert!(all.fault_for("healthy", 0).is_some());
+        // A no-op spec never injects.
+        let noop = ChaosPlan {
+            spec: FaultSpec::default(),
+            faulty_attempts: 9,
+            trace: None,
+        };
+        assert!(noop.fault_for("x", 0).is_none());
+    }
+}

@@ -1,0 +1,367 @@
+//! Chaos-harness property tests for the fleet supervisor: seeded fault
+//! grids × retry/budget settings must always *converge* — every cell
+//! either byte-identical to the undisturbed run or explicitly
+//! classified (retried, failed, degraded) — and the supervisor's
+//! attempt accounting must be deterministic.
+
+use cac_corpus::run::{run, CellOutcome, RunOptions, RunReport};
+use cac_corpus::supervisor::{CellBudget, ChaosPlan, RetryPolicy};
+use cac_corpus::Corpus;
+use cac_trace::fault::FaultSpec;
+use cac_trace::TraceOp;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cac-chaos-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_config(dir: &Path, name: &str, body: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+fn direct_mapped(size: &str) -> String {
+    format!("name = \"dm-{size}\"\n[cache]\nsize = \"{size}\"\nline = 16\nways = 1\n")
+}
+
+fn ipoly(size: &str) -> String {
+    format!("name = \"ipoly-{size}\"\n[cache]\nsize = \"{size}\"\nline = 16\nways = 2\nindex = \"ipoly\"\n")
+}
+
+/// A two-trace corpus: `victim` (chaos target) and `bystander`.
+fn seeded_corpus(dir: &Path, ops: u64, stride: u64) -> Corpus {
+    let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+    for (name, base) in [("victim", 0x1000u64), ("bystander", 0x9000_0000u64)] {
+        let trace: Vec<TraceOp> = (0..ops)
+            .map(|i| TraceOp::load(base + 4 * i, base + (stride * i) % 0x8000, 1, None))
+            .collect();
+        let raw = dir.join(format!("{name}.cact"));
+        let mut buf = Vec::new();
+        cac_trace::io::write_trace_columnar(&mut buf, trace).unwrap();
+        std::fs::write(&raw, buf).unwrap();
+        corpus.add(name, &raw).unwrap();
+    }
+    corpus
+}
+
+/// Runs the fleet into a fresh scratch journal (chaos-style: quarantine
+/// decisions are reported, never persisted).
+fn run_fresh(
+    corpus: &mut Corpus,
+    configs: &[String],
+    dir: &Path,
+    journal: &str,
+    base: &RunOptions,
+    chaos: Option<ChaosPlan>,
+) -> RunReport {
+    let path = dir.join(journal);
+    std::fs::remove_file(&path).ok();
+    let opts = RunOptions {
+        chaos,
+        journal: Some(path),
+        persist_quarantine: false,
+        ..base.clone()
+    };
+    run(corpus, configs, &opts).unwrap()
+}
+
+/// Convergence audit: `true` for byte-identical, counts explicit
+/// classifications, panics on silent divergence.
+fn audit(baseline: &RunReport, injected: &RunReport) -> (u64, u64) {
+    let (mut identical, mut classified) = (0u64, 0u64);
+    assert_eq!(baseline.rows.len(), injected.rows.len());
+    for (brow, irow) in baseline.rows.iter().zip(&injected.rows) {
+        assert_eq!(brow.cells.len(), irow.cells.len(), "cells dropped");
+        for (bc, ic) in brow.cells.iter().zip(&irow.cells) {
+            match (bc, ic) {
+                (CellOutcome::Done { stats: bs, .. }, CellOutcome::Done { stats: is, .. }) => {
+                    assert_eq!(bs, is, "silent divergence: stats differ under injection");
+                    identical += 1;
+                }
+                (
+                    CellOutcome::Degraded {
+                        estimate: be,
+                        se: bse,
+                        ..
+                    },
+                    CellOutcome::Degraded {
+                        estimate: ie,
+                        se: ise,
+                        ..
+                    },
+                ) if be.to_bits() == ie.to_bits() && bse.to_bits() == ise.to_bits() => {
+                    identical += 1;
+                }
+                (_, CellOutcome::Failed { .. } | CellOutcome::Degraded { .. }) => classified += 1,
+                (b, i) => panic!("silent divergence: {b:?} became {i:?} under injection"),
+            }
+        }
+    }
+    (identical, classified)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The full fault grid (bit flips, truncation, injected I/O errors)
+    /// × retry × budget settings converges: bystander cells are always
+    /// byte-identical, victim cells are byte-identical or explicitly
+    /// classified, and the whole injected run is deterministic.
+    #[test]
+    fn chaos_grid_converges_and_is_deterministic(
+        kind in 0usize..3,
+        fault_seed in any::<u64>(),
+        flip_ppm in 20u32..400,
+        cut in 1_000u64..40_000,
+        faulty_attempts in 0u32..4,
+        retry in 0u32..3,
+        budgeted in any::<bool>(),
+    ) {
+        let dir = tmp_dir(&format!("grid-{kind}-{faulty_attempts}-{retry}-{budgeted}"));
+        let mut corpus = seeded_corpus(&dir, 20_000, 16);
+        let configs = vec![
+            write_config(&dir, "dm.toml", &direct_mapped("4KiB")),
+            write_config(&dir, "ipoly.toml", &ipoly("4KiB")),
+        ];
+        let spec = match kind {
+            0 => FaultSpec { flip_ppm, seed: fault_seed, ..FaultSpec::default() },
+            1 => FaultSpec { truncate_at: Some(cut), ..FaultSpec::default() },
+            _ => FaultSpec { io_error_at: Some(cut), ..FaultSpec::default() },
+        };
+        let base = RunOptions {
+            retry: RetryPolicy { attempts: retry, base_ms: 0, seed: 7 },
+            budget: budgeted.then_some(CellBudget::Refs(6_000)),
+            chunk: 1024,
+            ..RunOptions::default()
+        };
+        let plan = ChaosPlan { spec, faulty_attempts, trace: Some("victim".into()) };
+
+        let baseline = run_fresh(&mut corpus, &configs, &dir, "base.journal", &base, None);
+        let injected =
+            run_fresh(&mut corpus, &configs, &dir, "inj.journal", &base, Some(plan.clone()));
+        let (identical, classified) = audit(&baseline, &injected);
+        prop_assert_eq!(identical + classified, 4, "every cell resolved");
+
+        // The bystander is outside the blast radius: always identical,
+        // single attempt.
+        let bystander = injected.health.iter().find(|h| h.trace == "bystander").unwrap();
+        prop_assert_eq!(bystander.attempts, 1);
+        prop_assert!(bystander.quarantined.is_none());
+        for (bc, ic) in baseline.rows[1].cells.iter().zip(&injected.rows[1].cells) {
+            prop_assert_eq!(bc, ic);
+        }
+
+        // Any cell that was not recovered byte-identically must come
+        // with the victim's quarantine verdict — never silence.
+        let victim = injected.health.iter().find(|h| h.trace == "victim").unwrap();
+        if classified > 0 {
+            prop_assert!(victim.quarantined.is_some());
+        }
+
+        // Determinism: the same plan replays to the same report.
+        let again =
+            run_fresh(&mut corpus, &configs, &dir, "inj2.journal", &base, Some(plan));
+        prop_assert_eq!(&again.rows, &injected.rows);
+        prop_assert_eq!(&again.health, &injected.health);
+        prop_assert_eq!(&again.summary, &injected.summary);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Injected I/O errors are always transient, so the retry ladder is
+    /// exact: a fault covering `f` leading attempts costs
+    /// `min(f, retry) + 1` attempts and recovers byte-identically iff
+    /// the allowance outlasts it.
+    #[test]
+    fn io_faults_consume_the_exact_retry_ladder(
+        faulty_attempts in 0u32..4,
+        retry in 0u32..3,
+    ) {
+        let dir = tmp_dir(&format!("ladder-{faulty_attempts}-{retry}"));
+        let mut corpus = seeded_corpus(&dir, 8_000, 16);
+        let configs = vec![write_config(&dir, "dm.toml", &direct_mapped("4KiB"))];
+        let base = RunOptions {
+            retry: RetryPolicy { attempts: retry, base_ms: 0, seed: 3 },
+            ..RunOptions::default()
+        };
+        let plan = ChaosPlan {
+            spec: FaultSpec { io_error_at: Some(64), ..FaultSpec::default() },
+            faulty_attempts,
+            trace: Some("victim".into()),
+        };
+        let baseline = run_fresh(&mut corpus, &configs, &dir, "base.journal", &base, None);
+        let injected =
+            run_fresh(&mut corpus, &configs, &dir, "inj.journal", &base, Some(plan));
+        let victim = injected.health.iter().find(|h| h.trace == "victim").unwrap();
+        prop_assert_eq!(victim.attempts, faulty_attempts.min(retry) + 1);
+        prop_assert_eq!(victim.backoffs_ms.len() as u32, faulty_attempts.min(retry));
+        let recovered = faulty_attempts <= retry;
+        match (&baseline.rows[0].cells[0], &injected.rows[0].cells[0]) {
+            (CellOutcome::Done { stats: bs, .. }, CellOutcome::Done { stats: is, .. }) => {
+                prop_assert!(recovered);
+                prop_assert_eq!(bs, is);
+            }
+            (_, CellOutcome::Failed { class, .. }) => {
+                prop_assert!(!recovered);
+                prop_assert_eq!(*class, cac_trace::io::FailureClass::Transient);
+                prop_assert!(victim.quarantined.is_some());
+            }
+            (b, i) => return Err(TestCaseError::Fail(format!("unexpected pair {b:?} / {i:?}"))),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Backoff schedules are a pure function of (policy, trace key):
+    /// reruns reproduce them exactly, and every delay sits inside the
+    /// jittered exponential envelope.
+    #[test]
+    fn backoff_schedules_are_deterministic_and_enveloped(
+        seed in any::<u64>(),
+        base_ms in 1u64..5_000,
+        attempts in 1u32..8,
+        key_hash in any::<u64>(),
+    ) {
+        let key = format!("trace-{key_hash:x}@{:016x}", key_hash.rotate_left(17));
+        let p = RetryPolicy { attempts, base_ms, seed };
+        let a = p.schedule(&key);
+        prop_assert_eq!(&a, &p.schedule(&key));
+        prop_assert_eq!(a.len() as u32, attempts);
+        for (i, &d) in a.iter().enumerate() {
+            let exp = base_ms.saturating_mul(1 << (i as u32).min(16));
+            prop_assert!(
+                d >= exp / 2 && d < exp + exp / 2,
+                "delay {i} = {d} outside [{}, {})", exp / 2, exp + exp / 2
+            );
+        }
+    }
+
+    /// On clean benchmark traces × configs inside the analytic tier's
+    /// validated regime (where `cac analytic validate` meets its
+    /// documented 5-point bound), budget-degraded estimates stay within
+    /// that bound, widened by the sampling pass's own standard error.
+    #[test]
+    fn degraded_estimates_respect_the_analytic_bound(
+        combo in prop_oneof![
+            Just((cac_trace::SpecBenchmark::Swim, "8KiB")),
+            Just((cac_trace::SpecBenchmark::Tomcatv, "8KiB")),
+            Just((cac_trace::SpecBenchmark::Tomcatv, "16KiB")),
+            Just((cac_trace::SpecBenchmark::Compress, "8KiB")),
+            Just((cac_trace::SpecBenchmark::Compress, "16KiB")),
+        ],
+        bench_seed in 1u64..1_000,
+    ) {
+        let (bench, size) = combo;
+        let dir = tmp_dir(&format!("bound-{bench:?}-{size}"));
+        let mut corpus = {
+            let mut corpus = Corpus::init(&dir.join("corpus")).unwrap();
+            for (name, seed) in [("victim", bench_seed), ("bystander", bench_seed + 1)] {
+                let raw = dir.join(format!("{name}.cact"));
+                let mut buf = Vec::new();
+                cac_trace::io::write_trace_columnar(
+                    &mut buf,
+                    bench.generator(seed).take(30_000),
+                )
+                .unwrap();
+                std::fs::write(&raw, buf).unwrap();
+                corpus.add(name, &raw).unwrap();
+            }
+            corpus
+        };
+        let configs = vec![
+            write_config(&dir, "dm.toml", &direct_mapped(size)),
+            write_config(&dir, "ipoly.toml", &ipoly(size)),
+        ];
+        let base = RunOptions { chunk: 1024, ..RunOptions::default() };
+        let truth = run_fresh(&mut corpus, &configs, &dir, "truth.journal", &base, None);
+        let budgeted = RunOptions {
+            budget: Some(CellBudget::Refs(8_000)),
+            ..base
+        };
+        let degraded =
+            run_fresh(&mut corpus, &configs, &dir, "deg.journal", &budgeted, None);
+        for row in 0..2 {
+            for ((cfg, full), cheap) in configs
+                .iter()
+                .zip(&truth.rows[row].cells)
+                .zip(&degraded.rows[row].cells)
+            {
+                let CellOutcome::Done { stats, .. } = full else { panic!() };
+                let CellOutcome::Degraded { estimate, se, .. } = cheap else {
+                    return Err(TestCaseError::Fail(format!("expected degraded, got {cheap:?}")));
+                };
+                let actual = stats.demand.miss_ratio();
+                prop_assert!(
+                    (estimate - actual).abs() <= 0.05 + 4.0 * se,
+                    "{cfg}: estimate {estimate:.4} vs actual {actual:.4} (se {se:.4})"
+                );
+            }
+        }
+        prop_assert_eq!(degraded.summary.degraded, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The acceptance criterion verbatim: a fully-poisoned trace costs at
+/// most `1 + retry` attempts exactly once; after that every rerun
+/// restores its FAILED cells from the journal and replays nothing.
+#[test]
+fn poisoned_trace_costs_its_retry_allowance_exactly_once() {
+    let dir = tmp_dir("poisoned-once");
+    let mut corpus = seeded_corpus(&dir, 8_000, 16);
+    let configs = vec![
+        write_config(&dir, "dm.toml", &direct_mapped("4KiB")),
+        write_config(&dir, "big.toml", &direct_mapped("32KiB")),
+    ];
+    let journal = dir.join("poison.journal");
+    let opts = RunOptions {
+        retry: RetryPolicy {
+            attempts: 2,
+            base_ms: 0,
+            seed: 1,
+        },
+        chaos: Some(ChaosPlan {
+            spec: FaultSpec {
+                io_error_at: Some(64),
+                ..FaultSpec::default()
+            },
+            faulty_attempts: u32::MAX, // never recovers
+            trace: Some("victim".into()),
+        }),
+        journal: Some(journal),
+        persist_quarantine: false,
+        ..RunOptions::default()
+    };
+    let cold = run(&mut corpus, &configs, &opts).unwrap();
+    let victim = |r: &RunReport| r.health.iter().position(|h| h.trace == "victim").unwrap();
+    let v = victim(&cold);
+    assert_eq!(cold.health[v].attempts, 3, "full allowance spent");
+    assert_eq!(cold.summary.failed, 2);
+    assert_eq!(cold.summary.retried, 2);
+    assert!(cold.rows[v].cells.iter().all(|c| matches!(
+        c,
+        CellOutcome::Failed {
+            restored: false,
+            ..
+        }
+    )));
+
+    // Rerun with the identical (still-poisoned) setup: zero replays,
+    // zero attempts — the FAILED cells restore from the journal.
+    let warm = run(&mut corpus, &configs, &opts).unwrap();
+    let v = victim(&warm);
+    assert_eq!(warm.health[v].attempts, 0);
+    assert_eq!(
+        warm.summary.replayed + warm.summary.failed + warm.summary.retried,
+        0
+    );
+    assert_eq!(warm.summary.restored, 4);
+    assert!(warm.rows[v]
+        .cells
+        .iter()
+        .all(|c| matches!(c, CellOutcome::Failed { restored: true, .. })));
+    std::fs::remove_dir_all(&dir).ok();
+}

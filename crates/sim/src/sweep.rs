@@ -63,6 +63,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Per-model result of an *isolated* sweep
 /// ([`Sweep::run_refs_isolated`] / [`Sweep::run_source_isolated`]):
@@ -82,6 +83,14 @@ pub enum ModelOutcome {
         /// The panic payload (or a placeholder for non-string panics).
         reason: String,
     },
+    /// The sweep's [`SweepBudget`] tripped before the stream ended;
+    /// replay of the whole sweep was abandoned and this model's partial
+    /// counters were discarded (a partial miss count is not an estimate
+    /// of anything — callers should re-price the cell analytically).
+    Cancelled {
+        /// References broadcast before the budget tripped.
+        refs_replayed: u64,
+    },
 }
 
 impl ModelOutcome {
@@ -89,7 +98,7 @@ impl ModelOutcome {
     pub fn stats(&self) -> Option<&ModelStats> {
         match self {
             ModelOutcome::Completed(s) => Some(s),
-            ModelOutcome::Failed { .. } => None,
+            ModelOutcome::Failed { .. } | ModelOutcome::Cancelled { .. } => None,
         }
     }
 
@@ -98,12 +107,75 @@ impl ModelOutcome {
         matches!(self, ModelOutcome::Failed { .. })
     }
 
+    /// True if the sweep's budget tripped before the stream ended.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ModelOutcome::Cancelled { .. })
+    }
+
     /// The failure reason, if the model panicked.
     pub fn failure(&self) -> Option<&str> {
         match self {
-            ModelOutcome::Completed(_) => None,
+            ModelOutcome::Completed(_) | ModelOutcome::Cancelled { .. } => None,
             ModelOutcome::Failed { reason } => Some(reason),
         }
+    }
+}
+
+/// A replay budget for the panic-isolated sweep entry points, checked
+/// at chunk boundaries by the producer (a record-count watchdog — no
+/// signals, no threads killed mid-access).
+///
+/// When the budget trips, the producer stops feeding references and
+/// every not-yet-poisoned model reports [`ModelOutcome::Cancelled`]
+/// with its partial counters discarded. A stream that ends before the
+/// budget trips is a normal completion.
+///
+/// * `max_refs` is **deterministic**: the trip point depends only on
+///   the stream and the chunk size, so reruns cancel at the same
+///   reference count (the budget may overshoot by at most one chunk).
+/// * `max_secs` is wall-clock and therefore machine-dependent; use it
+///   as a backstop, not for reproducible experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepBudget {
+    /// Cancel once this many references have been broadcast.
+    pub max_refs: Option<u64>,
+    /// Cancel once this much wall-clock time has elapsed.
+    pub max_secs: Option<f64>,
+}
+
+impl SweepBudget {
+    /// No budget: sweeps run to stream exhaustion.
+    pub fn unlimited() -> Self {
+        SweepBudget::default()
+    }
+
+    /// A deterministic reference-count budget.
+    pub fn refs(max: u64) -> Self {
+        SweepBudget {
+            max_refs: Some(max),
+            max_secs: None,
+        }
+    }
+
+    /// A wall-clock budget (machine-dependent; see type docs).
+    pub fn secs(max: f64) -> Self {
+        SweepBudget {
+            max_refs: None,
+            max_secs: Some(max),
+        }
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_refs.is_none() && self.max_secs.is_none()
+    }
+
+    fn exceeded(&self, fed: u64, started: Instant) -> bool {
+        if self.max_refs.is_some_and(|max| fed >= max) {
+            return true;
+        }
+        self.max_secs
+            .is_some_and(|max| started.elapsed().as_secs_f64() >= max)
     }
 }
 
@@ -147,6 +219,7 @@ fn replay_isolated(
 pub struct Sweep {
     workers: usize,
     chunk_ops: usize,
+    budget: SweepBudget,
 }
 
 impl Default for Sweep {
@@ -162,6 +235,7 @@ impl Sweep {
         Sweep {
             workers: 0,
             chunk_ops: DEFAULT_CHUNK_OPS,
+            budget: SweepBudget::unlimited(),
         }
     }
 
@@ -178,6 +252,16 @@ impl Sweep {
     #[must_use]
     pub fn chunk_ops(mut self, chunk_ops: usize) -> Self {
         self.chunk_ops = chunk_ops.max(1);
+        self
+    }
+
+    /// Sets the replay budget, honored by the *isolated* entry points
+    /// ([`Sweep::run_refs_isolated`] / [`Sweep::run_source_isolated`]);
+    /// the non-isolated paths have no outcome channel to report a
+    /// cancellation through and ignore it.
+    #[must_use]
+    pub fn budget(mut self, budget: SweepBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -341,6 +425,17 @@ impl Sweep {
         models: &mut [Box<dyn MemoryModel>],
         refs: &[MemRef],
     ) -> Vec<ModelOutcome> {
+        // A budgeted sweep needs the streaming watchdog (shards of the
+        // slice path advance independently, so there is no single place
+        // to trip a budget); the wrap costs one copy per chunk.
+        if !self.budget.is_unlimited() {
+            use cac_trace::io::IterRefSource;
+            return match self.run_source_isolated(models, IterRefSource::new(refs.iter().copied()))
+            {
+                Ok(outcomes) => outcomes,
+                Err(never) => match never {},
+            };
+        }
         let before: Vec<ModelStats> = models.iter().map(|m| m.stats()).collect();
         let workers = self.effective_workers(models.len());
         let mut poisoned: Vec<Option<String>> = vec![None; models.len()];
@@ -360,11 +455,14 @@ impl Sweep {
                 }
             });
         }
-        collect_outcomes(models, before, poisoned)
+        collect_outcomes(models, before, poisoned, None)
     }
 
     /// Panic-isolated [`Sweep::run_source`]: streams the source once,
-    /// catching per-model panics as [`ModelOutcome::Failed`] rows.
+    /// catching per-model panics as [`ModelOutcome::Failed`] rows. When
+    /// a [`SweepBudget`] is set, the producer checks it at every chunk
+    /// boundary and cancels the whole sweep
+    /// ([`ModelOutcome::Cancelled`]) once it trips.
     ///
     /// # Errors
     ///
@@ -378,13 +476,26 @@ impl Sweep {
         let before: Vec<ModelStats> = models.iter().map(|m| m.stats()).collect();
         let workers = self.effective_workers(models.len());
         let mut poisoned: Vec<Option<String>> = vec![None; models.len()];
+        let started = Instant::now();
+        let mut fed: u64 = 0;
+        let mut cancelled = false;
         let mut result = Ok(());
         if workers <= 1 {
             let mut buf = Vec::with_capacity(self.chunk_ops);
             loop {
                 match source.read_ref_chunk(&mut buf, self.chunk_ops) {
                     Ok(0) => break,
-                    Ok(_) => replay_isolated(models, &mut poisoned, &buf),
+                    Ok(n) => {
+                        // Budget check *after* a successful read, so a
+                        // stream that ends exactly at the budget is a
+                        // normal completion, not a cancellation.
+                        if self.budget.exceeded(fed, started) {
+                            cancelled = true;
+                            break;
+                        }
+                        replay_isolated(models, &mut poisoned, &buf);
+                        fed += n as u64;
+                    }
                     Err(e) => {
                         result = Err(e);
                         break;
@@ -415,36 +526,48 @@ impl Sweep {
                     };
                     match source.read_ref_chunk(&mut buf, self.chunk_ops) {
                         Ok(0) => return Ok(()),
-                        Ok(_) => {
+                        Ok(n) => {
+                            if self.budget.exceeded(fed, started) {
+                                cancelled = true;
+                                return Ok(());
+                            }
                             let chunk = Arc::new(buf);
                             for tx in &senders {
                                 let _ = tx.send(chunk.clone());
                             }
                             in_flight.push_back(chunk);
+                            fed += n as u64;
                         }
                         Err(e) => return Err(e),
                     }
                 }
             });
         }
-        result.map(|()| collect_outcomes(models, before, poisoned))
+        let cancelled_at = cancelled.then_some(fed);
+        result.map(|()| collect_outcomes(models, before, poisoned, cancelled_at))
     }
 }
 
 /// Folds post-sweep model state and poison markers into per-model
-/// outcomes, discarding the partial counters of failed models.
+/// outcomes, discarding the partial counters of failed models. When the
+/// budget cancelled the sweep (`cancelled_at = Some(refs fed)`), models
+/// that had not already poisoned themselves report
+/// [`ModelOutcome::Cancelled`] — a panic recorded before the trip still
+/// wins, it carries more information.
 fn collect_outcomes(
     models: &[Box<dyn MemoryModel>],
     before: Vec<ModelStats>,
     poisoned: Vec<Option<String>>,
+    cancelled_at: Option<u64>,
 ) -> Vec<ModelOutcome> {
     models
         .iter()
         .zip(before)
         .zip(poisoned)
-        .map(|((m, b), poison)| match poison {
-            Some(reason) => ModelOutcome::Failed { reason },
-            None => ModelOutcome::Completed(m.stats() - b),
+        .map(|((m, b), poison)| match (poison, cancelled_at) {
+            (Some(reason), _) => ModelOutcome::Failed { reason },
+            (None, Some(refs_replayed)) => ModelOutcome::Cancelled { refs_replayed },
+            (None, None) => ModelOutcome::Completed(m.stats() - b),
         })
         .collect()
 }
@@ -587,18 +710,27 @@ impl LruStackSweep {
     /// # Errors
     ///
     /// [`Error::Config`] unless `k` is a power of two no larger than
-    /// the smallest configured set count (larger `k` would leave some
-    /// configurations with no sampled set at all).
+    /// the smallest *multi-set* family configured (larger `k` would
+    /// leave some configurations with no sampled set at all). A 1-set
+    /// (fully-associative) family never constrains `k`: every sampled
+    /// block lands in its only set, so it always retains samples — this
+    /// is what lets a sampled pass still feed
+    /// [`crate::analytic::AnalyticModel::from_sweep`].
     pub fn with_set_sampling(mut self, k: u32) -> Result<Self, Error> {
         if k == 0 || !k.is_power_of_two() {
             return Err(Error::config(format!(
                 "set-sampling factor must be a power of two, got {k}"
             )));
         }
-        let min_sets = self.families.first().map(|f| f.sets).unwrap_or(1);
-        if k > min_sets {
+        let min_sets = self
+            .families
+            .iter()
+            .map(|f| f.sets)
+            .find(|s| *s > 1)
+            .unwrap_or(1);
+        if k > min_sets && min_sets > 1 {
             return Err(Error::config(format!(
-                "set-sampling factor {k} exceeds the smallest set count {min_sets}; \
+                "set-sampling factor {k} exceeds the smallest multi-set count {min_sets}; \
                  every configuration must retain at least one sampled set"
             )));
         }
@@ -886,6 +1018,98 @@ mod tests {
         let outcomes = Sweep::new().workers(1).run_refs_isolated(&mut ms, &refs);
         let reason = outcomes[0].failure().expect("must fail");
         assert!(reason.contains("configured trigger 0"), "{reason}");
+    }
+
+    #[test]
+    fn budget_cancels_all_models_deterministically() {
+        use cac_trace::io::IterRefSource;
+        let refs = mixed_refs(50_000);
+        let specs = [IndexSpec::modulo(), IndexSpec::ipoly_skewed()];
+        for workers in [1usize, 3] {
+            let mut ms = models(&specs);
+            let outcomes = Sweep::new()
+                .workers(workers)
+                .chunk_ops(1000)
+                .budget(SweepBudget::refs(10_000))
+                .run_source_isolated(&mut ms, IterRefSource::new(refs.iter().copied()))
+                .unwrap();
+            for o in &outcomes {
+                // Trips at the first chunk boundary at/after the limit.
+                assert_eq!(
+                    o,
+                    &ModelOutcome::Cancelled {
+                        refs_replayed: 10_000
+                    },
+                    "workers {workers}"
+                );
+                assert!(o.is_cancelled() && o.stats().is_none() && o.failure().is_none());
+            }
+            // Slice path delegates to the same watchdog.
+            let mut ms = models(&specs);
+            let outcomes = Sweep::new()
+                .workers(workers)
+                .chunk_ops(1000)
+                .budget(SweepBudget::refs(10_000))
+                .run_refs_isolated(&mut ms, &refs);
+            assert!(outcomes.iter().all(|o| o
+                == &ModelOutcome::Cancelled {
+                    refs_replayed: 10_000
+                }));
+        }
+    }
+
+    #[test]
+    fn budget_larger_than_stream_is_a_normal_completion() {
+        use cac_trace::io::IterRefSource;
+        let refs = mixed_refs(5_000);
+        let specs = [IndexSpec::modulo(), IndexSpec::xor_skewed()];
+        let mut plain = models(&specs);
+        let expect = sweep_refs(&mut plain, &refs);
+        let mut ms = models(&specs);
+        let outcomes = Sweep::new()
+            .workers(1)
+            .budget(SweepBudget::refs(1_000_000))
+            .run_source_isolated(&mut ms, IterRefSource::new(refs.iter().copied()))
+            .unwrap();
+        let got: Vec<&ModelStats> = outcomes.iter().map(|o| o.stats().unwrap()).collect();
+        assert_eq!(got, expect.iter().collect::<Vec<_>>());
+        // A stream ending exactly at the budget also completes.
+        let mut ms = models(&specs);
+        let outcomes = Sweep::new()
+            .workers(1)
+            .chunk_ops(1000)
+            .budget(SweepBudget::refs(5_000))
+            .run_source_isolated(&mut ms, IterRefSource::new(refs.iter().copied()))
+            .unwrap();
+        assert!(outcomes.iter().all(|o| o.stats().is_some()));
+    }
+
+    #[test]
+    fn poison_before_budget_trip_stays_failed() {
+        use crate::model::PoisonModel;
+        use cac_trace::io::IterRefSource;
+        let refs = mixed_refs(20_000);
+        let mut ms: Vec<Box<dyn MemoryModel>> = vec![
+            Box::new(PoisonModel::new(100)),
+            models(&[IndexSpec::modulo()]).pop().unwrap(),
+        ];
+        let outcomes = Sweep::new()
+            .workers(1)
+            .chunk_ops(1000)
+            .budget(SweepBudget::refs(5_000))
+            .run_source_isolated(&mut ms, IterRefSource::new(refs.iter().copied()))
+            .unwrap();
+        assert!(outcomes[0].is_failed());
+        assert!(outcomes[1].is_cancelled());
+    }
+
+    #[test]
+    fn budget_constructors() {
+        assert!(SweepBudget::unlimited().is_unlimited());
+        assert!(!SweepBudget::refs(5).is_unlimited());
+        assert!(!SweepBudget::secs(0.5).is_unlimited());
+        assert_eq!(SweepBudget::refs(5).max_refs, Some(5));
+        assert_eq!(SweepBudget::secs(2.0).max_secs, Some(2.0));
     }
 
     #[test]

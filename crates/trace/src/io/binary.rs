@@ -205,6 +205,64 @@ impl std::error::Error for BinaryTraceError {
     }
 }
 
+/// Coarse failure classification shared by every consumer that must
+/// decide between *retrying* and *giving up* — the corpus fleet
+/// supervisor, `cac corpus verify`, the chaos harness.
+///
+/// The split is about what a retry can change, not about severity: an
+/// I/O error may be a flaky mount that succeeds on the next attempt,
+/// while structural damage (bad magic, truncation, corrupt blocks) is
+/// a property of the bytes themselves — re-reading the same file can
+/// only reproduce it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// Retrying the same operation may succeed (transient I/O faults,
+    /// flaky mounts, excessive lenient-decode skips from a mid-read
+    /// disturbance).
+    Transient,
+    /// Retrying cannot help: the input itself is wrong (structural
+    /// corruption, truncation, unsupported formats, config errors,
+    /// model panics).
+    Permanent,
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureClass::Transient => "transient",
+            FailureClass::Permanent => "permanent",
+        })
+    }
+}
+
+impl FailureClass {
+    /// Parses the rendering produced by [`Display`](fmt::Display)
+    /// (used by the corpus quarantine manifest).
+    pub fn parse(s: &str) -> Option<FailureClass> {
+        match s {
+            "transient" => Some(FailureClass::Transient),
+            "permanent" => Some(FailureClass::Permanent),
+            _ => None,
+        }
+    }
+}
+
+impl BinaryTraceError {
+    /// The one shared trace-decode classifier: I/O failures are
+    /// [`FailureClass::Transient`], structural damage — bad magic,
+    /// unsupported versions, truncation, corrupt records or blocks —
+    /// is [`FailureClass::Permanent`].
+    pub fn failure_class(&self) -> FailureClass {
+        match self {
+            BinaryTraceError::Io(_) => FailureClass::Transient,
+            BinaryTraceError::BadMagic
+            | BinaryTraceError::UnsupportedVersion(_)
+            | BinaryTraceError::Truncated { .. }
+            | BinaryTraceError::Corrupt { .. } => FailureClass::Permanent,
+        }
+    }
+}
+
 impl From<io::Error> for BinaryTraceError {
     fn from(e: io::Error) -> Self {
         BinaryTraceError::Io(e)

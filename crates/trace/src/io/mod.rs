@@ -57,8 +57,8 @@ pub mod text;
 
 pub use binary::{
     block_checksum, write_trace_binary, BinaryTraceError, BinaryTraceReader, BinaryTraceWriter,
-    DecodeMode, SkipReport, BINARY_MAGIC, BINARY_VERSION, BLOCK_HEADER_LEN, BLOCK_MAGIC,
-    BLOCK_TARGET, HEADER_LEN, MAX_BLOCK_LEN,
+    DecodeMode, FailureClass, SkipReport, BINARY_MAGIC, BINARY_VERSION, BLOCK_HEADER_LEN,
+    BLOCK_MAGIC, BLOCK_TARGET, HEADER_LEN, MAX_BLOCK_LEN,
 };
 pub use columnar::{
     col_block_checksum, write_trace_columnar, ColIndexEntry, ColumnBytes, ColumnarFile,

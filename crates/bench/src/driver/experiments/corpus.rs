@@ -21,12 +21,21 @@ use cac_corpus::{Corpus, CorpusError};
 use cac_sim::model::MemoryModel;
 use cac_sim::sweep::Sweep;
 use cac_trace::fault::FaultSpec;
+use cac_trace::io::commitfs::{FaultFs, FaultPlan};
 use cac_trace::io::{write_trace_columnar, ColumnarTraceReader};
 use cac_trace::MemRef;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Environment variable carrying a [`FaultPlan`] spec (e.g.
+/// `crash-op=9,seed=3`). When set, `corpus run` routes its journal and
+/// manifest commits through the fault-injecting write layer — the CI
+/// kill-mid-commit smoke drives crash recovery through the real binary
+/// this way.
+pub(super) const FAULT_FS_ENV: &str = "CAC_FAULT_FS";
 
 /// Maps corpus-tier errors onto driver exit semantics: bad inputs
 /// (missing files, damaged manifests/traces) exit 3, simulator-side
@@ -159,6 +168,62 @@ pub(super) fn corpus_verify(a: &ExpArgs) -> Result<Report, DriverError> {
         report = report.note(format!(
             "all {} trace(s) verified: hashes, checksums and counts intact",
             reports.len()
+        ));
+    }
+    Ok(report)
+}
+
+pub(super) fn corpus_fsck(a: &ExpArgs) -> Result<Report, DriverError> {
+    let dir = require_dir(a)?;
+    let repair = parse_bool("repair", a.str("repair"))?;
+    // Not-a-corpus surfaces as CorpusError::Manifest -> Input (exit 3);
+    // problems left unrepaired flag failures below (exit 1).
+    let audit = cac_corpus::fsck::fsck(&dir, repair).map_err(driver_err)?;
+
+    let inventory = Table::new("store", &["traces", "cells", "claims"]).row(vec![
+        Value::u(audit.traces as u64),
+        Value::u(audit.cells as u64),
+        Value::u(audit.claims as u64),
+    ]);
+    let mut report = Report::new(format!("corpus fsck: {}", dir.display()))
+        .param("dir", dir.display())
+        .param("repair", repair)
+        .table(inventory);
+
+    if !audit.problems.is_empty() {
+        let mut table = Table::new("problems", &["kind", "subject", "detail", "action"]);
+        for p in &audit.problems {
+            let action = if p.repaired {
+                "repaired"
+            } else if !p.repairable {
+                "manual (re-add the trace)"
+            } else if repair {
+                "repair failed"
+            } else {
+                "repairable (rerun with --repair true)"
+            };
+            table.push_row(vec![
+                Value::s(p.kind),
+                Value::s(&p.subject),
+                Value::s(&p.detail),
+                Value::s(action),
+            ]);
+        }
+        report = report.table(table);
+    }
+
+    let unrepaired = audit.unrepaired() as u64;
+    if unrepaired > 0 {
+        report = report.flag_failures(unrepaired).note(format!(
+            "{unrepaired} problem(s) outstanding of {} found (exit 1)",
+            audit.problems.len()
+        ));
+    } else if audit.problems.is_empty() {
+        report = report.note("store is consistent: manifest, pool and journal agree");
+    } else {
+        report = report.note(format!(
+            "all {} problem(s) repaired; the store is consistent now",
+            audit.problems.len()
         ));
     }
     Ok(report)
@@ -359,6 +424,17 @@ pub(super) fn corpus_run(a: &ExpArgs) -> Result<Report, DriverError> {
         ..RunOptions::default()
     };
     supervision_opts(a, &mut opts)?;
+    let runner = a.str("runner");
+    if !runner.is_empty() {
+        opts.runner = Some(runner.to_owned());
+    }
+    if let Ok(spec) = std::env::var(FAULT_FS_ENV) {
+        if !spec.trim().is_empty() {
+            let plan = FaultPlan::parse(&spec)
+                .map_err(|e| DriverError::Usage(format!("{FAULT_FS_ENV}: {e}")))?;
+            opts.fs = Arc::new(FaultFs::new(plan));
+        }
+    }
 
     let mut corpus = Corpus::open(&dir).map_err(driver_err)?;
     let report_data = corpus_run_engine(&mut corpus, &config_paths, &opts).map_err(driver_err)?;

@@ -478,8 +478,28 @@ pub const REGISTRY: &[Experiment] = &[
                 "false",
                 "append the work-accounting table (replayed/restored/pruned)",
             ),
+            param(
+                "runner",
+                "",
+                "runner id for multi-runner fleets (distinct per concurrent process; default pid-<pid>)",
+            ),
         ],
         run: corpus::corpus_run,
+    },
+    Experiment {
+        name: "corpus-fsck",
+        legacy_bin: None,
+        group: "corpus tier",
+        summary: "audit manifest/pool/journal consistency; --repair fixes the mechanically-safe subset",
+        params: &[
+            param("dir", "", "corpus directory"),
+            param(
+                "repair",
+                "false",
+                "repair orphaned temps, stale cells/claims, torn journal lines, duplicate quarantines",
+            ),
+        ],
+        run: corpus::corpus_fsck,
     },
     Experiment {
         name: "corpus-chaos",

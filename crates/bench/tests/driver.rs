@@ -108,7 +108,7 @@ fn every_legacy_binary_has_a_subcommand() {
             .unwrap_or_else(|| panic!("retired binary {bin} lost its subcommand"));
         assert!(driver::find(exp.name).is_some());
     }
-    assert_eq!(driver::experiments().len(), legacy.len() + 17, "new tools");
+    assert_eq!(driver::experiments().len(), legacy.len() + 18, "new tools");
 }
 
 #[test]

@@ -1,0 +1,343 @@
+//! `cac corpus fsck`: manifest ↔ pool ↔ journal consistency audit.
+//!
+//! The durable-store invariants the commit protocol and locks maintain
+//! (see [`crate::lock`] and [`cac_trace::io::commitfs`]) are only as
+//! good as the ability to *check* them. This module audits a corpus
+//! directory for every artifact a crash, a torn write, or a dead
+//! runner can leave behind, and — with `repair` — fixes the
+//! mechanically-safe subset:
+//!
+//! | problem kind           | meaning                                        | repair            |
+//! |------------------------|------------------------------------------------|-------------------|
+//! | `orphan-tmp`           | `*.tmp` left between temp-write and rename     | remove            |
+//! | `missing-trace-file`   | manifest entry whose pool file is gone         | report only       |
+//! | `trace-content`        | pool file size/hash disagree with manifest     | report only       |
+//! | `unmanifested-file`    | `traces/*.cact` the manifest does not know     | remove            |
+//! | `torn-journal`         | journal lines that fail their checksum         | rewrite journal   |
+//! | `stale-cell`           | journal cell keyed to an unknown trace@hash    | drop cell         |
+//! | `stale-claim`          | journal claim held by a dead runner            | release claim     |
+//! | `duplicate-quarantine` | repeated `[[quarantine]]` (name, hash) records | dedup + resave    |
+//! | `manifest-unreadable`  | manifest exists but does not parse             | report only       |
+//! | `journal-unreadable`   | journal exists but is not a journal            | report only       |
+//!
+//! "Report only" problems need data fsck cannot conjure (re-`add` the
+//! trace); everything else is repaired by deleting or rewriting state
+//! that is provably not part of any committed store.
+
+use crate::lock::{runner_alive, CorpusLock};
+use crate::manifest::Manifest;
+use crate::store::{MANIFEST_FILE, RESULTS_FILE, TRACES_DIR};
+use crate::{content_hash, CorpusError};
+use cac_sim::config::toml;
+use cac_sim::journal::Journal;
+use cac_trace::io::commitfs::{CommitFs, DiskFs};
+use std::collections::HashSet;
+use std::path::Path;
+
+/// One inconsistency found by [`fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckProblem {
+    /// Stable machine-readable kind (see the module table).
+    pub kind: &'static str,
+    /// What the problem is about (a path, trace name, or cell key).
+    pub subject: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Whether this kind can be repaired mechanically.
+    pub repairable: bool,
+    /// Whether this run repaired it.
+    pub repaired: bool,
+}
+
+/// The audit's outcome: every problem found, plus store inventory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Problems in discovery order.
+    pub problems: Vec<FsckProblem>,
+    /// Traces listed in the manifest.
+    pub traces: usize,
+    /// Completed cells in the results journal.
+    pub cells: usize,
+    /// Outstanding claims in the results journal.
+    pub claims: usize,
+}
+
+impl FsckReport {
+    /// Problems that remain after this run (unrepairable kinds, or any
+    /// problem when `repair` was off).
+    pub fn unrepaired(&self) -> usize {
+        self.problems.iter().filter(|p| !p.repaired).count()
+    }
+
+    /// True if the store is fully consistent (no problems at all).
+    pub fn is_clean(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// Audits the corpus at `dir`; with `repair`, fixes the
+/// mechanically-safe subset in place. Takes the corpus lock — shared
+/// for a read-only audit, exclusive when repairing.
+///
+/// # Errors
+///
+/// [`CorpusError::Manifest`] if `dir` is not a corpus (no
+/// `corpus.toml`); [`CorpusError::Io`] on filesystem failures.
+pub fn fsck(dir: &Path, repair: bool) -> Result<FsckReport, CorpusError> {
+    fsck_with(dir, repair, &DiskFs)
+}
+
+/// [`fsck`] through an explicit [`CommitFs`], so the repair writes
+/// themselves can be crash-tested.
+///
+/// # Errors
+///
+/// As [`fsck`].
+pub fn fsck_with(dir: &Path, repair: bool, fs: &dyn CommitFs) -> Result<FsckReport, CorpusError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    if !manifest_path.exists() {
+        return Err(CorpusError::Manifest(format!(
+            "{} is not a corpus (no {MANIFEST_FILE})",
+            dir.display()
+        )));
+    }
+    let _lock = if repair {
+        CorpusLock::exclusive(dir)?
+    } else {
+        CorpusLock::shared(dir)?
+    };
+    let mut report = FsckReport::default();
+
+    // Orphaned temp files anywhere a commit sequence writes them.
+    for scan_dir in [dir.to_path_buf(), dir.join(TRACES_DIR)] {
+        let Ok(entries) = std::fs::read_dir(&scan_dir) else {
+            continue;
+        };
+        let mut tmps: Vec<_> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_file()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with(".tmp"))
+            })
+            .collect();
+        tmps.sort();
+        for tmp in tmps {
+            let repaired = repair && fs.remove_file(&tmp).is_ok();
+            report.problems.push(FsckProblem {
+                kind: "orphan-tmp",
+                subject: rel_display(dir, &tmp),
+                detail: "uncommitted temp file left by an interrupted commit".into(),
+                repairable: true,
+                repaired,
+            });
+        }
+    }
+
+    // Duplicate [[quarantine]] records in the raw document (the parsed
+    // Manifest heals them in memory; repair persists the healing).
+    let manifest_text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| CorpusError::io(format!("reading {}", manifest_path.display()), e))?;
+    let raw_dups = raw_quarantine_duplicates(&manifest_text);
+
+    let manifest = match Manifest::load(&manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            report.problems.push(FsckProblem {
+                kind: "manifest-unreadable",
+                subject: MANIFEST_FILE.into(),
+                detail: e.to_string(),
+                repairable: false,
+                repaired: false,
+            });
+            return Ok(report);
+        }
+    };
+    report.traces = manifest.traces.len();
+
+    if raw_dups > 0 {
+        let repaired = repair && manifest.save_with(&manifest_path, fs).is_ok();
+        report.problems.push(FsckProblem {
+            kind: "duplicate-quarantine",
+            subject: MANIFEST_FILE.into(),
+            detail: format!("{raw_dups} duplicate [[quarantine]] record(s) by (name, hash)"),
+            repairable: true,
+            repaired,
+        });
+    }
+
+    // Manifest -> pool: every entry's file must exist with the recorded
+    // size and content hash.
+    for entry in &manifest.traces {
+        let path = dir.join(&entry.file);
+        match std::fs::read(&path) {
+            Err(_) => report.problems.push(FsckProblem {
+                kind: "missing-trace-file",
+                subject: entry.name.clone(),
+                detail: format!("{} is missing — re-add the trace", entry.file),
+                repairable: false,
+                repaired: false,
+            }),
+            Ok(bytes) => {
+                let hash = content_hash(&bytes);
+                if bytes.len() as u64 != entry.bytes || hash != entry.hash {
+                    report.problems.push(FsckProblem {
+                        kind: "trace-content",
+                        subject: entry.name.clone(),
+                        detail: format!(
+                            "{}: stored {} bytes hash {hash:016x}, manifest says {} bytes \
+                             hash {:016x} — re-add the trace",
+                            entry.file,
+                            bytes.len(),
+                            entry.bytes,
+                            entry.hash
+                        ),
+                        repairable: false,
+                        repaired: false,
+                    });
+                }
+            }
+        }
+    }
+
+    // Pool -> manifest: stored .cact files nothing references.
+    let referenced: HashSet<&str> = manifest.traces.iter().map(|e| e.file.as_str()).collect();
+    if let Ok(entries) = std::fs::read_dir(dir.join(TRACES_DIR)) {
+        let mut strays: Vec<_> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_file()
+                    && p.extension().is_some_and(|x| x == "cact")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_none_or(|n| !referenced.contains(format!("{TRACES_DIR}/{n}").as_str()))
+            })
+            .collect();
+        strays.sort();
+        for stray in strays {
+            let repaired = repair && fs.remove_file(&stray).is_ok();
+            report.problems.push(FsckProblem {
+                kind: "unmanifested-file",
+                subject: rel_display(dir, &stray),
+                detail: "stored trace file the manifest does not reference".into(),
+                repairable: true,
+                repaired,
+            });
+        }
+    }
+
+    // Journal: torn lines, cells keyed to unknown traces, claims held
+    // by dead runners.
+    let journal_path = dir.join(RESULTS_FILE);
+    if journal_path.exists() {
+        match Journal::scan(&journal_path) {
+            Err(e) => report.problems.push(FsckProblem {
+                kind: "journal-unreadable",
+                subject: RESULTS_FILE.into(),
+                detail: e.to_string(),
+                repairable: false,
+                repaired: false,
+            }),
+            Ok(scan) => {
+                let mut journal =
+                    Journal::load(&journal_path, scan.fingerprint).map_err(CorpusError::Sim)?;
+                let live: HashSet<String> = manifest
+                    .traces
+                    .iter()
+                    .map(|e| format!("{}@{:016x}", e.name, e.hash))
+                    .collect();
+                let mut dirty = false;
+
+                if scan.torn > 0 {
+                    dirty = true;
+                    report.problems.push(FsckProblem {
+                        kind: "torn-journal",
+                        subject: RESULTS_FILE.into(),
+                        detail: format!("{} torn/corrupt line(s)", scan.torn),
+                        repairable: true,
+                        repaired: false, // flipped below once the rewrite lands
+                    });
+                }
+                let mut stale_cells: Vec<String> = journal
+                    .keys()
+                    .filter(|k| !known_trace(k, &live))
+                    .map(str::to_owned)
+                    .collect();
+                stale_cells.sort();
+                for key in stale_cells {
+                    journal.remove(&key);
+                    dirty = true;
+                    report.problems.push(FsckProblem {
+                        kind: "stale-cell",
+                        subject: key,
+                        detail: "cell keyed to a trace/hash not in the manifest".into(),
+                        repairable: true,
+                        repaired: false,
+                    });
+                }
+                let mut stale_claims: Vec<(String, String)> = journal
+                    .claims()
+                    .filter(|(k, c)| !known_trace(k, &live) || !runner_alive(dir, &c.runner))
+                    .map(|(k, c)| (k.to_owned(), c.runner.clone()))
+                    .collect();
+                stale_claims.sort();
+                for (key, runner) in stale_claims {
+                    journal.release_claim(&key);
+                    dirty = true;
+                    report.problems.push(FsckProblem {
+                        kind: "stale-claim",
+                        subject: key,
+                        detail: format!("claim held by dead or unknown runner {runner:?}"),
+                        repairable: true,
+                        repaired: false,
+                    });
+                }
+                report.cells = journal.len();
+                report.claims = journal.claims().count();
+                if dirty && repair && journal.save_with(&journal_path, fs).is_ok() {
+                    for p in &mut report.problems {
+                        if matches!(p.kind, "torn-journal" | "stale-cell" | "stale-claim") {
+                            p.repaired = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// Does this cell/claim key's `<trace>@<hash>` prefix name a trace the
+/// manifest currently holds?
+fn known_trace(key: &str, live: &HashSet<String>) -> bool {
+    key.split_once('/')
+        .is_some_and(|(trace, _)| live.contains(trace))
+}
+
+/// Counts `[[quarantine]]` records in the raw document that repeat an
+/// earlier (name, hash) pair.
+fn raw_quarantine_duplicates(text: &str) -> usize {
+    let Ok(doc) = toml::parse(text) else {
+        return 0;
+    };
+    let mut seen = HashSet::new();
+    let mut dups = 0;
+    for t in doc.section_array("quarantine") {
+        let name = t.get("name").and_then(|v| v.as_str());
+        let hash = t.get("hash").and_then(|v| v.as_str());
+        if let (Some(name), Some(hash)) = (name, hash) {
+            if !seen.insert((name.to_owned(), hash.to_owned())) {
+                dups += 1;
+            }
+        }
+    }
+    dups
+}
+
+fn rel_display(dir: &Path, path: &Path) -> String {
+    path.strip_prefix(dir).unwrap_or(path).display().to_string()
+}

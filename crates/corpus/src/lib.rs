@@ -33,11 +33,15 @@
 
 use std::fmt;
 
+pub mod fsck;
+pub mod lock;
 pub mod manifest;
 pub mod run;
 pub mod store;
 pub mod supervisor;
 
+pub use fsck::{fsck, FsckProblem, FsckReport};
+pub use lock::{runner_alive, CorpusLock, RunnerLease};
 pub use manifest::{Manifest, QuarantineEntry, TraceEntry};
 pub use run::{
     degraded_stats, failed_stats, pruned_stats, CellOutcome, RunOptions, RunReport, TraceHealth,

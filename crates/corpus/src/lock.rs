@@ -1,0 +1,219 @@
+//! Multi-runner coordination: the corpus root lock and runner leases.
+//!
+//! Two pieces, both built on the standard library's advisory file
+//! locks (`File::lock` / `try_lock` — no extra dependencies, released
+//! automatically by the OS when the holding process dies):
+//!
+//! * [`CorpusLock`] — an advisory lock on `<corpus>/.corpus.lock`,
+//!   taken **exclusive** around any mutation of shared state (manifest
+//!   saves, journal read-modify-write transactions) and **shared** for
+//!   consistent reads. Transactions hold it briefly; replay work runs
+//!   unlocked.
+//! * [`RunnerLease`] — liveness without clocks. Each `corpus run`
+//!   process holds an exclusive lock on `<corpus>/locks/<id>.lock` for
+//!   its whole lifetime. A journal claim row names its runner id; a
+//!   peer decides "is that runner still alive?" by probing the
+//!   claimant's lock file with [`runner_alive`] — if the probe can take
+//!   the lock, the owner is gone and the claim is stale (takeover is
+//!   safe). No heartbeats, no timestamps, no false takeovers from a
+//!   slow-but-alive peer.
+//!
+//! Locks are per open file description, so two runners inside one
+//! process (tests, or threaded drivers) conflict exactly like two
+//! processes. They are **not** re-entrant: code must never nest
+//! [`CorpusLock`] acquisitions.
+
+use crate::CorpusError;
+use std::fs::{File, OpenOptions, TryLockError};
+use std::path::{Path, PathBuf};
+
+/// Name of the corpus root lock file inside the corpus directory.
+pub const LOCK_FILE: &str = ".corpus.lock";
+/// Name of the runner-lease subdirectory inside the corpus directory.
+pub const LOCKS_DIR: &str = "locks";
+
+fn open_lock_file(path: &Path) -> Result<File, CorpusError> {
+    OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(path)
+        .map_err(|e| CorpusError::io(format!("opening lock file {}", path.display()), e))
+}
+
+/// A held advisory lock on the corpus root. Dropping it releases the
+/// lock; so does process death, which is the whole point.
+#[derive(Debug)]
+pub struct CorpusLock {
+    _file: File,
+}
+
+impl CorpusLock {
+    /// Blocks until the exclusive corpus lock is held. Take this around
+    /// any mutation of `corpus.toml` or `results.journal`.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the lock file cannot be opened or locked.
+    pub fn exclusive(dir: &Path) -> Result<CorpusLock, CorpusError> {
+        let file = open_lock_file(&dir.join(LOCK_FILE))?;
+        file.lock()
+            .map_err(|e| CorpusError::io(format!("locking corpus {}", dir.display()), e))?;
+        Ok(CorpusLock { _file: file })
+    }
+
+    /// Blocks until a shared (read) corpus lock is held: many readers,
+    /// no concurrent mutator.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the lock file cannot be opened or locked.
+    pub fn shared(dir: &Path) -> Result<CorpusLock, CorpusError> {
+        let file = open_lock_file(&dir.join(LOCK_FILE))?;
+        file.lock_shared()
+            .map_err(|e| CorpusError::io(format!("read-locking corpus {}", dir.display()), e))?;
+        Ok(CorpusLock { _file: file })
+    }
+}
+
+/// A runner's liveness token: an exclusive lock on
+/// `<corpus>/locks/<id>.lock` held for the runner's whole lifetime
+/// (released by drop or process death).
+#[derive(Debug)]
+pub struct RunnerLease {
+    _file: File,
+    id: String,
+    path: PathBuf,
+}
+
+impl RunnerLease {
+    /// Acquires the lease for runner `id`. Ids use the trace-name
+    /// charset so they are safe as file names.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Manifest`] if `id` is malformed or another live
+    /// process already runs under it; [`CorpusError::Io`] on filesystem
+    /// failures.
+    pub fn acquire(dir: &Path, id: &str) -> Result<RunnerLease, CorpusError> {
+        crate::store::validate_name(id)
+            .map_err(|_| CorpusError::Manifest(format!(
+                "invalid runner id {id:?} (want 1-64 chars of [A-Za-z0-9._-], not starting with '.')"
+            )))?;
+        let locks = dir.join(LOCKS_DIR);
+        std::fs::create_dir_all(&locks)
+            .map_err(|e| CorpusError::io(format!("creating {}", locks.display()), e))?;
+        let path = locks.join(format!("{id}.lock"));
+        let file = open_lock_file(&path)?;
+        match file.try_lock() {
+            Ok(()) => Ok(RunnerLease {
+                _file: file,
+                id: id.to_owned(),
+                path,
+            }),
+            Err(TryLockError::WouldBlock) => Err(CorpusError::Manifest(format!(
+                "runner id {id:?} is already active on this corpus — pick a distinct --runner id"
+            ))),
+            Err(TryLockError::Error(e)) => Err(CorpusError::io(
+                format!("locking runner lease {}", path.display()),
+                e,
+            )),
+        }
+    }
+
+    /// The runner id this lease covers.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The lease file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Probes whether runner `id` is alive on this corpus: its lease file
+/// exists and is exclusively locked by some process. A missing file or
+/// an acquirable lock means the runner is gone and its claims are
+/// stale. Probe errors report "alive" — takeover must be provably safe.
+pub fn runner_alive(dir: &Path, id: &str) -> bool {
+    let path = dir.join(LOCKS_DIR).join(format!("{id}.lock"));
+    let Ok(file) = File::open(&path) else {
+        return false; // no lease file: never started here, or swept
+    };
+    match file.try_lock() {
+        Ok(()) => {
+            let _ = file.unlock();
+            false // we could take it: the owner is dead
+        }
+        Err(TryLockError::WouldBlock) => true,
+        Err(TryLockError::Error(_)) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cac-lock-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn exclusive_lock_excludes_and_releases_on_drop() {
+        let dir = tmp_dir("excl");
+        let held = CorpusLock::exclusive(&dir).unwrap();
+        // A second open file description cannot take it while held…
+        let probe = open_lock_file(&dir.join(LOCK_FILE)).unwrap();
+        assert!(matches!(probe.try_lock(), Err(TryLockError::WouldBlock)));
+        // …and can as soon as the holder drops.
+        drop(held);
+        assert!(probe.try_lock().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_locks_coexist_but_block_writers() {
+        let dir = tmp_dir("shared");
+        let r1 = CorpusLock::shared(&dir).unwrap();
+        let _r2 = CorpusLock::shared(&dir).unwrap();
+        let probe = open_lock_file(&dir.join(LOCK_FILE)).unwrap();
+        assert!(matches!(probe.try_lock(), Err(TryLockError::WouldBlock)));
+        drop(r1);
+        assert!(matches!(probe.try_lock(), Err(TryLockError::WouldBlock)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leases_give_liveness_without_clocks() {
+        let dir = tmp_dir("lease");
+        assert!(!runner_alive(&dir, "r1"), "no lease file = dead");
+        let lease = RunnerLease::acquire(&dir, "r1").unwrap();
+        assert_eq!(lease.id(), "r1");
+        assert!(runner_alive(&dir, "r1"), "held lease = alive");
+        assert!(!runner_alive(&dir, "r2"));
+        // Duplicate ids are refused while the first holder lives.
+        let err = RunnerLease::acquire(&dir, "r1").unwrap_err().to_string();
+        assert!(err.contains("already active"), "{err}");
+        // Death (drop) makes the runner probe dead even though the
+        // lease file remains on disk.
+        drop(lease);
+        assert!(dir.join(LOCKS_DIR).join("r1.lock").exists());
+        assert!(!runner_alive(&dir, "r1"));
+        // And the id becomes acquirable again (takeover-by-restart).
+        assert!(RunnerLease::acquire(&dir, "r1").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_runner_ids_are_refused() {
+        let dir = tmp_dir("badid");
+        for bad in ["", "../evil", "a b", ".hidden", "x/y"] {
+            assert!(RunnerLease::acquire(&dir, bad).is_err(), "accepted {bad:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

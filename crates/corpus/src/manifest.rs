@@ -6,12 +6,17 @@
 //! describe the corpus without decoding anything.
 //!
 //! The file is written through the same TOML subset the simulator
-//! configs use ([`cac_sim::config::toml`]), and saves are atomic: the
-//! manifest is rendered to `corpus.toml.tmp` and renamed into place, so
-//! a crash mid-save leaves the previous manifest intact.
+//! configs use ([`cac_sim::config::toml`]), and saves are
+//! crash-atomic via the [`cac_trace::io::commitfs`] protocol: the
+//! manifest is rendered to `corpus.toml.tmp`, fsynced, renamed into
+//! place, and the directory entry is fsynced — a crash mid-save leaves
+//! the previous manifest intact. Quarantine lists are deduplicated by
+//! `(name, hash)` on both load and save, so concurrent or retried
+//! writers cannot accumulate duplicate `[[quarantine]]` records.
 
 use crate::CorpusError;
 use cac_sim::config::toml;
+use cac_trace::io::commitfs::{CommitFs, DiskFs};
 use cac_trace::io::FailureClass;
 use std::path::Path;
 
@@ -164,12 +169,15 @@ impl Manifest {
                 class,
             });
         }
-        let m = Manifest { traces, quarantine };
+        let mut m = Manifest { traces, quarantine };
         if let Some(dup) = m.first_duplicate_name() {
             return Err(CorpusError::Manifest(format!(
                 "duplicate trace name {dup:?}"
             )));
         }
+        // Heal duplicate quarantine records (torn/interleaved writers
+        // from before the corpus lock existed) instead of refusing.
+        m.dedup_quarantine();
         Ok(m)
     }
 
@@ -232,6 +240,26 @@ impl Manifest {
         self.quarantine.len() != before
     }
 
+    /// Collapses duplicate quarantine records sharing a `(name, hash)`
+    /// pair down to the *last* occurrence (the newest writer's reason
+    /// wins), preserving relative order otherwise. Applied on load and
+    /// save so concurrent or retried writers converge to one record.
+    /// Returns how many duplicates were dropped.
+    pub fn dedup_quarantine(&mut self) -> usize {
+        let before = self.quarantine.len();
+        let mut seen = std::collections::HashSet::new();
+        let mut kept: Vec<QuarantineEntry> = self
+            .quarantine
+            .iter()
+            .rev()
+            .filter(|q| seen.insert((q.name.clone(), q.hash)))
+            .cloned()
+            .collect();
+        kept.reverse();
+        self.quarantine = kept;
+        before - self.quarantine.len()
+    }
+
     /// Loads and parses the manifest at `path`.
     ///
     /// # Errors
@@ -244,18 +272,30 @@ impl Manifest {
         Manifest::from_toml_str(&text)
     }
 
-    /// Atomically writes the manifest to `path` (temp file + rename).
+    /// Crash-atomically writes the manifest to `path` via [`DiskFs`]:
+    /// temp file, `fsync`, rename, directory `fsync`.
     ///
     /// # Errors
     ///
-    /// [`CorpusError::Io`] if the temp file cannot be written or the
-    /// rename fails.
+    /// [`CorpusError::Io`] if any commit step fails.
     pub fn save(&self, path: &Path) -> Result<(), CorpusError> {
+        self.save_with(path, &DiskFs)
+    }
+
+    /// [`Manifest::save`] through an explicit [`CommitFs`], so tests
+    /// can inject crash points into the commit sequence. The rendered
+    /// manifest has its quarantine list deduplicated by `(name, hash)`
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if any commit step fails.
+    pub fn save_with(&self, path: &Path, fs: &dyn CommitFs) -> Result<(), CorpusError> {
+        let mut clean = self.clone();
+        clean.dedup_quarantine();
         let tmp = path.with_extension("toml.tmp");
-        std::fs::write(&tmp, self.to_toml_string())
-            .map_err(|e| CorpusError::io(format!("writing manifest {}", tmp.display()), e))?;
-        std::fs::rename(&tmp, path)
-            .map_err(|e| CorpusError::io(format!("installing manifest {}", path.display()), e))
+        fs.commit_bytes(path, &tmp, clean.to_toml_string().as_bytes())
+            .map_err(|e| CorpusError::io(format!("committing manifest {}", path.display()), e))
     }
 
     fn first_duplicate_name(&self) -> Option<&str> {
@@ -383,6 +423,75 @@ mod tests {
         m.save(&path).unwrap();
         assert!(!path.with_extension("toml.tmp").exists());
         assert_eq!(Manifest::load(&path).unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn q(name: &str, hash: u64, reason: &str) -> QuarantineEntry {
+        QuarantineEntry {
+            name: name.into(),
+            hash,
+            reason: reason.into(),
+            class: FailureClass::Transient,
+        }
+    }
+
+    #[test]
+    fn quarantine_dedups_by_name_and_hash_on_save_and_load() {
+        let mut m = sample();
+        // Simulate two runners both quarantining `go`, plus a stale
+        // record for an older content hash that must survive.
+        m.quarantine = vec![
+            q("go", 0x1111, "older content"),
+            q("go", 0x2222, "runner A says broken"),
+            q("gcc", 0x3333, "unrelated"),
+            q("go", 0x2222, "runner B says broken"),
+        ];
+        let mut deduped = m.clone();
+        assert_eq!(deduped.dedup_quarantine(), 1);
+        assert_eq!(deduped.quarantine.len(), 3);
+        // Last writer's reason wins; distinct hashes both remain.
+        assert_eq!(deduped.quarantine[0].hash, 0x1111);
+        assert_eq!(deduped.quarantine[1].name, "gcc");
+        assert_eq!(deduped.quarantine[2].reason, "runner B says broken");
+
+        // Save dedups without mutating the in-memory manifest…
+        let dir = std::env::temp_dir().join(format!("cac-manifest-dedup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.toml");
+        m.save(&path).unwrap();
+        assert_eq!(m.quarantine.len(), 4, "save leaves self untouched");
+        let back = Manifest::load(&path).unwrap();
+        assert_eq!(back.quarantine, deduped.quarantine);
+
+        // …and load heals a hand-duplicated document too.
+        let doubled = format!(
+            "{}\n[[quarantine]]\nname = \"gcc\"\nhash = \"{:016x}\"\nreason = \"unrelated\"\nclass = \"transient\"\n",
+            back.to_toml_string(),
+            0x3333u64,
+        );
+        let healed = Manifest::from_toml_str(&doubled).unwrap();
+        assert_eq!(healed.quarantine.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_under_injected_crash_preserves_old_manifest() {
+        use cac_trace::io::commitfs::{FaultFs, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("cac-manifest-crash-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.toml");
+        let old = sample();
+        old.save(&path).unwrap();
+        let mut new = old.clone();
+        new.set_quarantine(q("go", old.traces[0].hash, "broke"));
+        let fs = FaultFs::new(FaultPlan {
+            crash_after_ops: Some(2),
+            ..FaultPlan::default()
+        });
+        assert!(new.save_with(&path, &fs).is_err());
+        let back = Manifest::load(&path).unwrap();
+        assert!(back == old || back == new, "old or new, never torn");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

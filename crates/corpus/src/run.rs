@@ -47,7 +47,24 @@
 //! * A [`ChaosPlan`] (the `cac corpus chaos` harness) wraps trace
 //!   streams in a seeded fault source for a trace's leading attempts,
 //!   driving every one of those paths end-to-end.
+//!
+//! # Multi-runner runs
+//!
+//! N `cac corpus run` processes may share one corpus: each holds a
+//! [`RunnerLease`] for its lifetime and partitions the grid through
+//! journal **claims**. Per trace, a runner briefly takes the corpus
+//! lock, reloads the journal, restores finished cells, claims every
+//! unclaimed pending cell (and takes over claims whose owner's lease
+//! probe says it died), and defers cells a live peer already claimed.
+//! Replay happens unlocked; results commit in a second short
+//! lock-reload-record-save transaction, which also drops the claims.
+//! After its own traces, a runner polls its deferred cells until peers
+//! finish them (or die, in which case it takes over). Because the
+//! journal's on-disk form is canonical (sorted) and claims drain on
+//! completion, the merged journal is byte-identical to a
+//! single-runner run's, and no cell is ever replayed twice.
 
+use crate::lock::{runner_alive, CorpusLock, RunnerLease};
 use crate::manifest::QuarantineEntry;
 use crate::store::Corpus;
 use crate::supervisor::{classify, CellBudget, ChaosPlan, RetryPolicy};
@@ -58,11 +75,13 @@ use cac_sim::journal::{fingerprint, Journal};
 use cac_sim::model::ModelStats;
 use cac_sim::sweep::{LruStackSweep, ModelOutcome, Sweep};
 use cac_trace::fault::{FaultSource, FaultSpec};
+use cac_trace::io::commitfs::{CommitFs, DiskFs};
 use cac_trace::io::{ColumnarTraceReader, DecodeMode, FailureClass, SkipReport, DEFAULT_CHUNK_OPS};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Journal extras key marking a cell as analytically pruned.
 pub const PRUNED_FLAG: &str = "analytic-pruned";
@@ -120,6 +139,16 @@ pub struct RunOptions {
     /// Persist quarantine decisions into `corpus.toml` (real runs do;
     /// the chaos harness reports them without persisting).
     pub persist_quarantine: bool,
+    /// This runner's id for leases and journal claims (`None` =
+    /// `pid-<pid>`). Concurrent runners on one corpus need distinct
+    /// ids; a lease refuses duplicates while the first holder lives.
+    pub runner: Option<String>,
+    /// How long to sleep between polls of cells claimed by live peers.
+    pub peer_poll_ms: u64,
+    /// The write layer for journal and manifest commits. Real runs use
+    /// [`DiskFs`]; durability tests inject a
+    /// [`cac_trace::io::commitfs::FaultFs`] here.
+    pub fs: Arc<dyn CommitFs>,
 }
 
 impl Default for RunOptions {
@@ -135,6 +164,9 @@ impl Default for RunOptions {
             chaos: None,
             journal: None,
             persist_quarantine: true,
+            runner: None,
+            peer_poll_ms: 25,
+            fs: Arc::new(DiskFs),
         }
     }
 }
@@ -693,19 +725,178 @@ fn attempt_trace(
     })
 }
 
+/// One trace's in-flight run state, until every cell resolves.
+struct TraceState {
+    trace_key: String,
+    cells: Vec<Option<CellOutcome>>,
+    health: TraceHealth,
+    /// Config indices claimed by a live peer, awaiting resolution.
+    deferred: Vec<usize>,
+}
+
+/// Replays `pending` cells of one trace (the retry loop around
+/// [`attempt_trace`]) and commits the outcomes in a short
+/// lock-reload-record-save transaction. On whole-attempt failure,
+/// FAILED cells commit the same way and the trace is quarantined —
+/// outside the lock, which is not re-entrant.
+#[allow(clippy::too_many_arguments)]
+fn replay_claimed(
+    corpus: &mut Corpus,
+    configs: &[ConfigColumn],
+    entry: &crate::manifest::TraceEntry,
+    pending: &[usize],
+    opts: &RunOptions,
+    journal_path: &Path,
+    fp: u64,
+    summary: &mut WorkSummary,
+    state: &mut TraceState,
+) -> Result<(), CorpusError> {
+    let trace_key = state.trace_key.clone();
+    let trace_path = corpus.trace_path(entry);
+    let max_attempts = 1 + opts.retry.attempts;
+    let mut attempts_used: u32 = 0;
+    let attempt_outcome = loop {
+        let fault = opts
+            .chaos
+            .as_ref()
+            .and_then(|c| c.fault_for(&entry.name, attempts_used));
+        attempts_used += 1;
+        match attempt_trace(&trace_path, configs, pending, opts, fault) {
+            Ok(result) => break Ok(result),
+            Err(fail) if fail.class == FailureClass::Transient && attempts_used < max_attempts => {
+                let delay = opts.retry.delay_ms(&trace_key, attempts_used - 1);
+                state.health.backoffs_ms.push(delay);
+                summary.retried += 1;
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+            }
+            Err(fail) => break Err(fail),
+        }
+    };
+    state.health.attempts += attempts_used;
+
+    match attempt_outcome {
+        Ok(result) => {
+            merge_skips(&mut state.health.skipped, result.skipped);
+            if result.screened {
+                summary.screened_traces += 1;
+            }
+            let _lock = CorpusLock::exclusive(corpus.dir())?;
+            let mut journal = Journal::load(journal_path, fp)?;
+            for (j, outcome) in result.outcomes {
+                let key = format!("{trace_key}/{}", configs[j].key);
+                let cell = match outcome {
+                    PendingOutcome::Done(stats) => {
+                        journal.record(&key, &stats);
+                        summary.replayed += 1;
+                        CellOutcome::Done {
+                            stats,
+                            restored: false,
+                        }
+                    }
+                    PendingOutcome::Pruned(predicted) => {
+                        journal.record(&key, &pruned_stats(predicted));
+                        summary.pruned += 1;
+                        CellOutcome::Pruned {
+                            predicted,
+                            restored: false,
+                        }
+                    }
+                    PendingOutcome::Degraded { estimate, se } => {
+                        journal.record(&key, &degraded_stats(estimate, se));
+                        summary.degraded += 1;
+                        CellOutcome::Degraded {
+                            estimate,
+                            se,
+                            restored: false,
+                        }
+                    }
+                    PendingOutcome::Failed { reason, class } => {
+                        journal.record(&key, &failed_stats(&reason, class));
+                        summary.failed += 1;
+                        CellOutcome::Failed {
+                            reason,
+                            class,
+                            restored: false,
+                        }
+                    }
+                };
+                state.cells[j] = Some(cell);
+            }
+            journal.save_with(journal_path, opts.fs.as_ref())?;
+            if state.health.skipped.any() {
+                state.health.note = format!(
+                    "accepted with {} skipped blocks",
+                    state.health.skipped.blocks
+                );
+            }
+        }
+        Err(fail) => {
+            // The whole attempt failed (and, if transient, its retries
+            // are exhausted): journal FAILED cells so reruns restore
+            // them, and quarantine the trace so nothing re-replays
+            // this content.
+            let reason = if fail.class == FailureClass::Transient {
+                format!("{} (after {attempts_used} attempts)", fail.reason)
+            } else {
+                fail.reason.clone()
+            };
+            {
+                let _lock = CorpusLock::exclusive(corpus.dir())?;
+                let mut journal = Journal::load(journal_path, fp)?;
+                for &j in pending {
+                    journal.record(
+                        &format!("{trace_key}/{}", configs[j].key),
+                        &failed_stats(&reason, fail.class),
+                    );
+                    summary.failed += 1;
+                    state.cells[j] = Some(CellOutcome::Failed {
+                        reason: reason.clone(),
+                        class: fail.class,
+                        restored: false,
+                    });
+                }
+                journal.save_with(journal_path, opts.fs.as_ref())?;
+            }
+            state.health.quarantined = Some(reason.clone());
+            state.health.note = format!("FAILED [{}]: {reason}", fail.class);
+            if opts.persist_quarantine {
+                corpus.quarantine_with(
+                    QuarantineEntry {
+                        name: entry.name.clone(),
+                        hash: entry.hash,
+                        reason,
+                        class: fail.class,
+                    },
+                    opts.fs.as_ref(),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Sweeps every corpus trace across `config_paths`, restoring cells
 /// from the corpus's result journal and replaying only the rest under
 /// the supervision policy in `opts` (see the module docs).
 ///
-/// The journal is saved after every trace that produced new cells, so
-/// a killed run loses at most one trace's work.
+/// Results commit after every trace that produced new cells, so a
+/// killed run loses at most one trace's work — and every commit is
+/// crash-atomic (temp + fsync + rename + dir fsync), so it never
+/// loses the journal itself.
+///
+/// Concurrent calls against one corpus are safe: each run holds a
+/// [`RunnerLease`] and partitions pending cells through journal
+/// claims (see the module docs). The `runner` id must be distinct per
+/// concurrent caller.
 ///
 /// # Errors
 ///
-/// Config-file and journal problems abort the run. Per-trace problems
-/// (damaged trace, I/O faults, model build errors, replay panics,
-/// budget trips) never abort the fleet: they surface as
-/// [`CellOutcome::Failed`] / [`CellOutcome::Degraded`] /
+/// Config-file, journal, lock and lease problems abort the run.
+/// Per-trace problems (damaged trace, I/O faults, model build errors,
+/// replay panics, budget trips) never abort the fleet: they surface
+/// as [`CellOutcome::Failed`] / [`CellOutcome::Degraded`] /
 /// [`CellOutcome::Quarantined`] cells and per-trace [`TraceHealth`]
 /// records.
 pub fn run(
@@ -723,7 +914,8 @@ pub fn run(
     // are a function of it, while budget-less runs stay journal-
     // compatible with earlier versions. Retry/backoff/chaos knobs are
     // deliberately excluded — they change *when* a cell computes, never
-    // what a computed cell contains.
+    // what a computed cell contains. The runner id is excluded too:
+    // every runner of a fleet shares one journal.
     let budget_tag = opts.budget.map(|b| format!("budget={}", b.tag()));
     let mut fp_parts: Vec<&str> = vec!["cac corpus run", &prune_tag];
     if let Some(tag) = &budget_tag {
@@ -734,178 +926,169 @@ pub fn run(
         .journal
         .clone()
         .unwrap_or_else(|| corpus.results_path());
-    let mut journal = Journal::load(&journal_path, fp)?;
+    let dir = corpus.dir().to_path_buf();
+    let runner_id = opts
+        .runner
+        .clone()
+        .unwrap_or_else(|| format!("pid-{}", std::process::id()));
+    let _lease = RunnerLease::acquire(&dir, &runner_id)?;
 
     let mut summary = WorkSummary::default();
     let entries = corpus.entries().to_vec();
-    let mut rows = Vec::with_capacity(entries.len());
-    let mut health = Vec::with_capacity(entries.len());
+    let mut states: Vec<TraceState> = Vec::with_capacity(entries.len());
     for entry in &entries {
         let trace_key = format!("{}@{:016x}", entry.name, entry.hash);
-        let mut trace_health = TraceHealth {
-            trace: entry.name.clone(),
-            attempts: 0,
-            backoffs_ms: Vec::new(),
-            skipped: SkipReport::default(),
-            quarantined: corpus.quarantined(&entry.name).map(|q| q.reason.clone()),
-            note: String::new(),
+        let mut state = TraceState {
+            trace_key: trace_key.clone(),
+            cells: (0..configs.len()).map(|_| None).collect(),
+            health: TraceHealth {
+                trace: entry.name.clone(),
+                attempts: 0,
+                backoffs_ms: Vec::new(),
+                skipped: SkipReport::default(),
+                quarantined: corpus.quarantined(&entry.name).map(|q| q.reason.clone()),
+                note: String::new(),
+            },
+            deferred: Vec::new(),
         };
-        let mut cells: Vec<Option<CellOutcome>> = Vec::with_capacity(configs.len());
-        let mut pending: Vec<usize> = Vec::new();
-        for (j, c) in configs.iter().enumerate() {
-            match journal.get(&format!("{trace_key}/{}", c.key)) {
-                Some(stats) => {
+
+        // Phase A, under the corpus lock: restore finished cells from
+        // the (re-loaded) journal, claim what nobody owns, defer what
+        // a live peer owns, take over from the dead.
+        let mut mine: Vec<usize> = Vec::new();
+        {
+            let _lock = CorpusLock::exclusive(&dir)?;
+            let mut journal = Journal::load(&journal_path, fp)?;
+            let mut claimed_any = false;
+            for (j, c) in configs.iter().enumerate() {
+                let key = format!("{trace_key}/{}", c.key);
+                if let Some(stats) = journal.get(&key) {
                     summary.restored += 1;
-                    cells.push(Some(restore_cell(stats)));
+                    state.cells[j] = Some(restore_cell(stats));
+                    continue;
                 }
-                None => {
-                    pending.push(j);
-                    cells.push(None);
+                // A quarantined trace is never touched: journaled
+                // cells above restored for free, everything still
+                // pending is skipped (and never claimed).
+                if let Some(reason) = &state.health.quarantined {
+                    state.cells[j] = Some(CellOutcome::Quarantined {
+                        reason: reason.clone(),
+                    });
+                    summary.quarantined += 1;
+                    continue;
                 }
-            }
-        }
-
-        // A quarantined trace is never touched: journaled cells above
-        // restored for free, everything still pending is skipped.
-        if let Some(reason) = trace_health.quarantined.clone() {
-            for &j in &pending {
-                cells[j] = Some(CellOutcome::Quarantined {
-                    reason: reason.clone(),
-                });
-                summary.quarantined += 1;
-            }
-            pending.clear();
-            trace_health.note = "quarantined; pending cells skipped".into();
-        }
-
-        let mut dirty = false;
-        if !pending.is_empty() {
-            let trace_path = corpus.trace_path(entry);
-            let max_attempts = 1 + opts.retry.attempts;
-            let mut attempts_used: u32 = 0;
-            let attempt_outcome = loop {
-                let fault = opts
-                    .chaos
-                    .as_ref()
-                    .and_then(|c| c.fault_for(&entry.name, attempts_used));
-                attempts_used += 1;
-                match attempt_trace(&trace_path, &configs, &pending, opts, fault) {
-                    Ok(result) => break Ok(result),
-                    Err(fail)
-                        if fail.class == FailureClass::Transient
-                            && attempts_used < max_attempts =>
+                match journal.claim_of(&key) {
+                    Some(claim)
+                        if claim.runner != runner_id && runner_alive(&dir, &claim.runner) =>
                     {
-                        let delay = opts.retry.delay_ms(&trace_key, attempts_used - 1);
-                        trace_health.backoffs_ms.push(delay);
-                        summary.retried += 1;
-                        if delay > 0 {
-                            std::thread::sleep(std::time::Duration::from_millis(delay));
+                        state.deferred.push(j);
+                    }
+                    _ => {
+                        journal.claim(&key, &runner_id);
+                        claimed_any = true;
+                        mine.push(j);
+                    }
+                }
+            }
+            if claimed_any {
+                journal.save_with(&journal_path, opts.fs.as_ref())?;
+            }
+        }
+        if state.health.quarantined.is_some() && state.health.note.is_empty() {
+            state.health.note = "quarantined; pending cells skipped".into();
+        }
+
+        if !mine.is_empty() {
+            replay_claimed(
+                corpus,
+                &configs,
+                entry,
+                &mine,
+                opts,
+                &journal_path,
+                fp,
+                &mut summary,
+                &mut state,
+            )?;
+        }
+        states.push(state);
+    }
+
+    // Poll deferred cells until every live peer finished (their results
+    // restore) or died (their claims are taken over and replayed here).
+    loop {
+        let mut waiting = false;
+        for (i, entry) in entries.iter().enumerate() {
+            if states[i].deferred.is_empty() {
+                continue;
+            }
+            let mut mine: Vec<usize> = Vec::new();
+            {
+                let state = &mut states[i];
+                let _lock = CorpusLock::exclusive(&dir)?;
+                let mut journal = Journal::load(&journal_path, fp)?;
+                let mut still: Vec<usize> = Vec::new();
+                let mut claimed_any = false;
+                for &j in &state.deferred {
+                    let key = format!("{}/{}", state.trace_key, configs[j].key);
+                    if let Some(stats) = journal.get(&key) {
+                        summary.restored += 1;
+                        state.cells[j] = Some(restore_cell(stats));
+                        continue;
+                    }
+                    match journal.claim_of(&key) {
+                        Some(claim)
+                            if claim.runner != runner_id && runner_alive(&dir, &claim.runner) =>
+                        {
+                            still.push(j);
+                        }
+                        _ => {
+                            journal.claim(&key, &runner_id);
+                            claimed_any = true;
+                            mine.push(j);
                         }
                     }
-                    Err(fail) => break Err(fail),
                 }
-            };
-            trace_health.attempts = attempts_used;
-
-            match attempt_outcome {
-                Ok(result) => {
-                    trace_health.skipped = result.skipped;
-                    if result.screened {
-                        summary.screened_traces += 1;
-                    }
-                    for (j, outcome) in result.outcomes {
-                        let key = format!("{trace_key}/{}", configs[j].key);
-                        let cell = match outcome {
-                            PendingOutcome::Done(stats) => {
-                                journal.record(&key, &stats);
-                                summary.replayed += 1;
-                                CellOutcome::Done {
-                                    stats,
-                                    restored: false,
-                                }
-                            }
-                            PendingOutcome::Pruned(predicted) => {
-                                journal.record(&key, &pruned_stats(predicted));
-                                summary.pruned += 1;
-                                CellOutcome::Pruned {
-                                    predicted,
-                                    restored: false,
-                                }
-                            }
-                            PendingOutcome::Degraded { estimate, se } => {
-                                journal.record(&key, &degraded_stats(estimate, se));
-                                summary.degraded += 1;
-                                CellOutcome::Degraded {
-                                    estimate,
-                                    se,
-                                    restored: false,
-                                }
-                            }
-                            PendingOutcome::Failed { reason, class } => {
-                                journal.record(&key, &failed_stats(&reason, class));
-                                summary.failed += 1;
-                                CellOutcome::Failed {
-                                    reason,
-                                    class,
-                                    restored: false,
-                                }
-                            }
-                        };
-                        cells[j] = Some(cell);
-                        dirty = true;
-                    }
-                    if result.skipped.any() {
-                        trace_health.note =
-                            format!("accepted with {} skipped blocks", result.skipped.blocks);
-                    }
-                }
-                Err(fail) => {
-                    // The whole attempt failed (and, if transient, its
-                    // retries are exhausted): journal FAILED cells so
-                    // reruns restore them, and quarantine the trace so
-                    // nothing re-replays this content.
-                    let reason = if fail.class == FailureClass::Transient {
-                        format!("{} (after {attempts_used} attempts)", fail.reason)
-                    } else {
-                        fail.reason.clone()
-                    };
-                    for &j in &pending {
-                        journal.record(
-                            &format!("{trace_key}/{}", configs[j].key),
-                            &failed_stats(&reason, fail.class),
-                        );
-                        summary.failed += 1;
-                        cells[j] = Some(CellOutcome::Failed {
-                            reason: reason.clone(),
-                            class: fail.class,
-                            restored: false,
-                        });
-                    }
-                    dirty = !pending.is_empty();
-                    trace_health.quarantined = Some(reason.clone());
-                    trace_health.note = format!("FAILED [{}]: {reason}", fail.class);
-                    if opts.persist_quarantine {
-                        corpus.quarantine(QuarantineEntry {
-                            name: entry.name.clone(),
-                            hash: entry.hash,
-                            reason,
-                            class: fail.class,
-                        })?;
-                    }
+                state.deferred = still;
+                if claimed_any {
+                    journal.save_with(&journal_path, opts.fs.as_ref())?;
                 }
             }
+            if !mine.is_empty() {
+                replay_claimed(
+                    corpus,
+                    &configs,
+                    entry,
+                    &mine,
+                    opts,
+                    &journal_path,
+                    fp,
+                    &mut summary,
+                    &mut states[i],
+                )?;
+            }
+            if !states[i].deferred.is_empty() {
+                waiting = true;
+            }
         }
-        if dirty {
-            journal.save(&journal_path)?;
+        if !waiting {
+            break;
         }
+        std::thread::sleep(std::time::Duration::from_millis(opts.peer_poll_ms.max(1)));
+    }
+
+    let mut rows = Vec::with_capacity(entries.len());
+    let mut health = Vec::with_capacity(entries.len());
+    for (entry, state) in entries.iter().zip(states) {
         rows.push(TraceRow {
             trace: entry.name.clone(),
-            cells: cells
+            cells: state
+                .cells
                 .into_iter()
                 .map(|c| c.expect("every cell resolved"))
                 .collect(),
         });
-        health.push(trace_health);
+        health.push(state.health);
     }
 
     Ok(RunReport {

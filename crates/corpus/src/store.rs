@@ -7,6 +7,8 @@
 //!   corpus.toml        # manifest: one [[trace]] entry per stored trace
 //!   traces/<name>.cact # CACT v3 columnar files, one per trace
 //!   results.journal    # incremental result cells (see crate::run)
+//!   .corpus.lock       # advisory root lock (see crate::lock)
+//!   locks/<id>.lock    # runner liveness leases (see crate::lock)
 //! ```
 //!
 //! [`Corpus::add`] ingests a trace in any sniffable format (text,
@@ -14,9 +16,16 @@
 //! at a time — into the columnar store. The stored file's content hash
 //! becomes part of every result-cell key, so re-adding a trace under
 //! the same name invalidates exactly that trace's row of results.
+//!
+//! Every mutation (trace install, manifest save) runs the crash-atomic
+//! commit protocol from [`cac_trace::io::commitfs`] under the exclusive
+//! [`CorpusLock`], so concurrent runners and
+//! mid-commit crashes leave the store either fully-old or fully-new.
 
+use crate::lock::CorpusLock;
 use crate::manifest::{Manifest, QuarantineEntry, TraceEntry};
 use crate::{content_hash, CorpusError};
+use cac_trace::io::commitfs::{CommitFs, DiskFs};
 use cac_trace::io::{
     read_trace, sniff_format, ColumnarFile, ColumnarTraceReader, ColumnarTraceWriter, TraceFormat,
 };
@@ -141,7 +150,26 @@ impl Corpus {
     /// / [`CorpusError::Trace`] if the source cannot be read or
     /// decoded.
     pub fn add(&mut self, name: &str, source: &Path) -> Result<&TraceEntry, CorpusError> {
+        self.add_with(name, source, &DiskFs)
+    }
+
+    /// [`Corpus::add`] through an explicit [`CommitFs`], so tests can
+    /// inject crash points and disk-full faults into the pool-install
+    /// commit sequence (stream to `<name>.cact.tmp` → `fsync` → rename
+    /// → `fsync` dir → commit manifest). Runs under the exclusive
+    /// corpus lock.
+    ///
+    /// # Errors
+    ///
+    /// As [`Corpus::add`].
+    pub fn add_with(
+        &mut self,
+        name: &str,
+        source: &Path,
+        fs: &dyn CommitFs,
+    ) -> Result<&TraceEntry, CorpusError> {
         validate_name(name)?;
+        let _lock = CorpusLock::exclusive(&self.dir)?;
         let rel = format!("{TRACES_DIR}/{name}.cact");
         let stored = self.dir.join(&rel);
         let tmp = self.dir.join(format!("{TRACES_DIR}/{name}.cact.tmp"));
@@ -151,25 +179,40 @@ impl Corpus {
             })?;
         }
 
-        let out = File::create(&tmp)
-            .map_err(|e| CorpusError::io(format!("creating {}", tmp.display()), e))?;
-        let mut writer = ColumnarTraceWriter::new(BufWriter::new(out))
-            .map_err(|e| CorpusError::io(format!("writing {}", tmp.display()), e))?;
-        let counts = transcode_into(source, &mut writer);
-        let counts = match counts {
+        // Any failure between temp creation and the rename must remove
+        // the temp file — a leaked `.tmp` is exactly the orphan class
+        // `fsck` exists to flag.
+        let install = || -> Result<(u64, u64), CorpusError> {
+            let out = fs
+                .create(&tmp)
+                .map_err(|e| CorpusError::io(format!("creating {}", tmp.display()), e))?;
+            let mut writer = ColumnarTraceWriter::new(BufWriter::new(out))
+                .map_err(|e| CorpusError::io(format!("writing {}", tmp.display()), e))?;
+            let counts = transcode_into(source, &mut writer)?;
+            let buf = writer
+                .finish()
+                .map_err(|e| CorpusError::io(format!("finishing {}", tmp.display()), e))?;
+            let out = buf.into_inner().map_err(|e| {
+                CorpusError::io(format!("flushing {}", tmp.display()), e.into_error())
+            })?;
+            drop(out);
+            fs.sync_file(&tmp)
+                .map_err(|e| CorpusError::io(format!("syncing {}", tmp.display()), e))?;
+            fs.rename(&tmp, &stored)
+                .map_err(|e| CorpusError::io(format!("installing {}", stored.display()), e))?;
+            if let Some(parent) = stored.parent() {
+                fs.sync_dir(parent)
+                    .map_err(|e| CorpusError::io(format!("syncing {}", parent.display()), e))?;
+            }
+            Ok(counts)
+        };
+        let counts = match install() {
             Ok(c) => c,
             Err(e) => {
                 std::fs::remove_file(&tmp).ok();
                 return Err(e);
             }
         };
-        let buf = writer
-            .finish()
-            .map_err(|e| CorpusError::io(format!("finishing {}", tmp.display()), e))?;
-        buf.into_inner()
-            .map_err(|e| CorpusError::io(format!("flushing {}", tmp.display()), e.into_error()))?;
-        std::fs::rename(&tmp, &stored)
-            .map_err(|e| CorpusError::io(format!("installing {}", stored.display()), e))?;
 
         let bytes = std::fs::read(&stored)
             .map_err(|e| CorpusError::io(format!("hashing {}", stored.display()), e))?;
@@ -198,7 +241,7 @@ impl Corpus {
         {
             self.manifest.clear_quarantine(name);
         }
-        self.manifest.save(&self.dir.join(MANIFEST_FILE))?;
+        self.manifest.save_with(&self.dir.join(MANIFEST_FILE), fs)?;
         Ok(self.manifest.get(name).expect("entry just inserted"))
     }
 
@@ -210,25 +253,55 @@ impl Corpus {
 
     /// Records a quarantine for a trace and persists the manifest.
     ///
+    /// Runs as a reload-merge-save transaction under the exclusive
+    /// corpus lock: a peer runner's quarantine records written since
+    /// this corpus was opened are preserved, not clobbered. Callers
+    /// must not already hold the corpus lock (it is not re-entrant).
+    ///
     /// # Errors
     ///
     /// [`CorpusError::Io`] if the manifest cannot be saved.
     pub fn quarantine(&mut self, entry: QuarantineEntry) -> Result<(), CorpusError> {
+        self.quarantine_with(entry, &DiskFs)
+    }
+
+    /// [`Corpus::quarantine`] through an explicit [`CommitFs`].
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the manifest cannot be saved.
+    pub fn quarantine_with(
+        &mut self,
+        entry: QuarantineEntry,
+        fs: &dyn CommitFs,
+    ) -> Result<(), CorpusError> {
+        let _lock = CorpusLock::exclusive(&self.dir)?;
+        let path = self.dir.join(MANIFEST_FILE);
+        if let Ok(disk) = Manifest::load(&path) {
+            self.manifest = disk;
+        }
         self.manifest.set_quarantine(entry);
-        self.manifest.save(&self.dir.join(MANIFEST_FILE))
+        self.manifest.save_with(&path, fs)
     }
 
     /// Drops any quarantine record for `name` and persists the
-    /// manifest. Returns true if a record was removed.
+    /// manifest (a reload-merge-save transaction under the exclusive
+    /// corpus lock, like [`Corpus::quarantine`]). Returns true if a
+    /// record was removed.
     ///
     /// # Errors
     ///
     /// [`CorpusError::Io`] if the manifest cannot be saved.
     pub fn clear_quarantine(&mut self, name: &str) -> Result<bool, CorpusError> {
+        let _lock = CorpusLock::exclusive(&self.dir)?;
+        let path = self.dir.join(MANIFEST_FILE);
+        if let Ok(disk) = Manifest::load(&path) {
+            self.manifest = disk;
+        }
         if !self.manifest.clear_quarantine(name) {
             return Ok(false);
         }
-        self.manifest.save(&self.dir.join(MANIFEST_FILE))?;
+        self.manifest.save(&path)?;
         Ok(true)
     }
 
@@ -394,7 +467,7 @@ fn transcode_into<W: Write>(
     Ok((ops, refs))
 }
 
-fn validate_name(name: &str) -> Result<(), CorpusError> {
+pub(crate) fn validate_name(name: &str) -> Result<(), CorpusError> {
     let ok = !name.is_empty()
         && name.len() <= 64
         && name

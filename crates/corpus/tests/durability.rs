@@ -1,0 +1,546 @@
+//! Durability and multi-runner property tests for the corpus tier.
+//!
+//! Three families:
+//!
+//! * **Crash-point convergence** — every commit sequence (journal save,
+//!   manifest save, a whole `run`) is swept with the fault-injecting
+//!   write layer: for every operation at which the "filesystem" dies,
+//!   the recovered store must be exactly the old state or exactly the
+//!   new state, `fsck --repair` must leave it clean, and a rerun must
+//!   restore surviving cells instead of replaying them.
+//! * **Multi-runner partition** — two concurrent runners over one
+//!   corpus must produce a merged journal byte-identical to a
+//!   single-runner run's, with every cell replayed exactly once.
+//! * **fsck** — every injectable inconsistency kind is found, the
+//!   mechanically-safe subset repairs, and a repaired store audits
+//!   clean.
+
+use cac_corpus::fsck::fsck;
+use cac_corpus::run::{run, RunOptions};
+use cac_corpus::{content_hash, Corpus};
+use cac_sim::journal::{fingerprint, Journal};
+use cac_sim::model::ModelStats;
+use cac_trace::io::commitfs::{FaultFs, FaultPlan};
+use cac_trace::io::write_trace_columnar;
+use cac_trace::TraceOp;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cac-durability-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_config(dir: &Path, name: &str, size: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(
+        &path,
+        format!("name = \"dm-{size}\"\n[cache]\nsize = \"{size}\"\nline = 16\nways = 1\n"),
+    )
+    .unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+/// Builds a corpus at `dir` with `n` deterministic traces, so two
+/// corpora built with the same arguments hash identically.
+fn build_corpus(dir: &Path, n: usize, ops: u64) -> Corpus {
+    let mut corpus = Corpus::init(dir).unwrap();
+    for t in 0..n {
+        let base = 0x1000 + 0x10_0000 * t as u64;
+        let trace: Vec<TraceOp> = (0..ops)
+            .map(|i| TraceOp::load(base + 4 * i, base + (16 * i) % 0x4000, 1, None))
+            .collect();
+        let raw = dir.join(format!("raw-{t}.cact"));
+        let mut buf = Vec::new();
+        write_trace_columnar(&mut buf, trace).unwrap();
+        std::fs::write(&raw, buf).unwrap();
+        corpus.add(&format!("t{t}"), &raw).unwrap();
+        std::fs::remove_file(&raw).unwrap();
+    }
+    corpus
+}
+
+/// The canonical byte rendering of a journal's logical state.
+fn rendered(journal: &Journal, scratch: &Path) -> Vec<u8> {
+    journal.save(scratch).unwrap();
+    let bytes = std::fs::read(scratch).unwrap();
+    std::fs::remove_file(scratch).ok();
+    bytes
+}
+
+fn fault_arc(plan: FaultPlan) -> (Arc<FaultFs>, Arc<FaultFs>) {
+    let fs = Arc::new(FaultFs::new(plan));
+    (fs.clone(), fs)
+}
+
+// ---------------------------------------------------------------------
+// Crash-point convergence: direct commit sequences.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Journal saves are all-or-nothing at every crash point: reload
+    /// after the crash yields exactly the old or exactly the new
+    /// logical state, never a splice or a torn file.
+    #[test]
+    fn journal_commits_are_crash_atomic(seed in 1u64..5_000, cells in 1usize..5) {
+        let dir = tmp_dir(&format!("jcrash-{seed}-{cells}"));
+        let path = dir.join("results.journal");
+        let fp = fingerprint(&["crash-prop"]);
+
+        let mut old = Journal::new(fp);
+        for i in 0..cells {
+            old.record(&format!("t{i}@{seed:016x}/cfg@{i:016x}"), &ModelStats::default());
+        }
+        old.save(&path).unwrap();
+        let old_bytes = rendered(&old, &dir.join("old.scratch"));
+
+        let mut new = old.clone();
+        new.record(&format!("added@{seed:016x}/cfg@ffff000000000000"), &ModelStats::default());
+        new.claim(&format!("t0@{seed:016x}/claimed@0000000000000001"), "prop-runner");
+        let new_bytes = rendered(&new, &dir.join("new.scratch"));
+
+        // Learn the sequence length from a crash-free faulted save.
+        let probe = FaultFs::new(FaultPlan { seed, ..FaultPlan::default() });
+        new.save_with(&path, &probe).unwrap();
+        let total = probe.ops();
+        prop_assert!(total >= 4, "commit is create+sync+rename+syncdir");
+
+        for crash_at in 0..total {
+            // Reset to the old committed state.
+            std::fs::write(&path, &old_bytes).unwrap();
+            let fs = FaultFs::new(FaultPlan {
+                seed: seed ^ crash_at,
+                crash_after_ops: Some(crash_at),
+                ..FaultPlan::default()
+            });
+            let err = new.save_with(&path, &fs);
+            prop_assert!(err.is_err(), "crash at op {crash_at} must surface");
+            prop_assert!(fs.crashed());
+
+            let back = Journal::load(&path, fp).unwrap();
+            let got = rendered(&back, &dir.join("got.scratch"));
+            prop_assert!(
+                got == old_bytes || got == new_bytes,
+                "crash at op {crash_at} left a spliced journal"
+            );
+            prop_assert!(
+                !path.with_extension("journal.tmp").exists(),
+                "load must sweep the orphaned temp file"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Manifest saves (the quarantine read-modify-write path) are
+    /// equally all-or-nothing.
+    #[test]
+    fn manifest_commits_are_crash_atomic(seed in 1u64..5_000) {
+        use cac_corpus::manifest::{Manifest, QuarantineEntry};
+        use cac_trace::io::FailureClass;
+
+        let dir = tmp_dir(&format!("mcrash-{seed}"));
+        let path = dir.join("corpus.toml");
+        let old = Manifest::default();
+        old.save(&path).unwrap();
+
+        let mut new = old.clone();
+        new.set_quarantine(QuarantineEntry {
+            name: "t0".into(),
+            hash: seed,
+            reason: "prop".into(),
+            class: FailureClass::Transient,
+        });
+
+        let probe = FaultFs::new(FaultPlan { seed, ..FaultPlan::default() });
+        new.save_with(&path, &probe).unwrap();
+        let total = probe.ops();
+
+        for crash_at in 0..total {
+            old.save(&path).unwrap();
+            let fs = FaultFs::new(FaultPlan {
+                seed: seed ^ crash_at,
+                crash_after_ops: Some(crash_at),
+                ..FaultPlan::default()
+            });
+            prop_assert!(new.save_with(&path, &fs).is_err());
+            let back = Manifest::load(&path).unwrap();
+            prop_assert!(
+                back == old || back == new,
+                "crash at op {crash_at} left a spliced manifest"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash-point convergence: a whole `run`, then fsck, then rerun.
+// ---------------------------------------------------------------------
+
+/// Sweeps an injected crash over every write-layer operation of a cold
+/// `run`: the wreck must always fsck clean after `--repair`, and a
+/// plain rerun must converge to the byte-identical reference journal
+/// while replaying only the cells the crash actually lost.
+#[test]
+fn run_crash_sweep_fsck_repairs_and_rerun_converges() {
+    let cfg_dir = tmp_dir("runcrash-cfg");
+    let configs = vec![
+        write_config(&cfg_dir, "small.toml", "1KiB"),
+        write_config(&cfg_dir, "large.toml", "16KiB"),
+    ];
+
+    // Reference: one clean run.
+    let ref_dir = tmp_dir("runcrash-ref");
+    let mut reference = build_corpus(&ref_dir, 1, 2_000);
+    let ref_report = run(&mut reference, &configs, &RunOptions::default()).unwrap();
+    assert_eq!(ref_report.summary.replayed, 2);
+    let ref_bytes = std::fs::read(ref_dir.join("results.journal")).unwrap();
+
+    // Learn the run's write-op count from a crash-free faulted run.
+    let probe_dir = tmp_dir("runcrash-probe");
+    let mut probe_corpus = build_corpus(&probe_dir, 1, 2_000);
+    let (probe, handle) = fault_arc(FaultPlan::default());
+    let opts = RunOptions {
+        fs: probe,
+        ..RunOptions::default()
+    };
+    run(&mut probe_corpus, &configs, &opts).unwrap();
+    let total = handle.ops();
+    assert!(total >= 8, "expected at least two commit sequences");
+    assert_eq!(
+        std::fs::read(probe_dir.join("results.journal")).unwrap(),
+        ref_bytes,
+        "a crash-free faulted run writes the reference journal"
+    );
+    std::fs::remove_dir_all(&probe_dir).ok();
+
+    for crash_at in 0..total {
+        let dir = tmp_dir(&format!("runcrash-{crash_at}"));
+        let mut corpus = build_corpus(&dir, 1, 2_000);
+        let (fs, handle) = fault_arc(FaultPlan {
+            seed: 0xD00D ^ crash_at,
+            crash_after_ops: Some(crash_at),
+            ..FaultPlan::default()
+        });
+        let opts = RunOptions {
+            fs,
+            ..RunOptions::default()
+        };
+        let res = run(&mut corpus, &configs, &opts);
+        assert!(res.is_err(), "crash at op {crash_at} must abort the run");
+        assert!(handle.crashed());
+
+        // The wreck repairs clean…
+        let repair = fsck(&dir, true).unwrap();
+        assert_eq!(
+            repair.unrepaired(),
+            0,
+            "crash at op {crash_at} left unrepairable problems: {:?}",
+            repair.problems
+        );
+        assert!(fsck(&dir, false).unwrap().is_clean());
+
+        // …and a plain rerun converges to the reference, restoring
+        // whatever the crashed run already committed.
+        let rerun = run(&mut corpus, &configs, &RunOptions::default()).unwrap();
+        assert_eq!(
+            rerun.summary.replayed + rerun.summary.restored,
+            2,
+            "crash at op {crash_at}"
+        );
+        assert_eq!(
+            std::fs::read(dir.join("results.journal")).unwrap(),
+            ref_bytes,
+            "crash at op {crash_at} did not converge"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&cfg_dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Multi-runner partition.
+// ---------------------------------------------------------------------
+
+/// Two concurrent runners split the grid: every cell replays exactly
+/// once somewhere, both reports resolve every cell, and the merged
+/// journal is byte-identical to a single-runner run's.
+#[test]
+fn concurrent_runners_merge_to_the_single_runner_journal() {
+    let cfg_dir = tmp_dir("pair-cfg");
+    let configs = vec![
+        write_config(&cfg_dir, "small.toml", "1KiB"),
+        write_config(&cfg_dir, "large.toml", "16KiB"),
+    ];
+
+    let solo_dir = tmp_dir("pair-solo");
+    let mut solo = build_corpus(&solo_dir, 3, 2_000);
+    let solo_report = run(&mut solo, &configs, &RunOptions::default()).unwrap();
+    assert_eq!(solo_report.summary.replayed, 6);
+    let solo_bytes = std::fs::read(solo_dir.join("results.journal")).unwrap();
+
+    let dir = tmp_dir("pair-dual");
+    build_corpus(&dir, 3, 2_000);
+    let worker = |id: &str| {
+        let id = id.to_owned();
+        let dir = dir.clone();
+        let configs = configs.clone();
+        std::thread::spawn(move || {
+            let mut corpus = Corpus::open(&dir).unwrap();
+            let opts = RunOptions {
+                runner: Some(id),
+                peer_poll_ms: 2,
+                ..RunOptions::default()
+            };
+            run(&mut corpus, &configs, &opts).unwrap()
+        })
+    };
+    let (a, b) = (worker("r1"), worker("r2"));
+    let (ra, rb) = (a.join().unwrap(), b.join().unwrap());
+
+    // Zero duplicated replays; every cell resolved in both reports.
+    assert_eq!(
+        ra.summary.replayed + rb.summary.replayed,
+        6,
+        "cells replayed twice (or lost): {:?} / {:?}",
+        ra.summary,
+        rb.summary
+    );
+    assert_eq!(ra.summary.restored + rb.summary.restored, 6);
+    for report in [&ra, &rb] {
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.rows.iter().all(|r| r.cells.len() == 2));
+    }
+
+    // The merged journal is exactly the single-runner journal, and no
+    // claims survive a completed fleet.
+    assert_eq!(
+        std::fs::read(dir.join("results.journal")).unwrap(),
+        solo_bytes
+    );
+    let scan = Journal::scan(&dir.join("results.journal")).unwrap();
+    assert_eq!(scan.claims, 0);
+
+    // A third runner restores everything and replays nothing.
+    let mut again = Corpus::open(&dir).unwrap();
+    let rerun = run(&mut again, &configs, &RunOptions::default()).unwrap();
+    assert_eq!(rerun.summary.replayed, 0);
+    assert_eq!(rerun.summary.restored, 6);
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&solo_dir).ok();
+    std::fs::remove_dir_all(&cfg_dir).ok();
+}
+
+/// A claim whose owner died (its lease lock is released) is taken over
+/// and replayed by the next runner instead of waiting forever.
+#[test]
+fn dead_runner_claims_are_taken_over() {
+    let cfg_dir = tmp_dir("ghost-cfg");
+    let configs = vec![write_config(&cfg_dir, "small.toml", "1KiB")];
+    let dir = tmp_dir("ghost");
+    let mut corpus = build_corpus(&dir, 1, 1_000);
+
+    // Manufacture a claim by a runner that never held (or has
+    // released) its lease — a crashed peer.
+    let entry = corpus.entries()[0].clone();
+    let cfg_text = std::fs::read_to_string(&configs[0]).unwrap();
+    let key = format!(
+        "{}@{:016x}/{}@{:016x}",
+        entry.name,
+        entry.hash,
+        configs[0],
+        content_hash(cfg_text.as_bytes())
+    );
+    let fp = fingerprint(&["cac corpus run", "prune=none"]);
+    let journal_path = dir.join("results.journal");
+    let mut journal = Journal::load(&journal_path, fp).unwrap();
+    journal.claim(&key, "ghost");
+    journal.save(&journal_path).unwrap();
+
+    // fsck sees the stale claim; the runner takes it over regardless.
+    let audit = fsck(&dir, false).unwrap();
+    assert!(audit.problems.iter().any(|p| p.kind == "stale-claim"));
+
+    let report = run(&mut corpus, &configs, &RunOptions::default()).unwrap();
+    assert_eq!(report.summary.replayed, 1, "takeover must replay the cell");
+    let reloaded = Journal::load(&journal_path, fp).unwrap();
+    assert!(reloaded.claim_of(&key).is_none(), "claim drained");
+    assert!(reloaded.get(&key).is_some(), "cell recorded");
+    // Generation advanced past the ghost's.
+    assert!(fsck(&dir, false).unwrap().is_clean());
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&cfg_dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// fsck problem matrix.
+// ---------------------------------------------------------------------
+
+/// Every injectable inconsistency is found, named, and — where
+/// mechanically safe — repaired, after which the store audits clean.
+#[test]
+fn fsck_finds_and_repairs_injected_inconsistencies() {
+    let cfg_dir = tmp_dir("fsck-cfg");
+    let configs = vec![write_config(&cfg_dir, "small.toml", "1KiB")];
+    let dir = tmp_dir("fsck");
+    let mut corpus = build_corpus(&dir, 1, 1_000);
+    run(&mut corpus, &configs, &RunOptions::default()).unwrap();
+    assert!(fsck(&dir, false).unwrap().is_clean(), "healthy store");
+
+    // Inject the whole mess.
+    std::fs::write(dir.join("corpus.toml.tmp"), b"half a manifest").unwrap();
+    std::fs::write(dir.join("traces/t9.cact.tmp"), b"half a trace").unwrap();
+    std::fs::write(dir.join("traces/stray.cact"), b"nobody references me").unwrap();
+    let fp = fingerprint(&["cac corpus run", "prune=none"]);
+    let journal_path = dir.join("results.journal");
+    let mut journal = Journal::load(&journal_path, fp).unwrap();
+    journal.record(
+        "ghost@0123456789abcdef/cfg.toml@0011223344556677",
+        &ModelStats::default(),
+    );
+    journal.claim(
+        "ghost@0123456789abcdef/other.toml@8899aabbccddeeff",
+        "ghost",
+    );
+    journal.save(&journal_path).unwrap();
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .unwrap();
+        writeln!(f, "cell torn-beyond-recognition").unwrap();
+    }
+    // Duplicate [[quarantine]] records, as concurrent retried writers
+    // could once produce.
+    let entry_hash = corpus.entries()[0].hash;
+    let dup = format!(
+        "\n[[quarantine]]\nname = \"t0\"\nhash = \"{entry_hash:016x}\"\nreason = \"dup a\"\n\
+         class = \"transient\"\n\n[[quarantine]]\nname = \"t0\"\nhash = \"{entry_hash:016x}\"\n\
+         reason = \"dup b\"\nclass = \"transient\"\n"
+    );
+    let manifest_path = dir.join("corpus.toml");
+    let mut text = std::fs::read_to_string(&manifest_path).unwrap();
+    text.push_str(&dup);
+    std::fs::write(&manifest_path, text).unwrap();
+
+    let audit = fsck(&dir, false).unwrap();
+    let kinds: Vec<&str> = audit.problems.iter().map(|p| p.kind).collect();
+    for expect in [
+        "orphan-tmp",
+        "unmanifested-file",
+        "stale-cell",
+        "stale-claim",
+        "torn-journal",
+        "duplicate-quarantine",
+    ] {
+        assert!(kinds.contains(&expect), "missing {expect} in {kinds:?}");
+    }
+    assert_eq!(
+        kinds.iter().filter(|k| **k == "orphan-tmp").count(),
+        2,
+        "both temp files flagged"
+    );
+    assert_eq!(
+        audit.unrepaired(),
+        audit.problems.len(),
+        "audit-only mode repairs nothing"
+    );
+
+    let repair = fsck(&dir, true).unwrap();
+    assert_eq!(
+        repair.unrepaired(),
+        0,
+        "everything injected is mechanically repairable: {:?}",
+        repair.problems
+    );
+    assert!(fsck(&dir, false).unwrap().is_clean());
+
+    // The repair kept the real state: rerun restores the healthy cell.
+    let mut corpus = Corpus::open(&dir).unwrap();
+    let report = run(&mut corpus, &configs, &RunOptions::default()).unwrap();
+    assert_eq!(report.summary.replayed, 0);
+    assert_eq!(report.summary.restored, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&cfg_dir).ok();
+}
+
+/// Unrepairable damage — a pool file deleted or tampered behind the
+/// manifest's back — is reported, never "repaired" away.
+#[test]
+fn fsck_reports_but_never_repairs_lost_trace_content() {
+    let dir = tmp_dir("fsck-lost");
+    let corpus = build_corpus(&dir, 2, 1_000);
+    let path0 = corpus.trace_path(&corpus.entries()[0]);
+    let path1 = corpus.trace_path(&corpus.entries()[1]);
+    std::fs::remove_file(&path0).unwrap();
+    let mut bytes = std::fs::read(&path1).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path1, bytes).unwrap();
+
+    let audit = fsck(&dir, true).unwrap();
+    let kinds: Vec<&str> = audit.problems.iter().map(|p| p.kind).collect();
+    assert!(kinds.contains(&"missing-trace-file"), "{kinds:?}");
+    assert!(kinds.contains(&"trace-content"), "{kinds:?}");
+    assert_eq!(audit.unrepaired(), 2, "lost content cannot be repaired");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// fsck refuses directories that are not a corpus, so the CLI can map
+/// the condition to its own exit code.
+#[test]
+fn fsck_refuses_non_corpus_directories() {
+    let dir = tmp_dir("fsck-notacorpus");
+    let err = fsck(&dir, false).unwrap_err().to_string();
+    assert!(err.contains("not a corpus"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// ENOSPC during ingest.
+// ---------------------------------------------------------------------
+
+/// A disk-full failure mid-`add` leaves the store exactly as it was:
+/// no manifest change, no stray temp file, fsck clean.
+#[test]
+fn enospc_during_add_leaves_a_clean_store() {
+    let dir = tmp_dir("enospc");
+    let mut corpus = build_corpus(&dir, 1, 1_000);
+    let trace: Vec<TraceOp> = (0..4_000u64)
+        .map(|i| TraceOp::load(0x7000 + 4 * i, 8 * i, 1, None))
+        .collect();
+    let raw = dir.join("big.cact");
+    let mut buf = Vec::new();
+    write_trace_columnar(&mut buf, trace).unwrap();
+    std::fs::write(&raw, buf).unwrap();
+
+    let fs = FaultFs::new(FaultPlan {
+        seed: 7,
+        enospc_after_bytes: Some(256),
+        ..FaultPlan::default()
+    });
+    let err = corpus.add_with("big", &raw, &fs).unwrap_err().to_string();
+    assert!(
+        err.to_lowercase().contains("storage") || err.contains("big"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(corpus.entries().len(), 1, "manifest untouched");
+    assert!(Corpus::open(&dir).unwrap().manifest().get("big").is_none());
+    let audit = fsck(&dir, false).unwrap();
+    assert!(
+        audit.is_clean(),
+        "failed add must clean up after itself: {:?}",
+        audit.problems
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

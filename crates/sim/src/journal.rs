@@ -13,9 +13,24 @@
 //! * **Checksummed lines.** Every cell line carries an FNV-64 checksum
 //!   of its content; a torn final line (the typical crash artifact) is
 //!   skipped on load instead of poisoning the journal.
-//! * **Atomic save.** [`Journal::save`] writes a temp file next to the
-//!   target and `rename`s it into place, so a crash mid-save leaves
-//!   the previous journal intact.
+//! * **Crash-atomic save.** [`Journal::save`] runs the full commit
+//!   protocol from [`cac_trace::io::commitfs`]: write a sibling temp
+//!   file, `fsync` it, `rename` it over the target, `fsync` the parent
+//!   directory. A crash at any step leaves the previous journal intact
+//!   (at worst plus an orphaned `*.journal.tmp`, which [`Journal::load`]
+//!   sweeps on open). [`Journal::save_with`] takes an explicit
+//!   [`CommitFs`] so tests can inject crash points and disk-full faults
+//!   into the sequence.
+//! * **Canonical output.** Cells are written sorted by key, so any two
+//!   journals holding the same cells are byte-identical — N runners
+//!   partitioning a grid merge into exactly the file one runner would
+//!   have written.
+//! * **Cell leases.** A runner that is *about to* compute a cell can
+//!   [`Journal::claim`] it: a `claim <key> <runner> <generation>` line
+//!   that peer runners honour while the claimant is alive and take over
+//!   (bumping the generation) once it is not. Claims vanish when the
+//!   cell is [`Journal::record`]ed. Old readers skip claim lines — the
+//!   format stays `v1`.
 //! * **Fingerprint binding.** The header fingerprint hashes the
 //!   workload identity (trace path + size, or synthetic bench + ops +
 //!   seed). [`Journal::load`] refuses a journal whose fingerprint does
@@ -51,6 +66,7 @@
 use crate::model::{ComponentStats, ModelStats};
 use crate::stats::CacheStats;
 use cac_core::Error;
+use cac_trace::io::commitfs::{CommitFs, DiskFs};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -199,14 +215,40 @@ fn decode_stats(payload: &str) -> Option<ModelStats> {
     })
 }
 
+/// A lease on a not-yet-computed cell: which runner promised to
+/// compute it, and how many times the promise has changed hands (each
+/// stale-lease takeover bumps the generation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// The runner id that holds the lease.
+    pub runner: String,
+    /// Monotonic ownership generation, starting at 1.
+    pub generation: u64,
+}
+
+/// Summary of a journal file's raw line inventory, as read by
+/// [`Journal::scan`] without fingerprint authentication — the
+/// consistency-checker's view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalScan {
+    /// The fingerprint stored in the header.
+    pub fingerprint: u64,
+    /// Valid `cell` lines (raw count; duplicates count each time).
+    pub cells: usize,
+    /// Valid `claim` lines.
+    pub claims: usize,
+    /// Non-empty lines that parse as neither — torn tails and corrupt
+    /// records.
+    pub torn: usize,
+}
+
 /// A per-(workload, config) result store with crash-safe persistence.
 /// See the [module docs](self) for format and guarantees.
 #[derive(Debug, Clone)]
 pub struct Journal {
     fingerprint: u64,
-    /// Insertion-ordered keys (latest record of a key wins on load).
-    order: Vec<String>,
     cells: HashMap<String, ModelStats>,
+    claims: HashMap<String, Claim>,
 }
 
 impl Journal {
@@ -215,8 +257,8 @@ impl Journal {
     pub fn new(fingerprint: u64) -> Self {
         Journal {
             fingerprint,
-            order: Vec::new(),
             cells: HashMap::new(),
+            claims: HashMap::new(),
         }
     }
 
@@ -240,17 +282,65 @@ impl Journal {
         self.cells.get(key)
     }
 
-    /// Records (or overwrites) a completed cell.
+    /// All completed cell keys, in arbitrary order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.cells.keys().map(String::as_str)
+    }
+
+    /// Records (or overwrites) a completed cell. Any outstanding claim
+    /// on the key is fulfilled and dropped.
     pub fn record(&mut self, key: &str, stats: &ModelStats) {
-        if !self.cells.contains_key(key) {
-            self.order.push(key.to_owned());
-        }
+        self.claims.remove(key);
         self.cells.insert(key.to_owned(), stats.clone());
+    }
+
+    /// Forgets a completed cell (the consistency checker uses this to
+    /// drop cells keyed to traces no longer in the corpus). Returns
+    /// whether the cell existed.
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.cells.remove(key).is_some()
+    }
+
+    /// Leases `key` to `runner`, superseding any previous claim, and
+    /// returns the new generation (1 for a fresh claim, previous+1 for
+    /// a takeover).
+    pub fn claim(&mut self, key: &str, runner: &str) -> u64 {
+        let generation = self.claims.get(key).map_or(0, |c| c.generation) + 1;
+        self.claims.insert(
+            key.to_owned(),
+            Claim {
+                runner: runner.to_owned(),
+                generation,
+            },
+        );
+        generation
+    }
+
+    /// The outstanding claim on `key`, if any.
+    pub fn claim_of(&self, key: &str) -> Option<&Claim> {
+        self.claims.get(key)
+    }
+
+    /// Drops the claim on `key` without recording a cell (a runner
+    /// giving up, or the consistency checker clearing a stale lease).
+    /// Returns whether a claim existed.
+    pub fn release_claim(&mut self, key: &str) -> bool {
+        self.claims.remove(key).is_some()
+    }
+
+    /// All outstanding claims, in arbitrary order.
+    pub fn claims(&self) -> impl Iterator<Item = (&str, &Claim)> {
+        self.claims.iter().map(|(k, c)| (k.as_str(), c))
     }
 
     /// Loads a journal, verifying its fingerprint against the workload
     /// about to run. A missing file is an empty journal (first run);
     /// checksum-corrupt cell lines (torn writes) are skipped silently.
+    ///
+    /// Opening also sweeps the save protocol's crash artifact: an
+    /// orphaned `<path>.tmp` left by a process that died between
+    /// writing the temp file and renaming it is removed, since its
+    /// content was never committed.
     ///
     /// # Errors
     ///
@@ -258,6 +348,10 @@ impl Journal {
     /// an unsupported version, or — the important guard — was recorded
     /// for a *different* workload (fingerprint mismatch).
     pub fn load(path: &Path, fingerprint: u64) -> Result<Journal, Error> {
+        let orphan = path.with_extension("journal.tmp");
+        if orphan.exists() {
+            std::fs::remove_file(&orphan).ok();
+        }
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -305,53 +399,170 @@ impl Journal {
         }
         let mut journal = Journal::new(fingerprint);
         for line in lines {
-            // `cell <key> <payload> <crc>` — anything that does not
-            // parse and verify is a torn/corrupt line: skip it.
-            let Some(rest) = line.strip_prefix("cell ") else {
-                continue;
-            };
-            let mut fields = rest.rsplitn(2, ' ');
-            let (Some(crc), Some(body)) = (fields.next(), fields.next()) else {
-                continue;
-            };
-            if u64::from_str_radix(crc, 16) != Ok(fnv64(body)) {
-                continue;
+            // `cell <key> <payload> <crc>` / `claim <key> <runner>
+            // <gen> <crc>` — anything that does not parse and verify
+            // is a torn/corrupt (or future-format) line: skip it.
+            if let Some(rest) = line.strip_prefix("cell ") {
+                let Some(body) = checked_body(rest) else {
+                    continue;
+                };
+                let Some((key, payload)) = body.split_once(' ') else {
+                    continue;
+                };
+                let (Some(key), Some(stats)) = (decode_key(key), decode_stats(payload)) else {
+                    continue;
+                };
+                journal.record(&key, &stats);
+            } else if let Some(rest) = line.strip_prefix("claim ") {
+                let Some(body) = checked_body(rest) else {
+                    continue;
+                };
+                let mut fields = body.split(' ');
+                let (Some(key), Some(runner), Some(gen), None) =
+                    (fields.next(), fields.next(), fields.next(), fields.next())
+                else {
+                    continue;
+                };
+                let (Some(key), Some(runner), Ok(generation)) =
+                    (decode_key(key), decode_key(runner), gen.parse::<u64>())
+                else {
+                    continue;
+                };
+                journal.claims.insert(key, Claim { runner, generation });
             }
-            let Some((key, payload)) = body.split_once(' ') else {
-                continue;
-            };
-            let (Some(key), Some(stats)) = (decode_key(key), decode_stats(payload)) else {
-                continue;
-            };
-            journal.record(&key, &stats);
+        }
+        // A claim fulfilled later in the file (or in a merged past) is
+        // no longer outstanding.
+        let fulfilled: Vec<String> = journal
+            .claims
+            .keys()
+            .filter(|k| journal.cells.contains_key(*k))
+            .cloned()
+            .collect();
+        for key in fulfilled {
+            journal.claims.remove(&key);
         }
         Ok(journal)
     }
 
-    /// Persists the journal atomically: the content is written to a
-    /// sibling temp file and renamed over `path`, so a crash mid-save
-    /// cannot leave a half-written journal.
+    /// Inventories a journal file's lines without authenticating its
+    /// fingerprint — the consistency checker's read: how many valid
+    /// cells and claims it holds and how many torn/corrupt lines a
+    /// rewrite would shed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the file cannot be read or its header is
+    /// not a supported journal header.
+    pub fn scan(path: &Path) -> Result<JournalScan, Error> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            Error::config(format!("cannot read checkpoint {}: {e}", path.display()))
+        })?;
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let mut fields = header.split(' ');
+        if fields.next() != Some(JOURNAL_MAGIC) {
+            return Err(Error::config(format!(
+                "{} is not a checkpoint journal (bad header)",
+                path.display()
+            )));
+        }
+        let version = fields.next().unwrap_or("");
+        if version != JOURNAL_VERSION {
+            return Err(Error::config(format!(
+                "checkpoint {} has unsupported version {version:?} (supported: {JOURNAL_VERSION})",
+                path.display()
+            )));
+        }
+        let fingerprint = fields
+            .next()
+            .and_then(|f| u64::from_str_radix(f, 16).ok())
+            .ok_or_else(|| {
+                Error::config(format!(
+                    "checkpoint {} has a malformed fingerprint field",
+                    path.display()
+                ))
+            })?;
+        let mut scan = JournalScan {
+            fingerprint,
+            ..JournalScan::default()
+        };
+        for line in lines.filter(|l| !l.trim().is_empty()) {
+            let ok = if let Some(rest) = line.strip_prefix("cell ") {
+                checked_body(rest)
+                    .and_then(|b| b.split_once(' '))
+                    .and_then(|(k, p)| decode_key(k).and(decode_stats(p)))
+                    .is_some()
+                    .then(|| scan.cells += 1)
+            } else if let Some(rest) = line.strip_prefix("claim ") {
+                checked_body(rest).map(|_| scan.claims += 1)
+            } else {
+                None
+            };
+            if ok.is_none() {
+                scan.torn += 1;
+            }
+        }
+        Ok(scan)
+    }
+
+    /// Persists the journal crash-atomically via [`DiskFs`]: temp file,
+    /// `fsync`, rename, directory `fsync` — a crash at any step leaves
+    /// either the previous journal or this one, never a mix.
     ///
     /// # Errors
     ///
     /// [`Error::Config`] carrying the underlying I/O failure.
     pub fn save(&self, path: &Path) -> Result<(), Error> {
+        self.save_with(path, &DiskFs)
+    }
+
+    /// [`Journal::save`] through an explicit [`CommitFs`], so tests can
+    /// inject crash points and disk-full faults into the commit
+    /// sequence.
+    ///
+    /// Output is canonical: cells sorted by key, then claims sorted by
+    /// key — two journals holding the same results are byte-identical
+    /// regardless of which runner(s) wrote them.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] carrying the underlying I/O failure.
+    pub fn save_with(&self, path: &Path, fs: &dyn CommitFs) -> Result<(), Error> {
         let mut out = format!(
             "{JOURNAL_MAGIC} {JOURNAL_VERSION} {:016x}\n",
             self.fingerprint
         );
-        for key in &self.order {
-            let stats = &self.cells[key];
-            let body = format!("{} {}", encode_key(key), encode_stats(stats));
+        let mut keys: Vec<&String> = self.cells.keys().collect();
+        keys.sort();
+        for key in keys {
+            let body = format!("{} {}", encode_key(key), encode_stats(&self.cells[key]));
             let _ = writeln!(out, "cell {body} {:016x}", fnv64(&body));
         }
-        let io_err = |what: &str, e: std::io::Error| {
-            Error::config(format!("cannot {what} checkpoint {}: {e}", path.display()))
-        };
+        let mut claimed: Vec<&String> = self.claims.keys().collect();
+        claimed.sort();
+        for key in claimed {
+            let c = &self.claims[key];
+            let body = format!(
+                "{} {} {}",
+                encode_key(key),
+                encode_key(&c.runner),
+                c.generation
+            );
+            let _ = writeln!(out, "claim {body} {:016x}", fnv64(&body));
+        }
         let tmp = path.with_extension("journal.tmp");
-        std::fs::write(&tmp, &out).map_err(|e| io_err("write", e))?;
-        std::fs::rename(&tmp, path).map_err(|e| io_err("commit", e))
+        fs.commit_bytes(path, &tmp, out.as_bytes())
+            .map_err(|e| Error::config(format!("cannot commit checkpoint {}: {e}", path.display())))
     }
+}
+
+/// Validates a journal line's trailing checksum and returns the body it
+/// covers.
+fn checked_body(rest: &str) -> Option<&str> {
+    let mut fields = rest.rsplitn(2, ' ');
+    let (crc, body) = (fields.next()?, fields.next()?);
+    (u64::from_str_radix(crc, 16) == Ok(fnv64(body))).then_some(body)
 }
 
 #[cfg(test)]
@@ -485,6 +696,157 @@ mod tests {
         j.save(&path).unwrap();
         let back = Journal::load(&path, 3).unwrap();
         assert_eq!(back.len(), 2);
+        assert!(!path.with_extension("journal.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_sweeps_orphaned_temp_files() {
+        let dir = temp_dir("orphan");
+        let path = dir.join("results.journal");
+        let mut j = Journal::new(11);
+        j.record("a", &sample_stats(1));
+        j.save(&path).unwrap();
+        // A process that died between write and rename leaves this.
+        let orphan = path.with_extension("journal.tmp");
+        std::fs::write(&orphan, "CACJ v1 000000000000000b\ncell half-writ").unwrap();
+
+        let back = Journal::load(&path, 11).unwrap();
+        assert_eq!(back.len(), 1, "committed journal is untouched");
+        assert!(!orphan.exists(), "orphaned temp file swept on open");
+
+        // Even a first run (no journal yet) sweeps the orphan.
+        std::fs::remove_file(&path).unwrap();
+        std::fs::write(&orphan, "junk").unwrap();
+        assert!(Journal::load(&path, 11).unwrap().is_empty());
+        assert!(!orphan.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn saves_are_canonical_regardless_of_insertion_order() {
+        let dir = temp_dir("canon");
+        let (pa, pb) = (dir.join("a"), dir.join("b"));
+        let mut fwd = Journal::new(4);
+        fwd.record("alpha", &sample_stats(1));
+        fwd.record("beta", &sample_stats(2));
+        let mut rev = Journal::new(4);
+        rev.record("beta", &sample_stats(2));
+        rev.record("alpha", &sample_stats(1));
+        fwd.save(&pa).unwrap();
+        rev.save(&pb).unwrap();
+        assert_eq!(
+            std::fs::read(&pa).unwrap(),
+            std::fs::read(&pb).unwrap(),
+            "same cells => byte-identical file"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn claims_round_trip_and_are_fulfilled_by_record() {
+        let dir = temp_dir("claims");
+        let path = dir.join("j");
+        let mut j = Journal::new(9);
+        assert_eq!(j.claim("cell key", "runner one"), 1);
+        assert_eq!(j.claim("other", "runner-2"), 1);
+        assert_eq!(j.claim("other", "runner-3"), 2, "takeover bumps gen");
+        j.record("done", &sample_stats(5));
+        j.save(&path).unwrap();
+
+        let back = Journal::load(&path, 9).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(
+            back.claim_of("cell key"),
+            Some(&Claim {
+                runner: "runner one".into(),
+                generation: 1
+            })
+        );
+        assert_eq!(back.claim_of("other").unwrap().generation, 2);
+        assert_eq!(back.claims().count(), 2);
+
+        // Recording the cell fulfils (drops) the claim, durably.
+        let mut back = back;
+        back.record("cell key", &sample_stats(6));
+        assert!(back.claim_of("cell key").is_none());
+        back.save(&path).unwrap();
+        let mut final_ = Journal::load(&path, 9).unwrap();
+        assert!(final_.claim_of("cell key").is_none());
+        assert!(final_.get("cell key").is_some());
+        assert!(final_.release_claim("other"));
+        assert!(!final_.release_claim("other2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn old_loaders_skip_claim_lines() {
+        // Claim lines must not break the v1 cell parser: a journal with
+        // only claims loads as empty cells under the same version.
+        let dir = temp_dir("skippable");
+        let path = dir.join("j");
+        let mut j = Journal::new(2);
+        j.claim("k", "r");
+        j.record("c", &sample_stats(1));
+        j.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("CACJ v1 "), "format version unchanged");
+        assert!(text.lines().any(|l| l.starts_with("claim ")));
+        // A reader that only understands `cell ` lines sees the cell.
+        let cells = text.lines().filter(|l| l.starts_with("cell ")).count();
+        assert_eq!(cells, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_inventories_without_fingerprint_auth() {
+        let dir = temp_dir("scan");
+        let path = dir.join("j");
+        let mut j = Journal::new(0xFEED);
+        j.record("a", &sample_stats(1));
+        j.record("b", &sample_stats(2));
+        j.claim("c", "r1");
+        j.save(&path).unwrap();
+        let scan = Journal::scan(&path).unwrap();
+        assert_eq!(scan.fingerprint, 0xFEED);
+        assert_eq!(scan.cells, 2);
+        assert_eq!(scan.claims, 1);
+        assert_eq!(scan.torn, 0);
+
+        // Tear the tail: the scan counts it, a rewrite sheds it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.trim_end().len() - 8]).unwrap();
+        let scan = Journal::scan(&path).unwrap();
+        assert_eq!(scan.torn, 1);
+        let reloaded = Journal::load(&path, 0xFEED).unwrap();
+        reloaded.save(&path).unwrap();
+        assert_eq!(Journal::scan(&path).unwrap().torn, 0);
+
+        assert!(Journal::scan(&dir.join("missing")).is_err());
+        std::fs::write(dir.join("alien"), "hello\n").unwrap();
+        assert!(Journal::scan(&dir.join("alien")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_under_injected_crash_preserves_old_journal() {
+        use cac_trace::io::commitfs::{FaultFs, FaultPlan};
+        let dir = temp_dir("crashsave");
+        let path = dir.join("j");
+        let mut j = Journal::new(6);
+        j.record("old", &sample_stats(1));
+        j.save(&path).unwrap();
+        j.record("new", &sample_stats(2));
+        // Crash between temp write and rename: old journal survives and
+        // the orphaned temp is swept by the next load.
+        let fs = FaultFs::new(FaultPlan {
+            crash_after_ops: Some(1),
+            ..FaultPlan::default()
+        });
+        assert!(j.save_with(&path, &fs).is_err());
+        let back = Journal::load(&path, 6).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.get("old").is_some());
         assert!(!path.with_extension("journal.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,0 +1,671 @@
+//! Crash-atomic file commits behind one swappable trait.
+//!
+//! Every durable artifact in the workspace — the checkpoint journal,
+//! the corpus manifest, the columnar trace pool — reaches disk through
+//! the same protocol: write a sibling temp file, `fsync` it, `rename`
+//! it over the target, `fsync` the parent directory. A crash at any
+//! step leaves either the old file or the new file (plus, at worst, an
+//! orphaned `*.tmp` that recovery removes) — never a torn mix.
+//!
+//! Claims about crash behaviour need a reproducible way to crash (the
+//! same argument as [`crate::fault`] makes for read-side damage), so
+//! the protocol lives behind the [`CommitFs`] trait with two
+//! implementations:
+//!
+//! * [`DiskFs`] — the real thing: full `fsync` discipline on the host
+//!   filesystem.
+//! * [`FaultFs`] — a deterministic fault injector: a seeded **crash
+//!   point** stops the operation sequence mid-step and simulates the
+//!   operating system losing everything that was not yet synced
+//!   (unsynced file tails truncate to a seeded prefix; renames whose
+//!   parent directory was never synced may roll back), and a seeded
+//!   **ENOSPC budget** makes writes run out of disk after N bytes,
+//!   tearing the write mid-buffer exactly like a full disk does.
+//!
+//! # Example
+//!
+//! ```
+//! use cac_trace::io::commitfs::{CommitFs, DiskFs, FaultFs, FaultPlan};
+//!
+//! let dir = std::env::temp_dir().join(format!("cac-commitfs-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let target = dir.join("state");
+//! let tmp = dir.join("state.tmp");
+//!
+//! // A full commit: temp -> fsync -> rename -> fsync dir.
+//! DiskFs.commit_bytes(&target, &tmp, b"v1")?;
+//! assert_eq!(std::fs::read(&target)?, b"v1");
+//!
+//! // The same commit under a crash point injected after one op: the
+//! // temp write lands, the fsync "crashes", and the target is intact.
+//! let faulty = FaultFs::new(FaultPlan { crash_after_ops: Some(1), ..FaultPlan::default() });
+//! assert!(faulty.commit_bytes(&target, &tmp, b"v2").is_err());
+//! assert_eq!(std::fs::read(&target)?, b"v1", "old state survives");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The write-side file operations a durable store needs, in primitive
+/// form so a fault injector can fail (and damage) each one separately.
+///
+/// The provided [`CommitFs::commit_bytes`] composes them into the full
+/// crash-atomic commit protocol; stores that stream large files (the
+/// trace pool) use [`CommitFs::create`] and run the sync/rename steps
+/// themselves.
+pub trait CommitFs: Send + Sync + std::fmt::Debug {
+    /// Creates (or truncates) `path` and returns a streaming writer to
+    /// it. The data is *not* durable until [`CommitFs::sync_file`].
+    ///
+    /// # Errors
+    ///
+    /// Underlying or injected I/O failure.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn Write + Send>>;
+
+    /// Creates (or truncates) `path` with exactly `bytes`. Equivalent
+    /// to [`CommitFs::create`] + one write, as a single operation.
+    ///
+    /// # Errors
+    ///
+    /// Underlying or injected I/O failure (possibly after a partial,
+    /// torn write).
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Forces `path`'s contents to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// Underlying or injected I/O failure.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` onto `to`. The *directory entry*
+    /// update is not durable until [`CommitFs::sync_dir`] on the
+    /// parent.
+    ///
+    /// # Errors
+    ///
+    /// Underlying or injected I/O failure.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Forces directory-entry updates under `dir` (renames, creates,
+    /// removes) to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Underlying or injected I/O failure.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Removes a file (recovery paths use this to clear orphaned temp
+    /// files).
+    ///
+    /// # Errors
+    ///
+    /// Underlying or injected I/O failure.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// The full crash-atomic commit: write `bytes` to `tmp`, `fsync`
+    /// it, rename it over `path`, `fsync` the parent directory. After
+    /// this returns, `path` holds exactly `bytes` durably; if it
+    /// fails, `path` still holds its previous content (an orphaned
+    /// `tmp` may remain for recovery to sweep).
+    ///
+    /// # Errors
+    ///
+    /// The first failing step's error.
+    fn commit_bytes(&self, path: &Path, tmp: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.write_file(tmp, bytes)?;
+        self.sync_file(tmp)?;
+        self.rename(tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            self.sync_dir(dir)?;
+        }
+        Ok(())
+    }
+}
+
+/// The real filesystem with full `fsync` discipline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskFs;
+
+impl CommitFs for DiskFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(File::create(path)?))
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // POSIX: fsync on a read-only directory handle flushes its
+        // entries. Windows cannot open directories this way; renames
+        // there are metadata-journaled, so skipping is the best
+        // available behaviour.
+        #[cfg(windows)]
+        {
+            let _ = dir;
+            Ok(())
+        }
+        #[cfg(not(windows))]
+        File::open(dir)?.sync_all()
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+/// What faults [`FaultFs`] injects. Built directly or parsed from the
+/// compact `k=v` list by [`FaultPlan::parse`] (the same convention as
+/// [`crate::fault::FaultSpec`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for damage decisions (torn-tail lengths, rename
+    /// persistence). The same seed over the same operation sequence
+    /// damages identically.
+    pub seed: u64,
+    /// Crash after this many primitive operations succeed: the next
+    /// operation fails, unsynced data is damaged on disk, and every
+    /// later operation fails too. `Some(0)` crashes immediately.
+    pub crash_after_ops: Option<u64>,
+    /// Simulated disk-full: writes succeed until this many cumulative
+    /// bytes, then tear mid-buffer and fail with `StorageFull`.
+    pub enospc_after_bytes: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Parses a compact comma-separated `key=value` list, e.g.
+    /// `"crash-op=3,seed=7"` or `"enospc-bytes=4096"`.
+    ///
+    /// Keys: `crash-op` (operation count before the crash), `enospc-bytes`
+    /// (byte budget before writes fail), `seed`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed entry.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for item in s.split(',').map(str::trim).filter(|i| !i.is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan item `{item}` is not key=value"))?;
+            let number = |what: &str| {
+                value
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault plan {what} `{value}` is not a number"))
+            };
+            match key.trim() {
+                "crash-op" => plan.crash_after_ops = Some(number("crash op")?),
+                "enospc-bytes" => plan.enospc_after_bytes = Some(number("byte budget")?),
+                "seed" => plan.seed = number("seed")?,
+                k => {
+                    return Err(format!(
+                        "unknown fault plan key `{k}` (known: crash-op, enospc-bytes, seed)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True if this plan injects nothing.
+    pub fn is_noop(&self) -> bool {
+        self.crash_after_ops.is_none() && self.enospc_after_bytes.is_none()
+    }
+}
+
+/// xorshift64* — the same tiny seedable generator the read-side fault
+/// injector uses.
+#[derive(Debug)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
+
+/// A rename whose directory entry has not been synced: the crash
+/// routine decides (seeded) whether it persisted, and can undo it.
+#[derive(Debug)]
+struct PendingRename {
+    from: PathBuf,
+    to: PathBuf,
+    /// `to`'s previous content (`None` = it did not exist).
+    old_target: Option<Vec<u8>>,
+    /// `from`'s content at rename time, for rollback.
+    moved: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    ops: u64,
+    bytes: u64,
+    crashed: bool,
+    /// Files with writes since their last sync: path -> durable length
+    /// (bytes guaranteed on stable storage).
+    unsynced: HashMap<PathBuf, u64>,
+    renames: Vec<PendingRename>,
+}
+
+/// Deterministic fault-injecting [`CommitFs`]: real files, simulated
+/// crashes.
+///
+/// Operations are numbered in call order ([`FaultPlan::crash_after_ops`]
+/// counts `create`/`write_file`/`sync_file`/`rename`/`sync_dir`/
+/// `remove_file`; streaming writes through a [`CommitFs::create`]
+/// handle count bytes, not operations, so crash-point numbering does
+/// not depend on buffer sizes). At the crash point the injector damages
+/// the real directory the way a power loss would:
+///
+/// * every file with unsynced writes keeps only a seeded prefix of the
+///   unsynced suffix (a torn tail);
+/// * every rename whose parent directory was never synced is kept or
+///   rolled back by a seeded coin (directory entries without an
+///   `fsync` may or may not have reached disk).
+///
+/// After the crash every further operation fails, like a dead process.
+#[derive(Debug)]
+pub struct FaultFs {
+    plan: FaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultFs {
+    /// A fresh injector; operation and byte counters start at zero.
+    pub fn new(plan: FaultPlan) -> FaultFs {
+        FaultFs {
+            plan,
+            state: Arc::new(Mutex::new(FaultState::default())),
+        }
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Primitive operations performed so far. Run a sequence once with
+    /// a crash-free plan to learn its length, then sweep
+    /// `crash_after_ops` over `0..len` to hit every crash point.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().expect("fault state poisoned").ops
+    }
+
+    /// True once the crash point fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().expect("fault state poisoned").crashed
+    }
+
+    /// Counts one primitive op; fires the crash point when due.
+    fn step(&self, state: &mut FaultState) -> io::Result<()> {
+        if state.crashed {
+            return Err(io::Error::other("injected crash: filesystem is down"));
+        }
+        if self
+            .plan
+            .crash_after_ops
+            .is_some_and(|limit| state.ops >= limit)
+        {
+            Self::apply_crash(state, self.plan.seed);
+            return Err(io::Error::other(format!(
+                "injected crash at op {}",
+                state.ops
+            )));
+        }
+        state.ops += 1;
+        Ok(())
+    }
+
+    /// Simulates the OS losing unsynced state, then marks the
+    /// filesystem dead.
+    fn apply_crash(state: &mut FaultState, seed: u64) {
+        state.crashed = true;
+        let mut rng = Rng::new(seed ^ state.ops.wrapping_mul(0x9E3779B97F4A7C15));
+        // Un-fsynced renames: each directory-entry update independently
+        // did or did not reach disk. Roll back the lost ones (newest
+        // first, so chained renames undo cleanly).
+        let renames = std::mem::take(&mut state.renames);
+        for r in renames.into_iter().rev() {
+            if rng.coin() {
+                continue; // this entry made it to disk
+            }
+            match &r.old_target {
+                Some(bytes) => {
+                    let _ = std::fs::write(&r.to, bytes);
+                }
+                None => {
+                    let _ = std::fs::remove_file(&r.to);
+                }
+            }
+            let _ = std::fs::write(&r.from, &r.moved);
+            // Unsynced tracking follows the file back to its old name.
+            if let Some(durable) = state.unsynced.remove(&r.to) {
+                state.unsynced.insert(r.from.clone(), durable);
+            }
+        }
+        // Un-fsynced writes: keep a seeded prefix of the unsynced
+        // suffix — the classic torn tail.
+        for (path, durable) in std::mem::take(&mut state.unsynced) {
+            let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            if len > durable {
+                let keep = durable + rng.below(len - durable + 1);
+                let _ = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .and_then(|f| f.set_len(keep));
+            }
+        }
+    }
+
+    /// Charges `want` bytes against the ENOSPC budget; returns how many
+    /// may actually be written (the torn prefix when the budget runs
+    /// out).
+    fn charge(&self, state: &mut FaultState, want: usize) -> usize {
+        let allowed = match self.plan.enospc_after_bytes {
+            Some(limit) => (limit.saturating_sub(state.bytes) as usize).min(want),
+            None => want,
+        };
+        state.bytes += allowed as u64;
+        allowed
+    }
+
+    fn enospc() -> io::Error {
+        io::Error::new(io::ErrorKind::StorageFull, "injected ENOSPC: disk is full")
+    }
+}
+
+/// Streaming writer for [`FaultFs::create`]: writes through to the
+/// real file while keeping the shared fault state honest.
+#[derive(Debug)]
+struct FaultWriter {
+    file: File,
+    path: PathBuf,
+    plan: FaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl Write for FaultWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        if state.crashed {
+            return Err(io::Error::other("injected crash: filesystem is down"));
+        }
+        let fs = FaultFs {
+            plan: self.plan,
+            state: Arc::clone(&self.state),
+        };
+        let allowed = fs.charge(&mut state, buf.len());
+        state.unsynced.entry(self.path.clone()).or_insert(0);
+        drop(state);
+        if allowed > 0 {
+            self.file.write_all(&buf[..allowed])?;
+        }
+        if allowed < buf.len() {
+            return Err(FaultFs::enospc());
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // A userspace flush is not an fsync: data stays "unsynced".
+        self.file.flush()
+    }
+}
+
+impl CommitFs for FaultFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn Write + Send>> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        self.step(&mut state)?;
+        let file = File::create(path)?;
+        state.unsynced.insert(path.to_path_buf(), 0);
+        Ok(Box::new(FaultWriter {
+            file,
+            path: path.to_path_buf(),
+            plan: self.plan,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        self.step(&mut state)?;
+        let allowed = self.charge(&mut state, bytes.len());
+        std::fs::write(path, &bytes[..allowed])?;
+        state.unsynced.insert(path.to_path_buf(), 0);
+        if allowed < bytes.len() {
+            return Err(Self::enospc());
+        }
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        self.step(&mut state)?;
+        File::open(path)?.sync_all()?;
+        state.unsynced.remove(path);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        self.step(&mut state)?;
+        let old_target = std::fs::read(to).ok();
+        let moved = std::fs::read(from).unwrap_or_default();
+        std::fs::rename(from, to)?;
+        if let Some(durable) = state.unsynced.remove(from) {
+            state.unsynced.insert(to.to_path_buf(), durable);
+        }
+        state.renames.push(PendingRename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+            old_target,
+            moved,
+        });
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        self.step(&mut state)?;
+        state
+            .renames
+            .retain(|r| r.to.parent() != Some(dir) && r.to.parent() != dir.parent().map(|_| dir));
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        self.step(&mut state)?;
+        std::fs::remove_file(path)?;
+        state.unsynced.remove(path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cac-commitfs-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_junk() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        let p = FaultPlan::parse("crash-op=3, seed=7, enospc-bytes=100").unwrap();
+        assert_eq!(p.crash_after_ops, Some(3));
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.enospc_after_bytes, Some(100));
+        assert!(!p.is_noop());
+        assert!(FaultPlan::parse("crash-op=x").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("crash-op").is_err());
+    }
+
+    #[test]
+    fn disk_commit_is_atomic_and_cleans_tmp() {
+        let dir = tmp_dir("disk");
+        let target = dir.join("state");
+        let tmp = dir.join("state.tmp");
+        DiskFs.commit_bytes(&target, &tmp, b"hello").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"hello");
+        assert!(!tmp.exists());
+        DiskFs.commit_bytes(&target, &tmp, b"world").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"world");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_crash_point_leaves_old_or_new_state() {
+        let dir = tmp_dir("sweep");
+        let target = dir.join("state");
+        let tmp = dir.join("state.tmp");
+        DiskFs.commit_bytes(&target, &tmp, b"old-contents").unwrap();
+
+        // Learn the sequence length from a crash-free run.
+        let probe = FaultFs::new(FaultPlan::default());
+        probe.commit_bytes(&target, &tmp, b"new-contents!").unwrap();
+        let total = probe.ops();
+        assert!(total >= 4, "commit should be write+sync+rename+syncdir");
+        DiskFs.commit_bytes(&target, &tmp, b"old-contents").unwrap();
+
+        for crash_at in 0..total {
+            for seed in [1u64, 2, 3] {
+                DiskFs.commit_bytes(&target, &tmp, b"old-contents").unwrap();
+                std::fs::remove_file(&tmp).ok();
+                let fs = FaultFs::new(FaultPlan {
+                    seed,
+                    crash_after_ops: Some(crash_at),
+                    ..FaultPlan::default()
+                });
+                let err = fs
+                    .commit_bytes(&target, &tmp, b"new-contents!")
+                    .unwrap_err();
+                assert!(err.to_string().contains("injected crash"), "{err}");
+                assert!(fs.crashed());
+                let got = std::fs::read(&target).unwrap();
+                assert!(
+                    got == b"old-contents" || got == b"new-contents!",
+                    "crash at {crash_at} seed {seed} left torn target {:?}",
+                    String::from_utf8_lossy(&got)
+                );
+                // Dead filesystems stay dead.
+                assert!(fs.write_file(&target, b"x").is_err());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_after_full_sequence_changes_nothing() {
+        let dir = tmp_dir("post");
+        let target = dir.join("state");
+        let tmp = dir.join("state.tmp");
+        let fs = FaultFs::new(FaultPlan {
+            crash_after_ops: Some(100),
+            ..FaultPlan::default()
+        });
+        fs.commit_bytes(&target, &tmp, b"durable").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"durable");
+        assert!(!fs.crashed());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_tears_the_write_and_fails() {
+        let dir = tmp_dir("enospc");
+        let path = dir.join("f");
+        let fs = FaultFs::new(FaultPlan {
+            enospc_after_bytes: Some(5),
+            ..FaultPlan::default()
+        });
+        let err = fs.write_file(&path, b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(std::fs::read(&path).unwrap(), b"01234", "torn prefix");
+        // The disk stays full for later writes too.
+        let err = fs.write_file(&dir.join("g"), b"more").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_writer_counts_bytes_not_ops() {
+        let dir = tmp_dir("stream");
+        let path = dir.join("s");
+        let fs = FaultFs::new(FaultPlan::default());
+        let mut w = fs.create(&path).unwrap();
+        for chunk in [b"aa".as_slice(), b"bb", b"cc"] {
+            w.write_all(chunk).unwrap();
+        }
+        drop(w);
+        assert_eq!(fs.ops(), 1, "create is one op; chunk writes are free");
+        assert_eq!(std::fs::read(&path).unwrap(), b"aabbcc");
+
+        // A crash with the stream unsynced tears its tail
+        // deterministically.
+        let fs = FaultFs::new(FaultPlan {
+            seed: 9,
+            crash_after_ops: Some(1),
+            ..FaultPlan::default()
+        });
+        let mut w = fs.create(&path).unwrap();
+        w.write_all(b"0123456789").unwrap();
+        drop(w);
+        assert!(fs.sync_file(&path).is_err(), "crash point fires");
+        let torn = std::fs::read(&path).unwrap();
+        assert!(torn.len() <= 10);
+        assert_eq!(&torn[..], &b"0123456789"[..torn.len()], "prefix, not noise");
+        // Same seed, same sequence => same tear.
+        let fs2 = FaultFs::new(FaultPlan {
+            seed: 9,
+            crash_after_ops: Some(1),
+            ..FaultPlan::default()
+        });
+        let mut w = fs2.create(&path).unwrap();
+        w.write_all(b"0123456789").unwrap();
+        drop(w);
+        assert!(fs2.sync_file(&path).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod binary;
 pub mod columnar;
+pub mod commitfs;
 pub mod text;
 
 pub use binary::{
@@ -66,6 +67,7 @@ pub use columnar::{
     COL_BLOCK_MAGIC, COL_BLOCK_RECORDS, COL_FOOTER_LEN, COL_FOOTER_MAGIC, COL_INDEX_ENTRY_LEN,
     COL_INDEX_MAGIC,
 };
+pub use commitfs::{CommitFs, DiskFs, FaultFs, FaultPlan};
 pub use text::{read_trace, write_trace, ParseTraceError, ReadTrace};
 
 use crate::record::{MemRef, TraceOp};
